@@ -1,0 +1,41 @@
+//! Value pre-transforms that let a fixed dot product compute non-dot
+//! inner terms.
+
+use semiring::Distance;
+use sparse::{CsrMatrix, Real};
+
+/// Transforms a matrix's values so that the plain dot product of the
+/// transformed operands equals the distance's semiring inner term.
+///
+/// Only Hellinger needs a transform (`x → √x`, so that
+/// `⟨√x, √y⟩` falls out of the ordinary multiply); all other
+/// csrgemm-supported distances use the raw values.
+pub fn transform_for_dot<T: Real>(m: &CsrMatrix<T>, distance: Distance) -> CsrMatrix<T> {
+    let mut out = m.clone();
+    if distance == Distance::Hellinger {
+        for v in out.values_mut() {
+            *v = v.sqrt();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hellinger_takes_square_roots() {
+        let m = CsrMatrix::<f64>::from_dense(1, 3, &[4.0, 0.0, 9.0]);
+        let t = transform_for_dot(&m, Distance::Hellinger);
+        assert_eq!(t.values(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn other_distances_pass_through() {
+        let m = CsrMatrix::<f64>::from_dense(1, 3, &[4.0, 0.0, 9.0]);
+        for d in [Distance::Cosine, Distance::Euclidean, Distance::Jaccard] {
+            assert_eq!(transform_for_dot(&m, d), m);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Ablation: dense vs hash-table vs bloom-filter shared-memory modes of
+//! the hybrid kernel (§3.3.2's design discussion).
+//!
+//! The paper: dense has "the highest throughput rate and least amount of
+//! thread divergence" but couples shared memory to dimensionality; the
+//! hash table couples it to row degree at the price of probe chains; the
+//! bloom filter trades smem for global binary searches and was only
+//! "marginally better" on one compute-bound distance.
+//!
+//! Run with: `cargo bench -p bench --bench smem_ablation`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::DatasetProfile;
+use gpu_sim::Device;
+use kernels::{pairwise_distances, PairwiseOptions, SmemMode, Strategy};
+use semiring::{Distance, DistanceParams};
+use sparse::CsrMatrix;
+
+fn workload() -> (CsrMatrix<f32>, CsrMatrix<f32>) {
+    // MovieLens-ish: skewed degrees that stress hash probing.
+    let index = DatasetProfile::movielens()
+        .scaled_with(0.004, 0.04)
+        .generate(7);
+    let queries = index.slice_rows(0..index.rows().min(48));
+    (queries, index)
+}
+
+fn bench_smem_modes(c: &mut Criterion) {
+    let dev = Device::volta();
+    let params = DistanceParams::default();
+    let (queries, index) = workload();
+
+    let mut group = c.benchmark_group("smem_mode");
+    println!(
+        "\nworkload: {} queries x {} index rows (k={}), nnz {}",
+        queries.rows(),
+        index.rows(),
+        index.cols(),
+        index.nnz()
+    );
+    println!(
+        "{:<8} {:<14} {:>12} {:>12} {:>12} {:>12}",
+        "mode", "distance", "sim(us)", "smem acc", "bank extra", "txns"
+    );
+    for distance in [Distance::Cosine, Distance::JensenShannon] {
+        for mode in [SmemMode::Dense, SmemMode::Hash, SmemMode::Bloom] {
+            let opts = PairwiseOptions {
+                strategy: Strategy::HybridCooSpmv,
+                smem_mode: mode,
+            };
+            let r = pairwise_distances(&dev, &queries, &index, distance, &params, &opts)
+                .expect("mode runs");
+            let smem: u64 = r.launches.iter().map(|l| l.counters.smem_accesses).sum();
+            let bank: u64 = r
+                .launches
+                .iter()
+                .map(|l| l.counters.bank_conflict_extra)
+                .sum();
+            let txns: u64 = r
+                .launches
+                .iter()
+                .map(|l| l.counters.global_transactions)
+                .sum();
+            println!(
+                "{:<8} {:<14} {:>12.2} {:>12} {:>12} {:>12}",
+                format!("{mode:?}"),
+                distance.name(),
+                r.sim_seconds() * 1e6,
+                smem,
+                bank,
+                txns
+            );
+
+            group.bench_with_input(
+                BenchmarkId::new(format!("{mode:?}"), distance.name()),
+                &opts,
+                |b, opts| {
+                    b.iter(|| {
+                        pairwise_distances(&dev, &queries, &index, distance, &params, opts)
+                            .expect("mode runs")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_smem_modes
+}
+criterion_main!(benches);

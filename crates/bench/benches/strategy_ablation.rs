@@ -1,0 +1,96 @@
+//! Ablation: the three §3 execution strategies on the same workload.
+//!
+//! Regenerates the design-space comparison behind the paper's §3
+//! narrative — expand-sort-contract is sort-dominated, the naive CSR
+//! kernel diverges, and the hybrid CSR+COO kernel wins — as a Criterion
+//! benchmark over host execution time of the simulated kernels, plus a
+//! printed table of *simulated* times and the counters that explain them.
+//!
+//! Run with: `cargo bench -p bench --bench strategy_ablation`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::DatasetProfile;
+use gpu_sim::Device;
+use kernels::{pairwise_distances, PairwiseOptions, SmemMode, Strategy};
+use semiring::{Distance, DistanceParams};
+use sparse::CsrMatrix;
+
+fn workload() -> (CsrMatrix<f32>, CsrMatrix<f32>) {
+    let index = DatasetProfile::nytimes_bow()
+        .scaled_with(0.002, 0.05)
+        .generate(42);
+    let queries = index.slice_rows(0..index.rows().min(48));
+    (queries, index)
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let dev = Device::volta();
+    let params = DistanceParams::default();
+    let (queries, index) = workload();
+
+    let mut group = c.benchmark_group("strategy");
+    println!(
+        "\nworkload: {} queries x {} index rows, nnz {}",
+        queries.rows(),
+        index.rows(),
+        index.nnz()
+    );
+    println!(
+        "{:<24} {:<12} {:>12} {:>12} {:>12} {:>10}",
+        "strategy", "distance", "sim(us)", "issues", "txns", "div%"
+    );
+    for distance in [Distance::Cosine, Distance::Manhattan] {
+        for strategy in [
+            Strategy::HybridCooSpmv,
+            Strategy::NaiveCsr,
+            Strategy::ExpandSortContract,
+        ] {
+            let opts = PairwiseOptions {
+                strategy,
+                smem_mode: SmemMode::Auto,
+            };
+            // Print the simulated-time ablation once.
+            let r = pairwise_distances(&dev, &queries, &index, distance, &params, &opts)
+                .expect("strategy runs");
+            let issues: u64 = r.launches.iter().map(|l| l.counters.issues).sum();
+            let txns: u64 = r
+                .launches
+                .iter()
+                .map(|l| l.counters.global_transactions)
+                .sum();
+            let div: f64 = r
+                .launches
+                .iter()
+                .map(|l| l.counters.divergence_ratio())
+                .fold(0.0, f64::max);
+            println!(
+                "{:<24} {:<12} {:>12.2} {:>12} {:>12} {:>9.1}%",
+                strategy.name(),
+                distance.name(),
+                r.sim_seconds() * 1e6,
+                issues,
+                txns,
+                div * 100.0
+            );
+
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), distance.name()),
+                &opts,
+                |b, opts| {
+                    b.iter(|| {
+                        pairwise_distances(&dev, &queries, &index, distance, &params, opts)
+                            .expect("strategy runs")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_strategies
+}
+criterion_main!(benches);

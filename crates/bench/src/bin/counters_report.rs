@@ -1,0 +1,85 @@
+//! Hardware-counter evidence report for §3's design narrative.
+//!
+//! §3.2 motivates the hybrid kernel with qualitative post-mortems of the
+//! naive designs: "large thread divergences within warps, highly
+//! uncoalesced global memory accesses, and resource requirements which
+//! are unrealistic", and "the sorting step dominated the performance" of
+//! expand-sort-contract. This binary turns each of those claims into a
+//! measured row: per strategy and per dataset, the divergence
+//! serialization ratio, the coalescing overhead (bytes moved per byte
+//! requested), shared-memory pressure, and atomic contention.
+//!
+//! Usage: `cargo run --release -p bench --bin counters_report [-- --seed 1]`
+
+use bench::suite::query_slab;
+use datasets::DatasetProfile;
+use gpu_sim::{Counters, Device};
+use kernels::{pairwise_distances, PairwiseOptions, SmemMode, Strategy};
+use semiring::{Distance, DistanceParams};
+
+fn merged(launches: &[gpu_sim::LaunchStats]) -> Counters {
+    let mut c = Counters::new();
+    for l in launches {
+        c.merge(&l.counters);
+    }
+    c
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = bench::parse_scale(&args, "--seed", 1.0) as u64;
+    let dev = Device::volta();
+    let params = DistanceParams::default();
+
+    println!("Section 3 design-claim evidence (Manhattan over two dataset shapes)");
+    println!(
+        "{:<22} {:<14} {:>8} {:>10} {:>10} {:>10} {:>12}",
+        "strategy", "dataset", "div %", "coal ovh", "smem ops", "bank xtr", "atomic xtr"
+    );
+    for (profile, dims, degs) in [
+        (DatasetProfile::movielens(), 0.004, 0.04), // skewed degrees
+        (DatasetProfile::scrna(), 0.004, 0.01),     // regular degrees
+    ] {
+        let index = profile.scaled_with(dims, degs).generate(seed);
+        let queries = query_slab(&index);
+        for strategy in [
+            Strategy::HybridCooSpmv,
+            Strategy::NaiveCsr,
+            Strategy::NaiveCsrShared,
+            Strategy::ExpandSortContract,
+        ] {
+            let opts = PairwiseOptions {
+                strategy,
+                smem_mode: SmemMode::Hash,
+            };
+            let r = pairwise_distances(
+                &dev,
+                &queries,
+                &index,
+                Distance::Manhattan,
+                &params,
+                &opts,
+            )
+            .expect("strategy runs");
+            let c = merged(&r.launches);
+            println!(
+                "{:<22} {:<14} {:>7.1}% {:>9.2}x {:>10} {:>10} {:>12}",
+                strategy.name(),
+                profile.name,
+                c.divergence_ratio() * 100.0,
+                c.coalescing_overhead(),
+                c.smem_accesses,
+                c.bank_conflict_extra,
+                c.atomic_conflict_extra,
+            );
+        }
+    }
+    println!(
+        "\nreading: the naive kernel's divergence ratio and coalescing\n\
+         overhead dwarf the hybrid's (§3.2.2's 'large thread divergences\n\
+         ... uncoalesced global memory accesses'); the shared-memory\n\
+         naive variant trims global traffic but keeps the divergence\n\
+         ('marginal gains'); expand-sort-contract shows the shared-memory\n\
+         traffic of its in-block sort (§3.2.1)."
+    );
+}

@@ -1,0 +1,75 @@
+//! Small helpers shared by the harness binaries.
+
+use std::time::Instant;
+
+/// Wall-clock measurement of a closure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Timed<R> {
+    /// The closure's return value.
+    pub value: R,
+    /// Host wall-clock seconds spent.
+    pub host_seconds: f64,
+}
+
+impl<R> Timed<R> {
+    /// Runs `f` and records its wall-clock duration.
+    pub fn run(f: impl FnOnce() -> R) -> Self {
+        let t0 = Instant::now();
+        let value = f();
+        Self {
+            value,
+            host_seconds: t0.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// One row of a benchmark report.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct BenchRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Distance name.
+    pub distance: String,
+    /// Method label ("Baseline" / "RAFT" / "CPU").
+    pub method: String,
+    /// Simulated GPU seconds (0 for CPU rows).
+    pub sim_seconds: f64,
+    /// Host wall-clock seconds spent producing the result.
+    pub host_seconds: f64,
+}
+
+/// Parses a `--scale <f>` / `--seed <n>` style flag from argv, returning
+/// the default when absent or malformed.
+pub fn parse_scale(args: &[String], flag: &str, default: f64) -> f64 {
+    args.windows(2)
+        .find(|w| w[0] == flag)
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_measures_elapsed() {
+        let t = Timed::run(|| {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            42
+        });
+        assert_eq!(t.value, 42);
+        assert!(t.host_seconds >= 0.009);
+    }
+
+    #[test]
+    fn parse_scale_reads_flag_or_default() {
+        let args: Vec<String> = ["prog", "--scale", "0.02"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(parse_scale(&args, "--scale", 0.01), 0.02);
+        assert_eq!(parse_scale(&args, "--seed", 7.0), 7.0);
+        let bad: Vec<String> = ["prog", "--scale", "abc"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(parse_scale(&bad, "--scale", 0.01), 0.01);
+    }
+}

@@ -1,0 +1,129 @@
+//! Shared benchmark-suite configuration: which datasets, at which scales,
+//! with which distance groups — one place so every harness binary agrees
+//! with the others and with EXPERIMENTS.md.
+
+use datasets::DatasetProfile;
+use semiring::Distance;
+use sparse::CsrMatrix;
+
+/// Query rows per k-NN benchmark (the paper queries the full dataset; we
+/// subsample queries so the simulator finishes in minutes — ratios are
+/// unaffected since both methods see the same queries).
+pub const QUERY_ROWS: usize = 256;
+
+/// Neighbors per query, matching a typical `k` for the paper's
+/// brute-force `NearestNeighbors` runs.
+pub const KNN_K: usize = 10;
+
+/// Default dimension down-scale factor per dataset, tuned so each
+/// benchmark run takes seconds on the simulator.
+pub fn default_scale(name: &str) -> f64 {
+    match name {
+        "MovieLens" => 0.02,
+        "SEC Edgar" => 0.01,
+        "scRNA" => 0.01,
+        "NY Times BoW" => 0.01,
+        _ => 0.01,
+    }
+}
+
+/// Default *degree* scale per dataset. Degrees shrink less than
+/// dimensions (or not at all) because the kernels' comparative behaviour
+/// — merge-loop divergence in Alg 2, hash-table load in Alg 3 — is
+/// driven by absolute row degrees, which uniform scaling would crush to
+/// 1-2 nonzeros. SEC Edgar's real degrees are already tiny (max 51), so
+/// they are kept verbatim; the cost is a density higher than Table 2's,
+/// which is recorded in EXPERIMENTS.md.
+pub fn default_degree_scale(name: &str) -> f64 {
+    match name {
+        "MovieLens" => 0.10,
+        "SEC Edgar" => 1.0,
+        "scRNA" => 0.02,
+        "NY Times BoW" => 0.10,
+        _ => 0.10,
+    }
+}
+
+/// The benchmark datasets. With an explicit `scale`, dimensions shrink by
+/// `scale` and degrees by `sqrt(scale)`; otherwise the per-dataset
+/// defaults apply.
+pub fn bench_profiles(scale: Option<f64>) -> Vec<DatasetProfile> {
+    datasets::all_profiles()
+        .into_iter()
+        .map(|p| match scale {
+            Some(s) => p.scaled_with(s, s.sqrt().min(1.0)),
+            None => p.scaled_with(default_scale(p.name), default_degree_scale(p.name)),
+        })
+        .collect()
+}
+
+/// Slices the first [`QUERY_ROWS`] rows as the query set.
+pub fn query_slab(index: &CsrMatrix<f32>) -> CsrMatrix<f32> {
+    index.slice_rows(0..QUERY_ROWS.min(index.rows()))
+}
+
+/// Table 3's "Dot Product Based" distance group, in paper order.
+pub fn dot_based_distances() -> Vec<Distance> {
+    vec![
+        Distance::Correlation,
+        Distance::Cosine,
+        Distance::DiceSorensen,
+        Distance::Euclidean,
+        Distance::Hellinger,
+        Distance::Jaccard,
+        Distance::RusselRao,
+    ]
+}
+
+/// Table 3's "Non-Trivial Metrics" group, in paper order.
+pub fn non_trivial_distances() -> Vec<Distance> {
+    vec![
+        Distance::Canberra,
+        Distance::Chebyshev,
+        Distance::Hamming,
+        Distance::JensenShannon,
+        Distance::KlDivergence,
+        Distance::Manhattan,
+        Distance::Minkowski,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_cover_table3s_fourteen_rows() {
+        assert_eq!(dot_based_distances().len(), 7);
+        assert_eq!(non_trivial_distances().len(), 7);
+        for d in dot_based_distances() {
+            assert!(
+                baseline::cusparse::baseline_supports(d),
+                "{d} must be csrgemm-supported"
+            );
+        }
+        for d in non_trivial_distances() {
+            assert!(
+                !baseline::cusparse::baseline_supports(d),
+                "{d} must fall back to the naive baseline"
+            );
+        }
+    }
+
+    #[test]
+    fn bench_profiles_apply_scales() {
+        let ps = bench_profiles(Some(0.001));
+        assert_eq!(ps.len(), 4);
+        assert!(ps.iter().all(|p| p.rows < 1000));
+        let defaults = bench_profiles(None);
+        assert!(defaults[0].rows > ps[0].rows);
+    }
+
+    #[test]
+    fn query_slab_caps_rows() {
+        let m = CsrMatrix::<f32>::zeros(10, 4);
+        assert_eq!(query_slab(&m).rows(), 10);
+        let m = CsrMatrix::<f32>::zeros(1000, 4);
+        assert_eq!(query_slab(&m).rows(), QUERY_ROWS);
+    }
+}

@@ -1,0 +1,296 @@
+//! `spdist` — command-line front end for the sparse distance primitive.
+//!
+//! Operates on Matrix Market (`.mtx`) files:
+//!
+//! ```text
+//! spdist knn      --input data.mtx --metric cosine --k 10 [--output out.tsv]
+//! spdist pairwise --input a.mtx [--index b.mtx] --metric manhattan [--output d.mtx]
+//! spdist info     --input data.mtx
+//! spdist gen      --profile movielens --scale 0.01 --output data.mtx [--seed 1]
+//! spdist profile  --input data.mtx [--replica out.mtx --seed 2]
+//! ```
+//!
+//! Common flags: `--metric <name>` (any Table 1 distance plus
+//! `braycurtis`; see `Distance::from_name`), `--p <f>` (Minkowski
+//! degree), `--strategy hybrid|naive|esc`, `--smem auto|dense|hash|bloom`,
+//! `--device volta|ampere`, `--fused` (knn only: fused
+//! distance+selection kernel).
+
+use semiring::{Distance, DistanceParams};
+use sparse::{read_matrix_market, write_matrix_market, CsrMatrix, DegreeStats};
+use sparse_dist::{
+    kneighbors_graph, Device, GraphMode, NearestNeighbors, PairwiseOptions, SmemMode,
+    Strategy,
+};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::process::ExitCode;
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.0
+            .windows(2)
+            .find(|w| w[0] == name)
+            .map(|w| w[1].as_str())
+    }
+
+    fn required(&self, name: &str) -> Result<&str, String> {
+        self.flag(name).ok_or_else(|| format!("missing {name} <value>"))
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first().cloned() else {
+        eprintln!("usage: spdist <knn|pairwise|info> --input <file.mtx> [options]");
+        return ExitCode::FAILURE;
+    };
+    let args = Args(argv);
+    let result = match cmd.as_str() {
+        "knn" => cmd_knn(&args),
+        "pairwise" => cmd_pairwise(&args),
+        "info" => cmd_info(&args),
+        "gen" => cmd_gen(&args),
+        "profile" => cmd_profile(&args),
+        other => Err(format!("unknown command {other}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("spdist: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load(path: &str) -> Result<CsrMatrix<f32>, String> {
+    let f = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    read_matrix_market(f).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn parse_common(args: &Args) -> Result<(Distance, DistanceParams, PairwiseOptions, Device), String> {
+    let metric = args.flag("--metric").unwrap_or("euclidean");
+    let distance = Distance::from_name(metric)
+        .ok_or_else(|| format!("unknown metric {metric}"))?;
+    let params = DistanceParams {
+        minkowski_p: args
+            .flag("--p")
+            .map(|p| p.parse().map_err(|_| format!("bad --p {p}")))
+            .transpose()?
+            .unwrap_or(2.0),
+    };
+    let strategy = match args.flag("--strategy").unwrap_or("hybrid") {
+        "hybrid" => Strategy::HybridCooSpmv,
+        "naive" => Strategy::NaiveCsr,
+        "esc" => Strategy::ExpandSortContract,
+        other => return Err(format!("unknown strategy {other}")),
+    };
+    let smem_mode = match args.flag("--smem").unwrap_or("auto") {
+        "auto" => SmemMode::Auto,
+        "dense" => SmemMode::Dense,
+        "hash" => SmemMode::Hash,
+        "bloom" => SmemMode::Bloom,
+        other => return Err(format!("unknown smem mode {other}")),
+    };
+    let device = match args.flag("--device").unwrap_or("volta") {
+        "volta" | "v100" => Device::volta(),
+        "ampere" | "a100" => Device::ampere(),
+        other => return Err(format!("unknown device {other}")),
+    };
+    Ok((
+        distance,
+        params,
+        PairwiseOptions {
+            strategy,
+            smem_mode,
+        },
+        device,
+    ))
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let name = args.required("--profile")?;
+    let profile = match name.to_ascii_lowercase().as_str() {
+        "movielens" => datasets::DatasetProfile::movielens(),
+        "edgar" | "sec-edgar" => datasets::DatasetProfile::sec_edgar(),
+        "scrna" => datasets::DatasetProfile::scrna(),
+        "nytimes" | "nyt" => datasets::DatasetProfile::nytimes_bow(),
+        other => return Err(format!("unknown profile {other} (movielens|edgar|scrna|nytimes)")),
+    };
+    let scale: f64 = args
+        .flag("--scale")
+        .unwrap_or("0.01")
+        .parse()
+        .map_err(|_| "bad --scale".to_string())?;
+    let seed: u64 = args
+        .flag("--seed")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "bad --seed".to_string())?;
+    let m = profile.scaled(scale).generate(seed);
+    let out = args.required("--output")?;
+    let f = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    write_matrix_market(&m, BufWriter::new(f)).map_err(|e| format!("write failed: {e}"))?;
+    eprintln!(
+        "spdist: wrote {} ({} x {}, {} nonzeros, density {:.4}%)",
+        out,
+        m.rows(),
+        m.cols(),
+        m.nnz(),
+        m.density() * 100.0
+    );
+    Ok(())
+}
+
+/// Prints a line to stdout, exiting quietly when the consumer (e.g.
+/// `| head`) has closed the pipe.
+fn out(line: String) {
+    use std::io::Write as _;
+    if writeln!(std::io::stdout(), "{line}").is_err() {
+        std::process::exit(0);
+    }
+}
+
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    let m = load(args.required("--input")?)?;
+    let p = datasets::fit_profile(&m, "fitted", datasets::ValueDist::TfIdf);
+    out("fitted profile:".into());
+    out(format!("  shape:     {} x {}", p.rows, p.cols));
+    out(format!(
+        "  degrees:   lognormal(mu={:.3}, sigma={:.3}), clamp [{}, {}], p_empty={:.3}",
+        p.degree.mu, p.degree.sigma, p.degree.min, p.degree.max, p.degree.p_empty
+    ));
+    out(format!("  col skew:  {:.2}", p.col_skew));
+    if let Some(out) = args.flag("--replica") {
+        let seed: u64 = args
+            .flag("--seed")
+            .unwrap_or("2")
+            .parse()
+            .map_err(|_| "bad --seed".to_string())?;
+        let replica = p.generate(seed);
+        let f = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+        write_matrix_market(&replica, BufWriter::new(f))
+            .map_err(|e| format!("write failed: {e}"))?;
+        eprintln!(
+            "spdist: wrote shape-matched replica to {out} ({} nonzeros, density {:.4}%)",
+            replica.nnz(),
+            replica.density() * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let m = load(args.required("--input")?)?;
+    let s = DegreeStats::of(&m);
+    out(format!("shape:      {} x {}", s.rows, s.cols));
+    out(format!("nonzeros:   {}", s.nnz));
+    out(format!("density:    {:.6}%", s.density * 100.0));
+    out(format!(
+        "degrees:    min {} / mean {:.1} / max {}",
+        s.min_degree, s.mean_degree, s.max_degree
+    ));
+    let cdf = sparse::degree_cdf(&m);
+    out(format!("degree cdf: p50={} p90={} p99={}", cdf[50], cdf[90], cdf[99]));
+    Ok(())
+}
+
+fn cmd_knn(args: &Args) -> Result<(), String> {
+    let (distance, params, options, device) = parse_common(args)?;
+    let query = load(args.required("--input")?)?;
+    let index = match args.flag("--index") {
+        Some(p) => load(p)?,
+        None => query.clone(),
+    };
+    let k: usize = args
+        .flag("--k")
+        .unwrap_or("10")
+        .parse()
+        .map_err(|_| "bad --k".to_string())?;
+    let fused = args.0.iter().any(|a| a == "--fused");
+    let nn = NearestNeighbors::new(device, distance)
+        .with_params(params)
+        .with_options(options)
+        .with_fused(fused)
+        .fit(index.clone());
+    let result = nn
+        .kneighbors(&query, k)
+        .map_err(|e| format!("query failed: {e}"))?;
+
+    eprintln!(
+        "spdist: {} queries x {} index rows, {} tiles, {:.3} ms simulated GPU time",
+        query.rows(),
+        index.rows(),
+        result.batches,
+        result.sim_seconds * 1e3
+    );
+
+    match args.flag("--graph") {
+        Some(mode) => {
+            let gm = match mode {
+                "connectivity" => GraphMode::Connectivity,
+                "distance" => GraphMode::Distance,
+                other => return Err(format!("unknown graph mode {other}")),
+            };
+            let g = kneighbors_graph(&result, index.rows(), gm)
+                .map_err(|e| format!("graph build failed: {e}"))?;
+            let out = args.flag("--output").unwrap_or("knn_graph.mtx");
+            let f = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+            write_matrix_market(&g, BufWriter::new(f))
+                .map_err(|e| format!("write failed: {e}"))?;
+            eprintln!("spdist: wrote {} edges to {out}", g.nnz());
+        }
+        None => {
+            let mut sink: Box<dyn Write> = match args.flag("--output") {
+                Some(p) => Box::new(BufWriter::new(
+                    File::create(p).map_err(|e| format!("cannot create {p}: {e}"))?,
+                )),
+                None => Box::new(std::io::stdout().lock()),
+            };
+            for (q, (idx, dist)) in
+                result.indices.iter().zip(&result.distances).enumerate()
+            {
+                let cols: Vec<String> = idx
+                    .iter()
+                    .zip(dist)
+                    .map(|(i, d)| format!("{i}:{d:.6}"))
+                    .collect();
+                writeln!(sink, "{q}\t{}", cols.join("\t"))
+                    .map_err(|e| format!("write failed: {e}"))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_pairwise(args: &Args) -> Result<(), String> {
+    let (distance, params, options, device) = parse_common(args)?;
+    let a = load(args.required("--input")?)?;
+    let b = match args.flag("--index") {
+        Some(p) => load(p)?,
+        None => a.clone(),
+    };
+    let r = sparse_dist::pairwise_distances_with(&device, &a, &b, distance, &params, &options)
+        .map_err(|e| format!("pairwise failed: {e}"))?;
+    eprintln!(
+        "spdist: {}x{} distances, {:.3} ms simulated across {} launches",
+        a.rows(),
+        b.rows(),
+        r.sim_seconds() * 1e3,
+        r.launches.len()
+    );
+    // Dense output as mtx (store all cells, including zeros, as explicit
+    // entries would be wasteful — convert through CSR, dropping exact
+    // zeros, which for distances means self-pairs and exact ties only).
+    let csr = CsrMatrix::from_dense(a.rows(), b.rows(), r.distances.as_slice());
+    let mut sink: Box<dyn Write> = match args.flag("--output") {
+        Some(p) => Box::new(BufWriter::new(
+            File::create(p).map_err(|e| format!("cannot create {p}: {e}"))?,
+        )),
+        None => Box::new(std::io::stdout().lock()),
+    };
+    write_matrix_market(&csr, &mut sink).map_err(|e| format!("write failed: {e}"))?;
+    Ok(())
+}

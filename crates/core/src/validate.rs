@@ -1,0 +1,104 @@
+//! Input-domain validation for the distance primitive.
+//!
+//! Several Table 1 distances take square roots or logarithms of the
+//! cell values (Hellinger, Jensen-Shannon, KL divergence) and are only
+//! defined on non-negative data; feeding them signed values produces
+//! NaNs deep inside a kernel. This module front-loads that check with a
+//! precise, typed error.
+
+use semiring::Distance;
+use sparse::{CsrMatrix, Real};
+
+/// A rejected input, naming the offending cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputError {
+    /// The distance whose domain was violated.
+    pub distance: Distance,
+    /// Row of the first offending value.
+    pub row: usize,
+    /// Column of the first offending value.
+    pub col: u32,
+    /// The value itself (as `f64`).
+    pub value: f64,
+}
+
+impl std::fmt::Display for InputError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} requires non-negative input but cell ({}, {}) holds {}",
+            self.distance, self.row, self.col, self.value
+        )
+    }
+}
+
+impl std::error::Error for InputError {}
+
+/// Validates that `m` lies in `distance`'s domain.
+///
+/// Currently checks non-negativity for the distances that need it
+/// ([`Distance::requires_nonnegative`]); all other distances accept any
+/// real data. NaN values are rejected for every distance.
+///
+/// # Errors
+///
+/// Returns the first offending cell.
+pub fn validate_input<T: Real>(
+    distance: Distance,
+    m: &CsrMatrix<T>,
+) -> Result<(), InputError> {
+    let need_nonneg = distance.requires_nonnegative();
+    for (r, c, v) in m.iter() {
+        if v.is_nan() || (need_nonneg && v < T::ZERO) {
+            return Err(InputError {
+                distance,
+                row: r as usize,
+                col: c,
+                value: v.to_f64(),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_data_passes_for_unrestricted_distances() {
+        let m = CsrMatrix::<f64>::from_dense(1, 3, &[-1.0, 2.0, -0.5]);
+        for d in [Distance::Euclidean, Distance::Cosine, Distance::Manhattan] {
+            assert!(validate_input(d, &m).is_ok(), "{d}");
+        }
+    }
+
+    #[test]
+    fn signed_data_is_rejected_for_log_sqrt_distances() {
+        let m = CsrMatrix::<f64>::from_dense(2, 3, &[1.0, 0.0, 0.5, 0.0, -0.25, 0.0]);
+        for d in [
+            Distance::Hellinger,
+            Distance::JensenShannon,
+            Distance::KlDivergence,
+        ] {
+            let err = validate_input(d, &m).expect_err("must reject");
+            assert_eq!((err.row, err.col), (1, 1));
+            assert_eq!(err.value, -0.25);
+            assert!(err.to_string().contains("non-negative"));
+        }
+    }
+
+    #[test]
+    fn nan_is_rejected_everywhere() {
+        let m = CsrMatrix::<f32>::from_dense(1, 2, &[1.0, f32::NAN]);
+        for d in semiring::Distance::ALL {
+            assert!(validate_input(d, &m).is_err(), "{d}");
+        }
+    }
+
+    #[test]
+    fn clean_probability_rows_pass() {
+        let m = CsrMatrix::<f64>::from_dense(1, 4, &[0.25, 0.25, 0.5, 0.0]);
+        assert!(validate_input(Distance::KlDivergence, &m).is_ok());
+    }
+}

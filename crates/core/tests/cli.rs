@@ -1,0 +1,143 @@
+//! End-to-end tests of the `spdist` CLI binary: generate → inspect →
+//! query → graph, all through real files and process invocations.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn spdist() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_spdist"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("spdist-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn gen_info_knn_graph_round_trip() {
+    let data = tmp("data.mtx");
+    let graph = tmp("graph.mtx");
+
+    // gen
+    let out = spdist()
+        .args([
+            "gen",
+            "--profile",
+            "nytimes",
+            "--scale",
+            "0.003",
+            "--seed",
+            "7",
+            "--output",
+        ])
+        .arg(&data)
+        .output()
+        .expect("spdist runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // info
+    let out = spdist()
+        .arg("info")
+        .arg("--input")
+        .arg(&data)
+        .output()
+        .expect("spdist runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("shape:"), "{stdout}");
+    assert!(stdout.contains("density:"), "{stdout}");
+
+    // knn to stdout
+    let out = spdist()
+        .args(["knn", "--metric", "cosine", "--k", "3", "--input"])
+        .arg(&data)
+        .output()
+        .expect("spdist runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let first = stdout.lines().next().expect("at least one query row");
+    assert!(first.starts_with("0\t"), "{first}");
+    // Self-match at distance ~0 in the first slot.
+    assert!(first.contains("0:0.000000"), "{first}");
+
+    // knn to a connectivity graph file
+    let out = spdist()
+        .args(["knn", "--metric", "jaccard", "--k", "2", "--graph", "connectivity"])
+        .arg("--input")
+        .arg(&data)
+        .arg("--output")
+        .arg(&graph)
+        .output()
+        .expect("spdist runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let g: sparse::CsrMatrix<f32> =
+        sparse::read_matrix_market(std::fs::File::open(&graph).expect("graph written"))
+            .expect("valid matrix market");
+    assert_eq!(g.rows(), g.cols());
+    assert!(g.nnz() > 0);
+
+    let _ = std::fs::remove_file(&data);
+    let _ = std::fs::remove_file(&graph);
+}
+
+#[test]
+fn profile_fits_and_replicates() {
+    let data = tmp("fit-data.mtx");
+    let replica = tmp("fit-replica.mtx");
+    let out = spdist()
+        .args(["gen", "--profile", "edgar", "--scale", "0.002", "--output"])
+        .arg(&data)
+        .output()
+        .expect("spdist runs");
+    assert!(out.status.success());
+
+    let out = spdist()
+        .arg("profile")
+        .arg("--input")
+        .arg(&data)
+        .arg("--replica")
+        .arg(&replica)
+        .output()
+        .expect("spdist runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("lognormal"), "{stdout}");
+    assert!(replica.exists());
+
+    let _ = std::fs::remove_file(&data);
+    let _ = std::fs::remove_file(&replica);
+}
+
+#[test]
+fn bad_inputs_produce_clean_errors() {
+    // Unknown command.
+    let out = spdist().arg("frobnicate").output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // Unknown metric.
+    let data = tmp("err-data.mtx");
+    std::fs::write(
+        &data,
+        "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 1.0\n",
+    )
+    .expect("write");
+    let out = spdist()
+        .args(["knn", "--metric", "nope", "--input"])
+        .arg(&data)
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown metric"));
+
+    // Missing file.
+    let out = spdist()
+        .args(["info", "--input", "/nonexistent/x.mtx"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot open"));
+
+    let _ = std::fs::remove_file(&data);
+}

@@ -1,0 +1,196 @@
+//! Degree, column-popularity and value distributions for the synthetic
+//! dataset generators.
+
+use rand::Rng;
+
+/// A clamped log-normal row-degree distribution.
+///
+/// Log-normals fit all four of the paper's datasets well: a tight one for
+/// SEC EDGAR's tiny n-gram rows, a heavy-tailed one for MovieLens power
+/// users, a high-mean one for scRNA, and a high-variance one for the NY
+/// Times corpus (Figure 1's CDFs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeDist {
+    /// Mean of `ln(degree)`.
+    pub mu: f64,
+    /// Standard deviation of `ln(degree)`.
+    pub sigma: f64,
+    /// Lower clamp (Table 2's "Min Deg").
+    pub min: usize,
+    /// Upper clamp (Table 2's "Max Deg").
+    pub max: usize,
+    /// Probability of an entirely empty row (several of the paper's
+    /// datasets have Min Deg = 0).
+    pub p_empty: f64,
+}
+
+impl DegreeDist {
+    /// Samples one row degree.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        if self.p_empty > 0.0 && rng.gen::<f64>() < self.p_empty {
+            return 0;
+        }
+        let d = (self.mu + self.sigma * sample_standard_normal(rng)).exp();
+        (d.round() as usize).clamp(self.min.max(1), self.max.max(1))
+    }
+
+    /// Analytic mean of the unclamped log-normal (for calibration
+    /// checks).
+    pub fn unclamped_mean(&self) -> f64 {
+        (1.0 - self.p_empty) * (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+/// Standard normal via Box–Muller (the `rand` crate alone provides only
+/// uniform sources).
+pub fn sample_standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Cell-value distributions per dataset family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueDist {
+    /// Star ratings in half-point steps 0.5–5.0 (MovieLens).
+    Ratings,
+    /// Log-normal TF-IDF weights in roughly (0, 1] (NY Times, EDGAR).
+    TfIdf,
+    /// Positive expression counts (scRNA).
+    Counts,
+}
+
+impl ValueDist {
+    /// Samples one nonzero cell value.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f32 {
+        match self {
+            ValueDist::Ratings => {
+                // Mode around 3.5–4.0 stars.
+                let star = 1.0 + 7.0 * rng.gen::<f64>().powf(0.6);
+                ((star.round() / 2.0) as f32).clamp(0.5, 5.0)
+            }
+            ValueDist::TfIdf => ((-2.5 + 0.8 * sample_standard_normal(rng)).exp() as f32)
+                .clamp(1e-4, 10.0),
+            ValueDist::Counts => {
+                (1.0 + (0.5 + 1.2 * sample_standard_normal(rng)).exp().round() as f32)
+                    .clamp(1.0, 10_000.0)
+            }
+        }
+    }
+}
+
+/// Samples a column index with power-law popularity: `skew = 1` is
+/// uniform; larger values concentrate mass on low-index ("popular")
+/// columns, the shape ratings and word corpora exhibit.
+pub fn sample_column<R: Rng>(rng: &mut R, cols: usize, skew: f64) -> u32 {
+    let u: f64 = rng.gen();
+    let x = u.powf(skew);
+    ((x * cols as f64) as usize).min(cols - 1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn degree_samples_respect_clamps() {
+        let d = DegreeDist {
+            mu: 3.0,
+            sigma: 1.0,
+            min: 5,
+            max: 50,
+            p_empty: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let s = d.sample(&mut rng);
+            assert!((5..=50).contains(&s), "degree {s} out of clamp");
+        }
+    }
+
+    #[test]
+    fn empty_probability_produces_empty_rows() {
+        let d = DegreeDist {
+            mu: 2.0,
+            sigma: 0.5,
+            min: 1,
+            max: 100,
+            p_empty: 0.3,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let empties = (0..2000).filter(|_| d.sample(&mut rng) == 0).count();
+        assert!((400..800).contains(&empties), "got {empties} empty of 2000");
+    }
+
+    #[test]
+    fn sample_mean_tracks_analytic_mean() {
+        let d = DegreeDist {
+            mu: 4.0,
+            sigma: 0.5,
+            min: 1,
+            max: 100_000,
+            p_empty: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        let want = d.unclamped_mean();
+        assert!(
+            (mean - want).abs() / want < 0.05,
+            "sampled {mean}, analytic {want}"
+        );
+    }
+
+    #[test]
+    fn normal_has_zero_mean_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn ratings_are_half_steps_in_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..500 {
+            let v = ValueDist::Ratings.sample(&mut rng);
+            assert!((0.5..=5.0).contains(&v));
+            assert!((v * 2.0).fract() == 0.0, "{v} is not a half step");
+        }
+    }
+
+    #[test]
+    fn tfidf_and_counts_are_positive() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..500 {
+            assert!(ValueDist::TfIdf.sample(&mut rng) > 0.0);
+            assert!(ValueDist::Counts.sample(&mut rng) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn column_skew_concentrates_low_indices() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cols = 10_000;
+        let n = 20_000;
+        let uniform_low = (0..n)
+            .filter(|_| sample_column(&mut rng, cols, 1.0) < 1000)
+            .count();
+        let skewed_low = (0..n)
+            .filter(|_| sample_column(&mut rng, cols, 3.0) < 1000)
+            .count();
+        assert!(
+            skewed_low > uniform_low * 3,
+            "skewed {skewed_low} vs uniform {uniform_low}"
+        );
+        // All samples stay in range.
+        for _ in 0..100 {
+            assert!((sample_column(&mut rng, cols, 2.0) as usize) < cols);
+        }
+    }
+}

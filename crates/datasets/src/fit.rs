@@ -1,0 +1,156 @@
+//! Fitting a [`DatasetProfile`] to an existing matrix.
+//!
+//! The paper's premise (§4.1) is that kernel performance is governed by
+//! a dataset's *shape statistics* — dimensions, density, and the degree
+//! distribution — rather than its cell values. [`fit_profile`] estimates
+//! those statistics from any CSR matrix, producing a generator profile
+//! whose synthetic replicas share them: the tool for benchmarking
+//! against the shape of a private dataset without shipping the data.
+
+use crate::distributions::{DegreeDist, ValueDist};
+use crate::profiles::{DatasetProfile, PaperStats};
+use sparse::{CsrMatrix, Real};
+
+/// Estimates a generator profile from a matrix's shape statistics.
+///
+/// Degrees are modeled as a clamped log-normal fit by moment matching on
+/// `ln(degree)` over the nonzero rows; the empty-row fraction, min/max
+/// clamps and column-popularity skew are measured directly. Values are
+/// generated from `value_dist` (shape statistics do not constrain them).
+///
+/// # Panics
+///
+/// Panics if `m` has no rows.
+pub fn fit_profile<T: Real>(
+    m: &CsrMatrix<T>,
+    name: &'static str,
+    value_dist: ValueDist,
+) -> DatasetProfile {
+    assert!(m.rows() > 0, "cannot fit a profile to an empty matrix");
+    let degrees: Vec<usize> = (0..m.rows()).map(|r| m.row_degree(r)).collect();
+    let nonzero: Vec<f64> = degrees
+        .iter()
+        .filter(|&&d| d > 0)
+        .map(|&d| (d as f64).ln())
+        .collect();
+    let p_empty = 1.0 - nonzero.len() as f64 / m.rows() as f64;
+    let (mu, sigma) = if nonzero.is_empty() {
+        (0.0, 0.5)
+    } else {
+        let mu = nonzero.iter().sum::<f64>() / nonzero.len() as f64;
+        let var = nonzero.iter().map(|x| (x - mu) * (x - mu)).sum::<f64>()
+            / nonzero.len() as f64;
+        (mu, var.sqrt().max(0.05))
+    };
+    let min = degrees.iter().copied().filter(|&d| d > 0).min().unwrap_or(1);
+    let max = degrees.iter().copied().max().unwrap_or(1).max(1);
+
+    // Column-popularity skew: compare the nonzero mass of the most
+    // popular decile of columns against a uniform spread. Under the
+    // generator's `u^skew` law, the top decile carries `10^(-1/skew)` of
+    // the mass, so skew = 1 / log10(1 / top_decile_share).
+    let mut col_counts = vec![0u32; m.cols().max(1)];
+    for &c in m.indices() {
+        col_counts[c as usize] += 1;
+    }
+    col_counts.sort_unstable_by(|a, b| b.cmp(a));
+    let total: u64 = col_counts.iter().map(|&c| c as u64).sum();
+    let top_decile: u64 = col_counts
+        .iter()
+        .take(m.cols().div_ceil(10).max(1))
+        .map(|&c| c as u64)
+        .sum();
+    let share = if total == 0 {
+        0.1
+    } else {
+        (top_decile as f64 / total as f64).clamp(0.1, 0.999)
+    };
+    let col_skew = if share <= 0.1 + 1e-9 {
+        1.0
+    } else {
+        (1.0 / (1.0 / share).log10()).clamp(1.0, 10.0)
+    };
+
+    DatasetProfile {
+        name,
+        rows: m.rows(),
+        cols: m.cols(),
+        degree: DegreeDist {
+            mu,
+            sigma,
+            min: if p_empty > 0.0 { 1 } else { min },
+            max,
+            p_empty,
+        },
+        values: value_dist,
+        col_skew,
+        paper: PaperStats {
+            size: (m.rows(), m.cols()),
+            density: m.density(),
+            min_degree: degrees.iter().copied().min().unwrap_or(0),
+            max_degree: max,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::DegreeStats;
+
+    #[test]
+    fn refit_recovers_generated_statistics() {
+        // Generate from a known profile, fit, regenerate, compare stats.
+        let original = DatasetProfile::nytimes_bow().scaled(0.005);
+        let m = original.generate(11);
+        let fitted = fit_profile(&m, "refit", ValueDist::TfIdf);
+        assert_eq!(fitted.rows, m.rows());
+        assert_eq!(fitted.cols, m.cols());
+        let replica = fitted.generate(12);
+        let s0 = DegreeStats::of(&m);
+        let s1 = DegreeStats::of(&replica);
+        // Density within 30%, mean degree within 30%.
+        assert!(
+            (s1.density / s0.density - 1.0).abs() < 0.3,
+            "density {} vs {}",
+            s1.density,
+            s0.density
+        );
+        assert!(
+            (s1.mean_degree / s0.mean_degree.max(1e-9) - 1.0).abs() < 0.3,
+            "mean degree {} vs {}",
+            s1.mean_degree,
+            s0.mean_degree
+        );
+    }
+
+    #[test]
+    fn fit_measures_empty_fraction() {
+        // 6 of 10 rows empty.
+        let trips: Vec<(u32, u32, f32)> =
+            (0..4u32).flat_map(|r| [(r, 0, 1.0), (r, 3, 1.0)]).collect();
+        let m = sparse::CsrMatrix::from_triplets(10, 5, &trips).expect("valid");
+        let p = fit_profile(&m, "sparse-rows", ValueDist::TfIdf);
+        assert!((p.degree.p_empty - 0.6).abs() < 1e-9);
+        assert_eq!(p.degree.max, 2);
+    }
+
+    #[test]
+    fn fit_detects_column_skew() {
+        // All nonzeros in one column → extreme skew; uniform spread → ~1.
+        let skewed: Vec<(u32, u32, f32)> = (0..50u32).map(|r| (r, 0, 1.0)).collect();
+        let ms = sparse::CsrMatrix::from_triplets(50, 100, &skewed).expect("valid");
+        let ps = fit_profile(&ms, "skewed", ValueDist::TfIdf);
+        let uniform: Vec<(u32, u32, f32)> = (0..50u32).map(|r| (r, r * 2, 1.0)).collect();
+        let mu = sparse::CsrMatrix::from_triplets(50, 100, &uniform).expect("valid");
+        let pu = fit_profile(&mu, "uniform", ValueDist::TfIdf);
+        assert!(ps.col_skew > 2.0 * pu.col_skew, "{} vs {}", ps.col_skew, pu.col_skew);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty matrix")]
+    fn zero_row_matrix_is_rejected() {
+        let m = sparse::CsrMatrix::<f32>::zeros(0, 4);
+        fit_profile(&m, "nope", ValueDist::TfIdf);
+    }
+}

@@ -1,0 +1,183 @@
+//! Per-block shared-memory bloom filter (§3.3.2's alternative to the
+//! hash table: "we tried building a bloom filter in shared memory and
+//! used a binary search to perform lookups of nonzeros in global memory
+//! for positive hits").
+
+use crate::device::BlockCtx;
+use crate::murmur::murmur3_32;
+use crate::shared::SharedArray;
+use crate::warp::{lanes_from_fn, Lanes, WarpCtx, WARP_SIZE};
+
+/// A blocked bloom filter over `u32` keys with two Murmur hash functions.
+///
+/// Negative queries are definitive (the common case when intersecting a
+/// sparse row against mostly-missing columns); positive queries may be
+/// false positives and must be confirmed against global memory, which is
+/// exactly the trade §3.3.2 explores.
+#[derive(Debug, Clone)]
+pub struct SmemBloomFilter {
+    words: SharedArray<u32>,
+    bits: usize,
+}
+
+impl SmemBloomFilter {
+    /// Number of bits needed for `entries` keys at ~8 bits/key (≈2 %
+    /// false-positive rate with 2 hashes), rounded up to a warp-friendly
+    /// multiple of 32.
+    pub fn bits_for(entries: usize) -> usize {
+        (entries.max(1) * 8).next_multiple_of(32)
+    }
+
+    /// Shared-memory bytes a filter of `bits` occupies.
+    pub fn smem_bytes(bits: usize) -> usize {
+        bits.div_ceil(32) * 4
+    }
+
+    /// Allocates the filter from block shared memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shared-memory budget is exceeded.
+    pub fn new(block: &BlockCtx, bits: usize) -> Self {
+        let bits = bits.next_multiple_of(32).max(32);
+        let words = block.alloc_shared::<u32>(bits / 32);
+        Self { words, bits }
+    }
+
+    /// Bit capacity.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    #[inline]
+    fn positions(&self, key: u32) -> [usize; 2] {
+        [
+            murmur3_32(key, 0x0b10_0f11) as usize % self.bits,
+            murmur3_32(key, 0x0b10_0f22) as usize % self.bits,
+        ]
+    }
+
+    /// Warp-parallel insert of each active lane's key.
+    pub fn insert_warp(&self, w: &mut WarpCtx, keys: &Lanes<Option<u32>>) {
+        for h in 0..2 {
+            let idx = lanes_from_fn(|l| keys[l].map(|k| self.positions(k)[h] / 32));
+            let words = w.smem_gather(&self.words, &idx);
+            // Lanes sharing a word combine their bits first (the atomicOr
+            // the real kernel would issue), so the scatter below writes
+            // the same merged value from every lane that shares a word.
+            let mut merged: Vec<(usize, u32)> = Vec::new();
+            for l in 0..WARP_SIZE {
+                if let Some(k) = keys[l] {
+                    let i = idx[l].expect("active lane");
+                    let bit = 1 << (self.positions(k)[h] % 32);
+                    match merged.iter_mut().find(|(wi, _)| *wi == i) {
+                        Some((_, m)) => *m |= bit,
+                        None => merged.push((i, words[l] | bit)),
+                    }
+                }
+            }
+            let newv = lanes_from_fn(|l| {
+                idx[l]
+                    .and_then(|i| merged.iter().find(|(wi, _)| *wi == i))
+                    .map(|&(_, m)| m)
+                    .unwrap_or(0)
+            });
+            w.issue(2);
+            w.smem_scatter(&self.words, &idx, &newv);
+        }
+    }
+
+    /// Warp-parallel membership query. `false` is definitive; `true` may
+    /// be a false positive.
+    pub fn query_warp(&self, w: &mut WarpCtx, keys: &Lanes<Option<u32>>) -> Lanes<bool> {
+        let mut out = [false; WARP_SIZE];
+        let mut hit = [true; WARP_SIZE];
+        for h in 0..2 {
+            let idx = lanes_from_fn(|l| keys[l].map(|k| self.positions(k)[h] / 32));
+            let words = w.smem_gather(&self.words, &idx);
+            w.issue(1);
+            for l in 0..WARP_SIZE {
+                if let Some(k) = keys[l] {
+                    if words[l] & (1 << (self.positions(k)[h] % 32)) == 0 {
+                        hit[l] = false;
+                    }
+                } else {
+                    hit[l] = false;
+                }
+            }
+        }
+        for l in 0..WARP_SIZE {
+            out[l] = keys[l].is_some() && hit[l];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{Device, LaunchConfig};
+
+    #[test]
+    fn inserted_keys_always_hit() {
+        let dev = Device::volta();
+        dev.launch("bloom", LaunchConfig::new(1, 32, 8 * 1024), |block| {
+            let filter = SmemBloomFilter::new(block, SmemBloomFilter::bits_for(32));
+            let f = filter.clone();
+            block.run_warps(|w| {
+                let keys = lanes_from_fn(|l| Some((l * 13) as u32));
+                f.insert_warp(w, &keys);
+                let hits = f.query_warp(w, &keys);
+                assert!(hits.iter().all(|&h| h), "no false negatives allowed");
+            });
+        });
+    }
+
+    #[test]
+    fn absent_keys_mostly_miss() {
+        let dev = Device::volta();
+        dev.launch("bloom", LaunchConfig::new(1, 32, 8 * 1024), |block| {
+            let filter = SmemBloomFilter::new(block, SmemBloomFilter::bits_for(64));
+            let f = filter.clone();
+            block.run_warps(|w| {
+                for round in 0..2u32 {
+                    let keys = lanes_from_fn(|l| Some(round * 32 + l as u32));
+                    f.insert_warp(w, &keys);
+                }
+                // Query 128 keys far outside the inserted range. With 64
+                // entries in 512 bits and 2 hashes the analytic FP rate
+                // is ~5%; allow up to 15% before calling it broken.
+                let mut fp = 0usize;
+                for round in 0..4u32 {
+                    let probe =
+                        lanes_from_fn(|l| Some(100_000 + round * 3232 + (l * 101) as u32));
+                    let hits = f.query_warp(w, &probe);
+                    fp += hits.iter().filter(|&&h| h).count();
+                }
+                assert!(fp <= 19, "false-positive rate too high: {fp}/128");
+            });
+        });
+    }
+
+    #[test]
+    fn inactive_lanes_never_hit() {
+        let dev = Device::volta();
+        dev.launch("bloom", LaunchConfig::new(1, 32, 1024), |block| {
+            let filter = SmemBloomFilter::new(block, 256);
+            let f = filter.clone();
+            block.run_warps(|w| {
+                let keys: Lanes<Option<u32>> = [None; WARP_SIZE];
+                let hits = f.query_warp(w, &keys);
+                assert!(hits.iter().all(|&h| !h));
+            });
+        });
+    }
+
+    #[test]
+    fn sizing_helpers_are_consistent() {
+        let bits = SmemBloomFilter::bits_for(100);
+        assert!(bits >= 800);
+        assert_eq!(bits % 32, 0);
+        assert_eq!(SmemBloomFilter::smem_bytes(bits), bits / 8);
+    }
+}

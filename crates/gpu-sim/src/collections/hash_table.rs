@@ -1,0 +1,387 @@
+//! Per-block shared-memory hash table (§3.3.2).
+//!
+//! "Unlike many other hash table implementations on the GPU ... our
+//! implementation builds an independent hash table per thread-block", with
+//! a Murmur hash and linear probing. Keys and values are stored together
+//! "to avoid an additional costly lookup to global memory", which is why
+//! the table costs twice the shared memory of a bare column list.
+
+use crate::device::BlockCtx;
+use crate::murmur::murmur3_32;
+use crate::shared::SharedArray;
+use crate::warp::{lanes_from_fn, Lanes, WarpCtx, WARP_SIZE};
+
+/// Sentinel marking an empty slot (no real column index is `u32::MAX`).
+const EMPTY: u32 = u32::MAX;
+
+/// Load factor above which probe chains degrade (§3.3.2: "Hash tables
+/// have the best performance when the number of entries is less than 50%
+/// of the capacity").
+pub const MAX_LOAD: f64 = 0.5;
+
+/// A per-block open-addressing hash table in shared memory, mapping `u32`
+/// column indices to values.
+#[derive(Debug, Clone)]
+pub struct SmemHashTable<T> {
+    keys: SharedArray<u32>,
+    vals: SharedArray<T>,
+    capacity: usize,
+    seed: u32,
+}
+
+impl<T: Copy + Default> SmemHashTable<T> {
+    /// Smallest warp-aligned capacity that keeps `entries` at or under
+    /// [`MAX_LOAD`].
+    pub fn capacity_for(entries: usize) -> usize {
+        ((entries as f64 / MAX_LOAD).ceil() as usize)
+            .next_multiple_of(WARP_SIZE)
+            .max(WARP_SIZE)
+    }
+
+    /// Shared-memory bytes a table of `capacity` slots consumes (keys and
+    /// values stored together — the factor-of-two cost §3.3.2 mentions).
+    pub fn smem_bytes(capacity: usize) -> usize {
+        capacity * (std::mem::size_of::<u32>() + std::mem::size_of::<T>())
+    }
+
+    /// Allocates the table from the block's shared memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or if the block's shared-memory
+    /// budget is exceeded.
+    pub fn new(block: &BlockCtx, capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        let keys = block.alloc_shared::<u32>(capacity);
+        keys.fill(EMPTY);
+        let vals = block.alloc_shared::<T>(capacity);
+        Self {
+            keys,
+            vals,
+            capacity,
+            seed: 0x5eed_0u32,
+        }
+    }
+
+    /// Slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of occupied slots (host-side inspection).
+    pub fn len(&self) -> usize {
+        self.keys
+            .snapshot()
+            .iter()
+            .filter(|&&k| k != EMPTY)
+            .count()
+    }
+
+    /// True when no slot is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Occupied fraction of the table.
+    pub fn load_factor(&self) -> f64 {
+        self.len() as f64 / self.capacity as f64
+    }
+
+    #[inline]
+    fn slot(&self, key: u32, probe: usize) -> usize {
+        (murmur3_32(key, self.seed) as usize % self.capacity + probe) % self.capacity
+    }
+
+    /// Warp-parallel insert: each active lane inserts one `(key, value)`
+    /// pair by linear probing. Probe rounds execute in lockstep, so the
+    /// warp pays for the *longest* chain — the serialization §3.3.2
+    /// blames on load factors above 50 %.
+    ///
+    /// Keys are assumed distinct (CSR columns within a row are); inserting
+    /// a duplicate key overwrites the stored value.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a probe chain exhausts the table (the table is full) —
+    /// strategies must size with [`Self::capacity_for`] or partition
+    /// high-degree rows (§3.3.3).
+    pub fn insert_warp(
+        &self,
+        w: &mut WarpCtx,
+        keys: &Lanes<Option<u32>>,
+        vals: &Lanes<T>,
+    ) {
+        let mut pending = *keys;
+        for probe in 0..=self.capacity {
+            if pending.iter().all(Option::is_none) {
+                return;
+            }
+            assert!(probe < self.capacity, "shared-memory hash table is full");
+            let idx = lanes_from_fn(|l| pending[l].map(|k| self.slot(k, probe)));
+            let found = w.smem_gather(&self.keys, &idx);
+            // One probe round = gather + compare + conditional write.
+            w.issue(1);
+            let mut write_idx = [None; WARP_SIZE];
+            let mut write_keys = [0u32; WARP_SIZE];
+            let mut write_vals = [T::default(); WARP_SIZE];
+            // On hardware each lane claims an empty slot with atomicCAS;
+            // within a warp only one lane wins a given slot per round and
+            // the losers keep probing. `claimed` plays the CAS arbiter.
+            let mut claimed: Vec<usize> = Vec::new();
+            for l in 0..WARP_SIZE {
+                if let Some(k) = pending[l] {
+                    let i = idx[l].expect("active lane has a slot");
+                    let won_empty = found[l] == EMPTY && !claimed.contains(&i);
+                    if found[l] == k || won_empty {
+                        if won_empty {
+                            claimed.push(i);
+                        }
+                        write_idx[l] = Some(i);
+                        write_keys[l] = k;
+                        write_vals[l] = vals[l];
+                        pending[l] = None;
+                    }
+                }
+            }
+            if write_idx.iter().any(Option::is_some) {
+                w.smem_scatter(&self.keys, &write_idx, &write_keys);
+                w.smem_scatter(&self.vals, &write_idx, &write_vals);
+            }
+            // Lanes that must keep probing diverge from those that are
+            // done.
+            if pending.iter().any(Option::is_some)
+                && pending.iter().filter(|p| p.is_some()).count()
+                    != keys.iter().filter(|p| p.is_some()).count()
+            {
+                w.diverge(2);
+            }
+        }
+    }
+
+    /// Warp-parallel lookup: returns each active lane's value, or `None`
+    /// when the key is absent. Absent keys probe until the first empty
+    /// slot — the "increase in lookup times for columns even for elements
+    /// that aren't in the table" that motivated the bloom-filter
+    /// alternative.
+    pub fn lookup_warp(
+        &self,
+        w: &mut WarpCtx,
+        keys: &Lanes<Option<u32>>,
+    ) -> Lanes<Option<T>> {
+        let mut pending = *keys;
+        let mut out = [None; WARP_SIZE];
+        for probe in 0..=self.capacity {
+            if pending.iter().all(Option::is_none) {
+                break;
+            }
+            if probe == self.capacity {
+                break; // full table, key absent everywhere
+            }
+            let idx = lanes_from_fn(|l| pending[l].map(|k| self.slot(k, probe)));
+            let found = w.smem_gather(&self.keys, &idx);
+            w.issue(1);
+            for l in 0..WARP_SIZE {
+                if let Some(k) = pending[l] {
+                    if found[l] == k {
+                        let i = idx[l].expect("active lane has a slot");
+                        out[l] = Some(self.vals.read(i));
+                        pending[l] = None;
+                    } else if found[l] == EMPTY {
+                        pending[l] = None; // definitively absent
+                    }
+                }
+            }
+        }
+        // Charge one value-read access for the hits.
+        let hit_idx = lanes_from_fn(|l| {
+            if out[l].is_some() {
+                keys[l].map(|k| {
+                    // Recompute final slot for bank accounting only.
+                    let mut p = 0;
+                    loop {
+                        let s = self.slot(k, p);
+                        if self.keys.read(s) == k {
+                            break s;
+                        }
+                        p += 1;
+                    }
+                })
+            } else {
+                None
+            }
+        });
+        if hit_idx.iter().any(Option::is_some) {
+            let _ = w.smem_gather(&self.vals, &hit_idx);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{Device, LaunchConfig};
+
+    fn run_in_block(f: impl FnMut(&mut BlockCtx)) {
+        let dev = Device::volta();
+        dev.launch("test", LaunchConfig::new(1, 32, 64 * 1024), f);
+    }
+
+    #[test]
+    fn capacity_for_keeps_load_under_half() {
+        assert_eq!(SmemHashTable::<f32>::capacity_for(10), 32);
+        assert_eq!(SmemHashTable::<f32>::capacity_for(100), 224);
+        assert_eq!(SmemHashTable::<f32>::capacity_for(128), 256);
+        assert!(SmemHashTable::<f32>::capacity_for(1) >= WARP_SIZE);
+        // The paper's Volta limit: a 48 KiB budget at 8 bytes/slot gives
+        // 6144 slots → "max degree of 3K" at 50% load.
+        let slots = 48 * 1024 / SmemHashTable::<f32>::smem_bytes(1);
+        assert_eq!(slots / 2, 3072);
+    }
+
+    #[test]
+    fn smem_bytes_counts_keys_and_values() {
+        // The factor-of-two cost: 256 slots × (4 + 4) bytes for f32.
+        assert_eq!(SmemHashTable::<f32>::smem_bytes(256), 2048);
+        assert_eq!(SmemHashTable::<f64>::smem_bytes(256), 3072);
+    }
+
+    #[test]
+    fn insert_then_lookup_round_trips() {
+        run_in_block(|block| {
+            let table = SmemHashTable::<f32>::new(block, 128);
+            let t2 = table.clone();
+            block.run_warps(|w| {
+                let keys = lanes_from_fn(|l| Some((l * 37) as u32));
+                let vals = lanes_from_fn(|l| l as f32);
+                t2.insert_warp(w, &keys, &vals);
+                let got = t2.lookup_warp(w, &keys);
+                for l in 0..WARP_SIZE {
+                    assert_eq!(got[l], Some(l as f32));
+                }
+                // Absent keys return None.
+                let missing = lanes_from_fn(|l| Some((l * 37 + 1) as u32));
+                let got = t2.lookup_warp(w, &missing);
+                assert!(got.iter().all(Option::is_none));
+            });
+            assert_eq!(table.len(), 32);
+            assert!((table.load_factor() - 0.25).abs() < 1e-9);
+        });
+    }
+
+    #[test]
+    fn inactive_lanes_do_not_insert() {
+        run_in_block(|block| {
+            let table = SmemHashTable::<f32>::new(block, 64);
+            let t = table.clone();
+            block.run_warps(|w| {
+                let keys = lanes_from_fn(|l| if l < 5 { Some(l as u32) } else { None });
+                let vals = lanes_from_fn(|l| l as f32);
+                t.insert_warp(w, &keys, &vals);
+            });
+            assert_eq!(table.len(), 5);
+        });
+    }
+
+    #[test]
+    fn high_load_factor_costs_more_probes() {
+        // Fill a table to ~94% and compare lookup cost of absent keys
+        // against a half-loaded table: the paper's load-factor cliff.
+        let dev = Device::volta();
+        let mut probes_tight = 0u64;
+        let mut probes_loose = 0u64;
+        for (cap, slot) in [(64usize, 0), (256usize, 1)] {
+            let stats = dev.launch("load", LaunchConfig::new(1, 32, 32 * 1024), |block| {
+                let table = SmemHashTable::<f32>::new(block, cap);
+                let t = table.clone();
+                block.run_warps(|w| {
+                    // Insert 60 keys in two warp rounds of 30.
+                    for round in 0..2 {
+                        let keys =
+                            lanes_from_fn(|l| (l < 30).then(|| (round * 100 + l) as u32));
+                        let vals = lanes_from_fn(|_| 1.0f32);
+                        t.insert_warp(w, &keys, &vals);
+                    }
+                    // Lookup absent keys.
+                    let missing = lanes_from_fn(|l| Some((10_000 + l) as u32));
+                    let _ = t.lookup_warp(w, &missing);
+                });
+            });
+            if slot == 0 {
+                probes_tight = stats.counters.smem_accesses;
+            } else {
+                probes_loose = stats.counters.smem_accesses;
+            }
+        }
+        assert!(
+            probes_tight > probes_loose,
+            "94% load ({probes_tight} accesses) should cost more than 23% load ({probes_loose})"
+        );
+    }
+
+    #[test]
+    fn fuzz_against_std_hashmap() {
+        // Random distinct key sets and lookups, behaviour compared to a
+        // std::HashMap oracle across many seeds.
+        use crate::murmur::murmur3_32;
+        for seed in 0..40u32 {
+            let dev = Device::volta();
+            dev.launch("fuzz", LaunchConfig::new(1, 32, 48 * 1024), |block| {
+                let n_keys = 1 + (murmur3_32(seed, 1) % 60) as usize;
+                // Distinct keys, per the table's contract (CSR columns
+                // within a row are unique).
+                let mut keys: Vec<u32> = (0..n_keys as u32)
+                    .map(|i| murmur3_32(i, seed) % 500)
+                    .collect();
+                keys.sort_unstable();
+                keys.dedup();
+                let mut oracle = std::collections::HashMap::new();
+                let table =
+                    SmemHashTable::<f32>::new(block, SmemHashTable::<f32>::capacity_for(n_keys));
+                let t = table.clone();
+                block.run_warps(|w| {
+                    for chunk in keys.chunks(WARP_SIZE) {
+                        let lk = lanes_from_fn(|l| chunk.get(l).copied());
+                        let lv = lanes_from_fn(|l| {
+                            chunk.get(l).map(|&k| k as f32 * 0.5).unwrap_or(0.0)
+                        });
+                        t.insert_warp(w, &lk, &lv);
+                    }
+                    for &k in &keys {
+                        oracle.insert(k, k as f32 * 0.5);
+                    }
+                    // Probe both present and absent keys.
+                    for probe_base in [0u32, 250, 480] {
+                        let pk = lanes_from_fn(|l| Some(probe_base + l as u32));
+                        let got = t.lookup_warp(w, &pk);
+                        for l in 0..WARP_SIZE {
+                            let key = probe_base + l as u32;
+                            assert_eq!(
+                                got[l],
+                                oracle.get(&key).copied(),
+                                "seed {seed} key {key}"
+                            );
+                        }
+                    }
+                });
+                assert_eq!(table.len(), oracle.len(), "seed {seed}");
+            });
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "hash table is full")]
+    fn overfull_table_panics() {
+        run_in_block(|block| {
+            let table = SmemHashTable::<f32>::new(block, 32);
+            let t = table.clone();
+            block.run_warps(|w| {
+                for round in 0..2 {
+                    let keys = lanes_from_fn(|l| Some((round * 32 + l) as u32));
+                    let vals = lanes_from_fn(|_| 0.0f32);
+                    t.insert_warp(w, &keys, &vals);
+                }
+            });
+        });
+    }
+}

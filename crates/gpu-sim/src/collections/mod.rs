@@ -1,0 +1,7 @@
+//! Shared-memory data structures used by the kernel strategies.
+
+pub mod bloom;
+pub mod hash_table;
+
+pub use bloom::SmemBloomFilter;
+pub use hash_table::{SmemHashTable, MAX_LOAD};

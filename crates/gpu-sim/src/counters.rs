@@ -1,0 +1,183 @@
+//! Hardware event counters accumulated during simulated execution.
+
+/// Event counters for one launch (or one warp, before aggregation).
+///
+/// Every quantity §3 of the paper reasons about — divergent branches,
+/// uncoalesced transactions, bank conflicts, atomic contention — is a
+/// field here, so kernel comparisons can cite measured counts rather than
+/// intuition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Warp-level instructions issued (each SIMD op = 1, regardless of
+    /// how many lanes are active).
+    pub issues: u64,
+    /// Extra serialized issues caused by intra-warp branch divergence
+    /// (a warp whose lanes take `g` distinct paths pays `g − 1` extra).
+    pub divergence_extra: u64,
+    /// Coalesced global-memory transactions (128-byte segments touched).
+    pub global_transactions: u64,
+    /// Bytes actually moved to/from device memory (transactions × segment
+    /// size).
+    pub global_bytes: u64,
+    /// Bytes the lanes *requested* (for coalescing-efficiency ratios).
+    pub global_bytes_requested: u64,
+    /// Bytes of *distinct* memory segments touched during the launch —
+    /// the compulsory-miss floor the L2 model uses to discount re-read
+    /// traffic.
+    pub global_bytes_unique: u64,
+    /// Shared-memory access instructions.
+    pub smem_accesses: u64,
+    /// Extra serialized shared-memory cycles from bank conflicts (an
+    /// access replayed `c` times pays `c − 1` extra).
+    pub bank_conflict_extra: u64,
+    /// Atomic operations on global memory.
+    pub atomics: u64,
+    /// Extra serialization from atomics in the same warp hitting the same
+    /// address.
+    pub atomic_conflict_extra: u64,
+    /// `__syncthreads()`-style block barriers executed.
+    pub barriers: u64,
+}
+
+impl Counters {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates another counter set into this one.
+    pub fn merge(&mut self, other: &Counters) {
+        self.issues += other.issues;
+        self.divergence_extra += other.divergence_extra;
+        self.global_transactions += other.global_transactions;
+        self.global_bytes += other.global_bytes;
+        self.global_bytes_requested += other.global_bytes_requested;
+        self.global_bytes_unique += other.global_bytes_unique;
+        self.smem_accesses += other.smem_accesses;
+        self.bank_conflict_extra += other.bank_conflict_extra;
+        self.atomics += other.atomics;
+        self.atomic_conflict_extra += other.atomic_conflict_extra;
+        self.barriers += other.barriers;
+    }
+
+    /// Total issue slots consumed once divergence, bank-conflict and
+    /// atomic serialization are charged.
+    pub fn effective_issues(&self) -> u64 {
+        self.issues
+            + self.divergence_extra
+            + self.bank_conflict_extra
+            + self.atomic_conflict_extra
+    }
+
+    /// Fraction of requested bytes that the coalesced transactions
+    /// actually had to move; 1.0 = perfectly coalesced, larger = wasted
+    /// bandwidth. Returns 1.0 when nothing was requested.
+    pub fn coalescing_overhead(&self) -> f64 {
+        if self.global_bytes_requested == 0 {
+            1.0
+        } else {
+            self.global_bytes as f64 / self.global_bytes_requested as f64
+        }
+    }
+
+    /// Fraction of issues wasted on divergence serialization.
+    pub fn divergence_ratio(&self) -> f64 {
+        if self.issues == 0 {
+            0.0
+        } else {
+            self.divergence_extra as f64 / self.issues as f64
+        }
+    }
+}
+
+impl std::fmt::Display for Counters {
+    /// One-line human-readable summary, e.g. for example programs that
+    /// print the hardware behaviour behind a result.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} issues ({:.1}% divergence), {} txns ({:.2}x coalescing overhead), \
+             {} smem ops (+{} bank replays), {} atomics (+{} serialized)",
+            self.issues,
+            self.divergence_ratio() * 100.0,
+            self.global_transactions,
+            self.coalescing_overhead(),
+            self.smem_accesses,
+            self.bank_conflict_extra,
+            self.atomics,
+            self.atomic_conflict_extra,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fieldwise() {
+        let mut a = Counters {
+            issues: 10,
+            divergence_extra: 1,
+            global_transactions: 2,
+            global_bytes: 256,
+            global_bytes_requested: 128,
+            global_bytes_unique: 256,
+            smem_accesses: 5,
+            bank_conflict_extra: 3,
+            atomics: 4,
+            atomic_conflict_extra: 2,
+            barriers: 1,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.issues, 20);
+        assert_eq!(a.global_bytes, 512);
+        assert_eq!(a.barriers, 2);
+    }
+
+    #[test]
+    fn effective_issues_charges_all_serialization() {
+        let c = Counters {
+            issues: 100,
+            divergence_extra: 10,
+            bank_conflict_extra: 5,
+            atomic_conflict_extra: 2,
+            ..Counters::default()
+        };
+        assert_eq!(c.effective_issues(), 117);
+    }
+
+    #[test]
+    fn ratios_handle_zero_denominators() {
+        let c = Counters::default();
+        assert_eq!(c.coalescing_overhead(), 1.0);
+        assert_eq!(c.divergence_ratio(), 0.0);
+    }
+
+    #[test]
+    fn display_summarizes_key_ratios() {
+        let c = Counters {
+            issues: 100,
+            divergence_extra: 50,
+            global_transactions: 7,
+            global_bytes: 896,
+            global_bytes_requested: 448,
+            ..Counters::default()
+        };
+        let s = c.to_string();
+        assert!(s.contains("100 issues"), "{s}");
+        assert!(s.contains("50.0% divergence"), "{s}");
+        assert!(s.contains("2.00x coalescing"), "{s}");
+    }
+
+    #[test]
+    fn coalescing_overhead_reflects_waste() {
+        let c = Counters {
+            global_bytes: 1280,
+            global_bytes_requested: 128,
+            ..Counters::default()
+        };
+        assert_eq!(c.coalescing_overhead(), 10.0);
+    }
+}

@@ -1,0 +1,332 @@
+//! Device handle, launch configuration and block execution.
+
+use crate::cost::{estimate_with_blocks, CostBreakdown};
+use crate::counters::Counters;
+use crate::global::GlobalBuffer;
+use crate::shared::{SharedArray, SharedMem};
+use crate::spec::{DeviceSpec, Occupancy};
+use crate::warp::{L2Tracker, WarpCtx, WARP_SIZE};
+
+/// Geometry and resources of one kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Number of thread blocks in the grid.
+    pub blocks: usize,
+    /// Threads per block (multiple of the warp size; max 1024).
+    pub threads_per_block: usize,
+    /// Shared memory requested per block, in bytes.
+    pub smem_per_block: usize,
+}
+
+impl LaunchConfig {
+    /// Convenience constructor.
+    pub fn new(blocks: usize, threads_per_block: usize, smem_per_block: usize) -> Self {
+        Self {
+            blocks,
+            threads_per_block,
+            smem_per_block,
+        }
+    }
+
+    /// Warps per block.
+    pub fn warps_per_block(&self) -> usize {
+        self.threads_per_block.div_ceil(WARP_SIZE).max(1)
+    }
+}
+
+/// Aggregated result of one simulated kernel launch.
+#[derive(Debug, Clone)]
+pub struct LaunchStats {
+    /// Kernel name (for reporting).
+    pub name: String,
+    /// The launch geometry.
+    pub config: LaunchConfig,
+    /// Occupancy achieved under the device's limits.
+    pub occupancy: Occupancy,
+    /// Event counters summed over all blocks.
+    pub counters: Counters,
+    /// Roofline cost estimate.
+    pub cost: CostBreakdown,
+}
+
+impl LaunchStats {
+    /// Simulated execution time in seconds.
+    pub fn sim_seconds(&self) -> f64 {
+        self.cost.total_seconds
+    }
+}
+
+/// Execution context of one thread block.
+///
+/// Kernels receive a `BlockCtx` per block, allocate shared memory, then
+/// run their warps in lockstep phases via [`BlockCtx::run_warps`].
+/// Because the paper's kernels only communicate across warps through
+/// barriers and global atomics, sequential warp execution inside a block
+/// is behaviour-preserving.
+#[derive(Debug)]
+pub struct BlockCtx<'a> {
+    /// Index of this block in the grid.
+    pub block_id: usize,
+    /// Total blocks in the grid.
+    pub grid_blocks: usize,
+    warps_per_block: usize,
+    spec: &'a DeviceSpec,
+    shared: SharedMem,
+    counters: Counters,
+    l2: &'a mut L2Tracker,
+}
+
+impl<'a> BlockCtx<'a> {
+    /// Warps in this block.
+    pub fn warps(&self) -> usize {
+        self.warps_per_block
+    }
+
+    /// Threads in this block.
+    pub fn threads(&self) -> usize {
+        self.warps_per_block * WARP_SIZE
+    }
+
+    /// The device spec (for capacity queries inside kernels).
+    pub fn spec(&self) -> &DeviceSpec {
+        self.spec
+    }
+
+    /// Allocates a zero-initialized shared-memory array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block's shared-memory budget is exceeded (a kernel
+    /// bug: strategies must size their launches to fit, §3.3.2).
+    pub fn alloc_shared<T: Copy + Default>(&self, len: usize) -> SharedArray<T> {
+        self.shared.alloc(len)
+    }
+
+    /// Runs `f` once per warp of the block, in lockstep order.
+    pub fn run_warps(&mut self, mut f: impl FnMut(&mut WarpCtx)) {
+        for w in 0..self.warps_per_block {
+            let mut ctx = WarpCtx {
+                block_id: self.block_id,
+                warp_id: w,
+                warps_per_block: self.warps_per_block,
+                spec: self.spec,
+                counters: &mut self.counters,
+                l2: self.l2,
+            };
+            f(&mut ctx);
+        }
+    }
+
+    /// Block-wide barrier (`__syncthreads()`); charges one barrier event
+    /// and one issue per warp.
+    pub fn sync(&mut self) {
+        self.counters.barriers += 1;
+        self.counters.issues += self.warps_per_block as u64;
+    }
+
+    /// Direct counter access for block-level macro-ops (sorting networks
+    /// charge their cost analytically rather than replaying every
+    /// compare-exchange through a `WarpCtx`).
+    pub(crate) fn counters_mut(&mut self) -> &mut Counters {
+        &mut self.counters
+    }
+}
+
+/// A simulated GPU.
+///
+/// # Example
+///
+/// ```
+/// use gpu_sim::{Device, LaunchConfig, lanes_from_fn};
+///
+/// let dev = Device::volta();
+/// let input = dev.buffer_from_slice(&[1.0f32; 64]);
+/// let output = dev.buffer::<f32>(64);
+/// // Double every element with 1 block of 64 threads (2 warps).
+/// let stats = dev.launch("double", LaunchConfig::new(1, 64, 0), |block| {
+///     block.run_warps(|w| {
+///         let idx = lanes_from_fn(|l| Some(w.global_thread_id(l)));
+///         let vals = w.global_gather(&input, &idx);
+///         let doubled = lanes_from_fn(|l| vals[l] * 2.0);
+///         w.global_scatter(&output, &idx, &doubled);
+///     });
+/// });
+/// assert_eq!(output.host_get(10), 2.0);
+/// assert!(stats.sim_seconds() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Device {
+    spec: DeviceSpec,
+}
+
+impl Device {
+    /// Creates a device from a spec.
+    pub fn new(spec: DeviceSpec) -> Self {
+        Self { spec }
+    }
+
+    /// A simulated V100 (the paper's benchmark GPU).
+    pub fn volta() -> Self {
+        Self::new(DeviceSpec::volta_v100())
+    }
+
+    /// A simulated A100.
+    pub fn ampere() -> Self {
+        Self::new(DeviceSpec::ampere_a100())
+    }
+
+    /// The device spec.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Allocates a zeroed device buffer of `len` elements.
+    pub fn buffer<T: Copy + Default>(&self, len: usize) -> GlobalBuffer<T> {
+        GlobalBuffer::zeroed(len)
+    }
+
+    /// Copies host data into a new device buffer.
+    pub fn buffer_from_slice<T: Copy + Default>(&self, data: &[T]) -> GlobalBuffer<T> {
+        GlobalBuffer::from_slice(data)
+    }
+
+    /// Launches a kernel over `config.blocks` blocks, invoking `kernel`
+    /// once per block, and returns the aggregated stats with a simulated
+    /// time estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads_per_block` exceeds the device limit or is not a
+    /// positive multiple of the warp size, or if `smem_per_block` exceeds
+    /// the per-block shared-memory capacity — the simulated equivalents
+    /// of a CUDA launch-configuration error.
+    pub fn launch(
+        &self,
+        name: &str,
+        config: LaunchConfig,
+        mut kernel: impl FnMut(&mut BlockCtx),
+    ) -> LaunchStats {
+        assert!(
+            config.threads_per_block > 0
+                && config.threads_per_block <= self.spec.max_threads_per_block
+                && config.threads_per_block % WARP_SIZE == 0,
+            "invalid threads_per_block {}",
+            config.threads_per_block
+        );
+        assert!(
+            config.smem_per_block <= self.spec.shared_mem_per_block,
+            "smem_per_block {} exceeds device limit {}",
+            config.smem_per_block,
+            self.spec.shared_mem_per_block
+        );
+        let mut total = Counters::new();
+        let mut max_block_issues = 0u64;
+        let mut l2 = L2Tracker::new();
+        for b in 0..config.blocks {
+            let mut block = BlockCtx {
+                block_id: b,
+                grid_blocks: config.blocks,
+                warps_per_block: config.warps_per_block(),
+                spec: &self.spec,
+                shared: SharedMem::new(config.smem_per_block),
+                counters: Counters::new(),
+                l2: &mut l2,
+            };
+            kernel(&mut block);
+            max_block_issues = max_block_issues.max(block.counters.effective_issues());
+            total.merge(&block.counters);
+        }
+        let occupancy = self
+            .spec
+            .occupancy(config.threads_per_block, config.smem_per_block);
+        let cost =
+            estimate_with_blocks(&self.spec, config.blocks, &occupancy, &total, max_block_issues);
+        LaunchStats {
+            name: name.to_string(),
+            config,
+            occupancy,
+            counters: total,
+            cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::warp::lanes_from_fn;
+
+    #[test]
+    fn launch_runs_every_block_and_warp() {
+        let dev = Device::volta();
+        let out = dev.buffer::<f32>(4 * 2 * WARP_SIZE);
+        let stats = dev.launch("fill", LaunchConfig::new(4, 64, 0), |block| {
+            block.run_warps(|w| {
+                let idx = lanes_from_fn(|l| Some(w.global_thread_id(l)));
+                let vals = lanes_from_fn(|_| 1.0f32);
+                w.global_scatter(&out, &idx, &vals);
+            });
+        });
+        assert!(out.to_vec().iter().all(|&v| v == 1.0));
+        // 4 blocks × 2 warps × 1 scatter issue.
+        assert_eq!(stats.counters.issues, 8);
+        assert_eq!(stats.counters.global_transactions, 8);
+    }
+
+    #[test]
+    fn shared_memory_isolated_per_block() {
+        let dev = Device::volta();
+        let out = dev.buffer::<f32>(2);
+        dev.launch("smem", LaunchConfig::new(2, 32, 1024), |block| {
+            let smem = block.alloc_shared::<f32>(1);
+            let bid = block.block_id;
+            block.run_warps(|w| {
+                // Each block writes its id + existing value (should start 0).
+                let idx = lanes_from_fn(|l| if l == 0 { Some(0usize) } else { None });
+                let prev = w.smem_gather(&smem, &idx);
+                let vals = lanes_from_fn(|_| prev[0] + bid as f32 + 1.0);
+                w.smem_scatter(&smem, &idx, &vals);
+                let oidx = lanes_from_fn(|l| if l == 0 { Some(bid) } else { None });
+                let ovals = lanes_from_fn(|_| vals[0]);
+                w.global_scatter(&out, &oidx, &ovals);
+            });
+        });
+        // Block 0 wrote 1.0, block 1 wrote 2.0 (no smem leakage).
+        assert_eq!(out.to_vec(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid threads_per_block")]
+    fn rejects_non_warp_multiple_blocks() {
+        let dev = Device::volta();
+        dev.launch("bad", LaunchConfig::new(1, 33, 0), |_| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds device limit")]
+    fn rejects_oversized_smem() {
+        let dev = Device::volta();
+        dev.launch("bad", LaunchConfig::new(1, 32, 10 * 1024 * 1024), |_| {});
+    }
+
+    #[test]
+    fn barrier_charges_issues() {
+        let dev = Device::volta();
+        let stats = dev.launch("sync", LaunchConfig::new(3, 128, 0), |block| {
+            block.sync();
+        });
+        assert_eq!(stats.counters.barriers, 3);
+        assert_eq!(stats.counters.issues, 12);
+    }
+
+    #[test]
+    fn stats_report_occupancy_and_cost() {
+        let dev = Device::volta();
+        let stats = dev.launch("occ", LaunchConfig::new(160, 1024, 48 * 1024), |block| {
+            block.run_warps(|w| w.issue(100));
+        });
+        assert_eq!(stats.occupancy.concurrent_warps_per_sm, 64);
+        assert!(stats.sim_seconds() > 0.0);
+        assert_eq!(stats.counters.issues, 160 * 32 * 100);
+    }
+}

@@ -1,0 +1,127 @@
+//! Simulated device (global) memory buffers.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_BUFFER_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A buffer in simulated device memory.
+///
+/// All *kernel-side* access goes through [`crate::WarpCtx`] gather /
+/// scatter / atomic operations so that every touch is charged to the
+/// coalescing model; the `host_*` methods model `cudaMemcpy`-style
+/// host-device transfers and are free of kernel-side accounting.
+///
+/// Interior mutability (a `RefCell`) stands in for the device's freedom
+/// to write buffers from any thread; the simulator executes blocks
+/// sequentially, so no synchronization is needed.
+#[derive(Debug)]
+pub struct GlobalBuffer<T> {
+    id: u64,
+    data: RefCell<Vec<T>>,
+}
+
+impl<T: Copy + Default> GlobalBuffer<T> {
+    /// Allocates a zero-initialized buffer of `len` elements.
+    pub fn zeroed(len: usize) -> Self {
+        Self::from_vec(vec![T::default(); len])
+    }
+
+    /// Takes ownership of host data (the simulated H2D copy).
+    pub fn from_vec(data: Vec<T>) -> Self {
+        Self {
+            id: NEXT_BUFFER_ID.fetch_add(1, Ordering::Relaxed),
+            data: RefCell::new(data),
+        }
+    }
+
+    /// Process-unique allocation id (keys the launch-level L2 model).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Copies host data from a slice.
+    pub fn from_slice(data: &[T]) -> Self {
+        Self::from_vec(data.to_vec())
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.borrow().len()
+    }
+
+    /// True when the buffer has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Device-memory footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<T>()
+    }
+
+    /// Copies the buffer back to the host (the simulated D2H copy).
+    pub fn to_vec(&self) -> Vec<T> {
+        self.data.borrow().clone()
+    }
+
+    /// Host-side read of one element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn host_get(&self, idx: usize) -> T {
+        self.data.borrow()[idx]
+    }
+
+    /// Host-side write of one element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn host_set(&self, idx: usize, v: T) {
+        self.data.borrow_mut()[idx] = v;
+    }
+
+    pub(crate) fn read(&self, idx: usize) -> T {
+        self.data.borrow()[idx]
+    }
+
+    pub(crate) fn write(&self, idx: usize, v: T) {
+        self.data.borrow_mut()[idx] = v;
+    }
+
+    pub(crate) fn rmw(&self, idx: usize, f: impl FnOnce(T) -> T) {
+        let mut d = self.data.borrow_mut();
+        d[idx] = f(d[idx]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_and_host_access() {
+        let b = GlobalBuffer::<f32>::zeroed(4);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.bytes(), 16);
+        b.host_set(2, 7.0);
+        assert_eq!(b.host_get(2), 7.0);
+        assert_eq!(b.to_vec(), vec![0.0, 0.0, 7.0, 0.0]);
+    }
+
+    #[test]
+    fn from_slice_round_trips() {
+        let b = GlobalBuffer::from_slice(&[1u32, 2, 3]);
+        assert_eq!(b.to_vec(), vec![1, 2, 3]);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn rmw_applies_function() {
+        let b = GlobalBuffer::from_slice(&[10i64]);
+        b.rmw(0, |v| v + 5);
+        assert_eq!(b.host_get(0), 15);
+    }
+}

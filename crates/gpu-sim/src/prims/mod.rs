@@ -1,0 +1,7 @@
+//! Block- and warp-level primitives (sorting networks, etc.).
+
+pub mod search;
+pub mod sort;
+
+pub use search::warp_binary_search;
+pub use sort::bitonic_sort_by_key;

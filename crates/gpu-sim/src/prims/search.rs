@@ -1,0 +1,133 @@
+//! Warp-level binary search over sorted global memory.
+//!
+//! Used by the hybrid strategy wherever shared memory cannot answer a
+//! membership question definitively: confirming bloom-filter hits
+//! (§3.3.2) and resolving hash-table misses for partitioned high-degree
+//! rows (§3.3.3). Each active lane bisects the same sorted global range
+//! in lockstep; every probe round is one (generally uncoalesced) gather,
+//! which is exactly the cost the paper trades for scale.
+
+use crate::global::GlobalBuffer;
+use crate::warp::{lanes_from_fn, Lanes, WarpCtx, WARP_SIZE};
+
+/// Searches `sorted[start..end]` for each active lane's key.
+///
+/// Returns, per lane, the absolute index of the key within the buffer
+/// (`Some(i)` with `sorted[i] == key`) or `None` when absent or the lane
+/// was inactive.
+pub fn warp_binary_search(
+    w: &mut WarpCtx,
+    sorted: &GlobalBuffer<u32>,
+    start: usize,
+    end: usize,
+    keys: &Lanes<Option<u32>>,
+) -> Lanes<Option<usize>> {
+    let mut lo = [start; WARP_SIZE];
+    let mut hi = [end; WARP_SIZE];
+    let mut result: Lanes<Option<usize>> = [None; WARP_SIZE];
+    let mut live = lanes_from_fn(|l| keys[l].is_some() && start < end);
+
+    while live.iter().any(|&a| a) {
+        let mid_idx = lanes_from_fn(|l| live[l].then(|| (lo[l] + hi[l]) / 2));
+        let mid_val = w.global_gather(sorted, &mid_idx);
+        w.issue(2); // compare + pointer update
+        for l in 0..WARP_SIZE {
+            if !live[l] {
+                continue;
+            }
+            let key = keys[l].expect("live lane has a key");
+            let mid = (lo[l] + hi[l]) / 2;
+            match mid_val[l].cmp(&key) {
+                std::cmp::Ordering::Equal => {
+                    result[l] = Some(mid);
+                    live[l] = false;
+                }
+                std::cmp::Ordering::Less => {
+                    lo[l] = mid + 1;
+                    if lo[l] >= hi[l] {
+                        live[l] = false;
+                    }
+                }
+                std::cmp::Ordering::Greater => {
+                    hi[l] = mid;
+                    if lo[l] >= hi[l] {
+                        live[l] = false;
+                    }
+                }
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{Device, LaunchConfig};
+
+    #[test]
+    fn finds_present_keys_and_rejects_absent() {
+        let dev = Device::volta();
+        let data: Vec<u32> = (0..100).map(|i| i * 3).collect(); // 0,3,...,297
+        let buf = dev.buffer_from_slice(&data);
+        dev.launch("search", LaunchConfig::new(1, 32, 0), |block| {
+            block.run_warps(|w| {
+                let keys = lanes_from_fn(|l| Some((l * 9) as u32)); // multiples of 9 ⊂ multiples of 3
+                let found = warp_binary_search(w, &buf, 0, 100, &keys);
+                for l in 0..WARP_SIZE {
+                    let idx = found[l].expect("multiple of 3 present");
+                    assert_eq!(buf.host_get(idx), (l * 9) as u32);
+                }
+                let missing = lanes_from_fn(|l| Some((l * 3 + 1) as u32));
+                let found = warp_binary_search(w, &buf, 0, 100, &missing);
+                assert!(found.iter().all(Option::is_none));
+            });
+        });
+    }
+
+    #[test]
+    fn respects_subrange() {
+        let dev = Device::volta();
+        let buf = dev.buffer_from_slice(&[1u32, 5, 9, 12, 20, 33]);
+        dev.launch("search", LaunchConfig::new(1, 32, 0), |block| {
+            block.run_warps(|w| {
+                let mut keys = [None; WARP_SIZE];
+                keys[0] = Some(1); // outside [2, 5)
+                keys[1] = Some(9); // inside
+                let found = warp_binary_search(w, &buf, 2, 5, &keys);
+                assert_eq!(found[0], None);
+                assert_eq!(found[1], Some(2));
+            });
+        });
+    }
+
+    #[test]
+    fn empty_range_returns_none() {
+        let dev = Device::volta();
+        let buf = dev.buffer_from_slice(&[1u32, 2, 3]);
+        dev.launch("search", LaunchConfig::new(1, 32, 0), |block| {
+            block.run_warps(|w| {
+                let keys = lanes_from_fn(|_| Some(2u32));
+                let found = warp_binary_search(w, &buf, 1, 1, &keys);
+                assert!(found.iter().all(Option::is_none));
+            });
+        });
+    }
+
+    #[test]
+    fn cost_is_logarithmic_gathers() {
+        let dev = Device::volta();
+        let data: Vec<u32> = (0..1024).collect();
+        let buf = dev.buffer_from_slice(&data);
+        let stats = dev.launch("search", LaunchConfig::new(1, 32, 0), |block| {
+            block.run_warps(|w| {
+                let keys = lanes_from_fn(|l| Some(l as u32 * 31 + 7));
+                let _ = warp_binary_search(w, &buf, 0, 1024, &keys);
+            });
+        });
+        // ≤ ~log2(1024) + 1 = 11 probe rounds, each one gather issue +
+        // two ALU issues.
+        assert!(stats.counters.issues <= 11 * 3 + 5, "{}", stats.counters.issues);
+        assert!(stats.counters.global_transactions >= 10);
+    }
+}

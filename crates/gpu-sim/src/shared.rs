@@ -1,0 +1,173 @@
+//! Simulated per-block shared memory.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// The shared-memory pool of one thread block.
+///
+/// Allocation is bump-style (mirroring static `__shared__` declarations);
+/// exceeding the block's budget panics, the simulator's analog of a CUDA
+/// launch failure — kernels are expected to check capacity *before*
+/// launching, exactly the sizing discipline §3.3.2 discusses.
+#[derive(Debug)]
+pub struct SharedMem {
+    capacity: usize,
+    used: Cell<usize>,
+}
+
+impl SharedMem {
+    /// Creates a pool with `capacity` bytes.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            used: Cell::new(0),
+        }
+    }
+
+    /// Bytes allocated so far.
+    pub fn used(&self) -> usize {
+        self.used.get()
+    }
+
+    /// Total budget in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Allocates a zero-initialized array of `len` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the allocation would exceed the block's shared-memory
+    /// budget — the simulated equivalent of
+    /// `CUDA error: invalid configuration argument`.
+    pub fn alloc<T: Copy + Default>(&self, len: usize) -> SharedArray<T> {
+        let bytes = len * std::mem::size_of::<T>();
+        let base = self.used.get();
+        assert!(
+            base + bytes <= self.capacity,
+            "shared memory over budget: {} + {} > {} bytes",
+            base,
+            bytes,
+            self.capacity
+        );
+        self.used.set(base + bytes);
+        SharedArray {
+            data: Rc::new(RefCell::new(vec![T::default(); len])),
+            base_byte: base,
+            elem_bytes: std::mem::size_of::<T>(),
+        }
+    }
+}
+
+/// A typed array living in a block's shared memory.
+///
+/// Cloning is cheap and aliases the same storage, like two pointers into
+/// the same `__shared__` declaration.
+#[derive(Debug, Clone)]
+pub struct SharedArray<T> {
+    data: Rc<RefCell<Vec<T>>>,
+    base_byte: usize,
+    elem_bytes: usize,
+}
+
+impl<T: Copy> SharedArray<T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.borrow().len()
+    }
+
+    /// True when the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The shared-memory bank an element index maps to (4-byte banks).
+    pub fn bank_of(&self, idx: usize, banks: usize) -> usize {
+        ((self.base_byte + idx * self.elem_bytes) / 4) % banks
+    }
+
+    /// Fills the array with a value (host-style initialization used in
+    /// tests; kernels should use [`crate::WarpCtx::smem_scatter`]).
+    pub fn fill(&self, v: T) {
+        self.data.borrow_mut().fill(v);
+    }
+
+    /// Copies the contents out (for assertions).
+    pub fn snapshot(&self) -> Vec<T> {
+        self.data.borrow().clone()
+    }
+
+    /// Raw single-element read, **without** cost accounting.
+    ///
+    /// For serialized per-lane emulation (e.g. the insertion loop of a
+    /// selection kernel): the caller is responsible for charging the
+    /// equivalent hardware cost through [`crate::WarpCtx`] (`issue`,
+    /// `smem_gather`, …).
+    pub fn read(&self, idx: usize) -> T {
+        self.data.borrow()[idx]
+    }
+
+    /// Raw single-element write, **without** cost accounting (see
+    /// [`SharedArray::read`]).
+    pub fn write(&self, idx: usize, v: T) {
+        self.data.borrow_mut()[idx] = v;
+    }
+
+    pub(crate) fn with_mut<R>(&self, f: impl FnOnce(&mut Vec<T>) -> R) -> R {
+        f(&mut self.data.borrow_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_allocation_tracks_usage() {
+        let pool = SharedMem::new(1024);
+        let a = pool.alloc::<f32>(64);
+        assert_eq!(pool.used(), 256);
+        let b = pool.alloc::<u32>(32);
+        assert_eq!(pool.used(), 384);
+        assert_eq!(a.len(), 64);
+        assert_eq!(b.len(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared memory over budget")]
+    fn over_budget_allocation_panics() {
+        let pool = SharedMem::new(128);
+        let _ = pool.alloc::<f64>(17);
+    }
+
+    #[test]
+    fn arrays_alias_on_clone() {
+        let pool = SharedMem::new(64);
+        let a = pool.alloc::<u32>(4);
+        let b = a.clone();
+        a.write(1, 42);
+        assert_eq!(b.read(1), 42);
+    }
+
+    #[test]
+    fn bank_mapping_wraps_mod_banks() {
+        let pool = SharedMem::new(4096);
+        let a = pool.alloc::<f32>(128);
+        assert_eq!(a.bank_of(0, 32), 0);
+        assert_eq!(a.bank_of(31, 32), 31);
+        assert_eq!(a.bank_of(32, 32), 0);
+        // f64 elements straddle two banks; the model charges the first.
+        let pool2 = SharedMem::new(4096);
+        let d = pool2.alloc::<f64>(64);
+        assert_eq!(d.bank_of(1, 32), 2);
+    }
+
+    #[test]
+    fn base_offset_shifts_banks() {
+        let pool = SharedMem::new(4096);
+        let _pad = pool.alloc::<f32>(1);
+        let a = pool.alloc::<f32>(8);
+        assert_eq!(a.bank_of(0, 32), 1);
+    }
+}

@@ -1,0 +1,198 @@
+//! Device specifications for the simulated GPU architectures.
+
+/// Architecture generation, used where the paper distinguishes Volta and
+/// Ampere behaviour (shared-memory capacity, §3.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// Volta (V100) — the architecture the paper's benchmarks ran on.
+    Volta,
+    /// Ampere (A100) — the larger-shared-memory alternative the paper
+    /// sizes its limits against.
+    Ampere,
+}
+
+/// Static description of a simulated GPU.
+///
+/// The constants come from the NVIDIA architecture whitepapers the paper
+/// cites; they feed both the occupancy model (how many blocks fit an SM)
+/// and the roofline cost model (how counters convert to simulated time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name, e.g. "V100".
+    pub name: &'static str,
+    /// Architecture generation.
+    pub arch: Arch,
+    /// Number of streaming multiprocessors.
+    pub sm_count: usize,
+    /// Maximum resident warps per SM (64 on Volta and Ampere).
+    pub max_warps_per_sm: usize,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: usize,
+    /// Maximum threads per block.
+    pub max_threads_per_block: usize,
+    /// Shared memory available per SM in bytes, assuming the L1 carve-out
+    /// the paper uses ("trading off the size of the L1 cache to double
+    /// the amount of shared memory", §3.3).
+    pub shared_mem_per_sm: usize,
+    /// Maximum shared memory a single block may allocate.
+    pub shared_mem_per_block: usize,
+    /// Warp width (32 on every current NVIDIA architecture).
+    pub warp_size: usize,
+    /// Instruction issue slots per SM per cycle (warp schedulers).
+    pub issue_slots_per_sm: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Device-memory bandwidth in bytes/second.
+    pub mem_bandwidth: f64,
+    /// Chip-wide L2 cache capacity in bytes (6 MB on V100, 40 MB on
+    /// A100); governs how much of a launch's re-read traffic hits DRAM.
+    pub l2_bytes: usize,
+    /// Bytes moved per coalesced global-memory transaction (one cache
+    /// line / memory segment).
+    pub mem_transaction_bytes: usize,
+    /// Number of shared-memory banks (accesses by a warp to distinct
+    /// addresses in the same bank serialize, §3.1).
+    pub smem_banks: usize,
+}
+
+impl DeviceSpec {
+    /// Tesla V100 (Volta), the paper's benchmark GPU: 80 SMs, 96 KiB
+    /// shared memory per SM after the L1 carve-out, 900 GB/s HBM2.
+    pub fn volta_v100() -> Self {
+        Self {
+            name: "V100",
+            arch: Arch::Volta,
+            sm_count: 80,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 32,
+            max_threads_per_block: 1024,
+            shared_mem_per_sm: 96 * 1024,
+            shared_mem_per_block: 96 * 1024,
+            warp_size: 32,
+            issue_slots_per_sm: 4,
+            clock_ghz: 1.38,
+            mem_bandwidth: 900.0e9,
+            l2_bytes: 6 * 1024 * 1024,
+            mem_transaction_bytes: 128,
+            smem_banks: 32,
+        }
+    }
+
+    /// A100 (Ampere): 108 SMs, 163 KiB usable shared memory per SM,
+    /// 1555 GB/s HBM2e.
+    pub fn ampere_a100() -> Self {
+        Self {
+            name: "A100",
+            arch: Arch::Ampere,
+            sm_count: 108,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 32,
+            max_threads_per_block: 1024,
+            shared_mem_per_sm: 163 * 1024,
+            shared_mem_per_block: 163 * 1024,
+            warp_size: 32,
+            issue_slots_per_sm: 4,
+            clock_ghz: 1.41,
+            mem_bandwidth: 1555.0e9,
+            l2_bytes: 40 * 1024 * 1024,
+            mem_transaction_bytes: 128,
+            smem_banks: 32,
+        }
+    }
+
+    /// Maximum number of f32 elements a dense shared-memory row may hold
+    /// per block — §3.3.2's "max dimensionality of 23K with
+    /// single-precision" on Volta (40K on Ampere).
+    pub fn max_dense_smem_elems(&self) -> usize {
+        self.shared_mem_per_block / 4
+    }
+
+    /// Occupancy for a launch: how many blocks and warps are concurrently
+    /// resident per SM given the block geometry and shared-memory usage.
+    pub fn occupancy(&self, threads_per_block: usize, smem_per_block: usize) -> Occupancy {
+        let warps_per_block = threads_per_block.div_ceil(self.warp_size).max(1);
+        let by_warps = self.max_warps_per_sm / warps_per_block;
+        let by_smem = if smem_per_block == 0 {
+            self.max_blocks_per_sm
+        } else {
+            self.shared_mem_per_sm / smem_per_block
+        };
+        let blocks_per_sm = by_warps.min(by_smem).min(self.max_blocks_per_sm);
+        let concurrent_warps = blocks_per_sm * warps_per_block;
+        Occupancy {
+            blocks_per_sm,
+            warps_per_block,
+            concurrent_warps_per_sm: concurrent_warps.min(self.max_warps_per_sm),
+            fraction: concurrent_warps.min(self.max_warps_per_sm) as f64
+                / self.max_warps_per_sm as f64,
+        }
+    }
+}
+
+/// Result of the occupancy calculation for one launch configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Blocks concurrently resident on one SM.
+    pub blocks_per_sm: usize,
+    /// Warps per block.
+    pub warps_per_block: usize,
+    /// Warps concurrently resident on one SM.
+    pub concurrent_warps_per_sm: usize,
+    /// `concurrent_warps_per_sm / max_warps_per_sm`.
+    pub fraction: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volta_full_occupancy_with_32_warp_blocks_and_half_smem() {
+        // §3.3: "a block size of 32 warps allows two blocks, the full 64
+        // warps, to be scheduled concurrently on each SM" when each block
+        // uses ≤ 48 KiB.
+        let spec = DeviceSpec::volta_v100();
+        let occ = spec.occupancy(1024, 48 * 1024);
+        assert_eq!(occ.blocks_per_sm, 2);
+        assert_eq!(occ.concurrent_warps_per_sm, 64);
+        assert!((occ.fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversized_smem_halves_occupancy() {
+        // §3.3.2: "anything over 48KB of shared memory per block is going
+        // to decrease occupancy."
+        let spec = DeviceSpec::volta_v100();
+        let occ = spec.occupancy(1024, 96 * 1024);
+        assert_eq!(occ.blocks_per_sm, 1);
+        assert_eq!(occ.concurrent_warps_per_sm, 32);
+        assert!(occ.fraction < 1.0);
+    }
+
+    #[test]
+    fn dense_smem_dimensionality_limits_match_paper() {
+        // "The 96KiB limit per block on Volta allows a max dimensionality
+        // of [~24K] with single-precision and the 163KiB limit ... [~40K]".
+        assert_eq!(DeviceSpec::volta_v100().max_dense_smem_elems(), 24 * 1024);
+        let a100 = DeviceSpec::ampere_a100().max_dense_smem_elems();
+        assert!(a100 > 40_000 && a100 < 42_000);
+    }
+
+    #[test]
+    fn small_blocks_are_warp_limited() {
+        let spec = DeviceSpec::volta_v100();
+        let occ = spec.occupancy(32, 0);
+        // 1 warp per block, capped by max_blocks_per_sm = 32.
+        assert_eq!(occ.blocks_per_sm, 32);
+        assert_eq!(occ.concurrent_warps_per_sm, 32);
+    }
+
+    #[test]
+    fn ampere_has_more_sms_and_bandwidth() {
+        let v = DeviceSpec::volta_v100();
+        let a = DeviceSpec::ampere_a100();
+        assert!(a.sm_count > v.sm_count);
+        assert!(a.mem_bandwidth > v.mem_bandwidth);
+        assert_eq!(a.warp_size, 32);
+    }
+}

@@ -1,0 +1,491 @@
+//! Warp-synchronous execution contexts.
+//!
+//! Kernels in this simulator are written from the perspective of a single
+//! warp: every operation acts on all 32 lanes at once under an explicit
+//! activity mask, exactly the SIMD model §3.1 describes. Each operation
+//! charges the [`Counters`] with the events the real hardware would see —
+//! one issue slot per warp-instruction, one global transaction per
+//! 128-byte segment touched, one replay per shared-memory bank conflict,
+//! one serialization step per same-address atomic.
+
+use crate::counters::Counters;
+use crate::global::GlobalBuffer;
+use crate::shared::SharedArray;
+use crate::spec::DeviceSpec;
+use std::collections::HashSet;
+
+/// Launch-wide record of distinct `(buffer, segment)` touches, standing
+/// in for the chip-wide L2: the first touch of a segment is a compulsory
+/// DRAM transaction, later touches are re-reads the cost model may
+/// discount.
+pub type L2Tracker = HashSet<(u64, usize)>;
+
+/// Number of lanes in a warp on every simulated architecture.
+pub const WARP_SIZE: usize = 32;
+
+/// A per-lane value vector: one slot per lane of the warp.
+pub type Lanes<T> = [T; WARP_SIZE];
+
+/// Builds a `Lanes` array from a function of the lane index.
+pub fn lanes_from_fn<T: Copy + Default>(mut f: impl FnMut(usize) -> T) -> Lanes<T> {
+    let mut out = [T::default(); WARP_SIZE];
+    for (l, slot) in out.iter_mut().enumerate() {
+        *slot = f(l);
+    }
+    out
+}
+
+/// Execution context of one warp within one block.
+#[derive(Debug)]
+pub struct WarpCtx<'a> {
+    /// Index of the owning block within the grid.
+    pub block_id: usize,
+    /// Index of this warp within its block.
+    pub warp_id: usize,
+    /// Warps per block in this launch.
+    pub warps_per_block: usize,
+    pub(crate) spec: &'a DeviceSpec,
+    pub(crate) counters: &'a mut Counters,
+    pub(crate) l2: &'a mut L2Tracker,
+}
+
+impl<'a> WarpCtx<'a> {
+    /// Global warp index across the grid.
+    pub fn global_warp_id(&self) -> usize {
+        self.block_id * self.warps_per_block + self.warp_id
+    }
+
+    /// Global thread index of lane `l`.
+    pub fn global_thread_id(&self, l: usize) -> usize {
+        self.global_warp_id() * WARP_SIZE + l
+    }
+
+    /// Charges `n` warp-instruction issues (ALU / control work with no
+    /// memory traffic).
+    #[inline]
+    pub fn issue(&mut self, n: u64) {
+        self.counters.issues += n;
+    }
+
+    /// Records a divergent branch: a warp whose active lanes split into
+    /// `groups` distinct paths serializes and pays `groups − 1` extra
+    /// issue slots (§3.1 "thread divergence").
+    #[inline]
+    pub fn diverge(&mut self, groups: usize) {
+        self.counters.issues += 1;
+        self.counters.divergence_extra += groups.saturating_sub(1) as u64;
+    }
+
+    /// Evaluates a per-lane predicate as a branch and records the
+    /// divergence it causes (uniform warps pay one issue, mixed warps
+    /// two serialized paths).
+    pub fn branch(&mut self, active: &Lanes<bool>) -> usize {
+        let taken = active.iter().filter(|&&b| b).count();
+        let groups = if taken == 0 || taken == WARP_SIZE {
+            1
+        } else {
+            2
+        };
+        self.diverge(groups);
+        groups
+    }
+
+    /// Gathers one element per active lane from global memory.
+    ///
+    /// Lanes with `None` are inactive. Cost: one issue plus one
+    /// transaction per distinct `mem_transaction_bytes` segment touched —
+    /// fully coalesced unit-stride access by 32 lanes of `f32` costs one
+    /// 128-byte transaction, a random gather costs up to 32.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds for the buffer.
+    pub fn global_gather<T: Copy + Default>(
+        &mut self,
+        buf: &GlobalBuffer<T>,
+        idx: &Lanes<Option<usize>>,
+    ) -> Lanes<T> {
+        self.charge_global::<T>(buf.id(), idx);
+        let mut out = [T::default(); WARP_SIZE];
+        for (l, slot) in out.iter_mut().enumerate() {
+            if let Some(i) = idx[l] {
+                *slot = buf.read(i);
+            }
+        }
+        out
+    }
+
+    /// Scatters one element per active lane to global memory. Same cost
+    /// model as [`Self::global_gather`]. Last writer wins on duplicate
+    /// indices (as on hardware); use [`Self::global_atomic`] for combines.
+    pub fn global_scatter<T: Copy + Default>(
+        &mut self,
+        buf: &GlobalBuffer<T>,
+        idx: &Lanes<Option<usize>>,
+        vals: &Lanes<T>,
+    ) {
+        self.charge_global::<T>(buf.id(), idx);
+        for l in 0..WARP_SIZE {
+            if let Some(i) = idx[l] {
+                buf.write(i, vals[l]);
+            }
+        }
+    }
+
+    /// Atomically reduces each active lane's value into global memory
+    /// with `op`. Lanes of the same warp hitting the same address
+    /// serialize: `m` lanes on one address pay `m − 1` extra slots,
+    /// modeling atomic contention.
+    pub fn global_atomic<T: Copy + Default>(
+        &mut self,
+        buf: &GlobalBuffer<T>,
+        idx: &Lanes<Option<usize>>,
+        vals: &Lanes<T>,
+        op: impl Fn(T, T) -> T,
+    ) {
+        self.charge_global::<T>(buf.id(), idx);
+        let mut seen: Vec<(usize, u64)> = Vec::new();
+        for l in 0..WARP_SIZE {
+            if let Some(i) = idx[l] {
+                self.counters.atomics += 1;
+                match seen.iter_mut().find(|(a, _)| *a == i) {
+                    Some((_, m)) => *m += 1,
+                    None => seen.push((i, 1)),
+                }
+                buf.rmw(i, |cur| op(cur, vals[l]));
+            }
+        }
+        for (_, m) in seen {
+            self.counters.atomic_conflict_extra += m - 1;
+        }
+    }
+
+    /// Reads one element per active lane from shared memory, charging
+    /// bank-conflict replays: the access replays once per extra distinct
+    /// address mapping to the same bank (§3.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    pub fn smem_gather<T: Copy + Default>(
+        &mut self,
+        arr: &SharedArray<T>,
+        idx: &Lanes<Option<usize>>,
+    ) -> Lanes<T> {
+        self.charge_smem(arr, idx);
+        let mut out = [T::default(); WARP_SIZE];
+        for (l, slot) in out.iter_mut().enumerate() {
+            if let Some(i) = idx[l] {
+                *slot = arr.read(i);
+            }
+        }
+        out
+    }
+
+    /// Writes one element per active lane to shared memory (same
+    /// bank-conflict model as [`Self::smem_gather`]).
+    pub fn smem_scatter<T: Copy + Default>(
+        &mut self,
+        arr: &SharedArray<T>,
+        idx: &Lanes<Option<usize>>,
+        vals: &Lanes<T>,
+    ) {
+        self.charge_smem(arr, idx);
+        for l in 0..WARP_SIZE {
+            if let Some(i) = idx[l] {
+                arr.write(i, vals[l]);
+            }
+        }
+    }
+
+    /// Warp-wide reduction of the active lanes' values with `op`,
+    /// returning the single reduced value (identity `id` when no lane is
+    /// active). Costs `log2(32) = 5` shuffle issues, the register-level
+    /// collective §3.1 recommends.
+    pub fn warp_reduce<T: Copy>(
+        &mut self,
+        vals: &Lanes<T>,
+        active: &Lanes<bool>,
+        id: T,
+        op: impl Fn(T, T) -> T,
+    ) -> T {
+        self.issue(5);
+        let mut acc = id;
+        for l in 0..WARP_SIZE {
+            if active[l] {
+                acc = op(acc, vals[l]);
+            }
+        }
+        acc
+    }
+
+    /// Warp-level **segmented reduction by key** (§3.3: "we use a
+    /// segmented reduction by key within each warp"). Keys must be
+    /// non-decreasing across active lanes (the COO row array is sorted).
+    /// Returns one `(key, reduced value)` pair per distinct key — the
+    /// values the per-segment leader lanes would hold. Costs
+    /// `2·log2(32)` issues (scan + leader election).
+    pub fn warp_segmented_reduce<T: Copy>(
+        &mut self,
+        keys: &Lanes<u32>,
+        vals: &Lanes<T>,
+        active: &Lanes<bool>,
+        id: T,
+        op: impl Fn(T, T) -> T,
+    ) -> Vec<(u32, T)> {
+        self.issue(10);
+        let mut out: Vec<(u32, T)> = Vec::new();
+        for l in 0..WARP_SIZE {
+            if !active[l] {
+                continue;
+            }
+            match out.last_mut() {
+                Some((k, acc)) if *k == keys[l] => *acc = op(*acc, vals[l]),
+                _ => out.push((keys[l], op(id, vals[l]))),
+            }
+        }
+        out
+    }
+
+    /// Warp-wide **exclusive prefix sum** over the active lanes' values:
+    /// returns each lane's sum of preceding active values plus the warp
+    /// total — the primitive behind stream compaction (each lane learns
+    /// its output slot). Costs `log2(32) = 5` shuffle issues.
+    pub fn warp_exclusive_scan(
+        &mut self,
+        vals: &Lanes<u32>,
+        active: &Lanes<bool>,
+    ) -> (Lanes<u32>, u32) {
+        self.issue(5);
+        let mut out = [0u32; WARP_SIZE];
+        let mut acc = 0u32;
+        for l in 0..WARP_SIZE {
+            if active[l] {
+                out[l] = acc;
+                acc += vals[l];
+            }
+        }
+        (out, acc)
+    }
+
+    fn charge_global<T>(&mut self, buf_id: u64, idx: &Lanes<Option<usize>>) {
+        self.counters.issues += 1;
+        let seg = self.spec.mem_transaction_bytes;
+        let esz = std::mem::size_of::<T>();
+        let mut segments: Vec<usize> = idx
+            .iter()
+            .flatten()
+            .map(|&i| i * esz / seg)
+            .collect();
+        let requested = segments.len() as u64 * esz as u64;
+        segments.sort_unstable();
+        segments.dedup();
+        for &sg in &segments {
+            if self.l2.insert((buf_id, sg)) {
+                self.counters.global_bytes_unique += seg as u64;
+            }
+        }
+        self.counters.global_transactions += segments.len() as u64;
+        self.counters.global_bytes += (segments.len() * seg) as u64;
+        self.counters.global_bytes_requested += requested;
+    }
+
+    fn charge_smem<T>(&mut self, arr: &SharedArray<T>, idx: &Lanes<Option<usize>>)
+    where
+        T: Copy,
+    {
+        self.counters.issues += 1;
+        self.counters.smem_accesses += 1;
+        let banks = self.spec.smem_banks;
+        // Distinct addresses per bank; broadcast of the same address is
+        // conflict-free on real hardware.
+        let mut per_bank: Vec<Vec<usize>> = vec![Vec::new(); banks];
+        for i in idx.iter().flatten() {
+            let b = arr.bank_of(*i, banks);
+            if !per_bank[b].contains(i) {
+                per_bank[b].push(*i);
+            }
+        }
+        let replay = per_bank.iter().map(Vec::len).max().unwrap_or(0);
+        self.counters.bank_conflict_extra += replay.saturating_sub(1) as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shared::SharedMem;
+    use crate::spec::DeviceSpec;
+
+    fn ctx_counters() -> (DeviceSpec, Counters) {
+        (DeviceSpec::volta_v100(), Counters::new())
+    }
+
+    fn with_ctx<R>(f: impl FnOnce(&mut WarpCtx) -> R) -> (R, Counters) {
+        let (spec, mut counters) = ctx_counters();
+        let mut l2 = L2Tracker::new();
+        let r = {
+            let mut ctx = WarpCtx {
+                block_id: 0,
+                warp_id: 0,
+                warps_per_block: 1,
+                spec: &spec,
+                counters: &mut counters,
+                l2: &mut l2,
+            };
+            f(&mut ctx)
+        };
+        (r, counters)
+    }
+
+    #[test]
+    fn unit_stride_f32_gather_is_one_transaction() {
+        let buf = GlobalBuffer::from_vec((0..64).map(|i| i as f32).collect());
+        let idx = lanes_from_fn(Some);
+        let (vals, c) = with_ctx(|ctx| ctx.global_gather(&buf, &idx));
+        assert_eq!(vals[5], 5.0);
+        assert_eq!(c.global_transactions, 1);
+        assert_eq!(c.global_bytes, 128);
+        assert_eq!(c.global_bytes_requested, 128);
+        assert_eq!(c.coalescing_overhead(), 1.0);
+    }
+
+    #[test]
+    fn strided_gather_pays_many_transactions() {
+        let buf = GlobalBuffer::from_vec(vec![0.0f32; 32 * 64]);
+        // Stride of 64 elements = 256 bytes: every lane hits its own
+        // segment.
+        let idx = lanes_from_fn(|l| Some(l * 64));
+        let (_, c) = with_ctx(|ctx| ctx.global_gather(&buf, &idx));
+        assert_eq!(c.global_transactions, 32);
+        assert!(c.coalescing_overhead() > 30.0);
+    }
+
+    #[test]
+    fn inactive_lanes_are_free() {
+        let buf = GlobalBuffer::from_vec(vec![1.0f32; 128]);
+        let mut idx = [None; WARP_SIZE];
+        idx[0] = Some(0);
+        let (vals, c) = with_ctx(|ctx| ctx.global_gather(&buf, &idx));
+        assert_eq!(vals[0], 1.0);
+        assert_eq!(vals[1], 0.0);
+        assert_eq!(c.global_transactions, 1);
+    }
+
+    #[test]
+    fn scatter_writes_values() {
+        let buf = GlobalBuffer::<f32>::zeroed(WARP_SIZE);
+        let idx = lanes_from_fn(Some);
+        let vals = lanes_from_fn(|l| l as f32);
+        let ((), _) = with_ctx(|ctx| ctx.global_scatter(&buf, &idx, &vals));
+        assert_eq!(buf.host_get(7), 7.0);
+    }
+
+    #[test]
+    fn atomic_same_address_serializes() {
+        let buf = GlobalBuffer::<f32>::zeroed(1);
+        let idx = lanes_from_fn(|_| Some(0usize));
+        let vals = lanes_from_fn(|_| 1.0f32);
+        let ((), c) = with_ctx(|ctx| ctx.global_atomic(&buf, &idx, &vals, |a, b| a + b));
+        assert_eq!(buf.host_get(0), 32.0);
+        assert_eq!(c.atomics, 32);
+        assert_eq!(c.atomic_conflict_extra, 31);
+    }
+
+    #[test]
+    fn atomic_distinct_addresses_do_not_serialize() {
+        let buf = GlobalBuffer::<f32>::zeroed(WARP_SIZE);
+        let idx = lanes_from_fn(Some);
+        let vals = lanes_from_fn(|_| 2.0f32);
+        let ((), c) = with_ctx(|ctx| ctx.global_atomic(&buf, &idx, &vals, |a, b| a + b));
+        assert_eq!(c.atomic_conflict_extra, 0);
+        assert_eq!(buf.host_get(31), 2.0);
+    }
+
+    #[test]
+    fn smem_conflict_free_and_conflicting_patterns() {
+        let pool = SharedMem::new(16 * 1024);
+        let arr = pool.alloc::<f32>(1024);
+        // Unit stride: each lane its own bank → no conflicts.
+        let idx = lanes_from_fn(Some);
+        let (_, c) = with_ctx(|ctx| ctx.smem_gather(&arr, &idx));
+        assert_eq!(c.bank_conflict_extra, 0);
+        // Stride 32: every lane maps to bank 0 → 31 replays.
+        let idx2 = lanes_from_fn(|l| Some(l * 32));
+        let (_, c2) = with_ctx(|ctx| ctx.smem_gather(&arr, &idx2));
+        assert_eq!(c2.bank_conflict_extra, 31);
+    }
+
+    #[test]
+    fn smem_broadcast_is_conflict_free() {
+        let pool = SharedMem::new(4096);
+        let arr = pool.alloc::<f32>(64);
+        arr.fill(3.0);
+        let idx = lanes_from_fn(|_| Some(5usize));
+        let (vals, c) = with_ctx(|ctx| ctx.smem_gather(&arr, &idx));
+        assert_eq!(vals[31], 3.0);
+        assert_eq!(c.bank_conflict_extra, 0);
+    }
+
+    #[test]
+    fn branch_divergence_accounting() {
+        let mixed = lanes_from_fn(|l| l < 10);
+        let uniform = [true; WARP_SIZE];
+        let ((), c) = with_ctx(|ctx| {
+            ctx.branch(&mixed);
+            ctx.branch(&uniform);
+        });
+        assert_eq!(c.divergence_extra, 1);
+        assert_eq!(c.issues, 2);
+    }
+
+    #[test]
+    fn warp_reduce_sums_active_lanes() {
+        let vals = lanes_from_fn(|l| l as f64);
+        let active = lanes_from_fn(|l| l % 2 == 0);
+        let (sum, c) = with_ctx(|ctx| ctx.warp_reduce(&vals, &active, 0.0, |a, b| a + b));
+        assert_eq!(sum, (0..32).filter(|l| l % 2 == 0).sum::<usize>() as f64);
+        assert_eq!(c.issues, 5);
+    }
+
+    #[test]
+    fn exclusive_scan_computes_offsets_and_total() {
+        let vals = lanes_from_fn(|l| (l % 3 == 0) as u32 + 1); // 2,1,1,2,...
+        let active = lanes_from_fn(|l| l != 5);
+        let ((offsets, total), c) = with_ctx(|ctx| ctx.warp_exclusive_scan(&vals, &active));
+        let mut acc = 0;
+        for l in 0..WARP_SIZE {
+            if active[l] {
+                assert_eq!(offsets[l], acc, "lane {l}");
+                acc += vals[l];
+            } else {
+                assert_eq!(offsets[l], 0);
+            }
+        }
+        assert_eq!(total, acc);
+        assert_eq!(c.issues, 5);
+    }
+
+    #[test]
+    fn segmented_reduce_groups_sorted_keys() {
+        let keys = lanes_from_fn(|l| (l / 10) as u32);
+        let vals = lanes_from_fn(|_| 1.0f32);
+        let active = [true; WARP_SIZE];
+        let (segs, c) =
+            with_ctx(|ctx| ctx.warp_segmented_reduce(&keys, &vals, &active, 0.0, |a, b| a + b));
+        assert_eq!(segs, vec![(0, 10.0), (1, 10.0), (2, 10.0), (3, 2.0)]);
+        assert_eq!(c.issues, 10);
+    }
+
+    #[test]
+    fn segmented_reduce_respects_mask() {
+        let keys = lanes_from_fn(|_| 7u32);
+        let vals = lanes_from_fn(|l| l as f32);
+        let mut active = [false; WARP_SIZE];
+        active[3] = true;
+        active[9] = true;
+        let (segs, _) =
+            with_ctx(|ctx| ctx.warp_segmented_reduce(&keys, &vals, &active, 0.0, |a, b| a + b));
+        assert_eq!(segs, vec![(7, 12.0)]);
+    }
+}

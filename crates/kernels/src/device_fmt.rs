@@ -1,0 +1,142 @@
+//! Sparse matrices resident in simulated device memory.
+
+use gpu_sim::{Device, GlobalBuffer};
+use sparse::{CooMatrix, CsrMatrix, Real};
+
+/// A CSR matrix uploaded to device buffers (the simulated
+/// `cudaMemcpy(HostToDevice)` of the inputs).
+#[derive(Debug)]
+pub struct DeviceCsr<T> {
+    /// Row pointers (`rows + 1` entries, stored as `u32` like real GPU
+    /// sparse libraries).
+    pub indptr: GlobalBuffer<u32>,
+    /// Column indices.
+    pub indices: GlobalBuffer<u32>,
+    /// Nonzero values.
+    pub values: GlobalBuffer<T>,
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl<T: Real> DeviceCsr<T> {
+    /// Uploads a host CSR matrix.
+    pub fn upload(dev: &Device, m: &CsrMatrix<T>) -> Self {
+        let indptr: Vec<u32> = m.indptr().iter().map(|&p| p as u32).collect();
+        Self {
+            indptr: dev.buffer_from_slice(&indptr),
+            indices: dev.buffer_from_slice(m.indices()),
+            values: dev.buffer_from_slice(m.values()),
+            rows: m.rows(),
+            cols: m.cols(),
+        }
+    }
+
+    /// Stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Device bytes held by the three arrays.
+    pub fn bytes(&self) -> usize {
+        self.indptr.bytes() + self.indices.bytes() + self.values.bytes()
+    }
+
+    /// Host-side row extent lookup (planning, not kernel work).
+    pub fn row_extent(&self, row: usize) -> (usize, usize) {
+        (
+            self.indptr.host_get(row) as usize,
+            self.indptr.host_get(row + 1) as usize,
+        )
+    }
+}
+
+/// A COO matrix uploaded to device buffers. The explicit `row_indices`
+/// array is the §3.3 load-balancing workspace: its size is `nnz(B)`,
+/// which is exactly the "workspace buffer of size nnz(B) per batch" the
+/// paper reports for its dot-product semiring (§4.3).
+#[derive(Debug)]
+pub struct DeviceCoo<T> {
+    /// Row index of every nonzero.
+    pub row_indices: GlobalBuffer<u32>,
+    /// Column index of every nonzero.
+    pub col_indices: GlobalBuffer<u32>,
+    /// Nonzero values.
+    pub values: GlobalBuffer<T>,
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl<T: Real> DeviceCoo<T> {
+    /// Uploads the COO expansion of a host CSR matrix.
+    pub fn upload(dev: &Device, m: &CsrMatrix<T>) -> Self {
+        let coo = CooMatrix::from(m);
+        Self {
+            row_indices: dev.buffer_from_slice(coo.row_indices()),
+            col_indices: dev.buffer_from_slice(coo.col_indices()),
+            values: dev.buffer_from_slice(coo.values()),
+            rows: m.rows(),
+            cols: m.cols(),
+        }
+    }
+
+    /// Stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Device bytes held by the three arrays.
+    pub fn bytes(&self) -> usize {
+        self.row_indices.bytes() + self.col_indices.bytes() + self.values.bytes()
+    }
+
+    /// Bytes of workspace beyond the CSR representation (the row-index
+    /// expansion).
+    pub fn workspace_bytes(&self) -> usize {
+        self.row_indices.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix<f32> {
+        CsrMatrix::from_triplets(2, 4, &[(0, 1, 2.0), (0, 3, 1.0), (1, 0, 5.0)])
+            .expect("valid")
+    }
+
+    #[test]
+    fn csr_upload_preserves_arrays() {
+        let dev = Device::volta();
+        let d = DeviceCsr::upload(&dev, &sample());
+        assert_eq!(d.indptr.to_vec(), vec![0, 2, 3]);
+        assert_eq!(d.indices.to_vec(), vec![1, 3, 0]);
+        assert_eq!(d.values.to_vec(), vec![2.0, 1.0, 5.0]);
+        assert_eq!(d.nnz(), 3);
+        assert_eq!(d.row_extent(0), (0, 2));
+        assert_eq!(d.row_extent(1), (2, 3));
+    }
+
+    #[test]
+    fn coo_upload_expands_rows() {
+        let dev = Device::volta();
+        let d = DeviceCoo::upload(&dev, &sample());
+        assert_eq!(d.row_indices.to_vec(), vec![0, 0, 1]);
+        assert_eq!(d.workspace_bytes(), 12);
+    }
+
+    #[test]
+    fn byte_accounting_matches_layout() {
+        let dev = Device::volta();
+        let m = sample();
+        let csr = DeviceCsr::upload(&dev, &m);
+        // 3 indptr u32 + 3 idx u32 + 3 f32 values.
+        assert_eq!(csr.bytes(), 12 + 12 + 12);
+        let coo = DeviceCoo::upload(&dev, &m);
+        assert_eq!(coo.bytes(), 36);
+    }
+}

@@ -1,0 +1,77 @@
+//! Kernel-layer errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error launching a distance kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// The operands do not share a dimensionality.
+    ShapeMismatch {
+        /// Columns of the query matrix.
+        a_cols: usize,
+        /// Columns of the index matrix.
+        b_cols: usize,
+    },
+    /// The chosen strategy cannot satisfy its shared-memory requirement
+    /// on the target device (e.g. expand-sort-contract with rows whose
+    /// combined degree exceeds the block budget, §3.2.1).
+    SharedMemoryExceeded {
+        /// Strategy that was being planned.
+        strategy: &'static str,
+        /// Bytes the launch would need per block.
+        required: usize,
+        /// Bytes the device allows per block.
+        available: usize,
+    },
+    /// The requested shared-memory mode cannot represent the input (e.g.
+    /// dense mode with a dimensionality beyond the §3.3.2 limit).
+    UnsupportedSmemMode(String),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::ShapeMismatch { a_cols, b_cols } => write!(
+                f,
+                "operands must share dimensionality, got {a_cols} and {b_cols} columns"
+            ),
+            KernelError::SharedMemoryExceeded {
+                strategy,
+                required,
+                available,
+            } => write!(
+                f,
+                "{strategy} needs {required} bytes of shared memory per block but the device allows {available}"
+            ),
+            KernelError::UnsupportedSmemMode(msg) => {
+                write!(f, "unsupported shared-memory mode: {msg}")
+            }
+        }
+    }
+}
+
+impl Error for KernelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = KernelError::SharedMemoryExceeded {
+            strategy: "expand-sort-contract",
+            required: 200_000,
+            available: 98_304,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("expand-sort-contract"));
+        assert!(msg.contains("200000"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<KernelError>();
+    }
+}

@@ -1,0 +1,218 @@
+//! Expansion / finalization kernel (§3.4): "the kernel to apply the
+//! expansion function can be executed embarrassingly parallel using an
+//! element-wise primitive ... to map each entry in the dot product matrix
+//! to an individual GPU thread to coalesce the reads and writes."
+
+use gpu_sim::{lanes_from_fn, Device, GlobalBuffer, LaunchConfig, LaunchStats, WARP_SIZE};
+use semiring::{Distance, DistanceParams, ExpansionInputs, Family};
+use sparse::Real;
+
+/// Threads per block for the element-wise kernels.
+const BLOCK_THREADS: usize = 256;
+
+/// Applies the expansion function of an expanded-family distance to every
+/// cell of the `rows × cols` inner-term matrix `dots`, in place.
+///
+/// `a_norms` / `b_norms` hold one buffer per [`Distance::norms`] entry
+/// (up to two), indexed by row for `A` and by column for `B`.
+///
+/// # Panics
+///
+/// Panics if called with a NAMM-family distance (use
+/// [`finalize_kernel`]), or if buffer sizes disagree with the shape.
+pub fn expansion_kernel<T: Real>(
+    dev: &Device,
+    dots: &GlobalBuffer<T>,
+    rows: usize,
+    cols: usize,
+    k: usize,
+    a_norms: &[&GlobalBuffer<T>],
+    b_norms: &[&GlobalBuffer<T>],
+    distance: Distance,
+) -> LaunchStats {
+    assert!(
+        distance.family() == Family::Expanded || !distance.norms().is_empty(),
+        "expansion kernel applies to expanded-family or norm-fed distances"
+    );
+    assert_eq!(dots.len(), rows * cols, "inner-term matrix shape mismatch");
+    let n_norms = distance.norms().len();
+    assert_eq!(a_norms.len(), n_norms, "a_norms arity mismatch");
+    assert_eq!(b_norms.len(), n_norms, "b_norms arity mismatch");
+
+    let total = rows * cols;
+    let blocks = total.div_ceil(BLOCK_THREADS).max(1);
+    dev.launch(
+        "expansion",
+        LaunchConfig::new(blocks, BLOCK_THREADS, 0),
+        |block| {
+            block.run_warps(|w| {
+                let idx = lanes_from_fn(|l| {
+                    let i = w.global_thread_id(l);
+                    (i < total).then_some(i)
+                });
+                if idx.iter().all(Option::is_none) {
+                    return;
+                }
+                let dot = w.global_gather(dots, &idx);
+                let mut an = [[T::ZERO; WARP_SIZE]; 2];
+                let mut bn = [[T::ZERO; WARP_SIZE]; 2];
+                for s in 0..n_norms {
+                    let aidx = lanes_from_fn(|l| idx[l].map(|i| i / cols));
+                    let bidx = lanes_from_fn(|l| idx[l].map(|i| i % cols));
+                    an[s] = w.global_gather(a_norms[s], &aidx);
+                    bn[s] = w.global_gather(b_norms[s], &bidx);
+                }
+                w.issue(4); // the expansion arithmetic
+                let out = lanes_from_fn(|l| {
+                    if idx[l].is_none() {
+                        return T::ZERO;
+                    }
+                    distance.expand(ExpansionInputs {
+                        dot: dot[l],
+                        a_norms: [an[0][l], an[1][l]],
+                        b_norms: [bn[0][l], bn[1][l]],
+                        k,
+                    })
+                });
+                w.global_scatter(dots, &idx, &out);
+            });
+        },
+    )
+}
+
+/// Applies the NAMM finalization (`/k`, `√(·/2)`, `(·)^{1/p}`, …) to
+/// every cell of the accumulated union matrix, in place.
+///
+/// # Panics
+///
+/// Panics if called with an expanded-family distance.
+pub fn finalize_kernel<T: Real>(
+    dev: &Device,
+    accs: &GlobalBuffer<T>,
+    rows: usize,
+    cols: usize,
+    k: usize,
+    distance: Distance,
+    params: &DistanceParams,
+) -> LaunchStats {
+    assert!(
+        distance.family() == Family::Namm && distance.norms().is_empty(),
+        "finalize kernel only applies to norm-free NAMM-family distances"
+    );
+    assert_eq!(accs.len(), rows * cols, "accumulator matrix shape mismatch");
+    let total = rows * cols;
+    let blocks = total.div_ceil(BLOCK_THREADS).max(1);
+    let params = *params;
+    dev.launch(
+        "finalize",
+        LaunchConfig::new(blocks, BLOCK_THREADS, 0),
+        |block| {
+            block.run_warps(|w| {
+                let idx = lanes_from_fn(|l| {
+                    let i = w.global_thread_id(l);
+                    (i < total).then_some(i)
+                });
+                if idx.iter().all(Option::is_none) {
+                    return;
+                }
+                let acc = w.global_gather(accs, &idx);
+                w.issue(2);
+                let out = lanes_from_fn(|l| distance.finalize(acc[l], k, &params));
+                w.global_scatter(accs, &idx, &out);
+            });
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_expansion_on_device() {
+        let dev = Device::volta();
+        // 1x2 output: dots [0, 12.0]; ‖a0‖²=9; ‖b0‖²=16, ‖b1‖²=25.
+        let dots = dev.buffer_from_slice(&[0.0f64, 12.0]);
+        let an = dev.buffer_from_slice(&[9.0f64]);
+        let bn = dev.buffer_from_slice(&[16.0f64, 25.0]);
+        let stats = expansion_kernel(
+            &dev,
+            &dots,
+            1,
+            2,
+            4,
+            &[&an],
+            &[&bn],
+            Distance::Euclidean,
+        );
+        let out = dots.to_vec();
+        assert!((out[0] - 5.0).abs() < 1e-9);
+        assert!((out[1] - (9.0f64 - 24.0 + 25.0).sqrt()).abs() < 1e-9);
+        // Element-wise pass: reads and writes coalesce.
+        assert!(stats.counters.coalescing_overhead() < 16.1);
+    }
+
+    #[test]
+    fn hamming_finalize_on_device() {
+        let dev = Device::volta();
+        let accs = dev.buffer_from_slice(&[2.0f32, 0.0, 4.0, 1.0]);
+        finalize_kernel(
+            &dev,
+            &accs,
+            2,
+            2,
+            8,
+            Distance::Hamming,
+            &DistanceParams::default(),
+        );
+        assert_eq!(accs.to_vec(), vec![0.25, 0.0, 0.5, 0.125]);
+    }
+
+    #[test]
+    fn minkowski_finalize_takes_pth_root() {
+        let dev = Device::volta();
+        let accs = dev.buffer_from_slice(&[8.0f64]);
+        finalize_kernel(
+            &dev,
+            &accs,
+            1,
+            1,
+            3,
+            Distance::Minkowski,
+            &DistanceParams { minkowski_p: 3.0 },
+        );
+        assert!((accs.host_get(0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "expanded-family")]
+    fn expansion_rejects_namm() {
+        let dev = Device::volta();
+        let dots = dev.buffer::<f32>(1);
+        expansion_kernel(&dev, &dots, 1, 1, 1, &[], &[], Distance::Manhattan);
+    }
+
+    #[test]
+    #[should_panic(expected = "NAMM-family")]
+    fn finalize_rejects_expanded() {
+        let dev = Device::volta();
+        let accs = dev.buffer::<f32>(1);
+        finalize_kernel(
+            &dev,
+            &accs,
+            1,
+            1,
+            1,
+            Distance::Cosine,
+            &DistanceParams::default(),
+        );
+    }
+
+    #[test]
+    fn norm_free_expansion_needs_no_buffers() {
+        let dev = Device::volta();
+        let dots = dev.buffer_from_slice(&[3.0f32]);
+        expansion_kernel(&dev, &dots, 1, 1, 4, &[], &[], Distance::RusselRao);
+        assert_eq!(dots.host_get(0), 0.25);
+    }
+}

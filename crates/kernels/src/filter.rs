@@ -1,0 +1,162 @@
+//! Device-side radius filtering (stream compaction).
+//!
+//! The ε-neighborhood counterpart of the top-k selection kernel: for
+//! every row of a distance tile, compact the `(index, distance)` pairs
+//! within `radius` into a dense output list. Each warp evaluates the
+//! predicate over 32 columns, learns its output slots with a warp
+//! exclusive scan, and scatters the survivors — the classic compaction
+//! idiom, with its costs (scan issues, scattered writes) visible in the
+//! counters.
+
+use gpu_sim::{lanes_from_fn, Device, GlobalBuffer, LaunchConfig, LaunchStats, WARP_SIZE};
+use sparse::Real;
+
+/// Threads per block: one warp, matching the selection kernel.
+const BLOCK_THREADS: usize = 32;
+
+/// Output of [`radius_filter_kernel`]: per-row compacted neighbor lists.
+#[derive(Debug)]
+pub struct RadiusFilterOutput<T> {
+    /// Per-row neighbor counts (`rows` entries).
+    pub counts: GlobalBuffer<u32>,
+    /// Column indices of survivors, row-major with stride `cols`
+    /// (positions beyond `counts[r]` are `u32::MAX`).
+    pub indices: GlobalBuffer<u32>,
+    /// Matching distances (positions beyond `counts[r]` are `+∞`).
+    pub values: GlobalBuffer<T>,
+    /// Launch statistics.
+    pub stats: LaunchStats,
+}
+
+/// Compacts, for every row of the `rows × cols` tile `dists`, the
+/// entries with distance ≤ `radius` (NaNs excluded), preserving column
+/// order within each row.
+pub fn radius_filter_kernel<T: Real>(
+    dev: &Device,
+    dists: &GlobalBuffer<T>,
+    rows: usize,
+    cols: usize,
+    radius: T,
+) -> RadiusFilterOutput<T> {
+    assert_eq!(dists.len(), rows * cols, "distance tile shape mismatch");
+    let counts = dev.buffer::<u32>(rows);
+    let indices = GlobalBuffer::from_vec(vec![u32::MAX; rows * cols]);
+    let values = GlobalBuffer::from_vec(vec![T::INFINITY; rows * cols]);
+
+    let stats = dev.launch(
+        "radius_filter",
+        LaunchConfig::new(rows.max(1), BLOCK_THREADS, 0),
+        |block| {
+            let row = block.block_id;
+            if row >= rows {
+                return;
+            }
+            block.run_warps(|w| {
+                let mut written = 0u32;
+                let mut base = 0usize;
+                while base < cols {
+                    let idx = lanes_from_fn(|l| {
+                        let c = base + l;
+                        (c < cols).then(|| row * cols + c)
+                    });
+                    let vals = w.global_gather(dists, &idx);
+                    w.issue(1); // the predicate
+                    let keep = lanes_from_fn(|l| {
+                        idx[l].is_some() && !vals[l].is_nan() && !(vals[l] > radius)
+                    });
+                    let flags = lanes_from_fn(|l| keep[l] as u32);
+                    let (offsets, total) = w.warp_exclusive_scan(&flags, &keep);
+                    if total > 0 {
+                        let oidx = lanes_from_fn(|l| {
+                            keep[l]
+                                .then(|| row * cols + (written + offsets[l]) as usize)
+                        });
+                        let ocols = lanes_from_fn(|l| (base + l) as u32);
+                        w.global_scatter(&indices, &oidx, &ocols);
+                        w.global_scatter(&values, &oidx, &vals);
+                    }
+                    written += total;
+                    base += WARP_SIZE;
+                }
+                let cidx = lanes_from_fn(|l| (l == 0).then_some(row));
+                w.global_scatter(&counts, &cidx, &lanes_from_fn(|_| written));
+            });
+        },
+    );
+    RadiusFilterOutput {
+        counts,
+        indices,
+        values,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compacts_survivors_in_column_order() {
+        let dev = Device::volta();
+        let rows = 3;
+        let cols = 70;
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|i| ((i * 31) % 100) as f32 / 10.0)
+            .collect();
+        let buf = dev.buffer_from_slice(&data);
+        let radius = 3.0f32;
+        let out = radius_filter_kernel(&dev, &buf, rows, cols, radius);
+        let counts = out.counts.to_vec();
+        let idx = out.indices.to_vec();
+        let val = out.values.to_vec();
+        for r in 0..rows {
+            let want: Vec<(u32, f32)> = (0..cols)
+                .filter(|&c| data[r * cols + c] <= radius)
+                .map(|c| (c as u32, data[r * cols + c]))
+                .collect();
+            assert_eq!(counts[r] as usize, want.len(), "row {r}");
+            for (s, &(wc, wv)) in want.iter().enumerate() {
+                assert_eq!(idx[r * cols + s], wc, "row {r} slot {s}");
+                assert_eq!(val[r * cols + s], wv, "row {r} slot {s}");
+            }
+            // Tail is sentinel-filled.
+            if want.len() < cols {
+                assert_eq!(idx[r * cols + want.len()], u32::MAX);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_result_and_full_result_edges() {
+        let dev = Device::volta();
+        let buf = dev.buffer_from_slice(&[5.0f64, 6.0, 7.0]);
+        let none = radius_filter_kernel(&dev, &buf, 1, 3, 1.0);
+        assert_eq!(none.counts.to_vec(), vec![0]);
+        let all = radius_filter_kernel(&dev, &buf, 1, 3, 100.0);
+        assert_eq!(all.counts.to_vec(), vec![3]);
+        assert_eq!(all.indices.to_vec(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn nan_distances_are_excluded() {
+        let dev = Device::volta();
+        let buf = dev.buffer_from_slice(&[0.5f32, f32::NAN, 0.2]);
+        let out = radius_filter_kernel(&dev, &buf, 1, 3, 1.0);
+        assert_eq!(out.counts.to_vec(), vec![2]);
+        assert_eq!(&out.indices.to_vec()[..2], &[0, 2]);
+    }
+
+    #[test]
+    fn selective_filter_writes_less_than_permissive_one() {
+        let dev = Device::volta();
+        let n = 512;
+        let data: Vec<f32> = (0..n).map(|i| (i % 100) as f32).collect();
+        let buf = dev.buffer_from_slice(&data);
+        let tight = radius_filter_kernel(&dev, &buf, 1, n, 1.0);
+        let loose = radius_filter_kernel(&dev, &buf, 1, n, 99.0);
+        assert!(
+            tight.stats.counters.global_transactions
+                < loose.stats.counters.global_transactions
+        );
+    }
+}

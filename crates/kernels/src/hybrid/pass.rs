@@ -1,0 +1,449 @@
+//! The load-balanced hybrid CSR+COO SPMV pass (§3.3, Algorithm 3).
+//!
+//! Each block stages one row (or partition of a row, §3.3.3) of the
+//! *shared-memory side* matrix, then every warp strides over the
+//! *streamed side*'s COO nonzeros — coalesced loads of `rowidx`,
+//! `colidx`, and `values` — applying `⊗`, segment-reducing by the
+//! streamed row within the warp, and atomically `⊕`-combining segment
+//! results into the output ("bounding the number of potential writes to
+//! global memory by the number of active warps over each row of B").
+//!
+//! Pass 1 (`PassKind::Products`) computes `a ∩ b` plus `ā ∩ b`; for NAMM
+//! distances a second launch with commuted operands and
+//! `PassKind::Difference` adds the remaining `a ∩ b̄` — Equation 3's
+//! union decomposition (§3.3.1).
+
+use crate::device_fmt::{DeviceCoo, DeviceCsr};
+use crate::hybrid::plan::PartitionPlan;
+use crate::hybrid::smem_vec::{Lookup, SmemVecKind, SmemVector};
+use gpu_sim::{
+    lanes_from_fn, warp_binary_search, Device, GlobalBuffer, LaunchConfig, LaunchStats,
+    WARP_SIZE,
+};
+use semiring::Semiring;
+use sparse::Real;
+
+/// Threads per block: 32 warps, the geometry §3.3 reports reaching full
+/// Volta occupancy with two resident blocks per SM.
+pub const BLOCK_THREADS: usize = 1024;
+
+/// Which union component the pass contributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PassKind {
+    /// `⊗(smem[col], stream_val)` for every streamed nonzero — covers the
+    /// column intersection and the streamed side's symmetric difference.
+    Products,
+    /// `⊗(stream_val, 0)` for streamed nonzeros whose column is *absent*
+    /// from the shared-memory row — the remaining symmetric difference,
+    /// with intersection hits skipped ("skipping the application of id⊗
+    /// in B for the second pass").
+    Difference,
+}
+
+/// Inputs of one hybrid pass launch.
+#[derive(Debug)]
+pub struct PassInputs<'x, T> {
+    /// Matrix whose rows go to shared memory (`A` in pass 1, `B` in
+    /// pass 2).
+    pub smem_side: &'x DeviceCsr<T>,
+    /// Matrix streamed in COO order (`B` in pass 1, `A` in pass 2).
+    pub stream_side: &'x DeviceCoo<T>,
+    /// Block assignment (one entry per block; see
+    /// [`PartitionPlan::build`]).
+    pub plan: &'x PartitionPlan,
+    /// Shared-memory representation for the staged rows.
+    pub kind: SmemVecKind,
+    /// Hash capacity in slots (ignored by dense/bloom).
+    pub hash_capacity: usize,
+    /// Shared-memory bytes to reserve per block (must cover the
+    /// representation).
+    pub smem_per_block: usize,
+    /// The distance's semiring.
+    pub sr: Semiring<T>,
+    /// Output buffer of `out_rows × out_cols` inner terms.
+    pub out: &'x GlobalBuffer<T>,
+    /// Output columns (the `B`-row count of the overall product).
+    pub out_cols: usize,
+    /// When true, output index is `stream_row * out_cols + smem_row`
+    /// (pass 2's commuted orientation); otherwise
+    /// `smem_row * out_cols + stream_row`.
+    pub commuted: bool,
+}
+
+/// Launches one hybrid pass and returns its stats.
+pub fn hybrid_pass<T: Real>(dev: &Device, inp: &PassInputs<'_, T>) -> LaunchStats {
+    let sr = inp.sr;
+    let annihilating = sr.is_annihilating();
+    let id = sr.reduce_identity();
+    let nnz_stream = inp.stream_side.nnz();
+    let entries = &inp.plan.entries;
+    let name = match inp.kind {
+        SmemVecKind::Dense => "hybrid_pass_dense",
+        SmemVecKind::Hash => "hybrid_pass_hash",
+        SmemVecKind::Bloom => "hybrid_pass_bloom",
+    };
+
+    dev.launch(
+        name,
+        LaunchConfig::new(entries.len().max(1), BLOCK_THREADS, inp.smem_per_block),
+        |block| {
+            let Some(entry) = entries.get(block.block_id) else {
+                return;
+            };
+            let (row_start, row_end) = inp.smem_side.row_extent(entry.row);
+            let part_start = row_start + entry.start;
+            let part_end = part_start + entry.len;
+            let k = inp.smem_side.cols;
+            let vec = SmemVector::<T>::build(
+                block,
+                inp.kind,
+                k,
+                inp.hash_capacity,
+                entry.len.max(1),
+            );
+
+            // Stage the partition: warps cooperatively load (coalesced)
+            // and insert.
+            let vec_ref = vec.clone();
+            block.run_warps(|w| {
+                let wpb = BLOCK_THREADS / WARP_SIZE;
+                let mut base = part_start + w.warp_id * WARP_SIZE;
+                while base < part_end {
+                    let idx = lanes_from_fn(|l| {
+                        let i = base + l;
+                        (i < part_end).then_some(i)
+                    });
+                    let cols = w.global_gather(&inp.smem_side.indices, &idx);
+                    let vals = w.global_gather(&inp.smem_side.values, &idx);
+                    let ocols = lanes_from_fn(|l| idx[l].map(|_| cols[l]));
+                    vec_ref.insert_warp(w, &ocols, &vals);
+                    base += wpb * WARP_SIZE;
+                }
+            });
+            block.sync();
+
+            // Stream the COO side.
+            let vec_ref = vec.clone();
+            block.run_warps(|w| {
+                let wpb = BLOCK_THREADS / WARP_SIZE;
+                let mut base = w.warp_id * WARP_SIZE;
+                while base < nnz_stream {
+                    let idx = lanes_from_fn(|l| {
+                        let i = base + l;
+                        (i < nnz_stream).then_some(i)
+                    });
+                    let srow = w.global_gather(&inp.stream_side.row_indices, &idx);
+                    let scol = w.global_gather(&inp.stream_side.col_indices, &idx);
+                    let sval = w.global_gather(&inp.stream_side.values, &idx);
+
+                    let cols = lanes_from_fn(|l| idx[l].map(|_| scol[l]));
+                    let mut looked = vec_ref.lookup_warp(w, &cols);
+                    // Bloom positives confirm against the partition's
+                    // global column list.
+                    if matches!(inp.kind, SmemVecKind::Bloom) {
+                        looked = vec_ref.confirm_warp(
+                            w,
+                            &looked,
+                            &cols,
+                            &inp.smem_side.indices,
+                            &inp.smem_side.values,
+                            part_start,
+                            part_end,
+                        );
+                    }
+
+                    // Partitioned rows: a miss is ambiguous. Only the
+                    // first partition resolves it, via a binary search
+                    // over the *full* row — §3.3.3's "extra work in
+                    // exchange for scale". Annihilating semirings skip
+                    // the search entirely (a true miss contributes 0).
+                    let needs_resolve = entry.partitioned
+                        && entry.is_first
+                        && (!annihilating || inp.commuted);
+                    let unresolved = lanes_from_fn(|l| {
+                        if needs_resolve && matches!(looked[l], Lookup::Miss) {
+                            cols[l]
+                        } else {
+                            None
+                        }
+                    });
+                    let in_full_row = if unresolved.iter().any(Option::is_some) {
+                        let found = warp_binary_search(
+                            w,
+                            &inp.smem_side.indices,
+                            row_start,
+                            row_end,
+                            &unresolved,
+                        );
+                        lanes_from_fn(|l| found[l].is_some())
+                    } else {
+                        [false; WARP_SIZE]
+                    };
+
+                    // The per-lane ⊗ application (one issue) plus the
+                    // branch that PassKind/partitioning forces.
+                    w.issue(1);
+                    let terms = lanes_from_fn(|l| {
+                        if idx[l].is_none() {
+                            return id;
+                        }
+                        match (inp.commuted, looked[l]) {
+                            // Pass 1: products with the streamed value.
+                            (false, Lookup::Hit(va)) => sr.product(va, sval[l]),
+                            (false, Lookup::Miss) => {
+                                // Annihilating semirings: the missing side
+                                // is the annihilator, not a literal 0 —
+                                // the term vanishes (this is what lets
+                                // relaxed semirings like min-plus run
+                                // intersection-only).
+                                if annihilating {
+                                    id
+                                } else if !entry.partitioned
+                                    || (entry.is_first && !in_full_row[l])
+                                {
+                                    sr.product(T::ZERO, sval[l])
+                                } else {
+                                    id // another partition owns it
+                                }
+                            }
+                            // Pass 2: only definitive misses contribute.
+                            (true, Lookup::Hit(_)) => id,
+                            (true, Lookup::Miss) => {
+                                if !entry.partitioned {
+                                    sr.product(sval[l], T::ZERO)
+                                } else if entry.is_first && !in_full_row[l] {
+                                    sr.product(sval[l], T::ZERO)
+                                } else {
+                                    id
+                                }
+                            }
+                            (_, Lookup::Maybe) => id, // confirmed above
+                        }
+                    });
+                    let active = lanes_from_fn(|l| idx[l].is_some() && terms[l] != id);
+                    if active.iter().any(|&a| a) {
+                        let keys = lanes_from_fn(|l| srow[l]);
+                        let segs =
+                            w.warp_segmented_reduce(&keys, &terms, &active, id, |x, y| {
+                                sr.reduce(x, y)
+                            });
+                        let out_idx = lanes_from_fn(|l| {
+                            segs.get(l).map(|&(key, _)| {
+                                if inp.commuted {
+                                    key as usize * inp.out_cols + entry.row
+                                } else {
+                                    entry.row * inp.out_cols + key as usize
+                                }
+                            })
+                        });
+                        let out_vals =
+                            lanes_from_fn(|l| segs.get(l).map(|&(_, v)| v).unwrap_or(id));
+                        w.global_atomic(inp.out, &out_idx, &out_vals, |x, y| sr.reduce(x, y));
+                    } else {
+                        w.branch(&active);
+                    }
+                    base += wpb * WARP_SIZE;
+                }
+            });
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semiring::{apply_semiring_pass, Distance, DistanceParams};
+    use sparse::CsrMatrix;
+
+    fn sample() -> (CsrMatrix<f64>, CsrMatrix<f64>) {
+        let a = CsrMatrix::from_dense(
+            2,
+            6,
+            &[
+                1.0, 0.0, 2.0, 0.0, 0.5, 0.0, //
+                0.0, 3.0, 0.0, 0.0, 0.0, 1.0,
+            ],
+        );
+        let b = CsrMatrix::from_dense(
+            3,
+            6,
+            &[
+                0.0, 1.0, 2.0, 0.0, 0.0, 1.0, //
+                1.0, 0.0, 2.0, 0.0, 0.5, 0.0, //
+                4.0, 4.0, 0.0, 4.0, 0.0, 0.0,
+            ],
+        );
+        (a, b)
+    }
+
+    fn run_pass1(
+        a: &CsrMatrix<f64>,
+        b: &CsrMatrix<f64>,
+        d: Distance,
+        kind: SmemVecKind,
+        max_entries: usize,
+    ) -> Vec<f64> {
+        let dev = Device::volta();
+        let sr = d.semiring::<f64>(&DistanceParams::default());
+        let da = DeviceCsr::upload(&dev, a);
+        let db = DeviceCoo::upload(&dev, b);
+        let plan = PartitionPlan::build(a.indptr(), max_entries, false);
+        let out = dev.buffer::<f64>(a.rows() * b.rows());
+        let capacity = 256;
+        let inp = PassInputs {
+            smem_side: &da,
+            stream_side: &db,
+            plan: &plan,
+            kind,
+            hash_capacity: capacity,
+            smem_per_block: 48 * 1024,
+            sr,
+            out: &out,
+            out_cols: b.rows(),
+            commuted: false,
+        };
+        hybrid_pass(&dev, &inp);
+        out.to_vec()
+    }
+
+    fn expect_pass1(a: &CsrMatrix<f64>, b: &CsrMatrix<f64>, d: Distance) -> Vec<f64> {
+        let sr = d.semiring::<f64>(&DistanceParams::default());
+        let mut out = vec![0.0; a.rows() * b.rows()];
+        for i in 0..a.rows() {
+            for j in 0..b.rows() {
+                let av: Vec<_> = a.row(i).collect();
+                let bv: Vec<_> = b.row(j).collect();
+                out[i * b.rows() + j] = apply_semiring_pass(&av, &bv, &sr);
+            }
+        }
+        out
+    }
+
+    fn assert_close(got: &[f64], want: &[f64], what: &str) {
+        for (i, (g, e)) in got.iter().zip(want).enumerate() {
+            assert!((g - e).abs() < 1e-9, "{what} cell {i}: got {g}, want {e}");
+        }
+    }
+
+    #[test]
+    fn pass1_matches_reference_dense_mode() {
+        let (a, b) = sample();
+        for d in [Distance::DotProduct, Distance::Manhattan, Distance::Chebyshev] {
+            let got = run_pass1(&a, &b, d, SmemVecKind::Dense, 1024);
+            assert_close(&got, &expect_pass1(&a, &b, d), d.name());
+        }
+    }
+
+    #[test]
+    fn pass1_matches_reference_hash_mode() {
+        let (a, b) = sample();
+        for d in [Distance::DotProduct, Distance::Manhattan] {
+            let got = run_pass1(&a, &b, d, SmemVecKind::Hash, 1024);
+            assert_close(&got, &expect_pass1(&a, &b, d), d.name());
+        }
+    }
+
+    #[test]
+    fn pass1_matches_reference_bloom_mode() {
+        let (a, b) = sample();
+        for d in [Distance::DotProduct, Distance::Manhattan] {
+            let got = run_pass1(&a, &b, d, SmemVecKind::Bloom, 1024);
+            assert_close(&got, &expect_pass1(&a, &b, d), d.name());
+        }
+    }
+
+    #[test]
+    fn pass1_with_partitioned_rows_matches_reference() {
+        let (a, b) = sample();
+        // max_entries = 1 forces every row into per-nonzero partitions.
+        for d in [Distance::Manhattan, Distance::DotProduct] {
+            let got = run_pass1(&a, &b, d, SmemVecKind::Hash, 1);
+            assert_close(&got, &expect_pass1(&a, &b, d), d.name());
+        }
+    }
+
+    #[test]
+    fn two_passes_compose_the_union() {
+        let (a, b) = sample();
+        let d = Distance::Manhattan;
+        let dev = Device::volta();
+        let params = DistanceParams::default();
+        let sr = d.semiring::<f64>(&params);
+        let da_csr = DeviceCsr::upload(&dev, &a);
+        let db_coo = DeviceCoo::upload(&dev, &b);
+        let db_csr = DeviceCsr::upload(&dev, &b);
+        let da_coo = DeviceCoo::upload(&dev, &a);
+        let out = dev.buffer::<f64>(a.rows() * b.rows());
+        let plan_a = PartitionPlan::build(a.indptr(), 512, false);
+        hybrid_pass(
+            &dev,
+            &PassInputs {
+                smem_side: &da_csr,
+                stream_side: &db_coo,
+                plan: &plan_a,
+                kind: SmemVecKind::Hash,
+                hash_capacity: 256,
+                smem_per_block: 48 * 1024,
+                sr,
+                out: &out,
+                out_cols: b.rows(),
+                commuted: false,
+            },
+        );
+        let plan_b = PartitionPlan::build(b.indptr(), 512, false);
+        hybrid_pass(
+            &dev,
+            &PassInputs {
+                smem_side: &db_csr,
+                stream_side: &da_coo,
+                plan: &plan_b,
+                kind: SmemVecKind::Hash,
+                hash_capacity: 256,
+                smem_per_block: 48 * 1024,
+                sr,
+                out: &out,
+                out_cols: b.rows(),
+                commuted: true,
+            },
+        );
+        let got = out.to_vec();
+        for i in 0..a.rows() {
+            for j in 0..b.rows() {
+                let av: Vec<_> = a.row(i).collect();
+                let bv: Vec<_> = b.row(j).collect();
+                let want = semiring::apply_semiring_union(&av, &bv, &sr);
+                let g = got[i * b.rows() + j];
+                assert!((g - want).abs() < 1e-9, "cell ({i},{j}): got {g}, want {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_loads_are_coalesced() {
+        let (a, b) = sample();
+        let dev = Device::volta();
+        let sr = Distance::DotProduct.semiring::<f64>(&DistanceParams::default());
+        let da = DeviceCsr::upload(&dev, &a);
+        let db = DeviceCoo::upload(&dev, &b);
+        let plan = PartitionPlan::build(a.indptr(), 512, false);
+        let out = dev.buffer::<f64>(a.rows() * b.rows());
+        let stats = hybrid_pass(
+            &dev,
+            &PassInputs {
+                smem_side: &da,
+                stream_side: &db,
+                plan: &plan,
+                kind: SmemVecKind::Dense,
+                hash_capacity: 0,
+                smem_per_block: 48 * 1024,
+                sr,
+                out: &out,
+                out_cols: b.rows(),
+                commuted: false,
+            },
+        );
+        // COO arrays are read unit-stride: low overhead vs. the naive
+        // kernel's data-dependent gathers.
+        assert!(stats.counters.coalescing_overhead() < 6.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Host-side partition planning for high-degree rows (§3.3.3).
+//!
+//! "Rows with degree greater than 50% hash table capacity are partitioned
+//! uniformly by their degrees into multiple blocks with subsets of the
+//! degrees that can fit into 50% hash table capacity." One grid block is
+//! scheduled per partition; single-partition rows are the fast path.
+
+/// One thread block's assignment: a contiguous slice of one row's
+/// nonzeros.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionEntry {
+    /// The row whose slice this block loads into shared memory.
+    pub row: usize,
+    /// Offset of the slice within the row (in nonzeros).
+    pub start: usize,
+    /// Length of the slice.
+    pub len: usize,
+    /// True for the row's first partition, which additionally owns the
+    /// columns absent from the *entire* row (NAMM terms) at the price of
+    /// a global binary search per miss.
+    pub is_first: bool,
+    /// True when the row was split at all (misses are then ambiguous).
+    pub partitioned: bool,
+}
+
+/// The full grid plan: one entry per block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionPlan {
+    /// Block assignments, grouped by row in order.
+    pub entries: Vec<PartitionEntry>,
+    /// Number of rows that needed more than one partition.
+    pub partitioned_rows: usize,
+}
+
+impl PartitionPlan {
+    /// Plans one block per `max_entries`-sized slice of each row.
+    ///
+    /// Empty rows still get a block when `include_empty` is set (NAMM
+    /// passes must visit them so the streamed side's terms are emitted);
+    /// annihilating passes skip them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_entries` is zero.
+    pub fn build(indptr: &[usize], max_entries: usize, include_empty: bool) -> Self {
+        assert!(max_entries > 0, "max_entries must be positive");
+        let mut entries = Vec::new();
+        let mut partitioned_rows = 0;
+        for row in 0..indptr.len().saturating_sub(1) {
+            let degree = indptr[row + 1] - indptr[row];
+            if degree == 0 {
+                if include_empty {
+                    entries.push(PartitionEntry {
+                        row,
+                        start: 0,
+                        len: 0,
+                        is_first: true,
+                        partitioned: false,
+                    });
+                }
+                continue;
+            }
+            let parts = degree.div_ceil(max_entries);
+            if parts > 1 {
+                partitioned_rows += 1;
+            }
+            for p in 0..parts {
+                let start = p * max_entries;
+                let len = max_entries.min(degree - start);
+                entries.push(PartitionEntry {
+                    row,
+                    start,
+                    len,
+                    is_first: p == 0,
+                    partitioned: parts > 1,
+                });
+            }
+        }
+        Self {
+            entries,
+            partitioned_rows,
+        }
+    }
+
+    /// Number of blocks the plan schedules.
+    pub fn blocks(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_rows_get_one_block_each() {
+        let indptr = vec![0, 3, 5, 9];
+        let plan = PartitionPlan::build(&indptr, 100, false);
+        assert_eq!(plan.blocks(), 3);
+        assert_eq!(plan.partitioned_rows, 0);
+        assert!(plan.entries.iter().all(|e| e.is_first && !e.partitioned));
+        assert_eq!(plan.entries[2], PartitionEntry {
+            row: 2,
+            start: 0,
+            len: 4,
+            is_first: true,
+            partitioned: false,
+        });
+    }
+
+    #[test]
+    fn high_degree_rows_split_uniformly() {
+        // Row 0 has 10 nonzeros, capacity 4 → 3 partitions of 4/4/2.
+        let indptr = vec![0, 10];
+        let plan = PartitionPlan::build(&indptr, 4, false);
+        assert_eq!(plan.blocks(), 3);
+        assert_eq!(plan.partitioned_rows, 1);
+        assert_eq!(
+            plan.entries
+                .iter()
+                .map(|e| (e.start, e.len, e.is_first))
+                .collect::<Vec<_>>(),
+            vec![(0, 4, true), (4, 4, false), (8, 2, false)]
+        );
+        assert!(plan.entries.iter().all(|e| e.partitioned));
+    }
+
+    #[test]
+    fn empty_rows_respect_include_flag() {
+        let indptr = vec![0, 0, 2, 2];
+        let skip = PartitionPlan::build(&indptr, 8, false);
+        assert_eq!(skip.blocks(), 1);
+        let keep = PartitionPlan::build(&indptr, 8, true);
+        assert_eq!(keep.blocks(), 3);
+        assert_eq!(keep.entries[0].len, 0);
+    }
+
+    #[test]
+    fn exact_multiple_degree_has_no_tail() {
+        let indptr = vec![0, 8];
+        let plan = PartitionPlan::build(&indptr, 4, false);
+        assert_eq!(plan.blocks(), 2);
+        assert_eq!(plan.entries[1].len, 4);
+    }
+}

@@ -1,0 +1,263 @@
+//! Shared-memory sparse-vector representations for the hybrid kernel
+//! (§3.3 and §3.3.2).
+//!
+//! The hybrid strategy keeps the current row of `A` in shared memory in
+//! one of three forms:
+//!
+//! * **Dense** — the row scattered into a `k`-element array; fastest
+//!   lookup (direct index) but couples shared memory to dimensionality
+//!   (the 12K/20K full-occupancy limits of §3.3.2).
+//! * **Hash** — Murmur + linear-probing table of the row's nonzeros;
+//!   couples shared memory to *degree* instead, at the price of probe
+//!   chains (max degree 3K/5K at 48/82 KiB budgets).
+//! * **Bloom** — membership filter only; definitive misses are free,
+//!   positive hits fall back to a binary search in global memory.
+
+use gpu_sim::{
+    lanes_from_fn, warp_binary_search, BlockCtx, GlobalBuffer, Lanes, SmemBloomFilter,
+    SmemHashTable, WarpCtx, WARP_SIZE,
+};
+use sparse::Real;
+
+/// Which shared-memory representation a block uses for its row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SmemVecKind {
+    /// Dense `k`-element array.
+    Dense,
+    /// Hash table of (column, value) pairs.
+    Hash,
+    /// Bloom filter over columns (values fetched from global memory).
+    Bloom,
+}
+
+/// Outcome of a per-lane column lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Lookup<T> {
+    /// Column definitively absent from the stored slice.
+    #[default]
+    Miss,
+    /// Column present with this stored value.
+    Hit(T),
+    /// Bloom-positive: may be present; must be confirmed against global
+    /// memory.
+    Maybe,
+}
+
+/// A row (or row slice) of a CSR matrix staged into block shared memory.
+#[derive(Debug, Clone)]
+pub enum SmemVector<T> {
+    /// Dense form: `values[col]`, zero meaning absent.
+    Dense {
+        /// The dense value array of length `k`.
+        values: gpu_sim::SharedArray<T>,
+    },
+    /// Hash-table form.
+    Hash {
+        /// The per-block table.
+        table: SmemHashTable<T>,
+    },
+    /// Bloom-filter form (membership only).
+    Bloom {
+        /// The per-block filter.
+        filter: SmemBloomFilter,
+    },
+}
+
+impl<T: Real> SmemVector<T> {
+    /// Shared-memory bytes the representation needs.
+    ///
+    /// `k` is the dimensionality (dense), `capacity` the hash slot count,
+    /// `entries` the expected nonzeros (bloom).
+    pub fn smem_bytes(kind: SmemVecKind, k: usize, capacity: usize, entries: usize) -> usize {
+        match kind {
+            SmemVecKind::Dense => k * std::mem::size_of::<T>(),
+            SmemVecKind::Hash => SmemHashTable::<T>::smem_bytes(capacity),
+            SmemVecKind::Bloom => {
+                SmemBloomFilter::smem_bytes(SmemBloomFilter::bits_for(entries))
+            }
+        }
+    }
+
+    /// Allocates the representation in the block's shared memory.
+    pub fn build(block: &BlockCtx, kind: SmemVecKind, k: usize, capacity: usize, entries: usize) -> Self {
+        match kind {
+            SmemVecKind::Dense => SmemVector::Dense {
+                values: block.alloc_shared::<T>(k),
+            },
+            SmemVecKind::Hash => SmemVector::Hash {
+                table: SmemHashTable::new(block, capacity.max(WARP_SIZE)),
+            },
+            SmemVecKind::Bloom => SmemVector::Bloom {
+                filter: SmemBloomFilter::new(block, SmemBloomFilter::bits_for(entries)),
+            },
+        }
+    }
+
+    /// Inserts a warp's worth of `(column, value)` pairs (one lane each).
+    pub fn insert_warp(
+        &self,
+        w: &mut WarpCtx,
+        cols: &Lanes<Option<u32>>,
+        vals: &Lanes<T>,
+    ) {
+        match self {
+            SmemVector::Dense { values } => {
+                let idx = lanes_from_fn(|l| cols[l].map(|c| c as usize));
+                w.smem_scatter(values, &idx, vals);
+            }
+            SmemVector::Hash { table } => table.insert_warp(w, cols, vals),
+            SmemVector::Bloom { filter } => filter.insert_warp(w, cols),
+        }
+    }
+
+    /// Looks up a warp's worth of columns.
+    pub fn lookup_warp(
+        &self,
+        w: &mut WarpCtx,
+        cols: &Lanes<Option<u32>>,
+    ) -> Lanes<Lookup<T>> {
+        match self {
+            SmemVector::Dense { values } => {
+                let idx = lanes_from_fn(|l| cols[l].map(|c| c as usize));
+                let got = w.smem_gather(values, &idx);
+                lanes_from_fn(|l| {
+                    if cols[l].is_none() {
+                        Lookup::Miss
+                    } else if got[l] == T::ZERO {
+                        Lookup::Miss
+                    } else {
+                        Lookup::Hit(got[l])
+                    }
+                })
+            }
+            SmemVector::Hash { table } => {
+                let got = table.lookup_warp(w, cols);
+                lanes_from_fn(|l| match got[l] {
+                    Some(v) => Lookup::Hit(v),
+                    None => Lookup::Miss,
+                })
+            }
+            SmemVector::Bloom { filter } => {
+                let got = filter.query_warp(w, cols);
+                lanes_from_fn(|l| {
+                    if cols[l].is_some() && got[l] {
+                        Lookup::Maybe
+                    } else {
+                        Lookup::Miss
+                    }
+                })
+            }
+        }
+    }
+
+    /// Resolves [`Lookup::Maybe`] lanes against the row's global-memory
+    /// column list `indices[start..end]` with a warp binary search,
+    /// fetching the confirmed values.
+    pub fn confirm_warp(
+        &self,
+        w: &mut WarpCtx,
+        looked: &Lanes<Lookup<T>>,
+        cols: &Lanes<Option<u32>>,
+        indices: &GlobalBuffer<u32>,
+        values: &GlobalBuffer<T>,
+        start: usize,
+        end: usize,
+    ) -> Lanes<Lookup<T>> {
+        let maybe = lanes_from_fn(|l| {
+            if matches!(looked[l], Lookup::Maybe) {
+                cols[l]
+            } else {
+                None
+            }
+        });
+        if maybe.iter().all(Option::is_none) {
+            return *looked;
+        }
+        let found = warp_binary_search(w, indices, start, end, &maybe);
+        let vals = w.global_gather(values, &found);
+        lanes_from_fn(|l| {
+            if maybe[l].is_none() {
+                looked[l]
+            } else if found[l].is_some() {
+                Lookup::Hit(vals[l])
+            } else {
+                Lookup::Miss
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{Device, LaunchConfig};
+
+    fn roundtrip(kind: SmemVecKind) {
+        let dev = Device::volta();
+        // Row: columns 3, 17, 40 with values 1.5, 2.5, 3.5 of k=64.
+        let cols_data = [3u32, 17, 40];
+        let vals_data = [1.5f32, 2.5, 3.5];
+        let gidx = dev.buffer_from_slice(&cols_data);
+        let gvals = dev.buffer_from_slice(&vals_data);
+        dev.launch("smem_vec", LaunchConfig::new(1, 32, 48 * 1024), |block| {
+            let vec = SmemVector::<f32>::build(block, kind, 64, 32, 3);
+            let v = vec.clone();
+            block.run_warps(|w| {
+                let cols = lanes_from_fn(|l| (l < 3).then(|| cols_data[l]));
+                let vals = lanes_from_fn(|l| if l < 3 { vals_data[l] } else { 0.0 });
+                v.insert_warp(w, &cols, &vals);
+                // Present and absent columns.
+                let probe = lanes_from_fn(|l| match l {
+                    0 => Some(3u32),
+                    1 => Some(17),
+                    2 => Some(40),
+                    3 => Some(4),
+                    4 => Some(63),
+                    _ => None,
+                });
+                let got = v.lookup_warp(w, &probe);
+                let got = v.confirm_warp(w, &got, &probe, &gidx, &gvals, 0, 3);
+                assert_eq!(got[0], Lookup::Hit(1.5));
+                assert_eq!(got[1], Lookup::Hit(2.5));
+                assert_eq!(got[2], Lookup::Hit(3.5));
+                assert_eq!(got[3], Lookup::Miss);
+                assert_eq!(got[4], Lookup::Miss);
+                assert_eq!(got[10], Lookup::Miss);
+            });
+        });
+    }
+
+    #[test]
+    fn dense_round_trips() {
+        roundtrip(SmemVecKind::Dense);
+    }
+
+    #[test]
+    fn hash_round_trips() {
+        roundtrip(SmemVecKind::Hash);
+    }
+
+    #[test]
+    fn bloom_round_trips_via_confirmation() {
+        roundtrip(SmemVecKind::Bloom);
+    }
+
+    #[test]
+    fn smem_sizing_per_mode() {
+        // Dense couples to dimensionality.
+        assert_eq!(
+            SmemVector::<f32>::smem_bytes(SmemVecKind::Dense, 1000, 0, 0),
+            4000
+        );
+        // Hash couples to capacity (8 bytes per slot for f32).
+        assert_eq!(
+            SmemVector::<f32>::smem_bytes(SmemVecKind::Hash, 0, 512, 0),
+            4096
+        );
+        // Bloom couples (weakly) to entries: 8 bits per entry.
+        assert_eq!(
+            SmemVector::<f32>::smem_bytes(SmemVecKind::Bloom, 0, 0, 320),
+            320
+        );
+    }
+}

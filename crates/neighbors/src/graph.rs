@@ -1,0 +1,127 @@
+//! Sparse k-NN connectivity graphs.
+//!
+//! The paper frames its benchmark datasets as "the objective of creating
+//! connectivities graphs from bipartite graphs" (§4.1) — the k-NN graph
+//! UMAP, t-SNE and graph-based clustering consume. This module converts
+//! a [`crate::KnnResult`] into that CSR adjacency matrix, matching
+//! scikit-learn's `kneighbors_graph` semantics.
+
+use crate::knn::KnnResult;
+use sparse::{CsrBuilder, CsrMatrix, Real, SparseError};
+
+/// What the graph's edge weights carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GraphMode {
+    /// Edge weight 1 for every neighbor (an unweighted adjacency).
+    #[default]
+    Connectivity,
+    /// Edge weight = the distance to the neighbor.
+    Distance,
+}
+
+/// Builds the `queries × index_rows` CSR adjacency matrix of a k-NN
+/// result.
+///
+/// Self-loops are kept when present in the result (scikit-learn's
+/// `include_self=True` behaviour); filter the query row from its own
+/// candidates beforehand if undesired. In `Connectivity` mode a
+/// zero-distance neighbor still yields an explicit `1.0` edge; in
+/// `Distance` mode zero-distance edges are dropped by CSR's implicit-
+/// zero convention, matching scikit-learn.
+///
+/// # Errors
+///
+/// Returns an error if a neighbor index exceeds `index_rows`.
+pub fn kneighbors_graph<T: Real>(
+    result: &KnnResult<T>,
+    index_rows: usize,
+    mode: GraphMode,
+) -> Result<CsrMatrix<T>, SparseError> {
+    let nnz = result.indices.iter().map(Vec::len).sum();
+    let mut b = CsrBuilder::with_capacity(result.indices.len(), index_rows, nnz);
+    for (q, (idx, dist)) in result.indices.iter().zip(&result.distances).enumerate() {
+        for (&j, &d) in idx.iter().zip(dist) {
+            let w = match mode {
+                GraphMode::Connectivity => T::ONE,
+                GraphMode::Distance => d,
+            };
+            b = b.push(q as u32, j as u32, w)?;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::NearestNeighbors;
+    use gpu_sim::Device;
+    use semiring::Distance;
+
+    fn knn_fixture() -> (KnnResult<f64>, usize) {
+        let m = CsrMatrix::from_dense(
+            4,
+            3,
+            &[
+                1.0, 0.0, 0.0, //
+                0.9, 0.1, 0.0, //
+                0.0, 1.0, 0.0, //
+                0.0, 0.0, 1.0,
+            ],
+        );
+        let nn = NearestNeighbors::new(Device::volta(), Distance::Euclidean).fit(m.clone());
+        (nn.kneighbors(&m, 2).expect("ok"), m.rows())
+    }
+
+    #[test]
+    fn connectivity_graph_has_k_edges_per_row() {
+        let (res, n) = knn_fixture();
+        let g = kneighbors_graph(&res, n, GraphMode::Connectivity).expect("valid");
+        assert_eq!(g.shape(), (4, 4));
+        for r in 0..4 {
+            assert_eq!(g.row_degree(r), 2, "row {r}");
+            assert!(g.row_values(r).iter().all(|&v| v == 1.0));
+        }
+        // Rows 0 and 1 are each other's nearest non-self neighbors.
+        assert_eq!(g.get(0, 1), 1.0);
+        assert_eq!(g.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn distance_graph_carries_distances_and_drops_zero_self_loops() {
+        let (res, n) = knn_fixture();
+        let g = kneighbors_graph(&res, n, GraphMode::Distance).expect("valid");
+        // Self-distance 0 becomes an implicit zero in CSR.
+        for r in 0..4 {
+            assert_eq!(g.get(r, r as u32), 0.0);
+        }
+        let d01 = g.get(0, 1);
+        assert!(d01 > 0.0 && d01 < 0.2, "d(0,1) = {d01}");
+    }
+
+    #[test]
+    fn out_of_range_neighbor_is_rejected() {
+        let res = KnnResult {
+            indices: vec![vec![9]],
+            distances: vec![vec![1.0f32]],
+            sim_seconds: 0.0,
+            batches: 1,
+            peak_memory: Default::default(),
+        };
+        assert!(kneighbors_graph(&res, 3, GraphMode::Connectivity).is_err());
+    }
+
+    #[test]
+    fn empty_result_builds_empty_graph() {
+        let res = KnnResult::<f32> {
+            indices: vec![vec![], vec![]],
+            distances: vec![vec![], vec![]],
+            sim_seconds: 0.0,
+            batches: 0,
+            peak_memory: Default::default(),
+        };
+        let g = kneighbors_graph(&res, 5, GraphMode::Connectivity).expect("valid");
+        assert_eq!(g.shape(), (2, 5));
+        assert_eq!(g.nnz(), 0);
+    }
+}

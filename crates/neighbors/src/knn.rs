@@ -1,0 +1,653 @@
+//! The brute-force `NearestNeighbors` estimator.
+
+use crate::topk::top_k_smallest;
+use gpu_sim::Device;
+use kernels::{
+    fused_knn, pairwise_distances_prepared, radius_filter_kernel, top_k_kernel, KernelError,
+    MemoryFootprint, PairwiseOptions, PreparedIndex,
+};
+use semiring::{Distance, DistanceParams};
+use sparse::{CsrMatrix, Real, RowBatches};
+
+/// Default device-memory budget for one batch's dense output tile
+/// (256 MiB, comfortably under a V100's 16 GB alongside the inputs).
+const DEFAULT_BATCH_BYTES: usize = 256 * 1024 * 1024;
+
+/// Where the k-smallest selection runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Selection {
+    /// A faiss-style selection kernel on the device (cuML's
+    /// configuration; default). The dense tile never leaves device
+    /// memory.
+    #[default]
+    Device,
+    /// Copy the tile back and select on the host (useful for validating
+    /// the device kernel).
+    Host,
+}
+
+/// Result of a k-NN query.
+#[derive(Debug, Clone)]
+pub struct KnnResult<T> {
+    /// For each query row, the indices of its `k` nearest index rows,
+    /// ascending by distance.
+    pub indices: Vec<Vec<usize>>,
+    /// The corresponding distances.
+    pub distances: Vec<Vec<T>>,
+    /// Total simulated GPU seconds across all batches and kernels.
+    pub sim_seconds: f64,
+    /// Number of (query batch × index slab) tiles executed.
+    pub batches: usize,
+    /// Peak per-batch device memory accounting.
+    pub peak_memory: MemoryFootprint,
+}
+
+/// Brute-force k-nearest-neighbors estimator over the sparse pairwise
+/// distance primitive (the cuML `NearestNeighbors` analog of Figure 2).
+///
+/// Queries run in batches along both axes: query rows are batched so the
+/// dense output tile fits a byte budget (§4.2's motivation for
+/// benchmarking through k-NN), and the index can additionally be split
+/// into row slabs whose per-slab top-k results are merged — the
+/// mechanism that lets a fixed-memory GPU answer queries against an
+/// index of unbounded size.
+#[derive(Debug, Clone)]
+pub struct NearestNeighbors<T> {
+    device: Device,
+    distance: Distance,
+    params: DistanceParams,
+    options: PairwiseOptions,
+    batch_bytes: usize,
+    index_batch_rows: Option<usize>,
+    selection: Selection,
+    fused: bool,
+    index: Option<CsrMatrix<T>>,
+}
+
+impl<T: Real> NearestNeighbors<T> {
+    /// Creates an unfitted estimator for `distance` on `device`.
+    pub fn new(device: Device, distance: Distance) -> Self {
+        Self {
+            device,
+            distance,
+            params: DistanceParams::default(),
+            options: PairwiseOptions::default(),
+            batch_bytes: DEFAULT_BATCH_BYTES,
+            index_batch_rows: None,
+            selection: Selection::default(),
+            fused: false,
+            index: None,
+        }
+    }
+
+    /// Sets distance parameters (Minkowski `p`).
+    pub fn with_params(mut self, params: DistanceParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Sets the kernel strategy / shared-memory mode.
+    pub fn with_options(mut self, options: PairwiseOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Sets the per-batch output budget in bytes (controls how many query
+    /// rows are processed per kernel launch).
+    pub fn with_batch_bytes(mut self, bytes: usize) -> Self {
+        self.batch_bytes = bytes.max(1);
+        self
+    }
+
+    /// Splits the index into slabs of at most `rows` rows, merging the
+    /// per-slab top-k results. Unset = the whole index per tile.
+    pub fn with_index_batch_rows(mut self, rows: usize) -> Self {
+        self.index_batch_rows = Some(rows.max(1));
+        self
+    }
+
+    /// Chooses where the k-selection runs.
+    pub fn with_selection(mut self, selection: Selection) -> Self {
+        self.selection = selection;
+        self
+    }
+
+    /// Uses the fused distance+selection kernel: the dense distance tile
+    /// is never materialized, so device output memory is `m × k` instead
+    /// of `m × n`. Overrides the strategy/selection/index-batching
+    /// options; query rows must fit shared memory.
+    pub fn with_fused(mut self, fused: bool) -> Self {
+        self.fused = fused;
+        self
+    }
+
+    /// Stores the index matrix (brute force has no training step).
+    pub fn fit(mut self, index: CsrMatrix<T>) -> Self {
+        self.index = Some(index);
+        self
+    }
+
+    /// The fitted index, if any.
+    pub fn index(&self) -> Option<&CsrMatrix<T>> {
+        self.index.as_ref()
+    }
+
+    fn kneighbors_fused(
+        &self,
+        query: &CsrMatrix<T>,
+        k: usize,
+        index: &CsrMatrix<T>,
+    ) -> Result<KnnResult<T>, KernelError> {
+        let prepared = PreparedIndex::new(&self.device, index.clone());
+        let r = fused_knn(&self.device, query, &prepared, k, self.distance, &self.params)?;
+        let kk = k.min(index.rows().max(1));
+        let fi = r.indices.to_vec();
+        let fv = r.distances.to_vec();
+        let mut indices = Vec::with_capacity(query.rows());
+        let mut distances = Vec::with_capacity(query.rows());
+        for q in 0..query.rows() {
+            let mut row_i = Vec::with_capacity(kk);
+            let mut row_d = Vec::with_capacity(kk);
+            for s in 0..kk {
+                let ci = fi[q * kk + s];
+                if ci != u32::MAX {
+                    row_i.push(ci as usize);
+                    row_d.push(fv[q * kk + s]);
+                }
+            }
+            indices.push(row_i);
+            distances.push(row_d);
+        }
+        Ok(KnnResult {
+            indices,
+            distances,
+            sim_seconds: r.sim_seconds(),
+            batches: 1,
+            peak_memory: MemoryFootprint {
+                input_bytes: query.device_bytes() + index.device_bytes(),
+                output_bytes: r.output_bytes,
+                workspace_bytes: 0,
+            },
+        })
+    }
+
+    /// Returns, for every query row, all index rows within `radius`
+    /// (inclusive), sorted ascending by distance — the
+    /// `radius_neighbors` counterpart of [`NearestNeighbors::kneighbors`]
+    /// used for ε-neighborhood graphs and DBSCAN-style clustering.
+    ///
+    /// # Errors
+    ///
+    /// Returns a kernel error on dimensionality mismatch or
+    /// unsatisfiable strategy requirements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the estimator has not been [`NearestNeighbors::fit`].
+    pub fn radius_neighbors(
+        &self,
+        query: &CsrMatrix<T>,
+        radius: T,
+    ) -> Result<KnnResult<T>, KernelError> {
+        let index = self
+            .index
+            .as_ref()
+            .expect("call fit() before radius_neighbors()");
+        let n = index.rows();
+        let slab_rows = self.index_batch_rows.unwrap_or(n.max(1));
+        let mut indices = Vec::with_capacity(query.rows());
+        let mut distances = Vec::with_capacity(query.rows());
+        let mut sim_seconds = 0.0;
+        let mut batches = 0;
+        let mut peak = MemoryFootprint::default();
+
+        let mut prepared: Vec<(usize, PreparedIndex<T>)> = Vec::new();
+        let mut off = 0;
+        while off < n {
+            let end = (off + slab_rows).min(n);
+            prepared
+                .push((off, PreparedIndex::new(&self.device, index.slice_rows(off..end))));
+            off = end;
+        }
+
+        for q_range in
+            RowBatches::for_matrix(query, slab_rows.min(n.max(1)), self.batch_bytes)
+        {
+            let slab = query.slice_rows(q_range);
+            let mut pool: Vec<Vec<(usize, T)>> = vec![Vec::new(); slab.rows()];
+            for (off, islab) in &prepared {
+                let tile = pairwise_distances_prepared(
+                    &self.device,
+                    &slab,
+                    islab,
+                    self.distance,
+                    &self.params,
+                    &self.options,
+                )?;
+                sim_seconds += tile.sim_seconds();
+                batches += 1;
+                peak.output_bytes = peak.output_bytes.max(tile.memory.output_bytes);
+                match self.selection {
+                    Selection::Device => {
+                        // Stream-compact on the device; only survivors
+                        // cross back to the host.
+                        let f = radius_filter_kernel(
+                            &self.device,
+                            &tile.buffer,
+                            tile.rows,
+                            tile.cols,
+                            radius,
+                        );
+                        sim_seconds += f.stats.sim_seconds();
+                        let counts = f.counts.to_vec();
+                        let idx = f.indices.to_vec();
+                        let val = f.values.to_vec();
+                        for (r, cand) in pool.iter_mut().enumerate() {
+                            for s in 0..counts[r] as usize {
+                                cand.push((
+                                    off + idx[r * tile.cols + s] as usize,
+                                    val[r * tile.cols + s],
+                                ));
+                            }
+                        }
+                    }
+                    Selection::Host => {
+                        let host = tile.buffer.to_vec();
+                        for (r, cand) in pool.iter_mut().enumerate() {
+                            for (c, &d) in host[r * tile.cols..(r + 1) * tile.cols]
+                                .iter()
+                                .enumerate()
+                            {
+                                if !(d > radius) && !d.is_nan() {
+                                    cand.push((off + c, d));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            for mut cand in pool {
+                cand.sort_by(|a, b| {
+                    a.1.partial_cmp(&b.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.0.cmp(&b.0))
+                });
+                indices.push(cand.iter().map(|&(i, _)| i).collect());
+                distances.push(cand.into_iter().map(|(_, d)| d).collect());
+            }
+        }
+        Ok(KnnResult {
+            indices,
+            distances,
+            sim_seconds,
+            batches,
+            peak_memory: peak,
+        })
+    }
+
+    /// Queries the `k` nearest index rows for every row of `query`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a kernel error on dimensionality mismatch or unsatisfiable
+    /// strategy requirements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the estimator has not been [`NearestNeighbors::fit`].
+    pub fn kneighbors(&self, query: &CsrMatrix<T>, k: usize) -> Result<KnnResult<T>, KernelError> {
+        let index = self
+            .index
+            .as_ref()
+            .expect("call fit() before kneighbors()");
+        if self.fused {
+            return self.kneighbors_fused(query, k, index);
+        }
+        let n = index.rows();
+        let slab_rows = self.index_batch_rows.unwrap_or(n.max(1));
+        let mut indices = Vec::with_capacity(query.rows());
+        let mut distances = Vec::with_capacity(query.rows());
+        let mut sim_seconds = 0.0;
+        let mut batches = 0;
+        let mut peak = MemoryFootprint::default();
+
+        // Prepare each index slab once: the CSR/COO uploads and the norm
+        // reductions are then shared by every query batch instead of
+        // being redone per tile.
+        let mut prepared: Vec<(usize, PreparedIndex<T>)> = Vec::new();
+        let mut off = 0;
+        while off < n {
+            let end = (off + slab_rows).min(n);
+            prepared.push((off, PreparedIndex::new(&self.device, index.slice_rows(off..end))));
+            off = end;
+        }
+
+        for q_range in RowBatches::for_matrix(query, slab_rows.min(n.max(1)), self.batch_bytes)
+        {
+            let q0 = q_range.start;
+            let slab = query.slice_rows(q_range);
+            // Per-query candidate pools, merged across index slabs.
+            let mut pool: Vec<Vec<(usize, T)>> = vec![Vec::new(); slab.rows()];
+
+            for (off, islab) in &prepared {
+                let off = *off;
+                let tile = pairwise_distances_prepared(
+                    &self.device,
+                    &slab,
+                    islab,
+                    self.distance,
+                    &self.params,
+                    &self.options,
+                )?;
+                sim_seconds += tile.sim_seconds();
+                batches += 1;
+                peak.input_bytes = peak.input_bytes.max(tile.memory.input_bytes);
+                peak.output_bytes = peak.output_bytes.max(tile.memory.output_bytes);
+                peak.workspace_bytes =
+                    peak.workspace_bytes.max(tile.memory.workspace_bytes);
+
+                match self.selection {
+                    Selection::Device => {
+                        let kk = k.min(tile.cols.max(1));
+                        let (didx, dval, sel_stats) =
+                            top_k_kernel(&self.device, &tile.buffer, tile.rows, tile.cols, kk);
+                        sim_seconds += sel_stats.sim_seconds();
+                        let didx = didx.to_vec();
+                        let dval = dval.to_vec();
+                        for (r, cand) in pool.iter_mut().enumerate() {
+                            for s in 0..kk {
+                                let ci = didx[r * kk + s];
+                                if ci != u32::MAX {
+                                    cand.push((off + ci as usize, dval[r * kk + s]));
+                                }
+                            }
+                        }
+                    }
+                    Selection::Host => {
+                        let host = tile.buffer.to_vec();
+                        for (r, cand) in pool.iter_mut().enumerate() {
+                            let row = &host[r * tile.cols..(r + 1) * tile.cols];
+                            cand.extend(
+                                top_k_smallest(row, k)
+                                    .into_iter()
+                                    .map(|(i, d)| (off + i, d)),
+                            );
+                        }
+                    }
+                }
+            }
+
+            // Merge slab candidates: sort by (distance, index) and keep k.
+            for (r, mut cand) in pool.into_iter().enumerate() {
+                let _ = q0 + r;
+                cand.sort_by(|a, b| {
+                    a.1.partial_cmp(&b.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.0.cmp(&b.0))
+                });
+                cand.truncate(k);
+                indices.push(cand.iter().map(|&(i, _)| i).collect());
+                distances.push(cand.into_iter().map(|(_, d)| d).collect());
+            }
+        }
+        Ok(KnnResult {
+            indices,
+            distances,
+            sim_seconds,
+            batches,
+            peak_memory: peak,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baseline::CpuBruteForce;
+
+    fn dataset() -> CsrMatrix<f64> {
+        // 8 rows over 10 dims with varied overlaps.
+        let mut data = vec![0.0; 80];
+        for r in 0..8 {
+            for c in 0..10 {
+                if (r + c) % 3 == 0 {
+                    data[r * 10 + c] = 1.0 + (r as f64) / 10.0 + (c as f64) / 100.0;
+                }
+            }
+        }
+        CsrMatrix::from_dense(8, 10, &data)
+    }
+
+    #[test]
+    fn gpu_knn_matches_cpu_brute_force() {
+        let m = dataset();
+        let params = DistanceParams::default();
+        for d in [
+            Distance::Euclidean,
+            Distance::Cosine,
+            Distance::Manhattan,
+            Distance::Chebyshev,
+        ] {
+            for selection in [Selection::Device, Selection::Host] {
+                let nn = NearestNeighbors::new(Device::volta(), d)
+                    .with_selection(selection)
+                    .fit(m.clone());
+                let got = nn.kneighbors(&m, 3).expect("query ok");
+                let want = CpuBruteForce::new(2).knn(&m, &m, 3, d, &params);
+                for i in 0..m.rows() {
+                    assert_eq!(
+                        got.indices[i],
+                        want[i].iter().map(|&(j, _)| j).collect::<Vec<_>>(),
+                        "{d} ({selection:?}) row {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_query_returns_self_first_for_metrics() {
+        let m = dataset();
+        let nn = NearestNeighbors::new(Device::volta(), Distance::Euclidean).fit(m.clone());
+        let got = nn.kneighbors(&m, 1).expect("query ok");
+        for (i, row) in got.indices.iter().enumerate() {
+            assert_eq!(row[0], i, "row {i} must be its own nearest neighbor");
+            assert!(got.distances[i][0].abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn query_batching_does_not_change_results() {
+        let m = dataset();
+        let big = NearestNeighbors::new(Device::volta(), Distance::Manhattan)
+            .fit(m.clone())
+            .kneighbors(&m, 4)
+            .expect("ok");
+        // Budget of one output row per batch → 8 batches.
+        let small = NearestNeighbors::new(Device::volta(), Distance::Manhattan)
+            .fit(m.clone())
+            .with_batch_bytes(8 * 8)
+            .kneighbors(&m, 4)
+            .expect("ok");
+        assert_eq!(big.batches, 1);
+        assert_eq!(small.batches, 8);
+        assert_eq!(big.indices, small.indices);
+        for (a, b) in big.distances.iter().zip(&small.distances) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-9);
+            }
+        }
+        assert!(small.sim_seconds > 0.0);
+    }
+
+    #[test]
+    fn index_batching_merges_slab_topk_correctly() {
+        let m = dataset();
+        let whole = NearestNeighbors::new(Device::volta(), Distance::Euclidean)
+            .fit(m.clone())
+            .kneighbors(&m, 5)
+            .expect("ok");
+        for slab in [1, 3, 5, 8] {
+            let split = NearestNeighbors::new(Device::volta(), Distance::Euclidean)
+                .with_index_batch_rows(slab)
+                .fit(m.clone())
+                .kneighbors(&m, 5)
+                .expect("ok");
+            assert_eq!(whole.indices, split.indices, "slab size {slab}");
+            for (a, b) in whole.distances.iter().zip(&split.distances) {
+                for (x, y) in a.iter().zip(b) {
+                    assert!((x - y).abs() < 1e-9, "slab size {slab}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_batching_counts_tiles() {
+        let m = dataset();
+        let r = NearestNeighbors::new(Device::volta(), Distance::Cosine)
+            .with_index_batch_rows(3)
+            .fit(m.clone())
+            .kneighbors(&m, 2)
+            .expect("ok");
+        assert_eq!(r.batches, 3); // 8 index rows / 3 per slab
+    }
+
+    #[test]
+    fn fused_knn_matches_tiled_and_shrinks_output_memory() {
+        let m = dataset();
+        for d in [Distance::Cosine, Distance::Manhattan, Distance::Correlation] {
+            let tiled = NearestNeighbors::new(Device::volta(), d)
+                .fit(m.clone())
+                .kneighbors(&m, 3)
+                .expect("ok");
+            let fused = NearestNeighbors::new(Device::volta(), d)
+                .with_fused(true)
+                .fit(m.clone())
+                .kneighbors(&m, 3)
+                .expect("ok");
+            assert_eq!(tiled.indices, fused.indices, "{d}");
+            for (a, b) in tiled.distances.iter().zip(&fused.distances) {
+                for (x, y) in a.iter().zip(b) {
+                    assert!((x - y).abs() < 1e-7, "{d}");
+                }
+            }
+            assert!(
+                fused.peak_memory.output_bytes < tiled.peak_memory.output_bytes,
+                "{d}: fused {} vs tiled {}",
+                fused.peak_memory.output_bytes,
+                tiled.peak_memory.output_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn radius_neighbors_matches_filtered_brute_force() {
+        let m = dataset();
+        let params = DistanceParams::default();
+        let radius = 1.5;
+        let full = CpuBruteForce::new(2).pairwise(&m, &m, Distance::Euclidean, &params);
+        for selection in [Selection::Device, Selection::Host] {
+        let nn = NearestNeighbors::new(Device::volta(), Distance::Euclidean)
+            .with_selection(selection)
+            .fit(m.clone());
+        let got = nn.radius_neighbors(&m, radius).expect("ok");
+        for i in 0..m.rows() {
+            let mut want: Vec<(usize, f64)> = full
+                .row(i)
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(_, d)| d <= radius)
+                .collect();
+            want.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN").then(a.0.cmp(&b.0)));
+            assert_eq!(
+                got.indices[i],
+                want.iter().map(|&(j, _)| j).collect::<Vec<_>>(),
+                "row {i}"
+            );
+            for (g, (_, w)) in got.distances[i].iter().zip(&want) {
+                assert!((g - w).abs() < 1e-9);
+            }
+        }
+        }
+    }
+
+    #[test]
+    fn radius_neighbors_respects_index_batching() {
+        let m = dataset();
+        let whole = NearestNeighbors::new(Device::volta(), Distance::Manhattan)
+            .fit(m.clone())
+            .radius_neighbors(&m, 5.0)
+            .expect("ok");
+        let split = NearestNeighbors::new(Device::volta(), Distance::Manhattan)
+            .with_index_batch_rows(3)
+            .fit(m.clone())
+            .radius_neighbors(&m, 5.0)
+            .expect("ok");
+        assert_eq!(whole.indices, split.indices);
+    }
+
+    #[test]
+    #[should_panic(expected = "call fit()")]
+    fn unfitted_query_panics() {
+        let nn = NearestNeighbors::<f32>::new(Device::volta(), Distance::Cosine);
+        let q = CsrMatrix::<f32>::zeros(1, 4);
+        let _ = nn.kneighbors(&q, 1);
+    }
+
+    #[test]
+    fn peak_memory_reports_largest_batch() {
+        let m = dataset();
+        let nn = NearestNeighbors::new(Device::volta(), Distance::Euclidean)
+            .fit(m.clone())
+            .with_batch_bytes(8 * 8 * 2);
+        let r = nn.kneighbors(&m, 2).expect("ok");
+        assert!(r.peak_memory.output_bytes > 0);
+        assert!(r.peak_memory.input_bytes > 0);
+    }
+
+    #[test]
+    fn index_norms_are_cached_across_query_batches() {
+        // Cosine needs one L2 norm pass per side. With the whole index
+        // per tile and two query batches, the prepared index computes
+        // its norm once — so the batched run spends *less* simulated
+        // time than 2x the single-batch run.
+        let m = dataset();
+        let one = NearestNeighbors::new(Device::volta(), Distance::Cosine)
+            .fit(m.clone())
+            .kneighbors(&m, 2)
+            .expect("ok");
+        let two = NearestNeighbors::new(Device::volta(), Distance::Cosine)
+            .with_batch_bytes(4 * 8 * 8) // 4 query rows per batch
+            .fit(m.clone())
+            .kneighbors(&m, 2)
+            .expect("ok");
+        assert_eq!(two.batches, 2);
+        assert_eq!(one.indices, two.indices);
+        assert!(
+            two.sim_seconds < 2.0 * one.sim_seconds,
+            "index-side work must not be duplicated: {} vs 2x{}",
+            two.sim_seconds,
+            one.sim_seconds
+        );
+    }
+
+    #[test]
+    fn device_selection_adds_a_launch_but_same_results() {
+        let m = dataset();
+        let dev = NearestNeighbors::new(Device::volta(), Distance::Manhattan)
+            .with_selection(Selection::Device)
+            .fit(m.clone())
+            .kneighbors(&m, 3)
+            .expect("ok");
+        let host = NearestNeighbors::new(Device::volta(), Distance::Manhattan)
+            .with_selection(Selection::Host)
+            .fit(m.clone())
+            .kneighbors(&m, 3)
+            .expect("ok");
+        assert_eq!(dev.indices, host.indices);
+        // The device path spends simulated time on the selection kernel.
+        assert!(dev.sim_seconds > host.sim_seconds);
+    }
+}

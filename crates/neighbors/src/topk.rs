@@ -1,0 +1,98 @@
+//! Top-k selection over a distance row.
+
+use sparse::Real;
+
+/// Returns the indices and values of the `k` smallest entries of `row`,
+/// sorted ascending by value (ties broken by lower index, which keeps
+/// results deterministic across batch splits).
+///
+/// Uses a bounded max-heap: `O(n log k)` instead of the `O(n log n)` of
+/// a full sort, which matters when `n` is the full index size and `k` is
+/// a handful of neighbors.
+pub fn top_k_smallest<T: Real>(row: &[T], k: usize) -> Vec<(usize, T)> {
+    let k = k.min(row.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    // Bounded selection buffer kept in descending order; last = current
+    // cut-off. NaNs sort last (never selected unless unavoidable).
+    let worse = |x: &(usize, T), y: &(usize, T)| -> bool {
+        // true when x is worse (greater) than y
+        match x.1.partial_cmp(&y.1) {
+            Some(std::cmp::Ordering::Greater) => true,
+            Some(std::cmp::Ordering::Less) => false,
+            _ => x.1.is_nan() && !y.1.is_nan() || (!x.1.is_nan() && !y.1.is_nan() && x.0 > y.0),
+        }
+    };
+    let mut heap: Vec<(usize, T)> = Vec::with_capacity(k + 1);
+    for (i, &v) in row.iter().enumerate() {
+        let cand = (i, v);
+        if heap.len() < k {
+            heap.push(cand);
+            heap.sort_by(|a, b| {
+                if worse(a, b) {
+                    std::cmp::Ordering::Greater
+                } else {
+                    std::cmp::Ordering::Less
+                }
+            });
+        } else if worse(heap.last().expect("non-empty"), &cand) {
+            heap.pop();
+            let pos = heap.partition_point(|e| !worse(e, &cand));
+            heap.insert(pos, cand);
+        }
+    }
+    heap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn selects_smallest_sorted() {
+        let row = [5.0f32, 1.0, 4.0, 2.0, 3.0];
+        let got = top_k_smallest(&row, 3);
+        assert_eq!(got, vec![(1, 1.0), (3, 2.0), (4, 3.0)]);
+    }
+
+    #[test]
+    fn k_larger_than_row_returns_all() {
+        let row = [2.0f64, 1.0];
+        let got = top_k_smallest(&row, 10);
+        assert_eq!(got, vec![(1, 1.0), (0, 2.0)]);
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        assert!(top_k_smallest::<f32>(&[1.0], 0).is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_lower_index() {
+        let row = [1.0f32, 1.0, 1.0, 0.5];
+        let got = top_k_smallest(&row, 2);
+        assert_eq!(got, vec![(3, 0.5), (0, 1.0)]);
+    }
+
+    #[test]
+    fn nans_are_selected_last() {
+        let row = [f32::NAN, 2.0, 1.0];
+        let got = top_k_smallest(&row, 2);
+        assert_eq!(got[0], (2, 1.0));
+        assert_eq!(got[1], (1, 2.0));
+    }
+
+    proptest! {
+        #[test]
+        fn matches_full_sort(row in proptest::collection::vec(0u32..1000, 1..200), k in 1usize..20) {
+            let row: Vec<f64> = row.into_iter().map(|v| v as f64 / 10.0).collect();
+            let got = top_k_smallest(&row, k);
+            let mut want: Vec<(usize, f64)> = row.iter().copied().enumerate().collect();
+            want.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN").then(a.0.cmp(&b.0)));
+            want.truncate(k.min(row.len()));
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,521 @@
+//! The fifteen distance measures of Table 1 and their semirings.
+
+use crate::expansion::ExpansionInputs;
+use crate::monoid::Monoid;
+use crate::semiring::Semiring;
+use sparse::{NormKind, Real};
+
+/// How a distance is computed over sparse inputs (§2.1/§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Computable in *expanded form*: one pass of an annihilating
+    /// (dot-product-like) semiring over the nonzero column intersection,
+    /// combined with row norms by an element-wise expansion function.
+    Expanded,
+    /// Requires the *non-annihilating multiplicative monoid*: the product
+    /// must be applied over the full union of nonzero columns, which the
+    /// kernels realize with a second pass over the commuted inputs.
+    Namm,
+}
+
+/// Parameters threaded into parameterized distances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistanceParams {
+    /// The degree `p` of the Minkowski distance. Must be `>= 1` for the
+    /// distance to be a metric.
+    pub minkowski_p: f64,
+}
+
+impl Default for DistanceParams {
+    /// Defaults to `p = 2`, which makes Minkowski-via-NAMM an exact
+    /// cross-check of the expanded Euclidean path.
+    fn default() -> Self {
+        Self { minkowski_p: 2.0 }
+    }
+}
+
+/// One of the fifteen distance measures of the paper's Table 1.
+///
+/// Each variant knows its [`Family`], the [`Semiring`] that computes its
+/// inner term, the row [`NormKind`]s its expansion function consumes, and
+/// the expansion / finalization arithmetic.
+///
+/// # Example
+///
+/// ```
+/// use semiring::{Distance, Family};
+/// assert_eq!(Distance::Cosine.family(), Family::Expanded);
+/// assert_eq!(Distance::Manhattan.family(), Family::Namm);
+/// assert_eq!(Distance::ALL.len(), 15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Distance {
+    /// `1 - Pearson correlation` between the two vectors.
+    Correlation,
+    /// `1 - cos(x, y)`.
+    Cosine,
+    /// Dice-Sørensen dissimilarity `1 - 2⟨x,y⟩ / (‖x‖² + ‖y‖²)`.
+    DiceSorensen,
+    /// Raw inner product `⟨x, y⟩` (a similarity; kept for completeness as
+    /// in Table 1).
+    DotProduct,
+    /// `‖x - y‖₂`.
+    Euclidean,
+    /// `Σ |x−y| / (|x|+|y|)` over the nonzero union.
+    Canberra,
+    /// `max |x − y|`.
+    Chebyshev,
+    /// Fraction of coordinates that differ.
+    Hamming,
+    /// `1/√2 · ‖√x − √y‖₂`.
+    Hellinger,
+    /// Jaccard/Tanimoto dissimilarity `1 − ⟨x,y⟩/(‖x‖²+‖y‖²−⟨x,y⟩)`.
+    Jaccard,
+    /// Square root of half the Jensen-Shannon divergence.
+    JensenShannon,
+    /// Kullback-Leibler divergence restricted to the shared support,
+    /// `Σ_{x_i>0, y_i>0} x_i log(x_i / y_i)` (the paper's asymmetric
+    /// dot-product replacement).
+    KlDivergence,
+    /// `Σ |x − y|` (Minkowski degree 1).
+    Manhattan,
+    /// `(Σ |x − y|^p)^{1/p}`.
+    Minkowski,
+    /// Russel-Rao dissimilarity `(k − ⟨x,y⟩)/k`.
+    RusselRao,
+    /// Bray-Curtis dissimilarity `Σ|x−y| / (Σx + Σy)` — **not** in the
+    /// paper's Table 1; included to demonstrate the framework's
+    /// extensibility: a NAMM whose post-processing consumes row norms, a
+    /// combination no Table 1 distance exercises.
+    BrayCurtis,
+}
+
+impl Distance {
+    /// Every distance **plus** the extension distances beyond Table 1.
+    pub const EXTENDED: [Distance; 16] = [
+        Distance::Correlation,
+        Distance::Cosine,
+        Distance::DiceSorensen,
+        Distance::DotProduct,
+        Distance::Euclidean,
+        Distance::Hellinger,
+        Distance::Jaccard,
+        Distance::KlDivergence,
+        Distance::RusselRao,
+        Distance::Canberra,
+        Distance::Chebyshev,
+        Distance::Hamming,
+        Distance::JensenShannon,
+        Distance::Manhattan,
+        Distance::Minkowski,
+        Distance::BrayCurtis,
+    ];
+
+    /// Every supported distance, in Table 1 order (expanded family first,
+    /// then the NAMM family, matching the paper's benchmark grouping).
+    pub const ALL: [Distance; 15] = [
+        Distance::Correlation,
+        Distance::Cosine,
+        Distance::DiceSorensen,
+        Distance::DotProduct,
+        Distance::Euclidean,
+        Distance::Hellinger,
+        Distance::Jaccard,
+        Distance::KlDivergence,
+        Distance::RusselRao,
+        Distance::Canberra,
+        Distance::Chebyshev,
+        Distance::Hamming,
+        Distance::JensenShannon,
+        Distance::Manhattan,
+        Distance::Minkowski,
+    ];
+
+    /// Human-readable name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Distance::Correlation => "Correlation",
+            Distance::Cosine => "Cosine",
+            Distance::DiceSorensen => "Dice",
+            Distance::DotProduct => "Dot Product",
+            Distance::Euclidean => "Euclidean",
+            Distance::Canberra => "Canberra",
+            Distance::Chebyshev => "Chebyshev",
+            Distance::Hamming => "Hamming",
+            Distance::Hellinger => "Hellinger",
+            Distance::Jaccard => "Jaccard",
+            Distance::JensenShannon => "Jensen-Shannon",
+            Distance::KlDivergence => "KL Divergence",
+            Distance::Manhattan => "Manhattan",
+            Distance::Minkowski => "Minkowski",
+            Distance::RusselRao => "Russel-Rao",
+            Distance::BrayCurtis => "Bray-Curtis",
+        }
+    }
+
+    /// Parses a (case-insensitive) distance name.
+    ///
+    /// Accepts both the display names ("Jensen-Shannon") and compact
+    /// aliases ("jensenshannon", "l1", "l2").
+    pub fn from_name(name: &str) -> Option<Distance> {
+        let n: String = name
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        Some(match n.as_str() {
+            "correlation" => Distance::Correlation,
+            "cosine" => Distance::Cosine,
+            "dice" | "dicesorensen" => Distance::DiceSorensen,
+            "dot" | "dotproduct" | "innerproduct" => Distance::DotProduct,
+            "euclidean" | "l2" => Distance::Euclidean,
+            "canberra" => Distance::Canberra,
+            "chebyshev" | "linf" => Distance::Chebyshev,
+            "hamming" => Distance::Hamming,
+            "hellinger" => Distance::Hellinger,
+            "jaccard" | "tanimoto" => Distance::Jaccard,
+            "jensenshannon" | "js" => Distance::JensenShannon,
+            "kldivergence" | "kl" => Distance::KlDivergence,
+            "manhattan" | "l1" | "cityblock" => Distance::Manhattan,
+            "minkowski" => Distance::Minkowski,
+            "russelrao" | "russellrao" => Distance::RusselRao,
+            "braycurtis" => Distance::BrayCurtis,
+            _ => return None,
+        })
+    }
+
+    /// Whether the distance is computed in expanded form or needs the
+    /// NAMM (Table 1: rows with a NAMM column entry are `Family::Namm`).
+    pub fn family(self) -> Family {
+        match self {
+            Distance::Correlation
+            | Distance::Cosine
+            | Distance::DiceSorensen
+            | Distance::DotProduct
+            | Distance::Euclidean
+            | Distance::Hellinger
+            | Distance::Jaccard
+            | Distance::KlDivergence
+            | Distance::RusselRao => Family::Expanded,
+            Distance::Canberra
+            | Distance::Chebyshev
+            | Distance::Hamming
+            | Distance::JensenShannon
+            | Distance::Manhattan
+            | Distance::Minkowski
+            | Distance::BrayCurtis => Family::Namm,
+        }
+    }
+
+    /// Row norms the expansion function consumes, per input matrix
+    /// (Table 1's "Norm" column). Empty for NAMM distances and for
+    /// expansions that need no norms (Dot Product, Russel-Rao, KL).
+    pub fn norms(self) -> &'static [NormKind] {
+        match self {
+            Distance::Correlation => &[NormKind::Sum, NormKind::L2Squared],
+            Distance::Cosine => &[NormKind::L2],
+            // Table 1 lists L0 for Dice/Jaccard assuming binary data; we
+            // use ‖·‖₂² which equals L0 on binary input and extends the
+            // formula to real-valued data (see DESIGN.md).
+            Distance::DiceSorensen => &[NormKind::L2Squared],
+            Distance::Euclidean => &[NormKind::L2Squared],
+            // Hellinger needs Σx = L1 on the non-negative inputs it is
+            // defined for, so the expansion is exact without assuming the
+            // rows are probability distributions.
+            Distance::Hellinger => &[NormKind::L1],
+            Distance::Jaccard => &[NormKind::L2Squared],
+            // A NAMM with norms: the union pass accumulates Σ|x−y| and
+            // the norm-fed post-pass divides by Σx + Σy.
+            Distance::BrayCurtis => &[NormKind::Sum],
+            _ => &[],
+        }
+    }
+
+    /// The semiring whose single (expanded) or two-pass (NAMM) execution
+    /// computes this distance's inner term.
+    pub fn semiring<T: Real>(self, params: &DistanceParams) -> Semiring<T> {
+        match self {
+            // Expanded family: annihilating semirings over the nonzero
+            // intersection.
+            Distance::Correlation
+            | Distance::Cosine
+            | Distance::DiceSorensen
+            | Distance::DotProduct
+            | Distance::Euclidean
+            | Distance::Jaccard
+            | Distance::RusselRao => Semiring::dot_product(),
+            Distance::Hellinger => Semiring::annihilating(
+                Monoid::new(|a, b| (a * b).sqrt(), T::ONE),
+                Monoid::plus(),
+            ),
+            Distance::KlDivergence => Semiring::annihilating(
+                Monoid::new(kl_term::<T>, T::ONE),
+                Monoid::plus(),
+            ),
+            // NAMM family: non-annihilating products with id⊗ = 0 over the
+            // nonzero union.
+            Distance::Canberra => Semiring::namm(
+                Monoid::new(canberra_term::<T>, T::ZERO),
+                Monoid::plus(),
+            ),
+            Distance::Chebyshev => Semiring::namm(
+                Monoid::new(|a, b| (a - b).abs(), T::ZERO),
+                Monoid::max(),
+            ),
+            Distance::Hamming => Semiring::namm(
+                Monoid::new(
+                    |a: T, b: T| if a == b { T::ZERO } else { T::ONE },
+                    T::ZERO,
+                ),
+                Monoid::plus(),
+            ),
+            Distance::JensenShannon => Semiring::namm(
+                Monoid::new(js_term::<T>, T::ZERO),
+                Monoid::plus(),
+            ),
+            Distance::Manhattan | Distance::BrayCurtis => Semiring::namm(
+                Monoid::new(|a, b| (a - b).abs(), T::ZERO),
+                Monoid::plus(),
+            ),
+            Distance::Minkowski => Semiring::namm(
+                Monoid::with_param(
+                    |a: T, b: T, p: T| (a - b).abs().powf(p),
+                    T::ZERO,
+                    T::from_f64(params.minkowski_p),
+                ),
+                Monoid::plus(),
+            ),
+        }
+    }
+
+    /// Element-wise expansion function combining the semiring output with
+    /// row norms (expanded family, §3.4 / Table 1's "Expansion" column).
+    ///
+    /// For NAMM distances this is not used; call [`Distance::finalize`]
+    /// instead.
+    pub fn expand<T: Real>(self, inputs: ExpansionInputs<T>) -> T {
+        crate::expansion::expand(self, inputs)
+    }
+
+    /// Post-reduction scalar transform for NAMM distances (e.g. the
+    /// `(·)^{1/p}` of Minkowski, the `/k` of Hamming). Identity for
+    /// distances that need none.
+    pub fn finalize<T: Real>(self, acc: T, k: usize, params: &DistanceParams) -> T {
+        match self {
+            Distance::Hamming => acc / T::from_usize(k.max(1)),
+            Distance::JensenShannon => (acc.max(T::ZERO) / T::from_f64(2.0)).sqrt(),
+            Distance::Minkowski => {
+                let p = T::from_f64(params.minkowski_p);
+                acc.max(T::ZERO).powf(T::ONE / p)
+            }
+            _ => acc,
+        }
+    }
+
+    /// True when the distance is only defined for non-negative inputs
+    /// (square roots and logarithms of the values appear in the
+    /// formula). Callers can enforce this with
+    /// `sparse_dist::validate_input`.
+    pub fn requires_nonnegative(self) -> bool {
+        matches!(
+            self,
+            Distance::Hellinger
+                | Distance::JensenShannon
+                | Distance::KlDivergence
+                | Distance::BrayCurtis
+        )
+    }
+
+    /// True for distances whose finalized value satisfies the metric
+    /// axioms on non-negative inputs (used by the metric-property test
+    /// suite; similarity-like measures such as Dot Product and asymmetric
+    /// divergences are excluded).
+    pub fn is_metric(self) -> bool {
+        matches!(
+            self,
+            Distance::Euclidean
+                | Distance::Canberra
+                | Distance::Chebyshev
+                | Distance::Hamming
+                | Distance::Manhattan
+                | Distance::Minkowski
+                | Distance::JensenShannon
+                | Distance::Hellinger
+        )
+    }
+}
+
+impl std::fmt::Display for Distance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Canberra term `|a−b| / (|a|+|b|)`, defined as 0 when both inputs are 0
+/// (the NAMM identity case).
+fn canberra_term<T: Real>(a: T, b: T) -> T {
+    let denom = a.abs() + b.abs();
+    if denom == T::ZERO {
+        T::ZERO
+    } else {
+        (a - b).abs() / denom
+    }
+}
+
+/// KL term `a·ln(a/b)`, guarded to 0 whenever either side is 0. The
+/// annihilating execution only evaluates it on the nonzero intersection,
+/// matching the paper's "directly replaces ⊗ with aᵢ log(aᵢ/bᵢ)".
+fn kl_term<T: Real>(a: T, b: T) -> T {
+    if a == T::ZERO || b == T::ZERO {
+        T::ZERO
+    } else {
+        a * (a / b).ln()
+    }
+}
+
+/// Jensen-Shannon term `a·ln(a/m) + b·ln(b/m)` with `m = (a+b)/2` and the
+/// convention `0·ln(0/m) = 0`.
+fn js_term<T: Real>(a: T, b: T) -> T {
+    let m = (a + b) / T::from_f64(2.0);
+    if m == T::ZERO {
+        return T::ZERO;
+    }
+    let mut t = T::ZERO;
+    if a > T::ZERO {
+        t += a * (a / m).ln();
+    }
+    if b > T::ZERO {
+        t += b * (b / m).ln();
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_contains_each_variant_once() {
+        for (i, a) in Distance::ALL.iter().enumerate() {
+            for (j, b) in Distance::ALL.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn families_match_table_1() {
+        // Distances with a NAMM column entry in Table 1:
+        for d in [
+            Distance::Canberra,
+            Distance::Chebyshev,
+            Distance::Hamming,
+            Distance::JensenShannon,
+            Distance::Manhattan,
+            Distance::Minkowski,
+        ] {
+            assert_eq!(d.family(), Family::Namm, "{d}");
+            assert!(!d.semiring::<f64>(&DistanceParams::default()).is_annihilating());
+        }
+        for d in [
+            Distance::Correlation,
+            Distance::Cosine,
+            Distance::DiceSorensen,
+            Distance::DotProduct,
+            Distance::Euclidean,
+            Distance::Hellinger,
+            Distance::Jaccard,
+            Distance::KlDivergence,
+            Distance::RusselRao,
+        ] {
+            assert_eq!(d.family(), Family::Expanded, "{d}");
+            assert!(d.semiring::<f64>(&DistanceParams::default()).is_annihilating());
+        }
+    }
+
+    #[test]
+    fn namm_products_have_zero_identity() {
+        let p = DistanceParams::default();
+        for d in Distance::ALL {
+            if d.family() == Family::Namm {
+                let sr = d.semiring::<f64>(&p);
+                assert_eq!(sr.product_identity(), 0.0, "{d}");
+                // XOR-like behaviour: ⊗(x, 0) = ⊗(0, x) for these ops.
+                let x = 0.75;
+                assert_eq!(sr.product(x, 0.0), sr.product(0.0, x), "{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_name_round_trips_display_names() {
+        for d in Distance::ALL {
+            assert_eq!(Distance::from_name(d.name()), Some(d), "{d}");
+        }
+        assert_eq!(Distance::from_name("l1"), Some(Distance::Manhattan));
+        assert_eq!(Distance::from_name("L2"), Some(Distance::Euclidean));
+        assert_eq!(Distance::from_name("no-such"), None);
+    }
+
+    #[test]
+    fn canberra_term_handles_double_zero() {
+        assert_eq!(canberra_term(0.0f64, 0.0), 0.0);
+        assert_eq!(canberra_term(1.0f64, 0.0), 1.0);
+        assert_eq!(canberra_term(0.0f64, 2.0), 1.0);
+        assert!((canberra_term(1.0f64, 3.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn js_term_is_symmetric_and_nonnegative() {
+        for (a, b) in [(0.2f64, 0.5), (0.0, 0.3), (0.7, 0.0), (0.4, 0.4)] {
+            assert!((js_term(a, b) - js_term(b, a)).abs() < 1e-12);
+            assert!(js_term(a, b) >= -1e-12);
+        }
+        assert_eq!(js_term(0.0f64, 0.0), 0.0);
+    }
+
+    #[test]
+    fn kl_term_matches_closed_form() {
+        assert!((kl_term(0.5f64, 0.25) - 0.5 * (2.0f64).ln()).abs() < 1e-12);
+        assert_eq!(kl_term(0.0f64, 0.5), 0.0);
+        assert_eq!(kl_term(0.5f64, 0.0), 0.0);
+    }
+
+    #[test]
+    fn minkowski_p2_finalize_matches_sqrt() {
+        let p = DistanceParams { minkowski_p: 2.0 };
+        let acc = 9.0f64;
+        assert!((Distance::Minkowski.finalize(acc, 10, &p) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamming_finalize_divides_by_dimensionality() {
+        let p = DistanceParams::default();
+        assert_eq!(Distance::Hamming.finalize(3.0f64, 4, &p), 0.75);
+        // k = 0 is degenerate; guard avoids division by zero.
+        assert_eq!(Distance::Hamming.finalize(0.0f64, 0, &p), 0.0);
+    }
+
+    #[test]
+    fn nonnegative_domain_flags_the_log_and_sqrt_distances() {
+        for d in Distance::ALL {
+            let expect = matches!(
+                d,
+                Distance::Hellinger | Distance::JensenShannon | Distance::KlDivergence
+            );
+            assert_eq!(d.requires_nonnegative(), expect, "{d}");
+        }
+    }
+
+    #[test]
+    fn chebyshev_uses_max_reduction() {
+        let sr = Distance::Chebyshev.semiring::<f64>(&DistanceParams::default());
+        let mut acc = sr.reduce_identity();
+        for (a, b) in [(1.0, 4.0), (10.0, 2.0), (5.0, 5.0)] {
+            acc = sr.reduce(acc, sr.product(a, b));
+        }
+        assert_eq!(acc, 8.0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Expansion functions for the expanded distance family (§3.4).
+//!
+//! Distances computable in expanded form run a single annihilating
+//! semiring pass to get per-pair inner terms (`dot`), then combine those
+//! with row norms in an embarrassingly parallel element-wise kernel. The
+//! arithmetic of that kernel, per distance, lives here, shared by the
+//! simulated GPU expansion kernel, the CPU baseline, and the dense
+//! reference so all code paths agree bit-for-bit on the combination step.
+
+use crate::distance::Distance;
+use sparse::Real;
+
+/// Inputs to an expansion function for one `(i, j)` output cell.
+///
+/// `a_norms` / `b_norms` hold the row norms of `A_i` / `B_j`, parallel to
+/// the [`Distance::norms`] slice (unused slots are zero). `k` is the
+/// shared dimensionality (number of columns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpansionInputs<T> {
+    /// The semiring inner term `⟨A_i, B_j⟩` (under the distance's `⊗`).
+    pub dot: T,
+    /// Norms of the query row, parallel to `Distance::norms()`.
+    pub a_norms: [T; 2],
+    /// Norms of the index row, parallel to `Distance::norms()`.
+    pub b_norms: [T; 2],
+    /// Dimensionality `k` of the vectors.
+    pub k: usize,
+}
+
+impl<T: Real> ExpansionInputs<T> {
+    /// Convenience constructor for distances that use no norms.
+    pub fn dot_only(dot: T, k: usize) -> Self {
+        Self {
+            dot,
+            a_norms: [T::ZERO; 2],
+            b_norms: [T::ZERO; 2],
+            k,
+        }
+    }
+}
+
+/// Applies the expansion function of `distance` (expanded family only).
+///
+/// # Panics
+///
+/// Panics if called for a NAMM-family distance, which has no expanded
+/// form — the type-level hint is `Distance::family()`.
+pub fn expand<T: Real>(distance: Distance, x: ExpansionInputs<T>) -> T {
+    let k = T::from_usize(x.k);
+    match distance {
+        Distance::DotProduct => x.dot,
+        // ‖x‖² − 2⟨x,y⟩ + ‖y‖², clamped against catastrophic cancellation
+        // ("numerical instabilities can arise from cancellations", §2.1).
+        Distance::Euclidean => {
+            (x.a_norms[0] - T::from_f64(2.0) * x.dot + x.b_norms[0])
+                .max(T::ZERO)
+                .sqrt()
+        }
+        Distance::Cosine => {
+            let (na, nb) = (x.a_norms[0], x.b_norms[0]);
+            if na == T::ZERO && nb == T::ZERO {
+                T::ZERO
+            } else if na == T::ZERO || nb == T::ZERO {
+                T::ONE
+            } else {
+                T::ONE - x.dot / (na * nb)
+            }
+        }
+        Distance::Correlation => {
+            // 1 − (k⟨x,y⟩ − ΣxΣy) / (√(k‖x‖²−(Σx)²) · √(k‖y‖²−(Σy)²))
+            let (sa, qa) = (x.a_norms[0], x.a_norms[1]);
+            let (sb, qb) = (x.b_norms[0], x.b_norms[1]);
+            let da = (k * qa - sa * sa).max(T::ZERO).sqrt();
+            let db = (k * qb - sb * sb).max(T::ZERO).sqrt();
+            if da == T::ZERO && db == T::ZERO {
+                T::ZERO
+            } else if da == T::ZERO || db == T::ZERO {
+                T::ONE
+            } else {
+                T::ONE - (k * x.dot - sa * sb) / (da * db)
+            }
+        }
+        Distance::DiceSorensen => {
+            let denom = x.a_norms[0] + x.b_norms[0];
+            if denom == T::ZERO {
+                T::ZERO
+            } else {
+                T::ONE - T::from_f64(2.0) * x.dot / denom
+            }
+        }
+        Distance::Jaccard => {
+            let denom = x.a_norms[0] + x.b_norms[0] - x.dot;
+            if denom == T::ZERO {
+                T::ZERO
+            } else {
+                T::ONE - x.dot / denom
+            }
+        }
+        // 1/√2 · √(Σx + Σy − 2⟨√x,√y⟩) — exact for arbitrary non-negative
+        // input (the paper's `1 − √⟨√x·√y⟩` assumes probability rows).
+        Distance::Hellinger => {
+            ((x.a_norms[0] + x.b_norms[0] - T::from_f64(2.0) * x.dot).max(T::ZERO)
+                / T::from_f64(2.0))
+            .sqrt()
+        }
+        Distance::KlDivergence => x.dot,
+        Distance::RusselRao => (k - x.dot) / k,
+        // Bray-Curtis: the NAMM union pass delivered Σ|x−y| as `dot`;
+        // the norms supply the Σx + Σy denominator.
+        Distance::BrayCurtis => {
+            let denom = x.a_norms[0] + x.b_norms[0];
+            if denom == T::ZERO {
+                T::ZERO
+            } else {
+                x.dot / denom
+            }
+        }
+        namm => panic!("{namm} is a NAMM distance with no expanded form"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(dot: f64, a: [f64; 2], b: [f64; 2], k: usize) -> ExpansionInputs<f64> {
+        ExpansionInputs {
+            dot,
+            a_norms: a,
+            b_norms: b,
+            k,
+        }
+    }
+
+    #[test]
+    fn euclidean_expansion_matches_direct() {
+        // x = [3, 0], y = [0, 4]: ‖x‖²=9, ‖y‖²=16, dot=0 → 5
+        let d = expand(Distance::Euclidean, inputs(0.0, [9.0, 0.0], [16.0, 0.0], 2));
+        assert!((d - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn euclidean_expansion_clamps_cancellation() {
+        // Identical vectors with rounding noise must not produce NaN.
+        let d = expand(
+            Distance::Euclidean,
+            inputs(1.0 + 1e-16, [1.0, 0.0], [1.0, 0.0], 4),
+        );
+        assert!(d >= 0.0 && d.is_finite());
+    }
+
+    #[test]
+    fn cosine_of_parallel_vectors_is_zero() {
+        // x = y = [1,1]: dot=2, ‖·‖=√2
+        let d = expand(
+            Distance::Cosine,
+            inputs(2.0, [2.0f64.sqrt(), 0.0], [2.0f64.sqrt(), 0.0], 2),
+        );
+        assert!(d.abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_zero_vector_conventions() {
+        assert_eq!(
+            expand(Distance::Cosine, inputs(0.0, [0.0, 0.0], [0.0, 0.0], 2)),
+            0.0
+        );
+        assert_eq!(
+            expand(Distance::Cosine, inputs(0.0, [0.0, 0.0], [1.0, 0.0], 2)),
+            1.0
+        );
+    }
+
+    #[test]
+    fn correlation_of_identical_vectors_is_zero() {
+        // x = y = [1, 2]: Σ=3, ‖·‖²=5, dot=5, k=2
+        let d = expand(
+            Distance::Correlation,
+            inputs(5.0, [3.0, 5.0], [3.0, 5.0], 2),
+        );
+        assert!(d.abs() < 1e-9);
+    }
+
+    #[test]
+    fn correlation_of_anticorrelated_vectors_is_two() {
+        // x = [1, -1], y = [-1, 1]: Σx=0, ‖x‖²=2, dot=-2
+        let d = expand(
+            Distance::Correlation,
+            inputs(-2.0, [0.0, 2.0], [0.0, 2.0], 2),
+        );
+        assert!((d - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn correlation_constant_rows_use_guard() {
+        // Constant row has k‖x‖² = (Σx)² → zero variance.
+        let both = expand(Distance::Correlation, inputs(1.0, [2.0, 2.0], [2.0, 2.0], 2));
+        assert_eq!(both, 0.0);
+        let one = expand(Distance::Correlation, inputs(1.0, [2.0, 2.0], [1.0, 5.0], 2));
+        assert_eq!(one, 1.0);
+    }
+
+    #[test]
+    fn jaccard_binary_case() {
+        // x = {1,1,0}, y = {0,1,1}: dot=1, ‖x‖²=2, ‖y‖²=2 → 1 - 1/3
+        let d = expand(Distance::Jaccard, inputs(1.0, [2.0, 0.0], [2.0, 0.0], 3));
+        assert!((d - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_of_empty_vectors_is_zero() {
+        assert_eq!(
+            expand(Distance::Jaccard, inputs(0.0, [0.0, 0.0], [0.0, 0.0], 3)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn dice_binary_case() {
+        // Same sets as above: 1 - 2·1/(2+2) = 0.5
+        let d = expand(Distance::DiceSorensen, inputs(1.0, [2.0, 0.0], [2.0, 0.0], 3));
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hellinger_of_identical_distributions_is_zero() {
+        // x = y = [0.5, 0.5]: ⟨√x,√y⟩ = 1, Σx = Σy = 1
+        let d = expand(Distance::Hellinger, inputs(1.0, [1.0, 0.0], [1.0, 0.0], 2));
+        assert!(d.abs() < 1e-12);
+    }
+
+    #[test]
+    fn hellinger_of_disjoint_distributions_is_one() {
+        let d = expand(Distance::Hellinger, inputs(0.0, [1.0, 0.0], [1.0, 0.0], 2));
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn russel_rao_counts_matches() {
+        // k = 4, dot = 3 → (4-3)/4
+        let d = expand(Distance::RusselRao, ExpansionInputs::dot_only(3.0, 4));
+        assert!((d - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_and_kl_pass_through() {
+        assert_eq!(
+            expand(Distance::DotProduct, ExpansionInputs::dot_only(7.5, 9)),
+            7.5
+        );
+        assert_eq!(
+            expand(Distance::KlDivergence, ExpansionInputs::dot_only(0.4, 9)),
+            0.4
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "NAMM distance")]
+    fn namm_distance_panics() {
+        expand(Distance::Manhattan, ExpansionInputs::dot_only(1.0, 2));
+    }
+}

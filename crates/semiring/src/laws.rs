@@ -1,0 +1,209 @@
+//! Algebraic law checking for user-constructed semirings.
+//!
+//! The Figure 3 API lets downstream users assemble semirings from
+//! arbitrary monoids; the laws of §2.2 are then *their* obligation. This
+//! module makes the obligations checkable: sample-based verification of
+//! monoid laws (associativity, identity), semiring laws (distributivity
+//! where meaningful, annihilation), and the NAMM requirements
+//! (commutativity of `⊗`, `id⊗ = 0`), so custom algebras can be
+//! validated in a test before being launched across a billion cells.
+
+use crate::monoid::Monoid;
+use crate::semiring::Semiring;
+use sparse::Real;
+
+/// A violated law, with a witness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LawViolation {
+    /// Which law failed (e.g. "associativity of ⊕").
+    pub law: &'static str,
+    /// Human-readable witness of the failure.
+    pub witness: String,
+}
+
+impl std::fmt::Display for LawViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} violated: {}", self.law, self.witness)
+    }
+}
+
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    // Exact equality first: ∞ == ∞ must count as close even though
+    // ∞ − ∞ is NaN (tropical identities live at +∞). A finite value is
+    // never close to an infinity — the tolerance band would otherwise
+    // saturate to ∞ ≤ ∞.
+    if a == b {
+        return true;
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return false;
+    }
+    (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+}
+
+/// Checks monoid laws on the given sample points; returns all violations
+/// found (empty = no counterexample in the sample).
+pub fn check_monoid<T: Real>(m: &Monoid<T>, samples: &[T], tol: f64) -> Vec<LawViolation> {
+    let mut out = Vec::new();
+    for &a in samples {
+        let l = m.apply(m.identity(), a).to_f64();
+        let r = m.apply(a, m.identity()).to_f64();
+        if !close(l, a.to_f64(), tol) {
+            out.push(LawViolation {
+                law: "left identity",
+                witness: format!("op(id, {a}) = {l} != {a}"),
+            });
+        }
+        if !close(r, a.to_f64(), tol) {
+            out.push(LawViolation {
+                law: "right identity",
+                witness: format!("op({a}, id) = {r} != {a}"),
+            });
+        }
+        for &b in samples {
+            for &c in samples {
+                let lhs = m.apply(m.apply(a, b), c).to_f64();
+                let rhs = m.apply(a, m.apply(b, c)).to_f64();
+                if !close(lhs, rhs, tol) {
+                    out.push(LawViolation {
+                        law: "associativity",
+                        witness: format!("(({a}∘{b})∘{c}) = {lhs} != {rhs}"),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Checks the semiring obligations of §2.2 on the sample points:
+///
+/// * `⊕` is a commutative monoid;
+/// * annihilating semirings: `⊗(x, 0)` and `⊗(0, x)` equal `id⊕` (the
+///   structural zero annihilates), so intersection-only evaluation is
+///   sound;
+/// * NAMMs: `id⊗ = 0`, and `⊗` commutes (the §2.2 requirement for union
+///   evaluation in metric spaces).
+pub fn check_semiring<T: Real>(
+    sr: &Semiring<T>,
+    samples: &[T],
+    tol: f64,
+) -> Vec<LawViolation> {
+    let mut out = check_monoid(sr.reduce_monoid(), samples, tol);
+    for &a in samples {
+        for &b in samples {
+            let lhs = sr.reduce(a, b).to_f64();
+            let rhs = sr.reduce(b, a).to_f64();
+            if !close(lhs, rhs, tol) {
+                out.push(LawViolation {
+                    law: "commutativity of ⊕",
+                    witness: format!("{a}⊕{b} = {lhs} != {rhs}"),
+                });
+            }
+        }
+    }
+    if sr.is_annihilating() {
+        let id = sr.reduce_identity().to_f64();
+        for &a in samples {
+            let l = sr.product(a, T::ZERO).to_f64();
+            let r = sr.product(T::ZERO, a).to_f64();
+            if !close(l, id, tol) || !close(r, id, tol) {
+                out.push(LawViolation {
+                    law: "annihilation on the structural zero",
+                    witness: format!("⊗({a}, 0) = {l}, ⊗(0, {a}) = {r}, id⊕ = {id}"),
+                });
+            }
+        }
+    } else {
+        if sr.product_identity() != T::ZERO {
+            out.push(LawViolation {
+                law: "NAMM identity (id⊗ = 0)",
+                witness: format!("id⊗ = {}", sr.product_identity()),
+            });
+        }
+        for &a in samples {
+            for &b in samples {
+                let lhs = sr.product(a, b).to_f64();
+                let rhs = sr.product(b, a).to_f64();
+                if !close(lhs, rhs, tol) {
+                    out.push(LawViolation {
+                        law: "commutativity of ⊗ (NAMM)",
+                        witness: format!("⊗({a},{b}) = {lhs} != {rhs}"),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{Distance, DistanceParams, Family};
+
+    fn samples() -> Vec<f64> {
+        vec![0.0, 0.25, 1.0, 2.5, 7.0]
+    }
+
+    #[test]
+    fn every_table1_semiring_passes_its_laws() {
+        let params = DistanceParams { minkowski_p: 3.0 };
+        for d in Distance::ALL {
+            // Note KL's ⊗ is deliberately asymmetric ("makes no further
+            // assumption of symmetry") but KL is in the annihilating
+            // family, where commutativity is not an obligation — only
+            // NAMMs get the symmetry check.
+            let sr = d.semiring::<f64>(&params);
+            let violations = check_semiring(&sr, &samples(), 1e-9);
+            assert!(violations.is_empty(), "{d}: {violations:?}");
+            if d.family() == Family::Namm {
+                assert!(!sr.is_annihilating());
+            }
+        }
+    }
+
+    #[test]
+    fn tropical_semiring_passes() {
+        let sr = Semiring::<f64>::tropical();
+        // Tropical ⊕ = min with id +∞; include the identity in samples.
+        let mut s = samples();
+        s.push(f64::INFINITY);
+        // Annihilation check: ⊗(x, 0) = x + 0 = x ≠ +∞ — tropical is the
+        // paper's "relaxed" case where the structural zero is id⊗, not
+        // the annihilator. The checker must flag it.
+        let violations = check_semiring(&sr, &s, 1e-9);
+        assert!(violations
+            .iter()
+            .all(|v| v.law == "annihilation on the structural zero"));
+        assert!(!violations.is_empty());
+    }
+
+    #[test]
+    fn broken_monoid_is_caught() {
+        // Subtraction: not associative, identity only on the right.
+        let sub = Monoid::new(|a: f64, b: f64| a - b, 0.0);
+        let v = check_monoid(&sub, &samples(), 1e-9);
+        assert!(v.iter().any(|x| x.law == "associativity"));
+        assert!(v.iter().any(|x| x.law == "left identity"));
+    }
+
+    #[test]
+    fn non_commutative_namm_is_caught() {
+        let bad = Semiring::namm(
+            Monoid::new(|a: f64, b: f64| a - b, 0.0),
+            Monoid::plus(),
+        );
+        let v = check_semiring(&bad, &samples(), 1e-9);
+        assert!(v.iter().any(|x| x.law == "commutativity of ⊗ (NAMM)"));
+    }
+
+    #[test]
+    fn violation_displays_read_well() {
+        let v = LawViolation {
+            law: "associativity",
+            witness: "((1∘2)∘3) = 0 != 2".into(),
+        };
+        assert_eq!(v.to_string(), "associativity violated: ((1∘2)∘3) = 0 != 2");
+    }
+}

@@ -1,0 +1,79 @@
+//! Semiring algebra and the fifteen distance measures of the paper's
+//! Table 1.
+//!
+//! A *semiring* `(S, ℝ, {⊕, id⊕}, {⊗, id⊗})` generalizes the inner product
+//! of a matrix multiply: `⊗` maps pointwise-corresponding vector elements
+//! and `⊕` reduces the mapped products to a scalar. With the ordinary dot
+//! product (`⊗ = ×` with `annihilator⊗ = 0`), only the *intersection* of
+//! nonzero columns contributes. The paper's key algebraic enhancement is
+//! the **non-annihilating multiplicative monoid (NAMM)**: `⊗` with
+//! `id⊗ = 0` and *no* annihilator, which forces evaluation over the full
+//! *union* of nonzero columns and captures distances like Manhattan and
+//! Chebyshev that a dot product cannot express.
+//!
+//! The crate provides:
+//!
+//! * [`Monoid`] / [`Semiring`] — the algebra, as plain `Copy` values built
+//!   from function pointers (mirroring the paper's Figure 3 construction
+//!   API).
+//! * [`Distance`] — the fifteen measures, each knowing its
+//!   [`Family`] (expanded vs NAMM), its semiring, the row norms its
+//!   expansion needs, and its expansion/finalization arithmetic.
+//! * [`reference`] — exact dense implementations straight from the
+//!   "Formula" column of Table 1, the ground truth every kernel is tested
+//!   against.
+//! * [`namm`] — union-decomposition helpers and the Appendix A.1 worked
+//!   example.
+//!
+//! # The fifteen distances (Table 1)
+//!
+//! | Distance | Family | `⊗` | `⊕` | Norms | Post-processing |
+//! |---|---|---|---|---|---|
+//! | Correlation | expanded | `a·b` | `+` | Sum, ‖·‖² | expansion |
+//! | Cosine | expanded | `a·b` | `+` | ‖·‖₂ | expansion |
+//! | Dice-Sørensen | expanded | `a·b` | `+` | ‖·‖² | expansion |
+//! | Dot Product | expanded | `a·b` | `+` | — | — |
+//! | Euclidean | expanded | `a·b` | `+` | ‖·‖² | expansion |
+//! | Hellinger | expanded | `√(a·b)` | `+` | L1 | expansion |
+//! | Jaccard | expanded | `a·b` | `+` | ‖·‖² | expansion |
+//! | KL divergence | expanded | `a·ln(a/b)` | `+` | — | — |
+//! | Russel-Rao | expanded | `a·b` | `+` | — | expansion |
+//! | Canberra | NAMM | `\|a−b\|/(\|a\|+\|b\|)` | `+` | — | — |
+//! | Chebyshev | NAMM | `\|a−b\|` | `max` | — | — |
+//! | Hamming | NAMM | `a≠b` | `+` | — | `/k` |
+//! | Jensen-Shannon | NAMM | `a·ln(a/m)+b·ln(b/m)` | `+` | — | `√(·/2)` |
+//! | Manhattan | NAMM | `\|a−b\|` | `+` | — | — |
+//! | Minkowski | NAMM | `\|a−b\|^p` | `+` | — | `(·)^{1/p}` |
+//!
+//! # Example: Manhattan as a semiring (Appendix A.1)
+//!
+//! ```
+//! use semiring::{Distance, DistanceParams, apply_semiring_union};
+//!
+//! let a = [(0u32, 1.0f64), (2, 1.0)]; // sparse [1, 0, 1]
+//! let b = [(1u32, 1.0f64)];           // sparse [0, 1, 0]
+//! let params = DistanceParams::default();
+//! let sr = Distance::Manhattan.semiring(&params);
+//! let acc = apply_semiring_union(&a, &b, &sr);
+//! assert_eq!(Distance::Manhattan.finalize(acc, 3, &params), 3.0);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod distance;
+pub mod expansion;
+pub mod laws;
+pub mod monoid;
+pub mod namm;
+pub mod reference;
+pub mod semiring;
+
+pub use distance::{Distance, DistanceParams, Family};
+pub use expansion::ExpansionInputs;
+pub use laws::{check_monoid, check_semiring, LawViolation};
+pub use monoid::Monoid;
+pub use namm::{
+    apply_semiring_difference, apply_semiring_intersection, apply_semiring_pass,
+    apply_semiring_union,
+};
+pub use semiring::Semiring;

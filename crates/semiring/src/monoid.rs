@@ -1,0 +1,159 @@
+//! Monoids — the building blocks of semirings (§2.2).
+
+use sparse::Real;
+
+/// Internal representation of a monoid operation: either a plain binary
+/// function pointer, or one that also reads a fixed parameter (the
+/// Minkowski degree `p` is the motivating case).
+#[derive(Debug, Clone, Copy)]
+enum Op<T> {
+    Plain(fn(T, T) -> T),
+    Param(fn(T, T, T) -> T, T),
+}
+
+/// A monoid: an associative binary operation with an identity element.
+///
+/// Monoids are plain `Copy` values built from function pointers so they
+/// can be freely captured by simulated GPU kernels without allocation or
+/// dynamic dispatch — the same constraint real CUDA kernels place on
+/// functors.
+///
+/// # Example
+///
+/// ```
+/// use semiring::Monoid;
+/// let plus = Monoid::<f32>::plus();
+/// assert_eq!(plus.apply(2.0, 3.0), 5.0);
+/// assert_eq!(plus.identity(), 0.0);
+/// let absdiff = Monoid::new(|a: f32, b: f32| (a - b).abs(), 0.0);
+/// assert_eq!(absdiff.apply(1.0, 4.0), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Monoid<T> {
+    op: Op<T>,
+    identity: T,
+}
+
+impl<T: Real> Monoid<T> {
+    /// Creates a monoid from a binary operation and its identity.
+    pub fn new(op: fn(T, T) -> T, identity: T) -> Self {
+        Self {
+            op: Op::Plain(op),
+            identity,
+        }
+    }
+
+    /// Creates a monoid whose operation also reads a fixed parameter
+    /// (e.g. Minkowski's `p`, passed as the third argument on every
+    /// application).
+    pub fn with_param(op: fn(T, T, T) -> T, identity: T, param: T) -> Self {
+        Self {
+            op: Op::Param(op, param),
+            identity,
+        }
+    }
+
+    /// The additive monoid `{+, 0}`.
+    pub fn plus() -> Self {
+        Self::new(|a, b| a + b, T::ZERO)
+    }
+
+    /// The multiplicative monoid `{×, 1}`.
+    pub fn times() -> Self {
+        Self::new(|a, b| a * b, T::ONE)
+    }
+
+    /// The `{max, 0}` monoid used as `⊕` by Chebyshev (term values are
+    /// non-negative after the absolute difference, so 0 is an identity).
+    pub fn max() -> Self {
+        Self::new(|a, b| a.max(b), T::ZERO)
+    }
+
+    /// The `{min, +∞}` monoid of the tropical semiring (Equation 1 of the
+    /// paper).
+    pub fn min() -> Self {
+        Self::new(|a, b| a.min(b), T::INFINITY)
+    }
+
+    /// Applies the operation.
+    #[inline]
+    pub fn apply(&self, a: T, b: T) -> T {
+        match self.op {
+            Op::Plain(f) => f(a, b),
+            Op::Param(f, p) => f(a, b, p),
+        }
+    }
+
+    /// The identity element.
+    #[inline]
+    pub fn identity(&self) -> T {
+        self.identity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_monoid_laws<T: Real>(m: &Monoid<T>, samples: &[T], tol: f64) {
+        for &a in samples {
+            assert!(
+                (m.apply(a, m.identity()).to_f64() - a.to_f64()).abs() <= tol,
+                "right identity failed for {a}"
+            );
+            assert!(
+                (m.apply(m.identity(), a).to_f64() - a.to_f64()).abs() <= tol,
+                "left identity failed for {a}"
+            );
+            for &b in samples {
+                for &c in samples {
+                    let l = m.apply(m.apply(a, b), c).to_f64();
+                    let r = m.apply(a, m.apply(b, c)).to_f64();
+                    assert!((l - r).abs() <= tol, "associativity failed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plus_is_a_monoid() {
+        assert_monoid_laws(&Monoid::<f64>::plus(), &[0.0, 1.0, 2.5, 7.0], 1e-12);
+    }
+
+    #[test]
+    fn times_is_a_monoid() {
+        assert_monoid_laws(&Monoid::<f64>::times(), &[1.0, 2.0, 0.5], 1e-12);
+    }
+
+    #[test]
+    fn max_is_a_monoid_on_nonnegative_reals() {
+        assert_monoid_laws(&Monoid::<f64>::max(), &[0.0, 1.0, 3.0], 0.0);
+    }
+
+    #[test]
+    fn min_identity_is_infinity() {
+        let m = Monoid::<f32>::min();
+        assert_eq!(m.apply(5.0, m.identity()), 5.0);
+        assert_eq!(m.apply(2.0, 3.0), 2.0);
+    }
+
+    #[test]
+    fn with_param_threads_parameter() {
+        fn powp(a: f64, b: f64, p: f64) -> f64 {
+            (a - b).abs().powf(p)
+        }
+        let m = Monoid::with_param(powp, 0.0, 3.0);
+        assert_eq!(m.apply(2.0, 0.0), 8.0);
+    }
+
+    #[test]
+    fn custom_plain_op_via_fn_pointer_coercion() {
+        let absdiff = Monoid::new(|a: f32, b: f32| (a - b).abs(), 0.0);
+        assert_eq!(absdiff.apply(1.0, 4.0), 3.0);
+        assert_eq!(absdiff.apply(4.0, 1.0), 3.0);
+        // id⊗ = 0 makes the op behave like XOR on zero/nonzero patterns
+        // (Appendix A.1).
+        assert_eq!(absdiff.apply(0.0, 2.0), 2.0);
+        assert_eq!(absdiff.apply(2.0, 0.0), 2.0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Union/intersection evaluation of semirings over sparse vectors
+//! (§2.2, Equation 3, Appendix A.1).
+//!
+//! A union of nonzero columns decomposes as
+//! `a ∪ b = {a ∩ b} ∪ {ā ∩ b} ∪ {a ∩ b̄}`. Annihilating semirings only
+//! need the intersection term; NAMMs need all three, which the hybrid
+//! kernel computes in two passes. The functions here are the *sequential
+//! reference* for those passes: exact two-pointer merges over sorted
+//! sparse vectors that the kernel implementations are property-tested
+//! against.
+
+use crate::semiring::Semiring;
+use sparse::{Idx, Real};
+
+/// Applies the semiring over the **intersection** of nonzero columns:
+/// `⊕_{i ∈ nz(a) ∩ nz(b)} ⊗(a_i, b_i)`.
+///
+/// This is the evaluation an annihilating (dot-product-like) semiring
+/// needs; both inputs must be sorted by column index.
+pub fn apply_semiring_intersection<T: Real>(
+    a: &[(Idx, T)],
+    b: &[(Idx, T)],
+    sr: &Semiring<T>,
+) -> T {
+    let mut acc = sr.reduce_identity();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                acc = sr.reduce(acc, sr.product(a[i].1, b[j].1));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    acc
+}
+
+/// Applies the semiring over the **union** of nonzero columns:
+/// `⊕_{i ∈ nz(a) ∪ nz(b)} ⊗(a_i, b_i)` where a missing side contributes
+/// the product identity `id⊗ = 0`.
+///
+/// This is the full-union evaluation NAMM distances require. Both inputs
+/// must be sorted by column index.
+pub fn apply_semiring_union<T: Real>(a: &[(Idx, T)], b: &[(Idx, T)], sr: &Semiring<T>) -> T {
+    // A column missing from one vector is an implicit zero. For a NAMM
+    // (id⊗ = 0) the term is ⊗(x, 0); for an annihilating semiring the
+    // missing side is the annihilator, so the term is id⊕ and is skipped
+    // outright — this keeps relaxed semirings like the tropical one
+    // (where the annihilator is +∞, not the stored 0) correct.
+    let zero = T::ZERO;
+    let skip_single = sr.is_annihilating();
+    let mut acc = sr.reduce_identity();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        let ca = if i < a.len() { a[i].0 } else { Idx::MAX };
+        let cb = if j < b.len() { b[j].0 } else { Idx::MAX };
+        match ca.cmp(&cb) {
+            std::cmp::Ordering::Less => {
+                if !skip_single {
+                    acc = sr.reduce(acc, sr.product(a[i].1, zero));
+                }
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                if !skip_single {
+                    acc = sr.reduce(acc, sr.product(zero, b[j].1));
+                }
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                acc = sr.reduce(acc, sr.product(a[i].1, b[j].1));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    acc
+}
+
+/// Applies the semiring over one **symmetric difference**,
+/// `⊕_{i ∈ nz(a), i ∉ nz(b)} ⊗(a_i, 0)` — the term the hybrid kernel's
+/// second pass adds after pass one has covered `a ∩ b` and `ā ∩ b`
+/// (§3.3.1: "a second pass can compute the remaining symmetric
+/// difference ... by commuting A and B and skipping the application of
+/// id⊗ in B").
+pub fn apply_semiring_difference<T: Real>(
+    a: &[(Idx, T)],
+    b: &[(Idx, T)],
+    sr: &Semiring<T>,
+) -> T {
+    let zero = T::ZERO;
+    let mut acc = sr.reduce_identity();
+    if sr.is_annihilating() {
+        // Every term here has a missing side → all annihilate.
+        return acc;
+    }
+    let mut j = 0;
+    for &(ca, va) in a {
+        while j < b.len() && b[j].0 < ca {
+            j += 1;
+        }
+        if j >= b.len() || b[j].0 != ca {
+            acc = sr.reduce(acc, sr.product(va, zero));
+        }
+    }
+    acc
+}
+
+/// Applies the semiring the way a one-sided SPMV pass does: over all
+/// nonzeros of `b`, looking the column up in `a` (covering `a ∩ b` and
+/// `ā ∩ b` but *missing* `a ∩ b̄`). The two-pass decomposition is then
+/// `union = pass(a, b) ⊕ difference(a, b)`.
+pub fn apply_semiring_pass<T: Real>(a: &[(Idx, T)], b: &[(Idx, T)], sr: &Semiring<T>) -> T {
+    let zero = T::ZERO;
+    let mut acc = sr.reduce_identity();
+    let mut i = 0;
+    for &(cb, vb) in b {
+        while i < a.len() && a[i].0 < cb {
+            i += 1;
+        }
+        if i < a.len() && a[i].0 == cb {
+            acc = sr.reduce(acc, sr.product(a[i].1, vb));
+        } else if !sr.is_annihilating() {
+            acc = sr.reduce(acc, sr.product(zero, vb));
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{Distance, DistanceParams};
+    use crate::monoid::Monoid;
+    use proptest::prelude::*;
+
+    /// Appendix A.1 worked example: a = [1,0,1], b = [0,1,0] under the
+    /// Manhattan NAMM must give 3, while a (wrong) annihilating reading
+    /// gives 0.
+    #[test]
+    fn appendix_a1_manhattan_example() {
+        let a = [(0u32, 1.0f64), (2, 1.0)];
+        let b = [(1u32, 1.0f64)];
+        let sr = Distance::Manhattan.semiring(&DistanceParams::default());
+        assert_eq!(apply_semiring_union(&a, &b, &sr), 3.0);
+        // Intersection-only (the annihilating mistake) yields 0.
+        assert_eq!(apply_semiring_intersection(&a, &b, &sr), 0.0);
+    }
+
+    #[test]
+    fn appendix_a1_spmv_two_pass() {
+        // A = [[1, 0, 1]], b = [0, 1, 1]: pass covers columns of b
+        // (giving |0-1| + |1-1| = 1), difference adds column 0 of A.
+        let a = [(0u32, 1.0f64), (2, 1.0)];
+        let b = [(1u32, 1.0f64), (2, 1.0)];
+        let sr = Distance::Manhattan.semiring(&DistanceParams::default());
+        let pass1 = apply_semiring_pass(&a, &b, &sr);
+        let pass2 = apply_semiring_difference(&a, &b, &sr);
+        assert_eq!(pass1, 1.0);
+        assert_eq!(pass2, 1.0);
+        assert_eq!(
+            sr.reduce(pass1, pass2),
+            apply_semiring_union(&a, &b, &sr)
+        );
+    }
+
+    #[test]
+    fn dot_product_union_equals_intersection() {
+        // For an annihilating semiring the extra union terms are all 0.
+        let a = [(0u32, 2.0f64), (3, 1.0), (7, 4.0)];
+        let b = [(0u32, 1.0f64), (2, 5.0), (7, 2.0)];
+        let sr = Semiring::dot_product();
+        assert_eq!(apply_semiring_intersection(&a, &b, &sr), 10.0);
+        assert_eq!(apply_semiring_union(&a, &b, &sr), 10.0);
+    }
+
+    #[test]
+    fn difference_skips_shared_columns() {
+        let a = [(0u32, 1.0f64), (1, 2.0), (5, 3.0)];
+        let b = [(1u32, 9.0f64)];
+        let sr = Distance::Manhattan.semiring(&DistanceParams::default());
+        // Only columns 0 and 5 of a are outside b.
+        assert_eq!(apply_semiring_difference(&a, &b, &sr), 4.0);
+    }
+
+    #[test]
+    fn empty_vectors_reduce_to_identity() {
+        let sr = Semiring::<f64>::dot_product();
+        let empty: [(Idx, f64); 0] = [];
+        assert_eq!(apply_semiring_union(&empty, &empty, &sr), 0.0);
+        assert_eq!(apply_semiring_intersection(&empty, &empty, &sr), 0.0);
+        let max_sr = Semiring::namm(
+            Monoid::new(|a: f64, b: f64| (a - b).abs(), 0.0),
+            Monoid::max(),
+        );
+        assert_eq!(apply_semiring_union(&empty, &empty, &max_sr), 0.0);
+    }
+
+    fn arb_sparse_vec() -> impl Strategy<Value = Vec<(Idx, f64)>> {
+        proptest::collection::btree_map(0u32..32, 1u32..100, 0..12).prop_map(|m| {
+            m.into_iter()
+                .map(|(c, v)| (c, v as f64 / 10.0))
+                .collect()
+        })
+    }
+
+    proptest! {
+        /// Equation 3: union = pass(a,b) ⊕ difference(a,b) for every NAMM
+        /// distance (the correctness contract of two-pass execution).
+        #[test]
+        fn two_pass_decomposition_equals_union(
+            a in arb_sparse_vec(),
+            b in arb_sparse_vec(),
+        ) {
+            let params = DistanceParams { minkowski_p: 3.0 };
+            for d in Distance::ALL {
+                if d.family() == crate::distance::Family::Namm {
+                    let sr = d.semiring::<f64>(&params);
+                    let union = apply_semiring_union(&a, &b, &sr);
+                    let two_pass = sr.reduce(
+                        apply_semiring_pass(&a, &b, &sr),
+                        apply_semiring_difference(&a, &b, &sr),
+                    );
+                    prop_assert!((union - two_pass).abs() < 1e-9, "{}: {} vs {}", d, union, two_pass);
+                }
+            }
+        }
+
+        /// Annihilating semirings: intersection evaluation is complete.
+        #[test]
+        fn annihilating_union_equals_intersection(
+            a in arb_sparse_vec(),
+            b in arb_sparse_vec(),
+        ) {
+            let params = DistanceParams::default();
+            for d in Distance::ALL {
+                if d.family() == crate::distance::Family::Expanded {
+                    let sr = d.semiring::<f64>(&params);
+                    let u = apply_semiring_union(&a, &b, &sr);
+                    let i = apply_semiring_intersection(&a, &b, &sr);
+                    prop_assert!((u - i).abs() < 1e-9, "{}: {} vs {}", d, u, i);
+                }
+            }
+        }
+
+        /// NAMM products commute, the requirement §2.2 states for metric
+        /// spaces evaluated over unions.
+        #[test]
+        fn namm_union_is_symmetric(
+            a in arb_sparse_vec(),
+            b in arb_sparse_vec(),
+        ) {
+            let params = DistanceParams { minkowski_p: 1.5 };
+            for d in Distance::ALL {
+                if d.family() == crate::distance::Family::Namm {
+                    let sr = d.semiring::<f64>(&params);
+                    let ab = apply_semiring_union(&a, &b, &sr);
+                    let ba = apply_semiring_union(&b, &a, &sr);
+                    prop_assert!((ab - ba).abs() < 1e-9, "{}", d);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Known-value tests: every Table 1 distance evaluated on one fixed
+//! vector pair, compared against constants computed independently (by a
+//! Python script following the textbook formulas — not by this crate),
+//! through both the dense reference and the sparse semiring pipeline.
+//!
+//! Fixed pair (both probability vectors, so the divergence-family
+//! distances are well-defined):
+//!
+//! ```text
+//! x = [0.2, 0.0, 0.4, 0.4]
+//! y = [0.1, 0.3, 0.6, 0.0]
+//! ```
+
+use semiring::reference::{dense_distance, sparse_distance};
+use semiring::{Distance, DistanceParams};
+use sparse::Idx;
+
+const X: [f64; 4] = [0.2, 0.0, 0.4, 0.4];
+const Y: [f64; 4] = [0.1, 0.3, 0.6, 0.0];
+
+fn sparse(v: &[f64]) -> Vec<(Idx, f64)> {
+    v.iter()
+        .enumerate()
+        .filter(|(_, &x)| x != 0.0)
+        .map(|(i, &x)| (i as Idx, x))
+        .collect()
+}
+
+fn check(distance: Distance, p: f64, expected: f64) {
+    let params = DistanceParams { minkowski_p: p };
+    let dense = dense_distance(&X, &Y, distance, &params);
+    assert!(
+        (dense - expected).abs() < 1e-12,
+        "{distance} dense: got {dense}, expected {expected}"
+    );
+    let sp = sparse_distance(&sparse(&X), &sparse(&Y), 4, distance, &params);
+    assert!(
+        (sp - expected).abs() < 1e-12,
+        "{distance} sparse pipeline: got {sp}, expected {expected}"
+    );
+}
+
+#[test]
+fn correlation_known_value() {
+    check(Distance::Correlation, 2.0, 0.9342048305040231);
+}
+
+#[test]
+fn cosine_known_value() {
+    check(Distance::Cosine, 2.0, 0.36108485666211254);
+}
+
+#[test]
+fn dice_known_value() {
+    check(Distance::DiceSorensen, 2.0, 0.36585365853658536);
+}
+
+#[test]
+fn dot_product_known_value() {
+    check(Distance::DotProduct, 2.0, 0.26);
+}
+
+#[test]
+fn euclidean_known_value() {
+    check(Distance::Euclidean, 2.0, 0.5477225575051662);
+}
+
+#[test]
+fn canberra_known_value() {
+    check(Distance::Canberra, 2.0, 2.533333333333333);
+}
+
+#[test]
+fn chebyshev_known_value() {
+    check(Distance::Chebyshev, 2.0, 0.4);
+}
+
+#[test]
+fn hamming_known_value() {
+    // Every coordinate differs.
+    check(Distance::Hamming, 2.0, 1.0);
+}
+
+#[test]
+fn hellinger_known_value() {
+    check(Distance::Hellinger, 2.0, 0.6071908227287818);
+}
+
+#[test]
+fn jaccard_known_value() {
+    check(Distance::Jaccard, 2.0, 0.5357142857142858);
+}
+
+#[test]
+fn jensen_shannon_known_value() {
+    check(Distance::JensenShannon, 2.0, 0.5110422896503723);
+}
+
+#[test]
+fn kl_divergence_known_value() {
+    // Shared-support convention: the y-only coordinate contributes
+    // nothing, and the x-only coordinate (x₃ > 0, y₃ = 0) is likewise
+    // excluded, leaving a slightly *negative* partial divergence — a
+    // documented property of the paper's intersection-only ⊗.
+    check(Distance::KlDivergence, 2.0, -0.023556607131276663);
+}
+
+#[test]
+fn manhattan_known_value() {
+    check(Distance::Manhattan, 2.0, 1.0);
+}
+
+#[test]
+fn minkowski_p3_known_value() {
+    check(Distance::Minkowski, 3.0, 0.4641588833612779);
+}
+
+#[test]
+fn russel_rao_known_value() {
+    check(Distance::RusselRao, 2.0, 0.935);
+}
+
+#[test]
+fn minkowski_degenerates_to_manhattan_and_euclidean() {
+    check(Distance::Minkowski, 1.0, 1.0); // = Manhattan
+    check(Distance::Minkowski, 2.0, 0.5477225575051662); // = Euclidean
+}
+
+#[test]
+fn bray_curtis_known_value() {
+    // Σ|x−y| = 1.0, Σ(x+y) = 2.0 → 0.5 (extension distance, not Table 1).
+    check(Distance::BrayCurtis, 2.0, 0.5);
+}

@@ -1,0 +1,140 @@
+//! Row batching for memory-bounded pairwise computation.
+//!
+//! The paper's benchmarks run a k-NN query precisely because batching is
+//! required "to allow scaling to datasets where the dense pairwise
+//! distance matrix may not otherwise fit in the memory of the GPU" (§4.2).
+//! [`RowBatches`] plans the row slabs of `A` so each `batch × n` dense
+//! output tile fits a byte budget.
+
+use crate::csr::CsrMatrix;
+use crate::real::Real;
+use std::ops::Range;
+
+/// Iterator over contiguous row ranges of a query matrix such that each
+/// `rows_in_batch × out_cols` dense output tile fits `max_output_bytes`.
+///
+/// # Example
+///
+/// ```
+/// use sparse::RowBatches;
+/// // 10 query rows against 1000 index rows, budget of 16 KiB of f32 output
+/// let batches: Vec<_> = RowBatches::plan(10, 1000, 4, 16 * 1024).collect();
+/// assert_eq!(batches.first(), Some(&(0..4)));
+/// assert_eq!(batches.last().map(|r| r.end), Some(10));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RowBatches {
+    total_rows: usize,
+    batch_rows: usize,
+    next: usize,
+}
+
+impl RowBatches {
+    /// Plans batches of rows for a `total_rows × out_cols` output of
+    /// `scalar_bytes`-wide scalars under a `max_output_bytes` budget.
+    ///
+    /// At least one row per batch is always emitted, even when a single
+    /// output row exceeds the budget (the caller cannot subdivide a row).
+    pub fn plan(
+        total_rows: usize,
+        out_cols: usize,
+        scalar_bytes: usize,
+        max_output_bytes: usize,
+    ) -> Self {
+        let row_bytes = out_cols.max(1) * scalar_bytes.max(1);
+        let batch_rows = (max_output_bytes / row_bytes).max(1);
+        Self {
+            total_rows,
+            batch_rows,
+            next: 0,
+        }
+    }
+
+    /// Plans batches for a concrete query matrix.
+    pub fn for_matrix<T: Real>(
+        a: &CsrMatrix<T>,
+        out_cols: usize,
+        max_output_bytes: usize,
+    ) -> Self {
+        Self::plan(
+            a.rows(),
+            out_cols,
+            std::mem::size_of::<T>(),
+            max_output_bytes,
+        )
+    }
+
+    /// Number of rows each full batch carries.
+    pub fn batch_rows(&self) -> usize {
+        self.batch_rows
+    }
+
+    /// Total number of batches that will be produced.
+    pub fn num_batches(&self) -> usize {
+        self.total_rows.div_ceil(self.batch_rows)
+    }
+}
+
+impl Iterator for RowBatches {
+    type Item = Range<usize>;
+
+    fn next(&mut self) -> Option<Range<usize>> {
+        if self.next >= self.total_rows {
+            return None;
+        }
+        let start = self.next;
+        let end = (start + self.batch_rows).min(self.total_rows);
+        self.next = end;
+        Some(start..end)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.total_rows - self.next).div_ceil(self.batch_rows);
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for RowBatches {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_cover_all_rows_without_overlap() {
+        let batches: Vec<_> = RowBatches::plan(17, 100, 4, 2000).collect();
+        // 2000 / 400 = 5 rows per batch
+        assert_eq!(batches.len(), 4);
+        let mut expected_start = 0;
+        for b in &batches {
+            assert_eq!(b.start, expected_start);
+            expected_start = b.end;
+        }
+        assert_eq!(expected_start, 17);
+    }
+
+    #[test]
+    fn tiny_budget_still_emits_one_row_per_batch() {
+        let batches: Vec<_> = RowBatches::plan(3, 1_000_000, 8, 1).collect();
+        assert_eq!(batches, vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn zero_rows_yields_no_batches() {
+        assert_eq!(RowBatches::plan(0, 10, 4, 100).count(), 0);
+    }
+
+    #[test]
+    fn exact_size_iterator_agrees_with_num_batches() {
+        let rb = RowBatches::plan(10, 10, 4, 160);
+        assert_eq!(rb.len(), rb.num_batches());
+        assert_eq!(rb.num_batches(), 3); // 4 rows per batch
+    }
+
+    #[test]
+    fn for_matrix_uses_scalar_width() {
+        let m = CsrMatrix::<f64>::zeros(8, 4);
+        let rb = RowBatches::for_matrix(&m, 4, 64);
+        assert_eq!(rb.batch_rows(), 2); // 64 / (4 * 8)
+    }
+}

@@ -1,0 +1,278 @@
+//! Block compressed sparse row matrices.
+//!
+//! §5.1 of the paper: "block compressed sparse formats have become
+//! widely popular ... they can improve load balancing by grouping
+//! nonzeros into fixed-sized tiles ... While we do hope to someday
+//! support block-sparse formats, it is most often assumed that users
+//! will be calling code that invokes our primitive with matrices in the
+//! standard compressed sparse row (CSR) format and so a conversion would
+//! be necessary."
+//!
+//! This module provides that future-work piece: the format, the CSR
+//! round-trip conversion the paper says callers would need, and the
+//! *fill-in* accounting that explains why the paper's skewed datasets
+//! are a poor fit for blocks (a mostly-empty tile still stores
+//! `B × B` values).
+
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+use crate::real::Real;
+use crate::Idx;
+
+/// A block compressed sparse row matrix with square `B × B` blocks
+/// stored dense in row-major order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BsrMatrix<T> {
+    rows: usize,
+    cols: usize,
+    block: usize,
+    /// Row pointers over block rows (`block_rows + 1` entries).
+    indptr: Vec<usize>,
+    /// Block-column index of each stored block.
+    indices: Vec<Idx>,
+    /// Dense `block × block` tiles, concatenated.
+    values: Vec<T>,
+}
+
+impl<T: Real> BsrMatrix<T> {
+    /// Converts a CSR matrix into BSR with `block`-sized tiles; any tile
+    /// containing at least one nonzero is stored dense.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is zero.
+    pub fn from_csr(m: &CsrMatrix<T>, block: usize) -> Self {
+        assert!(block > 0, "block size must be positive");
+        let block_rows = m.rows().div_ceil(block);
+        let block_cols = m.cols().div_ceil(block);
+        let mut indptr = vec![0usize; block_rows + 1];
+        let mut indices: Vec<Idx> = Vec::new();
+        let mut values: Vec<T> = Vec::new();
+
+        for br in 0..block_rows {
+            // Which block columns does this block row touch?
+            let mut touched: Vec<Idx> = Vec::new();
+            for r in (br * block)..((br + 1) * block).min(m.rows()) {
+                for &c in m.row_indices(r) {
+                    let bc = c / block as Idx;
+                    if !touched.contains(&bc) {
+                        touched.push(bc);
+                    }
+                }
+            }
+            touched.sort_unstable();
+            // Materialize each touched tile.
+            for &bc in &touched {
+                let base = values.len();
+                values.resize(base + block * block, T::ZERO);
+                for r in (br * block)..((br + 1) * block).min(m.rows()) {
+                    for (c, v) in m.row(r) {
+                        if c / block as Idx == bc {
+                            let lr = r - br * block;
+                            let lc = (c - bc * block as Idx) as usize;
+                            values[base + lr * block + lc] = v;
+                        }
+                    }
+                }
+                indices.push(bc);
+            }
+            indptr[br + 1] = indices.len();
+            let _ = block_cols;
+        }
+        Self {
+            rows: m.rows(),
+            cols: m.cols(),
+            block,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Expands back into CSR, dropping the explicit zeros of partially
+    /// filled tiles.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible (the structure is valid by construction) but
+    /// fallible for signature stability with the other converters.
+    pub fn to_csr(&self) -> Result<CsrMatrix<T>, SparseError> {
+        let mut b = crate::builder::CsrBuilder::with_capacity(
+            self.rows,
+            self.cols,
+            self.values.len(),
+        );
+        for br in 0..self.indptr.len() - 1 {
+            for slot in self.indptr[br]..self.indptr[br + 1] {
+                let bc = self.indices[slot] as usize;
+                let tile = &self.values[slot * self.block * self.block
+                    ..(slot + 1) * self.block * self.block];
+                for lr in 0..self.block {
+                    let r = br * self.block + lr;
+                    if r >= self.rows {
+                        break;
+                    }
+                    for lc in 0..self.block {
+                        let c = bc * self.block + lc;
+                        if c >= self.cols {
+                            break;
+                        }
+                        let v = tile[lr * self.block + lc];
+                        if v != T::ZERO {
+                            b = b.push(r as Idx, c as Idx, v)?;
+                        }
+                    }
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Number of rows of the logical matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the logical matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Tile side length.
+    pub fn block_size(&self) -> usize {
+        self.block
+    }
+
+    /// Number of stored tiles.
+    pub fn num_blocks(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Stored scalar values, including the explicit zeros of partial
+    /// tiles.
+    pub fn stored_values(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Logical nonzeros (excluding tile padding).
+    pub fn nnz(&self) -> usize {
+        self.values.iter().filter(|&&v| v != T::ZERO).count()
+    }
+
+    /// Fill-in ratio: stored scalars per logical nonzero (1.0 = perfect
+    /// blocks, `B²` = worst case of one nonzero per tile). This is the
+    /// quantity that decides whether block formats pay off on a dataset
+    /// — the paper's skewed text corpora sit near the worst case.
+    pub fn fill_in(&self) -> f64 {
+        let nnz = self.nnz();
+        if nnz == 0 {
+            1.0
+        } else {
+            self.stored_values() as f64 / nnz as f64
+        }
+    }
+
+    /// Bytes of device memory: block pointers + block indices + dense
+    /// tiles.
+    pub fn device_bytes(&self) -> usize {
+        (self.indptr.len()) * 4
+            + self.indices.len() * 4
+            + self.values.len() * std::mem::size_of::<T>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> CsrMatrix<f32> {
+        CsrMatrix::from_dense(
+            4,
+            6,
+            &[
+                1.0, 2.0, 0.0, 0.0, 0.0, 0.0, //
+                3.0, 4.0, 0.0, 0.0, 0.0, 5.0, //
+                0.0, 0.0, 0.0, 0.0, 0.0, 0.0, //
+                0.0, 0.0, 0.0, 0.0, 6.0, 0.0,
+            ],
+        )
+    }
+
+    #[test]
+    fn blocks_cover_touched_tiles_only() {
+        let bsr = BsrMatrix::from_csr(&sample(), 2);
+        // Tiles: (0,0) dense-ish, (0,2) one value, (1,2) one value.
+        assert_eq!(bsr.num_blocks(), 3);
+        assert_eq!(bsr.stored_values(), 12);
+        assert_eq!(bsr.nnz(), 6);
+        assert!((bsr.fill_in() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_trip_preserves_matrix() {
+        let m = sample();
+        for block in [1, 2, 3, 4, 7] {
+            let back = BsrMatrix::from_csr(&m, block).to_csr().expect("valid");
+            assert_eq!(back, m, "block size {block}");
+        }
+    }
+
+    #[test]
+    fn block_aligned_dense_data_has_no_fill_in() {
+        // A fully dense 4x4 with block 2: 4 full tiles.
+        let m = CsrMatrix::from_dense(4, 4, &[1.0f64; 16]);
+        let bsr = BsrMatrix::from_csr(&m, 2);
+        assert_eq!(bsr.num_blocks(), 4);
+        assert!((bsr.fill_in() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scattered_nonzeros_hit_worst_case_fill_in() {
+        // One nonzero per 4x4 tile: fill-in = 16.
+        let m = CsrMatrix::from_triplets(8, 8, &[(0, 0, 1.0f32), (4, 4, 1.0), (0, 4, 1.0)])
+            .expect("valid");
+        let bsr = BsrMatrix::from_csr(&m, 4);
+        assert_eq!(bsr.num_blocks(), 3);
+        assert!((bsr.fill_in() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_converts_cleanly() {
+        let m = CsrMatrix::<f64>::zeros(5, 5);
+        let bsr = BsrMatrix::from_csr(&m, 2);
+        assert_eq!(bsr.num_blocks(), 0);
+        assert_eq!(bsr.fill_in(), 1.0);
+        assert_eq!(bsr.to_csr().expect("valid"), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be positive")]
+    fn zero_block_size_is_rejected() {
+        BsrMatrix::from_csr(&sample(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn csr_bsr_round_trip(
+            rows in 1usize..10,
+            cols in 1usize..10,
+            block in 1usize..5,
+            seed in 0u64..1000,
+        ) {
+            // Deterministic pseudo-random fill from the seed.
+            let data: Vec<f32> = (0..rows * cols)
+                .map(|i| {
+                    let h = (i as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ seed;
+                    if h % 3 == 0 { ((h >> 8) % 100) as f32 / 10.0 + 0.1 } else { 0.0 }
+                })
+                .collect();
+            let m = CsrMatrix::from_dense(rows, cols, &data);
+            let bsr = BsrMatrix::from_csr(&m, block);
+            prop_assert_eq!(bsr.to_csr().expect("valid"), m.clone());
+            prop_assert_eq!(bsr.nnz(), m.nnz());
+            prop_assert!(bsr.fill_in() >= 1.0 - 1e-12);
+            prop_assert!(bsr.fill_in() <= (block * block) as f64 + 1e-12);
+        }
+    }
+}

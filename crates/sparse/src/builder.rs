@@ -1,0 +1,187 @@
+//! Incremental construction of CSR matrices from unordered triplets.
+
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+use crate::real::Real;
+use crate::Idx;
+
+/// Builder that accumulates `(row, col, value)` triplets in any order and
+/// produces a canonical [`CsrMatrix`] (rows sorted, columns strictly
+/// increasing within a row, duplicates summed, explicit zeros dropped).
+///
+/// # Example
+///
+/// ```
+/// use sparse::CsrBuilder;
+/// let m = CsrBuilder::<f32>::new(2, 3)
+///     .push(1, 2, 4.0)?
+///     .push(0, 0, 1.0)?
+///     .push(1, 2, -4.0)? // cancels to zero and is dropped
+///     .build()?;
+/// assert_eq!(m.nnz(), 1);
+/// # Ok::<(), sparse::SparseError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CsrBuilder<T> {
+    rows: usize,
+    cols: usize,
+    triplets: Vec<(Idx, Idx, T)>,
+}
+
+impl<T: Real> CsrBuilder<T> {
+    /// Creates a builder for a `rows x cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self::with_capacity(rows, cols, 0)
+    }
+
+    /// Creates a builder with preallocated space for `cap` triplets.
+    pub fn with_capacity(rows: usize, cols: usize, cap: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            triplets: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Adds one triplet.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the coordinate is out of bounds for the shape
+    /// given at construction.
+    pub fn push(mut self, row: Idx, col: Idx, value: T) -> Result<Self, SparseError> {
+        if row as usize >= self.rows {
+            return Err(SparseError::RowOutOfBounds {
+                row,
+                rows: self.rows,
+            });
+        }
+        if col as usize >= self.cols {
+            return Err(SparseError::ColumnOutOfBounds {
+                col,
+                cols: self.cols,
+            });
+        }
+        self.triplets.push((row, col, value));
+        Ok(self)
+    }
+
+    /// Adds every triplet from an iterator.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first out-of-bounds error encountered; triplets before
+    /// the failure are retained.
+    pub fn extend_triplets<I>(mut self, iter: I) -> Result<Self, SparseError>
+    where
+        I: IntoIterator<Item = (Idx, Idx, T)>,
+    {
+        for (r, c, v) in iter {
+            self = self.push(r, c, v)?;
+        }
+        Ok(self)
+    }
+
+    /// Number of triplets currently buffered (before dedup).
+    pub fn len(&self) -> usize {
+        self.triplets.len()
+    }
+
+    /// True when no triplets are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.triplets.is_empty()
+    }
+
+    /// Finalizes the builder into a canonical CSR matrix.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice (bounds were checked at `push`
+    /// time) but kept fallible so the signature survives future stricter
+    /// validation.
+    pub fn build(mut self) -> Result<CsrMatrix<T>, SparseError> {
+        self.triplets
+            .sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+
+        let mut indptr = vec![0usize; self.rows + 1];
+        let mut indices: Vec<Idx> = Vec::with_capacity(self.triplets.len());
+        let mut values: Vec<T> = Vec::with_capacity(self.triplets.len());
+
+        let mut i = 0;
+        while i < self.triplets.len() {
+            let (r, c, mut v) = self.triplets[i];
+            let mut j = i + 1;
+            while j < self.triplets.len() && self.triplets[j].0 == r && self.triplets[j].1 == c {
+                v += self.triplets[j].2;
+                j += 1;
+            }
+            if v != T::ZERO {
+                indices.push(c);
+                values.push(v);
+                indptr[r as usize + 1] += 1;
+            }
+            i = j;
+        }
+        for r in 0..self.rows {
+            indptr[r + 1] += indptr[r];
+        }
+        CsrMatrix::from_parts(self.rows, self.cols, indptr, indices, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unordered_triplets_become_canonical() {
+        let m = CsrBuilder::<f32>::new(3, 3)
+            .push(2, 1, 1.0)
+            .and_then(|b| b.push(0, 2, 2.0))
+            .and_then(|b| b.push(0, 0, 3.0))
+            .and_then(|b| b.build())
+            .expect("valid");
+        assert_eq!(m.row_indices(0), &[0, 2]);
+        assert_eq!(m.row_values(0), &[3.0, 2.0]);
+        assert_eq!(m.row_indices(2), &[1]);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let m = CsrBuilder::<f64>::new(1, 1)
+            .extend_triplets(vec![(0, 0, 1.0), (0, 0, 2.5)])
+            .and_then(|b| b.build())
+            .expect("valid");
+        assert_eq!(m.get(0, 0), 3.5);
+    }
+
+    #[test]
+    fn cancellation_drops_entry() {
+        let m = CsrBuilder::<f32>::new(1, 2)
+            .extend_triplets(vec![(0, 1, 5.0), (0, 1, -5.0)])
+            .and_then(|b| b.build())
+            .expect("valid");
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn out_of_bounds_row_is_rejected() {
+        let err = CsrBuilder::<f32>::new(1, 1).push(1, 0, 1.0);
+        assert!(matches!(err, Err(SparseError::RowOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn out_of_bounds_col_is_rejected() {
+        let err = CsrBuilder::<f32>::new(1, 1).push(0, 1, 1.0);
+        assert!(matches!(err, Err(SparseError::ColumnOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn empty_builder_builds_zero_matrix() {
+        let b = CsrBuilder::<f32>::new(4, 5);
+        assert!(b.is_empty());
+        let m = b.build().expect("valid");
+        assert_eq!(m.shape(), (4, 5));
+        assert_eq!(m.nnz(), 0);
+    }
+}

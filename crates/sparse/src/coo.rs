@@ -1,0 +1,174 @@
+//! Coordinate-format matrices.
+
+use crate::csr::CsrMatrix;
+use crate::real::Real;
+use crate::Idx;
+
+/// A coordinate-format sparse matrix with entries sorted row-major.
+///
+/// The hybrid kernel of the paper (§3.3) keeps `B` in COO specifically
+/// because the explicit row-index array lets nonzeros — rather than rows —
+/// be distributed uniformly across threads: "using a row index array in
+/// coordinate format (COO) for B enabled load balancing".
+///
+/// Constructed from a [`CsrMatrix`] (the canonical source of truth) so the
+/// sorted-row invariant the segmented reduction relies on always holds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooMatrix<T> {
+    rows: usize,
+    cols: usize,
+    row_indices: Vec<Idx>,
+    col_indices: Vec<Idx>,
+    values: Vec<T>,
+}
+
+impl<T: Real> CooMatrix<T> {
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Row index of every nonzero, in row-major order.
+    #[inline]
+    pub fn row_indices(&self) -> &[Idx] {
+        &self.row_indices
+    }
+
+    /// Column index of every nonzero, parallel to [`Self::row_indices`].
+    #[inline]
+    pub fn col_indices(&self) -> &[Idx] {
+        &self.col_indices
+    }
+
+    /// Value of every nonzero.
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Iterator over `(row, col, value)` triplets in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (Idx, Idx, T)> + '_ {
+        self.row_indices
+            .iter()
+            .zip(&self.col_indices)
+            .zip(&self.values)
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+
+    /// Bytes of device memory this COO copy occupies (two index arrays
+    /// plus values — the extra row array is COO's cost relative to CSR).
+    pub fn device_bytes(&self) -> usize {
+        self.nnz() * (4 + 4 + std::mem::size_of::<T>())
+    }
+}
+
+impl<T: Real> From<&CsrMatrix<T>> for CooMatrix<T> {
+    fn from(csr: &CsrMatrix<T>) -> Self {
+        let mut row_indices = Vec::with_capacity(csr.nnz());
+        for r in 0..csr.rows() {
+            row_indices.extend(std::iter::repeat(r as Idx).take(csr.row_degree(r)));
+        }
+        Self {
+            rows: csr.rows(),
+            cols: csr.cols(),
+            row_indices,
+            col_indices: csr.indices().to_vec(),
+            values: csr.values().to_vec(),
+        }
+    }
+}
+
+impl<T: Real> From<&CooMatrix<T>> for CsrMatrix<T> {
+    fn from(coo: &CooMatrix<T>) -> Self {
+        let mut indptr = vec![0usize; coo.rows + 1];
+        for &r in &coo.row_indices {
+            indptr[r as usize + 1] += 1;
+        }
+        for r in 0..coo.rows {
+            indptr[r + 1] += indptr[r];
+        }
+        CsrMatrix::from_parts(
+            coo.rows,
+            coo.cols,
+            indptr,
+            coo.col_indices.clone(),
+            coo.values.clone(),
+        )
+        .expect("CooMatrix invariants imply a valid CSR")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_csr() -> CsrMatrix<f32> {
+        CsrMatrix::from_triplets(
+            3,
+            4,
+            &[(0, 0, 1.0), (0, 3, 2.0), (2, 1, 3.0), (2, 2, 4.0)],
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn csr_to_coo_expands_row_indices() {
+        let coo = CooMatrix::from(&sample_csr());
+        assert_eq!(coo.row_indices(), &[0, 0, 2, 2]);
+        assert_eq!(coo.col_indices(), &[0, 3, 1, 2]);
+        assert_eq!(coo.values(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(coo.shape(), (3, 4));
+    }
+
+    #[test]
+    fn round_trip_csr_coo_csr() {
+        let csr = sample_csr();
+        let coo = CooMatrix::from(&csr);
+        let back = CsrMatrix::from(&coo);
+        assert_eq!(csr, back);
+    }
+
+    #[test]
+    fn empty_matrix_round_trips() {
+        let csr = CsrMatrix::<f64>::zeros(2, 2);
+        let coo = CooMatrix::from(&csr);
+        assert_eq!(coo.nnz(), 0);
+        assert_eq!(CsrMatrix::from(&coo), csr);
+    }
+
+    #[test]
+    fn device_bytes_counts_both_index_arrays() {
+        let coo = CooMatrix::from(&sample_csr());
+        // 4 nnz * (4 + 4 + 4) bytes for f32
+        assert_eq!(coo.device_bytes(), 48);
+    }
+
+    #[test]
+    fn iter_yields_row_major_triplets() {
+        let coo = CooMatrix::from(&sample_csr());
+        let trips: Vec<_> = coo.iter().collect();
+        assert_eq!(
+            trips,
+            vec![(0, 0, 1.0), (0, 3, 2.0), (2, 1, 3.0), (2, 2, 4.0)]
+        );
+    }
+}

@@ -1,0 +1,492 @@
+//! Compressed sparse row matrices.
+
+use crate::error::SparseError;
+use crate::real::Real;
+use crate::Idx;
+
+/// A compressed-sparse-row matrix.
+///
+/// Rows are stored contiguously: row `i` occupies
+/// `indices[indptr[i]..indptr[i+1]]` / `values[indptr[i]..indptr[i+1]]`.
+/// Column indices are strictly increasing within each row — the invariant
+/// both the paper's "iterating sorted nonzeros" kernel (Alg 2) and the
+/// segmented reduction of the hybrid kernel (Alg 3) rely on.
+///
+/// # Example
+///
+/// ```
+/// use sparse::CsrMatrix;
+/// let m = CsrMatrix::<f32>::from_triplets(2, 4, &[(0, 1, 2.0), (1, 0, 1.0), (1, 3, 4.0)])?;
+/// assert_eq!(m.row(1).collect::<Vec<_>>(), vec![(0, 1.0), (3, 4.0)]);
+/// # Ok::<(), sparse::SparseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix<T> {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<Idx>,
+    values: Vec<T>,
+}
+
+impl<T: Real> CsrMatrix<T> {
+    /// Creates a CSR matrix from raw parts, validating every invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `indptr` is not a monotone array of length
+    /// `rows + 1` ending at `indices.len()`, when `indices` and `values`
+    /// disagree in length, when a column index exceeds `cols`, or when a
+    /// row's column indices are not strictly increasing.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<Idx>,
+        values: Vec<T>,
+    ) -> Result<Self, SparseError> {
+        if indptr.len() != rows + 1 {
+            return Err(SparseError::InvalidIndptr(format!(
+                "expected length {} got {}",
+                rows + 1,
+                indptr.len()
+            )));
+        }
+        if indices.len() != values.len() {
+            return Err(SparseError::LengthMismatch {
+                indices: indices.len(),
+                values: values.len(),
+            });
+        }
+        if indptr[0] != 0 {
+            return Err(SparseError::InvalidIndptr("must start at 0".into()));
+        }
+        if *indptr.last().expect("non-empty") != indices.len() {
+            return Err(SparseError::InvalidIndptr(format!(
+                "last entry {} does not equal nnz {}",
+                indptr.last().expect("non-empty"),
+                indices.len()
+            )));
+        }
+        for w in indptr.windows(2) {
+            if w[1] < w[0] {
+                return Err(SparseError::InvalidIndptr("not monotone".into()));
+            }
+        }
+        for (row, w) in indptr.windows(2).enumerate() {
+            let row_cols = &indices[w[0]..w[1]];
+            for pair in row_cols.windows(2) {
+                if pair[1] <= pair[0] {
+                    return Err(SparseError::UnsortedRow { row });
+                }
+            }
+            if let Some(&last) = row_cols.last() {
+                if last as usize >= cols {
+                    return Err(SparseError::ColumnOutOfBounds { col: last, cols });
+                }
+            }
+        }
+        Ok(Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        })
+    }
+
+    /// Creates a CSR matrix from `(row, col, value)` triplets.
+    ///
+    /// Triplets may arrive in any order; duplicates are summed, and
+    /// explicit zeros are dropped, matching SciPy's `coo_matrix.tocsr()`
+    /// semantics that the paper's Python callers rely on.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any coordinate is out of bounds.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(Idx, Idx, T)],
+    ) -> Result<Self, SparseError> {
+        crate::builder::CsrBuilder::with_capacity(rows, cols, triplets.len())
+            .extend_triplets(triplets.iter().copied())?
+            .build()
+    }
+
+    /// Creates an all-zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            indptr: vec![0; rows + 1],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Builds a CSR matrix from a row-major dense slice, dropping zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_dense(rows: usize, cols: usize, data: &[T]) -> Self {
+        assert_eq!(data.len(), rows * cols, "dense data length mismatch");
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0);
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = data[r * cols + c];
+                if v != T::ZERO {
+                    indices.push(c as Idx);
+                    values.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of explicitly stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Fraction of cells that are stored (`nnz / (rows*cols)`), 0 for an
+    /// empty shape.
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+        }
+    }
+
+    /// Row-pointer array of length `rows + 1`.
+    #[inline]
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Column indices, concatenated row by row.
+    #[inline]
+    pub fn indices(&self) -> &[Idx] {
+        &self.indices
+    }
+
+    /// Stored values, parallel to [`Self::indices`].
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Mutable access to stored values (structure stays fixed).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [T] {
+        &mut self.values
+    }
+
+    /// Degree (number of nonzeros) of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row_degree(&self, i: usize) -> usize {
+        self.indptr[i + 1] - self.indptr[i]
+    }
+
+    /// Column indices of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row_indices(&self, i: usize) -> &[Idx] {
+        &self.indices[self.indptr[i]..self.indptr[i + 1]]
+    }
+
+    /// Values of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row_values(&self, i: usize) -> &[T] {
+        &self.values[self.indptr[i]..self.indptr[i + 1]]
+    }
+
+    /// Iterator over the `(col, value)` pairs of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (Idx, T)> + '_ {
+        self.row_indices(i)
+            .iter()
+            .copied()
+            .zip(self.row_values(i).iter().copied())
+    }
+
+    /// Iterator over all `(row, col, value)` triplets in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (Idx, Idx, T)> + '_ {
+        (0..self.rows).flat_map(move |r| self.row(r).map(move |(c, v)| (r as Idx, c, v)))
+    }
+
+    /// Value at `(row, col)`; `T::ZERO` when not stored.
+    ///
+    /// Performs a binary search within the row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows`.
+    pub fn get(&self, row: usize, col: Idx) -> T {
+        match self.row_indices(row).binary_search(&col) {
+            Ok(pos) => self.row_values(row)[pos],
+            Err(_) => T::ZERO,
+        }
+    }
+
+    /// Returns a new matrix containing rows `range` of `self`.
+    ///
+    /// Used by the batching layer so the dense pairwise-distance output can
+    /// be produced in slabs that fit device memory (§4 "allow scaling to
+    /// datasets where the dense pairwise distance matrix may not otherwise
+    /// fit in the memory of the GPU").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice_rows(&self, range: std::ops::Range<usize>) -> Self {
+        assert!(range.end <= self.rows, "row range out of bounds");
+        let start = self.indptr[range.start];
+        let end = self.indptr[range.end];
+        let indptr = self.indptr[range.start..=range.end]
+            .iter()
+            .map(|p| p - start)
+            .collect();
+        Self {
+            rows: range.len(),
+            cols: self.cols,
+            indptr,
+            indices: self.indices[start..end].to_vec(),
+            values: self.values[start..end].to_vec(),
+        }
+    }
+
+    /// Maximum row degree, 0 for an empty matrix.
+    pub fn max_degree(&self) -> usize {
+        (0..self.rows).map(|i| self.row_degree(i)).max().unwrap_or(0)
+    }
+
+    /// Transposes the matrix, producing a new CSR (a full copy — the cost
+    /// the paper calls out for `csrgemm()`-style baselines: "the explicit
+    /// transposition of B ... requires a full copy").
+    pub fn transpose(&self) -> Self {
+        // Counting sort by column.
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.indices {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.cols {
+            counts[i + 1] += counts[i];
+        }
+        let indptr = counts.clone();
+        let mut indices = vec![0 as Idx; self.nnz()];
+        let mut values = vec![T::ZERO; self.nnz()];
+        let mut next = counts;
+        for (r, c, v) in self.iter() {
+            let slot = next[c as usize];
+            indices[slot] = r;
+            values[slot] = v;
+            next[c as usize] += 1;
+        }
+        Self {
+            rows: self.cols,
+            cols: self.rows,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Bytes of device memory a faithful copy of this matrix occupies:
+    /// `indptr` as 4-byte ints, plus `nnz` 4-byte indices and `nnz`
+    /// values. Used by the §4.3 memory-footprint harness.
+    pub fn device_bytes(&self) -> usize {
+        (self.rows + 1) * 4 + self.nnz() * (4 + std::mem::size_of::<T>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix<f32> {
+        CsrMatrix::from_parts(
+            3,
+            4,
+            vec![0, 2, 2, 4],
+            vec![0, 2, 1, 3],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn from_parts_accepts_valid_input() {
+        let m = sample();
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.row_degree(1), 0);
+    }
+
+    #[test]
+    fn from_parts_rejects_bad_indptr_length() {
+        let err = CsrMatrix::<f32>::from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]);
+        assert!(matches!(err, Err(SparseError::InvalidIndptr(_))));
+    }
+
+    #[test]
+    fn from_parts_rejects_nonzero_start() {
+        let err = CsrMatrix::<f32>::from_parts(1, 2, vec![1, 1], vec![], vec![]);
+        assert!(matches!(err, Err(SparseError::InvalidIndptr(_))));
+    }
+
+    #[test]
+    fn from_parts_rejects_non_monotone_indptr() {
+        let err =
+            CsrMatrix::<f32>::from_parts(2, 3, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]);
+        assert!(matches!(err, Err(SparseError::InvalidIndptr(_))));
+    }
+
+    #[test]
+    fn from_parts_rejects_length_mismatch() {
+        let err = CsrMatrix::<f32>::from_parts(1, 3, vec![0, 2], vec![0, 1], vec![1.0]);
+        assert!(matches!(err, Err(SparseError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn from_parts_rejects_column_out_of_bounds() {
+        let err = CsrMatrix::<f32>::from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]);
+        assert!(matches!(err, Err(SparseError::ColumnOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn from_parts_rejects_unsorted_row() {
+        let err =
+            CsrMatrix::<f32>::from_parts(1, 4, vec![0, 2], vec![2, 1], vec![1.0, 2.0]);
+        assert_eq!(err, Err(SparseError::UnsortedRow { row: 0 }));
+    }
+
+    #[test]
+    fn from_parts_rejects_duplicate_column_in_row() {
+        let err =
+            CsrMatrix::<f32>::from_parts(1, 4, vec![0, 2], vec![1, 1], vec![1.0, 2.0]);
+        assert_eq!(err, Err(SparseError::UnsortedRow { row: 0 }));
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let data = [0.0, 1.0, 0.0, 2.0, 0.0, 3.0];
+        let m = CsrMatrix::<f64>::from_dense(2, 3, &data);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.get(1, 0), 2.0);
+        assert_eq!(m.get(1, 2), 3.0);
+    }
+
+    #[test]
+    fn triplets_sum_duplicates_and_drop_zeros() {
+        let m = CsrMatrix::<f32>::from_triplets(
+            2,
+            2,
+            &[(0, 0, 1.0), (0, 0, 2.0), (1, 1, 0.0)],
+        )
+        .expect("valid");
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 0), 3.0);
+    }
+
+    #[test]
+    fn slice_rows_preserves_content() {
+        let m = sample();
+        let s = m.slice_rows(1..3);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.nnz(), 2);
+        assert_eq!(s.get(1, 1), 3.0);
+        assert_eq!(s.get(1, 3), 4.0);
+        assert_eq!(s.row_degree(0), 0);
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let m = sample();
+        let tt = m.transpose().transpose();
+        assert_eq!(m, tt);
+    }
+
+    #[test]
+    fn transpose_swaps_coordinates() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (4, 3));
+        for (r, c, v) in m.iter() {
+            assert_eq!(t.get(c as usize, r), v);
+        }
+    }
+
+    #[test]
+    fn zeros_has_no_storage() {
+        let z = CsrMatrix::<f32>::zeros(5, 7);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.density(), 0.0);
+        assert_eq!(z.max_degree(), 0);
+    }
+
+    #[test]
+    fn density_and_device_bytes() {
+        let m = sample();
+        assert!((m.density() - 4.0 / 12.0).abs() < 1e-12);
+        // indptr: 4 entries * 4B; nnz=4 * (4B idx + 4B f32)
+        assert_eq!(m.device_bytes(), 4 * 4 + 4 * 8);
+    }
+
+    #[test]
+    fn iter_visits_in_row_major_order() {
+        let m = sample();
+        let trips: Vec<_> = m.iter().collect();
+        assert_eq!(
+            trips,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 1, 3.0), (2, 3, 4.0)]
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type shared by all sparse-matrix constructors and conversions.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when constructing or validating a sparse matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// A column index was out of bounds for the matrix shape.
+    ColumnOutOfBounds {
+        /// Offending column index.
+        col: u32,
+        /// Number of columns in the matrix.
+        cols: usize,
+    },
+    /// A row index was out of bounds for the matrix shape.
+    RowOutOfBounds {
+        /// Offending row index.
+        row: u32,
+        /// Number of rows in the matrix.
+        rows: usize,
+    },
+    /// The row-pointer array is malformed (wrong length, not monotone, or
+    /// its final entry disagrees with the index/value array length).
+    InvalidIndptr(String),
+    /// The `indices` and `values` arrays have different lengths.
+    LengthMismatch {
+        /// Length of the index array.
+        indices: usize,
+        /// Length of the value array.
+        values: usize,
+    },
+    /// Column indices within a row are not strictly increasing.
+    UnsortedRow {
+        /// Row in which the violation occurred.
+        row: usize,
+    },
+    /// A duplicate (row, col) coordinate was supplied where duplicates are
+    /// not allowed.
+    DuplicateEntry {
+        /// Row of the duplicate.
+        row: u32,
+        /// Column of the duplicate.
+        col: u32,
+    },
+    /// Two matrices have incompatible shapes for the requested operation.
+    ShapeMismatch(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::ColumnOutOfBounds { col, cols } => {
+                write!(f, "column index {col} out of bounds for {cols} columns")
+            }
+            SparseError::RowOutOfBounds { row, rows } => {
+                write!(f, "row index {row} out of bounds for {rows} rows")
+            }
+            SparseError::InvalidIndptr(msg) => write!(f, "invalid indptr: {msg}"),
+            SparseError::LengthMismatch { indices, values } => write!(
+                f,
+                "indices length {indices} does not match values length {values}"
+            ),
+            SparseError::UnsortedRow { row } => {
+                write!(f, "column indices in row {row} are not strictly increasing")
+            }
+            SparseError::DuplicateEntry { row, col } => {
+                write!(f, "duplicate entry at ({row}, {col})")
+            }
+            SparseError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+        }
+    }
+}
+
+impl Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = SparseError::ColumnOutOfBounds { col: 7, cols: 3 };
+        assert_eq!(e.to_string(), "column index 7 out of bounds for 3 columns");
+        let e = SparseError::LengthMismatch {
+            indices: 2,
+            values: 3,
+        };
+        assert!(e.to_string().contains("does not match"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<SparseError>();
+    }
+}

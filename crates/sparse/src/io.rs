@@ -1,0 +1,260 @@
+//! Matrix Market (`.mtx`) input/output.
+//!
+//! The coordinate real/integer/pattern general format — the lingua
+//! franca sparse datasets (including the SuiteSparse collections the
+//! sparse-kernel literature benchmarks on) ship in. Supports reading
+//! into [`CsrMatrix`] and writing back, so the CLI and examples can
+//! operate on real files.
+
+use crate::builder::CsrBuilder;
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+use crate::real::Real;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Error reading a Matrix Market stream.
+#[derive(Debug)]
+pub enum MmError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The stream is not valid Matrix Market.
+    Parse(String),
+    /// The triplets violate the declared shape.
+    Sparse(SparseError),
+}
+
+impl std::fmt::Display for MmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "i/o error: {e}"),
+            MmError::Parse(msg) => write!(f, "invalid matrix market data: {msg}"),
+            MmError::Sparse(e) => write!(f, "inconsistent matrix: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+impl From<std::io::Error> for MmError {
+    fn from(e: std::io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+impl From<SparseError> for MmError {
+    fn from(e: SparseError) -> Self {
+        MmError::Sparse(e)
+    }
+}
+
+/// Reads a Matrix Market *coordinate* stream into a CSR matrix.
+///
+/// Supported header variants: `real`, `integer` or `pattern` fields
+/// (pattern entries get value 1), `general` or `symmetric` symmetry
+/// (symmetric streams are expanded, with diagonal entries emitted once).
+///
+/// # Errors
+///
+/// Returns [`MmError`] on malformed headers, non-numeric entries,
+/// out-of-range coordinates, or I/O failure.
+pub fn read_matrix_market<T: Real, R: Read>(reader: R) -> Result<CsrMatrix<T>, MmError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| MmError::Parse("empty stream".into()))??;
+    let h: Vec<String> = header.split_whitespace().map(str::to_lowercase).collect();
+    if h.len() < 5 || h[0] != "%%matrixmarket" || h[1] != "matrix" {
+        return Err(MmError::Parse(format!("unrecognized header: {header}")));
+    }
+    if h[2] != "coordinate" {
+        return Err(MmError::Parse(format!(
+            "only coordinate format is supported, got {}",
+            h[2]
+        )));
+    }
+    let pattern = match h[3].as_str() {
+        "real" | "integer" => false,
+        "pattern" => true,
+        other => {
+            return Err(MmError::Parse(format!("unsupported field type {other}")));
+        }
+    };
+    let symmetric = match h[4].as_str() {
+        "general" => false,
+        "symmetric" => true,
+        other => {
+            return Err(MmError::Parse(format!("unsupported symmetry {other}")));
+        }
+    };
+
+    // Skip comments, read the size line.
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some(line);
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| MmError::Parse("missing size line".into()))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| MmError::Parse(format!("bad size token {t}"))))
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(MmError::Parse(format!("bad size line: {size_line}")));
+    }
+    let (rows, cols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut builder = CsrBuilder::<T>::with_capacity(
+        rows,
+        cols,
+        if symmetric { nnz * 2 } else { nnz },
+    );
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let toks: Vec<&str> = t.split_whitespace().collect();
+        let want = if pattern { 2 } else { 3 };
+        if toks.len() < want {
+            return Err(MmError::Parse(format!("short entry line: {t}")));
+        }
+        let r: usize = toks[0]
+            .parse()
+            .map_err(|_| MmError::Parse(format!("bad row index {}", toks[0])))?;
+        let c: usize = toks[1]
+            .parse()
+            .map_err(|_| MmError::Parse(format!("bad column index {}", toks[1])))?;
+        if r == 0 || c == 0 {
+            return Err(MmError::Parse("matrix market indices are 1-based".into()));
+        }
+        let v = if pattern {
+            T::ONE
+        } else {
+            T::from_f64(
+                toks[2]
+                    .parse::<f64>()
+                    .map_err(|_| MmError::Parse(format!("bad value {}", toks[2])))?,
+            )
+        };
+        builder = builder.push((r - 1) as u32, (c - 1) as u32, v)?;
+        if symmetric && r != c {
+            builder = builder.push((c - 1) as u32, (r - 1) as u32, v)?;
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(MmError::Parse(format!(
+            "size line declared {nnz} entries but the stream held {seen}"
+        )));
+    }
+    Ok(builder.build()?)
+}
+
+/// Writes a CSR matrix as Matrix Market `coordinate real general`.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error on write failure.
+pub fn write_matrix_market<T: Real, W: Write>(
+    m: &CsrMatrix<T>,
+    mut writer: W,
+) -> std::io::Result<()> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(writer, "% written by sparse-dist")?;
+    writeln!(writer, "{} {} {}", m.rows(), m.cols(), m.nnz())?;
+    for (r, c, v) in m.iter() {
+        writeln!(writer, "{} {} {}", r + 1, c + 1, v.to_f64())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "%%MatrixMarket matrix coordinate real general\n\
+        % a comment\n\
+        3 4 4\n\
+        1 1 1.5\n\
+        1 3 -2\n\
+        2 4 3.25\n\
+        3 2 7\n";
+
+    #[test]
+    fn reads_general_real() {
+        let m: CsrMatrix<f64> = read_matrix_market(SAMPLE.as_bytes()).expect("valid");
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.get(0, 0), 1.5);
+        assert_eq!(m.get(0, 2), -2.0);
+        assert_eq!(m.get(2, 1), 7.0);
+    }
+
+    #[test]
+    fn round_trips_through_write() {
+        let m: CsrMatrix<f64> = read_matrix_market(SAMPLE.as_bytes()).expect("valid");
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf).expect("write ok");
+        let back: CsrMatrix<f64> = read_matrix_market(&buf[..]).expect("valid");
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn reads_pattern_matrices_as_ones() {
+        let data = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n2 1\n";
+        let m: CsrMatrix<f32> = read_matrix_market(data.as_bytes()).expect("valid");
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(1, 0), 1.0);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn expands_symmetric_matrices() {
+        let data =
+            "%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n1 1 5\n2 1 1\n3 2 2\n";
+        let m: CsrMatrix<f64> = read_matrix_market(data.as_bytes()).expect("valid");
+        assert_eq!(m.nnz(), 5); // diagonal once, off-diagonals mirrored
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(1, 0), 1.0);
+        assert_eq!(m.get(1, 2), 2.0);
+    }
+
+    #[test]
+    fn rejects_malformed_headers_and_counts() {
+        assert!(read_matrix_market::<f32, _>("garbage\n1 1 0\n".as_bytes()).is_err());
+        assert!(read_matrix_market::<f32, _>(
+            "%%MatrixMarket matrix array real general\n1 1 1\n1\n".as_bytes()
+        )
+        .is_err());
+        // Declared 2 entries, provided 1.
+        let bad = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(matches!(
+            read_matrix_market::<f32, _>(bad.as_bytes()),
+            Err(MmError::Parse(_))
+        ));
+        // 0-based index.
+        let bad = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
+        assert!(read_matrix_market::<f32, _>(bad.as_bytes()).is_err());
+        // Out-of-range index surfaces the sparse error.
+        let bad = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(matches!(
+            read_matrix_market::<f32, _>(bad.as_bytes()),
+            Err(MmError::Sparse(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_entries_sum() {
+        let data =
+            "%%MatrixMarket matrix coordinate real general\n1 1 2\n1 1 1.0\n1 1 2.0\n";
+        let m: CsrMatrix<f64> = read_matrix_market(data.as_bytes()).expect("valid");
+        assert_eq!(m.get(0, 0), 3.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Row-wise norms over CSR matrices (§3.4).
+//!
+//! Distances in the *expanded* family combine a dot-product pass with one
+//! or more vectors of row norms (Table 1's "Norm" column). On the GPU the
+//! paper computes these "using a row-wise reduction ... each row can be
+//! mapped to a single block or warp"; here the host-side reference lives in
+//! this module and the simulated-kernel version in `kernels::norms`.
+
+use crate::csr::CsrMatrix;
+use crate::real::Real;
+
+/// Which row norm to compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NormKind {
+    /// Number of nonzeros in the row (`L0`, used by Dice and Jaccard).
+    L0,
+    /// Sum of absolute values (`L1`, used by Correlation's mean terms).
+    L1,
+    /// Euclidean norm (`L2`).
+    L2,
+    /// Squared Euclidean norm (`‖x‖²`, used by Euclidean / Cosine
+    /// expansions without a redundant square root).
+    L2Squared,
+    /// Plain sum of values (used by Correlation / Dice where the formula
+    /// sums signed values).
+    Sum,
+}
+
+/// Per-row norms of a matrix, tagged with the kind that produced them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowNorms<T> {
+    kind: NormKind,
+    values: Vec<T>,
+}
+
+impl<T: Real> RowNorms<T> {
+    /// The norm kind these values hold.
+    pub fn kind(&self) -> NormKind {
+        self.kind
+    }
+
+    /// Norm of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn get(&self, i: usize) -> T {
+        self.values[i]
+    }
+
+    /// All norms, one per row.
+    pub fn as_slice(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Number of rows covered.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the matrix had no rows.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Computes the requested row norm for every row of `m`.
+///
+/// # Example
+///
+/// ```
+/// use sparse::{CsrMatrix, NormKind, row_norms};
+/// let m = CsrMatrix::<f64>::from_triplets(1, 3, &[(0, 0, 3.0), (0, 2, -4.0)])?;
+/// assert_eq!(row_norms(&m, NormKind::L2).get(0), 5.0);
+/// assert_eq!(row_norms(&m, NormKind::L1).get(0), 7.0);
+/// assert_eq!(row_norms(&m, NormKind::L0).get(0), 2.0);
+/// # Ok::<(), sparse::SparseError>(())
+/// ```
+pub fn row_norms<T: Real>(m: &CsrMatrix<T>, kind: NormKind) -> RowNorms<T> {
+    let values = (0..m.rows())
+        .map(|i| {
+            let vals = m.row_values(i);
+            match kind {
+                NormKind::L0 => T::from_usize(vals.len()),
+                NormKind::L1 => vals.iter().map(|v| v.abs()).sum(),
+                NormKind::L2 => vals.iter().map(|&v| v * v).sum::<T>().sqrt(),
+                NormKind::L2Squared => vals.iter().map(|&v| v * v).sum(),
+                NormKind::Sum => vals.iter().copied().sum(),
+            }
+        })
+        .collect();
+    RowNorms { kind, values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix<f64> {
+        CsrMatrix::from_triplets(
+            3,
+            4,
+            &[(0, 0, 1.0), (0, 1, -2.0), (1, 3, 3.0), (2, 2, 0.5)],
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn l0_counts_nonzeros() {
+        let n = row_norms(&sample(), NormKind::L0);
+        assert_eq!(n.as_slice(), &[2.0, 1.0, 1.0]);
+        assert_eq!(n.kind(), NormKind::L0);
+    }
+
+    #[test]
+    fn l1_sums_absolute_values() {
+        let n = row_norms(&sample(), NormKind::L1);
+        assert_eq!(n.as_slice(), &[3.0, 3.0, 0.5]);
+    }
+
+    #[test]
+    fn l2_is_sqrt_of_l2_squared() {
+        let m = sample();
+        let l2 = row_norms(&m, NormKind::L2);
+        let l2sq = row_norms(&m, NormKind::L2Squared);
+        for i in 0..m.rows() {
+            assert!((l2.get(i) * l2.get(i) - l2sq.get(i)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sum_keeps_sign() {
+        let n = row_norms(&sample(), NormKind::Sum);
+        assert_eq!(n.get(0), -1.0);
+    }
+
+    #[test]
+    fn empty_rows_have_zero_norms() {
+        let m = CsrMatrix::<f32>::zeros(2, 2);
+        for kind in [
+            NormKind::L0,
+            NormKind::L1,
+            NormKind::L2,
+            NormKind::L2Squared,
+            NormKind::Sum,
+        ] {
+            let n = row_norms(&m, kind);
+            assert_eq!(n.as_slice(), &[0.0, 0.0]);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Scalar abstraction over `f32`/`f64`.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// Real scalar usable as a matrix value and semiring element.
+///
+/// Implemented for `f32` (the precision the paper's GPU kernels use) and
+/// `f64` (used by the exact dense references in the test suite). The trait
+/// is sealed by construction — all methods have no default and mirror the
+/// subset of `std` float intrinsics the fifteen distance measures need.
+pub trait Real:
+    Copy
+    + PartialOrd
+    + PartialEq
+    + Debug
+    + Display
+    + Default
+    + Send
+    + Sync
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + Sum
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Positive infinity (identity of the `min` monoid in tropical semirings).
+    const INFINITY: Self;
+    /// Machine epsilon.
+    const EPSILON: Self;
+
+    /// Lossy conversion from `f64` (used by generators and expansion
+    /// functions that mix counts with values).
+    fn from_f64(v: f64) -> Self;
+    /// Lossless widening to `f64` for accumulation and reporting.
+    fn to_f64(self) -> f64;
+    /// Conversion from a usize count (e.g. the `k` term of Russel-Rao).
+    fn from_usize(v: usize) -> Self;
+
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Natural logarithm.
+    fn ln(self) -> Self;
+    /// `self` raised to a real power.
+    fn powf(self, p: Self) -> Self;
+    /// Larger of two values (NaN-propagating like `f32::max` is *not*
+    /// required; ties resolve to either operand).
+    fn max(self, other: Self) -> Self;
+    /// Smaller of two values.
+    fn min(self, other: Self) -> Self;
+    /// True when the value is NaN.
+    fn is_nan(self) -> bool;
+    /// True when the value is finite.
+    fn is_finite(self) -> bool;
+}
+
+macro_rules! impl_real {
+    ($t:ty) => {
+        impl Real for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const INFINITY: Self = <$t>::INFINITY;
+            const EPSILON: Self = <$t>::EPSILON;
+
+            #[inline]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline]
+            fn from_usize(v: usize) -> Self {
+                v as $t
+            }
+            #[inline]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline]
+            fn ln(self) -> Self {
+                <$t>::ln(self)
+            }
+            #[inline]
+            fn powf(self, p: Self) -> Self {
+                <$t>::powf(self, p)
+            }
+            #[inline]
+            fn max(self, other: Self) -> Self {
+                <$t>::max(self, other)
+            }
+            #[inline]
+            fn min(self, other: Self) -> Self {
+                <$t>::min(self, other)
+            }
+            #[inline]
+            fn is_nan(self) -> bool {
+                <$t>::is_nan(self)
+            }
+            #[inline]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+        }
+    };
+}
+
+impl_real!(f32);
+impl_real!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_constants<T: Real>() {
+        assert_eq!(T::ZERO + T::ONE, T::ONE);
+        assert!(T::INFINITY > T::from_f64(1e30));
+        assert!(T::EPSILON > T::ZERO);
+    }
+
+    #[test]
+    fn constants_hold_for_both_precisions() {
+        check_constants::<f32>();
+        check_constants::<f64>();
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(f32::from_usize(42).to_f64(), 42.0);
+        assert_eq!(f64::from_f64(1.5), 1.5);
+    }
+
+    #[test]
+    fn math_ops_match_std() {
+        assert_eq!(Real::abs(-2.0f32), 2.0);
+        assert_eq!(Real::sqrt(9.0f64), 3.0);
+        assert_eq!(Real::max(1.0f32, 2.0), 2.0);
+        assert_eq!(Real::min(1.0f32, 2.0), 1.0);
+        assert!((Real::powf(2.0f64, 10.0) - 1024.0).abs() < 1e-9);
+        assert!(Real::is_nan(f32::NAN));
+        assert!(!Real::is_finite(f64::INFINITY));
+    }
+}

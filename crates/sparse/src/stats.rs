@@ -1,0 +1,131 @@
+//! Degree statistics and distribution summaries (Table 2 / Figure 1).
+
+use crate::csr::CsrMatrix;
+use crate::real::Real;
+
+/// Summary statistics of a matrix's row-degree distribution, matching the
+/// columns of the paper's Table 2 (size, density, min degree, max degree).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Stored nonzeros.
+    pub nnz: usize,
+    /// `nnz / (rows * cols)`.
+    pub density: f64,
+    /// Smallest row degree.
+    pub min_degree: usize,
+    /// Largest row degree.
+    pub max_degree: usize,
+    /// Mean row degree.
+    pub mean_degree: f64,
+}
+
+impl DegreeStats {
+    /// Computes degree statistics for a CSR matrix.
+    pub fn of<T: Real>(m: &CsrMatrix<T>) -> Self {
+        let degrees: Vec<usize> = (0..m.rows()).map(|i| m.row_degree(i)).collect();
+        let min_degree = degrees.iter().copied().min().unwrap_or(0);
+        let max_degree = degrees.iter().copied().max().unwrap_or(0);
+        let mean_degree = if m.rows() == 0 {
+            0.0
+        } else {
+            m.nnz() as f64 / m.rows() as f64
+        };
+        Self {
+            rows: m.rows(),
+            cols: m.cols(),
+            nnz: m.nnz(),
+            density: m.density(),
+            min_degree,
+            max_degree,
+            mean_degree,
+        }
+    }
+}
+
+/// Empirical CDF of row degrees evaluated at each percentile `0..=99`,
+/// reproducing the x-axis of the paper's Figure 1 ("CDFs of Degree
+/// Distributions ... on the interval 0-99%").
+///
+/// Returns `cdf[p]` = the degree at or below which `p` percent of rows
+/// fall. Returns all zeros for an empty matrix.
+pub fn degree_cdf<T: Real>(m: &CsrMatrix<T>) -> [usize; 100] {
+    let mut degrees: Vec<usize> = (0..m.rows()).map(|i| m.row_degree(i)).collect();
+    degrees.sort_unstable();
+    let mut cdf = [0usize; 100];
+    if degrees.is_empty() {
+        return cdf;
+    }
+    for (p, slot) in cdf.iter_mut().enumerate() {
+        // Index of the p-th percentile row (nearest-rank definition).
+        let idx = (p * degrees.len()) / 100;
+        *slot = degrees[idx.min(degrees.len() - 1)];
+    }
+    cdf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_simple_matrix() {
+        let m = CsrMatrix::<f32>::from_triplets(
+            3,
+            4,
+            &[(0, 0, 1.0), (0, 1, 1.0), (0, 2, 1.0), (2, 0, 1.0)],
+        )
+        .expect("valid");
+        let s = DegreeStats::of(&m);
+        assert_eq!(s.rows, 3);
+        assert_eq!(s.cols, 4);
+        assert_eq!(s.nnz, 4);
+        assert_eq!(s.min_degree, 0);
+        assert_eq!(s.max_degree, 3);
+        assert!((s.mean_degree - 4.0 / 3.0).abs() < 1e-12);
+        assert!((s.density - 4.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_empty_matrix() {
+        let m = CsrMatrix::<f32>::zeros(0, 0);
+        let s = DegreeStats::of(&m);
+        assert_eq!(s.min_degree, 0);
+        assert_eq!(s.max_degree, 0);
+        assert_eq!(s.mean_degree, 0.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_spans_min_to_below_max() {
+        // 100 rows with degree == row index.
+        let trips: Vec<(u32, u32, f32)> = (0..100u32)
+            .flat_map(|r| (0..r).map(move |c| (r, c, 1.0)))
+            .collect();
+        let m = CsrMatrix::from_triplets(100, 100, &trips).expect("valid");
+        let cdf = degree_cdf(&m);
+        assert_eq!(cdf[0], 0);
+        assert_eq!(cdf[50], 50);
+        assert_eq!(cdf[99], 99);
+        for w in cdf.windows(2) {
+            assert!(w[1] >= w[0], "cdf must be monotone");
+        }
+    }
+
+    #[test]
+    fn cdf_of_uniform_degrees_is_flat() {
+        let trips: Vec<(u32, u32, f32)> =
+            (0..10u32).flat_map(|r| [(r, 0, 1.0), (r, 1, 1.0)]).collect();
+        let m = CsrMatrix::from_triplets(10, 2, &trips).expect("valid");
+        let cdf = degree_cdf(&m);
+        assert!(cdf.iter().all(|&d| d == 2));
+    }
+
+    #[test]
+    fn cdf_of_empty_matrix_is_zero() {
+        let m = CsrMatrix::<f64>::zeros(0, 5);
+        assert!(degree_cdf(&m).iter().all(|&d| d == 0));
+    }
+}

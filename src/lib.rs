@@ -1,0 +1,2 @@
+//! Umbrella package holding the workspace integration tests and examples.
+pub use sparse_dist as dist;

@@ -1,0 +1,168 @@
+//! Cross-crate integration: every dataset profile × every distance ×
+//! every strategy, validated against the dense closed-form reference.
+
+use baseline::cusparse::{baseline_supports, csrgemm_pairwise};
+use baseline::CpuBruteForce;
+use datasets::DatasetProfile;
+use semiring::reference::dense_pairwise;
+use semiring::{Distance, DistanceParams};
+use sparse::CsrMatrix;
+use sparse_dist::{Device, PairwiseOptions, SmemMode, Strategy};
+
+/// Tiny replicas so the exhaustive product of cases stays fast.
+fn tiny_profiles() -> Vec<CsrMatrix<f32>> {
+    datasets::all_profiles()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| p.scaled_with(0.0006, 0.01).generate(100 + i as u64))
+        .collect()
+}
+
+fn to_f64(m: &CsrMatrix<f32>) -> CsrMatrix<f64> {
+    CsrMatrix::from_parts(
+        m.rows(),
+        m.cols(),
+        m.indptr().to_vec(),
+        m.indices().to_vec(),
+        m.values().iter().map(|&v| v as f64).collect(),
+    )
+    .expect("valid structure is preserved")
+}
+
+#[test]
+fn every_strategy_matches_reference_on_every_profile_and_distance() {
+    let dev = Device::volta();
+    let params = DistanceParams { minkowski_p: 3.0 };
+    for m32 in tiny_profiles() {
+        let m = to_f64(&m32);
+        let queries = m.slice_rows(0..m.rows().min(12));
+        for distance in Distance::ALL {
+            let want = dense_pairwise(&queries, &m, distance, &params);
+            for strategy in [
+                Strategy::HybridCooSpmv,
+                Strategy::NaiveCsr,
+                Strategy::ExpandSortContract,
+            ] {
+                let opts = PairwiseOptions {
+                    strategy,
+                    smem_mode: SmemMode::Auto,
+                };
+                let got = sparse_dist::pairwise_distances_with(
+                    &dev, &queries, &m, distance, &params, &opts,
+                )
+                .unwrap_or_else(|e| panic!("{distance} via {}: {e}", strategy.name()));
+                let diff = got.distances.max_abs_diff(&want);
+                assert!(
+                    diff < 1e-6,
+                    "{distance} via {} on {}x{}: max diff {diff}",
+                    strategy.name(),
+                    m.rows(),
+                    m.cols()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn smem_modes_agree_on_every_profile() {
+    let dev = Device::volta();
+    let params = DistanceParams::default();
+    for m32 in tiny_profiles() {
+        let m = to_f64(&m32);
+        let queries = m.slice_rows(0..m.rows().min(8));
+        for distance in [Distance::Cosine, Distance::Manhattan, Distance::Canberra] {
+            let mut results = Vec::new();
+            for mode in [SmemMode::Dense, SmemMode::Hash, SmemMode::Bloom] {
+                let opts = PairwiseOptions {
+                    strategy: Strategy::HybridCooSpmv,
+                    smem_mode: mode,
+                };
+                let got = sparse_dist::pairwise_distances_with(
+                    &dev, &queries, &m, distance, &params, &opts,
+                )
+                .unwrap_or_else(|e| panic!("{distance} via {mode:?}: {e}"));
+                results.push(got.distances);
+            }
+            for pair in results.windows(2) {
+                assert!(
+                    pair[0].max_abs_diff(&pair[1]) < 1e-9,
+                    "{distance}: shared-memory modes disagree"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn gpu_cpu_and_csrgemm_baselines_agree() {
+    let dev = Device::volta();
+    let params = DistanceParams::default();
+    let cpu = CpuBruteForce::new(4);
+    let m = to_f64(&DatasetProfile::nytimes_bow().scaled_with(0.001, 0.02).generate(5));
+    let queries = m.slice_rows(0..10);
+    for distance in Distance::ALL {
+        let gpu = sparse_dist::pairwise_distances(&dev, &queries, &m, distance)
+            .unwrap_or_else(|e| panic!("{distance}: {e}"));
+        let host = cpu.pairwise(&queries, &m, distance, &params);
+        assert!(
+            gpu.distances.max_abs_diff(&host) < 1e-6,
+            "{distance}: GPU vs CPU disagree"
+        );
+        if baseline_supports(distance) {
+            let gemm = csrgemm_pairwise(&dev, &queries, &m, distance, &params);
+            assert!(
+                gemm.distances.max_abs_diff(&host) < 1e-6,
+                "{distance}: csrgemm vs CPU disagree"
+            );
+        }
+    }
+}
+
+#[test]
+fn bray_curtis_extension_through_the_public_api() {
+    // The 16th distance (not in Table 1): full pipeline agreement plus
+    // domain validation.
+    let dev = Device::volta();
+    let params = DistanceParams::default();
+    let m = to_f64(&DatasetProfile::scrna().scaled_with(0.002, 0.01).generate(9));
+    let q = m.slice_rows(0..m.rows().min(6));
+    sparse_dist::validate_input(Distance::BrayCurtis, &m).expect("counts are non-negative");
+    let got = sparse_dist::pairwise_distances(&dev, &q, &m, Distance::BrayCurtis)
+        .expect("runs");
+    let want = dense_pairwise(&q, &m, Distance::BrayCurtis, &params);
+    assert!(got.distances.max_abs_diff(&want) < 1e-6);
+    // Negative data is rejected up front.
+    let neg = CsrMatrix::<f64>::from_dense(1, 2, &[-1.0, 2.0]);
+    assert!(sparse_dist::validate_input(Distance::BrayCurtis, &neg).is_err());
+}
+
+#[test]
+fn knn_is_consistent_between_gpu_and_cpu_on_profiles() {
+    let dev = Device::volta();
+    let params = DistanceParams::default();
+    for m32 in tiny_profiles() {
+        let m = to_f64(&m32);
+        if m.rows() < 12 {
+            continue;
+        }
+        let queries = m.slice_rows(0..6);
+        for distance in [Distance::Euclidean, Distance::Manhattan, Distance::Cosine] {
+            let nn = sparse_dist::NearestNeighbors::new(dev.clone(), distance)
+                .fit(m.clone());
+            let got = nn.kneighbors(&queries, 3).expect("query ok");
+            let want = CpuBruteForce::new(2).knn(&queries, &m, 3, distance, &params);
+            for (q, row) in got.distances.iter().enumerate() {
+                for (slot, d) in row.iter().enumerate() {
+                    // Distances must match; indices may differ on exact
+                    // ties, so compare by distance value.
+                    assert!(
+                        (d - want[q][slot].1).abs() < 1e-6,
+                        "{distance} query {q} slot {slot}: {d} vs {}",
+                        want[q][slot].1
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Failure-path integration tests: capacity overflows, degenerate
+//! inputs, and configuration errors must fail loudly and predictably.
+
+use semiring::{Distance, DistanceParams};
+use sparse::{CsrMatrix, SparseError};
+use sparse_dist::{Device, KernelError, PairwiseOptions, SmemMode, Strategy};
+
+#[test]
+fn shape_mismatch_is_a_typed_error() {
+    let dev = Device::volta();
+    let a = CsrMatrix::<f32>::zeros(4, 10);
+    let b = CsrMatrix::<f32>::zeros(4, 11);
+    let err = sparse_dist::pairwise_distances(&dev, &a, &b, Distance::Cosine);
+    assert!(matches!(err, Err(KernelError::ShapeMismatch { .. })));
+}
+
+#[test]
+fn esc_overflow_reports_shared_memory_requirement() {
+    // One row with 40K nonzeros cannot fit two copies in 96 KiB.
+    let dev = Device::volta();
+    let trips: Vec<(u32, u32, f32)> = (0..40_000).map(|c| (0, c, 1.0)).collect();
+    let a = CsrMatrix::from_triplets(1, 40_000, &trips).expect("valid");
+    let opts = PairwiseOptions {
+        strategy: Strategy::ExpandSortContract,
+        smem_mode: SmemMode::Auto,
+    };
+    let err = sparse_dist::pairwise_distances_with(
+        &dev,
+        &a,
+        &a,
+        Distance::Manhattan,
+        &DistanceParams::default(),
+        &opts,
+    );
+    match err {
+        Err(KernelError::SharedMemoryExceeded {
+            strategy,
+            required,
+            available,
+        }) => {
+            assert_eq!(strategy, "expand-sort-contract");
+            assert!(required > available);
+        }
+        other => panic!("expected SharedMemoryExceeded, got {other:?}"),
+    }
+}
+
+#[test]
+fn forced_dense_mode_rejects_high_dimensionality() {
+    let dev = Device::volta();
+    let a = CsrMatrix::<f32>::from_triplets(2, 500_000, &[(0, 1, 1.0), (1, 499_999, 2.0)])
+        .expect("valid");
+    let opts = PairwiseOptions {
+        strategy: Strategy::HybridCooSpmv,
+        smem_mode: SmemMode::Dense,
+    };
+    let err = sparse_dist::pairwise_distances_with(
+        &dev,
+        &a,
+        &a,
+        Distance::Cosine,
+        &DistanceParams::default(),
+        &opts,
+    );
+    assert!(matches!(err, Err(KernelError::UnsupportedSmemMode(_))));
+}
+
+#[test]
+fn auto_mode_handles_high_dimensionality_by_hashing() {
+    // The same input succeeds in Auto (hash) mode — §3.3.2's point.
+    let dev = Device::volta();
+    let a = CsrMatrix::<f32>::from_triplets(2, 500_000, &[(0, 1, 1.0), (1, 499_999, 2.0)])
+        .expect("valid");
+    let got = sparse_dist::pairwise_distances(&dev, &a, &a, Distance::Cosine)
+        .expect("hash mode handles any dimensionality");
+    assert!(got.distances.get(0, 0).abs() < 1e-6);
+    assert!((got.distances.get(0, 1) - 1.0).abs() < 1e-6); // disjoint
+}
+
+#[test]
+fn high_degree_rows_partition_instead_of_failing() {
+    // A row wider than the hash capacity (3072 entries at 48 KiB / f32)
+    // must be partitioned (§3.3.3), not rejected.
+    let dev = Device::volta();
+    let trips: Vec<(u32, u32, f32)> = (0..8000).map(|c| (0, c * 3, 1.0)).collect();
+    let mut all = trips.clone();
+    all.push((1, 0, 5.0));
+    all.push((1, 3, 2.0));
+    let a = CsrMatrix::from_triplets(2, 24_000, &all).expect("valid");
+    let opts = PairwiseOptions {
+        strategy: Strategy::HybridCooSpmv,
+        smem_mode: SmemMode::Hash,
+    };
+    let got = sparse_dist::pairwise_distances_with(
+        &dev,
+        &a,
+        &a,
+        Distance::Manhattan,
+        &DistanceParams::default(),
+        &opts,
+    )
+    .expect("partitioning handles high-degree rows");
+    // Reference: row0 vs row1 Manhattan = |1-5| + |1-2| + 7998 ones.
+    let want = 4.0 + 1.0 + 7998.0;
+    assert!(
+        (got.distances.get(0, 1) - want).abs() < 1e-3,
+        "got {}",
+        got.distances.get(0, 1)
+    );
+}
+
+#[test]
+fn empty_matrices_and_k_zero_are_handled() {
+    let dev = Device::volta();
+    let a = CsrMatrix::<f64>::zeros(3, 5);
+    let nn = sparse_dist::NearestNeighbors::new(dev, Distance::Euclidean).fit(a.clone());
+    let res = nn.kneighbors(&a, 0).expect("k=0 is legal");
+    assert!(res.indices.iter().all(Vec::is_empty));
+    let res = nn.kneighbors(&a, 10).expect("k>n clamps");
+    assert!(res.indices.iter().all(|r| r.len() == 3));
+}
+
+#[test]
+fn sparse_constructors_reject_malformed_input() {
+    assert!(matches!(
+        CsrMatrix::<f32>::from_parts(1, 2, vec![0, 3], vec![0, 1], vec![1.0, 2.0]),
+        Err(SparseError::InvalidIndptr(_))
+    ));
+    assert!(matches!(
+        CsrMatrix::<f32>::from_triplets(1, 1, &[(0, 5, 1.0)]),
+        Err(SparseError::ColumnOutOfBounds { .. })
+    ));
+}

@@ -1,0 +1,95 @@
+//! Workspace-level property tests: random sparse matrices through the
+//! full public API, compared against the dense reference.
+
+use proptest::prelude::*;
+use semiring::reference::dense_pairwise;
+use semiring::{Distance, DistanceParams};
+use sparse::CsrMatrix;
+use sparse_dist::{Device, PairwiseOptions, SmemMode, Strategy as KernelStrategy};
+
+fn arb_matrix() -> impl Strategy<Value = CsrMatrix<f64>> {
+    (1usize..8, 1usize..16).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(
+            prop_oneof![
+                3 => Just(0.0f64),
+                2 => (1u32..400).prop_map(|v| v as f64 / 100.0),
+            ],
+            rows * cols,
+        )
+        .prop_map(move |data| CsrMatrix::from_dense(rows, cols, &data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The full device pipeline equals the closed-form reference for a
+    /// random matrix pair, every distance, every strategy.
+    #[test]
+    fn device_pipeline_matches_reference(a in arb_matrix(), b in arb_matrix()) {
+        // Reshape b to share a's dimensionality.
+        let b = if b.cols() == a.cols() {
+            b
+        } else {
+            let cols = a.cols();
+            let data: Vec<f64> = (0..b.rows() * cols)
+                .map(|i| {
+                    let (r, c) = (i / cols, i % cols);
+                    if c < b.cols() { b.get(r, c as u32) } else { 0.0 }
+                })
+                .collect();
+            CsrMatrix::from_dense(b.rows(), cols, &data)
+        };
+        let dev = Device::volta();
+        let params = DistanceParams { minkowski_p: 2.5 };
+        for d in Distance::ALL {
+            let want = dense_pairwise(&a, &b, d, &params);
+            for strategy in [KernelStrategy::HybridCooSpmv, KernelStrategy::NaiveCsr] {
+                let opts = PairwiseOptions { strategy, smem_mode: SmemMode::Auto };
+                let got = sparse_dist::pairwise_distances_with(&dev, &a, &b, d, &params, &opts)
+                    .expect("valid shapes");
+                prop_assert!(
+                    got.distances.max_abs_diff(&want) < 1e-6,
+                    "{} via {:?}", d, strategy
+                );
+            }
+        }
+    }
+
+    /// Self-distance matrices of metric distances have zero diagonals and
+    /// are symmetric, end-to-end through the device pipeline.
+    #[test]
+    fn metric_self_distance_matrices_are_symmetric(a in arb_matrix()) {
+        let dev = Device::volta();
+        let params = DistanceParams::default();
+        for d in Distance::ALL.into_iter().filter(|d| d.is_metric()) {
+            let got = sparse_dist::pairwise_distances(&dev, &a, &a, d)
+                .expect("valid shapes");
+            let _ = params;
+            for i in 0..a.rows() {
+                prop_assert!(got.distances.get(i, i).abs() < 1e-6, "{}: diagonal", d);
+                for j in 0..a.rows() {
+                    let dij = got.distances.get(i, j);
+                    let dji = got.distances.get(j, i);
+                    prop_assert!((dij - dji).abs() < 1e-6, "{}: symmetry", d);
+                    prop_assert!(dij > -1e-9, "{}: positivity", d);
+                }
+            }
+        }
+    }
+
+    /// Batched k-NN equals unbatched k-NN for any batch size.
+    #[test]
+    fn knn_batching_invariance(a in arb_matrix(), batch_bytes in 8usize..4096) {
+        let dev = Device::volta();
+        let k = 3.min(a.rows());
+        let nn = sparse_dist::NearestNeighbors::new(dev.clone(), Distance::Manhattan)
+            .fit(a.clone());
+        let whole = nn.kneighbors(&a, k).expect("ok");
+        let nn_batched = sparse_dist::NearestNeighbors::new(dev, Distance::Manhattan)
+            .fit(a.clone())
+            .with_batch_bytes(batch_bytes);
+        let split = nn_batched.kneighbors(&a, k).expect("ok");
+        prop_assert_eq!(whole.indices, split.indices);
+    }
+}
