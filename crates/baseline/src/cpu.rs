@@ -3,8 +3,7 @@
 //! The paper's CPU comparator is scikit-learn's brute-force
 //! `NearestNeighbors` "configured to use all the available CPU cores"
 //! (§4.2). This module is its Rust analog: exact pairwise distances over
-//! sparse rows, with query rows parallelized across threads via crossbeam
-//! scoped threads. The per-pair arithmetic reuses the same semiring
+//! sparse rows, with query rows parallelized across std scoped threads. The per-pair arithmetic reuses the same semiring
 //! pipeline as the reference oracle, so the CPU baseline, the GPU
 //! kernels, and the dense formulas agree by construction.
 
@@ -61,11 +60,11 @@ impl CpuBruteForce {
         let b_rows: Vec<Vec<(Idx, T)>> = (0..n).map(|j| b.row(j).collect()).collect();
 
         let chunk = m.div_ceil(self.threads).max(1);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (t, slab) in out.chunks_mut(chunk * n).enumerate() {
                 let b_rows = &b_rows;
                 let row0 = t * chunk;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (r, dst) in slab.chunks_mut(n).enumerate() {
                         let i = row0 + r;
                         let ai: Vec<(Idx, T)> = a.row(i).collect();
@@ -75,8 +74,7 @@ impl CpuBruteForce {
                     }
                 });
             }
-        })
-        .expect("worker threads do not panic");
+        });
         DenseMatrix::from_vec(m, n, out)
     }
 
@@ -98,8 +96,7 @@ impl CpuBruteForce {
         let d = self.pairwise(a, b, distance, params);
         (0..a.rows())
             .map(|i| {
-                let mut row: Vec<(usize, T)> =
-                    d.row(i).iter().copied().enumerate().collect();
+                let mut row: Vec<(usize, T)> = d.row(i).iter().copied().enumerate().collect();
                 row.sort_by(|x, y| x.1.partial_cmp(&y.1).unwrap_or(std::cmp::Ordering::Equal));
                 row.truncate(k_neighbors);
                 row

@@ -91,8 +91,7 @@ pub fn csrgemm<T: Real>(
     let stream_bytes = a.nnz() as u64 * (4 + esz) + flops * (4 + esz);
     let read_bytes = 2 * stream_bytes; // both phases
     let write_bytes = output.nnz() as u64 * (4 + esz);
-    let workspace_bytes =
-        n * (std::mem::size_of::<T>() + 4) * ROWS_IN_FLIGHT.min(m.max(1));
+    let workspace_bytes = n * (std::mem::size_of::<T>() + 4) * ROWS_IN_FLIGHT.min(m.max(1));
     // Hash-accumulator traffic: every MAC read-modify-writes a workspace
     // slot; assume a quarter of them miss the cache sector.
     let accum_bytes = flops * (esz + 4) / 2;
@@ -136,7 +135,7 @@ mod tests {
     use super::*;
     use sparse::DenseMatrix;
 
-    fn dense_abT(a: &CsrMatrix<f64>, b: &CsrMatrix<f64>) -> DenseMatrix<f64> {
+    fn dense_ab_t(a: &CsrMatrix<f64>, b: &CsrMatrix<f64>) -> DenseMatrix<f64> {
         let da = DenseMatrix::from(a);
         let db = DenseMatrix::from(b);
         let mut out = DenseMatrix::zeros(a.rows(), b.rows());
@@ -161,7 +160,7 @@ mod tests {
         let b = CsrMatrix::from_dense(2, 4, &[0.0, 1.0, 4.0, 0.0, 2.0, 0.0, 0.0, 3.0]);
         let bt = CscMatrix::from(&b);
         let got = csrgemm(&a, &bt, Distance::DotProduct);
-        let want = dense_abT(&a, &b);
+        let want = dense_ab_t(&a, &b);
         let got_dense = DenseMatrix::from(&got.output);
         assert!(got_dense.max_abs_diff(&want) < 1e-12);
     }

@@ -208,7 +208,13 @@ mod tests {
     fn namm_distances_are_rejected() {
         let (a, b) = sample();
         let dev = Device::volta();
-        csrgemm_pairwise(&dev, &a, &b, Distance::Manhattan, &DistanceParams::default());
+        csrgemm_pairwise(
+            &dev,
+            &a,
+            &b,
+            Distance::Manhattan,
+            &DistanceParams::default(),
+        );
     }
 
     #[test]
@@ -222,8 +228,6 @@ mod tests {
         assert!(r.report.sim_seconds > 0.0);
         // Dot output here: rows 0 and 2 of a intersect both rows of b
         // except (0, b0)? — just check density bookkeeping is coherent.
-        assert!(
-            (r.report.output_density - r.report.output_nnz as f64 / 6.0).abs() < 1e-12
-        );
+        assert!((r.report.output_density - r.report.output_nnz as f64 / 6.0).abs() < 1e-12);
     }
 }

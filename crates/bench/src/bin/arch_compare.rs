@@ -84,8 +84,7 @@ fn main() {
                 strategy: Strategy::HybridCooSpmv,
                 smem_mode: SmemMode::Hash,
             };
-            let r = pairwise_distances(dev, &queries, &index, d, &params, &opts)
-                .expect("runs");
+            let r = pairwise_distances(dev, &queries, &index, d, &params, &opts).expect("runs");
             for i in 0..queries.rows() {
                 let _ = top_k_smallest(r.distances.row(i), KNN_K);
             }

@@ -52,15 +52,8 @@ fn main() {
                 strategy,
                 smem_mode: SmemMode::Hash,
             };
-            let r = pairwise_distances(
-                &dev,
-                &queries,
-                &index,
-                Distance::Manhattan,
-                &params,
-                &opts,
-            )
-            .expect("strategy runs");
+            let r = pairwise_distances(&dev, &queries, &index, Distance::Manhattan, &params, &opts)
+                .expect("strategy runs");
             let c = merged(&r.launches);
             println!(
                 "{:<22} {:<14} {:>7.1}% {:>9.2}x {:>10} {:>10} {:>12}",

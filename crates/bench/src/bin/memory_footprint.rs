@@ -79,10 +79,12 @@ fn main() {
     // sizes. The unigram and bigram dataset ranged from 5% to 25% output
     // density ... while trigrams ranged from 24% to 43%."
     println!("\nSEC Edgar output density per query batch, by n-gram size:");
-    println!("{:<18} {:>10} {:>10} {:>10}", "variant", "min dens", "max dens", "spread");
+    println!(
+        "{:<18} {:>10} {:>10} {:>10}",
+        "variant", "min dens", "max dens", "spread"
+    );
     for n in [1usize, 2, 3] {
-        let mut profile = datasets::DatasetProfile::sec_edgar_ngram(n)
-            .scaled_with(0.004, 1.0);
+        let mut profile = datasets::DatasetProfile::sec_edgar_ngram(n).scaled_with(0.004, 1.0);
         if n < 3 {
             // Uni/bigram vocabularies are intrinsically small; scaling
             // them down with the row count would break the tokenization

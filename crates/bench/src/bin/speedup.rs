@@ -60,9 +60,8 @@ fn main() {
                     strategy: Strategy::HybridCooSpmv,
                     smem_mode: SmemMode::Hash,
                 };
-                let gpu =
-                    pairwise_distances(&dev, &queries, &index, d, &params, &opts)
-                        .expect("hybrid runs");
+                let gpu = pairwise_distances(&dev, &queries, &index, d, &params, &opts)
+                    .expect("hybrid runs");
                 let ratio = cpu_t.host_seconds / gpu.sim_seconds().max(1e-12);
                 ratios.push(ratio);
                 println!(

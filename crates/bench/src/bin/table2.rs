@@ -20,7 +20,15 @@ fn main() {
     println!("{}", "-".repeat(100));
     println!(
         "{:<14} {:>18} {:>9} {:>8} {:>8} | {:>18} {:>9} {:>8} {:>8}",
-        "Dataset", "Size", "Density", "MinDeg", "MaxDeg", "paper: Size", "Density", "MinDeg", "MaxDeg"
+        "Dataset",
+        "Size",
+        "Density",
+        "MinDeg",
+        "MaxDeg",
+        "paper: Size",
+        "Density",
+        "MinDeg",
+        "MaxDeg"
     );
     println!("{}", "-".repeat(100));
     // Uniform scaling: Table 2 reports the datasets' shape statistics,

@@ -68,8 +68,8 @@ fn run_cell(
             strategy: Strategy::HybridCooSpmv,
             smem_mode: SmemMode::Hash,
         };
-        let r = pairwise_distances(dev, queries, index, distance, params, &opts)
-            .expect("hybrid runs");
+        let r =
+            pairwise_distances(dev, queries, index, distance, params, &opts).expect("hybrid runs");
         for i in 0..queries.rows() {
             let _ = top_k_smallest(r.distances.row(i), KNN_K);
         }

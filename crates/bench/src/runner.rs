@@ -24,7 +24,7 @@ impl<R> Timed<R> {
 }
 
 /// One row of a benchmark report.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct BenchRow {
     /// Dataset name.
     pub dataset: String,
@@ -69,7 +69,10 @@ mod tests {
             .collect();
         assert_eq!(parse_scale(&args, "--scale", 0.01), 0.02);
         assert_eq!(parse_scale(&args, "--seed", 7.0), 7.0);
-        let bad: Vec<String> = ["prog", "--scale", "abc"].iter().map(|s| s.to_string()).collect();
+        let bad: Vec<String> = ["prog", "--scale", "abc"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(parse_scale(&bad, "--scale", 0.01), 0.01);
     }
 }

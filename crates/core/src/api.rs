@@ -137,7 +137,9 @@ mod tests {
             Monoid::plus(),
         );
         let x = sample();
-        let out = SemiringRunner::new(Device::volta()).run(&x, &x, &sq).expect("ok");
+        let out = SemiringRunner::new(Device::volta())
+            .run(&x, &x, &sq)
+            .expect("ok");
         assert_eq!(out.launches.len(), 2);
         for i in 0..3 {
             for j in 0..3 {

@@ -19,8 +19,7 @@
 use semiring::{Distance, DistanceParams};
 use sparse::{read_matrix_market, write_matrix_market, CsrMatrix, DegreeStats};
 use sparse_dist::{
-    kneighbors_graph, Device, GraphMode, NearestNeighbors, PairwiseOptions, SmemMode,
-    Strategy,
+    kneighbors_graph, Device, GraphMode, NearestNeighbors, PairwiseOptions, SmemMode, Strategy,
 };
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -37,7 +36,8 @@ impl Args {
     }
 
     fn required(&self, name: &str) -> Result<&str, String> {
-        self.flag(name).ok_or_else(|| format!("missing {name} <value>"))
+        self.flag(name)
+            .ok_or_else(|| format!("missing {name} <value>"))
     }
 }
 
@@ -70,10 +70,11 @@ fn load(path: &str) -> Result<CsrMatrix<f32>, String> {
     read_matrix_market(f).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
-fn parse_common(args: &Args) -> Result<(Distance, DistanceParams, PairwiseOptions, Device), String> {
+fn parse_common(
+    args: &Args,
+) -> Result<(Distance, DistanceParams, PairwiseOptions, Device), String> {
     let metric = args.flag("--metric").unwrap_or("euclidean");
-    let distance = Distance::from_name(metric)
-        .ok_or_else(|| format!("unknown metric {metric}"))?;
+    let distance = Distance::from_name(metric).ok_or_else(|| format!("unknown metric {metric}"))?;
     let params = DistanceParams {
         minkowski_p: args
             .flag("--p")
@@ -117,7 +118,11 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
         "edgar" | "sec-edgar" => datasets::DatasetProfile::sec_edgar(),
         "scrna" => datasets::DatasetProfile::scrna(),
         "nytimes" | "nyt" => datasets::DatasetProfile::nytimes_bow(),
-        other => return Err(format!("unknown profile {other} (movielens|edgar|scrna|nytimes)")),
+        other => {
+            return Err(format!(
+                "unknown profile {other} (movielens|edgar|scrna|nytimes)"
+            ))
+        }
     };
     let scale: f64 = args
         .flag("--scale")
@@ -193,7 +198,10 @@ fn cmd_info(args: &Args) -> Result<(), String> {
         s.min_degree, s.mean_degree, s.max_degree
     ));
     let cdf = sparse::degree_cdf(&m);
-    out(format!("degree cdf: p50={} p90={} p99={}", cdf[50], cdf[90], cdf[99]));
+    out(format!(
+        "degree cdf: p50={} p90={} p99={}",
+        cdf[50], cdf[90], cdf[99]
+    ));
     Ok(())
 }
 
@@ -238,8 +246,7 @@ fn cmd_knn(args: &Args) -> Result<(), String> {
                 .map_err(|e| format!("graph build failed: {e}"))?;
             let out = args.flag("--output").unwrap_or("knn_graph.mtx");
             let f = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
-            write_matrix_market(&g, BufWriter::new(f))
-                .map_err(|e| format!("write failed: {e}"))?;
+            write_matrix_market(&g, BufWriter::new(f)).map_err(|e| format!("write failed: {e}"))?;
             eprintln!("spdist: wrote {} edges to {out}", g.nnz());
         }
         None => {
@@ -249,9 +256,7 @@ fn cmd_knn(args: &Args) -> Result<(), String> {
                 )),
                 None => Box::new(std::io::stdout().lock()),
             };
-            for (q, (idx, dist)) in
-                result.indices.iter().zip(&result.distances).enumerate()
-            {
+            for (q, (idx, dist)) in result.indices.iter().zip(&result.distances).enumerate() {
                 let cols: Vec<String> = idx
                     .iter()
                     .zip(dist)

@@ -33,7 +33,9 @@
 pub mod api;
 pub mod validate;
 
-pub use gpu_sim::{Device, DeviceSpec, LaunchStats};
+pub use gpu_sim::{
+    CheckerKind, Device, DeviceSpec, LaunchStats, SanitizerMode, SanitizerReport, SimError,
+};
 pub use kernels::{
     KernelError, MemoryFootprint, PairwiseOptions, PairwiseResult, SmemMode, Strategy,
 };

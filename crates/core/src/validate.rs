@@ -43,10 +43,7 @@ impl std::error::Error for InputError {}
 /// # Errors
 ///
 /// Returns the first offending cell.
-pub fn validate_input<T: Real>(
-    distance: Distance,
-    m: &CsrMatrix<T>,
-) -> Result<(), InputError> {
+pub fn validate_input<T: Real>(distance: Distance, m: &CsrMatrix<T>) -> Result<(), InputError> {
     let need_nonneg = distance.requires_nonnegative();
     for (r, c, v) in m.iter() {
         if v.is_nan() || (need_nonneg && v < T::ZERO) {

@@ -34,7 +34,11 @@ fn gen_info_knn_graph_round_trip() {
         .arg(&data)
         .output()
         .expect("spdist runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // info
     let out = spdist()
@@ -54,7 +58,11 @@ fn gen_info_knn_graph_round_trip() {
         .arg(&data)
         .output()
         .expect("spdist runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     let first = stdout.lines().next().expect("at least one query row");
     assert!(first.starts_with("0\t"), "{first}");
@@ -63,14 +71,26 @@ fn gen_info_knn_graph_round_trip() {
 
     // knn to a connectivity graph file
     let out = spdist()
-        .args(["knn", "--metric", "jaccard", "--k", "2", "--graph", "connectivity"])
+        .args([
+            "knn",
+            "--metric",
+            "jaccard",
+            "--k",
+            "2",
+            "--graph",
+            "connectivity",
+        ])
         .arg("--input")
         .arg(&data)
         .arg("--output")
         .arg(&graph)
         .output()
         .expect("spdist runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let g: sparse::CsrMatrix<f32> =
         sparse::read_matrix_market(std::fs::File::open(&graph).expect("graph written"))
             .expect("valid matrix market");
@@ -100,7 +120,11 @@ fn profile_fits_and_replicates() {
         .arg(&replica)
         .output()
         .expect("spdist runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("lognormal"), "{stdout}");
     assert!(replica.exists());

@@ -69,12 +69,12 @@ impl ValueDist {
                 let star = 1.0 + 7.0 * rng.gen::<f64>().powf(0.6);
                 ((star.round() / 2.0) as f32).clamp(0.5, 5.0)
             }
-            ValueDist::TfIdf => ((-2.5 + 0.8 * sample_standard_normal(rng)).exp() as f32)
-                .clamp(1e-4, 10.0),
-            ValueDist::Counts => {
-                (1.0 + (0.5 + 1.2 * sample_standard_normal(rng)).exp().round() as f32)
-                    .clamp(1.0, 10_000.0)
+            ValueDist::TfIdf => {
+                ((-2.5 + 0.8 * sample_standard_normal(rng)).exp() as f32).clamp(1e-4, 10.0)
             }
+            ValueDist::Counts => (1.0
+                + (0.5 + 1.2 * sample_standard_normal(rng)).exp().round() as f32)
+                .clamp(1.0, 10_000.0),
         }
     }
 }

@@ -38,11 +38,15 @@ pub fn fit_profile<T: Real>(
         (0.0, 0.5)
     } else {
         let mu = nonzero.iter().sum::<f64>() / nonzero.len() as f64;
-        let var = nonzero.iter().map(|x| (x - mu) * (x - mu)).sum::<f64>()
-            / nonzero.len() as f64;
+        let var = nonzero.iter().map(|x| (x - mu) * (x - mu)).sum::<f64>() / nonzero.len() as f64;
         (mu, var.sqrt().max(0.05))
     };
-    let min = degrees.iter().copied().filter(|&d| d > 0).min().unwrap_or(1);
+    let min = degrees
+        .iter()
+        .copied()
+        .filter(|&d| d > 0)
+        .min()
+        .unwrap_or(1);
     let max = degrees.iter().copied().max().unwrap_or(1).max(1);
 
     // Column-popularity skew: compare the nonzero mass of the most
@@ -144,7 +148,12 @@ mod tests {
         let uniform: Vec<(u32, u32, f32)> = (0..50u32).map(|r| (r, r * 2, 1.0)).collect();
         let mu = sparse::CsrMatrix::from_triplets(50, 100, &uniform).expect("valid");
         let pu = fit_profile(&mu, "uniform", ValueDist::TfIdf);
-        assert!(ps.col_skew > 2.0 * pu.col_skew, "{} vs {}", ps.col_skew, pu.col_skew);
+        assert!(
+            ps.col_skew > 2.0 * pu.col_skew,
+            "{} vs {}",
+            ps.col_skew,
+            pu.col_skew
+        );
     }
 
     #[test]

@@ -104,7 +104,13 @@ impl DatasetProfile {
         let (cols, mu, max, skew, name) = match n {
             1 => (64, 4.0f64.ln(), 26, 1.4, "SEC Edgar 1-gram"),
             2 => (4_000, 4.5f64.ln(), 40, 1.7, "SEC Edgar 2-gram"),
-            3 => (858_000, base.degree.mu, base.degree.max, base.col_skew, "SEC Edgar 3-gram"),
+            3 => (
+                858_000,
+                base.degree.mu,
+                base.degree.max,
+                base.col_skew,
+                "SEC Edgar 3-gram",
+            ),
             _ => panic!("n-gram size must be 1, 2 or 3"),
         };
         Self {
@@ -207,8 +213,7 @@ impl DatasetProfile {
             degree_factor > 0.0 && degree_factor <= 1.0,
             "factor must be in (0, 1]"
         );
-        let scale_deg =
-            |d: usize| ((d as f64 * degree_factor).round() as usize).max(1);
+        let scale_deg = |d: usize| ((d as f64 * degree_factor).round() as usize).max(1);
         Self {
             name: self.name,
             rows: ((self.rows as f64 * dim_factor).round() as usize).max(8),
@@ -378,4 +383,3 @@ mod tests {
         DatasetProfile::sec_edgar_ngram(4);
     }
 }
-

@@ -33,14 +33,17 @@ impl SmemBloomFilter {
         bits.div_ceil(32) * 4
     }
 
-    /// Allocates the filter from block shared memory.
+    /// Allocates the filter from block shared memory and cost-accounts
+    /// the block-collective zero-fill of its words (queries read every
+    /// word a key hashes to, so the whole filter must be defined).
     ///
     /// # Panics
     ///
     /// Panics if the shared-memory budget is exceeded.
-    pub fn new(block: &BlockCtx, bits: usize) -> Self {
+    pub fn new(block: &mut BlockCtx, bits: usize) -> Self {
         let bits = bits.next_multiple_of(32).max(32);
         let words = block.alloc_shared::<u32>(bits / 32);
+        block.fill_shared(&words, 0);
         Self { words, bits }
     }
 
@@ -57,33 +60,20 @@ impl SmemBloomFilter {
         ]
     }
 
-    /// Warp-parallel insert of each active lane's key.
+    /// Warp-parallel insert of each active lane's key: one `atomicOr`
+    /// per hash into the word holding the target bit, so concurrent
+    /// inserts from other warps merge race-free.
     pub fn insert_warp(&self, w: &mut WarpCtx, keys: &Lanes<Option<u32>>) {
         for h in 0..2 {
             let idx = lanes_from_fn(|l| keys[l].map(|k| self.positions(k)[h] / 32));
-            let words = w.smem_gather(&self.words, &idx);
-            // Lanes sharing a word combine their bits first (the atomicOr
-            // the real kernel would issue), so the scatter below writes
-            // the same merged value from every lane that shares a word.
-            let mut merged: Vec<(usize, u32)> = Vec::new();
-            for l in 0..WARP_SIZE {
-                if let Some(k) = keys[l] {
-                    let i = idx[l].expect("active lane");
-                    let bit = 1 << (self.positions(k)[h] % 32);
-                    match merged.iter_mut().find(|(wi, _)| *wi == i) {
-                        Some((_, m)) => *m |= bit,
-                        None => merged.push((i, words[l] | bit)),
-                    }
-                }
-            }
-            let newv = lanes_from_fn(|l| {
-                idx[l]
-                    .and_then(|i| merged.iter().find(|(wi, _)| *wi == i))
-                    .map(|&(_, m)| m)
+            let bits = lanes_from_fn(|l| {
+                keys[l]
+                    .map(|k| 1u32 << (self.positions(k)[h] % 32))
                     .unwrap_or(0)
             });
-            w.issue(2);
-            w.smem_scatter(&self.words, &idx, &newv);
+            // Hash + bit-select ALU work alongside the atomic itself.
+            w.issue(1);
+            let _ = w.smem_atomic(&self.words, &idx, &bits, |cur, bit| cur | bit);
         }
     }
 
@@ -149,8 +139,7 @@ mod tests {
                 // is ~5%; allow up to 15% before calling it broken.
                 let mut fp = 0usize;
                 for round in 0..4u32 {
-                    let probe =
-                        lanes_from_fn(|l| Some(100_000 + round * 3232 + (l * 101) as u32));
+                    let probe = lanes_from_fn(|l| Some(100_000 + round * 3232 + (l * 101) as u32));
                     let hits = f.query_warp(w, &probe);
                     fp += hits.iter().filter(|&&h| h).count();
                 }

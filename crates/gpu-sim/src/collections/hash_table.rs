@@ -44,22 +44,25 @@ impl<T: Copy + Default> SmemHashTable<T> {
         capacity * (std::mem::size_of::<u32>() + std::mem::size_of::<T>())
     }
 
-    /// Allocates the table from the block's shared memory.
+    /// Allocates the table from the block's shared memory and
+    /// cost-accounts the block-collective fill of the key array with the
+    /// empty sentinel (values need no fill: a slot's value is only read
+    /// after its key matched, i.e. after an insert wrote it).
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero or if the block's shared-memory
     /// budget is exceeded.
-    pub fn new(block: &BlockCtx, capacity: usize) -> Self {
+    pub fn new(block: &mut BlockCtx, capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
         let keys = block.alloc_shared::<u32>(capacity);
-        keys.fill(EMPTY);
+        block.fill_shared(&keys, EMPTY);
         let vals = block.alloc_shared::<T>(capacity);
         Self {
             keys,
             vals,
             capacity,
-            seed: 0x5eed_0u32,
+            seed: 0x5eed0_u32,
         }
     }
 
@@ -70,11 +73,7 @@ impl<T: Copy + Default> SmemHashTable<T> {
 
     /// Current number of occupied slots (host-side inspection).
     pub fn len(&self) -> usize {
-        self.keys
-            .snapshot()
-            .iter()
-            .filter(|&&k| k != EMPTY)
-            .count()
+        self.keys.snapshot().iter().filter(|&&k| k != EMPTY).count()
     }
 
     /// True when no slot is occupied.
@@ -105,12 +104,7 @@ impl<T: Copy + Default> SmemHashTable<T> {
     /// Panics when a probe chain exhausts the table (the table is full) —
     /// strategies must size with [`Self::capacity_for`] or partition
     /// high-degree rows (§3.3.3).
-    pub fn insert_warp(
-        &self,
-        w: &mut WarpCtx,
-        keys: &Lanes<Option<u32>>,
-        vals: &Lanes<T>,
-    ) {
+    pub fn insert_warp(&self, w: &mut WarpCtx, keys: &Lanes<Option<u32>>, vals: &Lanes<T>) {
         let mut pending = *keys;
         for probe in 0..=self.capacity {
             if pending.iter().all(Option::is_none) {
@@ -118,33 +112,37 @@ impl<T: Copy + Default> SmemHashTable<T> {
             }
             assert!(probe < self.capacity, "shared-memory hash table is full");
             let idx = lanes_from_fn(|l| pending[l].map(|k| self.slot(k, probe)));
-            let found = w.smem_gather(&self.keys, &idx);
-            // One probe round = gather + compare + conditional write.
+            // Each lane claims its slot with an `atomicCAS` on the key
+            // word; the returned old value tells it whether it won the
+            // slot (`EMPTY`), found its key already present (a duplicate
+            // insert), or lost to another key and must keep probing.
+            // Because the claim is atomic, concurrent inserts from other
+            // warps are race-free.
+            let cas_keys = lanes_from_fn(|l| pending[l].unwrap_or(EMPTY));
+            let old = w.smem_atomic(&self.keys, &idx, &cas_keys, |cur, new| {
+                if cur == EMPTY {
+                    new
+                } else {
+                    cur
+                }
+            });
+            // One probe round = CAS + compare + conditional value write.
             w.issue(1);
             let mut write_idx = [None; WARP_SIZE];
-            let mut write_keys = [0u32; WARP_SIZE];
             let mut write_vals = [T::default(); WARP_SIZE];
-            // On hardware each lane claims an empty slot with atomicCAS;
-            // within a warp only one lane wins a given slot per round and
-            // the losers keep probing. `claimed` plays the CAS arbiter.
-            let mut claimed: Vec<usize> = Vec::new();
             for l in 0..WARP_SIZE {
                 if let Some(k) = pending[l] {
                     let i = idx[l].expect("active lane has a slot");
-                    let won_empty = found[l] == EMPTY && !claimed.contains(&i);
-                    if found[l] == k || won_empty {
-                        if won_empty {
-                            claimed.push(i);
-                        }
+                    if old[l] == EMPTY || old[l] == k {
                         write_idx[l] = Some(i);
-                        write_keys[l] = k;
                         write_vals[l] = vals[l];
                         pending[l] = None;
                     }
                 }
             }
             if write_idx.iter().any(Option::is_some) {
-                w.smem_scatter(&self.keys, &write_idx, &write_keys);
+                // The CAS made the claimed slots exclusive, so the value
+                // store is a plain scatter.
                 w.smem_scatter(&self.vals, &write_idx, &write_vals);
             }
             // Lanes that must keep probing diverge from those that are
@@ -163,11 +161,7 @@ impl<T: Copy + Default> SmemHashTable<T> {
     /// slot — the "increase in lookup times for columns even for elements
     /// that aren't in the table" that motivated the bloom-filter
     /// alternative.
-    pub fn lookup_warp(
-        &self,
-        w: &mut WarpCtx,
-        keys: &Lanes<Option<u32>>,
-    ) -> Lanes<Option<T>> {
+    pub fn lookup_warp(&self, w: &mut WarpCtx, keys: &Lanes<Option<u32>>) -> Lanes<Option<T>> {
         let mut pending = *keys;
         let mut out = [None; WARP_SIZE];
         for probe in 0..=self.capacity {
@@ -297,8 +291,7 @@ mod tests {
                 block.run_warps(|w| {
                     // Insert 60 keys in two warp rounds of 30.
                     for round in 0..2 {
-                        let keys =
-                            lanes_from_fn(|l| (l < 30).then(|| (round * 100 + l) as u32));
+                        let keys = lanes_from_fn(|l| (l < 30).then(|| (round * 100 + l) as u32));
                         let vals = lanes_from_fn(|_| 1.0f32);
                         t.insert_warp(w, &keys, &vals);
                     }
@@ -342,9 +335,8 @@ mod tests {
                 block.run_warps(|w| {
                     for chunk in keys.chunks(WARP_SIZE) {
                         let lk = lanes_from_fn(|l| chunk.get(l).copied());
-                        let lv = lanes_from_fn(|l| {
-                            chunk.get(l).map(|&k| k as f32 * 0.5).unwrap_or(0.0)
-                        });
+                        let lv =
+                            lanes_from_fn(|l| chunk.get(l).map(|&k| k as f32 * 0.5).unwrap_or(0.0));
                         t.insert_warp(w, &lk, &lv);
                     }
                     for &k in &keys {
@@ -356,11 +348,7 @@ mod tests {
                         let got = t.lookup_warp(w, &pk);
                         for l in 0..WARP_SIZE {
                             let key = probe_base + l as u32;
-                            assert_eq!(
-                                got[l],
-                                oracle.get(&key).copied(),
-                                "seed {seed} key {key}"
-                            );
+                            assert_eq!(got[l], oracle.get(&key).copied(), "seed {seed} key {key}");
                         }
                     }
                 });

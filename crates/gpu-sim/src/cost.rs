@@ -63,20 +63,21 @@ pub fn estimate_with_blocks(
     let active_sms = if occupancy.blocks_per_sm == 0 {
         1
     } else {
-        spec.sm_count.min(blocks.div_ceil(occupancy.blocks_per_sm).max(1))
+        spec.sm_count
+            .min(blocks.div_ceil(occupancy.blocks_per_sm).max(1))
     }
     .min(spec.sm_count)
     .max(1);
 
     // Latency hiding: throughput ramps linearly up to the knee.
-    let hiding = (occupancy.fraction / LATENCY_HIDING_KNEE).min(1.0).max(1.0 / 64.0);
+    let hiding = (occupancy.fraction / LATENCY_HIDING_KNEE).clamp(1.0 / 64.0, 1.0);
 
     let issue_rate =
         active_sms as f64 * spec.issue_slots_per_sm as f64 * hiding * spec.clock_ghz * 1e9;
     // Makespan bound: the machine-wide rate divided across concurrent
     // blocks gives the per-block service rate a straggler is limited to.
-    let per_block_rate = issue_rate
-        / (active_sms as f64 * occupancy.blocks_per_sm.max(1) as f64).max(1.0);
+    let per_block_rate =
+        issue_rate / (active_sms as f64 * occupancy.blocks_per_sm.max(1) as f64).max(1.0);
     let balanced = counters.effective_issues() as f64 / issue_rate;
     let straggler = max_block_issues as f64 / per_block_rate.max(1.0);
     let compute_seconds = balanced.max(straggler);
@@ -90,7 +91,7 @@ pub fn estimate_with_blocks(
     // it fits, fully spilled when it is many times the capacity).
     let unique = counters.global_bytes_unique.min(counters.global_bytes) as f64;
     let reread = counters.global_bytes as f64 - unique;
-    let miss = (unique / spec.l2_bytes as f64).min(1.0).max(0.02);
+    let miss = (unique / spec.l2_bytes as f64).clamp(0.02, 1.0);
     let dram_bytes = unique + reread * miss;
     let memory_seconds = dram_bytes / bw;
 

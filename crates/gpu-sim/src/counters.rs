@@ -63,10 +63,7 @@ impl Counters {
     /// Total issue slots consumed once divergence, bank-conflict and
     /// atomic serialization are charged.
     pub fn effective_issues(&self) -> u64 {
-        self.issues
-            + self.divergence_extra
-            + self.bank_conflict_extra
-            + self.atomic_conflict_extra
+        self.issues + self.divergence_extra + self.bank_conflict_extra + self.atomic_conflict_extra
     }
 
     /// Fraction of requested bytes that the coalesced transactions

@@ -1,8 +1,11 @@
 //! Device handle, launch configuration and block execution.
 
+use std::rc::Rc;
+
 use crate::cost::{estimate_with_blocks, CostBreakdown};
 use crate::counters::Counters;
 use crate::global::GlobalBuffer;
+use crate::sanitizer::{BlockSanitizer, LaunchSanitizer, SanitizerMode, SanitizerReport, SimError};
 use crate::shared::{SharedArray, SharedMem};
 use crate::spec::{DeviceSpec, Occupancy};
 use crate::warp::{L2Tracker, WarpCtx, WARP_SIZE};
@@ -16,16 +19,26 @@ pub struct LaunchConfig {
     pub threads_per_block: usize,
     /// Shared memory requested per block, in bytes.
     pub smem_per_block: usize,
+    /// Per-launch sanitizer override; `None` uses the device-wide mode
+    /// ([`Device::with_sanitizer`]).
+    pub sanitizer: Option<SanitizerMode>,
 }
 
 impl LaunchConfig {
-    /// Convenience constructor.
+    /// Convenience constructor (device-wide sanitizer mode).
     pub fn new(blocks: usize, threads_per_block: usize, smem_per_block: usize) -> Self {
         Self {
             blocks,
             threads_per_block,
             smem_per_block,
+            sanitizer: None,
         }
+    }
+
+    /// Overrides the sanitizer mode for this launch only.
+    pub fn with_sanitizer(mut self, mode: SanitizerMode) -> Self {
+        self.sanitizer = Some(mode);
+        self
     }
 
     /// Warps per block.
@@ -47,6 +60,9 @@ pub struct LaunchStats {
     pub counters: Counters,
     /// Roofline cost estimate.
     pub cost: CostBreakdown,
+    /// Findings collected by the sanitizer (empty when it is off — and,
+    /// for a correct kernel, when it is on).
+    pub sanitizer_reports: Vec<SanitizerReport>,
 }
 
 impl LaunchStats {
@@ -74,6 +90,7 @@ pub struct BlockCtx<'a> {
     shared: SharedMem,
     counters: Counters,
     l2: &'a mut L2Tracker,
+    san: Rc<BlockSanitizer>,
 }
 
 impl<'a> BlockCtx<'a> {
@@ -94,12 +111,25 @@ impl<'a> BlockCtx<'a> {
 
     /// Allocates a zero-initialized shared-memory array.
     ///
-    /// # Panics
-    ///
-    /// Panics if the block's shared-memory budget is exceeded (a kernel
-    /// bug: strategies must size their launches to fit, §3.3.2).
+    /// An over-budget request records a [`SimError::SmemOverBudget`] that
+    /// [`Device::try_launch`] surfaces after the block finishes (or
+    /// [`Device::launch`] panics with) — the same error path kernel-side
+    /// capacity planning uses, per the sizing discipline of §3.3.2.
     pub fn alloc_shared<T: Copy + Default>(&self, len: usize) -> SharedArray<T> {
-        self.shared.alloc(len)
+        self.shared.alloc_lenient(len)
+    }
+
+    /// Cost-accounted block-collective fill: every thread stores one
+    /// element per round until the array is covered (the
+    /// grid-stride-style `smem[tid] = v` initialization loop real kernels
+    /// run before their first barrier). Charges one issue and one
+    /// shared-memory access per warp per round.
+    pub fn fill_shared<T: Copy + Default>(&mut self, arr: &SharedArray<T>, v: T) {
+        let rounds = arr.len().div_ceil(self.threads().max(1)).max(1);
+        let warp_stores = (rounds * self.warps_per_block) as u64;
+        self.counters.issues += warp_stores;
+        self.counters.smem_accesses += warp_stores;
+        arr.fill(v);
     }
 
     /// Runs `f` once per warp of the block, in lockstep order.
@@ -112,16 +142,19 @@ impl<'a> BlockCtx<'a> {
                 spec: self.spec,
                 counters: &mut self.counters,
                 l2: self.l2,
+                san: self.san.as_ref(),
             };
             f(&mut ctx);
         }
     }
 
     /// Block-wide barrier (`__syncthreads()`); charges one barrier event
-    /// and one issue per warp.
+    /// and one issue per warp, advances the racecheck epoch, and
+    /// synccheck-verifies matched arrival counts across warps.
     pub fn sync(&mut self) {
         self.counters.barriers += 1;
         self.counters.issues += self.warps_per_block as u64;
+        self.san.block_sync();
     }
 
     /// Direct counter access for block-level macro-ops (sorting networks
@@ -157,12 +190,16 @@ impl<'a> BlockCtx<'a> {
 #[derive(Debug, Clone)]
 pub struct Device {
     spec: DeviceSpec,
+    sanitizer: SanitizerMode,
 }
 
 impl Device {
-    /// Creates a device from a spec.
+    /// Creates a device from a spec (sanitizer off).
     pub fn new(spec: DeviceSpec) -> Self {
-        Self { spec }
+        Self {
+            spec,
+            sanitizer: SanitizerMode::Off,
+        }
     }
 
     /// A simulated V100 (the paper's benchmark GPU).
@@ -173,6 +210,18 @@ impl Device {
     /// A simulated A100.
     pub fn ampere() -> Self {
         Self::new(DeviceSpec::ampere_a100())
+    }
+
+    /// Sets the device-wide sanitizer mode (individual launches may
+    /// override it via [`LaunchConfig::with_sanitizer`]).
+    pub fn with_sanitizer(mut self, mode: SanitizerMode) -> Self {
+        self.sanitizer = mode;
+        self
+    }
+
+    /// The device-wide sanitizer mode.
+    pub fn sanitizer(&self) -> SanitizerMode {
+        self.sanitizer
     }
 
     /// The device spec.
@@ -196,64 +245,103 @@ impl Device {
     ///
     /// # Panics
     ///
-    /// Panics if `threads_per_block` exceeds the device limit or is not a
-    /// positive multiple of the warp size, or if `smem_per_block` exceeds
-    /// the per-block shared-memory capacity — the simulated equivalents
-    /// of a CUDA launch-configuration error.
+    /// Panics with [`Device::try_launch`]'s error text on an invalid
+    /// configuration, an over-budget shared-memory allocation, or (under
+    /// [`SanitizerMode::Fail`]) any sanitizer finding.
     pub fn launch(
         &self,
         name: &str,
         config: LaunchConfig,
-        mut kernel: impl FnMut(&mut BlockCtx),
+        kernel: impl FnMut(&mut BlockCtx),
     ) -> LaunchStats {
-        assert!(
-            config.threads_per_block > 0
-                && config.threads_per_block <= self.spec.max_threads_per_block
-                && config.threads_per_block % WARP_SIZE == 0,
-            "invalid threads_per_block {}",
-            config.threads_per_block
-        );
-        assert!(
-            config.smem_per_block <= self.spec.shared_mem_per_block,
-            "smem_per_block {} exceeds device limit {}",
-            config.smem_per_block,
-            self.spec.shared_mem_per_block
-        );
+        self.try_launch(name, config, kernel)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible launch: invalid geometry, over-budget shared-memory
+    /// allocations, and (under [`SanitizerMode::Fail`]) sanitizer findings
+    /// come back as [`SimError`] values instead of panics.
+    pub fn try_launch(
+        &self,
+        name: &str,
+        config: LaunchConfig,
+        mut kernel: impl FnMut(&mut BlockCtx),
+    ) -> Result<LaunchStats, SimError> {
+        if config.threads_per_block == 0
+            || config.threads_per_block > self.spec.max_threads_per_block
+            || !config.threads_per_block.is_multiple_of(WARP_SIZE)
+        {
+            return Err(SimError::InvalidLaunchConfig(format!(
+                "invalid threads_per_block {}",
+                config.threads_per_block
+            )));
+        }
+        if config.smem_per_block > self.spec.shared_mem_per_block {
+            return Err(SimError::InvalidLaunchConfig(format!(
+                "smem_per_block {} exceeds device limit {}",
+                config.smem_per_block, self.spec.shared_mem_per_block
+            )));
+        }
+        let mode = config.sanitizer.unwrap_or(self.sanitizer);
+        let lsan = Rc::new(LaunchSanitizer::new(mode, name));
         let mut total = Counters::new();
         let mut max_block_issues = 0u64;
         let mut l2 = L2Tracker::new();
         for b in 0..config.blocks {
+            let bsan = Rc::new(BlockSanitizer::new(
+                lsan.clone(),
+                b,
+                config.warps_per_block(),
+            ));
             let mut block = BlockCtx {
                 block_id: b,
                 grid_blocks: config.blocks,
                 warps_per_block: config.warps_per_block(),
                 spec: &self.spec,
-                shared: SharedMem::new(config.smem_per_block),
+                shared: SharedMem::with_sanitizer(config.smem_per_block, bsan.clone()),
                 counters: Counters::new(),
                 l2: &mut l2,
+                san: bsan,
             };
             kernel(&mut block);
+            if let Some(fault) = block.shared.take_fault() {
+                return Err(fault);
+            }
             max_block_issues = max_block_issues.max(block.counters.effective_issues());
             total.merge(&block.counters);
+        }
+        let sanitizer_reports = lsan.take_reports();
+        if mode == SanitizerMode::Fail && !sanitizer_reports.is_empty() {
+            return Err(SimError::SanitizerFailure {
+                kernel: name.to_string(),
+                reports: sanitizer_reports,
+            });
         }
         let occupancy = self
             .spec
             .occupancy(config.threads_per_block, config.smem_per_block);
-        let cost =
-            estimate_with_blocks(&self.spec, config.blocks, &occupancy, &total, max_block_issues);
-        LaunchStats {
+        let cost = estimate_with_blocks(
+            &self.spec,
+            config.blocks,
+            &occupancy,
+            &total,
+            max_block_issues,
+        );
+        Ok(LaunchStats {
             name: name.to_string(),
             config,
             occupancy,
             counters: total,
             cost,
-        }
+            sanitizer_reports,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sanitizer::CheckerKind;
     use crate::warp::lanes_from_fn;
 
     #[test]
@@ -328,5 +416,88 @@ mod tests {
         assert_eq!(stats.occupancy.concurrent_warps_per_sm, 64);
         assert!(stats.sim_seconds() > 0.0);
         assert_eq!(stats.counters.issues, 160 * 32 * 100);
+    }
+
+    #[test]
+    fn try_launch_surfaces_invalid_config() {
+        let dev = Device::volta();
+        let err = dev
+            .try_launch("bad", LaunchConfig::new(1, 33, 0), |_| {})
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidLaunchConfig(_)));
+        assert!(err.to_string().contains("invalid threads_per_block 33"));
+    }
+
+    #[test]
+    fn try_launch_surfaces_smem_over_budget() {
+        let dev = Device::volta();
+        let err = dev
+            .try_launch("hungry", LaunchConfig::new(1, 32, 128), |block| {
+                let arr = block.alloc_shared::<f64>(17);
+                // The kernel limps on with a working array...
+                assert_eq!(arr.len(), 17);
+            })
+            .unwrap_err();
+        // ...but the launch still fails with the typed error.
+        assert!(matches!(
+            err,
+            SimError::SmemOverBudget {
+                requested: 136,
+                in_use: 0,
+                capacity: 128
+            }
+        ));
+    }
+
+    #[test]
+    fn fill_shared_charges_rounds() {
+        let dev = Device::volta();
+        let stats = dev.launch("fill_smem", LaunchConfig::new(1, 64, 4096), |block| {
+            // 192 elements / 64 threads = 3 rounds × 2 warps.
+            let arr = block.alloc_shared::<f32>(192);
+            block.fill_shared(&arr, 1.5);
+            assert!(arr.snapshot().iter().all(|&v| v == 1.5));
+        });
+        assert_eq!(stats.counters.issues, 6);
+        assert_eq!(stats.counters.smem_accesses, 6);
+    }
+
+    #[test]
+    fn sanitizer_fail_mode_rejects_oob() {
+        let dev = Device::volta().with_sanitizer(SanitizerMode::Fail);
+        let buf = dev.buffer::<f32>(8);
+        let err = dev
+            .try_launch("oob", LaunchConfig::new(1, 32, 0), |block| {
+                block.run_warps(|w| {
+                    let idx = lanes_from_fn(|l| Some(l * 100));
+                    let _ = w.global_gather(&buf, &idx);
+                });
+            })
+            .unwrap_err();
+        match err {
+            SimError::SanitizerFailure { kernel, reports } => {
+                assert_eq!(kernel, "oob");
+                assert!(reports.iter().all(|r| r.kind == CheckerKind::Memcheck));
+            }
+            other => panic!("expected SanitizerFailure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sanitizer_warn_mode_collects_but_completes() {
+        let dev = Device::volta();
+        let buf = dev.buffer::<f32>(8);
+        let cfg = LaunchConfig::new(1, 32, 0).with_sanitizer(SanitizerMode::Warn);
+        let stats = dev.launch("oob_warn", cfg, |block| {
+            block.run_warps(|w| {
+                let idx = lanes_from_fn(|l| (l < 8).then_some(l));
+                let bad = lanes_from_fn(|l| if l == 0 { Some(999) } else { None });
+                let _ = w.global_gather(&buf, &idx);
+                let _ = w.global_gather(&buf, &bad);
+            });
+        });
+        assert_eq!(stats.sanitizer_reports.len(), 1);
+        assert_eq!(stats.sanitizer_reports[0].kind, CheckerKind::Memcheck);
+        assert_eq!(stats.sanitizer_reports[0].offset, Some(999));
     }
 }

@@ -19,6 +19,10 @@ static NEXT_BUFFER_ID: AtomicU64 = AtomicU64::new(0);
 pub struct GlobalBuffer<T> {
     id: u64,
     data: RefCell<Vec<T>>,
+    /// Initcheck bitmap: `Some` for buffers created with
+    /// [`GlobalBuffer::uninit`] (like `cudaMalloc` without a memset);
+    /// `None` for buffers whose construction defines every element.
+    init: Option<RefCell<Vec<bool>>>,
 }
 
 impl<T: Copy + Default> GlobalBuffer<T> {
@@ -32,6 +36,20 @@ impl<T: Copy + Default> GlobalBuffer<T> {
         Self {
             id: NEXT_BUFFER_ID.fetch_add(1, Ordering::Relaxed),
             data: RefCell::new(data),
+            init: None,
+        }
+    }
+
+    /// Allocates a buffer whose contents are *undefined* until written —
+    /// the `cudaMalloc`-without-memset case the initcheck sanitizer
+    /// exists for. Reads of never-written elements under an enabled
+    /// sanitizer produce initcheck reports; the storage itself is
+    /// zero-filled so execution stays deterministic.
+    pub fn uninit(len: usize) -> Self {
+        Self {
+            id: NEXT_BUFFER_ID.fetch_add(1, Ordering::Relaxed),
+            data: RefCell::new(vec![T::default(); len]),
+            init: Some(RefCell::new(vec![false; len])),
         }
     }
 
@@ -80,7 +98,25 @@ impl<T: Copy + Default> GlobalBuffer<T> {
     ///
     /// Panics if `idx` is out of bounds.
     pub fn host_set(&self, idx: usize, v: T) {
+        self.mark_init(idx);
         self.data.borrow_mut()[idx] = v;
+    }
+
+    /// Whether element `idx` has ever been written (always true for
+    /// buffers constructed from data).
+    pub(crate) fn is_init(&self, idx: usize) -> bool {
+        match &self.init {
+            None => true,
+            Some(bits) => bits.borrow().get(idx).copied().unwrap_or(true),
+        }
+    }
+
+    fn mark_init(&self, idx: usize) {
+        if let Some(bits) = &self.init {
+            if let Some(b) = bits.borrow_mut().get_mut(idx) {
+                *b = true;
+            }
+        }
     }
 
     pub(crate) fn read(&self, idx: usize) -> T {
@@ -88,10 +124,12 @@ impl<T: Copy + Default> GlobalBuffer<T> {
     }
 
     pub(crate) fn write(&self, idx: usize, v: T) {
+        self.mark_init(idx);
         self.data.borrow_mut()[idx] = v;
     }
 
     pub(crate) fn rmw(&self, idx: usize, f: impl FnOnce(T) -> T) {
+        self.mark_init(idx);
         let mut d = self.data.borrow_mut();
         d[idx] = f(d[idx]);
     }
@@ -123,5 +161,19 @@ mod tests {
         let b = GlobalBuffer::from_slice(&[10i64]);
         b.rmw(0, |v| v + 5);
         assert_eq!(b.host_get(0), 15);
+    }
+
+    #[test]
+    fn uninit_tracks_writes_per_element() {
+        let b = GlobalBuffer::<f32>::uninit(3);
+        assert!(!b.is_init(0));
+        b.write(1, 2.0);
+        assert!(b.is_init(1));
+        assert!(!b.is_init(2));
+        b.rmw(2, |v| v + 1.0);
+        assert!(b.is_init(2));
+        // Constructed-from-data buffers are fully initialized.
+        let c = GlobalBuffer::from_slice(&[1u32]);
+        assert!(c.is_init(0));
     }
 }

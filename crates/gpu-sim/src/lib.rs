@@ -33,6 +33,10 @@
 //! ```
 
 #![deny(missing_docs)]
+// `for l in 0..WARP_SIZE` is the crate-wide SIMT idiom: lane loops
+// usually walk several `Lanes` arrays in lockstep, and the few that
+// happen to index only one read better matching the rest.
+#![allow(clippy::needless_range_loop)]
 
 pub mod collections;
 pub mod cost;
@@ -41,6 +45,7 @@ pub mod device;
 pub mod global;
 pub mod murmur;
 pub mod prims;
+pub mod sanitizer;
 pub mod shared;
 pub mod spec;
 pub mod warp;
@@ -51,6 +56,7 @@ pub use counters::Counters;
 pub use device::{BlockCtx, Device, LaunchConfig, LaunchStats};
 pub use global::GlobalBuffer;
 pub use prims::{bitonic_sort_by_key, warp_binary_search};
+pub use sanitizer::{CheckerKind, MemSpace, SanitizerMode, SanitizerReport, SimError};
 pub use shared::{SharedArray, SharedMem};
 pub use spec::{Arch, DeviceSpec, Occupancy};
 pub use warp::{lanes_from_fn, Lanes, WarpCtx, WARP_SIZE};

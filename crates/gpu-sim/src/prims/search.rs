@@ -127,7 +127,11 @@ mod tests {
         });
         // ≤ ~log2(1024) + 1 = 11 probe rounds, each one gather issue +
         // two ALU issues.
-        assert!(stats.counters.issues <= 11 * 3 + 5, "{}", stats.counters.issues);
+        assert!(
+            stats.counters.issues <= 11 * 3 + 5,
+            "{}",
+            stats.counters.issues
+        );
         assert!(stats.counters.global_transactions >= 10);
     }
 }

@@ -31,7 +31,10 @@ pub fn bitonic_sort_by_key<T: Copy + Default>(
     vals: &SharedArray<T>,
     n: usize,
 ) {
-    assert!(n <= keys.len() && n <= vals.len(), "sort range out of bounds");
+    assert!(
+        n <= keys.len() && n <= vals.len(),
+        "sort range out of bounds"
+    );
     if n <= 1 {
         return;
     }

@@ -3,16 +3,23 @@
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
+use crate::sanitizer::{BlockSanitizer, SimError, SmemShadow};
+
 /// The shared-memory pool of one thread block.
 ///
 /// Allocation is bump-style (mirroring static `__shared__` declarations);
-/// exceeding the block's budget panics, the simulator's analog of a CUDA
-/// launch failure — kernels are expected to check capacity *before*
-/// launching, exactly the sizing discipline §3.3.2 discusses.
+/// exceeding the block's budget fails the launch, the simulator's analog
+/// of a CUDA launch failure — kernels are expected to check capacity
+/// *before* launching, exactly the sizing discipline §3.3.2 discusses.
+/// Standalone pools ([`SharedMem::new`]) panic on over-budget; pools
+/// inside a launch record a [`SimError::SmemOverBudget`] that
+/// [`crate::Device::try_launch`] surfaces as an `Err`.
 #[derive(Debug)]
 pub struct SharedMem {
     capacity: usize,
     used: Cell<usize>,
+    san: Option<Rc<BlockSanitizer>>,
+    fault: RefCell<Option<SimError>>,
 }
 
 impl SharedMem {
@@ -21,6 +28,18 @@ impl SharedMem {
         Self {
             capacity,
             used: Cell::new(0),
+            san: None,
+            fault: RefCell::new(None),
+        }
+    }
+
+    /// Creates a pool whose allocations carry sanitizer shadow state.
+    pub(crate) fn with_sanitizer(capacity: usize, san: Rc<BlockSanitizer>) -> Self {
+        Self {
+            capacity,
+            used: Cell::new(0),
+            san: Some(san),
+            fault: RefCell::new(None),
         }
     }
 
@@ -34,6 +53,40 @@ impl SharedMem {
         self.capacity
     }
 
+    /// The first over-budget allocation recorded by
+    /// [`SharedMem::alloc_lenient`], if any.
+    pub(crate) fn take_fault(&self) -> Option<SimError> {
+        self.fault.borrow_mut().take()
+    }
+
+    fn try_alloc<T: Copy + Default>(&self, len: usize) -> Result<SharedArray<T>, SimError> {
+        let bytes = len * std::mem::size_of::<T>();
+        let base = self.used.get();
+        if base + bytes > self.capacity {
+            return Err(SimError::SmemOverBudget {
+                requested: bytes,
+                in_use: base,
+                capacity: self.capacity,
+            });
+        }
+        self.used.set(base + bytes);
+        Ok(self.build_array(len, base))
+    }
+
+    fn build_array<T: Copy + Default>(&self, len: usize, base: usize) -> SharedArray<T> {
+        let shadow = self
+            .san
+            .as_ref()
+            .filter(|san| san.enabled())
+            .map(|san| Rc::new(SmemShadow::new(san.clone(), base, len)));
+        SharedArray {
+            data: Rc::new(RefCell::new(vec![T::default(); len])),
+            base_byte: base,
+            elem_bytes: std::mem::size_of::<T>(),
+            shadow,
+        }
+    }
+
     /// Allocates a zero-initialized array of `len` elements.
     ///
     /// # Panics
@@ -42,20 +95,23 @@ impl SharedMem {
     /// budget — the simulated equivalent of
     /// `CUDA error: invalid configuration argument`.
     pub fn alloc<T: Copy + Default>(&self, len: usize) -> SharedArray<T> {
-        let bytes = len * std::mem::size_of::<T>();
-        let base = self.used.get();
-        assert!(
-            base + bytes <= self.capacity,
-            "shared memory over budget: {} + {} > {} bytes",
-            base,
-            bytes,
-            self.capacity
-        );
-        self.used.set(base + bytes);
-        SharedArray {
-            data: Rc::new(RefCell::new(vec![T::default(); len])),
-            base_byte: base,
-            elem_bytes: std::mem::size_of::<T>(),
+        self.try_alloc(len).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Launch-internal allocation: an over-budget request records the
+    /// fault (for [`crate::Device::try_launch`] to surface after the
+    /// block finishes) and hands back a working array so the kernel can
+    /// limp to the end of the block instead of unwinding.
+    pub(crate) fn alloc_lenient<T: Copy + Default>(&self, len: usize) -> SharedArray<T> {
+        match self.try_alloc(len) {
+            Ok(arr) => arr,
+            Err(e) => {
+                let mut fault = self.fault.borrow_mut();
+                if fault.is_none() {
+                    *fault = Some(e);
+                }
+                self.build_array(len, self.used.get())
+            }
         }
     }
 }
@@ -69,6 +125,7 @@ pub struct SharedArray<T> {
     data: Rc<RefCell<Vec<T>>>,
     base_byte: usize,
     elem_bytes: usize,
+    shadow: Option<Rc<SmemShadow>>,
 }
 
 impl<T: Copy> SharedArray<T> {
@@ -82,15 +139,63 @@ impl<T: Copy> SharedArray<T> {
         self.len() == 0
     }
 
-    /// The shared-memory bank an element index maps to (4-byte banks).
+    /// The first shared-memory bank an element index maps to (4-byte
+    /// banks). Elements wider than a bank span several; see
+    /// [`SharedArray::banks_of`].
     pub fn bank_of(&self, idx: usize, banks: usize) -> usize {
         ((self.base_byte + idx * self.elem_bytes) / 4) % banks
     }
 
+    /// Every bank an element access touches. A 4-byte element occupies
+    /// one bank; an 8-byte element (`f64`, `u64`) straddles two
+    /// consecutive banks, so a warp-wide access pays for both words —
+    /// the doubled shared-memory traffic real hardware shows for
+    /// double-precision tiles.
+    pub fn banks_of(&self, idx: usize, banks: usize) -> Vec<usize> {
+        let first_word = (self.base_byte + idx * self.elem_bytes) / 4;
+        let words = self.elem_bytes.div_ceil(4).max(1);
+        (0..words).map(|w| (first_word + w) % banks).collect()
+    }
+
+    /// The 4-byte word addresses an element occupies, as
+    /// `(first_word, word_count)` — the unit of bank-conflict accounting.
+    pub(crate) fn word_span(&self, idx: usize) -> (usize, usize) {
+        (
+            (self.base_byte + idx * self.elem_bytes) / 4,
+            self.elem_bytes.div_ceil(4).max(1),
+        )
+    }
+
+    /// The sanitizer shadow, when this array was allocated under an
+    /// enabled sanitizer.
+    pub(crate) fn shadow(&self) -> Option<&Rc<SmemShadow>> {
+        self.shadow.as_ref()
+    }
+
+    /// Byte offset of the array within its block's shared-memory pool.
+    pub(crate) fn base_byte(&self) -> usize {
+        self.base_byte
+    }
+
+    /// Storage read bypassing the shadow (warp ops do their own shadow
+    /// accounting with warp/lane identity).
+    pub(crate) fn raw_get(&self, idx: usize) -> T {
+        self.data.borrow()[idx]
+    }
+
+    /// Storage write bypassing the shadow (see [`SharedArray::raw_get`]).
+    pub(crate) fn raw_set(&self, idx: usize, v: T) {
+        self.data.borrow_mut()[idx] = v;
+    }
+
     /// Fills the array with a value (host-style initialization used in
-    /// tests; kernels should use [`crate::WarpCtx::smem_scatter`]).
+    /// tests; kernels should use [`crate::WarpCtx::smem_scatter`] or the
+    /// cost-accounted [`crate::BlockCtx::fill_shared`]).
     pub fn fill(&self, v: T) {
         self.data.borrow_mut().fill(v);
+        if let Some(sh) = &self.shadow {
+            sh.host_bulk();
+        }
     }
 
     /// Copies the contents out (for assertions).
@@ -103,19 +208,43 @@ impl<T: Copy> SharedArray<T> {
     /// For serialized per-lane emulation (e.g. the insertion loop of a
     /// selection kernel): the caller is responsible for charging the
     /// equivalent hardware cost through [`crate::WarpCtx`] (`issue`,
-    /// `smem_gather`, …).
+    /// `smem_gather`, …). Under an enabled sanitizer the read still
+    /// passes initcheck.
     pub fn read(&self, idx: usize) -> T {
+        if let Some(sh) = &self.shadow {
+            sh.host_read(idx);
+        }
         self.data.borrow()[idx]
     }
 
     /// Raw single-element write, **without** cost accounting (see
     /// [`SharedArray::read`]).
     pub fn write(&self, idx: usize, v: T) {
+        if let Some(sh) = &self.shadow {
+            sh.host_write(idx);
+        }
         self.data.borrow_mut()[idx] = v;
     }
 
+    /// Raw read-modify-write returning the previous value; cost and
+    /// shadow accounting are the caller's job (used by
+    /// [`crate::WarpCtx::smem_atomic`]).
+    pub(crate) fn rmw(&self, idx: usize, f: impl FnOnce(T) -> T) -> T {
+        let mut d = self.data.borrow_mut();
+        let old = d[idx];
+        d[idx] = f(old);
+        old
+    }
+
     pub(crate) fn with_mut<R>(&self, f: impl FnOnce(&mut Vec<T>) -> R) -> R {
-        f(&mut self.data.borrow_mut())
+        let r = f(&mut self.data.borrow_mut());
+        // Block-collective macro-ops (e.g. the bitonic sort) are
+        // internally barrier-synchronized; treat the whole array as
+        // freshly initialized with no dangling race history.
+        if let Some(sh) = &self.shadow {
+            sh.host_bulk();
+        }
+        r
     }
 }
 
@@ -142,6 +271,29 @@ mod tests {
     }
 
     #[test]
+    fn lenient_allocation_records_fault_and_continues() {
+        let pool = SharedMem::new(128);
+        let arr = pool.alloc_lenient::<f64>(17);
+        assert_eq!(arr.len(), 17);
+        arr.write(16, 4.0);
+        assert_eq!(arr.read(16), 4.0);
+        match pool.take_fault() {
+            Some(SimError::SmemOverBudget {
+                requested,
+                in_use,
+                capacity,
+            }) => {
+                assert_eq!(requested, 136);
+                assert_eq!(in_use, 0);
+                assert_eq!(capacity, 128);
+            }
+            other => panic!("expected SmemOverBudget, got {other:?}"),
+        }
+        // Only the first fault is kept.
+        assert!(pool.take_fault().is_none());
+    }
+
+    #[test]
     fn arrays_alias_on_clone() {
         let pool = SharedMem::new(64);
         let a = pool.alloc::<u32>(4);
@@ -157,10 +309,15 @@ mod tests {
         assert_eq!(a.bank_of(0, 32), 0);
         assert_eq!(a.bank_of(31, 32), 31);
         assert_eq!(a.bank_of(32, 32), 0);
-        // f64 elements straddle two banks; the model charges the first.
+        // f64 elements straddle two banks; `bank_of` reports the first,
+        // `banks_of` both words.
         let pool2 = SharedMem::new(4096);
         let d = pool2.alloc::<f64>(64);
         assert_eq!(d.bank_of(1, 32), 2);
+        assert_eq!(d.banks_of(1, 32), vec![2, 3]);
+        assert_eq!(d.banks_of(16, 32), vec![0, 1]);
+        // 4-byte elements touch exactly one bank.
+        assert_eq!(a.banks_of(5, 32), vec![5]);
     }
 
     #[test]

@@ -112,11 +112,10 @@ impl DeviceSpec {
     pub fn occupancy(&self, threads_per_block: usize, smem_per_block: usize) -> Occupancy {
         let warps_per_block = threads_per_block.div_ceil(self.warp_size).max(1);
         let by_warps = self.max_warps_per_sm / warps_per_block;
-        let by_smem = if smem_per_block == 0 {
-            self.max_blocks_per_sm
-        } else {
-            self.shared_mem_per_sm / smem_per_block
-        };
+        let by_smem = self
+            .shared_mem_per_sm
+            .checked_div(smem_per_block)
+            .unwrap_or(self.max_blocks_per_sm);
         let blocks_per_sm = by_warps.min(by_smem).min(self.max_blocks_per_sm);
         let concurrent_warps = blocks_per_sm * warps_per_block;
         Occupancy {

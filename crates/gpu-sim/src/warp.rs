@@ -10,6 +10,7 @@
 
 use crate::counters::Counters;
 use crate::global::GlobalBuffer;
+use crate::sanitizer::{BlockSanitizer, CheckerKind, MemSpace};
 use crate::shared::SharedArray;
 use crate::spec::DeviceSpec;
 use std::collections::HashSet;
@@ -47,6 +48,7 @@ pub struct WarpCtx<'a> {
     pub(crate) spec: &'a DeviceSpec,
     pub(crate) counters: &'a mut Counters,
     pub(crate) l2: &'a mut L2Tracker,
+    pub(crate) san: &'a BlockSanitizer,
 }
 
 impl<'a> WarpCtx<'a> {
@@ -90,6 +92,65 @@ impl<'a> WarpCtx<'a> {
         groups
     }
 
+    /// Memcheck: with the sanitizer enabled, out-of-bounds lanes are
+    /// reported and squashed (excluded from cost and data movement)
+    /// instead of panicking; with it off the legacy `Vec` index panic is
+    /// preserved downstream.
+    fn memcheck(
+        &self,
+        len: usize,
+        idx: &Lanes<Option<usize>>,
+        space: MemSpace,
+        what: &str,
+    ) -> Lanes<Option<usize>> {
+        if !self.san.enabled() {
+            return *idx;
+        }
+        let mut out = *idx;
+        for (l, slot) in out.iter_mut().enumerate() {
+            if let Some(i) = *slot {
+                if i >= len {
+                    self.san.report(
+                        CheckerKind::Memcheck,
+                        Some(self.warp_id),
+                        Some(l),
+                        Some(space),
+                        Some(i),
+                        format!("{what}: index {i} out of bounds (len {len})"),
+                    );
+                    *slot = None;
+                }
+            }
+        }
+        out
+    }
+
+    /// Initcheck for global reads: flags lanes reading elements of an
+    /// [`GlobalBuffer::uninit`] buffer that were never written.
+    fn global_initcheck<T: Copy + Default>(
+        &self,
+        buf: &GlobalBuffer<T>,
+        idx: &Lanes<Option<usize>>,
+    ) {
+        if !self.san.enabled() {
+            return;
+        }
+        for (l, slot) in idx.iter().enumerate() {
+            if let Some(i) = *slot {
+                if !buf.is_init(i) {
+                    self.san.report(
+                        CheckerKind::Initcheck,
+                        Some(self.warp_id),
+                        Some(l),
+                        Some(MemSpace::Global { buffer: buf.id() }),
+                        Some(i),
+                        "read of uninitialized global memory".to_string(),
+                    );
+                }
+            }
+        }
+    }
+
     /// Gathers one element per active lane from global memory.
     ///
     /// Lanes with `None` are inactive. Cost: one issue plus one
@@ -99,13 +160,22 @@ impl<'a> WarpCtx<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if an index is out of bounds for the buffer.
+    /// Panics if an index is out of bounds for the buffer and the
+    /// sanitizer is off; with the sanitizer on the lane is reported and
+    /// squashed.
     pub fn global_gather<T: Copy + Default>(
         &mut self,
         buf: &GlobalBuffer<T>,
         idx: &Lanes<Option<usize>>,
     ) -> Lanes<T> {
-        self.charge_global::<T>(buf.id(), idx);
+        let idx = self.memcheck(
+            buf.len(),
+            idx,
+            MemSpace::Global { buffer: buf.id() },
+            "global gather",
+        );
+        self.global_initcheck(buf, &idx);
+        self.charge_global::<T>(buf.id(), &idx);
         let mut out = [T::default(); WARP_SIZE];
         for (l, slot) in out.iter_mut().enumerate() {
             if let Some(i) = idx[l] {
@@ -124,7 +194,13 @@ impl<'a> WarpCtx<'a> {
         idx: &Lanes<Option<usize>>,
         vals: &Lanes<T>,
     ) {
-        self.charge_global::<T>(buf.id(), idx);
+        let idx = self.memcheck(
+            buf.len(),
+            idx,
+            MemSpace::Global { buffer: buf.id() },
+            "global scatter",
+        );
+        self.charge_global::<T>(buf.id(), &idx);
         for l in 0..WARP_SIZE {
             if let Some(i) = idx[l] {
                 buf.write(i, vals[l]);
@@ -143,7 +219,13 @@ impl<'a> WarpCtx<'a> {
         vals: &Lanes<T>,
         op: impl Fn(T, T) -> T,
     ) {
-        self.charge_global::<T>(buf.id(), idx);
+        let idx = self.memcheck(
+            buf.len(),
+            idx,
+            MemSpace::Global { buffer: buf.id() },
+            "global atomic",
+        );
+        self.charge_global::<T>(buf.id(), &idx);
         let mut seen: Vec<(usize, u64)> = Vec::new();
         for l in 0..WARP_SIZE {
             if let Some(i) = idx[l] {
@@ -162,21 +244,33 @@ impl<'a> WarpCtx<'a> {
 
     /// Reads one element per active lane from shared memory, charging
     /// bank-conflict replays: the access replays once per extra distinct
-    /// address mapping to the same bank (§3.1).
+    /// word mapping to the same bank (§3.1). Elements wider than a
+    /// 4-byte bank (e.g. `f64`) touch every bank their words span.
     ///
     /// # Panics
     ///
-    /// Panics if an index is out of bounds.
+    /// Panics if an index is out of bounds and the sanitizer is off.
     pub fn smem_gather<T: Copy + Default>(
         &mut self,
         arr: &SharedArray<T>,
         idx: &Lanes<Option<usize>>,
     ) -> Lanes<T> {
-        self.charge_smem(arr, idx);
+        let idx = self.memcheck(
+            arr.len(),
+            idx,
+            MemSpace::Shared {
+                base_byte: arr.base_byte(),
+            },
+            "shared gather",
+        );
+        self.charge_smem(arr, &idx);
         let mut out = [T::default(); WARP_SIZE];
         for (l, slot) in out.iter_mut().enumerate() {
             if let Some(i) = idx[l] {
-                *slot = arr.read(i);
+                if let Some(sh) = arr.shadow() {
+                    sh.warp_read(i, self.warp_id, l, false);
+                }
+                *slot = arr.raw_get(i);
             }
         }
         out
@@ -190,12 +284,79 @@ impl<'a> WarpCtx<'a> {
         idx: &Lanes<Option<usize>>,
         vals: &Lanes<T>,
     ) {
-        self.charge_smem(arr, idx);
+        let idx = self.memcheck(
+            arr.len(),
+            idx,
+            MemSpace::Shared {
+                base_byte: arr.base_byte(),
+            },
+            "shared scatter",
+        );
+        self.charge_smem(arr, &idx);
         for l in 0..WARP_SIZE {
             if let Some(i) = idx[l] {
-                arr.write(i, vals[l]);
+                if let Some(sh) = arr.shadow() {
+                    sh.warp_write(i, self.warp_id, l, false);
+                }
+                arr.raw_set(i, vals[l]);
             }
         }
+    }
+
+    /// Atomically read-modify-writes one shared-memory element per active
+    /// lane with `op`, returning each lane's *previous* value — the
+    /// `atomicCAS`/`atomicOr` family the block-cooperative collections
+    /// use. Lanes of the same warp hitting the same address serialize
+    /// like [`Self::global_atomic`]; the racecheck shadow treats these
+    /// accesses as atomic, so concurrent atomics from different warps do
+    /// not race each other.
+    pub fn smem_atomic<T: Copy + Default>(
+        &mut self,
+        arr: &SharedArray<T>,
+        idx: &Lanes<Option<usize>>,
+        vals: &Lanes<T>,
+        op: impl Fn(T, T) -> T,
+    ) -> Lanes<T> {
+        let idx = self.memcheck(
+            arr.len(),
+            idx,
+            MemSpace::Shared {
+                base_byte: arr.base_byte(),
+            },
+            "shared atomic",
+        );
+        self.charge_smem(arr, &idx);
+        let mut seen: Vec<(usize, u64)> = Vec::new();
+        let mut out = [T::default(); WARP_SIZE];
+        for l in 0..WARP_SIZE {
+            if let Some(i) = idx[l] {
+                self.counters.atomics += 1;
+                match seen.iter_mut().find(|(a, _)| *a == i) {
+                    Some((_, m)) => *m += 1,
+                    None => seen.push((i, 1)),
+                }
+                if let Some(sh) = arr.shadow() {
+                    sh.warp_atomic(i, self.warp_id, l);
+                }
+                out[l] = arr.rmw(i, |cur| op(cur, vals[l]));
+            }
+        }
+        for (_, m) in seen {
+            self.counters.atomic_conflict_extra += m - 1;
+        }
+        out
+    }
+
+    /// Announces this warp's arrival at the block's next
+    /// `__syncthreads()` under the given lane mask. Synccheck flags a
+    /// partial mask immediately (a barrier in divergent code), and
+    /// [`crate::BlockCtx::sync`] flags warps whose arrival counts
+    /// disagree. Costs one issue.
+    pub fn barrier(&mut self, active: &Lanes<bool>) {
+        self.issue(1);
+        let lanes = active.iter().filter(|&&a| a).count();
+        self.san
+            .barrier_arrival(self.warp_id, lanes, lanes == WARP_SIZE);
     }
 
     /// Warp-wide reduction of the active lanes' values with `op`,
@@ -272,11 +433,7 @@ impl<'a> WarpCtx<'a> {
         self.counters.issues += 1;
         let seg = self.spec.mem_transaction_bytes;
         let esz = std::mem::size_of::<T>();
-        let mut segments: Vec<usize> = idx
-            .iter()
-            .flatten()
-            .map(|&i| i * esz / seg)
-            .collect();
+        let mut segments: Vec<usize> = idx.iter().flatten().map(|&i| i * esz / seg).collect();
         let requested = segments.len() as u64 * esz as u64;
         segments.sort_unstable();
         segments.dedup();
@@ -297,13 +454,21 @@ impl<'a> WarpCtx<'a> {
         self.counters.issues += 1;
         self.counters.smem_accesses += 1;
         let banks = self.spec.smem_banks;
-        // Distinct addresses per bank; broadcast of the same address is
-        // conflict-free on real hardware.
+        // Distinct 4-byte *word* addresses per bank; broadcast of the same
+        // word is conflict-free on real hardware. Elements wider than a
+        // bank (f64/u64) span several consecutive words, so a warp-wide
+        // unit-stride f64 access puts two distinct words in every bank —
+        // one replay, the doubled traffic real hardware shows for
+        // double-precision shared-memory tiles.
         let mut per_bank: Vec<Vec<usize>> = vec![Vec::new(); banks];
         for i in idx.iter().flatten() {
-            let b = arr.bank_of(*i, banks);
-            if !per_bank[b].contains(i) {
-                per_bank[b].push(*i);
+            let (first_word, words) = arr.word_span(*i);
+            for w in 0..words {
+                let word = first_word + w;
+                let b = word % banks;
+                if !per_bank[b].contains(&word) {
+                    per_bank[b].push(word);
+                }
             }
         }
         let replay = per_bank.iter().map(Vec::len).max().unwrap_or(0);
@@ -324,6 +489,7 @@ mod tests {
     fn with_ctx<R>(f: impl FnOnce(&mut WarpCtx) -> R) -> (R, Counters) {
         let (spec, mut counters) = ctx_counters();
         let mut l2 = L2Tracker::new();
+        let san = BlockSanitizer::disabled();
         let r = {
             let mut ctx = WarpCtx {
                 block_id: 0,
@@ -332,6 +498,7 @@ mod tests {
                 spec: &spec,
                 counters: &mut counters,
                 l2: &mut l2,
+                san: &san,
             };
             f(&mut ctx)
         };
@@ -414,6 +581,41 @@ mod tests {
         let idx2 = lanes_from_fn(|l| Some(l * 32));
         let (_, c2) = with_ctx(|ctx| ctx.smem_gather(&arr, &idx2));
         assert_eq!(c2.bank_conflict_extra, 31);
+    }
+
+    #[test]
+    fn f64_unit_stride_pays_one_replay() {
+        // 32 lanes × 8-byte elements = 64 words over 32 banks: each bank
+        // holds two distinct words → exactly one replay.
+        let pool = SharedMem::new(16 * 1024);
+        let arr = pool.alloc::<f64>(64);
+        let idx = lanes_from_fn(Some);
+        let (_, c) = with_ctx(|ctx| ctx.smem_gather(&arr, &idx));
+        assert_eq!(c.bank_conflict_extra, 1);
+        // Broadcast of one f64 touches two banks but only one word each:
+        // conflict-free.
+        let idx_bc = lanes_from_fn(|_| Some(3usize));
+        let (_, c2) = with_ctx(|ctx| ctx.smem_gather(&arr, &idx_bc));
+        assert_eq!(c2.bank_conflict_extra, 0);
+    }
+
+    #[test]
+    fn smem_atomic_returns_old_values_and_serializes() {
+        let pool = SharedMem::new(1024);
+        let arr = pool.alloc::<u32>(4);
+        arr.fill(0);
+        let idx = lanes_from_fn(|_| Some(0usize));
+        let vals = lanes_from_fn(|l| 1u32 << (l % 8));
+        let (old, c) = with_ctx(|ctx| ctx.smem_atomic(&arr, &idx, &vals, |a, b| a | b));
+        // Lane 0 saw the initial value; the final word has all merged bits.
+        assert_eq!(old[0], 0);
+        assert_eq!(arr.read(0), 0xff);
+        assert_eq!(c.atomics, 32);
+        assert_eq!(c.atomic_conflict_extra, 31);
+        // Distinct addresses don't serialize.
+        let idx2 = lanes_from_fn(|l| Some(l % 4));
+        let (_, c2) = with_ctx(|ctx| ctx.smem_atomic(&arr, &idx2, &vals, |a, b| a | b));
+        assert_eq!(c2.atomic_conflict_extra, 28);
     }
 
     #[test]

@@ -105,8 +105,7 @@ mod tests {
     use super::*;
 
     fn sample() -> CsrMatrix<f32> {
-        CsrMatrix::from_triplets(2, 4, &[(0, 1, 2.0), (0, 3, 1.0), (1, 0, 5.0)])
-            .expect("valid")
+        CsrMatrix::from_triplets(2, 4, &[(0, 1, 2.0), (0, 3, 1.0), (1, 0, 5.0)]).expect("valid")
     }
 
     #[test]

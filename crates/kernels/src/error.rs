@@ -1,5 +1,6 @@
 //! Kernel-layer errors.
 
+use gpu_sim::SimError;
 use std::error::Error;
 use std::fmt;
 
@@ -27,6 +28,19 @@ pub enum KernelError {
     /// The requested shared-memory mode cannot represent the input (e.g.
     /// dense mode with a dimensionality beyond the §3.3.2 limit).
     UnsupportedSmemMode(String),
+    /// The simulator rejected a launch: invalid geometry, a shared-memory
+    /// allocation over the block budget that slipped past pre-launch
+    /// planning, or sanitizer findings under
+    /// [`gpu_sim::SanitizerMode::Fail`]. Pre-launch capacity checks
+    /// ([`KernelError::SharedMemoryExceeded`]) and launch-time budget
+    /// faults thus share one error path.
+    Launch(SimError),
+}
+
+impl From<SimError> for KernelError {
+    fn from(e: SimError) -> Self {
+        KernelError::Launch(e)
+    }
 }
 
 impl fmt::Display for KernelError {
@@ -47,6 +61,7 @@ impl fmt::Display for KernelError {
             KernelError::UnsupportedSmemMode(msg) => {
                 write!(f, "unsupported shared-memory mode: {msg}")
             }
+            KernelError::Launch(e) => write!(f, "launch failed: {e}"),
         }
     }
 }

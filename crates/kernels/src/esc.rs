@@ -13,8 +13,7 @@
 use crate::device_fmt::DeviceCsr;
 use crate::error::KernelError;
 use gpu_sim::{
-    bitonic_sort_by_key, lanes_from_fn, Device, GlobalBuffer, LaunchConfig, LaunchStats,
-    WARP_SIZE,
+    bitonic_sort_by_key, lanes_from_fn, Device, GlobalBuffer, LaunchConfig, LaunchStats, WARP_SIZE,
 };
 use semiring::Semiring;
 use sparse::Real;
@@ -61,7 +60,7 @@ pub fn expand_sort_contract_kernel<T: Real>(
     let annihilating = sr.is_annihilating();
     let cap = a_max_degree + b_max_degree;
 
-    let stats = dev.launch(
+    let stats = dev.try_launch(
         "expand_sort_contract",
         LaunchConfig::new((m * n).max(1), BLOCK_THREADS, smem),
         |block| {
@@ -97,25 +96,31 @@ pub fn expand_sort_contract_kernel<T: Real>(
                         }
                     });
                     let is_a = lanes_from_fn(|l| base + l < da);
-                    let cols = lanes_from_fn(|l| {
-                        if base + l < da {
-                            gidx[l]
-                        } else {
-                            gidx[l]
-                        }
-                    });
-                    let col_a = w.global_gather(&a.indices, &lanes_from_fn(|l| {
-                        (is_a[l] && gidx[l].is_some()).then(|| gidx[l].expect("set"))
-                    }));
-                    let col_b = w.global_gather(&b.indices, &lanes_from_fn(|l| {
-                        (!is_a[l] && gidx[l].is_some()).then(|| gidx[l].expect("set"))
-                    }));
-                    let val_a = w.global_gather(&a.values, &lanes_from_fn(|l| {
-                        (is_a[l] && gidx[l].is_some()).then(|| gidx[l].expect("set"))
-                    }));
-                    let val_b = w.global_gather(&b.values, &lanes_from_fn(|l| {
-                        (!is_a[l] && gidx[l].is_some()).then(|| gidx[l].expect("set"))
-                    }));
+                    let cols = lanes_from_fn(|l| if base + l < da { gidx[l] } else { gidx[l] });
+                    let col_a = w.global_gather(
+                        &a.indices,
+                        &lanes_from_fn(|l| {
+                            (is_a[l] && gidx[l].is_some()).then(|| gidx[l].expect("set"))
+                        }),
+                    );
+                    let col_b = w.global_gather(
+                        &b.indices,
+                        &lanes_from_fn(|l| {
+                            (!is_a[l] && gidx[l].is_some()).then(|| gidx[l].expect("set"))
+                        }),
+                    );
+                    let val_a = w.global_gather(
+                        &a.values,
+                        &lanes_from_fn(|l| {
+                            (is_a[l] && gidx[l].is_some()).then(|| gidx[l].expect("set"))
+                        }),
+                    );
+                    let val_b = w.global_gather(
+                        &b.values,
+                        &lanes_from_fn(|l| {
+                            (!is_a[l] && gidx[l].is_some()).then(|| gidx[l].expect("set"))
+                        }),
+                    );
                     let _ = cols;
                     let sidx = lanes_from_fn(|l| {
                         let t = base + l;
@@ -207,7 +212,7 @@ pub fn expand_sort_contract_kernel<T: Real>(
                 }
             });
         },
-    );
+    )?;
     Ok((out, stats))
 }
 
@@ -223,15 +228,9 @@ mod tests {
         let sr = d.semiring::<f64>(&params);
         let da = DeviceCsr::upload(&dev, a);
         let db = DeviceCsr::upload(&dev, b);
-        let (out, _) = expand_sort_contract_kernel(
-            &dev,
-            &da,
-            &db,
-            a.max_degree(),
-            b.max_degree(),
-            &sr,
-        )
-        .expect("fits smem");
+        let (out, _) =
+            expand_sort_contract_kernel(&dev, &da, &db, a.max_degree(), b.max_degree(), &sr)
+                .expect("fits smem");
         let got = out.to_vec();
         for i in 0..a.rows() {
             for j in 0..b.rows() {
@@ -248,15 +247,13 @@ mod tests {
     }
 
     fn sample_pair() -> (CsrMatrix<f64>, CsrMatrix<f64>) {
-        let a = CsrMatrix::from_dense(
-            2,
-            5,
-            &[1.0, 0.0, 2.0, 0.0, 3.0, 0.0, 0.0, 0.0, 0.0, 0.0],
-        );
+        let a = CsrMatrix::from_dense(2, 5, &[1.0, 0.0, 2.0, 0.0, 3.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
         let b = CsrMatrix::from_dense(
             3,
             5,
-            &[0.5, 1.0, 0.0, 0.0, 3.0, 0.0, 2.0, 0.0, 1.0, 0.0, 4.0, 4.0, 4.0, 4.0, 4.0],
+            &[
+                0.5, 1.0, 0.0, 0.0, 3.0, 0.0, 2.0, 0.0, 1.0, 0.0, 4.0, 4.0, 4.0, 4.0, 4.0,
+            ],
         );
         (a, b)
     }
@@ -289,10 +286,7 @@ mod tests {
         let da = DeviceCsr::upload(&dev, &a);
         let sr = Distance::Manhattan.semiring::<f32>(&DistanceParams::default());
         let err = expand_sort_contract_kernel(&dev, &da, &da, 50_000, 50_000, &sr);
-        assert!(matches!(
-            err,
-            Err(KernelError::SharedMemoryExceeded { .. })
-        ));
+        assert!(matches!(err, Err(KernelError::SharedMemoryExceeded { .. })));
     }
 
     #[test]
@@ -303,8 +297,7 @@ mod tests {
         let dev = Device::volta();
         let sr = Distance::Manhattan.semiring::<f64>(&DistanceParams::default());
         let da = DeviceCsr::upload(&dev, &a);
-        let (_, stats) =
-            expand_sort_contract_kernel(&dev, &da, &da, 256, 256, &sr).expect("fits");
+        let (_, stats) = expand_sort_contract_kernel(&dev, &da, &da, 256, 256, &sr).expect("fits");
         // The 512-element bitonic network alone is ~45 stages × 256 CEs.
         assert!(stats.counters.issues > 2_000, "{}", stats.counters.issues);
     }

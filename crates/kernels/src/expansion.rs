@@ -135,16 +135,7 @@ mod tests {
         let dots = dev.buffer_from_slice(&[0.0f64, 12.0]);
         let an = dev.buffer_from_slice(&[9.0f64]);
         let bn = dev.buffer_from_slice(&[16.0f64, 25.0]);
-        let stats = expansion_kernel(
-            &dev,
-            &dots,
-            1,
-            2,
-            4,
-            &[&an],
-            &[&bn],
-            Distance::Euclidean,
-        );
+        let stats = expansion_kernel(&dev, &dots, 1, 2, 4, &[&an], &[&bn], Distance::Euclidean);
         let out = dots.to_vec();
         assert!((out[0] - 5.0).abs() < 1e-9);
         assert!((out[1] - (9.0f64 - 24.0 + 25.0).sqrt()).abs() < 1e-9);

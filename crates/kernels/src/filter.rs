@@ -68,8 +68,7 @@ pub fn radius_filter_kernel<T: Real>(
                     let (offsets, total) = w.warp_exclusive_scan(&flags, &keep);
                     if total > 0 {
                         let oidx = lanes_from_fn(|l| {
-                            keep[l]
-                                .then(|| row * cols + (written + offsets[l]) as usize)
+                            keep[l].then(|| row * cols + (written + offsets[l]) as usize)
                         });
                         let ocols = lanes_from_fn(|l| (base + l) as u32);
                         w.global_scatter(&indices, &oidx, &ocols);
@@ -155,8 +154,7 @@ mod tests {
         let tight = radius_filter_kernel(&dev, &buf, 1, n, 1.0);
         let loose = radius_filter_kernel(&dev, &buf, 1, n, 99.0);
         assert!(
-            tight.stats.counters.global_transactions
-                < loose.stats.counters.global_transactions
+            tight.stats.counters.global_transactions < loose.stats.counters.global_transactions
         );
     }
 }

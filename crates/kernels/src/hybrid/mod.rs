@@ -76,8 +76,7 @@ pub fn resolve_config<T: Real>(
         SmemVecKind::Hash => {
             let capacity = budget / SmemHashTable::<T>::smem_bytes(1);
             let max_entries =
-                ((capacity as f64 * gpu_sim::collections::hash_table::MAX_LOAD) as usize)
-                    .max(1);
+                ((capacity as f64 * gpu_sim::collections::hash_table::MAX_LOAD) as usize).max(1);
             HybridConfig {
                 kind,
                 hash_capacity: capacity,
@@ -92,9 +91,7 @@ pub fn resolve_config<T: Real>(
                 kind,
                 hash_capacity: 0,
                 max_entries,
-                smem_per_block: SmemBloomFilter::smem_bytes(
-                    SmemBloomFilter::bits_for(max_entries),
-                ),
+                smem_per_block: SmemBloomFilter::smem_bytes(SmemBloomFilter::bits_for(max_entries)),
             }
         }
     })
@@ -165,7 +162,7 @@ pub fn hybrid_inner_terms_cached<T: Real>(
             out_cols: n,
             commuted: false,
         },
-    ));
+    )?);
 
     if !sr.is_annihilating() {
         let cfg_b = resolve_config::<T>(dev, b_host.cols(), forced)?;
@@ -185,7 +182,7 @@ pub fn hybrid_inner_terms_cached<T: Real>(
                 out_cols: n,
                 commuted: true,
             },
-        ));
+        )?);
     }
     Ok((out, stats))
 }
@@ -195,13 +192,17 @@ mod tests {
     use super::*;
     use semiring::{apply_semiring_union, Distance, DistanceParams};
 
-    fn check_inner(a: &CsrMatrix<f64>, b: &CsrMatrix<f64>, d: Distance, forced: Option<SmemVecKind>) {
+    fn check_inner(
+        a: &CsrMatrix<f64>,
+        b: &CsrMatrix<f64>,
+        d: Distance,
+        forced: Option<SmemVecKind>,
+    ) {
         let dev = Device::volta();
         let sr = d.semiring::<f64>(&DistanceParams::default());
         let da = DeviceCsr::upload(&dev, a);
         let db = DeviceCsr::upload(&dev, b);
-        let (out, _) =
-            hybrid_inner_terms(&dev, a, b, &da, &db, &sr, forced).expect("config ok");
+        let (out, _) = hybrid_inner_terms(&dev, a, b, &da, &db, &sr, forced).expect("config ok");
         let got = out.to_vec();
         for i in 0..a.rows() {
             for j in 0..b.rows() {
@@ -264,8 +265,7 @@ mod tests {
         let sr = Distance::DotProduct.semiring::<f64>(&DistanceParams::default());
         let da = DeviceCsr::upload(&dev, &a);
         let db = DeviceCsr::upload(&dev, &b);
-        let (_, stats) =
-            hybrid_inner_terms(&dev, &a, &b, &da, &db, &sr, None).expect("config ok");
+        let (_, stats) = hybrid_inner_terms(&dev, &a, &b, &da, &db, &sr, None).expect("config ok");
         assert_eq!(stats.len(), 1, "annihilating semirings need one pass");
         check_inner(&a, &b, Distance::DotProduct, None);
     }
@@ -277,8 +277,7 @@ mod tests {
         let sr = Distance::Manhattan.semiring::<f64>(&DistanceParams::default());
         let da = DeviceCsr::upload(&dev, &a);
         let db = DeviceCsr::upload(&dev, &b);
-        let (_, stats) =
-            hybrid_inner_terms(&dev, &a, &b, &da, &db, &sr, None).expect("config ok");
+        let (_, stats) = hybrid_inner_terms(&dev, &a, &b, &da, &db, &sr, None).expect("config ok");
         assert_eq!(stats.len(), 2);
     }
 

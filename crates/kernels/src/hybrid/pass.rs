@@ -14,11 +14,11 @@
 //! union decomposition (§3.3.1).
 
 use crate::device_fmt::{DeviceCoo, DeviceCsr};
+use crate::error::KernelError;
 use crate::hybrid::plan::PartitionPlan;
 use crate::hybrid::smem_vec::{Lookup, SmemVecKind, SmemVector};
 use gpu_sim::{
-    lanes_from_fn, warp_binary_search, Device, GlobalBuffer, LaunchConfig, LaunchStats,
-    WARP_SIZE,
+    lanes_from_fn, warp_binary_search, Device, GlobalBuffer, LaunchConfig, LaunchStats, WARP_SIZE,
 };
 use semiring::Semiring;
 use sparse::Real;
@@ -71,7 +71,16 @@ pub struct PassInputs<'x, T> {
 }
 
 /// Launches one hybrid pass and returns its stats.
-pub fn hybrid_pass<T: Real>(dev: &Device, inp: &PassInputs<'_, T>) -> LaunchStats {
+///
+/// # Errors
+///
+/// Returns [`KernelError::Launch`] when the simulator rejects the launch
+/// (a shared-memory budget the plan under-provisioned, or sanitizer
+/// findings under [`gpu_sim::SanitizerMode::Fail`]).
+pub fn hybrid_pass<T: Real>(
+    dev: &Device,
+    inp: &PassInputs<'_, T>,
+) -> Result<LaunchStats, KernelError> {
     let sr = inp.sr;
     let annihilating = sr.is_annihilating();
     let id = sr.reduce_identity();
@@ -83,7 +92,7 @@ pub fn hybrid_pass<T: Real>(dev: &Device, inp: &PassInputs<'_, T>) -> LaunchStat
         SmemVecKind::Bloom => "hybrid_pass_bloom",
     };
 
-    dev.launch(
+    let stats = dev.try_launch(
         name,
         LaunchConfig::new(entries.len().max(1), BLOCK_THREADS, inp.smem_per_block),
         |block| {
@@ -94,13 +103,8 @@ pub fn hybrid_pass<T: Real>(dev: &Device, inp: &PassInputs<'_, T>) -> LaunchStat
             let part_start = row_start + entry.start;
             let part_end = part_start + entry.len;
             let k = inp.smem_side.cols;
-            let vec = SmemVector::<T>::build(
-                block,
-                inp.kind,
-                k,
-                inp.hash_capacity,
-                entry.len.max(1),
-            );
+            let vec =
+                SmemVector::<T>::build(block, inp.kind, k, inp.hash_capacity, entry.len.max(1));
 
             // Stage the partition: warps cooperatively load (coalesced)
             // and insert.
@@ -157,9 +161,8 @@ pub fn hybrid_pass<T: Real>(dev: &Device, inp: &PassInputs<'_, T>) -> LaunchStat
                     // over the *full* row — §3.3.3's "extra work in
                     // exchange for scale". Annihilating semirings skip
                     // the search entirely (a true miss contributes 0).
-                    let needs_resolve = entry.partitioned
-                        && entry.is_first
-                        && (!annihilating || inp.commuted);
+                    let needs_resolve =
+                        entry.partitioned && entry.is_first && (!annihilating || inp.commuted);
                     let unresolved = lanes_from_fn(|l| {
                         if needs_resolve && matches!(looked[l], Lookup::Miss) {
                             cols[l]
@@ -198,8 +201,7 @@ pub fn hybrid_pass<T: Real>(dev: &Device, inp: &PassInputs<'_, T>) -> LaunchStat
                                 // intersection-only).
                                 if annihilating {
                                     id
-                                } else if !entry.partitioned
-                                    || (entry.is_first && !in_full_row[l])
+                                } else if !entry.partitioned || (entry.is_first && !in_full_row[l])
                                 {
                                     sr.product(T::ZERO, sval[l])
                                 } else {
@@ -223,10 +225,9 @@ pub fn hybrid_pass<T: Real>(dev: &Device, inp: &PassInputs<'_, T>) -> LaunchStat
                     let active = lanes_from_fn(|l| idx[l].is_some() && terms[l] != id);
                     if active.iter().any(|&a| a) {
                         let keys = lanes_from_fn(|l| srow[l]);
-                        let segs =
-                            w.warp_segmented_reduce(&keys, &terms, &active, id, |x, y| {
-                                sr.reduce(x, y)
-                            });
+                        let segs = w.warp_segmented_reduce(&keys, &terms, &active, id, |x, y| {
+                            sr.reduce(x, y)
+                        });
                         let out_idx = lanes_from_fn(|l| {
                             segs.get(l).map(|&(key, _)| {
                                 if inp.commuted {
@@ -246,7 +247,8 @@ pub fn hybrid_pass<T: Real>(dev: &Device, inp: &PassInputs<'_, T>) -> LaunchStat
                 }
             });
         },
-    )
+    )?;
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -302,7 +304,7 @@ mod tests {
             out_cols: b.rows(),
             commuted: false,
         };
-        hybrid_pass(&dev, &inp);
+        hybrid_pass(&dev, &inp).expect("launch");
         out.to_vec()
     }
 
@@ -328,7 +330,11 @@ mod tests {
     #[test]
     fn pass1_matches_reference_dense_mode() {
         let (a, b) = sample();
-        for d in [Distance::DotProduct, Distance::Manhattan, Distance::Chebyshev] {
+        for d in [
+            Distance::DotProduct,
+            Distance::Manhattan,
+            Distance::Chebyshev,
+        ] {
             let got = run_pass1(&a, &b, d, SmemVecKind::Dense, 1024);
             assert_close(&got, &expect_pass1(&a, &b, d), d.name());
         }
@@ -389,7 +395,8 @@ mod tests {
                 out_cols: b.rows(),
                 commuted: false,
             },
-        );
+        )
+        .expect("launch");
         let plan_b = PartitionPlan::build(b.indptr(), 512, false);
         hybrid_pass(
             &dev,
@@ -405,7 +412,8 @@ mod tests {
                 out_cols: b.rows(),
                 commuted: true,
             },
-        );
+        )
+        .expect("launch");
         let got = out.to_vec();
         for i in 0..a.rows() {
             for j in 0..b.rows() {
@@ -413,7 +421,10 @@ mod tests {
                 let bv: Vec<_> = b.row(j).collect();
                 let want = semiring::apply_semiring_union(&av, &bv, &sr);
                 let g = got[i * b.rows() + j];
-                assert!((g - want).abs() < 1e-9, "cell ({i},{j}): got {g}, want {want}");
+                assert!(
+                    (g - want).abs() < 1e-9,
+                    "cell ({i},{j}): got {g}, want {want}"
+                );
             }
         }
     }
@@ -441,7 +452,8 @@ mod tests {
                 out_cols: b.rows(),
                 commuted: false,
             },
-        );
+        )
+        .expect("launch");
         // COO arrays are read unit-stride: low overhead vs. the naive
         // kernel's data-dependent gathers.
         assert!(stats.counters.coalescing_overhead() < 6.0);

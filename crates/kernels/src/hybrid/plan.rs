@@ -99,13 +99,16 @@ mod tests {
         assert_eq!(plan.blocks(), 3);
         assert_eq!(plan.partitioned_rows, 0);
         assert!(plan.entries.iter().all(|e| e.is_first && !e.partitioned));
-        assert_eq!(plan.entries[2], PartitionEntry {
-            row: 2,
-            start: 0,
-            len: 4,
-            is_first: true,
-            partitioned: false,
-        });
+        assert_eq!(
+            plan.entries[2],
+            PartitionEntry {
+                row: 2,
+                start: 0,
+                len: 4,
+                is_first: true,
+                partitioned: false,
+            }
+        );
     }
 
     #[test]

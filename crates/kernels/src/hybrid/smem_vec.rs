@@ -72,18 +72,27 @@ impl<T: Real> SmemVector<T> {
         match kind {
             SmemVecKind::Dense => k * std::mem::size_of::<T>(),
             SmemVecKind::Hash => SmemHashTable::<T>::smem_bytes(capacity),
-            SmemVecKind::Bloom => {
-                SmemBloomFilter::smem_bytes(SmemBloomFilter::bits_for(entries))
-            }
+            SmemVecKind::Bloom => SmemBloomFilter::smem_bytes(SmemBloomFilter::bits_for(entries)),
         }
     }
 
-    /// Allocates the representation in the block's shared memory.
-    pub fn build(block: &BlockCtx, kind: SmemVecKind, k: usize, capacity: usize, entries: usize) -> Self {
+    /// Allocates the representation in the block's shared memory,
+    /// cost-accounting the block-collective fill each form needs before
+    /// its first lookup (dense lookups read every probed slot, so the
+    /// whole array must be defined; zero means absent).
+    pub fn build(
+        block: &mut BlockCtx,
+        kind: SmemVecKind,
+        k: usize,
+        capacity: usize,
+        entries: usize,
+    ) -> Self {
         match kind {
-            SmemVecKind::Dense => SmemVector::Dense {
-                values: block.alloc_shared::<T>(k),
-            },
+            SmemVecKind::Dense => {
+                let values = block.alloc_shared::<T>(k);
+                block.fill_shared(&values, T::ZERO);
+                SmemVector::Dense { values }
+            }
             SmemVecKind::Hash => SmemVector::Hash {
                 table: SmemHashTable::new(block, capacity.max(WARP_SIZE)),
             },
@@ -94,12 +103,7 @@ impl<T: Real> SmemVector<T> {
     }
 
     /// Inserts a warp's worth of `(column, value)` pairs (one lane each).
-    pub fn insert_warp(
-        &self,
-        w: &mut WarpCtx,
-        cols: &Lanes<Option<u32>>,
-        vals: &Lanes<T>,
-    ) {
+    pub fn insert_warp(&self, w: &mut WarpCtx, cols: &Lanes<Option<u32>>, vals: &Lanes<T>) {
         match self {
             SmemVector::Dense { values } => {
                 let idx = lanes_from_fn(|l| cols[l].map(|c| c as usize));
@@ -111,11 +115,7 @@ impl<T: Real> SmemVector<T> {
     }
 
     /// Looks up a warp's worth of columns.
-    pub fn lookup_warp(
-        &self,
-        w: &mut WarpCtx,
-        cols: &Lanes<Option<u32>>,
-    ) -> Lanes<Lookup<T>> {
+    pub fn lookup_warp(&self, w: &mut WarpCtx, cols: &Lanes<Option<u32>>) -> Lanes<Lookup<T>> {
         match self {
             SmemVector::Dense { values } => {
                 let idx = lanes_from_fn(|l| cols[l].map(|c| c as usize));

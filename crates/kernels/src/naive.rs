@@ -55,15 +55,9 @@ pub fn naive_csr_kernel<T: Real>(
                 let ai = lanes_from_fn(|l| pair[l].map(|p| p / n));
                 let bj = lanes_from_fn(|l| pair[l].map(|p| p % n));
                 let a_start = w.global_gather(&a.indptr, &ai);
-                let a_end = w.global_gather(
-                    &a.indptr,
-                    &lanes_from_fn(|l| ai[l].map(|i| i + 1)),
-                );
+                let a_end = w.global_gather(&a.indptr, &lanes_from_fn(|l| ai[l].map(|i| i + 1)));
                 let b_start = w.global_gather(&b.indptr, &bj);
-                let b_end = w.global_gather(
-                    &b.indptr,
-                    &lanes_from_fn(|l| bj[l].map(|j| j + 1)),
-                );
+                let b_end = w.global_gather(&b.indptr, &lanes_from_fn(|l| bj[l].map(|j| j + 1)));
 
                 let mut ia = lanes_from_fn(|l| a_start[l] as usize);
                 let mut ib = lanes_from_fn(|l| b_start[l] as usize);
@@ -82,15 +76,11 @@ pub fn naive_csr_kernel<T: Real>(
                     // uncoalesced pattern the paper describes.
                     let col_a = w.global_gather(
                         &a.indices,
-                        &lanes_from_fn(|l| {
-                            (live[l] && ia[l] < a_end[l] as usize).then_some(ia[l])
-                        }),
+                        &lanes_from_fn(|l| (live[l] && ia[l] < a_end[l] as usize).then_some(ia[l])),
                     );
                     let col_b = w.global_gather(
                         &b.indices,
-                        &lanes_from_fn(|l| {
-                            (live[l] && ib[l] < b_end[l] as usize).then_some(ib[l])
-                        }),
+                        &lanes_from_fn(|l| (live[l] && ib[l] < b_end[l] as usize).then_some(ib[l])),
                     );
                     let eff_a = lanes_from_fn(|l| {
                         if live[l] && ia[l] < a_end[l] as usize {
@@ -111,14 +101,10 @@ pub fn naive_csr_kernel<T: Real>(
                     let take_b = lanes_from_fn(|l| live[l] && eff_b[l] <= eff_a[l]);
                     w.branch(&take_a);
                     w.branch(&take_b);
-                    let val_a = w.global_gather(
-                        &a.values,
-                        &lanes_from_fn(|l| take_a[l].then_some(ia[l])),
-                    );
-                    let val_b = w.global_gather(
-                        &b.values,
-                        &lanes_from_fn(|l| take_b[l].then_some(ib[l])),
-                    );
+                    let val_a =
+                        w.global_gather(&a.values, &lanes_from_fn(|l| take_a[l].then_some(ia[l])));
+                    let val_b =
+                        w.global_gather(&b.values, &lanes_from_fn(|l| take_b[l].then_some(ib[l])));
                     w.issue(2); // product + reduce
                     for l in 0..WARP_SIZE {
                         if !live[l] {
@@ -148,9 +134,7 @@ pub fn naive_csr_kernel<T: Real>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use semiring::{
-        apply_semiring_union, Distance, DistanceParams,
-    };
+    use semiring::{apply_semiring_union, Distance, DistanceParams};
     use sparse::CsrMatrix;
 
     fn row_pairs(m: &CsrMatrix<f64>, i: usize) -> Vec<(u32, f64)> {
@@ -227,7 +211,7 @@ mod tests {
         let db = DeviceCsr::upload(&dev, &b);
         let (out, _) = naive_csr_kernel(&dev, &da, &db, &sr);
         // a row 1 is empty, b row 2 = {5: 7.0}: union = |0-7| = 7.
-        assert_eq!(out.host_get(1 * 4 + 2), 7.0);
+        assert_eq!(out.host_get(4 + 2), 7.0);
     }
 
     #[test]

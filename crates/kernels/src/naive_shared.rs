@@ -46,7 +46,7 @@ pub fn naive_shared_kernel<T: Real>(
     let sr = *sr;
     let annihilating = sr.is_annihilating();
 
-    let stats = dev.launch(
+    let stats = dev.try_launch(
         "naive_csr_shared",
         LaunchConfig::new(m.max(1), BLOCK_THREADS, smem),
         |block| {
@@ -92,15 +92,13 @@ pub fn naive_shared_kernel<T: Real>(
                         (t < n).then_some(t)
                     });
                     let b_start = w.global_gather(&b.indptr, &j);
-                    let b_end =
-                        w.global_gather(&b.indptr, &lanes_from_fn(|l| j[l].map(|x| x + 1)));
+                    let b_end = w.global_gather(&b.indptr, &lanes_from_fn(|l| j[l].map(|x| x + 1)));
                     let mut ia = [0usize; WARP_SIZE]; // offset into smem row
                     let mut ib = lanes_from_fn(|l| b_start[l] as usize);
                     let mut acc = [sr.reduce_identity(); WARP_SIZE];
                     loop {
                         let live = lanes_from_fn(|l| {
-                            j[l].is_some()
-                                && (ia[l] < da || ib[l] < b_end[l] as usize)
+                            j[l].is_some() && (ia[l] < da || ib[l] < b_end[l] as usize)
                         });
                         if !live.iter().any(|&x| x) {
                             break;
@@ -135,10 +133,8 @@ pub fn naive_shared_kernel<T: Real>(
                         let take_b = lanes_from_fn(|l| live[l] && eff_b[l] <= eff_a[l]);
                         w.branch(&take_a);
                         w.branch(&take_b);
-                        let val_a = w.smem_gather(
-                            &s_vals,
-                            &lanes_from_fn(|l| take_a[l].then_some(ia[l])),
-                        );
+                        let val_a =
+                            w.smem_gather(&s_vals, &lanes_from_fn(|l| take_a[l].then_some(ia[l])));
                         let val_b = w.global_gather(
                             &b.values,
                             &lanes_from_fn(|l| take_b[l].then_some(ib[l])),
@@ -168,7 +164,7 @@ pub fn naive_shared_kernel<T: Real>(
                 }
             });
         },
-    );
+    )?;
     Ok((out, stats))
 }
 
@@ -207,12 +203,15 @@ mod tests {
         let (a, b) = sample_pair();
         let dev = Device::volta();
         let params = DistanceParams::default();
-        for d in [Distance::Manhattan, Distance::Chebyshev, Distance::DotProduct] {
+        for d in [
+            Distance::Manhattan,
+            Distance::Chebyshev,
+            Distance::DotProduct,
+        ] {
             let sr = d.semiring::<f64>(&params);
             let da = DeviceCsr::upload(&dev, &a);
             let db = DeviceCsr::upload(&dev, &b);
-            let (got, _) =
-                naive_shared_kernel(&dev, &da, &db, a.max_degree(), &sr).expect("fits");
+            let (got, _) = naive_shared_kernel(&dev, &da, &db, a.max_degree(), &sr).expect("fits");
             let got = got.to_vec();
             for i in 0..a.rows() {
                 for jj in 0..b.rows() {
@@ -240,8 +239,7 @@ mod tests {
         let sr = Distance::Manhattan.semiring::<f64>(&DistanceParams::default());
         let da = DeviceCsr::upload(&dev, &a);
         let (_, plain) = naive_csr_kernel(&dev, &da, &da, &sr);
-        let (_, shared) =
-            naive_shared_kernel(&dev, &da, &da, a.max_degree(), &sr).expect("fits");
+        let (_, shared) = naive_shared_kernel(&dev, &da, &da, a.max_degree(), &sr).expect("fits");
         assert!(
             shared.counters.global_bytes < plain.counters.global_bytes,
             "shared {} vs plain {} global bytes",

@@ -240,11 +240,7 @@ impl<T: Real> PreparedIndex<T> {
     /// Returns the cached norm buffer for `kind`, computing it with the
     /// row-norm kernel on first use (the returned stats are `Some` only
     /// on that first call).
-    pub fn norm(
-        &self,
-        dev: &Device,
-        kind: NormKind,
-    ) -> (Rc<GlobalBuffer<T>>, Option<LaunchStats>) {
+    pub fn norm(&self, dev: &Device, kind: NormKind) -> (Rc<GlobalBuffer<T>>, Option<LaunchStats>) {
         if let Some((_, buf)) = self.norms.borrow().iter().find(|(k, _)| *k == kind) {
             return (Rc::clone(buf), None);
         }
@@ -291,8 +287,7 @@ pub fn pairwise_distances_prepared<T: Real>(
             out
         }
         Strategy::NaiveCsrShared => {
-            let (out, stats) =
-                naive_shared_kernel(dev, &a_dev, &b.csr, a.max_degree(), &sr)?;
+            let (out, stats) = naive_shared_kernel(dev, &a_dev, &b.csr, a.max_degree(), &sr)?;
             launches.push(stats);
             out
         }
@@ -457,9 +452,8 @@ mod tests {
                 strategy,
                 smem_mode: SmemMode::Auto,
             };
-            let got =
-                pairwise_distances(&dev, &a, &b, Distance::BrayCurtis, &params, &opts)
-                    .expect("runs");
+            let got = pairwise_distances(&dev, &a, &b, Distance::BrayCurtis, &params, &opts)
+                .expect("runs");
             let diff = got.distances.max_abs_diff(&want);
             assert!(diff < 1e-9, "{}: {diff}", strategy.name());
         }
@@ -488,12 +482,11 @@ mod tests {
         let params = DistanceParams::default();
         let opts = PairwiseOptions::default();
         let manhattan =
-            pairwise_distances(&dev, &a, &b, Distance::Manhattan, &params, &opts)
-                .expect("ok");
+            pairwise_distances(&dev, &a, &b, Distance::Manhattan, &params, &opts).expect("ok");
         // Two hybrid passes + finalize.
         assert_eq!(manhattan.launches.len(), 3);
-        let cosine = pairwise_distances(&dev, &a, &b, Distance::Cosine, &params, &opts)
-            .expect("ok");
+        let cosine =
+            pairwise_distances(&dev, &a, &b, Distance::Cosine, &params, &opts).expect("ok");
         // One hybrid pass + 2 norm launches + expansion.
         assert_eq!(cosine.launches.len(), 4);
     }

@@ -139,7 +139,14 @@ impl<T: Real> NearestNeighbors<T> {
         index: &CsrMatrix<T>,
     ) -> Result<KnnResult<T>, KernelError> {
         let prepared = PreparedIndex::new(&self.device, index.clone());
-        let r = fused_knn(&self.device, query, &prepared, k, self.distance, &self.params)?;
+        let r = fused_knn(
+            &self.device,
+            query,
+            &prepared,
+            k,
+            self.distance,
+            &self.params,
+        )?;
         let kk = k.min(index.rows().max(1));
         let fi = r.indices.to_vec();
         let fv = r.distances.to_vec();
@@ -205,14 +212,14 @@ impl<T: Real> NearestNeighbors<T> {
         let mut off = 0;
         while off < n {
             let end = (off + slab_rows).min(n);
-            prepared
-                .push((off, PreparedIndex::new(&self.device, index.slice_rows(off..end))));
+            prepared.push((
+                off,
+                PreparedIndex::new(&self.device, index.slice_rows(off..end)),
+            ));
             off = end;
         }
 
-        for q_range in
-            RowBatches::for_matrix(query, slab_rows.min(n.max(1)), self.batch_bytes)
-        {
+        for q_range in RowBatches::for_matrix(query, slab_rows.min(n.max(1)), self.batch_bytes) {
             let slab = query.slice_rows(q_range);
             let mut pool: Vec<Vec<(usize, T)>> = vec![Vec::new(); slab.rows()];
             for (off, islab) in &prepared {
@@ -254,11 +261,10 @@ impl<T: Real> NearestNeighbors<T> {
                     Selection::Host => {
                         let host = tile.buffer.to_vec();
                         for (r, cand) in pool.iter_mut().enumerate() {
-                            for (c, &d) in host[r * tile.cols..(r + 1) * tile.cols]
-                                .iter()
-                                .enumerate()
+                            for (c, &d) in
+                                host[r * tile.cols..(r + 1) * tile.cols].iter().enumerate()
                             {
-                                if !(d > radius) && !d.is_nan() {
+                                if d <= radius {
                                     cand.push((off + c, d));
                                 }
                             }
@@ -296,10 +302,7 @@ impl<T: Real> NearestNeighbors<T> {
     ///
     /// Panics if the estimator has not been [`NearestNeighbors::fit`].
     pub fn kneighbors(&self, query: &CsrMatrix<T>, k: usize) -> Result<KnnResult<T>, KernelError> {
-        let index = self
-            .index
-            .as_ref()
-            .expect("call fit() before kneighbors()");
+        let index = self.index.as_ref().expect("call fit() before kneighbors()");
         if self.fused {
             return self.kneighbors_fused(query, k, index);
         }
@@ -318,12 +321,14 @@ impl<T: Real> NearestNeighbors<T> {
         let mut off = 0;
         while off < n {
             let end = (off + slab_rows).min(n);
-            prepared.push((off, PreparedIndex::new(&self.device, index.slice_rows(off..end))));
+            prepared.push((
+                off,
+                PreparedIndex::new(&self.device, index.slice_rows(off..end)),
+            ));
             off = end;
         }
 
-        for q_range in RowBatches::for_matrix(query, slab_rows.min(n.max(1)), self.batch_bytes)
-        {
+        for q_range in RowBatches::for_matrix(query, slab_rows.min(n.max(1)), self.batch_bytes) {
             let q0 = q_range.start;
             let slab = query.slice_rows(q_range);
             // Per-query candidate pools, merged across index slabs.
@@ -343,8 +348,7 @@ impl<T: Real> NearestNeighbors<T> {
                 batches += 1;
                 peak.input_bytes = peak.input_bytes.max(tile.memory.input_bytes);
                 peak.output_bytes = peak.output_bytes.max(tile.memory.output_bytes);
-                peak.workspace_bytes =
-                    peak.workspace_bytes.max(tile.memory.workspace_bytes);
+                peak.workspace_bytes = peak.workspace_bytes.max(tile.memory.workspace_bytes);
 
                 match self.selection {
                     Selection::Device => {
@@ -434,10 +438,10 @@ mod tests {
                     .fit(m.clone());
                 let got = nn.kneighbors(&m, 3).expect("query ok");
                 let want = CpuBruteForce::new(2).knn(&m, &m, 3, d, &params);
-                for i in 0..m.rows() {
+                for (i, want_row) in want.iter().enumerate() {
                     assert_eq!(
                         got.indices[i],
-                        want[i].iter().map(|&(j, _)| j).collect::<Vec<_>>(),
+                        want_row.iter().map(|&(j, _)| j).collect::<Vec<_>>(),
                         "{d} ({selection:?}) row {i}"
                     );
                 }
@@ -548,28 +552,28 @@ mod tests {
         let radius = 1.5;
         let full = CpuBruteForce::new(2).pairwise(&m, &m, Distance::Euclidean, &params);
         for selection in [Selection::Device, Selection::Host] {
-        let nn = NearestNeighbors::new(Device::volta(), Distance::Euclidean)
-            .with_selection(selection)
-            .fit(m.clone());
-        let got = nn.radius_neighbors(&m, radius).expect("ok");
-        for i in 0..m.rows() {
-            let mut want: Vec<(usize, f64)> = full
-                .row(i)
-                .iter()
-                .copied()
-                .enumerate()
-                .filter(|&(_, d)| d <= radius)
-                .collect();
-            want.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN").then(a.0.cmp(&b.0)));
-            assert_eq!(
-                got.indices[i],
-                want.iter().map(|&(j, _)| j).collect::<Vec<_>>(),
-                "row {i}"
-            );
-            for (g, (_, w)) in got.distances[i].iter().zip(&want) {
-                assert!((g - w).abs() < 1e-9);
+            let nn = NearestNeighbors::new(Device::volta(), Distance::Euclidean)
+                .with_selection(selection)
+                .fit(m.clone());
+            let got = nn.radius_neighbors(&m, radius).expect("ok");
+            for i in 0..m.rows() {
+                let mut want: Vec<(usize, f64)> = full
+                    .row(i)
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .filter(|&(_, d)| d <= radius)
+                    .collect();
+                want.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN").then(a.0.cmp(&b.0)));
+                assert_eq!(
+                    got.indices[i],
+                    want.iter().map(|&(j, _)| j).collect::<Vec<_>>(),
+                    "row {i}"
+                );
+                for (g, (_, w)) in got.distances[i].iter().zip(&want) {
+                    assert!((g - w).abs() < 1e-9);
+                }
             }
-        }
         }
     }
 

@@ -244,39 +244,30 @@ impl Distance {
             | Distance::Euclidean
             | Distance::Jaccard
             | Distance::RusselRao => Semiring::dot_product(),
-            Distance::Hellinger => Semiring::annihilating(
-                Monoid::new(|a, b| (a * b).sqrt(), T::ONE),
-                Monoid::plus(),
-            ),
-            Distance::KlDivergence => Semiring::annihilating(
-                Monoid::new(kl_term::<T>, T::ONE),
-                Monoid::plus(),
-            ),
+            Distance::Hellinger => {
+                Semiring::annihilating(Monoid::new(|a, b| (a * b).sqrt(), T::ONE), Monoid::plus())
+            }
+            Distance::KlDivergence => {
+                Semiring::annihilating(Monoid::new(kl_term::<T>, T::ONE), Monoid::plus())
+            }
             // NAMM family: non-annihilating products with id⊗ = 0 over the
             // nonzero union.
-            Distance::Canberra => Semiring::namm(
-                Monoid::new(canberra_term::<T>, T::ZERO),
-                Monoid::plus(),
-            ),
-            Distance::Chebyshev => Semiring::namm(
-                Monoid::new(|a, b| (a - b).abs(), T::ZERO),
-                Monoid::max(),
-            ),
+            Distance::Canberra => {
+                Semiring::namm(Monoid::new(canberra_term::<T>, T::ZERO), Monoid::plus())
+            }
+            Distance::Chebyshev => {
+                Semiring::namm(Monoid::new(|a, b| (a - b).abs(), T::ZERO), Monoid::max())
+            }
             Distance::Hamming => Semiring::namm(
-                Monoid::new(
-                    |a: T, b: T| if a == b { T::ZERO } else { T::ONE },
-                    T::ZERO,
-                ),
+                Monoid::new(|a: T, b: T| if a == b { T::ZERO } else { T::ONE }, T::ZERO),
                 Monoid::plus(),
             ),
-            Distance::JensenShannon => Semiring::namm(
-                Monoid::new(js_term::<T>, T::ZERO),
-                Monoid::plus(),
-            ),
-            Distance::Manhattan | Distance::BrayCurtis => Semiring::namm(
-                Monoid::new(|a, b| (a - b).abs(), T::ZERO),
-                Monoid::plus(),
-            ),
+            Distance::JensenShannon => {
+                Semiring::namm(Monoid::new(js_term::<T>, T::ZERO), Monoid::plus())
+            }
+            Distance::Manhattan | Distance::BrayCurtis => {
+                Semiring::namm(Monoid::new(|a, b| (a - b).abs(), T::ZERO), Monoid::plus())
+            }
             Distance::Minkowski => Semiring::namm(
                 Monoid::with_param(
                     |a: T, b: T, p: T| (a - b).abs().powf(p),
@@ -417,7 +408,9 @@ mod tests {
             Distance::Minkowski,
         ] {
             assert_eq!(d.family(), Family::Namm, "{d}");
-            assert!(!d.semiring::<f64>(&DistanceParams::default()).is_annihilating());
+            assert!(!d
+                .semiring::<f64>(&DistanceParams::default())
+                .is_annihilating());
         }
         for d in [
             Distance::Correlation,
@@ -431,7 +424,9 @@ mod tests {
             Distance::RusselRao,
         ] {
             assert_eq!(d.family(), Family::Expanded, "{d}");
-            assert!(d.semiring::<f64>(&DistanceParams::default()).is_annihilating());
+            assert!(d
+                .semiring::<f64>(&DistanceParams::default())
+                .is_annihilating());
         }
     }
 

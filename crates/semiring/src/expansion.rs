@@ -51,11 +51,9 @@ pub fn expand<T: Real>(distance: Distance, x: ExpansionInputs<T>) -> T {
         Distance::DotProduct => x.dot,
         // ‖x‖² − 2⟨x,y⟩ + ‖y‖², clamped against catastrophic cancellation
         // ("numerical instabilities can arise from cancellations", §2.1).
-        Distance::Euclidean => {
-            (x.a_norms[0] - T::from_f64(2.0) * x.dot + x.b_norms[0])
-                .max(T::ZERO)
-                .sqrt()
-        }
+        Distance::Euclidean => (x.a_norms[0] - T::from_f64(2.0) * x.dot + x.b_norms[0])
+            .max(T::ZERO)
+            .sqrt(),
         Distance::Cosine => {
             let (na, nb) = (x.a_norms[0], x.b_norms[0]);
             if na == T::ZERO && nb == T::ZERO {
@@ -98,11 +96,10 @@ pub fn expand<T: Real>(distance: Distance, x: ExpansionInputs<T>) -> T {
         }
         // 1/√2 · √(Σx + Σy − 2⟨√x,√y⟩) — exact for arbitrary non-negative
         // input (the paper's `1 − √⟨√x·√y⟩` assumes probability rows).
-        Distance::Hellinger => {
-            ((x.a_norms[0] + x.b_norms[0] - T::from_f64(2.0) * x.dot).max(T::ZERO)
-                / T::from_f64(2.0))
-            .sqrt()
-        }
+        Distance::Hellinger => ((x.a_norms[0] + x.b_norms[0] - T::from_f64(2.0) * x.dot)
+            .max(T::ZERO)
+            / T::from_f64(2.0))
+        .sqrt(),
         Distance::KlDivergence => x.dot,
         Distance::RusselRao => (k - x.dot) / k,
         // Bray-Curtis: the NAMM union pass delivered Σ|x−y| as `dot`;
@@ -194,9 +191,15 @@ mod tests {
     #[test]
     fn correlation_constant_rows_use_guard() {
         // Constant row has k‖x‖² = (Σx)² → zero variance.
-        let both = expand(Distance::Correlation, inputs(1.0, [2.0, 2.0], [2.0, 2.0], 2));
+        let both = expand(
+            Distance::Correlation,
+            inputs(1.0, [2.0, 2.0], [2.0, 2.0], 2),
+        );
         assert_eq!(both, 0.0);
-        let one = expand(Distance::Correlation, inputs(1.0, [2.0, 2.0], [1.0, 5.0], 2));
+        let one = expand(
+            Distance::Correlation,
+            inputs(1.0, [2.0, 2.0], [1.0, 5.0], 2),
+        );
         assert_eq!(one, 1.0);
     }
 
@@ -218,7 +221,10 @@ mod tests {
     #[test]
     fn dice_binary_case() {
         // Same sets as above: 1 - 2·1/(2+2) = 0.5
-        let d = expand(Distance::DiceSorensen, inputs(1.0, [2.0, 0.0], [2.0, 0.0], 3));
+        let d = expand(
+            Distance::DiceSorensen,
+            inputs(1.0, [2.0, 0.0], [2.0, 0.0], 3),
+        );
         assert!((d - 0.5).abs() < 1e-12);
     }
 

@@ -84,11 +84,7 @@ pub fn check_monoid<T: Real>(m: &Monoid<T>, samples: &[T], tol: f64) -> Vec<LawV
 ///   sound;
 /// * NAMMs: `id⊗ = 0`, and `⊗` commutes (the §2.2 requirement for union
 ///   evaluation in metric spaces).
-pub fn check_semiring<T: Real>(
-    sr: &Semiring<T>,
-    samples: &[T],
-    tol: f64,
-) -> Vec<LawViolation> {
+pub fn check_semiring<T: Real>(sr: &Semiring<T>, samples: &[T], tol: f64) -> Vec<LawViolation> {
     let mut out = check_monoid(sr.reduce_monoid(), samples, tol);
     for &a in samples {
         for &b in samples {
@@ -190,10 +186,7 @@ mod tests {
 
     #[test]
     fn non_commutative_namm_is_caught() {
-        let bad = Semiring::namm(
-            Monoid::new(|a: f64, b: f64| a - b, 0.0),
-            Monoid::plus(),
-        );
+        let bad = Semiring::namm(Monoid::new(|a: f64, b: f64| a - b, 0.0), Monoid::plus());
         let v = check_semiring(&bad, &samples(), 1e-9);
         assert!(v.iter().any(|x| x.law == "commutativity of ⊗ (NAMM)"));
     }

@@ -17,11 +17,7 @@ use sparse::{Idx, Real};
 ///
 /// This is the evaluation an annihilating (dot-product-like) semiring
 /// needs; both inputs must be sorted by column index.
-pub fn apply_semiring_intersection<T: Real>(
-    a: &[(Idx, T)],
-    b: &[(Idx, T)],
-    sr: &Semiring<T>,
-) -> T {
+pub fn apply_semiring_intersection<T: Real>(a: &[(Idx, T)], b: &[(Idx, T)], sr: &Semiring<T>) -> T {
     let mut acc = sr.reduce_identity();
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
@@ -86,11 +82,7 @@ pub fn apply_semiring_union<T: Real>(a: &[(Idx, T)], b: &[(Idx, T)], sr: &Semiri
 /// (§3.3.1: "a second pass can compute the remaining symmetric
 /// difference ... by commuting A and B and skipping the application of
 /// id⊗ in B").
-pub fn apply_semiring_difference<T: Real>(
-    a: &[(Idx, T)],
-    b: &[(Idx, T)],
-    sr: &Semiring<T>,
-) -> T {
+pub fn apply_semiring_difference<T: Real>(a: &[(Idx, T)], b: &[(Idx, T)], sr: &Semiring<T>) -> T {
     let zero = T::ZERO;
     let mut acc = sr.reduce_identity();
     if sr.is_annihilating() {
@@ -161,10 +153,7 @@ mod tests {
         let pass2 = apply_semiring_difference(&a, &b, &sr);
         assert_eq!(pass1, 1.0);
         assert_eq!(pass2, 1.0);
-        assert_eq!(
-            sr.reduce(pass1, pass2),
-            apply_semiring_union(&a, &b, &sr)
-        );
+        assert_eq!(sr.reduce(pass1, pass2), apply_semiring_union(&a, &b, &sr));
     }
 
     #[test]
@@ -200,11 +189,8 @@ mod tests {
     }
 
     fn arb_sparse_vec() -> impl Strategy<Value = Vec<(Idx, f64)>> {
-        proptest::collection::btree_map(0u32..32, 1u32..100, 0..12).prop_map(|m| {
-            m.into_iter()
-                .map(|(c, v)| (c, v as f64 / 10.0))
-                .collect()
-        })
+        proptest::collection::btree_map(0u32..32, 1u32..100, 0..12)
+            .prop_map(|m| m.into_iter().map(|(c, v)| (c, v as f64 / 10.0)).collect())
     }
 
     proptest! {

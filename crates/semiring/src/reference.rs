@@ -19,12 +19,7 @@ use sparse::{CsrMatrix, DenseMatrix, Idx, NormKind, Real};
 /// # Panics
 ///
 /// Panics if the vectors have different lengths.
-pub fn dense_distance<T: Real>(
-    x: &[T],
-    y: &[T],
-    distance: Distance,
-    params: &DistanceParams,
-) -> T {
+pub fn dense_distance<T: Real>(x: &[T], y: &[T], distance: Distance, params: &DistanceParams) -> T {
     assert_eq!(x.len(), y.len(), "vectors must share dimensionality");
     let k = x.len();
     let two = T::from_f64(2.0);
@@ -286,7 +281,12 @@ mod tests {
 
     #[test]
     fn euclidean_three_four_five() {
-        let d = dense_distance(&[3.0, 0.0], &[0.0, 4.0], Distance::Euclidean, &DistanceParams::default());
+        let d = dense_distance(
+            &[3.0, 0.0],
+            &[0.0, 4.0],
+            Distance::Euclidean,
+            &DistanceParams::default(),
+        );
         assert!((d - 5.0).abs() < TOL);
     }
 
@@ -410,7 +410,7 @@ mod tests {
                 .iter()
                 .zip(&y)
                 .enumerate()
-                .map(|(i, (&a, &b))| if (i as u64 + seed) % 3 == 0 { a } else { b })
+                .map(|(i, (&a, &b))| if (i as u64 + seed).is_multiple_of(3) { a } else { b })
                 .collect();
             for d in Distance::ALL.into_iter().filter(|d| d.is_metric()) {
                 let dxx = dense_distance(&x, &x, d, &params);

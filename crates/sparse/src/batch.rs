@@ -51,11 +51,7 @@ impl RowBatches {
     }
 
     /// Plans batches for a concrete query matrix.
-    pub fn for_matrix<T: Real>(
-        a: &CsrMatrix<T>,
-        out_cols: usize,
-        max_output_bytes: usize,
-    ) -> Self {
+    pub fn for_matrix<T: Real>(a: &CsrMatrix<T>, out_cols: usize, max_output_bytes: usize) -> Self {
         Self::plan(
             a.rows(),
             out_cols,

@@ -97,16 +97,13 @@ impl<T: Real> BsrMatrix<T> {
     /// Currently infallible (the structure is valid by construction) but
     /// fallible for signature stability with the other converters.
     pub fn to_csr(&self) -> Result<CsrMatrix<T>, SparseError> {
-        let mut b = crate::builder::CsrBuilder::with_capacity(
-            self.rows,
-            self.cols,
-            self.values.len(),
-        );
+        let mut b =
+            crate::builder::CsrBuilder::with_capacity(self.rows, self.cols, self.values.len());
         for br in 0..self.indptr.len() - 1 {
             for slot in self.indptr[br]..self.indptr[br + 1] {
                 let bc = self.indices[slot] as usize;
-                let tile = &self.values[slot * self.block * self.block
-                    ..(slot + 1) * self.block * self.block];
+                let tile = &self.values
+                    [slot * self.block * self.block..(slot + 1) * self.block * self.block];
                 for lr in 0..self.block {
                     let r = br * self.block + lr;
                     if r >= self.rows {
@@ -264,7 +261,7 @@ mod tests {
             let data: Vec<f32> = (0..rows * cols)
                 .map(|i| {
                     let h = (i as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ seed;
-                    if h % 3 == 0 { ((h >> 8) % 100) as f32 / 10.0 + 0.1 } else { 0.0 }
+                    if h.is_multiple_of(3) { ((h >> 8) % 100) as f32 / 10.0 + 0.1 } else { 0.0 }
                 })
                 .collect();
             let m = CsrMatrix::from_dense(rows, cols, &data);

@@ -100,8 +100,7 @@ impl<T: Real> CsrBuilder<T> {
     /// time) but kept fallible so the signature survives future stricter
     /// validation.
     pub fn build(mut self) -> Result<CsrMatrix<T>, SparseError> {
-        self.triplets
-            .sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        self.triplets.sort_by_key(|t| (t.0, t.1));
 
         let mut indptr = vec![0usize; self.rows + 1];
         let mut indices: Vec<Idx> = Vec::with_capacity(self.triplets.len());

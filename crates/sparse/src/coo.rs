@@ -85,7 +85,7 @@ impl<T: Real> From<&CsrMatrix<T>> for CooMatrix<T> {
     fn from(csr: &CsrMatrix<T>) -> Self {
         let mut row_indices = Vec::with_capacity(csr.nnz());
         for r in 0..csr.rows() {
-            row_indices.extend(std::iter::repeat(r as Idx).take(csr.row_degree(r)));
+            row_indices.extend(std::iter::repeat_n(r as Idx, csr.row_degree(r)));
         }
         Self {
             rows: csr.rows(),
@@ -122,12 +122,8 @@ mod tests {
     use super::*;
 
     fn sample_csr() -> CsrMatrix<f32> {
-        CsrMatrix::from_triplets(
-            3,
-            4,
-            &[(0, 0, 1.0), (0, 3, 2.0), (2, 1, 3.0), (2, 2, 4.0)],
-        )
-        .expect("valid")
+        CsrMatrix::from_triplets(3, 4, &[(0, 0, 1.0), (0, 3, 2.0), (2, 1, 3.0), (2, 2, 4.0)])
+            .expect("valid")
     }
 
     #[test]

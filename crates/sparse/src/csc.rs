@@ -95,9 +95,7 @@ impl<T: Real> CscMatrix<T> {
 
 impl<T: Real> From<&CsrMatrix<T>> for CscMatrix<T> {
     fn from(csr: &CsrMatrix<T>) -> Self {
-        Self {
-            t: csr.transpose(),
-        }
+        Self { t: csr.transpose() }
     }
 }
 
@@ -112,12 +110,8 @@ mod tests {
     use super::*;
 
     fn sample() -> CsrMatrix<f32> {
-        CsrMatrix::from_triplets(
-            2,
-            3,
-            &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (1, 2, 4.0)],
-        )
-        .expect("valid")
+        CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (1, 2, 4.0)])
+            .expect("valid")
     }
 
     #[test]

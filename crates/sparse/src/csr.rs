@@ -303,7 +303,10 @@ impl<T: Real> CsrMatrix<T> {
 
     /// Maximum row degree, 0 for an empty matrix.
     pub fn max_degree(&self) -> usize {
-        (0..self.rows).map(|i| self.row_degree(i)).max().unwrap_or(0)
+        (0..self.rows)
+            .map(|i| self.row_degree(i))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Transposes the matrix, producing a new CSR (a full copy — the cost
@@ -382,8 +385,7 @@ mod tests {
 
     #[test]
     fn from_parts_rejects_non_monotone_indptr() {
-        let err =
-            CsrMatrix::<f32>::from_parts(2, 3, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]);
+        let err = CsrMatrix::<f32>::from_parts(2, 3, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]);
         assert!(matches!(err, Err(SparseError::InvalidIndptr(_))));
     }
 
@@ -401,15 +403,13 @@ mod tests {
 
     #[test]
     fn from_parts_rejects_unsorted_row() {
-        let err =
-            CsrMatrix::<f32>::from_parts(1, 4, vec![0, 2], vec![2, 1], vec![1.0, 2.0]);
+        let err = CsrMatrix::<f32>::from_parts(1, 4, vec![0, 2], vec![2, 1], vec![1.0, 2.0]);
         assert_eq!(err, Err(SparseError::UnsortedRow { row: 0 }));
     }
 
     #[test]
     fn from_parts_rejects_duplicate_column_in_row() {
-        let err =
-            CsrMatrix::<f32>::from_parts(1, 4, vec![0, 2], vec![1, 1], vec![1.0, 2.0]);
+        let err = CsrMatrix::<f32>::from_parts(1, 4, vec![0, 2], vec![1, 1], vec![1.0, 2.0]);
         assert_eq!(err, Err(SparseError::UnsortedRow { row: 0 }));
     }
 
@@ -426,12 +426,8 @@ mod tests {
 
     #[test]
     fn triplets_sum_duplicates_and_drop_zeros() {
-        let m = CsrMatrix::<f32>::from_triplets(
-            2,
-            2,
-            &[(0, 0, 1.0), (0, 0, 2.0), (1, 1, 0.0)],
-        )
-        .expect("valid");
+        let m = CsrMatrix::<f32>::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.0), (1, 1, 0.0)])
+            .expect("valid");
         assert_eq!(m.nnz(), 1);
         assert_eq!(m.get(0, 0), 3.0);
     }

@@ -101,18 +101,18 @@ pub fn read_matrix_market<T: Real, R: Read>(reader: R) -> Result<CsrMatrix<T>, M
     let size_line = size_line.ok_or_else(|| MmError::Parse("missing size line".into()))?;
     let dims: Vec<usize> = size_line
         .split_whitespace()
-        .map(|t| t.parse().map_err(|_| MmError::Parse(format!("bad size token {t}"))))
+        .map(|t| {
+            t.parse()
+                .map_err(|_| MmError::Parse(format!("bad size token {t}")))
+        })
         .collect::<Result<_, _>>()?;
     if dims.len() != 3 {
         return Err(MmError::Parse(format!("bad size line: {size_line}")));
     }
     let (rows, cols, nnz) = (dims[0], dims[1], dims[2]);
 
-    let mut builder = CsrBuilder::<T>::with_capacity(
-        rows,
-        cols,
-        if symmetric { nnz * 2 } else { nnz },
-    );
+    let mut builder =
+        CsrBuilder::<T>::with_capacity(rows, cols, if symmetric { nnz * 2 } else { nnz });
     let mut seen = 0usize;
     for line in lines {
         let line = line?;
@@ -217,8 +217,7 @@ mod tests {
 
     #[test]
     fn expands_symmetric_matrices() {
-        let data =
-            "%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n1 1 5\n2 1 1\n3 2 2\n";
+        let data = "%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n1 1 5\n2 1 1\n3 2 2\n";
         let m: CsrMatrix<f64> = read_matrix_market(data.as_bytes()).expect("valid");
         assert_eq!(m.nnz(), 5); // diagonal once, off-diagonals mirrored
         assert_eq!(m.get(0, 1), 1.0);
@@ -252,8 +251,7 @@ mod tests {
 
     #[test]
     fn duplicate_entries_sum() {
-        let data =
-            "%%MatrixMarket matrix coordinate real general\n1 1 2\n1 1 1.0\n1 1 2.0\n";
+        let data = "%%MatrixMarket matrix coordinate real general\n1 1 2\n1 1 1.0\n1 1 2.0\n";
         let m: CsrMatrix<f64> = read_matrix_market(data.as_bytes()).expect("valid");
         assert_eq!(m.get(0, 0), 3.0);
     }

@@ -97,12 +97,8 @@ mod tests {
     use super::*;
 
     fn sample() -> CsrMatrix<f64> {
-        CsrMatrix::from_triplets(
-            3,
-            4,
-            &[(0, 0, 1.0), (0, 1, -2.0), (1, 3, 3.0), (2, 2, 0.5)],
-        )
-        .expect("valid")
+        CsrMatrix::from_triplets(3, 4, &[(0, 0, 1.0), (0, 1, -2.0), (1, 3, 3.0), (2, 2, 0.5)])
+            .expect("valid")
     }
 
     #[test]

@@ -116,8 +116,9 @@ mod tests {
 
     #[test]
     fn cdf_of_uniform_degrees_is_flat() {
-        let trips: Vec<(u32, u32, f32)> =
-            (0..10u32).flat_map(|r| [(r, 0, 1.0), (r, 1, 1.0)]).collect();
+        let trips: Vec<(u32, u32, f32)> = (0..10u32)
+            .flat_map(|r| [(r, 0, 1.0), (r, 1, 1.0)])
+            .collect();
         let m = CsrMatrix::from_triplets(10, 2, &trips).expect("valid");
         let cdf = degree_cdf(&m);
         assert!(cdf.iter().all(|&d| d == 2));

@@ -1,0 +1,305 @@
+//! `lint_kernels` — a static cost-accounting lint for kernel sources.
+//!
+//! The simulator's counters are only as honest as the kernels feeding
+//! them: `SharedArray::read`/`write`/`fill` and `rmw` touch shared
+//! memory *without* charging issues, bank conflicts, or smem accesses —
+//! they exist so block-level collectives and serialized emulations can
+//! move data while charging an explicit aggregate cost. A kernel that
+//! reaches for them directly silently under-reports traffic, and a
+//! kernel that mutates `counters` fields directly bypasses the cost
+//! model entirely. Both bugs pass every numeric test, which is exactly
+//! why they need a lint instead.
+//!
+//! Checks, over every `.rs` file in `crates/kernels/src`:
+//!
+//! * **uncosted-smem** — calls to `.read(`, `.write(`, `.fill(`,
+//!   `.rmw(` or `.with_mut(` outside an allow region. Legitimate
+//!   serialized emulations opt out with a documented region:
+//!
+//!   ```text
+//!   // smem-lint: begin-allow(serialized-emulation): <why this is costed elsewhere>
+//!   ...raw accesses...
+//!   // smem-lint: end-allow
+//!   ```
+//!
+//!   A `begin-allow` without a reason, an unclosed region, or an
+//!   `end-allow` without a begin are themselves violations.
+//!
+//! * **counters-bypass** — assignments (`=`, `+=`, `-=`, `*=`) to
+//!   `counters.<field>` anywhere in kernel code. Kernels must charge
+//!   cost through `WarpCtx` (`issue`, `branch`, gathers/scatters),
+//!   never by editing the ledger.
+//!
+//! Exit status is non-zero when any violation is found, so CI can gate
+//! on it. Run with `cargo run -p xtask --bin lint_kernels`.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const BEGIN_MARKER: &str = "smem-lint: begin-allow(";
+const END_MARKER: &str = "smem-lint: end-allow";
+
+/// Method-call suffixes that touch shared memory without charging cost.
+const UNCOSTED_CALLS: [&str; 5] = [".read(", ".write(", ".fill(", ".rmw(", ".with_mut("];
+
+#[derive(Debug, PartialEq, Eq)]
+struct Violation {
+    file: PathBuf,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+fn main() -> ExitCode {
+    // crates/xtask/src -> workspace root is two levels above the
+    // manifest dir.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let root = manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("xtask sits two levels below the workspace root");
+    let kernels_src = root.join("crates/kernels/src");
+    let mut files = Vec::new();
+    collect_rs_files(&kernels_src, &mut files);
+    files.sort();
+    if files.is_empty() {
+        eprintln!(
+            "lint_kernels: no sources found under {}",
+            kernels_src.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut violations = Vec::new();
+    for path in &files {
+        let text = match fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("lint_kernels: cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let rel = path.strip_prefix(root).unwrap_or(path);
+        violations.extend(lint_source(rel, &text));
+    }
+
+    if violations.is_empty() {
+        println!(
+            "lint_kernels: {} files clean (uncosted-smem, counters-bypass)",
+            files.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
+        println!("lint_kernels: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lints one file's source text. Pure so the rules are unit-testable.
+fn lint_source(file: &Path, text: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    // Line number of the currently open allow region, if any.
+    let mut open_region: Option<usize> = None;
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let violation = |rule, message: String| Violation {
+            file: file.to_path_buf(),
+            line: lineno,
+            rule,
+            message,
+        };
+
+        if let Some(pos) = line.find(BEGIN_MARKER) {
+            if open_region.is_some() {
+                out.push(violation(
+                    "uncosted-smem",
+                    "nested begin-allow; close the previous region first".into(),
+                ));
+            }
+            open_region = Some(lineno);
+            // Demand a documented reason after the tag: `(...): <why>`.
+            let rest = &line[pos + BEGIN_MARKER.len()..];
+            let reason = rest
+                .split_once("):")
+                .map(|(_, r)| r.trim())
+                .unwrap_or_default();
+            if reason.len() < 10 {
+                out.push(violation(
+                    "uncosted-smem",
+                    "begin-allow needs a reason: `begin-allow(tag): <why this is costed elsewhere>`"
+                        .into(),
+                ));
+            }
+            continue;
+        }
+        if line.contains(END_MARKER) {
+            if open_region.take().is_none() {
+                out.push(violation(
+                    "uncosted-smem",
+                    "end-allow without a matching begin-allow".into(),
+                ));
+            }
+            continue;
+        }
+
+        let code = strip_line_comment(line);
+        if open_region.is_none() {
+            for call in UNCOSTED_CALLS {
+                if code.contains(call) {
+                    out.push(violation(
+                        "uncosted-smem",
+                        format!(
+                            "raw `{call}…)` bypasses the cost model; use the WarpCtx \
+                             collective or wrap in a documented allow region"
+                        ),
+                    ));
+                }
+            }
+        }
+        if let Some(field_and_rest) = find_counters_mutation(code) {
+            out.push(violation(
+                "counters-bypass",
+                format!("direct write to `counters.{field_and_rest}`; charge cost through WarpCtx"),
+            ));
+        }
+    }
+    if let Some(start) = open_region {
+        out.push(Violation {
+            file: file.to_path_buf(),
+            line: start,
+            rule: "uncosted-smem",
+            message: "allow region never closed with `smem-lint: end-allow`".into(),
+        });
+    }
+    out
+}
+
+/// Drops a trailing `// …` comment (good enough for lint purposes; the
+/// kernel sources do not put `//` inside string literals on access
+/// lines).
+fn strip_line_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// Returns the mutated field name when the line assigns through
+/// `counters.<field>` (`=`, `+=`, `-=`, `*=`), ignoring comparisons.
+fn find_counters_mutation(code: &str) -> Option<String> {
+    let mut search = code;
+    while let Some(pos) = search.find("counters.") {
+        let after = &search[pos + "counters.".len()..];
+        let field: String = after
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        let rest = after[field.len()..].trim_start();
+        let is_mutation = rest.starts_with("+=")
+            || rest.starts_with("-=")
+            || rest.starts_with("*=")
+            || (rest.starts_with('=') && !rest.starts_with("=="));
+        if !field.is_empty() && is_mutation {
+            return Some(field);
+        }
+        search = after;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(text: &str) -> Vec<Violation> {
+        lint_source(Path::new("test.rs"), text)
+    }
+
+    #[test]
+    fn clean_code_passes() {
+        let src = "let x = w.smem_gather(&arr, &idx);\nw.issue(1);\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn raw_access_is_flagged() {
+        let src = "let v = cand_val.read(pos - 1);\narr.write(0, v);\narr.fill(0.0);\n";
+        let out = lint(src);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|v| v.rule == "uncosted-smem"));
+        assert_eq!(out[1].line, 2);
+    }
+
+    #[test]
+    fn allow_region_suppresses_with_reason() {
+        let src = "\
+// smem-lint: begin-allow(serialized-emulation): cost charged via explicit issue below
+let v = cand_val.read(0);
+// smem-lint: end-allow
+";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn allow_region_requires_reason_and_closure() {
+        let missing_reason =
+            "// smem-lint: begin-allow(serialized-emulation):\n// smem-lint: end-allow\n";
+        assert_eq!(lint(missing_reason).len(), 1);
+        let unclosed = "// smem-lint: begin-allow(x): a perfectly good reason\narr.read(0);\n";
+        let out = lint(unclosed);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("never closed"));
+        let stray_end = "// smem-lint: end-allow\n";
+        assert_eq!(lint(stray_end).len(), 1);
+    }
+
+    #[test]
+    fn counters_mutations_are_flagged_but_reads_pass() {
+        assert!(lint("assert!(stats.counters.issues > 10);\n").is_empty());
+        assert!(lint("let n = stats.counters.global_bytes;\n").is_empty());
+        assert!(lint("if counters.issues == 3 {}\n").is_empty());
+        let out = lint("self.counters.issues += 1;\n");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "counters-bypass");
+        assert!(out[0].message.contains("issues"));
+        assert_eq!(lint("w.counters.bank_conflict_extra = 0;\n").len(), 1);
+    }
+
+    #[test]
+    fn comments_do_not_false_positive() {
+        assert!(lint("// talk about arr.read(0) in prose\n").is_empty());
+        assert!(lint("//! counters.\n").is_empty());
+    }
+}

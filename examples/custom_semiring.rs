@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Monoid::plus(),
     );
     let out = runner.run(&x, &x, &overlap)?;
-    println!("support overlap |nz(a) ∩ nz(b)| ({} pass):", out.launches.len());
+    println!(
+        "support overlap |nz(a) ∩ nz(b)| ({} pass):",
+        out.launches.len()
+    );
     print_matrix(&out.inner_terms);
     assert_eq!(out.launches.len(), 1);
     assert_eq!(out.inner_terms.get(0, 2), 2.0); // columns 0 and 4 shared

@@ -11,9 +11,7 @@
 //! Run with: `cargo run --release --example document_similarity`
 
 use datasets::DatasetProfile;
-use sparse_dist::{
-    Device, Distance, NearestNeighbors, PairwiseOptions, SmemMode, Strategy,
-};
+use sparse_dist::{Device, Distance, NearestNeighbors, PairwiseOptions, SmemMode, Strategy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 1/200-scale NY Times BoW replica: ~1.5K docs, ~500-term vocab,

@@ -13,8 +13,8 @@
 
 use datasets::DatasetProfile;
 use sparse_dist::{
-    kneighbors_graph, Device, Distance, GraphMode, NearestNeighbors, PairwiseOptions,
-    Selection, SmemMode, Strategy,
+    kneighbors_graph, Device, Distance, GraphMode, NearestNeighbors, PairwiseOptions, Selection,
+    SmemMode, Strategy,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

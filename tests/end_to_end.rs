@@ -99,7 +99,11 @@ fn gpu_cpu_and_csrgemm_baselines_agree() {
     let dev = Device::volta();
     let params = DistanceParams::default();
     let cpu = CpuBruteForce::new(4);
-    let m = to_f64(&DatasetProfile::nytimes_bow().scaled_with(0.001, 0.02).generate(5));
+    let m = to_f64(
+        &DatasetProfile::nytimes_bow()
+            .scaled_with(0.001, 0.02)
+            .generate(5),
+    );
     let queries = m.slice_rows(0..10);
     for distance in Distance::ALL {
         let gpu = sparse_dist::pairwise_distances(&dev, &queries, &m, distance)
@@ -128,8 +132,7 @@ fn bray_curtis_extension_through_the_public_api() {
     let m = to_f64(&DatasetProfile::scrna().scaled_with(0.002, 0.01).generate(9));
     let q = m.slice_rows(0..m.rows().min(6));
     sparse_dist::validate_input(Distance::BrayCurtis, &m).expect("counts are non-negative");
-    let got = sparse_dist::pairwise_distances(&dev, &q, &m, Distance::BrayCurtis)
-        .expect("runs");
+    let got = sparse_dist::pairwise_distances(&dev, &q, &m, Distance::BrayCurtis).expect("runs");
     let want = dense_pairwise(&q, &m, Distance::BrayCurtis, &params);
     assert!(got.distances.max_abs_diff(&want) < 1e-6);
     // Negative data is rejected up front.
@@ -148,8 +151,7 @@ fn knn_is_consistent_between_gpu_and_cpu_on_profiles() {
         }
         let queries = m.slice_rows(0..6);
         for distance in [Distance::Euclidean, Distance::Manhattan, Distance::Cosine] {
-            let nn = sparse_dist::NearestNeighbors::new(dev.clone(), distance)
-                .fit(m.clone());
+            let nn = sparse_dist::NearestNeighbors::new(dev.clone(), distance).fit(m.clone());
             let got = nn.kneighbors(&queries, 3).expect("query ok");
             let want = CpuBruteForce::new(2).knn(&queries, &m, 3, distance, &params);
             for (q, row) in got.distances.iter().enumerate() {

@@ -1,0 +1,176 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's `harness = false` benches
+//! use — [`Criterion`], benchmark groups, [`BenchmarkId`], `iter`, and
+//! the [`criterion_group!`] / [`criterion_main!`] macros — backed by a
+//! simple best-of-N wall-clock timer instead of criterion's statistical
+//! machinery. Good enough to keep the benches runnable and comparable
+//! run-to-run without a crates.io dependency.
+
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            _name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    _name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Times `f` under `id`.
+    pub fn bench_function<I: Display>(&mut self, id: I, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.criterion.sample_size,
+            best_seconds: f64::INFINITY,
+        };
+        f(&mut b);
+        println!("  {id}: best {:.3} ms", b.best_seconds * 1e3);
+    }
+
+    /// Times `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: Display, T: ?Sized>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: impl FnMut(&mut Bencher, &T),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (upstream finalizes reports here; a no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure to time its hot loop.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    best_seconds: f64,
+}
+
+impl Bencher {
+    /// Runs `f` for the configured number of samples, recording the best
+    /// wall-clock time.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            let r = f();
+            let dt = t0.elapsed().as_secs_f64();
+            std::hint::black_box(&r);
+            if dt < self.best_seconds {
+                self.best_seconds = dt;
+            }
+        }
+    }
+}
+
+/// A `name/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        Self {
+            name: name.into(),
+            param: param.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.name, self.param)
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.bench_function(BenchmarkId::new("f", 3), |b| b.iter(|| 1 + 2));
+        group.bench_with_input(BenchmarkId::new("g", "x"), &5, |b, &x| b.iter(|| x * 2));
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = sample_bench
+    }
+
+    #[test]
+    fn harness_runs_groups() {
+        benches();
+    }
+
+    #[test]
+    fn id_formats_name_and_param() {
+        assert_eq!(BenchmarkId::new("sort", 128).to_string(), "sort/128");
+    }
+}

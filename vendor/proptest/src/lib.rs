@@ -1,0 +1,421 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this in-tree shim
+//! reimplements the slice of proptest the workspace uses: the
+//! [`Strategy`] trait with `prop_map` / `prop_flat_map`, range and tuple
+//! strategies, [`collection::vec`] / [`collection::btree_map`], the
+//! [`proptest!`] / [`prop_oneof!`] / [`prop_assert!`] /
+//! [`prop_assert_eq!`] macros, [`Just`], and
+//! [`ProptestConfig::with_cases`].
+//!
+//! Semantics: each `proptest!` test runs its body for `cases` freshly
+//! generated inputs from a generator seeded deterministically by the
+//! test's name (override with the `PROPTEST_SEED` environment variable).
+//! There is **no shrinking** — a failing case reports the panic from the
+//! assertion itself, and reproducing it is a matter of rerunning with the
+//! same seed, which is the default.
+
+#![deny(missing_docs)]
+
+use std::rc::Rc;
+
+/// Deterministic SplitMix64 generator driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from an explicit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Creates a generator seeded from a test name (stable FNV-1a hash),
+    /// honoring a `PROPTEST_SEED` environment-variable override.
+    pub fn for_test(name: &str) -> Self {
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(seed) = s.parse::<u64>() {
+                return Self::from_seed(seed);
+            }
+        }
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        Self::from_seed(h)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.next_u64() % n
+    }
+}
+
+/// Runner configuration (only the case count is modeled).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A value generator. Unlike upstream proptest there is no value tree and
+/// no shrinking: a strategy simply produces values.
+pub trait Strategy: Clone + 'static {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        let s = self;
+        BoxedStrategy::new(move |rng| f(s.generate(rng)))
+    }
+
+    /// Generates an intermediate value, builds a dependent strategy from
+    /// it with `f`, and draws the final value from that strategy.
+    fn prop_flat_map<S2, F>(self, f: F) -> BoxedStrategy<S2::Value>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2 + 'static,
+    {
+        let s = self;
+        BoxedStrategy::new(move |rng| f(s.generate(rng)).generate(rng))
+    }
+
+    /// Type-erases this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+    {
+        let s = self;
+        BoxedStrategy::new(move |rng| s.generate(rng))
+    }
+}
+
+/// A reference-counted, type-erased strategy (the result of the
+/// combinator methods). Cloning is cheap and shares the generator.
+pub struct BoxedStrategy<T> {
+    gen_fn: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self {
+            gen_fn: Rc::clone(&self.gen_fn),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Wraps a generation closure.
+    pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        Self { gen_fn: Rc::new(f) }
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen_fn)(rng)
+    }
+}
+
+/// Strategy producing one constant value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + rng.below((self.end - self.start) as u64) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Weighted choice between same-valued strategies (backs
+/// [`prop_oneof!`]).
+pub fn one_of<T: 'static>(choices: Vec<(u32, BoxedStrategy<T>)>) -> BoxedStrategy<T> {
+    assert!(!choices.is_empty(), "prop_oneof! of nothing");
+    let total: u64 = choices.iter().map(|(w, _)| *w as u64).sum();
+    assert!(total > 0, "prop_oneof! with all-zero weights");
+    BoxedStrategy::new(move |rng| {
+        let mut pick = rng.below(total);
+        for (w, s) in &choices {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weighted pick out of range")
+    })
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{BoxedStrategy, Strategy, TestRng};
+    use std::collections::BTreeMap;
+
+    /// Sizes accepted by [`vec`] / [`btree_map`]: a fixed length or a
+    /// range of lengths.
+    pub trait IntoSizeRange: Clone + 'static {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.clone().generate(rng)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.clone().generate(rng)
+        }
+    }
+
+    /// Vectors of `size` values drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange) -> BoxedStrategy<Vec<S::Value>> {
+        BoxedStrategy::new(move |rng| {
+            let n = size.pick(rng);
+            (0..n).map(|_| elem.generate(rng)).collect()
+        })
+    }
+
+    /// Maps of up to `size` entries with keys from `keys` and values from
+    /// `values` (duplicate keys collapse, as upstream).
+    pub fn btree_map<K, V>(
+        keys: K,
+        values: V,
+        size: impl IntoSizeRange,
+    ) -> BoxedStrategy<BTreeMap<K::Value, V::Value>>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BoxedStrategy::new(move |rng| {
+            let n = size.pick(rng);
+            (0..n)
+                .map(|_| (keys.generate(rng), values.generate(rng)))
+                .collect()
+        })
+    }
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Weighted choice between strategies: `prop_oneof![2 => a, 3 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $weight:expr => $strategy:expr ),+ $(,)? ) => {
+        $crate::one_of(vec![
+            $( ( ($weight) as u32, $crate::Strategy::boxed($strategy) ) ),+
+        ])
+    };
+    ( $( $strategy:expr ),+ $(,)? ) => {
+        $crate::one_of(vec![
+            $( ( 1u32, $crate::Strategy::boxed($strategy) ) ),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` for each of `cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::proptest!( @with_cases ($cfg).cases; $($rest)* );
+    };
+    ( @with_cases $cases:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block
+    )* ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cases: u32 = $cases;
+            let mut rng = $crate::TestRng::for_test(stringify!($name));
+            for _case in 0..cases {
+                $( let $pat = $crate::Strategy::generate(&($strategy), &mut rng); )+
+                $body
+            }
+        }
+    )*};
+    ( $($rest:tt)* ) => {
+        $crate::proptest!( @with_cases $crate::ProptestConfig::default().cases; $($rest)* );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_maps_generate_in_bounds() {
+        let mut rng = crate::TestRng::from_seed(1);
+        let s = (1usize..8, 0u32..4).prop_map(|(a, b)| a * 10 + b as usize);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((10..80).contains(&v));
+        }
+    }
+
+    #[test]
+    fn flat_map_uses_intermediate_value() {
+        let mut rng = crate::TestRng::from_seed(2);
+        let s = (1usize..5).prop_flat_map(|k| crate::collection::vec(0u32..10, k));
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((1..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn oneof_respects_zero_weight_exclusion() {
+        let mut rng = crate::TestRng::from_seed(3);
+        let s = prop_oneof![1 => Just(1u32), 0 => Just(2u32)];
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn btree_map_key_range_respected() {
+        let mut rng = crate::TestRng::from_seed(4);
+        let s = crate::collection::btree_map(0u32..32, 1u32..100, 0..12);
+        for _ in 0..50 {
+            let m = s.generate(&mut rng);
+            assert!(m.len() <= 12);
+            assert!(m.keys().all(|&k| k < 32));
+            assert!(m.values().all(|&v| (1..100).contains(&v)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_and_runs(a in 0u32..10, (b, c) in (0u32..5, Just(7u8))) {
+            prop_assert!(a < 10);
+            prop_assert!(b < 5);
+            prop_assert_eq!(c, 7u8);
+        }
+    }
+}
