@@ -8,8 +8,10 @@
 //! derived limits from the device models, then runs the same k-NN
 //! workload on both simulated devices.
 //!
-//! Usage: `cargo run --release -p bench --bin arch_compare [-- --seed 1]`
+//! Usage: `cargo run --release -p bench --bin arch_compare \
+//!   [-- --seed 1] [--json out.json]`
 
+use bench::report::{BenchReport, MetricRow};
 use bench::suite::{query_slab, KNN_K};
 use datasets::DatasetProfile;
 use gpu_sim::{Device, SmemHashTable};
@@ -20,7 +22,9 @@ use semiring::{Distance, DistanceParams};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let seed = bench::parse_scale(&args, "--seed", 1.0) as u64;
+    let seed = bench::parse_u64(&args, "--seed", 1);
+    let json_path = bench::parse_path(&args, "--json");
+    let mut report = BenchReport::new("arch_compare");
     let devices = [Device::volta(), Device::ampere()];
 
     println!("Section 3.3.2 capacity limits, derived from the device models:");
@@ -41,6 +45,15 @@ fn main() {
             dense_block,
             dense_occ,
             hash_cap / 2,
+        );
+        report.push(
+            MetricRow::new()
+                .label("arch", spec.name)
+                .label("section", "capacity")
+                .value("smem_per_block_bytes", spec.shared_mem_per_block as f64)
+                .value("dense_k_block", dense_block as f64)
+                .value("dense_k_occupancy", dense_occ as f64)
+                .value("hash_max_degree", (hash_cap / 2) as f64),
         );
     }
     println!(
@@ -101,6 +114,19 @@ fn main() {
             times[1],
             volta_total / total
         );
+        report.push(
+            MetricRow::new()
+                .label("arch", dev.spec().name)
+                .label("section", "workload")
+                .label("dataset", profile.name)
+                .value("cosine_sim_seconds", times[0])
+                .value("manhattan_sim_seconds", times[1])
+                .value("speedup_vs_v100", volta_total / total),
+        );
     }
     println!("* vs V100 total; A100's gain tracks its SM count and bandwidth.");
+    if let Some(path) = json_path {
+        report.write(&path);
+        println!("wrote {path}");
+    }
 }

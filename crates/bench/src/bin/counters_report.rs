@@ -7,10 +7,16 @@
 //! expand-sort-contract. This binary turns each of those claims into a
 //! measured row: per strategy and per dataset, the divergence
 //! serialization ratio, the coalescing overhead (bytes moved per byte
-//! requested), shared-memory pressure, and atomic contention.
+//! requested), the L2-level reread factor, shared-memory pressure,
+//! atomic contention, and barrier count.
 //!
-//! Usage: `cargo run --release -p bench --bin counters_report [-- --seed 1]`
+//! Usage: `cargo run --release -p bench --bin counters_report \
+//!   [-- --scale 0.004 --seed 1] [--json out.json]`
+//!
+//! With `--json`, the same rows (plus a per-range profile of every
+//! launch) are written as a `bench.v1` document.
 
+use bench::report::{BenchReport, MetricRow};
 use bench::suite::query_slab;
 use datasets::DatasetProfile;
 use gpu_sim::{Counters, Device};
@@ -27,20 +33,36 @@ fn merged(launches: &[gpu_sim::LaunchStats]) -> Counters {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let seed = bench::parse_scale(&args, "--seed", 1.0) as u64;
-    let dev = Device::volta();
+    let seed = bench::parse_u64(&args, "--seed", 1);
+    let scale = bench::parse_scale(&args, "--scale", 0.004);
+    let json_path = bench::parse_path(&args, "--json");
+    let mut dev = Device::volta();
+    if json_path.is_some() {
+        // The JSON document carries per-range rows, so profile every
+        // launch when one was requested.
+        dev = dev.with_profiler(true);
+    }
     let params = DistanceParams::default();
+    let mut report = BenchReport::new("counters_report");
 
     println!("Section 3 design-claim evidence (Manhattan over two dataset shapes)");
     println!(
-        "{:<22} {:<14} {:>8} {:>10} {:>10} {:>10} {:>12}",
-        "strategy", "dataset", "div %", "coal ovh", "smem ops", "bank xtr", "atomic xtr"
+        "{:<22} {:<14} {:>8} {:>10} {:>9} {:>10} {:>10} {:>12} {:>9}",
+        "strategy",
+        "dataset",
+        "div %",
+        "coal ovh",
+        "reread",
+        "smem ops",
+        "bank xtr",
+        "atomic xtr",
+        "barriers"
     );
-    for (profile, dims, degs) in [
-        (DatasetProfile::movielens(), 0.004, 0.04), // skewed degrees
-        (DatasetProfile::scrna(), 0.004, 0.01),     // regular degrees
+    for (profile, degs) in [
+        (DatasetProfile::movielens(), 0.04), // skewed degrees
+        (DatasetProfile::scrna(), 0.01),     // regular degrees
     ] {
-        let index = profile.scaled_with(dims, degs).generate(seed);
+        let index = profile.scaled_with(scale, degs).generate(seed);
         let queries = query_slab(&index);
         for strategy in [
             Strategy::HybridCooSpmv,
@@ -56,14 +78,30 @@ fn main() {
                 .expect("strategy runs");
             let c = merged(&r.launches);
             println!(
-                "{:<22} {:<14} {:>7.1}% {:>9.2}x {:>10} {:>10} {:>12}",
+                "{:<22} {:<14} {:>7.1}% {:>9.2}x {:>8.2}x {:>10} {:>10} {:>12} {:>9}",
                 strategy.name(),
                 profile.name,
                 c.divergence_ratio() * 100.0,
                 c.coalescing_overhead(),
+                c.reread_ratio(),
                 c.smem_accesses,
                 c.bank_conflict_extra,
                 c.atomic_conflict_extra,
+                c.barriers,
+            );
+            report.push(
+                MetricRow::new()
+                    .label("dataset", profile.name)
+                    .label("strategy", strategy.name())
+                    .label("distance", "Manhattan")
+                    .counters(&c)
+                    .value("divergence_ratio", c.divergence_ratio())
+                    .value("coalescing_overhead", c.coalescing_overhead())
+                    .value("reread_ratio", c.reread_ratio()),
+            );
+            report.push_launches(
+                &[("dataset", profile.name), ("strategy", strategy.name())],
+                &r.launches,
             );
         }
     }
@@ -75,4 +113,8 @@ fn main() {
          ('marginal gains'); expand-sort-contract shows the shared-memory\n\
          traffic of its in-block sort (§3.2.1)."
     );
+    if let Some(path) = json_path {
+        report.write(&path);
+        println!("wrote {path}");
+    }
 }

@@ -3,9 +3,10 @@
 //! per-percentile series plus an ASCII sketch, and checks the paper's
 //! qualitative claims about each curve.
 //!
-//! Usage: `cargo run --release -p bench --bin figure1 [-- --scale 0.01 --seed 1]`
+//! Usage: `cargo run --release -p bench --bin figure1 \
+//!   [-- --scale 0.01 --seed 1] [--json out.json]`
 
-use bench::parse_scale;
+use bench::report::{BenchReport, MetricRow};
 use bench::suite::default_scale;
 use sparse::degree_cdf;
 
@@ -15,7 +16,9 @@ fn main() {
         .windows(2)
         .find(|w| w[0] == "--scale")
         .and_then(|w| w[1].parse::<f64>().ok());
-    let seed = parse_scale(&args, "--seed", 1.0) as u64;
+    let seed = bench::parse_u64(&args, "--seed", 1);
+    let json_path = bench::parse_path(&args, "--json");
+    let mut report = BenchReport::new("figure1");
 
     println!("Figure 1: degree-distribution CDFs (percentile -> degree)");
     // Uniform scaling here: Figure 1 is *about* the degree CDF, and
@@ -79,5 +82,21 @@ fn main() {
             scaled,
             if ok { "OK" } else { "MISS" }
         );
+    }
+    if let Some(path) = json_path {
+        for (name, s, cdf) in &curves {
+            for p in (0..100).step_by(10).chain([99]) {
+                report.push(
+                    MetricRow::new()
+                        .label("dataset", name)
+                        .label("series", "degree_cdf")
+                        .value("percentile", p as f64)
+                        .value("degree", cdf[p] as f64)
+                        .value("scale", *s),
+                );
+            }
+        }
+        report.write(&path);
+        println!("wrote {path}");
     }
 }

@@ -12,9 +12,11 @@
 //!   product semiring required a workspace buffer of size nnz(B) per
 //!   batch".
 //!
-//! Usage: `cargo run --release -p bench --bin memory_footprint [-- --scale 0.01 --seed 1]`
+//! Usage: `cargo run --release -p bench --bin memory_footprint \
+//!   [-- --scale 0.01 --seed 1] [--json out.json]`
 
 use baseline::cusparse::csrgemm_pairwise;
+use bench::report::{BenchReport, MetricRow};
 use bench::suite::{default_scale, query_slab};
 use gpu_sim::Device;
 use kernels::{pairwise_distances, PairwiseOptions, SmemMode, Strategy};
@@ -26,7 +28,9 @@ fn main() {
         .windows(2)
         .find(|w| w[0] == "--scale")
         .and_then(|w| w[1].parse::<f64>().ok());
-    let seed = bench::parse_scale(&args, "--seed", 1.0) as u64;
+    let seed = bench::parse_u64(&args, "--seed", 1);
+    let json_path = bench::parse_path(&args, "--json");
+    let mut report = BenchReport::new("memory_footprint");
     let dev = Device::volta();
     let params = DistanceParams::default();
 
@@ -65,6 +69,17 @@ fn main() {
             r.report.transpose_bytes / 1024,
             r.report.workspace_bytes / 1024,
             ours.memory.workspace_bytes / 1024,
+        );
+        report.push(
+            MetricRow::new()
+                .label("dataset", profile.name)
+                .label("section", "footprint")
+                .value("output_density", r.report.output_density)
+                .value("densified_bytes", r.report.densified_bytes as f64)
+                .value("output_csr_bytes", r.report.output_csr_bytes as f64)
+                .value("transpose_bytes", r.report.transpose_bytes as f64)
+                .value("workspace_bytes", r.report.workspace_bytes as f64)
+                .value("ours_workspace_bytes", ours.memory.workspace_bytes as f64),
         );
     }
     println!(
@@ -111,6 +126,14 @@ fn main() {
             max * 100.0,
             (max - min) * 100.0
         );
+        report.push(
+            MetricRow::new()
+                .label("dataset", profile.name)
+                .label("section", "batch_density")
+                .value("ngram", n as f64)
+                .value("min_density", min)
+                .value("max_density", max),
+        );
     }
     println!(
         "paper: unigram/bigram batches ranged 5-25% dense, trigrams 24-43%\n\
@@ -121,4 +144,8 @@ fn main() {
          vocabulary), whereas the paper's real trigram corpus was — see\n\
          EXPERIMENTS.md."
     );
+    if let Some(path) = json_path {
+        report.write(&path);
+        println!("wrote {path}");
+    }
 }

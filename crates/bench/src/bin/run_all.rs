@@ -1,6 +1,8 @@
 //! Runs every evaluation harness in sequence and tees each one's output
 //! into `experiments_output/` — the single command that regenerates the
-//! full evaluation section.
+//! full evaluation section. Each harness also writes its machine-readable
+//! `bench.v1` document to `experiments_output/BENCH_<name>.json`, which
+//! `xtask check_bench_json` validates in CI.
 //!
 //! Usage: `cargo run --release -p bench --bin run_all [-- --seed 1]`
 //!
@@ -36,8 +38,11 @@ fn main() {
     for name in HARNESSES {
         println!("=== {name} ===");
         let bin = exe_dir.join(name);
+        let json_path = out_dir.join(format!("BENCH_{name}.json"));
         let output = Command::new(&bin)
             .args(&args)
+            .arg("--json")
+            .arg(&json_path)
             .output()
             .unwrap_or_else(|e| panic!("cannot run {}: {e}", bin.display()));
         let mut text = String::from_utf8_lossy(&output.stdout).into_owned();

@@ -9,9 +9,11 @@
 //! host CPU, but the paper's qualitative result — order-of-magnitude GPU
 //! advantage, *similar* for both distance families — is the target.
 //!
-//! Usage: `cargo run --release -p bench --bin speedup [-- --scale 0.005 --seed 1]`
+//! Usage: `cargo run --release -p bench --bin speedup \
+//!   [-- --scale 0.005 --seed 1] [--json out.json]`
 
 use baseline::CpuBruteForce;
+use bench::report::{BenchReport, MetricRow};
 use bench::runner::Timed;
 use bench::suite::{dot_based_distances, non_trivial_distances, query_slab, KNN_K};
 use gpu_sim::Device;
@@ -26,7 +28,9 @@ fn main() {
         .find(|w| w[0] == "--scale")
         .and_then(|w| w[1].parse::<f64>().ok())
         .unwrap_or(0.005);
-    let seed = bench::parse_scale(&args, "--seed", 1.0) as u64;
+    let seed = bench::parse_u64(&args, "--seed", 1);
+    let json_path = bench::parse_path(&args, "--json");
+    let mut report = BenchReport::new("speedup");
     let dev = Device::volta();
     let params = DistanceParams { minkowski_p: 3.0 };
     let cpu = CpuBruteForce::default();
@@ -72,6 +76,15 @@ fn main() {
                     ratio,
                     profile.name
                 );
+                report.push(
+                    MetricRow::new()
+                        .label("dataset", profile.name)
+                        .label("group", group)
+                        .label("distance", d.name())
+                        .value("cpu_seconds", cpu_t.host_seconds)
+                        .value("gpu_sim_seconds", gpu.sim_seconds())
+                        .value("speedup", ratio),
+                );
             }
         }
         group_ratios.push((group.to_string(), ratios));
@@ -88,4 +101,8 @@ fn main() {
         "\npaper reference: 28.78x (dot-based) and 29.17x (NAMM) — similar\n\
          magnitudes across both families is the reproduction target."
     );
+    if let Some(path) = json_path {
+        report.write(&path);
+        println!("wrote {path}");
+    }
 }

@@ -2,9 +2,10 @@
 //! density, min degree and max degree per dataset — from the synthetic
 //! replicas, next to the paper's published values.
 //!
-//! Usage: `cargo run --release -p bench --bin table2 [-- --scale 0.01 --seed 1]`
+//! Usage: `cargo run --release -p bench --bin table2 \
+//!   [-- --scale 0.01 --seed 1] [--json out.json]`
 
-use bench::parse_scale;
+use bench::report::{BenchReport, MetricRow};
 use bench::suite::default_scale;
 use sparse::DegreeStats;
 
@@ -14,7 +15,9 @@ fn main() {
         .windows(2)
         .find(|w| w[0] == "--scale")
         .and_then(|w| w[1].parse::<f64>().ok());
-    let seed = parse_scale(&args, "--seed", 1.0) as u64;
+    let seed = bench::parse_u64(&args, "--seed", 1);
+    let json_path = bench::parse_path(&args, "--json");
+    let mut report = BenchReport::new("table2");
 
     println!("Table 2: Datasets used in experiments (synthetic replicas)");
     println!("{}", "-".repeat(100));
@@ -52,10 +55,26 @@ fn main() {
             paper.min_degree,
             paper.max_degree,
         );
+        report.push(
+            MetricRow::new()
+                .label("dataset", profile.name)
+                .value("rows", s.rows as f64)
+                .value("cols", s.cols as f64)
+                .value("density", s.density)
+                .value("min_degree", s.min_degree as f64)
+                .value("max_degree", s.max_degree as f64)
+                .value("paper_density", paper.density)
+                .value("paper_min_degree", paper.min_degree as f64)
+                .value("paper_max_degree", paper.max_degree as f64),
+        );
     }
     println!("{}", "-".repeat(100));
     println!(
         "note: replicas are scaled down (default per-dataset scales); density is\n\
          preserved under scaling while min/max degree scale with the factor."
     );
+    if let Some(path) = json_path {
+        report.write(&path);
+        println!("wrote {path}");
+    }
 }

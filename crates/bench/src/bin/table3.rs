@@ -18,9 +18,11 @@
 //! reproducible without the authors' V100, but the winner and rough
 //! factor per cell are the reproduction targets (see EXPERIMENTS.md).
 //!
-//! Usage: `cargo run --release -p bench --bin table3 [-- --scale 0.01 --seed 1]`
+//! Usage: `cargo run --release -p bench --bin table3 \
+//!   [-- --scale 0.01 --seed 1] [--json out.json]`
 
 use baseline::cusparse::{baseline_supports, csrgemm_pairwise};
+use bench::report::{BenchReport, MetricRow};
 use bench::runner::Timed;
 use bench::suite::{bench_profiles, dot_based_distances, non_trivial_distances, query_slab, KNN_K};
 use gpu_sim::Device;
@@ -88,7 +90,9 @@ fn main() {
         .windows(2)
         .find(|w| w[0] == "--scale")
         .and_then(|w| w[1].parse::<f64>().ok());
-    let seed = bench::parse_scale(&args, "--seed", 1.0) as u64;
+    let seed = bench::parse_u64(&args, "--seed", 1);
+    let json_path = bench::parse_path(&args, "--json");
+    let mut report = BenchReport::new("table3");
     let dev = Device::volta();
     let params = DistanceParams { minkowski_p: 3.0 };
 
@@ -125,6 +129,7 @@ fn main() {
                 speedup,
                 c.host_seconds
             );
+            report.push(cell_row(profile.name, "dot-product", d.name(), &c, speedup));
         }
         let gm = geometric_mean(&group_speedups);
         println!("{:<16} {:>38} {:>8.2}x", "(geo-mean)", "", gm);
@@ -143,6 +148,7 @@ fn main() {
                 speedup,
                 c.host_seconds
             );
+            report.push(cell_row(profile.name, "non-trivial", d.name(), &c, speedup));
         }
         let gm = geometric_mean(&group_speedups);
         println!("{:<16} {:>38} {:>8.2}x", "(geo-mean)", "", gm);
@@ -151,6 +157,21 @@ fn main() {
         "\npaper shape targets: RAFT dominates every Non-Trivial cell (4-30x);\n\
          the Dot Product group is competitive (RAFT wins 2 of 4 datasets)."
     );
+    if let Some(path) = json_path {
+        report.write(&path);
+        println!("wrote {path}");
+    }
+}
+
+fn cell_row(dataset: &str, group: &str, distance: &str, c: &Cell, speedup: f64) -> MetricRow {
+    MetricRow::new()
+        .label("dataset", dataset)
+        .label("group", group)
+        .label("distance", distance)
+        .value("baseline_sim_seconds", c.baseline_sim)
+        .value("raft_sim_seconds", c.raft_sim)
+        .value("speedup", speedup)
+        .value("host_seconds", c.host_seconds)
 }
 
 fn geometric_mean(xs: &[f64]) -> f64 {

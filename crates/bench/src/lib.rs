@@ -17,7 +17,9 @@
 
 #![deny(missing_docs)]
 
+pub mod report;
 pub mod runner;
 pub mod suite;
 
-pub use runner::{parse_scale, BenchRow, Timed};
+pub use report::{validate_chrome_trace, validate_report, BenchReport, Json, MetricRow};
+pub use runner::{parse_path, parse_scale, parse_u64, try_parse_u64, BenchRow, Timed};

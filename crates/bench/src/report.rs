@@ -1,0 +1,733 @@
+//! Machine-readable benchmark output: the `bench.v1` JSON schema, a
+//! self-validating writer, and a dependency-free JSON reader used by the
+//! validator (and by `xtask check_bench_json` in CI).
+//!
+//! Every harness binary accepts `--json <path>` and emits one document:
+//!
+//! ```json
+//! {
+//!   "schema": "bench.v1",
+//!   "name": "counters_report",
+//!   "rows": [
+//!     {
+//!       "labels": {"dataset": "sec-edgar", "strategy": "hybrid"},
+//!       "values": {"effective_issues": 1234.0, "sim_seconds": 0.0021}
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! The shape is deliberately flat — a list of rows, each a string→string
+//! label map plus a string→number value map — so the same schema covers
+//! counter tables, capacity tables, and per-range profiles without
+//! per-binary variants. [`BenchReport::write`] re-parses and validates
+//! its own rendering before touching the filesystem, so a document that
+//! reaches disk round-trips by construction.
+
+use gpu_sim::{json_escape, Counters, LaunchProfile, LaunchStats};
+use std::fmt::Write as _;
+
+/// Schema tag carried by every document this module writes.
+pub const SCHEMA: &str = "bench.v1";
+
+/// One row of a report: labels identify the measurement, values carry it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricRow {
+    /// Identifying labels, e.g. `("dataset", "sec-edgar")`.
+    pub labels: Vec<(String, String)>,
+    /// Measured values, e.g. `("sim_seconds", 0.0021)`.
+    pub values: Vec<(String, f64)>,
+}
+
+impl MetricRow {
+    /// Starts an empty row.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an identifying label.
+    pub fn label(mut self, key: &str, value: &str) -> Self {
+        self.labels.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Appends a measured value.
+    pub fn value(mut self, key: &str, value: f64) -> Self {
+        self.values.push((key.to_string(), value));
+        self
+    }
+
+    /// Appends the full counter set (the eleven raw fields plus the
+    /// derived effective-issue count) under their canonical names.
+    pub fn counters(mut self, c: &Counters) -> Self {
+        let pairs: [(&str, f64); 12] = [
+            ("issues", c.issues as f64),
+            ("divergence_extra", c.divergence_extra as f64),
+            ("effective_issues", c.effective_issues() as f64),
+            ("global_transactions", c.global_transactions as f64),
+            ("global_bytes", c.global_bytes as f64),
+            ("global_bytes_requested", c.global_bytes_requested as f64),
+            ("global_bytes_unique", c.global_bytes_unique as f64),
+            ("smem_accesses", c.smem_accesses as f64),
+            ("bank_conflict_extra", c.bank_conflict_extra as f64),
+            ("atomics", c.atomics as f64),
+            ("atomic_conflict_extra", c.atomic_conflict_extra as f64),
+            ("barriers", c.barriers as f64),
+        ];
+        for (k, v) in pairs {
+            self.values.push((k.to_string(), v));
+        }
+        self
+    }
+}
+
+/// A complete `bench.v1` document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchReport {
+    /// Report name (conventionally the producing binary's name).
+    pub name: String,
+    /// The measurement rows.
+    pub rows: Vec<MetricRow>,
+}
+
+impl BenchReport {
+    /// Starts an empty report.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: MetricRow) {
+        self.rows.push(row);
+    }
+
+    /// Appends one row per launch (kernel name, counters, roofline
+    /// seconds) and, when a launch carries a profile, one row per range.
+    ///
+    /// `base` is deliberately built once as a plain local and cloned for
+    /// the profile rows. An earlier version used a row-building closure
+    /// called twice per launch; under `opt-level >= 2` that shape
+    /// double-dropped the row's label strings (heap corruption, observed
+    /// as a segfault in `counters_report --json`). Keep this straight-line
+    /// form.
+    pub fn push_launches(&mut self, context: &[(&str, &str)], launches: &[LaunchStats]) {
+        for (li, stats) in launches.iter().enumerate() {
+            let mut base = MetricRow::new();
+            for (k, v) in context {
+                base = base.label(k, v);
+            }
+            base = base
+                .label("kernel", &stats.name)
+                .label("launch", &li.to_string());
+            let row = base
+                .clone()
+                .counters(&stats.counters)
+                .value("sim_seconds", stats.cost.total_seconds)
+                .value("compute_seconds", stats.cost.compute_seconds)
+                .value("memory_seconds", stats.cost.memory_seconds);
+            self.push(row);
+            if let Some(profile) = &stats.profile {
+                self.push_profile(&base, profile);
+            }
+        }
+    }
+
+    /// Appends one row per profiled range, labelled with the range path.
+    pub fn push_profile(&mut self, base: &MetricRow, profile: &LaunchProfile) {
+        for r in &profile.ranges {
+            self.push(
+                base.clone()
+                    .label("range", &r.path)
+                    .value("calls", r.calls as f64)
+                    .value("effective_issues", r.exclusive.effective_issues() as f64)
+                    .value("global_bytes", r.exclusive.global_bytes as f64)
+                    .value("est_seconds", r.est_seconds),
+            );
+        }
+    }
+
+    /// Renders the document as `bench.v1` JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"schema\":\"{}\",\"name\":\"{}\",\"rows\":[",
+            SCHEMA,
+            json_escape(&self.name)
+        );
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  {\"labels\":{");
+            for (j, (k, v)) in row.labels.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+            }
+            out.push_str("},\"values\":{");
+            for (j, (k, v)) in row.values.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":{}", json_escape(k), fmt_number(*v));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Renders, re-parses, validates, and only then writes the document.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the rendering fails its own schema validation (a bug
+    /// in the producing binary — e.g. a NaN value) or the file cannot be
+    /// written; a benchmark must not exit zero after emitting a document
+    /// its consumers will reject.
+    pub fn write(&self, path: &str) {
+        let text = self.to_json();
+        if let Err(e) = validate_report(&text) {
+            panic!("bench report {path:?} failed self-validation: {e}");
+        }
+        if let Err(e) = std::fs::write(path, &text) {
+            panic!("cannot write bench report {path:?}: {e}");
+        }
+    }
+}
+
+/// Formats an `f64` as a JSON number.
+///
+/// # Panics
+///
+/// Panics on non-finite values — JSON has no representation for them,
+/// and a NaN in a benchmark report means the harness is broken.
+fn fmt_number(v: f64) -> String {
+    assert!(v.is_finite(), "non-finite value {v} in bench report");
+    let s = format!("{v:?}");
+    debug_assert!(s.parse::<f64>().is_ok());
+    s
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader (no dependencies; used by the validators below).
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (insertion-ordered key/value pairs).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Looks up a key in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number {text:?} at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            // Surrogates decode to the replacement char;
+                            // bench documents never emit them.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x80 => {
+                    // ASCII fast path — decoding the tail per character
+                    // would make parsing quadratic in document size.
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one multi-byte UTF-8 scalar (at most 4 bytes).
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let head = &self.bytes[self.pos..end];
+                    let ch = match std::str::from_utf8(head) {
+                        Ok(s) => s.chars().next().ok_or("empty string tail")?,
+                        // A char straddling `end` leaves a trailing error;
+                        // the valid prefix still holds the next scalar.
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&head[..e.valid_up_to()])
+                                .expect("validated prefix")
+                                .chars()
+                                .next()
+                                .ok_or("empty string tail")?
+                        }
+                        Err(e) => return Err(e.to_string()),
+                    };
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']', found {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Validators.
+// ---------------------------------------------------------------------
+
+/// Validates a `bench.v1` document: schema tag, non-empty name, and for
+/// every row a string→string `labels` object and a string→finite-number
+/// `values` object.
+pub fn validate_report(text: &str) -> Result<(), String> {
+    let doc = Json::parse(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing \"schema\"")?;
+    if schema != SCHEMA {
+        return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
+    }
+    let name = doc
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("missing \"name\"")?;
+    if name.is_empty() {
+        return Err("empty \"name\"".to_string());
+    }
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("missing \"rows\" array")?;
+    for (i, row) in rows.iter().enumerate() {
+        let labels = row
+            .get("labels")
+            .and_then(Json::as_obj)
+            .ok_or(format!("row {i}: missing \"labels\" object"))?;
+        for (k, v) in labels {
+            if v.as_str().is_none() {
+                return Err(format!("row {i}: label {k:?} is not a string"));
+            }
+        }
+        let values = row
+            .get("values")
+            .and_then(Json::as_obj)
+            .ok_or(format!("row {i}: missing \"values\" object"))?;
+        for (k, v) in values {
+            match v.as_f64() {
+                Some(n) if n.is_finite() => {}
+                _ => return Err(format!("row {i}: value {k:?} is not a finite number")),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates the shape of a chrome://tracing document as produced by
+/// [`gpu_sim::chrome_trace`]: a `traceEvents` array whose `"X"` events
+/// carry `name`/`pid`/`tid`/`ts`/`dur` (with `ts`/`dur` finite and
+/// non-negative) and whose `"M"` events carry `name`/`pid`.
+pub fn validate_chrome_trace(text: &str) -> Result<(), String> {
+    let doc = Json::parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing \"traceEvents\" array")?;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i}: missing \"ph\""))?;
+        if ev.get("name").and_then(Json::as_str).is_none() {
+            return Err(format!("event {i}: missing \"name\""));
+        }
+        if ev.get("pid").and_then(Json::as_f64).is_none() {
+            return Err(format!("event {i}: missing \"pid\""));
+        }
+        if ph == "X" {
+            if ev.get("tid").and_then(Json::as_f64).is_none() {
+                return Err(format!("event {i}: missing \"tid\""));
+            }
+            for key in ["ts", "dur"] {
+                match ev.get(key).and_then(Json::as_f64) {
+                    Some(n) if n.is_finite() && n >= 0.0 => {}
+                    _ => {
+                        return Err(format!(
+                            "event {i}: {key:?} is not a finite non-negative number"
+                        ))
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        let mut rep = BenchReport::new("unit_test");
+        rep.push(
+            MetricRow::new()
+                .label("dataset", "toy")
+                .label("strategy", "hybrid")
+                .value("sim_seconds", 0.25)
+                .value("effective_issues", 1234.0),
+        );
+        rep.push(MetricRow::new().label("note", "empty-values"));
+        rep
+    }
+
+    #[test]
+    fn report_round_trips_through_the_validator() {
+        let text = sample().to_json();
+        validate_report(&text).expect("valid");
+        let doc = Json::parse(&text).expect("parses");
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        let rows = doc.get("rows").and_then(Json::as_arr).expect("rows");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0]
+                .get("values")
+                .and_then(|v| v.get("sim_seconds"))
+                .and_then(Json::as_f64),
+            Some(0.25)
+        );
+    }
+
+    #[test]
+    fn counters_rows_carry_every_field() {
+        let c = Counters {
+            issues: 10,
+            barriers: 3,
+            global_bytes_unique: 7,
+            ..Default::default()
+        };
+        let row = MetricRow::new().counters(&c);
+        let keys: Vec<&str> = row.values.iter().map(|(k, _)| k.as_str()).collect();
+        for want in [
+            "issues",
+            "effective_issues",
+            "global_bytes_unique",
+            "barriers",
+            "atomic_conflict_extra",
+        ] {
+            assert!(keys.contains(&want), "missing {want}");
+        }
+        assert_eq!(row.values.len(), 12);
+    }
+
+    #[test]
+    fn strings_with_specials_survive_the_round_trip() {
+        let mut rep = BenchReport::new("quote\"and\\slash");
+        rep.push(MetricRow::new().label("k\n", "v\t").value("x", -1.5e-3));
+        let text = rep.to_json();
+        validate_report(&text).expect("valid");
+        let doc = Json::parse(&text).expect("parses");
+        assert_eq!(
+            doc.get("name").and_then(Json::as_str),
+            Some("quote\"and\\slash")
+        );
+        let row = &doc.get("rows").and_then(Json::as_arr).expect("rows")[0];
+        assert_eq!(
+            row.get("labels")
+                .and_then(|l| l.get("k\n"))
+                .and_then(Json::as_str),
+            Some("v\t")
+        );
+        assert_eq!(
+            row.get("values")
+                .and_then(|v| v.get("x"))
+                .and_then(Json::as_f64),
+            Some(-1.5e-3)
+        );
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_report("{}").is_err());
+        assert!(validate_report("{\"schema\":\"bench.v2\",\"name\":\"x\",\"rows\":[]}").is_err());
+        assert!(validate_report("{\"schema\":\"bench.v1\",\"name\":\"\",\"rows\":[]}").is_err());
+        assert!(validate_report(
+            "{\"schema\":\"bench.v1\",\"name\":\"x\",\"rows\":[{\"labels\":{},\"values\":{\"a\":\"nan\"}}]}"
+        )
+        .is_err());
+        assert!(validate_report("{\"schema\":\"bench.v1\",\"name\":\"x\",\"rows\":[]}").is_ok());
+    }
+
+    #[test]
+    fn parser_rejects_trailing_garbage_and_bad_tokens() {
+        assert!(Json::parse("{} {}").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert!(Json::parse("truthy").is_err());
+        assert_eq!(
+            Json::parse("[1, 2.5, -3e2, null, true]").expect("parses"),
+            Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(2.5),
+                Json::Num(-300.0),
+                Json::Null,
+                Json::Bool(true),
+            ])
+        );
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        let doc = Json::parse("\"caf\\u00e9 \\u2603\"").expect("parses");
+        assert_eq!(doc.as_str(), Some("café ☃"));
+    }
+
+    #[test]
+    fn chrome_trace_validator_checks_event_shape() {
+        let good = "{\"traceEvents\":[\
+            {\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"k\"}},\
+            {\"ph\":\"X\",\"pid\":0,\"tid\":1,\"name\":\"scan\",\"ts\":0.0,\"dur\":2.5}\
+        ],\"displayTimeUnit\":\"ms\"}";
+        validate_chrome_trace(good).expect("valid");
+        let missing_dur = "{\"traceEvents\":[\
+            {\"ph\":\"X\",\"pid\":0,\"tid\":1,\"name\":\"scan\",\"ts\":0.0}]}";
+        assert!(validate_chrome_trace(missing_dur).is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":{}}").is_err());
+    }
+
+    #[test]
+    fn write_is_self_validating() {
+        let dir = std::env::temp_dir().join("bench_report_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("out.json");
+        sample().write(path.to_str().expect("utf8"));
+        let text = std::fs::read_to_string(&path).expect("written");
+        validate_report(&text).expect("valid on disk");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_values_panic_instead_of_corrupting() {
+        let mut rep = BenchReport::new("bad");
+        rep.push(MetricRow::new().value("x", f64::NAN));
+        let _ = rep.to_json();
+    }
+}

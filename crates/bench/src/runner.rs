@@ -38,13 +38,44 @@ pub struct BenchRow {
     pub host_seconds: f64,
 }
 
-/// Parses a `--scale <f>` / `--seed <n>` style flag from argv, returning
-/// the default when absent or malformed.
+/// Parses a `--scale <f>` style flag from argv, returning the default
+/// when absent or malformed.
 pub fn parse_scale(args: &[String], flag: &str, default: f64) -> f64 {
     args.windows(2)
         .find(|w| w[0] == flag)
         .and_then(|w| w[1].parse().ok())
         .unwrap_or(default)
+}
+
+/// Parses a `--seed <n>` style unsigned-integer flag from argv.
+///
+/// Returns the default when the flag is absent. A present-but-malformed
+/// value (`--seed 1.7`, `--seed abc`) terminates the process with exit
+/// code 2 instead of silently truncating or falling back, so a typo in a
+/// benchmark invocation cannot masquerade as a differently-seeded run.
+pub fn parse_u64(args: &[String], flag: &str, default: u64) -> u64 {
+    match try_parse_u64(args, flag) {
+        Ok(v) => v.unwrap_or(default),
+        Err(raw) => {
+            eprintln!("error: {flag} expects an unsigned integer, got {raw:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Non-exiting form of [`parse_u64`]: `Ok(None)` when the flag is
+/// absent, `Err(raw_value)` when present but not a valid `u64`.
+pub fn try_parse_u64(args: &[String], flag: &str) -> Result<Option<u64>, String> {
+    match args.windows(2).find(|w| w[0] == flag) {
+        None => Ok(None),
+        Some(w) => w[1].parse::<u64>().map(Some).map_err(|_| w[1].clone()),
+    }
+}
+
+/// Parses a `--json <path>` style flag taking a string operand,
+/// returning `None` when absent.
+pub fn parse_path(args: &[String], flag: &str) -> Option<String> {
+    args.windows(2).find(|w| w[0] == flag).map(|w| w[1].clone())
 }
 
 #[cfg(test)]
@@ -59,6 +90,42 @@ mod tests {
         });
         assert_eq!(t.value, 42);
         assert!(t.host_seconds >= 0.009);
+    }
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_u64_reads_flag_or_default() {
+        assert_eq!(parse_u64(&argv(&["prog", "--seed", "42"]), "--seed", 7), 42);
+        assert_eq!(parse_u64(&argv(&["prog"]), "--seed", 7), 7);
+    }
+
+    #[test]
+    fn try_parse_u64_rejects_non_integers() {
+        assert_eq!(
+            try_parse_u64(&argv(&["prog", "--seed", "1.7"]), "--seed"),
+            Err("1.7".to_string())
+        );
+        assert_eq!(
+            try_parse_u64(&argv(&["prog", "--seed", "-3"]), "--seed"),
+            Err("-3".to_string())
+        );
+        assert_eq!(try_parse_u64(&argv(&["prog"]), "--seed"), Ok(None));
+        assert_eq!(
+            try_parse_u64(&argv(&["prog", "--seed", "9"]), "--seed"),
+            Ok(Some(9))
+        );
+    }
+
+    #[test]
+    fn parse_path_reads_operand() {
+        assert_eq!(
+            parse_path(&argv(&["prog", "--json", "out.json"]), "--json"),
+            Some("out.json".to_string())
+        );
+        assert_eq!(parse_path(&argv(&["prog"]), "--json"), None);
     }
 
     #[test]

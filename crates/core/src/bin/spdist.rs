@@ -14,12 +14,15 @@
 //! `braycurtis`; see `Distance::from_name`), `--p <f>` (Minkowski
 //! degree), `--strategy hybrid|naive|esc`, `--smem auto|dense|hash|bloom`,
 //! `--device volta|ampere`, `--fused` (knn only: fused
-//! distance+selection kernel).
+//! distance+selection kernel), `--profile[=trace.json]` (knn/pairwise:
+//! enable the per-range profiler, print a hot-spot report per launch,
+//! and optionally export a chrome://tracing file loadable in Perfetto).
 
 use semiring::{Distance, DistanceParams};
 use sparse::{read_matrix_market, write_matrix_market, CsrMatrix, DegreeStats};
 use sparse_dist::{
-    kneighbors_graph, Device, GraphMode, NearestNeighbors, PairwiseOptions, SmemMode, Strategy,
+    chrome_trace, kneighbors_graph, Device, GraphMode, LaunchStats, NearestNeighbors,
+    PairwiseOptions, SmemMode, Strategy,
 };
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -39,6 +42,41 @@ impl Args {
         self.flag(name)
             .ok_or_else(|| format!("missing {name} <value>"))
     }
+
+    /// `--profile` / `--profile=trace.json`: `None` = profiler off,
+    /// `Some(None)` = report only, `Some(Some(path))` = report + trace.
+    fn profile(&self) -> Option<Option<String>> {
+        for a in &self.0 {
+            if a == "--profile" {
+                return Some(None);
+            }
+            if let Some(path) = a.strip_prefix("--profile=") {
+                return Some(Some(path.to_string()));
+            }
+        }
+        None
+    }
+}
+
+/// Prints each profiled launch's hot-spot report and, when a trace path
+/// was requested, writes the chrome://tracing JSON for all launches.
+fn emit_profiles(launches: &[LaunchStats], trace_path: Option<&str>) -> Result<(), String> {
+    for stats in launches {
+        if let Some(profile) = &stats.profile {
+            eprintln!("profile: {} ({} blocks)", stats.name, stats.config.blocks);
+            eprintln!("{profile}");
+        }
+    }
+    if let Some(path) = trace_path {
+        let json = chrome_trace(launches);
+        std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!(
+            "spdist: wrote chrome-trace with {} profiled launches to {path} \
+             (load in Perfetto / chrome://tracing)",
+            launches.iter().filter(|l| l.profile.is_some()).count()
+        );
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -99,6 +137,11 @@ fn parse_common(
         "volta" | "v100" => Device::volta(),
         "ampere" | "a100" => Device::ampere(),
         other => return Err(format!("unknown device {other}")),
+    };
+    let device = if args.profile().is_some() {
+        device.with_profiler(true)
+    } else {
+        device
     };
     Ok((
         distance,
@@ -234,6 +277,9 @@ fn cmd_knn(args: &Args) -> Result<(), String> {
         result.batches,
         result.sim_seconds * 1e3
     );
+    if let Some(trace) = args.profile() {
+        emit_profiles(&result.launches, trace.as_deref())?;
+    }
 
     match args.flag("--graph") {
         Some(mode) => {
@@ -286,6 +332,9 @@ fn cmd_pairwise(args: &Args) -> Result<(), String> {
         r.sim_seconds() * 1e3,
         r.launches.len()
     );
+    if let Some(trace) = args.profile() {
+        emit_profiles(&r.launches, trace.as_deref())?;
+    }
     // Dense output as mtx (store all cells, including zeros, as explicit
     // entries would be wasteful — convert through CSR, dropping exact
     // zeros, which for distances means self-pairs and exact ties only).

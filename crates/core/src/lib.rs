@@ -34,7 +34,8 @@ pub mod api;
 pub mod validate;
 
 pub use gpu_sim::{
-    CheckerKind, Device, DeviceSpec, LaunchStats, SanitizerMode, SanitizerReport, SimError,
+    chrome_trace, CheckerKind, Device, DeviceSpec, LaunchProfile, LaunchStats, SanitizerMode,
+    SanitizerReport, SimError,
 };
 pub use kernels::{
     KernelError, MemoryFootprint, PairwiseOptions, PairwiseResult, SmemMode, Strategy,

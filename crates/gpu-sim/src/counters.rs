@@ -60,6 +60,41 @@ impl Counters {
         self.barriers += other.barriers;
     }
 
+    /// Fieldwise difference `self − earlier`, saturating at zero.
+    ///
+    /// Counters only ever grow during a launch, so snapshot-and-diff is
+    /// how the profiler attributes cost to a region: snapshot at range
+    /// open, `delta_since` at range close. Saturation (rather than a
+    /// panic) keeps a misused pair of snapshots from poisoning a whole
+    /// profile.
+    pub fn delta_since(&self, earlier: &Counters) -> Counters {
+        Counters {
+            issues: self.issues.saturating_sub(earlier.issues),
+            divergence_extra: self
+                .divergence_extra
+                .saturating_sub(earlier.divergence_extra),
+            global_transactions: self
+                .global_transactions
+                .saturating_sub(earlier.global_transactions),
+            global_bytes: self.global_bytes.saturating_sub(earlier.global_bytes),
+            global_bytes_requested: self
+                .global_bytes_requested
+                .saturating_sub(earlier.global_bytes_requested),
+            global_bytes_unique: self
+                .global_bytes_unique
+                .saturating_sub(earlier.global_bytes_unique),
+            smem_accesses: self.smem_accesses.saturating_sub(earlier.smem_accesses),
+            bank_conflict_extra: self
+                .bank_conflict_extra
+                .saturating_sub(earlier.bank_conflict_extra),
+            atomics: self.atomics.saturating_sub(earlier.atomics),
+            atomic_conflict_extra: self
+                .atomic_conflict_extra
+                .saturating_sub(earlier.atomic_conflict_extra),
+            barriers: self.barriers.saturating_sub(earlier.barriers),
+        }
+    }
+
     /// Total issue slots consumed once divergence, bank-conflict and
     /// atomic serialization are charged.
     pub fn effective_issues(&self) -> u64 {
@@ -85,6 +120,18 @@ impl Counters {
             self.divergence_extra as f64 / self.issues as f64
         }
     }
+
+    /// DRAM re-read factor: bytes moved over distinct bytes touched.
+    /// 1.0 = every segment fetched exactly once; larger values are the
+    /// re-read traffic the L2 model discounts (`cost::estimate`).
+    /// Returns 1.0 when no unique bytes were recorded.
+    pub fn reread_ratio(&self) -> f64 {
+        if self.global_bytes_unique == 0 {
+            1.0
+        } else {
+            self.global_bytes as f64 / self.global_bytes_unique as f64
+        }
+    }
 }
 
 impl std::fmt::Display for Counters {
@@ -94,15 +141,19 @@ impl std::fmt::Display for Counters {
         write!(
             f,
             "{} issues ({:.1}% divergence), {} txns ({:.2}x coalescing overhead), \
-             {} smem ops (+{} bank replays), {} atomics (+{} serialized)",
+             {} unique bytes ({:.2}x reread), {} smem ops (+{} bank replays), \
+             {} atomics (+{} serialized), {} barriers",
             self.issues,
             self.divergence_ratio() * 100.0,
             self.global_transactions,
             self.coalescing_overhead(),
+            self.global_bytes_unique,
+            self.reread_ratio(),
             self.smem_accesses,
             self.bank_conflict_extra,
             self.atomics,
             self.atomic_conflict_extra,
+            self.barriers,
         )
     }
 }
@@ -160,12 +211,54 @@ mod tests {
             global_transactions: 7,
             global_bytes: 896,
             global_bytes_requested: 448,
+            global_bytes_unique: 448,
+            barriers: 3,
             ..Counters::default()
         };
         let s = c.to_string();
         assert!(s.contains("100 issues"), "{s}");
         assert!(s.contains("50.0% divergence"), "{s}");
         assert!(s.contains("2.00x coalescing"), "{s}");
+        // The full ledger is visible: L2 re-read discount and barriers.
+        assert!(s.contains("448 unique bytes (2.00x reread)"), "{s}");
+        assert!(s.contains("3 barriers"), "{s}");
+    }
+
+    #[test]
+    fn delta_since_subtracts_fieldwise_and_saturates() {
+        let early = Counters {
+            issues: 10,
+            global_bytes: 256,
+            barriers: 1,
+            ..Counters::default()
+        };
+        let late = Counters {
+            issues: 25,
+            divergence_extra: 4,
+            global_bytes: 512,
+            barriers: 3,
+            ..Counters::default()
+        };
+        let d = late.delta_since(&early);
+        assert_eq!(d.issues, 15);
+        assert_eq!(d.divergence_extra, 4);
+        assert_eq!(d.global_bytes, 256);
+        assert_eq!(d.barriers, 2);
+        // Reversed snapshots saturate instead of wrapping.
+        let r = early.delta_since(&late);
+        assert_eq!(r.issues, 0);
+        assert_eq!(r.global_bytes, 0);
+    }
+
+    #[test]
+    fn reread_ratio_handles_zero_unique() {
+        assert_eq!(Counters::default().reread_ratio(), 1.0);
+        let c = Counters {
+            global_bytes: 1024,
+            global_bytes_unique: 256,
+            ..Counters::default()
+        };
+        assert_eq!(c.reread_ratio(), 4.0);
     }
 
     #[test]

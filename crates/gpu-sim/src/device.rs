@@ -5,6 +5,7 @@ use std::rc::Rc;
 use crate::cost::{estimate_with_blocks, CostBreakdown};
 use crate::counters::Counters;
 use crate::global::GlobalBuffer;
+use crate::prof::{BlockProfiler, LaunchProfile, LaunchProfiler};
 use crate::sanitizer::{BlockSanitizer, LaunchSanitizer, SanitizerMode, SanitizerReport, SimError};
 use crate::shared::{SharedArray, SharedMem};
 use crate::spec::{DeviceSpec, Occupancy};
@@ -22,22 +23,32 @@ pub struct LaunchConfig {
     /// Per-launch sanitizer override; `None` uses the device-wide mode
     /// ([`Device::with_sanitizer`]).
     pub sanitizer: Option<SanitizerMode>,
+    /// Per-launch profiler override; `None` uses the device-wide setting
+    /// ([`Device::with_profiler`]).
+    pub profiler: Option<bool>,
 }
 
 impl LaunchConfig {
-    /// Convenience constructor (device-wide sanitizer mode).
+    /// Convenience constructor (device-wide sanitizer and profiler modes).
     pub fn new(blocks: usize, threads_per_block: usize, smem_per_block: usize) -> Self {
         Self {
             blocks,
             threads_per_block,
             smem_per_block,
             sanitizer: None,
+            profiler: None,
         }
     }
 
     /// Overrides the sanitizer mode for this launch only.
     pub fn with_sanitizer(mut self, mode: SanitizerMode) -> Self {
         self.sanitizer = Some(mode);
+        self
+    }
+
+    /// Overrides the profiler for this launch only.
+    pub fn with_profiler(mut self, enabled: bool) -> Self {
+        self.profiler = Some(enabled);
         self
     }
 
@@ -63,6 +74,9 @@ pub struct LaunchStats {
     /// Findings collected by the sanitizer (empty when it is off — and,
     /// for a correct kernel, when it is on).
     pub sanitizer_reports: Vec<SanitizerReport>,
+    /// Per-range profile when the profiler was enabled for this launch
+    /// ([`Device::with_profiler`] / [`LaunchConfig::with_profiler`]).
+    pub profile: Option<LaunchProfile>,
 }
 
 impl LaunchStats {
@@ -91,6 +105,7 @@ pub struct BlockCtx<'a> {
     counters: Counters,
     l2: &'a mut L2Tracker,
     san: Rc<BlockSanitizer>,
+    prof: Option<Rc<BlockProfiler>>,
 }
 
 impl<'a> BlockCtx<'a> {
@@ -143,8 +158,26 @@ impl<'a> BlockCtx<'a> {
                 counters: &mut self.counters,
                 l2: self.l2,
                 san: self.san.as_ref(),
+                prof: self.prof.as_deref(),
             };
             f(&mut ctx);
+        }
+    }
+
+    /// Runs `f` inside a named NVTX-style profiler range covering
+    /// block-level work (barriers, collective fills, sorting networks).
+    /// With the profiler off this is a pure passthrough; with it on, the
+    /// counter delta across `f` is attributed to the range (see
+    /// [`crate::prof`]).
+    pub fn range<R>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> R) -> R {
+        match self.prof.clone() {
+            Some(p) => {
+                p.open(name, &self.counters);
+                let r = f(self);
+                p.close(&self.counters);
+                r
+            }
+            None => f(self),
         }
     }
 
@@ -191,14 +224,16 @@ impl<'a> BlockCtx<'a> {
 pub struct Device {
     spec: DeviceSpec,
     sanitizer: SanitizerMode,
+    profiler: bool,
 }
 
 impl Device {
-    /// Creates a device from a spec (sanitizer off).
+    /// Creates a device from a spec (sanitizer off, profiler off).
     pub fn new(spec: DeviceSpec) -> Self {
         Self {
             spec,
             sanitizer: SanitizerMode::Off,
+            profiler: false,
         }
     }
 
@@ -222,6 +257,20 @@ impl Device {
     /// The device-wide sanitizer mode.
     pub fn sanitizer(&self) -> SanitizerMode {
         self.sanitizer
+    }
+
+    /// Enables the per-range profiler device-wide (individual launches
+    /// may override it via [`LaunchConfig::with_profiler`]). Profiled
+    /// launches carry a [`LaunchProfile`] in their stats; unprofiled
+    /// launches pay nothing (`range` is a passthrough).
+    pub fn with_profiler(mut self, enabled: bool) -> Self {
+        self.profiler = enabled;
+        self
+    }
+
+    /// Whether the profiler is enabled device-wide.
+    pub fn profiler(&self) -> bool {
+        self.profiler
     }
 
     /// The device spec.
@@ -284,6 +333,10 @@ impl Device {
         }
         let mode = config.sanitizer.unwrap_or(self.sanitizer);
         let lsan = Rc::new(LaunchSanitizer::new(mode, name));
+        let lprof = config
+            .profiler
+            .unwrap_or(self.profiler)
+            .then(|| Rc::new(LaunchProfiler::new()));
         let mut total = Counters::new();
         let mut max_block_issues = 0u64;
         let mut l2 = L2Tracker::new();
@@ -302,6 +355,9 @@ impl Device {
                 counters: Counters::new(),
                 l2: &mut l2,
                 san: bsan,
+                prof: lprof
+                    .as_ref()
+                    .map(|lp| Rc::new(BlockProfiler::new(lp.clone(), b))),
             };
             kernel(&mut block);
             if let Some(fault) = block.shared.take_fault() {
@@ -327,6 +383,7 @@ impl Device {
             &total,
             max_block_issues,
         );
+        let profile = lprof.map(|lp| lp.finish(total, cost, max_block_issues));
         Ok(LaunchStats {
             name: name.to_string(),
             config,
@@ -334,6 +391,7 @@ impl Device {
             counters: total,
             cost,
             sanitizer_reports,
+            profile,
         })
     }
 }
@@ -460,6 +518,32 @@ mod tests {
         });
         assert_eq!(stats.counters.issues, 6);
         assert_eq!(stats.counters.smem_accesses, 6);
+    }
+
+    #[test]
+    fn l2_unique_bytes_reset_at_launch_boundaries() {
+        // The L2 tracker is launch-wide ("Launch-wide record of distinct
+        // (buffer, segment) touches"): within one launch, re-reading a
+        // segment grows `global_bytes` but not `global_bytes_unique`;
+        // a new launch starts cold, so the same buffer's compulsory
+        // misses are counted afresh.
+        let dev = Device::volta();
+        let buf = dev.buffer_from_slice(&[1.0f32; 32]);
+        let read_twice = |block: &mut BlockCtx| {
+            block.run_warps(|w| {
+                let idx = lanes_from_fn(Some);
+                let _ = w.global_gather(&buf, &idx);
+                let _ = w.global_gather(&buf, &idx);
+            });
+        };
+        let first = dev.launch("l2_a", LaunchConfig::new(1, 32, 0), read_twice);
+        assert_eq!(first.counters.global_bytes, 256);
+        assert_eq!(first.counters.global_bytes_unique, 128);
+        let second = dev.launch("l2_b", LaunchConfig::new(1, 32, 0), read_twice);
+        // Identical launch, identical cold-cache accounting: the first
+        // launch's touches did not carry over.
+        assert_eq!(second.counters.global_bytes_unique, 128);
+        assert_eq!(second.counters, first.counters);
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod device;
 pub mod global;
 pub mod murmur;
 pub mod prims;
+pub mod prof;
 pub mod sanitizer;
 pub mod shared;
 pub mod spec;
@@ -56,6 +57,7 @@ pub use counters::Counters;
 pub use device::{BlockCtx, Device, LaunchConfig, LaunchStats};
 pub use global::GlobalBuffer;
 pub use prims::{bitonic_sort_by_key, warp_binary_search};
+pub use prof::{chrome_trace, json_escape, LaunchProfile, RangeStats, TraceSpan};
 pub use sanitizer::{CheckerKind, MemSpace, SanitizerMode, SanitizerReport, SimError};
 pub use shared::{SharedArray, SharedMem};
 pub use spec::{Arch, DeviceSpec, Occupancy};

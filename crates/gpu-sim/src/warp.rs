@@ -10,6 +10,7 @@
 
 use crate::counters::Counters;
 use crate::global::GlobalBuffer;
+use crate::prof::BlockProfiler;
 use crate::sanitizer::{BlockSanitizer, CheckerKind, MemSpace};
 use crate::shared::SharedArray;
 use crate::spec::DeviceSpec;
@@ -49,12 +50,29 @@ pub struct WarpCtx<'a> {
     pub(crate) counters: &'a mut Counters,
     pub(crate) l2: &'a mut L2Tracker,
     pub(crate) san: &'a BlockSanitizer,
+    pub(crate) prof: Option<&'a BlockProfiler>,
 }
 
 impl<'a> WarpCtx<'a> {
     /// Global warp index across the grid.
     pub fn global_warp_id(&self) -> usize {
         self.block_id * self.warps_per_block + self.warp_id
+    }
+
+    /// Runs `f` inside a named NVTX-style profiler range: the counter
+    /// delta across `f` is attributed to `name` (nested ranges aggregate
+    /// upward; see [`crate::prof`]). With the profiler off this is a
+    /// pure passthrough — no counter is read or written.
+    pub fn range<R>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> R) -> R {
+        match self.prof {
+            Some(p) => {
+                p.open(name, self.counters);
+                let r = f(self);
+                p.close(self.counters);
+                r
+            }
+            None => f(self),
+        }
     }
 
     /// Global thread index of lane `l`.
@@ -499,6 +517,7 @@ mod tests {
                 counters: &mut counters,
                 l2: &mut l2,
                 san: &san,
+                prof: None,
             };
             f(&mut ctx)
         };
@@ -526,6 +545,39 @@ mod tests {
         let (_, c) = with_ctx(|ctx| ctx.global_gather(&buf, &idx));
         assert_eq!(c.global_transactions, 32);
         assert!(c.coalescing_overhead() > 30.0);
+    }
+
+    #[test]
+    fn repeated_reads_grow_bytes_but_not_unique_bytes() {
+        // L2Tracker semantics: the first touch of a (buffer, segment)
+        // pair is a compulsory miss counted in `global_bytes_unique`;
+        // every later touch within the same launch still moves
+        // `global_bytes` but adds nothing unique.
+        let buf = GlobalBuffer::from_vec((0..64).map(|i| i as f32).collect());
+        let idx = lanes_from_fn(Some);
+        let (_, c) = with_ctx(|ctx| {
+            for _ in 0..4 {
+                let _ = ctx.global_gather(&buf, &idx);
+            }
+        });
+        assert_eq!(c.global_transactions, 4);
+        assert_eq!(c.global_bytes, 4 * 128);
+        assert_eq!(c.global_bytes_unique, 128);
+        assert_eq!(c.reread_ratio(), 4.0);
+    }
+
+    #[test]
+    fn distinct_buffers_never_share_unique_segments() {
+        // Two buffers covering the same element range still occupy
+        // distinct L2 lines: uniqueness is keyed on (buffer id, segment).
+        let a = GlobalBuffer::from_vec(vec![0.0f32; 32]);
+        let b = GlobalBuffer::from_vec(vec![0.0f32; 32]);
+        let idx = lanes_from_fn(Some);
+        let (_, c) = with_ctx(|ctx| {
+            let _ = ctx.global_gather(&a, &idx);
+            let _ = ctx.global_gather(&b, &idx);
+        });
+        assert_eq!(c.global_bytes_unique, 256);
     }
 
     #[test]

@@ -82,67 +82,73 @@ pub fn expand_sort_contract_kernel<T: Real>(
             // adjacently with the `a` element first — order matters for
             // asymmetric products.
             block.run_warps(|w| {
-                let wpb = BLOCK_THREADS / WARP_SIZE;
-                let mut base = w.warp_id * WARP_SIZE;
-                while base < total {
-                    let gidx = lanes_from_fn(|l| {
-                        let t = base + l;
-                        if t >= total {
-                            None
-                        } else if t < da {
-                            Some(a_start + t)
-                        } else {
-                            Some(b_start + (t - da))
-                        }
-                    });
-                    let is_a = lanes_from_fn(|l| base + l < da);
-                    let cols = lanes_from_fn(|l| if base + l < da { gidx[l] } else { gidx[l] });
-                    let col_a = w.global_gather(
-                        &a.indices,
-                        &lanes_from_fn(|l| {
-                            (is_a[l] && gidx[l].is_some()).then(|| gidx[l].expect("set"))
-                        }),
-                    );
-                    let col_b = w.global_gather(
-                        &b.indices,
-                        &lanes_from_fn(|l| {
-                            (!is_a[l] && gidx[l].is_some()).then(|| gidx[l].expect("set"))
-                        }),
-                    );
-                    let val_a = w.global_gather(
-                        &a.values,
-                        &lanes_from_fn(|l| {
-                            (is_a[l] && gidx[l].is_some()).then(|| gidx[l].expect("set"))
-                        }),
-                    );
-                    let val_b = w.global_gather(
-                        &b.values,
-                        &lanes_from_fn(|l| {
-                            (!is_a[l] && gidx[l].is_some()).then(|| gidx[l].expect("set"))
-                        }),
-                    );
-                    let _ = cols;
-                    let sidx = lanes_from_fn(|l| {
-                        let t = base + l;
-                        (t < total).then_some(t)
-                    });
-                    let skeys = lanes_from_fn(|l| {
-                        if is_a[l] {
-                            col_a[l] * 2
-                        } else {
-                            col_b[l] * 2 + 1
-                        }
-                    });
-                    let svals = lanes_from_fn(|l| if is_a[l] { val_a[l] } else { val_b[l] });
-                    w.smem_scatter(&keys, &sidx, &skeys);
-                    w.smem_scatter(&vals, &sidx, &svals);
-                    base += wpb * WARP_SIZE;
-                }
+                w.range("expand", |w| {
+                    let wpb = BLOCK_THREADS / WARP_SIZE;
+                    let mut base = w.warp_id * WARP_SIZE;
+                    while base < total {
+                        let gidx = lanes_from_fn(|l| {
+                            let t = base + l;
+                            if t >= total {
+                                None
+                            } else if t < da {
+                                Some(a_start + t)
+                            } else {
+                                Some(b_start + (t - da))
+                            }
+                        });
+                        let is_a = lanes_from_fn(|l| base + l < da);
+                        let cols = lanes_from_fn(|l| if base + l < da { gidx[l] } else { gidx[l] });
+                        let col_a = w.global_gather(
+                            &a.indices,
+                            &lanes_from_fn(|l| {
+                                (is_a[l] && gidx[l].is_some()).then(|| gidx[l].expect("set"))
+                            }),
+                        );
+                        let col_b = w.global_gather(
+                            &b.indices,
+                            &lanes_from_fn(|l| {
+                                (!is_a[l] && gidx[l].is_some()).then(|| gidx[l].expect("set"))
+                            }),
+                        );
+                        let val_a = w.global_gather(
+                            &a.values,
+                            &lanes_from_fn(|l| {
+                                (is_a[l] && gidx[l].is_some()).then(|| gidx[l].expect("set"))
+                            }),
+                        );
+                        let val_b = w.global_gather(
+                            &b.values,
+                            &lanes_from_fn(|l| {
+                                (!is_a[l] && gidx[l].is_some()).then(|| gidx[l].expect("set"))
+                            }),
+                        );
+                        let _ = cols;
+                        let sidx = lanes_from_fn(|l| {
+                            let t = base + l;
+                            (t < total).then_some(t)
+                        });
+                        let skeys = lanes_from_fn(|l| {
+                            if is_a[l] {
+                                col_a[l] * 2
+                            } else {
+                                col_b[l] * 2 + 1
+                            }
+                        });
+                        let svals = lanes_from_fn(|l| if is_a[l] { val_a[l] } else { val_b[l] });
+                        w.smem_scatter(&keys, &sidx, &skeys);
+                        w.smem_scatter(&vals, &sidx, &svals);
+                        base += wpb * WARP_SIZE;
+                    }
+                });
             });
             block.sync();
 
-            // Sort by tagged column (the dominating step).
-            bitonic_sort_by_key(block, &keys, &vals, total);
+            // Sort by tagged column (the dominating step). The network
+            // charges cost analytically at block level, so the range
+            // wraps the BlockCtx rather than a WarpCtx.
+            block.range("sort", |block| {
+                bitonic_sort_by_key(block, &keys, &vals, total)
+            });
             block.sync();
 
             // Contract: adjacent elements with the same column combine
@@ -150,66 +156,69 @@ pub fn expand_sort_contract_kernel<T: Real>(
             // b-side singletons). Per-warp partials combine through a
             // global atomic.
             block.run_warps(|w| {
-                let wpb = BLOCK_THREADS / WARP_SIZE;
-                let mut warp_acc = sr.reduce_identity();
-                let mut base = w.warp_id * WARP_SIZE;
-                while base < total {
-                    let cur_idx = lanes_from_fn(|l| {
-                        let t = base + l;
-                        (t < total).then_some(t)
-                    });
-                    let cur_keys = w.smem_gather(&keys, &cur_idx);
-                    let cur_vals = w.smem_gather(&vals, &cur_idx);
-                    let next_idx = lanes_from_fn(|l| {
-                        let t = base + l + 1;
-                        (t < total).then_some(t)
-                    });
-                    let next_keys = w.smem_gather(&keys, &next_idx);
-                    let next_vals = w.smem_gather(&vals, &next_idx);
-                    let prev_idx = lanes_from_fn(|l| {
-                        let t = (base + l).checked_sub(1);
-                        t.filter(|_| base + l < total)
-                    });
-                    let prev_keys = w.smem_gather(&keys, &prev_idx);
-                    w.issue(3); // compares + product/reduce
-                    let active = lanes_from_fn(|l| cur_idx[l].is_some());
-                    let terms = lanes_from_fn(|l| {
-                        if cur_idx[l].is_none() {
-                            return sr.reduce_identity();
-                        }
-                        let t = base + l;
-                        let col = cur_keys[l] >> 1;
-                        // Second element of a duplicate pair: consumed by
-                        // its predecessor.
-                        if t > 0 && prev_idx[l].is_some() && prev_keys[l] >> 1 == col {
-                            return sr.reduce_identity();
-                        }
-                        // First of a duplicate pair: combine both sides.
-                        if next_idx[l].is_some() && next_keys[l] >> 1 == col {
-                            return sr.product(cur_vals[l], next_vals[l]);
-                        }
-                        // Singleton: the other side is a structural zero
-                        // — the annihilator for annihilating semirings
-                        // (term vanishes), id⊗ = 0 for NAMMs.
-                        if annihilating {
-                            sr.reduce_identity()
-                        } else if cur_keys[l] & 1 == 0 {
-                            sr.product(cur_vals[l], T::ZERO)
-                        } else {
-                            sr.product(T::ZERO, cur_vals[l])
-                        }
-                    });
-                    let partial = w.warp_reduce(&terms, &active, sr.reduce_identity(), |x, y| {
-                        sr.reduce(x, y)
-                    });
-                    warp_acc = sr.reduce(warp_acc, partial);
-                    base += wpb * WARP_SIZE;
-                }
-                if warp_acc != sr.reduce_identity() || w.warp_id == 0 {
-                    let oidx = lanes_from_fn(|l| (l == 0).then_some(pair));
-                    let ovals = lanes_from_fn(|_| warp_acc);
-                    w.global_atomic(&out, &oidx, &ovals, |x, y| sr.reduce(x, y));
-                }
+                w.range("contract", |w| {
+                    let wpb = BLOCK_THREADS / WARP_SIZE;
+                    let mut warp_acc = sr.reduce_identity();
+                    let mut base = w.warp_id * WARP_SIZE;
+                    while base < total {
+                        let cur_idx = lanes_from_fn(|l| {
+                            let t = base + l;
+                            (t < total).then_some(t)
+                        });
+                        let cur_keys = w.smem_gather(&keys, &cur_idx);
+                        let cur_vals = w.smem_gather(&vals, &cur_idx);
+                        let next_idx = lanes_from_fn(|l| {
+                            let t = base + l + 1;
+                            (t < total).then_some(t)
+                        });
+                        let next_keys = w.smem_gather(&keys, &next_idx);
+                        let next_vals = w.smem_gather(&vals, &next_idx);
+                        let prev_idx = lanes_from_fn(|l| {
+                            let t = (base + l).checked_sub(1);
+                            t.filter(|_| base + l < total)
+                        });
+                        let prev_keys = w.smem_gather(&keys, &prev_idx);
+                        w.issue(3); // compares + product/reduce
+                        let active = lanes_from_fn(|l| cur_idx[l].is_some());
+                        let terms = lanes_from_fn(|l| {
+                            if cur_idx[l].is_none() {
+                                return sr.reduce_identity();
+                            }
+                            let t = base + l;
+                            let col = cur_keys[l] >> 1;
+                            // Second element of a duplicate pair: consumed by
+                            // its predecessor.
+                            if t > 0 && prev_idx[l].is_some() && prev_keys[l] >> 1 == col {
+                                return sr.reduce_identity();
+                            }
+                            // First of a duplicate pair: combine both sides.
+                            if next_idx[l].is_some() && next_keys[l] >> 1 == col {
+                                return sr.product(cur_vals[l], next_vals[l]);
+                            }
+                            // Singleton: the other side is a structural zero
+                            // — the annihilator for annihilating semirings
+                            // (term vanishes), id⊗ = 0 for NAMMs.
+                            if annihilating {
+                                sr.reduce_identity()
+                            } else if cur_keys[l] & 1 == 0 {
+                                sr.product(cur_vals[l], T::ZERO)
+                            } else {
+                                sr.product(T::ZERO, cur_vals[l])
+                            }
+                        });
+                        let partial =
+                            w.warp_reduce(&terms, &active, sr.reduce_identity(), |x, y| {
+                                sr.reduce(x, y)
+                            });
+                        warp_acc = sr.reduce(warp_acc, partial);
+                        base += wpb * WARP_SIZE;
+                    }
+                    if warp_acc != sr.reduce_identity() || w.warp_id == 0 {
+                        let oidx = lanes_from_fn(|l| (l == 0).then_some(pair));
+                        let ovals = lanes_from_fn(|_| warp_acc);
+                        w.global_atomic(&out, &oidx, &ovals, |x, y| sr.reduce(x, y));
+                    }
+                });
             });
         },
     )?;

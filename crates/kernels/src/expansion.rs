@@ -53,28 +53,33 @@ pub fn expansion_kernel<T: Real>(
                 if idx.iter().all(Option::is_none) {
                     return;
                 }
-                let dot = w.global_gather(dots, &idx);
-                let mut an = [[T::ZERO; WARP_SIZE]; 2];
-                let mut bn = [[T::ZERO; WARP_SIZE]; 2];
-                for s in 0..n_norms {
-                    let aidx = lanes_from_fn(|l| idx[l].map(|i| i / cols));
-                    let bidx = lanes_from_fn(|l| idx[l].map(|i| i % cols));
-                    an[s] = w.global_gather(a_norms[s], &aidx);
-                    bn[s] = w.global_gather(b_norms[s], &bidx);
-                }
-                w.issue(4); // the expansion arithmetic
-                let out = lanes_from_fn(|l| {
-                    if idx[l].is_none() {
-                        return T::ZERO;
+                let (dot, an, bn) = w.range("gather", |w| {
+                    let dot = w.global_gather(dots, &idx);
+                    let mut an = [[T::ZERO; WARP_SIZE]; 2];
+                    let mut bn = [[T::ZERO; WARP_SIZE]; 2];
+                    for s in 0..n_norms {
+                        let aidx = lanes_from_fn(|l| idx[l].map(|i| i / cols));
+                        let bidx = lanes_from_fn(|l| idx[l].map(|i| i % cols));
+                        an[s] = w.global_gather(a_norms[s], &aidx);
+                        bn[s] = w.global_gather(b_norms[s], &bidx);
                     }
-                    distance.expand(ExpansionInputs {
-                        dot: dot[l],
-                        a_norms: [an[0][l], an[1][l]],
-                        b_norms: [bn[0][l], bn[1][l]],
-                        k,
-                    })
+                    (dot, an, bn)
                 });
-                w.global_scatter(dots, &idx, &out);
+                w.range("expand", |w| {
+                    w.issue(4); // the expansion arithmetic
+                    let out = lanes_from_fn(|l| {
+                        if idx[l].is_none() {
+                            return T::ZERO;
+                        }
+                        distance.expand(ExpansionInputs {
+                            dot: dot[l],
+                            a_norms: [an[0][l], an[1][l]],
+                            b_norms: [bn[0][l], bn[1][l]],
+                            k,
+                        })
+                    });
+                    w.global_scatter(dots, &idx, &out);
+                });
             });
         },
     )

@@ -59,21 +59,28 @@ pub fn radius_filter_kernel<T: Real>(
                         let c = base + l;
                         (c < cols).then(|| row * cols + c)
                     });
-                    let vals = w.global_gather(dists, &idx);
-                    w.issue(1); // the predicate
-                    let keep = lanes_from_fn(|l| {
-                        idx[l].is_some() && !vals[l].is_nan() && !(vals[l] > radius)
-                    });
-                    let flags = lanes_from_fn(|l| keep[l] as u32);
-                    let (offsets, total) = w.warp_exclusive_scan(&flags, &keep);
-                    if total > 0 {
-                        let oidx = lanes_from_fn(|l| {
-                            keep[l].then(|| row * cols + (written + offsets[l]) as usize)
+                    let (vals, keep) = w.range("predicate", |w| {
+                        let vals = w.global_gather(dists, &idx);
+                        w.issue(1); // the predicate
+                        let keep = lanes_from_fn(|l| {
+                            idx[l].is_some() && !vals[l].is_nan() && !(vals[l] > radius)
                         });
-                        let ocols = lanes_from_fn(|l| (base + l) as u32);
-                        w.global_scatter(&indices, &oidx, &ocols);
-                        w.global_scatter(&values, &oidx, &vals);
-                    }
+                        (vals, keep)
+                    });
+                    let (offsets, total) = w.range("scan", |w| {
+                        let flags = lanes_from_fn(|l| keep[l] as u32);
+                        w.warp_exclusive_scan(&flags, &keep)
+                    });
+                    w.range("compact", |w| {
+                        if total > 0 {
+                            let oidx = lanes_from_fn(|l| {
+                                keep[l].then(|| row * cols + (written + offsets[l]) as usize)
+                            });
+                            let ocols = lanes_from_fn(|l| (base + l) as u32);
+                            w.global_scatter(&indices, &oidx, &ocols);
+                            w.global_scatter(&values, &oidx, &vals);
+                        }
+                    });
                     written += total;
                     base += WARP_SIZE;
                 }

@@ -124,22 +124,24 @@ pub fn fused_knn<T: Real>(
 
             block.run_warps(|w| {
                 // Stage the query row (coalesced).
-                let mut base = 0;
-                while base < da {
-                    let gidx = lanes_from_fn(|l| {
-                        let t = base + l;
-                        (t < da).then(|| a_start + t)
-                    });
-                    let cols = w.global_gather(&a_dev.indices, &gidx);
-                    let vals = w.global_gather(&a_dev.values, &gidx);
-                    let sidx = lanes_from_fn(|l| {
-                        let t = base + l;
-                        (t < da).then_some(t)
-                    });
-                    w.smem_scatter(&s_cols, &sidx, &cols);
-                    w.smem_scatter(&s_vals, &sidx, &vals);
-                    base += WARP_SIZE;
-                }
+                w.range("stage_query", |w| {
+                    let mut base = 0;
+                    while base < da {
+                        let gidx = lanes_from_fn(|l| {
+                            let t = base + l;
+                            (t < da).then(|| a_start + t)
+                        });
+                        let cols = w.global_gather(&a_dev.indices, &gidx);
+                        let vals = w.global_gather(&a_dev.values, &gidx);
+                        let sidx = lanes_from_fn(|l| {
+                            let t = base + l;
+                            (t < da).then_some(t)
+                        });
+                        w.smem_scatter(&s_cols, &sidx, &cols);
+                        w.smem_scatter(&s_vals, &sidx, &vals);
+                        base += WARP_SIZE;
+                    }
+                });
 
                 // Query-side norms once per block.
                 let a_n = lanes_from_fn(|s| {
@@ -168,7 +170,7 @@ pub fn fused_knn<T: Real>(
                     let mut ia = [0usize; WARP_SIZE];
                     let mut ib = lanes_from_fn(|l| b_start[l] as usize);
                     let mut acc = [sr.reduce_identity(); WARP_SIZE];
-                    loop {
+                    w.range("merge", |w| loop {
                         let live = lanes_from_fn(|l| {
                             j[l].is_some() && (ia[l] < da || ib[l] < b_end[l] as usize)
                         });
@@ -227,32 +229,34 @@ pub fn fused_knn<T: Real>(
                                 ib[l] += 1;
                             }
                         }
-                    }
+                    });
 
                     // Finalize per pair (expansion or NAMM post-op).
-                    let b_n: Vec<[T; WARP_SIZE]> = (0..kinds.len())
-                        .map(|s| w.global_gather(&b_norms[s], &j))
-                        .collect();
-                    w.issue(4);
-                    let dists = lanes_from_fn(|l| {
-                        if j[l].is_none() {
-                            return T::INFINITY;
-                        }
-                        if distance.family() == Family::Namm && kinds.is_empty() {
-                            distance.finalize(acc[l], dim, &params)
-                        } else {
-                            // Expanded family, or a norm-fed NAMM
-                            // (Bray-Curtis): combine with the row norms.
-                            distance.expand(ExpansionInputs {
-                                dot: acc[l],
-                                a_norms: [a_n[0], a_n.get(1).copied().unwrap_or(T::ZERO)],
-                                b_norms: [
-                                    b_n.first().map(|x| x[l]).unwrap_or(T::ZERO),
-                                    b_n.get(1).map(|x| x[l]).unwrap_or(T::ZERO),
-                                ],
-                                k: dim,
-                            })
-                        }
+                    let dists = w.range("finalize", |w| {
+                        let b_n: Vec<[T; WARP_SIZE]> = (0..kinds.len())
+                            .map(|s| w.global_gather(&b_norms[s], &j))
+                            .collect();
+                        w.issue(4);
+                        lanes_from_fn(|l| {
+                            if j[l].is_none() {
+                                return T::INFINITY;
+                            }
+                            if distance.family() == Family::Namm && kinds.is_empty() {
+                                distance.finalize(acc[l], dim, &params)
+                            } else {
+                                // Expanded family, or a norm-fed NAMM
+                                // (Bray-Curtis): combine with the row norms.
+                                distance.expand(ExpansionInputs {
+                                    dot: acc[l],
+                                    a_norms: [a_n[0], a_n.get(1).copied().unwrap_or(T::ZERO)],
+                                    b_norms: [
+                                        b_n.first().map(|x| x[l]).unwrap_or(T::ZERO),
+                                        b_n.get(1).map(|x| x[l]).unwrap_or(T::ZERO),
+                                    ],
+                                    k: dim,
+                                })
+                            }
+                        })
                     });
 
                     // Feed the candidate list (threshold test + serialized
@@ -263,72 +267,76 @@ pub fn fused_knn<T: Real>(
                     });
                     if passing.iter().any(|&p| p) {
                         w.branch(&passing);
-                        for l in 0..WARP_SIZE {
-                            if !passing[l] {
-                                continue;
-                            }
-                            let v = dists[l];
-                            if len == kk && !(v < threshold) {
-                                continue;
-                            }
-                            let col = (jbase + l) as u32;
-                            // smem-lint: begin-allow(serialized-emulation): host-side emulation of one lane's insertion sort; the burst is costed in aggregate by the smem_gather probe + issue at the end of the loop body
-                            let mut pos = len;
-                            while pos > 0 && v < cand_val.read(pos - 1) {
-                                pos -= 1;
-                            }
-                            if len == kk {
-                                for s in ((pos + 1)..kk).rev() {
-                                    cand_idx.write(s, cand_idx.read(s - 1));
-                                    cand_val.write(s, cand_val.read(s - 1));
+                        w.range("select_insert", |w| {
+                            for l in 0..WARP_SIZE {
+                                if !passing[l] {
+                                    continue;
                                 }
-                            } else {
-                                for s in ((pos + 1)..=len).rev() {
-                                    cand_idx.write(s, cand_idx.read(s - 1));
-                                    cand_val.write(s, cand_val.read(s - 1));
+                                let v = dists[l];
+                                if len == kk && !(v < threshold) {
+                                    continue;
                                 }
-                                len += 1;
+                                let col = (jbase + l) as u32;
+                                // smem-lint: begin-allow(serialized-emulation): host-side emulation of one lane's insertion sort; the burst is costed in aggregate by the smem_gather probe + issue at the end of the loop body
+                                let mut pos = len;
+                                while pos > 0 && v < cand_val.read(pos - 1) {
+                                    pos -= 1;
+                                }
+                                if len == kk {
+                                    for s in ((pos + 1)..kk).rev() {
+                                        cand_idx.write(s, cand_idx.read(s - 1));
+                                        cand_val.write(s, cand_val.read(s - 1));
+                                    }
+                                } else {
+                                    for s in ((pos + 1)..=len).rev() {
+                                        cand_idx.write(s, cand_idx.read(s - 1));
+                                        cand_val.write(s, cand_val.read(s - 1));
+                                    }
+                                    len += 1;
+                                }
+                                cand_idx.write(pos, col);
+                                cand_val.write(pos, v);
+                                threshold = cand_val.read(len - 1);
+                                let sidx = lanes_from_fn(|sl| (sl < len).then_some(sl));
+                                w.smem_gather(&cand_val, &sidx);
+                                w.issue(1);
+                                // smem-lint: end-allow
                             }
-                            cand_idx.write(pos, col);
-                            cand_val.write(pos, v);
-                            threshold = cand_val.read(len - 1);
-                            let sidx = lanes_from_fn(|sl| (sl < len).then_some(sl));
-                            w.smem_gather(&cand_val, &sidx);
-                            w.issue(1);
-                            // smem-lint: end-allow
-                        }
+                        });
                     }
                     jbase += WARP_SIZE;
                 }
 
                 // Emit the k results.
                 // smem-lint: begin-allow(serialized-emulation): candidate list staged into registers for the coalesced emission; smem traffic was charged by the insertion-burst probes above
-                let mut written = 0;
-                while written < kk {
-                    let widx = lanes_from_fn(|l| {
-                        let t = written + l;
-                        (t < kk).then(|| i * kk + t)
-                    });
-                    let wv = lanes_from_fn(|l| {
-                        let t = written + l;
-                        if t < len {
-                            cand_val.read(t)
-                        } else {
-                            T::INFINITY
-                        }
-                    });
-                    let wi = lanes_from_fn(|l| {
-                        let t = written + l;
-                        if t < len {
-                            cand_idx.read(t)
-                        } else {
-                            u32::MAX
-                        }
-                    });
-                    w.global_scatter(&out_val, &widx, &wv);
-                    w.global_scatter(&out_idx, &widx, &wi);
-                    written += WARP_SIZE;
-                }
+                w.range("emit", |w| {
+                    let mut written = 0;
+                    while written < kk {
+                        let widx = lanes_from_fn(|l| {
+                            let t = written + l;
+                            (t < kk).then(|| i * kk + t)
+                        });
+                        let wv = lanes_from_fn(|l| {
+                            let t = written + l;
+                            if t < len {
+                                cand_val.read(t)
+                            } else {
+                                T::INFINITY
+                            }
+                        });
+                        let wi = lanes_from_fn(|l| {
+                            let t = written + l;
+                            if t < len {
+                                cand_idx.read(t)
+                            } else {
+                                u32::MAX
+                            }
+                        });
+                        w.global_scatter(&out_val, &widx, &wv);
+                        w.global_scatter(&out_idx, &widx, &wi);
+                        written += WARP_SIZE;
+                    }
+                });
                 // smem-lint: end-allow
             });
         },

@@ -110,141 +110,156 @@ pub fn hybrid_pass<T: Real>(
             // and insert.
             let vec_ref = vec.clone();
             block.run_warps(|w| {
-                let wpb = BLOCK_THREADS / WARP_SIZE;
-                let mut base = part_start + w.warp_id * WARP_SIZE;
-                while base < part_end {
-                    let idx = lanes_from_fn(|l| {
-                        let i = base + l;
-                        (i < part_end).then_some(i)
-                    });
-                    let cols = w.global_gather(&inp.smem_side.indices, &idx);
-                    let vals = w.global_gather(&inp.smem_side.values, &idx);
-                    let ocols = lanes_from_fn(|l| idx[l].map(|_| cols[l]));
-                    vec_ref.insert_warp(w, &ocols, &vals);
-                    base += wpb * WARP_SIZE;
-                }
+                w.range("row_cache", |w| {
+                    let wpb = BLOCK_THREADS / WARP_SIZE;
+                    let mut base = part_start + w.warp_id * WARP_SIZE;
+                    while base < part_end {
+                        let idx = lanes_from_fn(|l| {
+                            let i = base + l;
+                            (i < part_end).then_some(i)
+                        });
+                        let cols = w.global_gather(&inp.smem_side.indices, &idx);
+                        let vals = w.global_gather(&inp.smem_side.values, &idx);
+                        let ocols = lanes_from_fn(|l| idx[l].map(|_| cols[l]));
+                        w.range("insert", |w| vec_ref.insert_warp(w, &ocols, &vals));
+                        base += wpb * WARP_SIZE;
+                    }
+                });
             });
             block.sync();
 
             // Stream the COO side.
             let vec_ref = vec.clone();
             block.run_warps(|w| {
-                let wpb = BLOCK_THREADS / WARP_SIZE;
-                let mut base = w.warp_id * WARP_SIZE;
-                while base < nnz_stream {
-                    let idx = lanes_from_fn(|l| {
-                        let i = base + l;
-                        (i < nnz_stream).then_some(i)
-                    });
-                    let srow = w.global_gather(&inp.stream_side.row_indices, &idx);
-                    let scol = w.global_gather(&inp.stream_side.col_indices, &idx);
-                    let sval = w.global_gather(&inp.stream_side.values, &idx);
-
-                    let cols = lanes_from_fn(|l| idx[l].map(|_| scol[l]));
-                    let mut looked = vec_ref.lookup_warp(w, &cols);
-                    // Bloom positives confirm against the partition's
-                    // global column list.
-                    if matches!(inp.kind, SmemVecKind::Bloom) {
-                        looked = vec_ref.confirm_warp(
-                            w,
-                            &looked,
-                            &cols,
-                            &inp.smem_side.indices,
-                            &inp.smem_side.values,
-                            part_start,
-                            part_end,
-                        );
-                    }
-
-                    // Partitioned rows: a miss is ambiguous. Only the
-                    // first partition resolves it, via a binary search
-                    // over the *full* row — §3.3.3's "extra work in
-                    // exchange for scale". Annihilating semirings skip
-                    // the search entirely (a true miss contributes 0).
-                    let needs_resolve =
-                        entry.partitioned && entry.is_first && (!annihilating || inp.commuted);
-                    let unresolved = lanes_from_fn(|l| {
-                        if needs_resolve && matches!(looked[l], Lookup::Miss) {
-                            cols[l]
-                        } else {
-                            None
-                        }
-                    });
-                    let in_full_row = if unresolved.iter().any(Option::is_some) {
-                        let found = warp_binary_search(
-                            w,
-                            &inp.smem_side.indices,
-                            row_start,
-                            row_end,
-                            &unresolved,
-                        );
-                        lanes_from_fn(|l| found[l].is_some())
-                    } else {
-                        [false; WARP_SIZE]
-                    };
-
-                    // The per-lane ⊗ application (one issue) plus the
-                    // branch that PassKind/partitioning forces.
-                    w.issue(1);
-                    let terms = lanes_from_fn(|l| {
-                        if idx[l].is_none() {
-                            return id;
-                        }
-                        match (inp.commuted, looked[l]) {
-                            // Pass 1: products with the streamed value.
-                            (false, Lookup::Hit(va)) => sr.product(va, sval[l]),
-                            (false, Lookup::Miss) => {
-                                // Annihilating semirings: the missing side
-                                // is the annihilator, not a literal 0 —
-                                // the term vanishes (this is what lets
-                                // relaxed semirings like min-plus run
-                                // intersection-only).
-                                if annihilating {
-                                    id
-                                } else if !entry.partitioned || (entry.is_first && !in_full_row[l])
-                                {
-                                    sr.product(T::ZERO, sval[l])
-                                } else {
-                                    id // another partition owns it
-                                }
-                            }
-                            // Pass 2: only definitive misses contribute.
-                            (true, Lookup::Hit(_)) => id,
-                            (true, Lookup::Miss) => {
-                                if !entry.partitioned {
-                                    sr.product(sval[l], T::ZERO)
-                                } else if entry.is_first && !in_full_row[l] {
-                                    sr.product(sval[l], T::ZERO)
-                                } else {
-                                    id
-                                }
-                            }
-                            (_, Lookup::Maybe) => id, // confirmed above
-                        }
-                    });
-                    let active = lanes_from_fn(|l| idx[l].is_some() && terms[l] != id);
-                    if active.iter().any(|&a| a) {
-                        let keys = lanes_from_fn(|l| srow[l]);
-                        let segs = w.warp_segmented_reduce(&keys, &terms, &active, id, |x, y| {
-                            sr.reduce(x, y)
+                w.range("coo_sweep", |w| {
+                    let wpb = BLOCK_THREADS / WARP_SIZE;
+                    let mut base = w.warp_id * WARP_SIZE;
+                    while base < nnz_stream {
+                        let idx = lanes_from_fn(|l| {
+                            let i = base + l;
+                            (i < nnz_stream).then_some(i)
                         });
-                        let out_idx = lanes_from_fn(|l| {
-                            segs.get(l).map(|&(key, _)| {
-                                if inp.commuted {
-                                    key as usize * inp.out_cols + entry.row
-                                } else {
-                                    entry.row * inp.out_cols + key as usize
-                                }
+                        let srow = w.global_gather(&inp.stream_side.row_indices, &idx);
+                        let scol = w.global_gather(&inp.stream_side.col_indices, &idx);
+                        let sval = w.global_gather(&inp.stream_side.values, &idx);
+
+                        let cols = lanes_from_fn(|l| idx[l].map(|_| scol[l]));
+                        let looked = w.range("lookup", |w| {
+                            let mut looked = vec_ref.lookup_warp(w, &cols);
+                            // Bloom positives confirm against the partition's
+                            // global column list.
+                            if matches!(inp.kind, SmemVecKind::Bloom) {
+                                looked = vec_ref.confirm_warp(
+                                    w,
+                                    &looked,
+                                    &cols,
+                                    &inp.smem_side.indices,
+                                    &inp.smem_side.values,
+                                    part_start,
+                                    part_end,
+                                );
+                            }
+                            looked
+                        });
+
+                        // Partitioned rows: a miss is ambiguous. Only the
+                        // first partition resolves it, via a binary search
+                        // over the *full* row — §3.3.3's "extra work in
+                        // exchange for scale". Annihilating semirings skip
+                        // the search entirely (a true miss contributes 0).
+                        let needs_resolve =
+                            entry.partitioned && entry.is_first && (!annihilating || inp.commuted);
+                        let unresolved = lanes_from_fn(|l| {
+                            if needs_resolve && matches!(looked[l], Lookup::Miss) {
+                                cols[l]
+                            } else {
+                                None
+                            }
+                        });
+                        let in_full_row = if unresolved.iter().any(Option::is_some) {
+                            w.range("resolve", |w| {
+                                let found = warp_binary_search(
+                                    w,
+                                    &inp.smem_side.indices,
+                                    row_start,
+                                    row_end,
+                                    &unresolved,
+                                );
+                                lanes_from_fn(|l| found[l].is_some())
                             })
+                        } else {
+                            [false; WARP_SIZE]
+                        };
+
+                        // The per-lane ⊗ application (one issue) plus the
+                        // branch that PassKind/partitioning forces.
+                        w.range("product", |w| w.issue(1));
+                        let terms = lanes_from_fn(|l| {
+                            if idx[l].is_none() {
+                                return id;
+                            }
+                            match (inp.commuted, looked[l]) {
+                                // Pass 1: products with the streamed value.
+                                (false, Lookup::Hit(va)) => sr.product(va, sval[l]),
+                                (false, Lookup::Miss) => {
+                                    // Annihilating semirings: the missing side
+                                    // is the annihilator, not a literal 0 —
+                                    // the term vanishes (this is what lets
+                                    // relaxed semirings like min-plus run
+                                    // intersection-only).
+                                    if annihilating {
+                                        id
+                                    } else if !entry.partitioned
+                                        || (entry.is_first && !in_full_row[l])
+                                    {
+                                        sr.product(T::ZERO, sval[l])
+                                    } else {
+                                        id // another partition owns it
+                                    }
+                                }
+                                // Pass 2: only definitive misses contribute.
+                                (true, Lookup::Hit(_)) => id,
+                                (true, Lookup::Miss) => {
+                                    if !entry.partitioned {
+                                        sr.product(sval[l], T::ZERO)
+                                    } else if entry.is_first && !in_full_row[l] {
+                                        sr.product(sval[l], T::ZERO)
+                                    } else {
+                                        id
+                                    }
+                                }
+                                (_, Lookup::Maybe) => id, // confirmed above
+                            }
                         });
-                        let out_vals =
-                            lanes_from_fn(|l| segs.get(l).map(|&(_, v)| v).unwrap_or(id));
-                        w.global_atomic(inp.out, &out_idx, &out_vals, |x, y| sr.reduce(x, y));
-                    } else {
-                        w.branch(&active);
+                        let active = lanes_from_fn(|l| idx[l].is_some() && terms[l] != id);
+                        w.range("flush", |w| {
+                            if active.iter().any(|&a| a) {
+                                let keys = lanes_from_fn(|l| srow[l]);
+                                let segs =
+                                    w.warp_segmented_reduce(&keys, &terms, &active, id, |x, y| {
+                                        sr.reduce(x, y)
+                                    });
+                                let out_idx = lanes_from_fn(|l| {
+                                    segs.get(l).map(|&(key, _)| {
+                                        if inp.commuted {
+                                            key as usize * inp.out_cols + entry.row
+                                        } else {
+                                            entry.row * inp.out_cols + key as usize
+                                        }
+                                    })
+                                });
+                                let out_vals =
+                                    lanes_from_fn(|l| segs.get(l).map(|&(_, v)| v).unwrap_or(id));
+                                w.global_atomic(inp.out, &out_idx, &out_vals, |x, y| {
+                                    sr.reduce(x, y)
+                                });
+                            } else {
+                                w.branch(&active);
+                            }
+                        });
+                        base += wpb * WARP_SIZE;
                     }
-                    base += wpb * WARP_SIZE;
-                }
+                });
             });
         },
     )?;

@@ -54,17 +54,22 @@ pub fn naive_csr_kernel<T: Real>(
                 // Row extents; four coalesced-ish indptr gathers.
                 let ai = lanes_from_fn(|l| pair[l].map(|p| p / n));
                 let bj = lanes_from_fn(|l| pair[l].map(|p| p % n));
-                let a_start = w.global_gather(&a.indptr, &ai);
-                let a_end = w.global_gather(&a.indptr, &lanes_from_fn(|l| ai[l].map(|i| i + 1)));
-                let b_start = w.global_gather(&b.indptr, &bj);
-                let b_end = w.global_gather(&b.indptr, &lanes_from_fn(|l| bj[l].map(|j| j + 1)));
+                let (a_start, a_end, b_start, b_end) = w.range("pair_setup", |w| {
+                    let a_start = w.global_gather(&a.indptr, &ai);
+                    let a_end =
+                        w.global_gather(&a.indptr, &lanes_from_fn(|l| ai[l].map(|i| i + 1)));
+                    let b_start = w.global_gather(&b.indptr, &bj);
+                    let b_end =
+                        w.global_gather(&b.indptr, &lanes_from_fn(|l| bj[l].map(|j| j + 1)));
+                    (a_start, a_end, b_start, b_end)
+                });
 
                 let mut ia = lanes_from_fn(|l| a_start[l] as usize);
                 let mut ib = lanes_from_fn(|l| b_start[l] as usize);
                 let mut acc = [sr.reduce_identity(); WARP_SIZE];
 
                 // Lockstep merge: iterate while any lane still has work.
-                loop {
+                w.range("merge_loop", |w| loop {
                     let live = lanes_from_fn(|l| {
                         pair[l].is_some()
                             && (ia[l] < a_end[l] as usize || ib[l] < b_end[l] as usize)
@@ -123,8 +128,8 @@ pub fn naive_csr_kernel<T: Real>(
                             ib[l] += 1;
                         }
                     }
-                }
-                w.global_scatter(&out, &pair, &acc);
+                });
+                w.range("writeback", |w| w.global_scatter(&out, &pair, &acc));
             });
         },
     );

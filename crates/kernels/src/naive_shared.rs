@@ -62,23 +62,25 @@ pub fn naive_shared_kernel<T: Real>(
             // Stage A_i: coalesced loads, unit-stride smem stores.
             let (sc, sv) = (s_cols.clone(), s_vals.clone());
             block.run_warps(|w| {
-                let wpb = BLOCK_THREADS / WARP_SIZE;
-                let mut base = w.warp_id * WARP_SIZE;
-                while base < da {
-                    let gidx = lanes_from_fn(|l| {
-                        let t = base + l;
-                        (t < da).then(|| a_start + t)
-                    });
-                    let cols = w.global_gather(&a.indices, &gidx);
-                    let vals = w.global_gather(&a.values, &gidx);
-                    let sidx = lanes_from_fn(|l| {
-                        let t = base + l;
-                        (t < da).then_some(t)
-                    });
-                    w.smem_scatter(&sc, &sidx, &cols);
-                    w.smem_scatter(&sv, &sidx, &vals);
-                    base += wpb * WARP_SIZE;
-                }
+                w.range("row_cache", |w| {
+                    let wpb = BLOCK_THREADS / WARP_SIZE;
+                    let mut base = w.warp_id * WARP_SIZE;
+                    while base < da {
+                        let gidx = lanes_from_fn(|l| {
+                            let t = base + l;
+                            (t < da).then(|| a_start + t)
+                        });
+                        let cols = w.global_gather(&a.indices, &gidx);
+                        let vals = w.global_gather(&a.values, &gidx);
+                        let sidx = lanes_from_fn(|l| {
+                            let t = base + l;
+                            (t < da).then_some(t)
+                        });
+                        w.smem_scatter(&sc, &sidx, &cols);
+                        w.smem_scatter(&sv, &sidx, &vals);
+                        base += wpb * WARP_SIZE;
+                    }
+                });
             });
             block.sync();
 
@@ -91,12 +93,16 @@ pub fn naive_shared_kernel<T: Real>(
                         let t = jbase + l;
                         (t < n).then_some(t)
                     });
-                    let b_start = w.global_gather(&b.indptr, &j);
-                    let b_end = w.global_gather(&b.indptr, &lanes_from_fn(|l| j[l].map(|x| x + 1)));
+                    let (b_start, b_end) = w.range("pair_setup", |w| {
+                        let b_start = w.global_gather(&b.indptr, &j);
+                        let b_end =
+                            w.global_gather(&b.indptr, &lanes_from_fn(|l| j[l].map(|x| x + 1)));
+                        (b_start, b_end)
+                    });
                     let mut ia = [0usize; WARP_SIZE]; // offset into smem row
                     let mut ib = lanes_from_fn(|l| b_start[l] as usize);
                     let mut acc = [sr.reduce_identity(); WARP_SIZE];
-                    loop {
+                    w.range("merge_loop", |w| loop {
                         let live = lanes_from_fn(|l| {
                             j[l].is_some() && (ia[l] < da || ib[l] < b_end[l] as usize)
                         });
@@ -157,9 +163,9 @@ pub fn naive_shared_kernel<T: Real>(
                                 ib[l] += 1;
                             }
                         }
-                    }
+                    });
                     let oidx = lanes_from_fn(|l| j[l].map(|x| i * n + x));
-                    w.global_scatter(&out, &oidx, &acc);
+                    w.range("writeback", |w| w.global_scatter(&out, &oidx, &acc));
                     jbase += wpb * WARP_SIZE;
                 }
             });

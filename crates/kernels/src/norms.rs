@@ -40,35 +40,37 @@ pub fn row_norms_kernel<T: Real>(
                 if row >= rows {
                     return;
                 }
-                let (start, end) = (
-                    m.indptr.host_get(row) as usize,
-                    m.indptr.host_get(row + 1) as usize,
-                );
-                // The indptr reads are two coalesced lane-0 loads.
-                let _ = w.global_gather(
-                    &m.indptr,
-                    &lanes_from_fn(|l| if l < 2 { Some(row + l) } else { None }),
-                );
-                let mut acc = T::ZERO;
-                let mut off = start;
-                while off < end {
-                    let idx = lanes_from_fn(|l| {
-                        let i = off + l;
-                        (i < end).then_some(i)
-                    });
-                    let active = lanes_from_fn(|l| idx[l].is_some());
-                    let vals = w.global_gather(&m.values, &idx);
-                    w.issue(1); // the map op
-                    let mapped = lanes_from_fn(|l| map(vals[l]));
-                    acc += w.warp_reduce(&mapped, &active, T::ZERO, |a, b| a + b);
-                    off += WARP_SIZE;
-                }
-                if kind == NormKind::L2 {
-                    w.issue(1);
-                    acc = acc.sqrt();
-                }
-                let oidx = lanes_from_fn(|l| (l == 0).then_some(row));
-                w.global_scatter(&out, &oidx, &lanes_from_fn(|_| acc));
+                w.range("norm_reduce", |w| {
+                    let (start, end) = (
+                        m.indptr.host_get(row) as usize,
+                        m.indptr.host_get(row + 1) as usize,
+                    );
+                    // The indptr reads are two coalesced lane-0 loads.
+                    let _ = w.global_gather(
+                        &m.indptr,
+                        &lanes_from_fn(|l| if l < 2 { Some(row + l) } else { None }),
+                    );
+                    let mut acc = T::ZERO;
+                    let mut off = start;
+                    while off < end {
+                        let idx = lanes_from_fn(|l| {
+                            let i = off + l;
+                            (i < end).then_some(i)
+                        });
+                        let active = lanes_from_fn(|l| idx[l].is_some());
+                        let vals = w.global_gather(&m.values, &idx);
+                        w.issue(1); // the map op
+                        let mapped = lanes_from_fn(|l| map(vals[l]));
+                        acc += w.warp_reduce(&mapped, &active, T::ZERO, |a, b| a + b);
+                        off += WARP_SIZE;
+                    }
+                    if kind == NormKind::L2 {
+                        w.issue(1);
+                        acc = acc.sqrt();
+                    }
+                    let oidx = lanes_from_fn(|l| (l == 0).then_some(row));
+                    w.global_scatter(&out, &oidx, &lanes_from_fn(|_| acc));
+                });
             });
         },
     );

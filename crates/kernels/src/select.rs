@@ -50,106 +50,113 @@ pub fn top_k_kernel<T: Real>(
                 let mut len = 0usize;
                 let mut threshold = T::INFINITY;
                 let mut base = 0usize;
-                while base < cols {
-                    let idx = lanes_from_fn(|l| {
-                        let c = base + l;
-                        (c < cols).then(|| row * cols + c)
-                    });
-                    let vals = w.global_gather(dists, &idx);
-                    // Threshold test: one compare issue for the warp.
-                    w.issue(1);
-                    let passing =
-                        lanes_from_fn(|l| idx[l].is_some() && (len < k || vals[l] < threshold));
-                    if passing.iter().any(|&p| p) {
-                        // Divergent insertion burst: passing lanes
-                        // serialize their shared-memory insertions.
-                        w.branch(&passing);
-                        for l in 0..WARP_SIZE {
-                            if !passing[l] {
-                                continue;
-                            }
-                            let col = (base + l) as u32;
-                            let v = vals[l];
-                            if len == k && !(v < threshold) {
-                                continue; // threshold moved this burst
-                            }
-                            // Binary insertion position (ties → lower col
-                            // wins, i.e. existing equal entries stay put).
-                            // smem-lint: begin-allow(serialized-emulation): host-side emulation of one lane's insertion sort; the burst is costed in aggregate by the smem_gather probe + issue at the end of the loop body
-                            let mut pos = len;
-                            while pos > 0 && v < cand_val.read(pos - 1) {
-                                pos -= 1;
-                            }
-                            if len == k {
-                                // Shift out the current worst.
-                                for s in ((pos + 1)..k).rev() {
-                                    cand_idx.write(s, cand_idx.read(s - 1));
-                                    cand_val.write(s, cand_val.read(s - 1));
+                w.range("scan", |w| {
+                    while base < cols {
+                        let idx = lanes_from_fn(|l| {
+                            let c = base + l;
+                            (c < cols).then(|| row * cols + c)
+                        });
+                        let vals = w.global_gather(dists, &idx);
+                        // Threshold test: one compare issue for the warp.
+                        w.issue(1);
+                        let passing =
+                            lanes_from_fn(|l| idx[l].is_some() && (len < k || vals[l] < threshold));
+                        if passing.iter().any(|&p| p) {
+                            // Divergent insertion burst: passing lanes
+                            // serialize their shared-memory insertions.
+                            w.branch(&passing);
+                            w.range("insert", |w| {
+                                for l in 0..WARP_SIZE {
+                                    if !passing[l] {
+                                        continue;
+                                    }
+                                    let col = (base + l) as u32;
+                                    let v = vals[l];
+                                    if len == k && !(v < threshold) {
+                                        continue; // threshold moved this burst
+                                    }
+                                    // Binary insertion position (ties → lower col
+                                    // wins, i.e. existing equal entries stay put).
+                                    // smem-lint: begin-allow(serialized-emulation): host-side emulation of one lane's insertion sort; the burst is costed in aggregate by the smem_gather probe + issue at the end of the loop body
+                                    let mut pos = len;
+                                    while pos > 0 && v < cand_val.read(pos - 1) {
+                                        pos -= 1;
+                                    }
+                                    if len == k {
+                                        // Shift out the current worst.
+                                        for s in ((pos + 1)..k).rev() {
+                                            cand_idx.write(s, cand_idx.read(s - 1));
+                                            cand_val.write(s, cand_val.read(s - 1));
+                                        }
+                                    } else {
+                                        for s in ((pos + 1)..=len).rev() {
+                                            cand_idx.write(s, cand_idx.read(s - 1));
+                                            cand_val.write(s, cand_val.read(s - 1));
+                                        }
+                                        len += 1;
+                                    }
+                                    cand_idx.write(pos, col);
+                                    cand_val.write(pos, v);
+                                    threshold = cand_val.read(len - 1);
+                                    // Cost of one serialized insertion: a probe
+                                    // plus the shifted stores.
+                                    let sidx = lanes_from_fn(|sl| (sl < len).then_some(sl));
+                                    w.smem_gather(&cand_val, &sidx);
+                                    w.issue(1);
+                                    // smem-lint: end-allow
                                 }
-                            } else {
-                                for s in ((pos + 1)..=len).rev() {
-                                    cand_idx.write(s, cand_idx.read(s - 1));
-                                    cand_val.write(s, cand_val.read(s - 1));
-                                }
-                                len += 1;
-                            }
-                            cand_idx.write(pos, col);
-                            cand_val.write(pos, v);
-                            threshold = cand_val.read(len - 1);
-                            // Cost of one serialized insertion: a probe
-                            // plus the shifted stores.
-                            let sidx = lanes_from_fn(|sl| (sl < len).then_some(sl));
-                            w.smem_gather(&cand_val, &sidx);
-                            w.issue(1);
-                            // smem-lint: end-allow
+                            });
                         }
-                    }
-                    base += WARP_SIZE;
-                }
-                // Write out the k results (coalesced).
-                // smem-lint: begin-allow(serialized-emulation): candidate list staged into registers for the coalesced emission; smem traffic was charged by the insertion-burst probes above
-                let oidx = lanes_from_fn(|l| (l < k).then(|| row * k + l));
-                let ovals = lanes_from_fn(|l| {
-                    if l < len {
-                        cand_val.read(l)
-                    } else {
-                        T::INFINITY
+                        base += WARP_SIZE;
                     }
                 });
-                let oidxs = lanes_from_fn(|l| if l < len { cand_idx.read(l) } else { u32::MAX });
-                if k <= WARP_SIZE {
-                    w.global_scatter(&out_val, &oidx, &ovals);
-                    w.global_scatter(&out_idx, &oidx, &oidxs);
-                } else {
-                    // k beyond one warp's width: chunked writes.
-                    let mut written = 0;
-                    while written < k {
-                        let widx = lanes_from_fn(|l| {
-                            let t = written + l;
-                            (t < k).then(|| row * k + t)
-                        });
-                        let wvals = lanes_from_fn(|l| {
-                            let t = written + l;
-                            if t < len {
-                                cand_val.read(t)
-                            } else {
-                                T::INFINITY
-                            }
-                        });
-                        let widxs = lanes_from_fn(|l| {
-                            let t = written + l;
-                            if t < len {
-                                cand_idx.read(t)
-                            } else {
-                                u32::MAX
-                            }
-                        });
-                        w.global_scatter(&out_val, &widx, &wvals);
-                        w.global_scatter(&out_idx, &widx, &widxs);
-                        written += WARP_SIZE;
+                // Write out the k results (coalesced).
+                w.range("emit", |w| {
+                    // smem-lint: begin-allow(serialized-emulation): candidate list staged into registers for the coalesced emission; smem traffic was charged by the insertion-burst probes above
+                    let oidx = lanes_from_fn(|l| (l < k).then(|| row * k + l));
+                    let ovals = lanes_from_fn(|l| {
+                        if l < len {
+                            cand_val.read(l)
+                        } else {
+                            T::INFINITY
+                        }
+                    });
+                    let oidxs =
+                        lanes_from_fn(|l| if l < len { cand_idx.read(l) } else { u32::MAX });
+                    if k <= WARP_SIZE {
+                        w.global_scatter(&out_val, &oidx, &ovals);
+                        w.global_scatter(&out_idx, &oidx, &oidxs);
+                    } else {
+                        // k beyond one warp's width: chunked writes.
+                        let mut written = 0;
+                        while written < k {
+                            let widx = lanes_from_fn(|l| {
+                                let t = written + l;
+                                (t < k).then(|| row * k + t)
+                            });
+                            let wvals = lanes_from_fn(|l| {
+                                let t = written + l;
+                                if t < len {
+                                    cand_val.read(t)
+                                } else {
+                                    T::INFINITY
+                                }
+                            });
+                            let widxs = lanes_from_fn(|l| {
+                                let t = written + l;
+                                if t < len {
+                                    cand_idx.read(t)
+                                } else {
+                                    u32::MAX
+                                }
+                            });
+                            w.global_scatter(&out_val, &widx, &wvals);
+                            w.global_scatter(&out_idx, &widx, &widxs);
+                            written += WARP_SIZE;
+                        }
                     }
-                }
-                // smem-lint: end-allow
+                    // smem-lint: end-allow
+                });
             });
         },
     );

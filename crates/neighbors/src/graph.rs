@@ -107,6 +107,7 @@ mod tests {
             sim_seconds: 0.0,
             batches: 1,
             peak_memory: Default::default(),
+            launches: Vec::new(),
         };
         assert!(kneighbors_graph(&res, 3, GraphMode::Connectivity).is_err());
     }
@@ -119,6 +120,7 @@ mod tests {
             sim_seconds: 0.0,
             batches: 0,
             peak_memory: Default::default(),
+            launches: Vec::new(),
         };
         let g = kneighbors_graph(&res, 5, GraphMode::Connectivity).expect("valid");
         assert_eq!(g.shape(), (2, 5));

@@ -1,7 +1,7 @@
 //! The brute-force `NearestNeighbors` estimator.
 
 use crate::topk::top_k_smallest;
-use gpu_sim::Device;
+use gpu_sim::{Device, LaunchStats};
 use kernels::{
     fused_knn, pairwise_distances_prepared, radius_filter_kernel, top_k_kernel, KernelError,
     MemoryFootprint, PairwiseOptions, PreparedIndex,
@@ -40,6 +40,10 @@ pub struct KnnResult<T> {
     pub batches: usize,
     /// Peak per-batch device memory accounting.
     pub peak_memory: MemoryFootprint,
+    /// Every kernel launch, in execution order (distance tiles,
+    /// selection/filter kernels, norm passes). Carries per-range
+    /// profiles when the device profiler is enabled.
+    pub launches: Vec<LaunchStats>,
 }
 
 /// Brute-force k-nearest-neighbors estimator over the sparse pairwise
@@ -175,6 +179,7 @@ impl<T: Real> NearestNeighbors<T> {
                 output_bytes: r.output_bytes,
                 workspace_bytes: 0,
             },
+            launches: r.launches,
         })
     }
 
@@ -207,6 +212,7 @@ impl<T: Real> NearestNeighbors<T> {
         let mut sim_seconds = 0.0;
         let mut batches = 0;
         let mut peak = MemoryFootprint::default();
+        let mut launches = Vec::new();
 
         let mut prepared: Vec<(usize, PreparedIndex<T>)> = Vec::new();
         let mut off = 0;
@@ -257,6 +263,7 @@ impl<T: Real> NearestNeighbors<T> {
                                 ));
                             }
                         }
+                        launches.push(f.stats);
                     }
                     Selection::Host => {
                         let host = tile.buffer.to_vec();
@@ -271,6 +278,7 @@ impl<T: Real> NearestNeighbors<T> {
                         }
                     }
                 }
+                launches.extend(tile.launches);
             }
             for mut cand in pool {
                 cand.sort_by(|a, b| {
@@ -288,6 +296,7 @@ impl<T: Real> NearestNeighbors<T> {
             sim_seconds,
             batches,
             peak_memory: peak,
+            launches,
         })
     }
 
@@ -313,6 +322,7 @@ impl<T: Real> NearestNeighbors<T> {
         let mut sim_seconds = 0.0;
         let mut batches = 0;
         let mut peak = MemoryFootprint::default();
+        let mut launches = Vec::new();
 
         // Prepare each index slab once: the CSR/COO uploads and the norm
         // reductions are then shared by every query batch instead of
@@ -366,6 +376,7 @@ impl<T: Real> NearestNeighbors<T> {
                                 }
                             }
                         }
+                        launches.push(sel_stats);
                     }
                     Selection::Host => {
                         let host = tile.buffer.to_vec();
@@ -379,6 +390,7 @@ impl<T: Real> NearestNeighbors<T> {
                         }
                     }
                 }
+                launches.extend(tile.launches);
             }
 
             // Merge slab candidates: sort by (distance, index) and keep k.
@@ -400,6 +412,7 @@ impl<T: Real> NearestNeighbors<T> {
             sim_seconds,
             batches,
             peak_memory: peak,
+            launches,
         })
     }
 }

@@ -1,0 +1,105 @@
+//! `check_bench_json` — CI gate for machine-readable bench output.
+//!
+//! Every bench harness writes a `bench.v1` document when invoked with
+//! `--json <path>`, and `spdist --profile=<path>` writes a
+//! chrome://tracing trace. Both formats are hand-rolled (the workspace
+//! carries no serde), so this tool re-parses them with the same
+//! `bench::Json` parser the writers validate against and fails CI when
+//! a file drifts from the schema.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p xtask --bin check_bench_json -- \
+//!     experiments_output/BENCH_*.json [--trace trace.json ...]
+//! ```
+//!
+//! Positional arguments are validated as `bench.v1` reports
+//! ([`bench::validate_report`]); each `--trace <path>` is validated as
+//! a chrome-trace ([`bench::validate_chrome_trace`]). Exit status is
+//! non-zero when any file fails to read, parse, or validate, or when no
+//! files were given at all (an empty CI glob is itself a regression).
+
+use std::fs;
+use std::process::ExitCode;
+
+use bench::{validate_chrome_trace, validate_report, Json};
+
+enum Kind {
+    Report,
+    Trace,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<(String, Kind)> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--trace" {
+            match args.get(i + 1) {
+                Some(path) => files.push((path.clone(), Kind::Trace)),
+                None => {
+                    eprintln!("error: --trace expects a path operand");
+                    return ExitCode::FAILURE;
+                }
+            }
+            i += 2;
+        } else {
+            files.push((args[i].clone(), Kind::Report));
+            i += 1;
+        }
+    }
+    if files.is_empty() {
+        eprintln!("check_bench_json: no files given (pass bench.v1 paths and/or --trace paths)");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failures = 0;
+    for (path, kind) in &files {
+        match check_file(path, kind) {
+            Ok(summary) => println!("ok   {path}: {summary}"),
+            Err(e) => {
+                failures += 1;
+                println!("FAIL {path}: {e}");
+            }
+        }
+    }
+    println!(
+        "check_bench_json: {} of {} files valid",
+        files.len() - failures,
+        files.len()
+    );
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn check_file(path: &str, kind: &Kind) -> Result<String, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let json = Json::parse(&text)?;
+    match kind {
+        Kind::Report => {
+            validate_report(&text)?;
+            let name = json
+                .get("name")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string();
+            let rows = json
+                .get("rows")
+                .and_then(Json::as_arr)
+                .map_or(0, <[Json]>::len);
+            Ok(format!("bench.v1 report {name:?}, {rows} rows"))
+        }
+        Kind::Trace => {
+            validate_chrome_trace(&text)?;
+            let events = json
+                .get("traceEvents")
+                .and_then(Json::as_arr)
+                .map_or(0, <[Json]>::len);
+            Ok(format!("chrome-trace, {events} events"))
+        }
+    }
+}

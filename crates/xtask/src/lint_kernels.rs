@@ -30,6 +30,14 @@
 //!   cost through `WarpCtx` (`issue`, `branch`, gathers/scatters),
 //!   never by editing the ledger.
 //!
+//! * **unranged-phase** (warn-only) — kernel files that launch warps
+//!   (`run_warps(`), contain counter-costed loops, but never open a
+//!   profiler range (`.range(`). Such kernels still cost correctly, but
+//!   every cycle lands in the profiler's "unattributed" bucket, so the
+//!   hot-spot report can't explain where the time went. Warnings are
+//!   printed but do not affect the exit status — elementwise kernels
+//!   with trivial bodies are legitimately range-free.
+//!
 //! Exit status is non-zero when any violation is found, so CI can gate
 //! on it. Run with `cargo run -p xtask --bin lint_kernels`.
 
@@ -86,6 +94,7 @@ fn main() -> ExitCode {
     }
 
     let mut violations = Vec::new();
+    let mut warnings = Vec::new();
     for path in &files {
         let text = match fs::read_to_string(path) {
             Ok(t) => t,
@@ -96,19 +105,28 @@ fn main() -> ExitCode {
         };
         let rel = path.strip_prefix(root).unwrap_or(path);
         violations.extend(lint_source(rel, &text));
+        warnings.extend(lint_unranged_phase(rel, &text));
     }
 
+    for w in &warnings {
+        println!("warning: {w}");
+    }
     if violations.is_empty() {
         println!(
-            "lint_kernels: {} files clean (uncosted-smem, counters-bypass)",
-            files.len()
+            "lint_kernels: {} files clean (uncosted-smem, counters-bypass), {} warning(s)",
+            files.len(),
+            warnings.len()
         );
         ExitCode::SUCCESS
     } else {
         for v in &violations {
             println!("{v}");
         }
-        println!("lint_kernels: {} violation(s)", violations.len());
+        println!(
+            "lint_kernels: {} violation(s), {} warning(s)",
+            violations.len(),
+            warnings.len()
+        );
         ExitCode::FAILURE
     }
 }
@@ -206,6 +224,46 @@ fn lint_source(file: &Path, text: &str) -> Vec<Violation> {
     out
 }
 
+/// Warn-only rule: a kernel file that launches warps and runs
+/// counter-costed loops, yet never opens a profiler range, leaves its
+/// whole cost in the "unattributed" bucket of the hot-spot report.
+/// Comments are stripped line-by-line before matching so doc prose
+/// can't trip the detector; the match is file-granular because ranges
+/// legitimately enclose whole phases rather than individual loops.
+fn lint_unranged_phase(file: &Path, text: &str) -> Option<String> {
+    let mut launches = false;
+    let mut costed_loop_line = None;
+    let mut has_loop = false;
+    let mut ranged = false;
+    for (i, line) in text.lines().enumerate() {
+        let code = strip_line_comment(line);
+        if code.contains("run_warps(") {
+            launches = true;
+        }
+        if code.contains(".range(") {
+            ranged = true;
+        }
+        let loopy = code.contains("while ") || code.contains("for ") || code.contains("loop {");
+        if loopy {
+            has_loop = true;
+        }
+        let costed =
+            code.contains(".issue(") || code.contains("_gather(") || code.contains("_scatter(");
+        if costed && has_loop && costed_loop_line.is_none() {
+            costed_loop_line = Some(i + 1);
+        }
+    }
+    match (launches, ranged, costed_loop_line) {
+        (true, false, Some(line)) => Some(format!(
+            "{}:{line}: [unranged-phase] kernel has counter-costed loops but no \
+             profiler range; wrap phases in `w.range(\"name\", ...)` so the \
+             hot-spot report can attribute their cost",
+            file.display()
+        )),
+        _ => None,
+    }
+}
+
 /// Drops a trailing `// …` comment (good enough for lint purposes; the
 /// kernel sources do not put `//` inside string literals on access
 /// lines).
@@ -301,5 +359,33 @@ let v = cand_val.read(0);
     fn comments_do_not_false_positive() {
         assert!(lint("// talk about arr.read(0) in prose\n").is_empty());
         assert!(lint("//! counters.\n").is_empty());
+    }
+
+    fn warn(text: &str) -> Option<String> {
+        lint_unranged_phase(Path::new("test.rs"), text)
+    }
+
+    #[test]
+    fn unranged_costed_loop_warns() {
+        let src = "dev.run_warps(cfg);\nwhile i < n {\n    w.issue(1);\n}\n";
+        let w = warn(src).expect("warns");
+        assert!(w.contains("unranged-phase"));
+        assert!(w.contains("test.rs:3"));
+    }
+
+    #[test]
+    fn ranged_or_loopless_kernels_do_not_warn() {
+        // Same loop, but wrapped in a range: clean.
+        let ranged = "dev.run_warps(cfg);\nw.range(\"scan\", |w| {\n    while i < n {\n        w.issue(1);\n    }\n});\n";
+        assert!(warn(ranged).is_none());
+        // Elementwise kernel with no loop at all: clean.
+        let elementwise = "dev.run_warps(cfg);\nw.issue(1);\nw.global_scatter(&out, &idx, &v);\n";
+        assert!(warn(elementwise).is_none());
+        // Loops without warp launches (host-side helper): clean.
+        let host = "for x in 0..n {\n    v.push(x);\n}\nw.issue(1);\n";
+        assert!(warn(host).is_none());
+        // Prose mentioning the triggers is not code.
+        let prose = "// dev.run_warps( then while  then .issue( in a comment\n";
+        assert!(warn(prose).is_none());
     }
 }

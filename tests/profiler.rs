@@ -1,0 +1,214 @@
+//! Profiler integration suite.
+//!
+//! Mirrors how Nsight Compute is trusted in practice:
+//!
+//! 1. **Coverage** — every kernel strategy, run under the profiler,
+//!    reports named ranges (≥3 per strategy) rather than dumping its
+//!    whole cost into the unattributed bucket.
+//! 2. **Attribution identity** — per launch, the exclusive
+//!    effective-issue counts of all ranges plus the unattributed
+//!    remainder must equal the launch total exactly. A profiler whose
+//!    percentages don't sum to 100 is lying somewhere.
+//! 3. **Export** — the chrome-trace document parses and validates with
+//!    the same checker CI runs (`xtask check_bench_json --trace`).
+//! 4. **Heisenberg check** — a proptest asserting that enabling the
+//!    profiler leaves both [`Counters`] and the [`CostBreakdown`]
+//!    byte-identical to an unprofiled run: observation must not perturb
+//!    the measurement.
+
+use std::collections::BTreeSet;
+
+use bench::validate_chrome_trace;
+use gpu_sim::{chrome_trace, Device, LaunchStats};
+use proptest::prelude::*;
+use semiring::{Distance, DistanceParams};
+use sparse::CsrMatrix;
+use sparse_dist::{PairwiseOptions, SmemMode, Strategy as KernelStrategy};
+
+const STRATEGIES: [KernelStrategy; 4] = [
+    KernelStrategy::ExpandSortContract,
+    KernelStrategy::NaiveCsr,
+    KernelStrategy::NaiveCsrShared,
+    KernelStrategy::HybridCooSpmv,
+];
+
+fn sample_matrix() -> CsrMatrix<f64> {
+    let trips: Vec<(u32, u32, f64)> = (0..24u32)
+        .flat_map(|r| (0..12u32).map(move |c| (r, (c * 11 + r * 3) % 64, 1.0 + f64::from(c))))
+        .collect();
+    CsrMatrix::from_triplets(24, 64, &trips).expect("valid")
+}
+
+fn profiled_launches(strategy: KernelStrategy, distance: Distance) -> Vec<LaunchStats> {
+    let dev = Device::volta().with_profiler(true);
+    let a = sample_matrix();
+    let q = a.slice_rows(0..8);
+    let opts = PairwiseOptions {
+        strategy,
+        smem_mode: SmemMode::Auto,
+    };
+    sparse_dist::pairwise_distances_with(&dev, &q, &a, distance, &DistanceParams::default(), &opts)
+        .unwrap_or_else(|e| panic!("{distance} via {}: {e}", strategy.name()))
+        .launches
+}
+
+/// Asserts the attribution identity for one launch: Σ exclusive counts
+/// over all ranges, plus the unattributed remainder, equals the launch
+/// total — for effective issues and for global traffic.
+fn assert_attribution_exact(stats: &LaunchStats) {
+    let profile = stats
+        .profile
+        .as_ref()
+        .unwrap_or_else(|| panic!("{}: profiler on but no profile", stats.name));
+    let range_issues: u64 = profile
+        .ranges
+        .iter()
+        .map(|r| r.exclusive.effective_issues())
+        .sum();
+    assert_eq!(
+        range_issues + profile.unattributed.effective_issues(),
+        profile.total.effective_issues(),
+        "{}: per-range effective issues do not sum to the launch total",
+        stats.name
+    );
+    let range_bytes: u64 = profile
+        .ranges
+        .iter()
+        .map(|r| r.exclusive.global_bytes)
+        .sum();
+    assert_eq!(
+        range_bytes + profile.unattributed.global_bytes,
+        profile.total.global_bytes,
+        "{}: per-range global bytes do not sum to the launch total",
+        stats.name
+    );
+    // The profile's notion of "total" is the launch's own ledger.
+    assert_eq!(
+        profile.total, stats.counters,
+        "{}: profile total diverges from launch counters",
+        stats.name
+    );
+}
+
+#[test]
+fn every_strategy_reports_named_ranges_with_exact_attribution() {
+    for strategy in STRATEGIES {
+        let launches = profiled_launches(strategy, Distance::Cosine);
+        assert!(!launches.is_empty());
+        let mut paths = BTreeSet::new();
+        for stats in &launches {
+            assert_attribution_exact(stats);
+            let profile = stats.profile.as_ref().expect("profiled");
+            for r in &profile.ranges {
+                assert!(r.calls > 0, "{}: range {} never called", stats.name, r.path);
+                paths.insert(r.path.clone());
+            }
+        }
+        assert!(
+            paths.len() >= 3,
+            "{}: expected >= 3 named ranges across its launches, got {:?}",
+            strategy.name(),
+            paths
+        );
+    }
+}
+
+#[test]
+fn range_estimates_never_exceed_the_launch_estimate() {
+    for strategy in STRATEGIES {
+        for stats in profiled_launches(strategy, Distance::Manhattan) {
+            let profile = stats.profile.as_ref().expect("profiled");
+            for r in &profile.ranges {
+                assert!(
+                    r.est_seconds <= profile.cost.total_seconds * (1.0 + 1e-9),
+                    "{}: range {} estimated above the whole launch",
+                    stats.name,
+                    r.path
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn profile_is_absent_when_the_profiler_is_off() {
+    let dev = Device::volta();
+    let a = sample_matrix();
+    let opts = PairwiseOptions::default();
+    let r = sparse_dist::pairwise_distances_with(
+        &dev,
+        &a,
+        &a,
+        Distance::Cosine,
+        &DistanceParams::default(),
+        &opts,
+    )
+    .expect("runs");
+    assert!(r.launches.iter().all(|l| l.profile.is_none()));
+}
+
+#[test]
+fn chrome_trace_round_trips_through_the_ci_validator() {
+    let mut launches = Vec::new();
+    for strategy in STRATEGIES {
+        launches.extend(profiled_launches(strategy, Distance::Cosine));
+    }
+    let trace = chrome_trace(&launches);
+    validate_chrome_trace(&trace).expect("chrome-trace validates");
+    // Determinism: the export is a pure function of the launch stats.
+    assert_eq!(trace, chrome_trace(&launches));
+}
+
+fn arb_matrix() -> impl Strategy<Value = CsrMatrix<f64>> {
+    (1usize..8, 1usize..16).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(
+            prop_oneof![
+                3 => Just(0.0f64),
+                2 => (1u32..400).prop_map(|v| v as f64 / 100.0),
+            ],
+            rows * cols,
+        )
+        .prop_map(move |data| CsrMatrix::from_dense(rows, cols, &data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The profiler is a pure observer: running with it enabled must
+    /// leave every counter and the cost estimate byte-identical to an
+    /// unprofiled run — for random inputs, every strategy, and a
+    /// distance from each expansion family.
+    #[test]
+    fn profiled_counters_and_cost_are_byte_identical_to_off(a in arb_matrix()) {
+        let off = Device::volta();
+        let on = Device::volta().with_profiler(true);
+        let params = DistanceParams::default();
+        for strategy in STRATEGIES {
+            for distance in [Distance::Manhattan, Distance::Cosine, Distance::DotProduct] {
+                let opts = PairwiseOptions { strategy, smem_mode: SmemMode::Auto };
+                let base = sparse_dist::pairwise_distances_with(
+                    &off, &a, &a, distance, &params, &opts,
+                ).expect("off run");
+                let profiled = sparse_dist::pairwise_distances_with(
+                    &on, &a, &a, distance, &params, &opts,
+                ).expect("profiled run");
+                prop_assert_eq!(base.launches.len(), profiled.launches.len());
+                for (b, p) in base.launches.iter().zip(&profiled.launches) {
+                    prop_assert!(b.profile.is_none());
+                    prop_assert!(p.profile.is_some(), "{}: no profile", p.name);
+                    prop_assert_eq!(
+                        &b.counters, &p.counters,
+                        "{} via {:?}: counters diverge under the profiler",
+                        distance, strategy
+                    );
+                    prop_assert_eq!(
+                        &b.cost, &p.cost,
+                        "{} via {:?}: cost estimate diverges under the profiler",
+                        distance, strategy
+                    );
+                }
+            }
+        }
+    }
+}
