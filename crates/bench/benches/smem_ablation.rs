@@ -47,6 +47,7 @@ fn bench_smem_modes(c: &mut Criterion) {
             let opts = PairwiseOptions {
                 strategy: Strategy::HybridCooSpmv,
                 smem_mode: mode,
+                resilience: None,
             };
             let r = pairwise_distances(&dev, &queries, &index, distance, &params, &opts)
                 .expect("mode runs");

@@ -48,6 +48,7 @@ fn bench_strategies(c: &mut Criterion) {
             let opts = PairwiseOptions {
                 strategy,
                 smem_mode: SmemMode::Auto,
+                resilience: None,
             };
             // Print the simulated-time ablation once.
             let r = pairwise_distances(&dev, &queries, &index, distance, &params, &opts)

@@ -96,6 +96,7 @@ fn main() {
             let opts = PairwiseOptions {
                 strategy: Strategy::HybridCooSpmv,
                 smem_mode: SmemMode::Hash,
+                resilience: None,
             };
             let r = pairwise_distances(dev, &queries, &index, d, &params, &opts).expect("runs");
             for i in 0..queries.rows() {

@@ -73,6 +73,7 @@ fn main() {
             let opts = PairwiseOptions {
                 strategy,
                 smem_mode: SmemMode::Hash,
+                resilience: None,
             };
             let r = pairwise_distances(&dev, &queries, &index, Distance::Manhattan, &params, &opts)
                 .expect("strategy runs");

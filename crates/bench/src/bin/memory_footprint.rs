@@ -56,6 +56,7 @@ fn main() {
         let opts = PairwiseOptions {
             strategy: Strategy::HybridCooSpmv,
             smem_mode: SmemMode::Hash,
+            resilience: None,
         };
         let ours = pairwise_distances(&dev, &queries, &index, Distance::Cosine, &params, &opts)
             .expect("hybrid runs");

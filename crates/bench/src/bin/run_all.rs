@@ -13,7 +13,7 @@ use std::fs;
 use std::path::Path;
 use std::process::Command;
 
-const HARNESSES: [&str; 7] = [
+const HARNESSES: [&str; 8] = [
     "table2",
     "figure1",
     "table3",
@@ -21,6 +21,7 @@ const HARNESSES: [&str; 7] = [
     "speedup",
     "counters_report",
     "arch_compare",
+    "resilience_report",
 ];
 
 fn main() {

@@ -63,6 +63,7 @@ fn main() {
                 let opts = PairwiseOptions {
                     strategy: Strategy::HybridCooSpmv,
                     smem_mode: SmemMode::Hash,
+                    resilience: None,
                 };
                 let gpu = pairwise_distances(&dev, &queries, &index, d, &params, &opts)
                     .expect("hybrid runs");

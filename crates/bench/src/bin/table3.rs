@@ -56,6 +56,7 @@ fn run_cell(
             let opts = PairwiseOptions {
                 strategy: Strategy::NaiveCsr,
                 smem_mode: SmemMode::Auto,
+                resilience: None,
             };
             let r = pairwise_distances(dev, queries, index, distance, params, &opts)
                 .expect("naive baseline runs");
@@ -69,6 +70,7 @@ fn run_cell(
         let opts = PairwiseOptions {
             strategy: Strategy::HybridCooSpmv,
             smem_mode: SmemMode::Hash,
+            resilience: None,
         };
         let r =
             pairwise_distances(dev, queries, index, distance, params, &opts).expect("hybrid runs");

@@ -17,16 +17,71 @@
 //! distance+selection kernel), `--profile[=trace.json]` (knn/pairwise:
 //! enable the per-range profiler, print a hot-spot report per launch,
 //! and optionally export a chrome://tracing file loadable in Perfetto).
+//!
+//! Resilience flags (knn/pairwise): `--resilience` enables the retry +
+//! fallback-cascade policy and prints its report to stderr;
+//! `--retries <n>` sets the transient-retry budget (implies
+//! `--resilience`); `--no-fallback` keeps retries but disables the
+//! strategy-degradation cascade.
+//!
+//! Failures are typed and mapped to exit codes so scripts can
+//! distinguish them: bad flags or unknown names exit 2, unreadable or
+//! unwritable files exit 3, and kernel/launch failures (including an
+//! exhausted fallback cascade) exit 4.
 
 use semiring::{Distance, DistanceParams};
 use sparse::{read_matrix_market, write_matrix_market, CsrMatrix, DegreeStats};
 use sparse_dist::{
     chrome_trace, kneighbors_graph, Device, GraphMode, LaunchStats, NearestNeighbors,
-    PairwiseOptions, SmemMode, Strategy,
+    PairwiseOptions, ResiliencePolicy, ResilienceReport, SmemMode, Strategy,
 };
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::process::ExitCode;
+
+/// A typed CLI failure, carrying its exit code.
+enum CliError {
+    /// Unusable command line: unknown command/metric/strategy, bad or
+    /// missing flag values. Exit code 2.
+    Config(String),
+    /// Unreadable, unparsable, or unwritable files. Exit code 3.
+    Input(String),
+    /// The simulated device rejected the work: kernel errors, sanitizer
+    /// findings, or an exhausted fallback cascade. Exit code 4.
+    Launch(String),
+}
+
+impl CliError {
+    fn config(msg: impl Into<String>) -> Self {
+        Self::Config(msg.into())
+    }
+
+    fn input(msg: impl Into<String>) -> Self {
+        Self::Input(msg.into())
+    }
+
+    fn launch(msg: impl Into<String>) -> Self {
+        Self::Launch(msg.into())
+    }
+
+    fn exit_code(&self) -> ExitCode {
+        match self {
+            Self::Config(_) => ExitCode::from(2),
+            Self::Input(_) => ExitCode::from(3),
+            Self::Launch(_) => ExitCode::from(4),
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Config(m) => write!(f, "config error: {m}"),
+            Self::Input(m) => write!(f, "input error: {m}"),
+            Self::Launch(m) => write!(f, "launch error: {m}"),
+        }
+    }
+}
 
 struct Args(Vec<String>);
 
@@ -38,9 +93,13 @@ impl Args {
             .map(|w| w[1].as_str())
     }
 
-    fn required(&self, name: &str) -> Result<&str, String> {
+    fn switch(&self, name: &str) -> bool {
+        self.0.iter().any(|a| a == name)
+    }
+
+    fn required(&self, name: &str) -> Result<&str, CliError> {
         self.flag(name)
-            .ok_or_else(|| format!("missing {name} <value>"))
+            .ok_or_else(|| CliError::config(format!("missing {name} <value>")))
     }
 
     /// `--profile` / `--profile=trace.json`: `None` = profiler off,
@@ -60,7 +119,7 @@ impl Args {
 
 /// Prints each profiled launch's hot-spot report and, when a trace path
 /// was requested, writes the chrome://tracing JSON for all launches.
-fn emit_profiles(launches: &[LaunchStats], trace_path: Option<&str>) -> Result<(), String> {
+fn emit_profiles(launches: &[LaunchStats], trace_path: Option<&str>) -> Result<(), CliError> {
     for stats in launches {
         if let Some(profile) = &stats.profile {
             eprintln!("profile: {} ({} blocks)", stats.name, stats.config.blocks);
@@ -69,7 +128,8 @@ fn emit_profiles(launches: &[LaunchStats], trace_path: Option<&str>) -> Result<(
     }
     if let Some(path) = trace_path {
         let json = chrome_trace(launches);
-        std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        std::fs::write(path, &json)
+            .map_err(|e| CliError::input(format!("cannot write {path}: {e}")))?;
         eprintln!(
             "spdist: wrote chrome-trace with {} profiled launches to {path} \
              (load in Perfetto / chrome://tracing)",
@@ -79,11 +139,32 @@ fn emit_profiles(launches: &[LaunchStats], trace_path: Option<&str>) -> Result<(
     Ok(())
 }
 
+/// Renders resilience reports to stderr (one per distance tile).
+fn emit_resilience(reports: &[ResilienceReport]) {
+    for r in reports {
+        eprintln!(
+            "resilience: {} attempt(s), final plan {}/{:?}{}{}",
+            r.attempts,
+            r.final_strategy.name(),
+            r.final_smem,
+            if r.downgraded { " (downgraded)" } else { "" },
+            if r.backoff_seconds > 0.0 {
+                format!(", {:.1} us simulated backoff", r.backoff_seconds * 1e6)
+            } else {
+                String::new()
+            },
+        );
+        for fault in &r.faults_absorbed {
+            eprintln!("  absorbed: {fault}");
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first().cloned() else {
-        eprintln!("usage: spdist <knn|pairwise|info> --input <file.mtx> [options]");
-        return ExitCode::FAILURE;
+        eprintln!("usage: spdist <knn|pairwise|info|gen|profile> --input <file.mtx> [options]");
+        return ExitCode::from(2);
     };
     let args = Args(argv);
     let result = match cmd.as_str() {
@@ -92,31 +173,60 @@ fn main() -> ExitCode {
         "info" => cmd_info(&args),
         "gen" => cmd_gen(&args),
         "profile" => cmd_profile(&args),
-        other => Err(format!("unknown command {other}")),
+        other => Err(CliError::config(format!("unknown command {other}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("spdist: {msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("spdist: {e}");
+            e.exit_code()
         }
     }
 }
 
-fn load(path: &str) -> Result<CsrMatrix<f32>, String> {
-    let f = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    read_matrix_market(f).map_err(|e| format!("cannot parse {path}: {e}"))
+fn load(path: &str) -> Result<CsrMatrix<f32>, CliError> {
+    let f = File::open(path).map_err(|e| CliError::input(format!("cannot open {path}: {e}")))?;
+    read_matrix_market(f).map_err(|e| CliError::input(format!("cannot parse {path}: {e}")))
+}
+
+/// Parsed resilience flags: the policy for the kernels plus whether the
+/// report should be rendered.
+fn parse_resilience(args: &Args) -> Result<(Option<ResiliencePolicy>, bool), CliError> {
+    let show = args.switch("--resilience");
+    let retries = args
+        .flag("--retries")
+        .map(|r| {
+            r.parse::<u32>()
+                .map_err(|_| CliError::config(format!("bad --retries {r}")))
+        })
+        .transpose()?;
+    let no_fallback = args.switch("--no-fallback");
+    if !show && retries.is_none() && !no_fallback {
+        return Ok((None, false));
+    }
+    let mut policy = match retries {
+        Some(r) => ResiliencePolicy::with_retries(r),
+        None => ResiliencePolicy::default(),
+    };
+    if no_fallback {
+        policy = policy.without_fallback();
+    }
+    Ok((Some(policy), show))
 }
 
 fn parse_common(
     args: &Args,
-) -> Result<(Distance, DistanceParams, PairwiseOptions, Device), String> {
+) -> Result<(Distance, DistanceParams, PairwiseOptions, Device, bool), CliError> {
     let metric = args.flag("--metric").unwrap_or("euclidean");
-    let distance = Distance::from_name(metric).ok_or_else(|| format!("unknown metric {metric}"))?;
+    let distance = Distance::from_name(metric)
+        .ok_or_else(|| CliError::config(format!("unknown metric {metric}")))?;
     let params = DistanceParams {
         minkowski_p: args
             .flag("--p")
-            .map(|p| p.parse().map_err(|_| format!("bad --p {p}")))
+            .map(|p| {
+                p.parse()
+                    .map_err(|_| CliError::config(format!("bad --p {p}")))
+            })
             .transpose()?
             .unwrap_or(2.0),
     };
@@ -124,37 +234,40 @@ fn parse_common(
         "hybrid" => Strategy::HybridCooSpmv,
         "naive" => Strategy::NaiveCsr,
         "esc" => Strategy::ExpandSortContract,
-        other => return Err(format!("unknown strategy {other}")),
+        other => return Err(CliError::config(format!("unknown strategy {other}"))),
     };
     let smem_mode = match args.flag("--smem").unwrap_or("auto") {
         "auto" => SmemMode::Auto,
         "dense" => SmemMode::Dense,
         "hash" => SmemMode::Hash,
         "bloom" => SmemMode::Bloom,
-        other => return Err(format!("unknown smem mode {other}")),
+        other => return Err(CliError::config(format!("unknown smem mode {other}"))),
     };
     let device = match args.flag("--device").unwrap_or("volta") {
         "volta" | "v100" => Device::volta(),
         "ampere" | "a100" => Device::ampere(),
-        other => return Err(format!("unknown device {other}")),
+        other => return Err(CliError::config(format!("unknown device {other}"))),
     };
     let device = if args.profile().is_some() {
         device.with_profiler(true)
     } else {
         device
     };
+    let (resilience, show_resilience) = parse_resilience(args)?;
     Ok((
         distance,
         params,
         PairwiseOptions {
             strategy,
             smem_mode,
+            resilience,
         },
         device,
+        show_resilience,
     ))
 }
 
-fn cmd_gen(args: &Args) -> Result<(), String> {
+fn cmd_gen(args: &Args) -> Result<(), CliError> {
     let name = args.required("--profile")?;
     let profile = match name.to_ascii_lowercase().as_str() {
         "movielens" => datasets::DatasetProfile::movielens(),
@@ -162,25 +275,26 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
         "scrna" => datasets::DatasetProfile::scrna(),
         "nytimes" | "nyt" => datasets::DatasetProfile::nytimes_bow(),
         other => {
-            return Err(format!(
+            return Err(CliError::config(format!(
                 "unknown profile {other} (movielens|edgar|scrna|nytimes)"
-            ))
+            )))
         }
     };
     let scale: f64 = args
         .flag("--scale")
         .unwrap_or("0.01")
         .parse()
-        .map_err(|_| "bad --scale".to_string())?;
+        .map_err(|_| CliError::config("bad --scale"))?;
     let seed: u64 = args
         .flag("--seed")
         .unwrap_or("1")
         .parse()
-        .map_err(|_| "bad --seed".to_string())?;
+        .map_err(|_| CliError::config("bad --seed"))?;
     let m = profile.scaled(scale).generate(seed);
     let out = args.required("--output")?;
-    let f = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
-    write_matrix_market(&m, BufWriter::new(f)).map_err(|e| format!("write failed: {e}"))?;
+    let f = File::create(out).map_err(|e| CliError::input(format!("cannot create {out}: {e}")))?;
+    write_matrix_market(&m, BufWriter::new(f))
+        .map_err(|e| CliError::input(format!("write failed: {e}")))?;
     eprintln!(
         "spdist: wrote {} ({} x {}, {} nonzeros, density {:.4}%)",
         out,
@@ -201,7 +315,7 @@ fn out(line: String) {
     }
 }
 
-fn cmd_profile(args: &Args) -> Result<(), String> {
+fn cmd_profile(args: &Args) -> Result<(), CliError> {
     let m = load(args.required("--input")?)?;
     let p = datasets::fit_profile(&m, "fitted", datasets::ValueDist::TfIdf);
     out("fitted profile:".into());
@@ -216,11 +330,12 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
             .flag("--seed")
             .unwrap_or("2")
             .parse()
-            .map_err(|_| "bad --seed".to_string())?;
+            .map_err(|_| CliError::config("bad --seed"))?;
         let replica = p.generate(seed);
-        let f = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+        let f =
+            File::create(out).map_err(|e| CliError::input(format!("cannot create {out}: {e}")))?;
         write_matrix_market(&replica, BufWriter::new(f))
-            .map_err(|e| format!("write failed: {e}"))?;
+            .map_err(|e| CliError::input(format!("write failed: {e}")))?;
         eprintln!(
             "spdist: wrote shape-matched replica to {out} ({} nonzeros, density {:.4}%)",
             replica.nnz(),
@@ -230,7 +345,7 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_info(args: &Args) -> Result<(), String> {
+fn cmd_info(args: &Args) -> Result<(), CliError> {
     let m = load(args.required("--input")?)?;
     let s = DegreeStats::of(&m);
     out(format!("shape:      {} x {}", s.rows, s.cols));
@@ -248,8 +363,8 @@ fn cmd_info(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_knn(args: &Args) -> Result<(), String> {
-    let (distance, params, options, device) = parse_common(args)?;
+fn cmd_knn(args: &Args) -> Result<(), CliError> {
+    let (distance, params, options, device, show_resilience) = parse_common(args)?;
     let query = load(args.required("--input")?)?;
     let index = match args.flag("--index") {
         Some(p) => load(p)?,
@@ -259,8 +374,8 @@ fn cmd_knn(args: &Args) -> Result<(), String> {
         .flag("--k")
         .unwrap_or("10")
         .parse()
-        .map_err(|_| "bad --k".to_string())?;
-    let fused = args.0.iter().any(|a| a == "--fused");
+        .map_err(|_| CliError::config("bad --k"))?;
+    let fused = args.switch("--fused");
     let nn = NearestNeighbors::new(device, distance)
         .with_params(params)
         .with_options(options)
@@ -268,7 +383,7 @@ fn cmd_knn(args: &Args) -> Result<(), String> {
         .fit(index.clone());
     let result = nn
         .kneighbors(&query, k)
-        .map_err(|e| format!("query failed: {e}"))?;
+        .map_err(|e| CliError::launch(format!("query failed: {e}")))?;
 
     eprintln!(
         "spdist: {} queries x {} index rows, {} tiles, {:.3} ms simulated GPU time",
@@ -277,6 +392,9 @@ fn cmd_knn(args: &Args) -> Result<(), String> {
         result.batches,
         result.sim_seconds * 1e3
     );
+    if show_resilience {
+        emit_resilience(&result.resilience);
+    }
     if let Some(trace) = args.profile() {
         emit_profiles(&result.launches, trace.as_deref())?;
     }
@@ -286,20 +404,24 @@ fn cmd_knn(args: &Args) -> Result<(), String> {
             let gm = match mode {
                 "connectivity" => GraphMode::Connectivity,
                 "distance" => GraphMode::Distance,
-                other => return Err(format!("unknown graph mode {other}")),
+                other => return Err(CliError::config(format!("unknown graph mode {other}"))),
             };
             let g = kneighbors_graph(&result, index.rows(), gm)
-                .map_err(|e| format!("graph build failed: {e}"))?;
+                .map_err(|e| CliError::launch(format!("graph build failed: {e}")))?;
             let out = args.flag("--output").unwrap_or("knn_graph.mtx");
-            let f = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
-            write_matrix_market(&g, BufWriter::new(f)).map_err(|e| format!("write failed: {e}"))?;
+            let f = File::create(out)
+                .map_err(|e| CliError::input(format!("cannot create {out}: {e}")))?;
+            write_matrix_market(&g, BufWriter::new(f))
+                .map_err(|e| CliError::input(format!("write failed: {e}")))?;
             eprintln!("spdist: wrote {} edges to {out}", g.nnz());
         }
         None => {
             let mut sink: Box<dyn Write> = match args.flag("--output") {
-                Some(p) => Box::new(BufWriter::new(
-                    File::create(p).map_err(|e| format!("cannot create {p}: {e}"))?,
-                )),
+                Some(p) => {
+                    Box::new(BufWriter::new(File::create(p).map_err(|e| {
+                        CliError::input(format!("cannot create {p}: {e}"))
+                    })?))
+                }
                 None => Box::new(std::io::stdout().lock()),
             };
             for (q, (idx, dist)) in result.indices.iter().zip(&result.distances).enumerate() {
@@ -309,22 +431,22 @@ fn cmd_knn(args: &Args) -> Result<(), String> {
                     .map(|(i, d)| format!("{i}:{d:.6}"))
                     .collect();
                 writeln!(sink, "{q}\t{}", cols.join("\t"))
-                    .map_err(|e| format!("write failed: {e}"))?;
+                    .map_err(|e| CliError::input(format!("write failed: {e}")))?;
             }
         }
     }
     Ok(())
 }
 
-fn cmd_pairwise(args: &Args) -> Result<(), String> {
-    let (distance, params, options, device) = parse_common(args)?;
+fn cmd_pairwise(args: &Args) -> Result<(), CliError> {
+    let (distance, params, options, device, show_resilience) = parse_common(args)?;
     let a = load(args.required("--input")?)?;
     let b = match args.flag("--index") {
         Some(p) => load(p)?,
         None => a.clone(),
     };
     let r = sparse_dist::pairwise_distances_with(&device, &a, &b, distance, &params, &options)
-        .map_err(|e| format!("pairwise failed: {e}"))?;
+        .map_err(|e| CliError::launch(format!("pairwise failed: {e}")))?;
     eprintln!(
         "spdist: {}x{} distances, {:.3} ms simulated across {} launches",
         a.rows(),
@@ -332,6 +454,11 @@ fn cmd_pairwise(args: &Args) -> Result<(), String> {
         r.sim_seconds() * 1e3,
         r.launches.len()
     );
+    if show_resilience {
+        if let Some(report) = &r.resilience {
+            emit_resilience(std::slice::from_ref(report));
+        }
+    }
     if let Some(trace) = args.profile() {
         emit_profiles(&r.launches, trace.as_deref())?;
     }
@@ -340,11 +467,14 @@ fn cmd_pairwise(args: &Args) -> Result<(), String> {
     // zeros, which for distances means self-pairs and exact ties only).
     let csr = CsrMatrix::from_dense(a.rows(), b.rows(), r.distances.as_slice());
     let mut sink: Box<dyn Write> = match args.flag("--output") {
-        Some(p) => Box::new(BufWriter::new(
-            File::create(p).map_err(|e| format!("cannot create {p}: {e}"))?,
-        )),
+        Some(p) => {
+            Box::new(BufWriter::new(File::create(p).map_err(|e| {
+                CliError::input(format!("cannot create {p}: {e}"))
+            })?))
+        }
         None => Box::new(std::io::stdout().lock()),
     };
-    write_matrix_market(&csr, &mut sink).map_err(|e| format!("write failed: {e}"))?;
+    write_matrix_market(&csr, &mut sink)
+        .map_err(|e| CliError::input(format!("write failed: {e}")))?;
     Ok(())
 }

@@ -38,7 +38,8 @@ pub use gpu_sim::{
     SanitizerReport, SimError,
 };
 pub use kernels::{
-    KernelError, MemoryFootprint, PairwiseOptions, PairwiseResult, SmemMode, Strategy,
+    FallbackCascade, KernelError, MemoryFootprint, PairwiseOptions, PairwiseResult,
+    ResiliencePolicy, ResilienceReport, SmemMode, Strategy,
 };
 pub use neighbors::{kneighbors_graph, GraphMode, KnnResult, NearestNeighbors, Selection};
 pub use semiring::{Distance, DistanceParams, Family, Monoid, Semiring};

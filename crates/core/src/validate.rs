@@ -24,9 +24,14 @@ pub struct InputError {
 
 impl std::fmt::Display for InputError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let need = if self.value.is_finite() {
+            "non-negative"
+        } else {
+            "finite"
+        };
         write!(
             f,
-            "{} requires non-negative input but cell ({}, {}) holds {}",
+            "{} requires {need} input but cell ({}, {}) holds {}",
             self.distance, self.row, self.col, self.value
         )
     }
@@ -38,7 +43,9 @@ impl std::error::Error for InputError {}
 ///
 /// Currently checks non-negativity for the distances that need it
 /// ([`Distance::requires_nonnegative`]); all other distances accept any
-/// real data. NaN values are rejected for every distance.
+/// real data. Non-finite values (NaN and ±∞) are rejected for every
+/// distance — an infinity survives the semiring passes and poisons the
+/// whole output row, so it is caught here instead.
 ///
 /// # Errors
 ///
@@ -46,7 +53,7 @@ impl std::error::Error for InputError {}
 pub fn validate_input<T: Real>(distance: Distance, m: &CsrMatrix<T>) -> Result<(), InputError> {
     let need_nonneg = distance.requires_nonnegative();
     for (r, c, v) in m.iter() {
-        if v.is_nan() || (need_nonneg && v < T::ZERO) {
+        if !v.is_finite() || (need_nonneg && v < T::ZERO) {
             return Err(InputError {
                 distance,
                 row: r as usize,
@@ -90,6 +97,18 @@ mod tests {
         let m = CsrMatrix::<f32>::from_dense(1, 2, &[1.0, f32::NAN]);
         for d in semiring::Distance::ALL {
             assert!(validate_input(d, &m).is_err(), "{d}");
+        }
+    }
+
+    #[test]
+    fn infinities_are_rejected_everywhere() {
+        for bad in [f64::INFINITY, f64::NEG_INFINITY] {
+            let m = CsrMatrix::<f64>::from_dense(2, 2, &[1.0, 0.0, bad, 2.0]);
+            for d in semiring::Distance::ALL {
+                let err = validate_input(d, &m).expect_err("must reject");
+                assert_eq!((err.row, err.col), (1, 0), "{d}");
+                assert_eq!(err.value, bad, "{d}");
+            }
         }
     }
 

@@ -99,18 +99,41 @@ impl<T: Copy + Default> SmemHashTable<T> {
     /// Keys are assumed distinct (CSR columns within a row are); inserting
     /// a duplicate key overwrites the stored value.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when a probe chain exhausts the table (the table is full) —
-    /// strategies must size with [`Self::capacity_for`] or partition
-    /// high-degree rows (§3.3.3).
+    /// When a probe chain exhausts the table (the table is full) the warp
+    /// records a [`crate::SimError::CapacityOverflow`] launch fault and
+    /// drops the remaining pending keys; `Device::try_launch` surfaces it
+    /// as a typed error (and the panicking `Device::launch` wrapper turns
+    /// it into a panic). Strategies must size with [`Self::capacity_for`]
+    /// or partition high-degree rows (§3.3.3).
     pub fn insert_warp(&self, w: &mut WarpCtx, keys: &Lanes<Option<u32>>, vals: &Lanes<T>) {
+        if w.take_injected_hash_overflow() {
+            w.record_capacity_overflow(
+                "smem-hash-table",
+                format!("injected insert overflow (capacity {})", self.capacity),
+            );
+            return;
+        }
         let mut pending = *keys;
         for probe in 0..=self.capacity {
             if pending.iter().all(Option::is_none) {
                 return;
             }
-            assert!(probe < self.capacity, "shared-memory hash table is full");
+            if probe == self.capacity {
+                // Probe chain exhausted every slot: the table is full.
+                // Record the overflow and drop the still-pending keys so
+                // the launch limps to a typed error instead of panicking
+                // the host.
+                w.record_capacity_overflow(
+                    "smem-hash-table",
+                    format!(
+                        "shared-memory hash table is full (capacity {})",
+                        self.capacity
+                    ),
+                );
+                return;
+            }
             let idx = lanes_from_fn(|l| pending[l].map(|k| self.slot(k, probe)));
             // Each lane claims its slot with an `atomicCAS` on the key
             // word; the returned old value tells it whether it won the
@@ -132,7 +155,16 @@ impl<T: Copy + Default> SmemHashTable<T> {
             let mut write_vals = [T::default(); WARP_SIZE];
             for l in 0..WARP_SIZE {
                 if let Some(k) = pending[l] {
-                    let i = idx[l].expect("active lane has a slot");
+                    let Some(i) = idx[l] else {
+                        // An active lane without a probe slot means the
+                        // lane state was corrupted; record it and drop
+                        // the lane instead of panicking the host.
+                        w.record_corrupted_lane(format!(
+                            "hash-table insert lane {l} active without a probe slot"
+                        ));
+                        pending[l] = None;
+                        continue;
+                    };
                     if old[l] == EMPTY || old[l] == k {
                         write_idx[l] = Some(i);
                         write_vals[l] = vals[l];
@@ -177,7 +209,13 @@ impl<T: Copy + Default> SmemHashTable<T> {
             for l in 0..WARP_SIZE {
                 if let Some(k) = pending[l] {
                     if found[l] == k {
-                        let i = idx[l].expect("active lane has a slot");
+                        let Some(i) = idx[l] else {
+                            w.record_corrupted_lane(format!(
+                                "hash-table lookup lane {l} active without a probe slot"
+                            ));
+                            pending[l] = None;
+                            continue;
+                        };
                         out[l] = Some(self.vals.read(i));
                         pending[l] = None;
                     } else if found[l] == EMPTY {
@@ -186,24 +224,33 @@ impl<T: Copy + Default> SmemHashTable<T> {
                 }
             }
         }
-        // Charge one value-read access for the hits.
-        let hit_idx = lanes_from_fn(|l| {
-            if out[l].is_some() {
-                keys[l].map(|k| {
-                    // Recompute final slot for bank accounting only.
-                    let mut p = 0;
-                    loop {
-                        let s = self.slot(k, p);
-                        if self.keys.read(s) == k {
-                            break s;
-                        }
-                        p += 1;
-                    }
-                })
-            } else {
-                None
+        // Charge one value-read access for the hits. The recomputed slot
+        // walk is bounded by the capacity: a hit whose key can no longer
+        // be found indicates corrupted table state and is recorded as a
+        // fault rather than spinning forever.
+        let mut hit_idx: Lanes<Option<usize>> = [None; WARP_SIZE];
+        for l in 0..WARP_SIZE {
+            if out[l].is_none() {
+                continue;
             }
-        });
+            let Some(k) = keys[l] else { continue };
+            // Recompute final slot for bank accounting only.
+            let mut slot = None;
+            for p in 0..self.capacity {
+                let s = self.slot(k, p);
+                if self.keys.read(s) == k {
+                    slot = Some(s);
+                    break;
+                }
+            }
+            if slot.is_none() {
+                w.record_corrupted_lane(format!(
+                    "hash-table hit for key {k} that is no longer present (capacity {})",
+                    self.capacity
+                ));
+            }
+            hit_idx[l] = slot;
+        }
         if hit_idx.iter().any(Option::is_some) {
             let _ = w.smem_gather(&self.vals, &hit_idx);
         }

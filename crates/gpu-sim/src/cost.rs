@@ -104,6 +104,34 @@ pub fn estimate_with_blocks(
     }
 }
 
+/// Inverts the compute roofline for watchdog budgeting: how many
+/// effective warp-instruction issues one block can retire in `seconds`
+/// of simulated time under this launch geometry. This is the straggler
+/// bound of [`estimate_with_blocks`] solved for `max_block_issues`, so a
+/// launch whose heaviest block stays within the budget would have a
+/// compute term of at most `seconds`.
+pub fn per_block_issue_budget(
+    spec: &DeviceSpec,
+    blocks: usize,
+    occupancy: &Occupancy,
+    seconds: f64,
+) -> u64 {
+    let active_sms = if occupancy.blocks_per_sm == 0 {
+        1
+    } else {
+        spec.sm_count
+            .min(blocks.div_ceil(occupancy.blocks_per_sm).max(1))
+    }
+    .min(spec.sm_count)
+    .max(1);
+    let hiding = (occupancy.fraction / LATENCY_HIDING_KNEE).clamp(1.0 / 64.0, 1.0);
+    let issue_rate =
+        active_sms as f64 * spec.issue_slots_per_sm as f64 * hiding * spec.clock_ghz * 1e9;
+    let per_block_rate =
+        issue_rate / (active_sms as f64 * occupancy.blocks_per_sm.max(1) as f64).max(1.0);
+    (seconds.max(0.0) * per_block_rate).ceil().max(1.0) as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

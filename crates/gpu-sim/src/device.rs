@@ -4,6 +4,7 @@ use std::rc::Rc;
 
 use crate::cost::{estimate_with_blocks, CostBreakdown};
 use crate::counters::Counters;
+use crate::fault::{FaultPlan, FaultState, LaunchFaults, WatchdogAbort};
 use crate::global::GlobalBuffer;
 use crate::prof::{BlockProfiler, LaunchProfile, LaunchProfiler};
 use crate::sanitizer::{BlockSanitizer, LaunchSanitizer, SanitizerMode, SanitizerReport, SimError};
@@ -26,6 +27,11 @@ pub struct LaunchConfig {
     /// Per-launch profiler override; `None` uses the device-wide setting
     /// ([`Device::with_profiler`]).
     pub profiler: Option<bool>,
+    /// Per-launch watchdog budget in effective warp-instruction issues
+    /// per block; `None` uses the device-wide budget
+    /// ([`Device::with_watchdog`], default unarmed). A block exceeding
+    /// the budget aborts the launch with [`SimError::WatchdogTimeout`].
+    pub watchdog: Option<u64>,
 }
 
 impl LaunchConfig {
@@ -37,6 +43,7 @@ impl LaunchConfig {
             smem_per_block,
             sanitizer: None,
             profiler: None,
+            watchdog: None,
         }
     }
 
@@ -49,6 +56,16 @@ impl LaunchConfig {
     /// Overrides the profiler for this launch only.
     pub fn with_profiler(mut self, enabled: bool) -> Self {
         self.profiler = Some(enabled);
+        self
+    }
+
+    /// Arms the launch watchdog with a budget of `issues` effective
+    /// warp-instruction issues per block. Derive the budget from the
+    /// cost model via [`Device::watchdog_budget`], or pass an absolute
+    /// count. A block that exceeds it aborts the launch with
+    /// [`SimError::WatchdogTimeout`] instead of looping forever.
+    pub fn with_watchdog(mut self, issues: u64) -> Self {
+        self.watchdog = Some(issues);
         self
     }
 
@@ -106,6 +123,7 @@ pub struct BlockCtx<'a> {
     l2: &'a mut L2Tracker,
     san: Rc<BlockSanitizer>,
     prof: Option<Rc<BlockProfiler>>,
+    faults: Rc<LaunchFaults>,
 }
 
 impl<'a> BlockCtx<'a> {
@@ -131,6 +149,14 @@ impl<'a> BlockCtx<'a> {
     /// [`Device::launch`] panics with) — the same error path kernel-side
     /// capacity planning uses, per the sizing discipline of §3.3.2.
     pub fn alloc_shared<T: Copy + Default>(&self, len: usize) -> SharedArray<T> {
+        if self.faults.take_injected_smem_failure() {
+            let bytes = len * std::mem::size_of::<T>();
+            self.faults.record(SimError::CapacityOverflow {
+                kernel: self.faults.kernel().to_string(),
+                resource: "smem-allocator".to_string(),
+                detail: format!("injected allocation failure ({bytes} bytes requested)"),
+            });
+        }
         self.shared.alloc_lenient(len)
     }
 
@@ -159,6 +185,8 @@ impl<'a> BlockCtx<'a> {
                 l2: self.l2,
                 san: self.san.as_ref(),
                 prof: self.prof.as_deref(),
+                faults: self.faults.as_ref(),
+                watchdog: self.faults.watchdog(),
             };
             f(&mut ctx);
         }
@@ -188,6 +216,11 @@ impl<'a> BlockCtx<'a> {
         self.counters.barriers += 1;
         self.counters.issues += self.warps_per_block as u64;
         self.san.block_sync();
+        if let Some(budget) = self.faults.watchdog() {
+            if self.counters.effective_issues() > budget {
+                std::panic::panic_any(WatchdogAbort);
+            }
+        }
     }
 
     /// Direct counter access for block-level macro-ops (sorting networks
@@ -225,6 +258,8 @@ pub struct Device {
     spec: DeviceSpec,
     sanitizer: SanitizerMode,
     profiler: bool,
+    fault: Option<Rc<FaultState>>,
+    watchdog: Option<u64>,
 }
 
 impl Device {
@@ -234,6 +269,8 @@ impl Device {
             spec,
             sanitizer: SanitizerMode::Off,
             profiler: false,
+            fault: None,
+            watchdog: None,
         }
     }
 
@@ -271,6 +308,49 @@ impl Device {
     /// Whether the profiler is enabled device-wide.
     pub fn profiler(&self) -> bool {
         self.profiler
+    }
+
+    /// Attaches a deterministic [`FaultPlan`]: every subsequent launch
+    /// consumes one launch ordinal and rolls the plan's armed fault
+    /// classes against it (see [`crate::fault`]). Clones of the device
+    /// share the ordinal counter, so a fixed launch sequence sees a
+    /// fixed fault sequence. An unarmed plan removes injection entirely.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = plan.is_armed().then(|| Rc::new(FaultState::new(plan)));
+        self
+    }
+
+    /// The attached fault plan, when one is armed.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_deref().map(|s| &s.plan)
+    }
+
+    /// Arms the launch watchdog device-wide with a budget of `issues`
+    /// effective warp-instruction issues per block (individual launches
+    /// may override it via [`LaunchConfig::with_watchdog`]). A block
+    /// exceeding the budget aborts its launch with
+    /// [`SimError::WatchdogTimeout`] — a runaway kernel (e.g. a
+    /// livelocked probe loop) becomes a typed error instead of a hung
+    /// process.
+    pub fn with_watchdog(mut self, issues: u64) -> Self {
+        self.watchdog = Some(issues);
+        self
+    }
+
+    /// The device-wide watchdog budget, when armed.
+    pub fn watchdog(&self) -> Option<u64> {
+        self.watchdog
+    }
+
+    /// Converts a simulated-seconds deadline into a per-block
+    /// effective-issue watchdog budget for `config`'s geometry, using
+    /// the inverse of the cost model's compute roofline
+    /// ([`crate::cost::per_block_issue_budget`]).
+    pub fn watchdog_budget(&self, config: &LaunchConfig, seconds: f64) -> u64 {
+        let occupancy = self
+            .spec
+            .occupancy(config.threads_per_block, config.smem_per_block);
+        crate::cost::per_block_issue_budget(&self.spec, config.blocks, &occupancy, seconds)
     }
 
     /// The device spec.
@@ -337,6 +417,22 @@ impl Device {
             .profiler
             .unwrap_or(self.profiler)
             .then(|| Rc::new(LaunchProfiler::new()));
+        let watchdog = config.watchdog.or(self.watchdog);
+        let inject = match &self.fault {
+            Some(state) => {
+                let ordinal = state.next_ordinal();
+                let set = state.plan.decide(ordinal);
+                if set.transient {
+                    return Err(SimError::TransientFault {
+                        kernel: name.to_string(),
+                        detail: format!("injected transient launch failure (launch #{ordinal})"),
+                    });
+                }
+                Some(set)
+            }
+            None => None,
+        };
+        let faults = Rc::new(LaunchFaults::new(name, inject, watchdog));
         let mut total = Counters::new();
         let mut max_block_issues = 0u64;
         let mut l2 = L2Tracker::new();
@@ -358,9 +454,30 @@ impl Device {
                 prof: lprof
                     .as_ref()
                     .map(|lp| Rc::new(BlockProfiler::new(lp.clone(), b))),
+                faults: faults.clone(),
             };
-            kernel(&mut block);
+            if watchdog.is_some() {
+                // A tripped watchdog unwinds out of the (possibly
+                // livelocked) kernel closure with a sentinel payload;
+                // anything else keeps unwinding.
+                let caught =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| kernel(&mut block)));
+                if let Err(payload) = caught {
+                    if payload.is::<WatchdogAbort>() {
+                        return Err(SimError::WatchdogTimeout {
+                            kernel: name.to_string(),
+                            budget: watchdog.unwrap_or(0),
+                        });
+                    }
+                    std::panic::resume_unwind(payload);
+                }
+            } else {
+                kernel(&mut block);
+            }
             if let Some(fault) = block.shared.take_fault() {
+                return Err(fault);
+            }
+            if let Some(fault) = faults.take() {
                 return Err(fault);
             }
             max_block_issues = max_block_issues.max(block.counters.effective_issues());

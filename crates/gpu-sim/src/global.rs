@@ -23,6 +23,9 @@ pub struct GlobalBuffer<T> {
     /// [`GlobalBuffer::uninit`] (like `cudaMalloc` without a memset);
     /// `None` for buffers whose construction defines every element.
     init: Option<RefCell<Vec<bool>>>,
+    /// Optional human-readable label; fault injection targets buffers by
+    /// label (see [`crate::fault::FaultPlan::with_bit_flips`]).
+    label: RefCell<Option<String>>,
 }
 
 impl<T: Copy + Default> GlobalBuffer<T> {
@@ -37,6 +40,7 @@ impl<T: Copy + Default> GlobalBuffer<T> {
             id: NEXT_BUFFER_ID.fetch_add(1, Ordering::Relaxed),
             data: RefCell::new(data),
             init: None,
+            label: RefCell::new(None),
         }
     }
 
@@ -50,12 +54,37 @@ impl<T: Copy + Default> GlobalBuffer<T> {
             id: NEXT_BUFFER_ID.fetch_add(1, Ordering::Relaxed),
             data: RefCell::new(vec![T::default(); len]),
             init: Some(RefCell::new(vec![false; len])),
+            label: RefCell::new(None),
         }
     }
 
     /// Process-unique allocation id (keys the launch-level L2 model).
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// Names the buffer for diagnostics and fault targeting
+    /// ([`crate::fault::FaultPlan::with_bit_flips`] selects buffers by
+    /// label).
+    pub fn set_label(&self, label: &str) {
+        *self.label.borrow_mut() = Some(label.to_string());
+    }
+
+    /// Builder-style [`GlobalBuffer::set_label`].
+    pub fn with_label(self, label: &str) -> Self {
+        self.set_label(label);
+        self
+    }
+
+    /// The buffer's label, if one was set.
+    pub fn label(&self) -> Option<String> {
+        self.label.borrow().clone()
+    }
+
+    /// Runs `f` on the label without cloning (the fault injector's
+    /// match path).
+    pub(crate) fn with_label_ref<R>(&self, f: impl FnOnce(Option<&str>) -> R) -> R {
+        f(self.label.borrow().as_deref())
     }
 
     /// Copies host data from a slice.

@@ -42,6 +42,7 @@ pub mod collections;
 pub mod cost;
 pub mod counters;
 pub mod device;
+pub mod fault;
 pub mod global;
 pub mod murmur;
 pub mod prims;
@@ -55,6 +56,7 @@ pub use collections::{SmemBloomFilter, SmemHashTable};
 pub use cost::CostBreakdown;
 pub use counters::Counters;
 pub use device::{BlockCtx, Device, LaunchConfig, LaunchStats};
+pub use fault::FaultPlan;
 pub use global::GlobalBuffer;
 pub use prims::{bitonic_sort_by_key, warp_binary_search};
 pub use prof::{chrome_trace, json_escape, LaunchProfile, RangeStats, TraceSpan};

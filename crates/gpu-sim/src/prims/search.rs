@@ -35,7 +35,14 @@ pub fn warp_binary_search(
             if !live[l] {
                 continue;
             }
-            let key = keys[l].expect("live lane has a key");
+            let Some(key) = keys[l] else {
+                // A live lane without a key means the lane state was
+                // corrupted; record and retire the lane instead of
+                // panicking the host.
+                w.record_corrupted_lane(format!("binary-search lane {l} live without a key"));
+                live[l] = false;
+                continue;
+            };
             let mid = (lo[l] + hi[l]) / 2;
             match mid_val[l].cmp(&key) {
                 std::cmp::Ordering::Equal => {

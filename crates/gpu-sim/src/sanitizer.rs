@@ -164,6 +164,39 @@ pub enum SimError {
         /// Every report the checkers produced.
         reports: Vec<SanitizerReport>,
     },
+    /// A transient, retryable fault: an injected launch failure, a
+    /// detected-and-corrected single-bit upset on a global buffer, or a
+    /// corrupted lane recorded by a hardened warp primitive (see
+    /// [`crate::fault`]). Retrying the same launch is expected to
+    /// succeed.
+    TransientFault {
+        /// Kernel name of the failing launch.
+        kernel: String,
+        /// What went wrong, for logs and reports.
+        detail: String,
+    },
+    /// The launch exceeded its watchdog budget
+    /// ([`crate::LaunchConfig::with_watchdog`] /
+    /// [`crate::Device::with_watchdog`]): some block issued more
+    /// effective warp instructions than allowed, the usual signature of
+    /// a livelocked loop.
+    WatchdogTimeout {
+        /// Kernel name of the failing launch.
+        kernel: String,
+        /// The per-block effective-issue budget that was exceeded.
+        budget: u64,
+    },
+    /// A block-cooperative structure (hash table, shared-memory
+    /// allocator) ran out of capacity at run time — the data-dependent
+    /// failure the hybrid planner's fallback cascade exists to absorb.
+    CapacityOverflow {
+        /// Kernel name of the failing launch.
+        kernel: String,
+        /// Which structure overflowed (e.g. `smem-hash-table`).
+        resource: String,
+        /// What went wrong, for logs and reports.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -193,6 +226,21 @@ impl fmt::Display for SimError {
                 }
                 Ok(())
             }
+            SimError::TransientFault { kernel, detail } => {
+                write!(f, "transient fault in kernel `{kernel}`: {detail}")
+            }
+            SimError::WatchdogTimeout { kernel, budget } => write!(
+                f,
+                "watchdog timeout in kernel `{kernel}`: exceeded {budget} effective issues per block"
+            ),
+            SimError::CapacityOverflow {
+                kernel,
+                resource,
+                detail,
+            } => write!(
+                f,
+                "capacity overflow in kernel `{kernel}` ({resource}): {detail}"
+            ),
         }
     }
 }

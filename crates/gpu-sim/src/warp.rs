@@ -9,9 +9,10 @@
 //! one serialization step per same-address atomic.
 
 use crate::counters::Counters;
+use crate::fault::{LaunchFaults, WatchdogAbort};
 use crate::global::GlobalBuffer;
 use crate::prof::BlockProfiler;
-use crate::sanitizer::{BlockSanitizer, CheckerKind, MemSpace};
+use crate::sanitizer::{BlockSanitizer, CheckerKind, MemSpace, SimError};
 use crate::shared::SharedArray;
 use crate::spec::DeviceSpec;
 use std::collections::HashSet;
@@ -51,6 +52,8 @@ pub struct WarpCtx<'a> {
     pub(crate) l2: &'a mut L2Tracker,
     pub(crate) san: &'a BlockSanitizer,
     pub(crate) prof: Option<&'a BlockProfiler>,
+    pub(crate) faults: &'a LaunchFaults,
+    pub(crate) watchdog: Option<u64>,
 }
 
 impl<'a> WarpCtx<'a> {
@@ -80,11 +83,81 @@ impl<'a> WarpCtx<'a> {
         self.global_warp_id() * WARP_SIZE + l
     }
 
+    /// Watchdog check on the warp's charge paths: a block that exceeds
+    /// its effective-issue budget unwinds with the sentinel
+    /// [`WatchdogAbort`], which [`crate::Device::try_launch`] converts
+    /// into [`SimError::WatchdogTimeout`]. Unarmed launches pay one
+    /// `None` branch.
+    #[inline]
+    fn watchdog_tick(&self) {
+        if let Some(budget) = self.watchdog {
+            if self.counters.effective_issues() > budget {
+                std::panic::panic_any(WatchdogAbort);
+            }
+        }
+    }
+
+    /// Records a launch-level fault (first one wins) that
+    /// [`crate::Device::try_launch`] surfaces as `Err` once the current
+    /// block finishes — the record-and-limp discipline hardened kernel
+    /// primitives use instead of panicking mid-launch.
+    pub fn record_fault(&mut self, e: SimError) {
+        self.faults.record(e);
+    }
+
+    /// Records a [`SimError::CapacityOverflow`] for this launch, filling
+    /// in the kernel name.
+    pub fn record_capacity_overflow(&mut self, resource: &str, detail: impl Into<String>) {
+        let e = SimError::CapacityOverflow {
+            kernel: self.faults.kernel().to_string(),
+            resource: resource.to_string(),
+            detail: detail.into(),
+        };
+        self.faults.record(e);
+    }
+
+    /// Records a [`SimError::TransientFault`] for this launch (a
+    /// corrupted-lane event), filling in the kernel name.
+    pub fn record_corrupted_lane(&mut self, detail: impl Into<String>) {
+        let e = SimError::TransientFault {
+            kernel: self.faults.kernel().to_string(),
+            detail: detail.into(),
+        };
+        self.faults.record(e);
+    }
+
+    /// Whether a fault has already been recorded for this launch —
+    /// kernels may use it to skip work they know will be discarded.
+    pub fn fault_pending(&self) -> bool {
+        self.faults.pending()
+    }
+
+    /// Consumes the injected hash-table overflow scheduled for this
+    /// launch, if any (see
+    /// [`crate::fault::FaultPlan::with_hash_overflows`]).
+    pub(crate) fn take_injected_hash_overflow(&self) -> bool {
+        self.faults.take_injected_hash_overflow()
+    }
+
+    /// Fault-injection hook on the global access paths: fires the
+    /// scheduled single-bit upset when `buf` is the plan's labeled
+    /// target.
+    #[inline]
+    fn fault_check_global<T: Copy + Default>(&self, buf: &GlobalBuffer<T>) {
+        if self.faults.wants_flip() {
+            buf.with_label_ref(|label| {
+                self.faults
+                    .maybe_flip(label, buf.len(), 8 * std::mem::size_of::<T>() as u32)
+            });
+        }
+    }
+
     /// Charges `n` warp-instruction issues (ALU / control work with no
     /// memory traffic).
     #[inline]
     pub fn issue(&mut self, n: u64) {
         self.counters.issues += n;
+        self.watchdog_tick();
     }
 
     /// Records a divergent branch: a warp whose active lanes split into
@@ -186,6 +259,7 @@ impl<'a> WarpCtx<'a> {
         buf: &GlobalBuffer<T>,
         idx: &Lanes<Option<usize>>,
     ) -> Lanes<T> {
+        self.fault_check_global(buf);
         let idx = self.memcheck(
             buf.len(),
             idx,
@@ -212,6 +286,7 @@ impl<'a> WarpCtx<'a> {
         idx: &Lanes<Option<usize>>,
         vals: &Lanes<T>,
     ) {
+        self.fault_check_global(buf);
         let idx = self.memcheck(
             buf.len(),
             idx,
@@ -237,6 +312,7 @@ impl<'a> WarpCtx<'a> {
         vals: &Lanes<T>,
         op: impl Fn(T, T) -> T,
     ) {
+        self.fault_check_global(buf);
         let idx = self.memcheck(
             buf.len(),
             idx,
@@ -449,6 +525,7 @@ impl<'a> WarpCtx<'a> {
 
     fn charge_global<T>(&mut self, buf_id: u64, idx: &Lanes<Option<usize>>) {
         self.counters.issues += 1;
+        self.watchdog_tick();
         let seg = self.spec.mem_transaction_bytes;
         let esz = std::mem::size_of::<T>();
         let mut segments: Vec<usize> = idx.iter().flatten().map(|&i| i * esz / seg).collect();
@@ -471,6 +548,7 @@ impl<'a> WarpCtx<'a> {
     {
         self.counters.issues += 1;
         self.counters.smem_accesses += 1;
+        self.watchdog_tick();
         let banks = self.spec.smem_banks;
         // Distinct 4-byte *word* addresses per bank; broadcast of the same
         // word is conflict-free on real hardware. Elements wider than a
@@ -508,6 +586,7 @@ mod tests {
         let (spec, mut counters) = ctx_counters();
         let mut l2 = L2Tracker::new();
         let san = BlockSanitizer::disabled();
+        let faults = LaunchFaults::disabled();
         let r = {
             let mut ctx = WarpCtx {
                 block_id: 0,
@@ -518,6 +597,8 @@ mod tests {
                 l2: &mut l2,
                 san: &san,
                 prof: None,
+                faults: &faults,
+                watchdog: None,
             };
             f(&mut ctx)
         };

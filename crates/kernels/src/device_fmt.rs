@@ -21,13 +21,15 @@ pub struct DeviceCsr<T> {
 }
 
 impl<T: Real> DeviceCsr<T> {
-    /// Uploads a host CSR matrix.
+    /// Uploads a host CSR matrix. Buffers are labeled (`csr.indptr`,
+    /// `csr.indices`, `csr.values`) so the fault injector can target
+    /// them by name.
     pub fn upload(dev: &Device, m: &CsrMatrix<T>) -> Self {
         let indptr: Vec<u32> = m.indptr().iter().map(|&p| p as u32).collect();
         Self {
-            indptr: dev.buffer_from_slice(&indptr),
-            indices: dev.buffer_from_slice(m.indices()),
-            values: dev.buffer_from_slice(m.values()),
+            indptr: dev.buffer_from_slice(&indptr).with_label("csr.indptr"),
+            indices: dev.buffer_from_slice(m.indices()).with_label("csr.indices"),
+            values: dev.buffer_from_slice(m.values()).with_label("csr.values"),
             rows: m.rows(),
             cols: m.cols(),
         }
@@ -71,13 +73,19 @@ pub struct DeviceCoo<T> {
 }
 
 impl<T: Real> DeviceCoo<T> {
-    /// Uploads the COO expansion of a host CSR matrix.
+    /// Uploads the COO expansion of a host CSR matrix. Buffers are
+    /// labeled (`coo.row_indices`, `coo.col_indices`, `coo.values`) so
+    /// the fault injector can target them by name.
     pub fn upload(dev: &Device, m: &CsrMatrix<T>) -> Self {
         let coo = CooMatrix::from(m);
         Self {
-            row_indices: dev.buffer_from_slice(coo.row_indices()),
-            col_indices: dev.buffer_from_slice(coo.col_indices()),
-            values: dev.buffer_from_slice(coo.values()),
+            row_indices: dev
+                .buffer_from_slice(coo.row_indices())
+                .with_label("coo.row_indices"),
+            col_indices: dev
+                .buffer_from_slice(coo.col_indices())
+                .with_label("coo.col_indices"),
+            values: dev.buffer_from_slice(coo.values()).with_label("coo.values"),
             rows: m.rows(),
             cols: m.cols(),
         }
@@ -126,6 +134,18 @@ mod tests {
         let d = DeviceCoo::upload(&dev, &sample());
         assert_eq!(d.row_indices.to_vec(), vec![0, 0, 1]);
         assert_eq!(d.workspace_bytes(), 12);
+    }
+
+    #[test]
+    fn uploads_label_buffers_for_fault_targeting() {
+        let dev = Device::volta();
+        let csr = DeviceCsr::upload(&dev, &sample());
+        assert_eq!(csr.values.label().as_deref(), Some("csr.values"));
+        assert_eq!(csr.indices.label().as_deref(), Some("csr.indices"));
+        assert_eq!(csr.indptr.label().as_deref(), Some("csr.indptr"));
+        let coo = DeviceCoo::upload(&dev, &sample());
+        assert_eq!(coo.row_indices.label().as_deref(), Some("coo.row_indices"));
+        assert_eq!(coo.values.label().as_deref(), Some("coo.values"));
     }
 
     #[test]

@@ -98,6 +98,7 @@ pub fn expand_sort_contract_kernel<T: Real>(
                         });
                         let is_a = lanes_from_fn(|l| base + l < da);
                         let cols = lanes_from_fn(|l| if base + l < da { gidx[l] } else { gidx[l] });
+                        // panic-lint: begin-allow(guarded-unwrap): every expect is gated on is_some() for the same lane
                         let col_a = w.global_gather(
                             &a.indices,
                             &lanes_from_fn(|l| {
@@ -122,6 +123,7 @@ pub fn expand_sort_contract_kernel<T: Real>(
                                 (!is_a[l] && gidx[l].is_some()).then(|| gidx[l].expect("set"))
                             }),
                         );
+                        // panic-lint: end-allow
                         let _ = cols;
                         let sidx = lanes_from_fn(|l| {
                             let t = base + l;

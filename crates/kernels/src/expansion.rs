@@ -3,6 +3,7 @@
 //! element-wise primitive ... to map each entry in the dot product matrix
 //! to an individual GPU thread to coalesce the reads and writes."
 
+use crate::error::KernelError;
 use gpu_sim::{lanes_from_fn, Device, GlobalBuffer, LaunchConfig, LaunchStats, WARP_SIZE};
 use semiring::{Distance, DistanceParams, ExpansionInputs, Family};
 use sparse::Real;
@@ -15,6 +16,11 @@ const BLOCK_THREADS: usize = 256;
 ///
 /// `a_norms` / `b_norms` hold one buffer per [`Distance::norms`] entry
 /// (up to two), indexed by row for `A` and by column for `B`.
+///
+/// # Errors
+///
+/// Returns [`KernelError::Launch`] when the simulator rejects the launch
+/// (sanitizer findings, injected faults, or a watchdog timeout).
 ///
 /// # Panics
 ///
@@ -29,7 +35,7 @@ pub fn expansion_kernel<T: Real>(
     a_norms: &[&GlobalBuffer<T>],
     b_norms: &[&GlobalBuffer<T>],
     distance: Distance,
-) -> LaunchStats {
+) -> Result<LaunchStats, KernelError> {
     assert!(
         distance.family() == Family::Expanded || !distance.norms().is_empty(),
         "expansion kernel applies to expanded-family or norm-fed distances"
@@ -41,7 +47,7 @@ pub fn expansion_kernel<T: Real>(
 
     let total = rows * cols;
     let blocks = total.div_ceil(BLOCK_THREADS).max(1);
-    dev.launch(
+    dev.try_launch(
         "expansion",
         LaunchConfig::new(blocks, BLOCK_THREADS, 0),
         |block| {
@@ -83,10 +89,16 @@ pub fn expansion_kernel<T: Real>(
             });
         },
     )
+    .map_err(KernelError::from)
 }
 
 /// Applies the NAMM finalization (`/k`, `√(·/2)`, `(·)^{1/p}`, …) to
 /// every cell of the accumulated union matrix, in place.
+///
+/// # Errors
+///
+/// Returns [`KernelError::Launch`] when the simulator rejects the launch
+/// (sanitizer findings, injected faults, or a watchdog timeout).
 ///
 /// # Panics
 ///
@@ -99,7 +111,7 @@ pub fn finalize_kernel<T: Real>(
     k: usize,
     distance: Distance,
     params: &DistanceParams,
-) -> LaunchStats {
+) -> Result<LaunchStats, KernelError> {
     assert!(
         distance.family() == Family::Namm && distance.norms().is_empty(),
         "finalize kernel only applies to norm-free NAMM-family distances"
@@ -108,7 +120,7 @@ pub fn finalize_kernel<T: Real>(
     let total = rows * cols;
     let blocks = total.div_ceil(BLOCK_THREADS).max(1);
     let params = *params;
-    dev.launch(
+    dev.try_launch(
         "finalize",
         LaunchConfig::new(blocks, BLOCK_THREADS, 0),
         |block| {
@@ -127,6 +139,7 @@ pub fn finalize_kernel<T: Real>(
             });
         },
     )
+    .map_err(KernelError::from)
 }
 
 #[cfg(test)]
@@ -140,7 +153,8 @@ mod tests {
         let dots = dev.buffer_from_slice(&[0.0f64, 12.0]);
         let an = dev.buffer_from_slice(&[9.0f64]);
         let bn = dev.buffer_from_slice(&[16.0f64, 25.0]);
-        let stats = expansion_kernel(&dev, &dots, 1, 2, 4, &[&an], &[&bn], Distance::Euclidean);
+        let stats = expansion_kernel(&dev, &dots, 1, 2, 4, &[&an], &[&bn], Distance::Euclidean)
+            .expect("launch");
         let out = dots.to_vec();
         assert!((out[0] - 5.0).abs() < 1e-9);
         assert!((out[1] - (9.0f64 - 24.0 + 25.0).sqrt()).abs() < 1e-9);
@@ -160,7 +174,8 @@ mod tests {
             8,
             Distance::Hamming,
             &DistanceParams::default(),
-        );
+        )
+        .expect("launch");
         assert_eq!(accs.to_vec(), vec![0.25, 0.0, 0.5, 0.125]);
     }
 
@@ -176,7 +191,8 @@ mod tests {
             3,
             Distance::Minkowski,
             &DistanceParams { minkowski_p: 3.0 },
-        );
+        )
+        .expect("launch");
         assert!((accs.host_get(0) - 2.0).abs() < 1e-9);
     }
 
@@ -185,7 +201,7 @@ mod tests {
     fn expansion_rejects_namm() {
         let dev = Device::volta();
         let dots = dev.buffer::<f32>(1);
-        expansion_kernel(&dev, &dots, 1, 1, 1, &[], &[], Distance::Manhattan);
+        let _ = expansion_kernel(&dev, &dots, 1, 1, 1, &[], &[], Distance::Manhattan);
     }
 
     #[test]
@@ -193,7 +209,7 @@ mod tests {
     fn finalize_rejects_expanded() {
         let dev = Device::volta();
         let accs = dev.buffer::<f32>(1);
-        finalize_kernel(
+        let _ = finalize_kernel(
             &dev,
             &accs,
             1,
@@ -208,7 +224,7 @@ mod tests {
     fn norm_free_expansion_needs_no_buffers() {
         let dev = Device::volta();
         let dots = dev.buffer_from_slice(&[3.0f32]);
-        expansion_kernel(&dev, &dots, 1, 1, 4, &[], &[], Distance::RusselRao);
+        expansion_kernel(&dev, &dots, 1, 1, 4, &[], &[], Distance::RusselRao).expect("launch");
         assert_eq!(dots.host_get(0), 0.25);
     }
 }

@@ -8,6 +8,7 @@
 //! idiom, with its costs (scan issues, scattered writes) visible in the
 //! counters.
 
+use crate::error::KernelError;
 use gpu_sim::{lanes_from_fn, Device, GlobalBuffer, LaunchConfig, LaunchStats, WARP_SIZE};
 use sparse::Real;
 
@@ -31,19 +32,24 @@ pub struct RadiusFilterOutput<T> {
 /// Compacts, for every row of the `rows × cols` tile `dists`, the
 /// entries with distance ≤ `radius` (NaNs excluded), preserving column
 /// order within each row.
+///
+/// # Errors
+///
+/// Returns [`KernelError::Launch`] when the simulator rejects the launch
+/// (sanitizer findings, injected faults, or a watchdog timeout).
 pub fn radius_filter_kernel<T: Real>(
     dev: &Device,
     dists: &GlobalBuffer<T>,
     rows: usize,
     cols: usize,
     radius: T,
-) -> RadiusFilterOutput<T> {
+) -> Result<RadiusFilterOutput<T>, KernelError> {
     assert_eq!(dists.len(), rows * cols, "distance tile shape mismatch");
     let counts = dev.buffer::<u32>(rows);
     let indices = GlobalBuffer::from_vec(vec![u32::MAX; rows * cols]);
     let values = GlobalBuffer::from_vec(vec![T::INFINITY; rows * cols]);
 
-    let stats = dev.launch(
+    let stats = dev.try_launch(
         "radius_filter",
         LaunchConfig::new(rows.max(1), BLOCK_THREADS, 0),
         |block| {
@@ -88,13 +94,13 @@ pub fn radius_filter_kernel<T: Real>(
                 w.global_scatter(&counts, &cidx, &lanes_from_fn(|_| written));
             });
         },
-    );
-    RadiusFilterOutput {
+    )?;
+    Ok(RadiusFilterOutput {
         counts,
         indices,
         values,
         stats,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -111,7 +117,7 @@ mod tests {
             .collect();
         let buf = dev.buffer_from_slice(&data);
         let radius = 3.0f32;
-        let out = radius_filter_kernel(&dev, &buf, rows, cols, radius);
+        let out = radius_filter_kernel(&dev, &buf, rows, cols, radius).expect("launch");
         let counts = out.counts.to_vec();
         let idx = out.indices.to_vec();
         let val = out.values.to_vec();
@@ -136,9 +142,9 @@ mod tests {
     fn empty_result_and_full_result_edges() {
         let dev = Device::volta();
         let buf = dev.buffer_from_slice(&[5.0f64, 6.0, 7.0]);
-        let none = radius_filter_kernel(&dev, &buf, 1, 3, 1.0);
+        let none = radius_filter_kernel(&dev, &buf, 1, 3, 1.0).expect("launch");
         assert_eq!(none.counts.to_vec(), vec![0]);
-        let all = radius_filter_kernel(&dev, &buf, 1, 3, 100.0);
+        let all = radius_filter_kernel(&dev, &buf, 1, 3, 100.0).expect("launch");
         assert_eq!(all.counts.to_vec(), vec![3]);
         assert_eq!(all.indices.to_vec(), vec![0, 1, 2]);
     }
@@ -147,7 +153,7 @@ mod tests {
     fn nan_distances_are_excluded() {
         let dev = Device::volta();
         let buf = dev.buffer_from_slice(&[0.5f32, f32::NAN, 0.2]);
-        let out = radius_filter_kernel(&dev, &buf, 1, 3, 1.0);
+        let out = radius_filter_kernel(&dev, &buf, 1, 3, 1.0).expect("launch");
         assert_eq!(out.counts.to_vec(), vec![2]);
         assert_eq!(&out.indices.to_vec()[..2], &[0, 2]);
     }
@@ -158,8 +164,8 @@ mod tests {
         let n = 512;
         let data: Vec<f32> = (0..n).map(|i| (i % 100) as f32).collect();
         let buf = dev.buffer_from_slice(&data);
-        let tight = radius_filter_kernel(&dev, &buf, 1, n, 1.0);
-        let loose = radius_filter_kernel(&dev, &buf, 1, n, 99.0);
+        let tight = radius_filter_kernel(&dev, &buf, 1, n, 1.0).expect("launch");
+        let loose = radius_filter_kernel(&dev, &buf, 1, n, 99.0).expect("launch");
         assert!(
             tight.stats.counters.global_transactions < loose.stats.counters.global_transactions
         );

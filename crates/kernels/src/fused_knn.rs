@@ -90,10 +90,10 @@ pub fn fused_knn<T: Real>(
     let mut a_norms = Vec::new();
     let mut b_norms = Vec::new();
     for &kind in kinds {
-        let (na, sa) = row_norms_kernel(dev, &a_dev, kind);
+        let (na, sa) = row_norms_kernel(dev, &a_dev, kind)?;
         launches.push(sa);
         a_norms.push(na);
-        let (nb, sb) = index.norm(dev, kind);
+        let (nb, sb) = index.norm(dev, kind)?;
         if let Some(sb) = sb {
             launches.push(sb);
         }
@@ -107,7 +107,7 @@ pub fn fused_knn<T: Real>(
     let params = *params;
     let b_csr = index.csr();
 
-    let stats = dev.launch(
+    let stats = dev.try_launch(
         "fused_knn",
         LaunchConfig::new(m.max(1), BLOCK_THREADS, smem),
         |block| {
@@ -340,7 +340,7 @@ pub fn fused_knn<T: Real>(
                 // smem-lint: end-allow
             });
         },
-    );
+    )?;
     launches.push(stats);
     let output_bytes = out_idx.bytes() + out_val.bytes();
     Ok(FusedKnn {

@@ -64,6 +64,7 @@ pub mod hybrid;
 pub mod naive;
 pub mod naive_shared;
 pub mod norms;
+pub mod resilience;
 pub mod select;
 pub mod strategy;
 
@@ -71,6 +72,7 @@ pub use device_fmt::{DeviceCoo, DeviceCsr};
 pub use error::KernelError;
 pub use filter::{radius_filter_kernel, RadiusFilterOutput};
 pub use fused_knn::{fused_knn, FusedKnn};
+pub use resilience::{FallbackCascade, ResiliencePolicy, ResilienceReport};
 pub use select::top_k_kernel;
 pub use strategy::{
     pairwise_distances, pairwise_distances_device, pairwise_distances_prepared, DevicePairwise,

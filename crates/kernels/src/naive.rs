@@ -14,6 +14,7 @@
 //! support").
 
 use crate::device_fmt::DeviceCsr;
+use crate::error::KernelError;
 use gpu_sim::{lanes_from_fn, Device, GlobalBuffer, LaunchConfig, LaunchStats, WARP_SIZE};
 use semiring::Semiring;
 use sparse::Real;
@@ -25,12 +26,17 @@ const BLOCK_THREADS: usize = 256;
 /// nonzero-column union of every row pair) into a new device buffer.
 ///
 /// The caller applies the expansion or finalization pass afterwards.
+///
+/// # Errors
+///
+/// Returns [`KernelError::Launch`] when the simulator rejects the launch
+/// (sanitizer findings, injected faults, or a watchdog timeout).
 pub fn naive_csr_kernel<T: Real>(
     dev: &Device,
     a: &DeviceCsr<T>,
     b: &DeviceCsr<T>,
     sr: &Semiring<T>,
-) -> (GlobalBuffer<T>, LaunchStats) {
+) -> Result<(GlobalBuffer<T>, LaunchStats), KernelError> {
     let (m, n) = (a.rows, b.rows);
     let total = m * n;
     let out = dev.buffer::<T>(total);
@@ -38,7 +44,7 @@ pub fn naive_csr_kernel<T: Real>(
     let sr = *sr;
     let annihilating = sr.is_annihilating();
 
-    let stats = dev.launch(
+    let stats = dev.try_launch(
         "naive_csr",
         LaunchConfig::new(blocks, BLOCK_THREADS, 0),
         |block| {
@@ -132,8 +138,8 @@ pub fn naive_csr_kernel<T: Real>(
                 w.range("writeback", |w| w.global_scatter(&out, &pair, &acc));
             });
         },
-    );
-    (out, stats)
+    )?;
+    Ok((out, stats))
 }
 
 #[cfg(test)]
@@ -152,7 +158,7 @@ mod tests {
         let sr = d.semiring::<f64>(&params);
         let da = DeviceCsr::upload(&dev, a);
         let db = DeviceCsr::upload(&dev, b);
-        let (out, _) = naive_csr_kernel(&dev, &da, &db, &sr);
+        let (out, _) = naive_csr_kernel(&dev, &da, &db, &sr).expect("launch");
         let got = out.to_vec();
         for i in 0..a.rows() {
             for j in 0..b.rows() {
@@ -214,7 +220,7 @@ mod tests {
         let sr = Distance::Manhattan.semiring::<f64>(&DistanceParams::default());
         let da = DeviceCsr::upload(&dev, &a);
         let db = DeviceCsr::upload(&dev, &b);
-        let (out, _) = naive_csr_kernel(&dev, &da, &db, &sr);
+        let (out, _) = naive_csr_kernel(&dev, &da, &db, &sr).expect("launch");
         // a row 1 is empty, b row 2 = {5: 7.0}: union = |0-7| = 7.
         assert_eq!(out.host_get(4 + 2), 7.0);
     }
@@ -230,7 +236,7 @@ mod tests {
         let dev = Device::volta();
         let sr = Distance::Manhattan.semiring::<f64>(&DistanceParams::default());
         let da = DeviceCsr::upload(&dev, &a);
-        let (_, stats) = naive_csr_kernel(&dev, &da, &da, &sr);
+        let (_, stats) = naive_csr_kernel(&dev, &da, &da, &sr).expect("launch");
         assert!(
             stats.counters.divergence_extra > 0,
             "skewed degree distribution must show divergence"

@@ -244,7 +244,7 @@ mod tests {
         let dev = Device::volta();
         let sr = Distance::Manhattan.semiring::<f64>(&DistanceParams::default());
         let da = DeviceCsr::upload(&dev, &a);
-        let (_, plain) = naive_csr_kernel(&dev, &da, &da, &sr);
+        let (_, plain) = naive_csr_kernel(&dev, &da, &da, &sr).expect("launch");
         let (_, shared) = naive_shared_kernel(&dev, &da, &da, a.max_degree(), &sr).expect("fits");
         assert!(
             shared.counters.global_bytes < plain.counters.global_bytes,

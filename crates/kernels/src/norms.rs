@@ -4,6 +4,7 @@
 //! reduction."
 
 use crate::device_fmt::DeviceCsr;
+use crate::error::KernelError;
 use gpu_sim::{lanes_from_fn, Device, GlobalBuffer, LaunchConfig, LaunchStats, WARP_SIZE};
 use sparse::{NormKind, Real};
 
@@ -12,11 +13,16 @@ const BLOCK_THREADS: usize = 256;
 
 /// Computes one row norm per row of `m` on the device, one warp per row,
 /// returning the norm buffer and the launch statistics.
+///
+/// # Errors
+///
+/// Returns [`KernelError::Launch`] when the simulator rejects the launch
+/// (sanitizer findings, injected faults, or a watchdog timeout).
 pub fn row_norms_kernel<T: Real>(
     dev: &Device,
     m: &DeviceCsr<T>,
     kind: NormKind,
-) -> (GlobalBuffer<T>, LaunchStats) {
+) -> Result<(GlobalBuffer<T>, LaunchStats), KernelError> {
     let rows = m.rows;
     let out = dev.buffer::<T>(rows);
     let warps_per_block = BLOCK_THREADS / WARP_SIZE;
@@ -31,7 +37,7 @@ pub fn row_norms_kernel<T: Real>(
         }
     };
 
-    let stats = dev.launch(
+    let stats = dev.try_launch(
         "row_norms",
         LaunchConfig::new(blocks, BLOCK_THREADS, 0),
         |block| {
@@ -73,8 +79,8 @@ pub fn row_norms_kernel<T: Real>(
                 });
             });
         },
-    );
-    (out, stats)
+    )?;
+    Ok((out, stats))
 }
 
 #[cfg(test)]
@@ -109,7 +115,7 @@ mod tests {
             NormKind::L2Squared,
             NormKind::Sum,
         ] {
-            let (buf, _) = row_norms_kernel(&dev, &d, kind);
+            let (buf, _) = row_norms_kernel(&dev, &d, kind).expect("launch");
             let host = row_norms(&m, kind);
             for (i, &got) in buf.to_vec().iter().enumerate() {
                 assert!(
@@ -128,7 +134,7 @@ mod tests {
         let trips: Vec<(u32, u32, f32)> = (0..100).map(|c| (0, c, 1.0)).collect();
         let m = CsrMatrix::from_triplets(1, 100, &trips).expect("valid");
         let d = DeviceCsr::upload(&dev, &m);
-        let (buf, stats) = row_norms_kernel(&dev, &d, NormKind::L1);
+        let (buf, stats) = row_norms_kernel(&dev, &d, NormKind::L1).expect("launch");
         assert_eq!(buf.to_vec(), vec![100.0]);
         // 4 chunked coalesced value loads + 2 indptr + 1 output write.
         assert!(stats.counters.global_transactions >= 5);
@@ -139,7 +145,7 @@ mod tests {
         let dev = Device::volta();
         let m = CsrMatrix::<f32>::zeros(0, 4);
         let d = DeviceCsr::upload(&dev, &m);
-        let (buf, _) = row_norms_kernel(&dev, &d, NormKind::L2);
+        let (buf, _) = row_norms_kernel(&dev, &d, NormKind::L2).expect("launch");
         assert!(buf.to_vec().is_empty());
     }
 
@@ -152,7 +158,7 @@ mod tests {
             .collect();
         let m = CsrMatrix::from_triplets(32, 32, &trips).expect("valid");
         let d = DeviceCsr::upload(&dev, &m);
-        let (_, stats) = row_norms_kernel(&dev, &d, NormKind::L2Squared);
+        let (_, stats) = row_norms_kernel(&dev, &d, NormKind::L2Squared).expect("launch");
         // Coalescing overhead should be modest (values are contiguous).
         assert!(stats.counters.coalescing_overhead() < 4.0);
     }

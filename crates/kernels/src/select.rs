@@ -11,6 +11,7 @@
 //! bandwidth-bound and the divergence counters show only the rare
 //! insertion bursts.
 
+use crate::error::KernelError;
 use gpu_sim::{lanes_from_fn, Device, GlobalBuffer, LaunchConfig, LaunchStats, WARP_SIZE};
 use sparse::Real;
 
@@ -23,19 +24,24 @@ const BLOCK_THREADS: usize = 32;
 /// Returns `(indices, values, stats)` where `indices`/`values` are
 /// `rows × k` row-major device buffers. When `k > cols`, the tail is
 /// filled with `u32::MAX` / `T::INFINITY`.
+///
+/// # Errors
+///
+/// Returns [`KernelError::Launch`] when the simulator rejects the launch
+/// (sanitizer findings, injected faults, or a watchdog timeout).
 pub fn top_k_kernel<T: Real>(
     dev: &Device,
     dists: &GlobalBuffer<T>,
     rows: usize,
     cols: usize,
     k: usize,
-) -> (GlobalBuffer<u32>, GlobalBuffer<T>, LaunchStats) {
+) -> Result<(GlobalBuffer<u32>, GlobalBuffer<T>, LaunchStats), KernelError> {
     assert_eq!(dists.len(), rows * cols, "distance tile shape mismatch");
     let out_idx = GlobalBuffer::from_vec(vec![u32::MAX; rows * k]);
     let out_val = GlobalBuffer::from_vec(vec![T::INFINITY; rows * k]);
     let smem = k.max(1) * (std::mem::size_of::<u32>() + std::mem::size_of::<T>());
 
-    let stats = dev.launch(
+    let stats = dev.try_launch(
         "top_k_select",
         LaunchConfig::new(rows.max(1), BLOCK_THREADS, smem),
         |block| {
@@ -159,8 +165,8 @@ pub fn top_k_kernel<T: Real>(
                 });
             });
         },
-    );
-    (out_idx, out_val, stats)
+    )?;
+    Ok((out_idx, out_val, stats))
 }
 
 #[cfg(test)]
@@ -189,7 +195,7 @@ mod tests {
             .collect();
         let buf = dev.buffer_from_slice(&data);
         let k = 7;
-        let (idx, val, _) = top_k_kernel(&dev, &buf, rows, cols, k);
+        let (idx, val, _) = top_k_kernel(&dev, &buf, rows, cols, k).expect("launch");
         let idx = idx.to_vec();
         let val = val.to_vec();
         for r in 0..rows {
@@ -206,7 +212,7 @@ mod tests {
         let dev = Device::volta();
         let data = [3.0f32, 1.0, 2.0];
         let buf = dev.buffer_from_slice(&data);
-        let (idx, val, _) = top_k_kernel(&dev, &buf, 1, 3, 5);
+        let (idx, val, _) = top_k_kernel(&dev, &buf, 1, 3, 5).expect("launch");
         assert_eq!(idx.to_vec()[..3], [1, 2, 0]);
         assert_eq!(idx.host_get(3), u32::MAX);
         assert_eq!(val.host_get(4), f32::INFINITY);
@@ -216,7 +222,7 @@ mod tests {
     fn k_zero_is_a_noop() {
         let dev = Device::volta();
         let buf = dev.buffer_from_slice(&[1.0f32, 2.0]);
-        let (idx, val, _) = top_k_kernel(&dev, &buf, 1, 2, 0);
+        let (idx, val, _) = top_k_kernel(&dev, &buf, 1, 2, 0).expect("launch");
         assert!(idx.is_empty());
         assert!(val.is_empty());
     }
@@ -226,7 +232,7 @@ mod tests {
         let dev = Device::volta();
         let data = [5.0f32, 1.0, 1.0, 1.0];
         let buf = dev.buffer_from_slice(&data);
-        let (idx, _, _) = top_k_kernel(&dev, &buf, 1, 4, 2);
+        let (idx, _, _) = top_k_kernel(&dev, &buf, 1, 4, 2).expect("launch");
         assert_eq!(idx.to_vec(), vec![1, 2]);
     }
 
@@ -241,8 +247,8 @@ mod tests {
         let desc: Vec<f32> = (0..n).map(|i| (n - i) as f32).collect();
         let buf_a = dev.buffer_from_slice(&asc);
         let buf_d = dev.buffer_from_slice(&desc);
-        let (_, _, sa) = top_k_kernel(&dev, &buf_a, 1, n, 8);
-        let (_, _, sd) = top_k_kernel(&dev, &buf_d, 1, n, 8);
+        let (_, _, sa) = top_k_kernel(&dev, &buf_a, 1, n, 8).expect("launch");
+        let (_, _, sd) = top_k_kernel(&dev, &buf_d, 1, n, 8).expect("launch");
         assert!(
             sa.counters.effective_issues() < sd.counters.effective_issues(),
             "ascending {} vs descending {}",
@@ -258,7 +264,7 @@ mod tests {
         let data: Vec<f32> = (0..n).map(|i| ((i * 37) % n) as f32).collect();
         let buf = dev.buffer_from_slice(&data);
         let k = 50; // > WARP_SIZE
-        let (idx, val, _) = top_k_kernel(&dev, &buf, 1, n, k);
+        let (idx, val, _) = top_k_kernel(&dev, &buf, 1, n, k).expect("launch");
         let want = host_topk(&data, k);
         let idx = idx.to_vec();
         let val = val.to_vec();

@@ -9,6 +9,9 @@ use crate::hybrid::{hybrid_inner_terms_cached, SmemVecKind};
 use crate::naive::naive_csr_kernel;
 use crate::naive_shared::naive_shared_kernel;
 use crate::norms::row_norms_kernel;
+use crate::resilience::{
+    cascade_candidates, classify, FaultClass, ResiliencePolicy, ResilienceReport,
+};
 use gpu_sim::{Device, GlobalBuffer, LaunchStats};
 use semiring::{Distance, DistanceParams, Family};
 use sparse::{CsrMatrix, DenseMatrix, NormKind, Real};
@@ -74,6 +77,10 @@ pub struct PairwiseOptions {
     pub strategy: Strategy,
     /// Shared-memory representation (hybrid strategy only).
     pub smem_mode: SmemMode,
+    /// Retry/fallback policy. `None` (the default) surfaces every launch
+    /// error unchanged; `Some` lets transient faults retry and capacity
+    /// faults walk the degradation cascade (see [`crate::resilience`]).
+    pub resilience: Option<ResiliencePolicy>,
 }
 
 /// Device-memory accounting of one pairwise computation (§4.3).
@@ -94,10 +101,13 @@ pub struct MemoryFootprint {
 pub struct PairwiseResult<T> {
     /// The `m × n` distance matrix.
     pub distances: DenseMatrix<T>,
-    /// Per-kernel launch statistics, in execution order.
+    /// Per-kernel launch statistics, in execution order (successful
+    /// attempt only — failed attempts are accounted in `resilience`).
     pub launches: Vec<LaunchStats>,
     /// Device-memory accounting.
     pub memory: MemoryFootprint,
+    /// Engine decisions, present when a [`ResiliencePolicy`] was set.
+    pub resilience: Option<ResilienceReport>,
 }
 
 impl<T> PairwiseResult<T> {
@@ -122,6 +132,8 @@ pub struct DevicePairwise<T> {
     pub launches: Vec<LaunchStats>,
     /// Device-memory accounting.
     pub memory: MemoryFootprint,
+    /// Engine decisions, present when a [`ResiliencePolicy`] was set.
+    pub resilience: Option<ResilienceReport>,
 }
 
 impl<T> DevicePairwise<T> {
@@ -155,6 +167,7 @@ pub fn pairwise_distances<T: Real>(
         distances: DenseMatrix::from_vec(d.rows, d.cols, d.buffer.to_vec()),
         launches: d.launches,
         memory: d.memory,
+        resilience: d.resilience,
     })
 }
 
@@ -240,24 +253,41 @@ impl<T: Real> PreparedIndex<T> {
     /// Returns the cached norm buffer for `kind`, computing it with the
     /// row-norm kernel on first use (the returned stats are `Some` only
     /// on that first call).
-    pub fn norm(&self, dev: &Device, kind: NormKind) -> (Rc<GlobalBuffer<T>>, Option<LaunchStats>) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::Launch`] when the norm kernel's launch is
+    /// rejected by the simulator.
+    #[allow(clippy::type_complexity)]
+    pub fn norm(
+        &self,
+        dev: &Device,
+        kind: NormKind,
+    ) -> Result<(Rc<GlobalBuffer<T>>, Option<LaunchStats>), KernelError> {
         if let Some((_, buf)) = self.norms.borrow().iter().find(|(k, _)| *k == kind) {
-            return (Rc::clone(buf), None);
+            return Ok((Rc::clone(buf), None));
         }
-        let (buf, stats) = row_norms_kernel(dev, &self.csr, kind);
+        let (buf, stats) = row_norms_kernel(dev, &self.csr, kind)?;
         let buf = Rc::new(buf);
         self.norms.borrow_mut().push((kind, Rc::clone(&buf)));
-        (buf, Some(stats))
+        Ok((buf, Some(stats)))
     }
 }
 
 /// [`pairwise_distances_device`] against a [`PreparedIndex`], reusing its
 /// uploads and cached norms.
 ///
+/// When [`PairwiseOptions::resilience`] is set, this is the resilience
+/// engine's entry point: transient faults retry the same plan (with
+/// simulated backoff), capacity faults re-plan down the fallback cascade,
+/// and every decision is recorded in the returned
+/// [`DevicePairwise::resilience`] report.
+///
 /// # Errors
 ///
-/// Returns an error when the operands' dimensionalities differ or the
-/// strategy cannot satisfy its shared-memory requirements.
+/// Returns an error when the operands' dimensionalities differ, the
+/// strategy cannot satisfy its shared-memory requirements, or (with a
+/// policy) the whole cascade is exhausted.
 pub fn pairwise_distances_prepared<T: Real>(
     dev: &Device,
     a: &CsrMatrix<T>,
@@ -272,29 +302,94 @@ pub fn pairwise_distances_prepared<T: Real>(
             b_cols: b.cols(),
         });
     }
+    let a_dev = DeviceCsr::upload(dev, a);
+
+    let Some(policy) = opts.resilience else {
+        return attempt_pairwise(
+            dev,
+            a,
+            &a_dev,
+            b,
+            distance,
+            params,
+            opts.strategy,
+            opts.smem_mode,
+        );
+    };
+
+    let candidates = cascade_candidates(opts.strategy, opts.smem_mode, policy.fallback);
+    let mut report = ResilienceReport::new(opts.strategy, opts.smem_mode);
+    let last = candidates.len() - 1;
+    for (ci, &(strategy, smem)) in candidates.iter().enumerate() {
+        let mut retries_left = policy.retries;
+        let mut backoff = policy.backoff_seconds;
+        loop {
+            report.attempts += 1;
+            let outcome = attempt_pairwise(dev, a, &a_dev, b, distance, params, strategy, smem);
+            match outcome {
+                Ok(mut d) => {
+                    report.final_strategy = strategy;
+                    report.final_smem = smem;
+                    report.downgraded = ci > 0;
+                    d.resilience = Some(report);
+                    return Ok(d);
+                }
+                Err(e) => match classify(&e) {
+                    FaultClass::Retryable if retries_left > 0 => {
+                        retries_left -= 1;
+                        report.backoff_seconds += backoff;
+                        backoff *= 2.0;
+                        report.faults_absorbed.push(format!("retried: {e}"));
+                    }
+                    FaultClass::Degradable if ci < last => {
+                        report.faults_absorbed.push(format!(
+                            "degraded past {}/{:?}: {e}",
+                            strategy.name(),
+                            smem
+                        ));
+                        break;
+                    }
+                    _ => return Err(e),
+                },
+            }
+        }
+    }
+    unreachable!("the last cascade candidate returns or errors")
+}
+
+/// One planning-and-launch attempt of a single `(strategy, smem)` plan —
+/// the engine-free body of [`pairwise_distances_prepared`].
+fn attempt_pairwise<T: Real>(
+    dev: &Device,
+    a: &CsrMatrix<T>,
+    a_dev: &DeviceCsr<T>,
+    b: &PreparedIndex<T>,
+    distance: Distance,
+    params: &DistanceParams,
+    strategy: Strategy,
+    smem_mode: SmemMode,
+) -> Result<DevicePairwise<T>, KernelError> {
     let (m, n, k) = (a.rows(), b.rows(), a.cols());
     let sr = distance.semiring::<T>(params);
     let mut launches = Vec::new();
-
-    let a_dev = DeviceCsr::upload(dev, a);
     let mut workspace = 0usize;
 
     // Semiring pass(es) → inner terms.
-    let inner: GlobalBuffer<T> = match opts.strategy {
+    let inner: GlobalBuffer<T> = match strategy {
         Strategy::NaiveCsr => {
-            let (out, stats) = naive_csr_kernel(dev, &a_dev, &b.csr, &sr);
+            let (out, stats) = naive_csr_kernel(dev, a_dev, &b.csr, &sr)?;
             launches.push(stats);
             out
         }
         Strategy::NaiveCsrShared => {
-            let (out, stats) = naive_shared_kernel(dev, &a_dev, &b.csr, a.max_degree(), &sr)?;
+            let (out, stats) = naive_shared_kernel(dev, a_dev, &b.csr, a.max_degree(), &sr)?;
             launches.push(stats);
             out
         }
         Strategy::ExpandSortContract => {
             let (out, stats) = expand_sort_contract_kernel(
                 dev,
-                &a_dev,
+                a_dev,
                 &b.csr,
                 a.max_degree(),
                 b.host.max_degree(),
@@ -308,11 +403,11 @@ pub fn pairwise_distances_prepared<T: Real>(
                 dev,
                 a,
                 &b.host,
-                &a_dev,
+                a_dev,
                 &b.csr,
                 &b.coo,
                 &sr,
-                opts.smem_mode.forced(),
+                smem_mode.forced(),
             )?;
             // COO row-index workspace: nnz(B) (+ nnz(A) for the NAMM
             // second pass).
@@ -329,18 +424,18 @@ pub fn pairwise_distances_prepared<T: Real>(
     // Bray-Curtis) or plain finalization (norm-free NAMMs).
     match distance.family() {
         Family::Namm if distance.norms().is_empty() => {
-            launches.push(finalize_kernel(dev, &inner, m, n, k, distance, params));
+            launches.push(finalize_kernel(dev, &inner, m, n, k, distance, params)?);
         }
         _ => {
             let kinds = distance.norms();
             let mut a_norms = Vec::with_capacity(kinds.len());
             let mut b_norms: Vec<Rc<GlobalBuffer<T>>> = Vec::with_capacity(kinds.len());
             for &kind in kinds {
-                let (na, sa) = row_norms_kernel(dev, &a_dev, kind);
+                let (na, sa) = row_norms_kernel(dev, a_dev, kind)?;
                 workspace += na.bytes();
                 launches.push(sa);
                 a_norms.push(na);
-                let (nb, sb) = b.norm(dev, kind);
+                let (nb, sb) = b.norm(dev, kind)?;
                 workspace += nb.bytes();
                 if let Some(sb) = sb {
                     launches.push(sb);
@@ -351,7 +446,7 @@ pub fn pairwise_distances_prepared<T: Real>(
             let b_refs: Vec<&GlobalBuffer<T>> = b_norms.iter().map(Rc::as_ref).collect();
             launches.push(expansion_kernel(
                 dev, &inner, m, n, k, &a_refs, &b_refs, distance,
-            ));
+            )?);
         }
     }
 
@@ -366,6 +461,7 @@ pub fn pairwise_distances_prepared<T: Real>(
         cols: n,
         launches,
         memory,
+        resilience: None,
     })
 }
 
@@ -404,6 +500,7 @@ mod tests {
         let opts = PairwiseOptions {
             strategy,
             smem_mode: SmemMode::Auto,
+            resilience: None,
         };
         for d in Distance::ALL {
             let got = pairwise_distances(&dev, &a, &b, d, &params, &opts)
@@ -451,6 +548,7 @@ mod tests {
             let opts = PairwiseOptions {
                 strategy,
                 smem_mode: SmemMode::Auto,
+                resilience: None,
             };
             let got = pairwise_distances(&dev, &a, &b, Distance::BrayCurtis, &params, &opts)
                 .expect("runs");

@@ -108,6 +108,7 @@ mod tests {
             batches: 1,
             peak_memory: Default::default(),
             launches: Vec::new(),
+            resilience: Vec::new(),
         };
         assert!(kneighbors_graph(&res, 3, GraphMode::Connectivity).is_err());
     }
@@ -121,6 +122,7 @@ mod tests {
             batches: 0,
             peak_memory: Default::default(),
             launches: Vec::new(),
+            resilience: Vec::new(),
         };
         let g = kneighbors_graph(&res, 5, GraphMode::Connectivity).expect("valid");
         assert_eq!(g.shape(), (2, 5));

@@ -4,7 +4,7 @@ use crate::topk::top_k_smallest;
 use gpu_sim::{Device, LaunchStats};
 use kernels::{
     fused_knn, pairwise_distances_prepared, radius_filter_kernel, top_k_kernel, KernelError,
-    MemoryFootprint, PairwiseOptions, PreparedIndex,
+    MemoryFootprint, PairwiseOptions, PreparedIndex, ResilienceReport,
 };
 use semiring::{Distance, DistanceParams};
 use sparse::{CsrMatrix, Real, RowBatches};
@@ -44,6 +44,11 @@ pub struct KnnResult<T> {
     /// selection/filter kernels, norm passes). Carries per-range
     /// profiles when the device profiler is enabled.
     pub launches: Vec<LaunchStats>,
+    /// One resilience report per distance tile when the estimator runs
+    /// with a [`kernels::ResiliencePolicy`] (empty otherwise). A fault on
+    /// one tile is retried or degraded in place, so a single poisoned
+    /// tile does not fail the whole neighborhood graph.
+    pub resilience: Vec<ResilienceReport>,
 }
 
 /// Brute-force k-nearest-neighbors estimator over the sparse pairwise
@@ -180,6 +185,7 @@ impl<T: Real> NearestNeighbors<T> {
                 workspace_bytes: 0,
             },
             launches: r.launches,
+            resilience: Vec::new(),
         })
     }
 
@@ -213,6 +219,7 @@ impl<T: Real> NearestNeighbors<T> {
         let mut batches = 0;
         let mut peak = MemoryFootprint::default();
         let mut launches = Vec::new();
+        let mut resilience = Vec::new();
 
         let mut prepared: Vec<(usize, PreparedIndex<T>)> = Vec::new();
         let mut off = 0;
@@ -229,7 +236,7 @@ impl<T: Real> NearestNeighbors<T> {
             let slab = query.slice_rows(q_range);
             let mut pool: Vec<Vec<(usize, T)>> = vec![Vec::new(); slab.rows()];
             for (off, islab) in &prepared {
-                let tile = pairwise_distances_prepared(
+                let mut tile = pairwise_distances_prepared(
                     &self.device,
                     &slab,
                     islab,
@@ -239,6 +246,9 @@ impl<T: Real> NearestNeighbors<T> {
                 )?;
                 sim_seconds += tile.sim_seconds();
                 batches += 1;
+                if let Some(r) = tile.resilience.take() {
+                    resilience.push(r);
+                }
                 peak.output_bytes = peak.output_bytes.max(tile.memory.output_bytes);
                 match self.selection {
                     Selection::Device => {
@@ -250,7 +260,7 @@ impl<T: Real> NearestNeighbors<T> {
                             tile.rows,
                             tile.cols,
                             radius,
-                        );
+                        )?;
                         sim_seconds += f.stats.sim_seconds();
                         let counts = f.counts.to_vec();
                         let idx = f.indices.to_vec();
@@ -297,6 +307,7 @@ impl<T: Real> NearestNeighbors<T> {
             batches,
             peak_memory: peak,
             launches,
+            resilience,
         })
     }
 
@@ -323,6 +334,7 @@ impl<T: Real> NearestNeighbors<T> {
         let mut batches = 0;
         let mut peak = MemoryFootprint::default();
         let mut launches = Vec::new();
+        let mut resilience = Vec::new();
 
         // Prepare each index slab once: the CSR/COO uploads and the norm
         // reductions are then shared by every query batch instead of
@@ -346,7 +358,7 @@ impl<T: Real> NearestNeighbors<T> {
 
             for (off, islab) in &prepared {
                 let off = *off;
-                let tile = pairwise_distances_prepared(
+                let mut tile = pairwise_distances_prepared(
                     &self.device,
                     &slab,
                     islab,
@@ -356,6 +368,9 @@ impl<T: Real> NearestNeighbors<T> {
                 )?;
                 sim_seconds += tile.sim_seconds();
                 batches += 1;
+                if let Some(r) = tile.resilience.take() {
+                    resilience.push(r);
+                }
                 peak.input_bytes = peak.input_bytes.max(tile.memory.input_bytes);
                 peak.output_bytes = peak.output_bytes.max(tile.memory.output_bytes);
                 peak.workspace_bytes = peak.workspace_bytes.max(tile.memory.workspace_bytes);
@@ -364,7 +379,7 @@ impl<T: Real> NearestNeighbors<T> {
                     Selection::Device => {
                         let kk = k.min(tile.cols.max(1));
                         let (didx, dval, sel_stats) =
-                            top_k_kernel(&self.device, &tile.buffer, tile.rows, tile.cols, kk);
+                            top_k_kernel(&self.device, &tile.buffer, tile.rows, tile.cols, kk)?;
                         sim_seconds += sel_stats.sim_seconds();
                         let didx = didx.to_vec();
                         let dval = dval.to_vec();
@@ -413,6 +428,7 @@ impl<T: Real> NearestNeighbors<T> {
             batches,
             peak_memory: peak,
             launches,
+            resilience,
         })
     }
 }

@@ -38,6 +38,23 @@
 //!   printed but do not affect the exit status — elementwise kernels
 //!   with trivial bodies are legitimately range-free.
 //!
+//! * **panic-path** (warn-only) — `panic!(`, `.expect(` or `.unwrap(`
+//!   in non-test kernel code. A panic inside a kernel closure aborts
+//!   the whole simulated launch instead of surfacing a typed
+//!   [`SimError`], which defeats the resilience engine's retry and
+//!   fallback handling: hardened kernels record faults
+//!   (`w.record_fault` / `w.record_capacity_overflow`) and limp to the
+//!   end of the block. Provably-unreachable unwraps opt out with the
+//!   same region idiom as the smem lint:
+//!
+//!   ```text
+//!   // panic-lint: begin-allow(guarded-unwrap): <why this cannot fire>
+//!   ...guarded expects...
+//!   // panic-lint: end-allow
+//!   ```
+//!
+//!   Everything from `#[cfg(test)]` on is skipped — tests panic freely.
+//!
 //! Exit status is non-zero when any violation is found, so CI can gate
 //! on it. Run with `cargo run -p xtask --bin lint_kernels`.
 
@@ -106,6 +123,7 @@ fn main() -> ExitCode {
         let rel = path.strip_prefix(root).unwrap_or(path);
         violations.extend(lint_source(rel, &text));
         warnings.extend(lint_unranged_phase(rel, &text));
+        warnings.extend(lint_panic_paths(rel, &text));
     }
 
     for w in &warnings {
@@ -264,6 +282,66 @@ fn lint_unranged_phase(file: &Path, text: &str) -> Option<String> {
     }
 }
 
+const PANIC_BEGIN: &str = "panic-lint: begin-allow(";
+const PANIC_END: &str = "panic-lint: end-allow";
+
+/// Panicking constructs that abort a simulated launch instead of
+/// surfacing a typed `SimError`.
+const PANIC_CALLS: [&str; 3] = ["panic!(", ".expect(", ".unwrap("];
+
+/// Warn-only rule: panicking constructs in non-test kernel code defeat
+/// the resilience engine — a panic unwinds the whole launch where a
+/// recorded fault would have been retried or degraded. Scanning stops at
+/// `#[cfg(test)]`; guarded unwraps opt out with a documented
+/// `panic-lint` allow region (a region without a reason is itself
+/// warned about, mirroring the smem lint).
+fn lint_panic_paths(file: &Path, text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut allowed = false;
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.contains("#[cfg(test)]") {
+            break;
+        }
+        if let Some(pos) = line.find(PANIC_BEGIN) {
+            allowed = true;
+            let rest = &line[pos + PANIC_BEGIN.len()..];
+            let reason = rest
+                .split_once("):")
+                .map(|(_, r)| r.trim())
+                .unwrap_or_default();
+            if reason.len() < 10 {
+                out.push(format!(
+                    "{}:{lineno}: [panic-path] begin-allow needs a reason: \
+                     `begin-allow(tag): <why this cannot fire>`",
+                    file.display()
+                ));
+            }
+            continue;
+        }
+        if line.contains(PANIC_END) {
+            allowed = false;
+            continue;
+        }
+        if allowed {
+            continue;
+        }
+        let code = strip_line_comment(line);
+        for call in PANIC_CALLS {
+            if code.contains(call) {
+                out.push(format!(
+                    "{}:{lineno}: [panic-path] `{call}…)` aborts the whole simulated \
+                     launch; record a typed fault (`w.record_fault` / \
+                     `w.record_capacity_overflow`) and limp, or wrap in a documented \
+                     `panic-lint` allow region",
+                    file.display()
+                ));
+            }
+        }
+    }
+    out
+}
+
 /// Drops a trailing `// …` comment (good enough for lint purposes; the
 /// kernel sources do not put `//` inside string literals on access
 /// lines).
@@ -387,5 +465,43 @@ let v = cand_val.read(0);
         // Prose mentioning the triggers is not code.
         let prose = "// dev.run_warps( then while  then .issue( in a comment\n";
         assert!(warn(prose).is_none());
+    }
+
+    fn panic_warn(text: &str) -> Vec<String> {
+        lint_panic_paths(Path::new("test.rs"), text)
+    }
+
+    #[test]
+    fn panic_paths_warn_in_kernel_code() {
+        let src = "let v = opt.unwrap();\nlet w = res.expect(\"msg\");\npanic!(\"boom\");\n";
+        let out = panic_warn(src);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|w| w.contains("panic-path")));
+        assert!(out[0].contains("test.rs:1"));
+    }
+
+    #[test]
+    fn panic_allow_region_and_test_module_are_skipped() {
+        let src = "\
+// panic-lint: begin-allow(guarded-unwrap): is_some checked on the same lane above
+let v = opt.expect(\"set\");
+// panic-lint: end-allow
+#[cfg(test)]
+mod tests { fn t() { x.unwrap(); } }
+";
+        assert!(panic_warn(src).is_empty());
+    }
+
+    #[test]
+    fn panic_allow_region_requires_reason() {
+        let src = "// panic-lint: begin-allow(tag):\nx.unwrap();\n// panic-lint: end-allow\n";
+        let out = panic_warn(src);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].contains("needs a reason"));
+    }
+
+    #[test]
+    fn panic_prose_does_not_warn() {
+        assert!(panic_warn("// never .unwrap( in kernels\n").is_empty());
     }
 }

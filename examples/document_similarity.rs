@@ -29,6 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let options = PairwiseOptions {
         strategy: Strategy::HybridCooSpmv,
         smem_mode: SmemMode::Hash, // the §4.2 benchmark configuration
+        resilience: None,
     };
     let nn = NearestNeighbors::new(Device::volta(), Distance::Cosine)
         .with_options(options)

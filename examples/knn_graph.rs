@@ -32,6 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_options(PairwiseOptions {
             strategy: Strategy::HybridCooSpmv,
             smem_mode: SmemMode::Hash,
+            resilience: None,
         })
         .with_selection(Selection::Device) // faiss-style on-device top-k
         .with_index_batch_rows(256) // slab the index; merge per-slab top-k

@@ -46,6 +46,7 @@ fn every_strategy_matches_reference_on_every_profile_and_distance() {
                 let opts = PairwiseOptions {
                     strategy,
                     smem_mode: SmemMode::Auto,
+                    resilience: None,
                 };
                 let got = sparse_dist::pairwise_distances_with(
                     &dev, &queries, &m, distance, &params, &opts,
@@ -77,6 +78,7 @@ fn smem_modes_agree_on_every_profile() {
                 let opts = PairwiseOptions {
                     strategy: Strategy::HybridCooSpmv,
                     smem_mode: mode,
+                    resilience: None,
                 };
                 let got = sparse_dist::pairwise_distances_with(
                     &dev, &queries, &m, distance, &params, &opts,

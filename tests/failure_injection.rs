@@ -1,9 +1,11 @@
 //! Failure-path integration tests: capacity overflows, degenerate
 //! inputs, and configuration errors must fail loudly and predictably.
 
+use gpu_sim::FaultPlan;
+use semiring::reference::dense_pairwise;
 use semiring::{Distance, DistanceParams};
 use sparse::{CsrMatrix, SparseError};
-use sparse_dist::{Device, KernelError, PairwiseOptions, SmemMode, Strategy};
+use sparse_dist::{Device, KernelError, PairwiseOptions, SimError, SmemMode, Strategy};
 
 #[test]
 fn shape_mismatch_is_a_typed_error() {
@@ -23,6 +25,7 @@ fn esc_overflow_reports_shared_memory_requirement() {
     let opts = PairwiseOptions {
         strategy: Strategy::ExpandSortContract,
         smem_mode: SmemMode::Auto,
+        resilience: None,
     };
     let err = sparse_dist::pairwise_distances_with(
         &dev,
@@ -53,6 +56,7 @@ fn forced_dense_mode_rejects_high_dimensionality() {
     let opts = PairwiseOptions {
         strategy: Strategy::HybridCooSpmv,
         smem_mode: SmemMode::Dense,
+        resilience: None,
     };
     let err = sparse_dist::pairwise_distances_with(
         &dev,
@@ -90,6 +94,7 @@ fn high_degree_rows_partition_instead_of_failing() {
     let opts = PairwiseOptions {
         strategy: Strategy::HybridCooSpmv,
         smem_mode: SmemMode::Hash,
+        resilience: None,
     };
     let got = sparse_dist::pairwise_distances_with(
         &dev,
@@ -118,6 +123,136 @@ fn empty_matrices_and_k_zero_are_handled() {
     assert!(res.indices.iter().all(Vec::is_empty));
     let res = nn.kneighbors(&a, 10).expect("k>n clamps");
     assert!(res.indices.iter().all(|r| r.len() == 3));
+}
+
+/// Small but non-trivial input every strategy (including ESC's
+/// shared-memory plan) can handle fault-free.
+fn fault_probe_matrix() -> CsrMatrix<f64> {
+    let mut data = vec![0.0; 8 * 12];
+    for r in 0..8 {
+        for c in 0..12 {
+            if (r * 5 + c * 3) % 3 == 0 {
+                data[r * 12 + c] = 1.0 + (r as f64) / 4.0 + (c as f64) / 30.0;
+            }
+        }
+    }
+    CsrMatrix::from_dense(8, 12, &data)
+}
+
+const ALL_STRATEGIES: [Strategy; 4] = [
+    Strategy::HybridCooSpmv,
+    Strategy::NaiveCsr,
+    Strategy::NaiveCsrShared,
+    Strategy::ExpandSortContract,
+];
+
+#[test]
+fn injected_transient_faults_surface_typed_errors_for_every_strategy() {
+    // At 1000‰ the very first launch of every pipeline fails, for both
+    // an expanded distance (Euclidean) and a pure-NAMM one (Manhattan).
+    let m = fault_probe_matrix();
+    for strategy in ALL_STRATEGIES {
+        for distance in [Distance::Euclidean, Distance::Manhattan] {
+            let dev = Device::volta()
+                .with_fault_plan(FaultPlan::seeded(7).with_transient_launch_failures(1000));
+            let err = sparse_dist::pairwise_distances_with(
+                &dev,
+                &m,
+                &m,
+                distance,
+                &DistanceParams::default(),
+                &PairwiseOptions {
+                    strategy,
+                    smem_mode: SmemMode::Auto,
+                    resilience: None,
+                },
+            );
+            assert!(
+                matches!(
+                    err,
+                    Err(KernelError::Launch(SimError::TransientFault { .. }))
+                ),
+                "{strategy:?}/{distance}: {err:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn injected_smem_alloc_failure_spares_only_the_smem_free_pipeline() {
+    // Every strategy except NaiveCsr allocates shared memory, so a
+    // forced allocator failure must surface as a typed capacity
+    // overflow — while the naive CSR pipeline (global memory only)
+    // completes with correct distances.
+    let m = fault_probe_matrix();
+    let want = dense_pairwise(&m, &m, Distance::Manhattan, &DistanceParams::default());
+    for strategy in ALL_STRATEGIES {
+        let dev =
+            Device::volta().with_fault_plan(FaultPlan::seeded(3).with_smem_alloc_failures(1000));
+        let got = sparse_dist::pairwise_distances_with(
+            &dev,
+            &m,
+            &m,
+            Distance::Manhattan,
+            &DistanceParams::default(),
+            &PairwiseOptions {
+                strategy,
+                smem_mode: SmemMode::Auto,
+                resilience: None,
+            },
+        );
+        if strategy == Strategy::NaiveCsr {
+            let got = got.expect("the naive CSR pipeline never allocates shared memory");
+            assert!(got.distances.max_abs_diff(&want) < 1e-6);
+        } else {
+            match got {
+                Err(KernelError::Launch(SimError::CapacityOverflow { resource, .. })) => {
+                    assert_eq!(resource, "smem-allocator", "{strategy:?}");
+                }
+                other => panic!("{strategy:?}: expected smem-allocator overflow, got {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn injected_hash_overflow_hits_only_the_hash_table_plan() {
+    // The overflow injector poisons shared-memory hash inserts; only the
+    // hybrid strategy forced into Hash mode owns one. Everything else
+    // completes untouched.
+    let m = fault_probe_matrix();
+    let want = dense_pairwise(&m, &m, Distance::Euclidean, &DistanceParams::default());
+    for strategy in ALL_STRATEGIES {
+        let dev = Device::volta().with_fault_plan(FaultPlan::seeded(5).with_hash_overflows(1000));
+        let smem_mode = if strategy == Strategy::HybridCooSpmv {
+            SmemMode::Hash
+        } else {
+            SmemMode::Auto
+        };
+        let got = sparse_dist::pairwise_distances_with(
+            &dev,
+            &m,
+            &m,
+            Distance::Euclidean,
+            &DistanceParams::default(),
+            &PairwiseOptions {
+                strategy,
+                smem_mode,
+                resilience: None,
+            },
+        );
+        if strategy == Strategy::HybridCooSpmv {
+            match got {
+                Err(KernelError::Launch(SimError::CapacityOverflow { resource, .. })) => {
+                    assert_eq!(resource, "smem-hash-table");
+                }
+                other => panic!("expected hash-table overflow, got {other:?}"),
+            }
+        } else {
+            let got = got.expect("no hash table in this pipeline");
+            assert!(got.distances.max_abs_diff(&want) < 1e-6, "{strategy:?}");
+        }
+    }
 }
 
 #[test]

@@ -46,6 +46,7 @@ fn profiled_launches(strategy: KernelStrategy, distance: Distance) -> Vec<Launch
     let opts = PairwiseOptions {
         strategy,
         smem_mode: SmemMode::Auto,
+        resilience: None,
     };
     sparse_dist::pairwise_distances_with(&dev, &q, &a, distance, &DistanceParams::default(), &opts)
         .unwrap_or_else(|e| panic!("{distance} via {}: {e}", strategy.name()))
@@ -186,7 +187,7 @@ proptest! {
         let params = DistanceParams::default();
         for strategy in STRATEGIES {
             for distance in [Distance::Manhattan, Distance::Cosine, Distance::DotProduct] {
-                let opts = PairwiseOptions { strategy, smem_mode: SmemMode::Auto };
+                let opts = PairwiseOptions { strategy, smem_mode: SmemMode::Auto, resilience: None };
                 let base = sparse_dist::pairwise_distances_with(
                     &off, &a, &a, distance, &params, &opts,
                 ).expect("off run");

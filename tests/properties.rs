@@ -45,7 +45,7 @@ proptest! {
         for d in Distance::ALL {
             let want = dense_pairwise(&a, &b, d, &params);
             for strategy in [KernelStrategy::HybridCooSpmv, KernelStrategy::NaiveCsr] {
-                let opts = PairwiseOptions { strategy, smem_mode: SmemMode::Auto };
+                let opts = PairwiseOptions { strategy, smem_mode: SmemMode::Auto, resilience: None };
                 let got = sparse_dist::pairwise_distances_with(&dev, &a, &b, d, &params, &opts)
                     .expect("valid shapes");
                 prop_assert!(

@@ -59,6 +59,7 @@ fn every_strategy_is_clean_under_fail_mode() {
             let opts = PairwiseOptions {
                 strategy,
                 smem_mode: SmemMode::Auto,
+                resilience: None,
             };
             let res = sparse_dist::pairwise_distances_with(&dev, &q, &a, distance, &params, &opts)
                 .unwrap_or_else(|e| panic!("{distance} via {} under Fail: {e}", strategy.name()));
@@ -86,6 +87,7 @@ fn every_smem_mode_is_clean_under_fail_mode() {
         let opts = PairwiseOptions {
             strategy: KernelStrategy::HybridCooSpmv,
             smem_mode: mode,
+            resilience: None,
         };
         sparse_dist::pairwise_distances_with(&dev, &q, &a, Distance::Cosine, &params, &opts)
             .unwrap_or_else(|e| panic!("{mode:?} under Fail: {e}"));
@@ -362,7 +364,7 @@ proptest! {
             KernelStrategy::HybridCooSpmv,
         ] {
             for distance in [Distance::Manhattan, Distance::Cosine, Distance::DotProduct] {
-                let opts = PairwiseOptions { strategy, smem_mode: SmemMode::Auto };
+                let opts = PairwiseOptions { strategy, smem_mode: SmemMode::Auto, resilience: None };
                 let base = sparse_dist::pairwise_distances_with(
                     &off, &a, &a, distance, &params, &opts,
                 ).expect("off run");
