@@ -13,7 +13,7 @@ use std::fs;
 use std::path::Path;
 use std::process::Command;
 
-const HARNESSES: [&str; 8] = [
+const HARNESSES: [&str; 9] = [
     "table2",
     "figure1",
     "table3",
@@ -22,6 +22,7 @@ const HARNESSES: [&str; 8] = [
     "counters_report",
     "arch_compare",
     "resilience_report",
+    "shard_scaling",
 ];
 
 fn main() {

@@ -13,8 +13,12 @@
 //! Common flags: `--metric <name>` (any Table 1 distance plus
 //! `braycurtis`; see `Distance::from_name`), `--p <f>` (Minkowski
 //! degree), `--strategy hybrid|naive|esc`, `--smem auto|dense|hash|bloom`,
-//! `--device volta|ampere`, `--fused` (knn only: fused
-//! distance+selection kernel), `--profile[=trace.json]` (knn/pairwise:
+//! `--device volta|ampere`, `--host-threads <m>` (execute each
+//! launch's blocks on `m` host threads; results are bit-identical to
+//! serial, and `GPU_SIM_HOST_THREADS` overrides the flag),
+//! `--devices <n>` (knn only: shard index slabs round-robin across `n`
+//! simulated devices, merging per-slab top-k), `--fused` (knn only:
+//! fused distance+selection kernel), `--profile[=trace.json]` (knn/pairwise:
 //! enable the per-range profiler, print a hot-spot report per launch,
 //! and optionally export a chrome://tracing file loadable in Perfetto).
 //!
@@ -32,7 +36,7 @@
 use semiring::{Distance, DistanceParams};
 use sparse::{read_matrix_market, write_matrix_market, CsrMatrix, DegreeStats};
 use sparse_dist::{
-    chrome_trace, kneighbors_graph, Device, GraphMode, LaunchStats, NearestNeighbors,
+    chrome_trace, kneighbors_graph, Device, GraphMode, LaunchStats, MultiDevice, NearestNeighbors,
     PairwiseOptions, ResiliencePolicy, ResilienceReport, SmemMode, Strategy,
 };
 use std::fs::File;
@@ -253,6 +257,15 @@ fn parse_common(
     } else {
         device
     };
+    let device = match args.flag("--host-threads") {
+        Some(m) => {
+            let m: usize = m
+                .parse()
+                .map_err(|_| CliError::config(format!("bad --host-threads {m}")))?;
+            device.with_host_threads(m.max(1))
+        }
+        None => device,
+    };
     let (resilience, show_resilience) = parse_resilience(args)?;
     Ok((
         distance,
@@ -376,20 +389,36 @@ fn cmd_knn(args: &Args) -> Result<(), CliError> {
         .parse()
         .map_err(|_| CliError::config("bad --k"))?;
     let fused = args.switch("--fused");
-    let nn = NearestNeighbors::new(device, distance)
+    let devices: usize = args
+        .flag("--devices")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| CliError::config("bad --devices"))?;
+    let nn = NearestNeighbors::new(device.clone(), distance)
         .with_params(params)
         .with_options(options)
         .with_fused(fused)
         .fit(index.clone());
-    let result = nn
-        .kneighbors(&query, k)
-        .map_err(|e| CliError::launch(format!("query failed: {e}")))?;
+    let result = if devices > 1 {
+        if fused {
+            return Err(CliError::config(
+                "--fused cannot be combined with --devices",
+            ));
+        }
+        let multi = MultiDevice::replicate(&device, devices);
+        nn.kneighbors_sharded(&multi, &query, k)
+    } else {
+        nn.kneighbors(&query, k)
+    }
+    .map_err(|e| CliError::launch(format!("query failed: {e}")))?;
 
     eprintln!(
-        "spdist: {} queries x {} index rows, {} tiles, {:.3} ms simulated GPU time",
+        "spdist: {} queries x {} index rows, {} tiles on {} device(s), \
+         {:.3} ms simulated GPU time",
         query.rows(),
         index.rows(),
         result.batches,
+        result.devices,
         result.sim_seconds * 1e3
     );
     if show_resilience {

@@ -41,7 +41,9 @@ pub use kernels::{
     FallbackCascade, KernelError, MemoryFootprint, PairwiseOptions, PairwiseResult,
     ResiliencePolicy, ResilienceReport, SmemMode, Strategy,
 };
-pub use neighbors::{kneighbors_graph, GraphMode, KnnResult, NearestNeighbors, Selection};
+pub use neighbors::{
+    kneighbors_graph, GraphMode, KnnResult, MultiDevice, NearestNeighbors, Selection,
+};
 pub use semiring::{Distance, DistanceParams, Family, Monoid, Semiring};
 pub use validate::{validate_input, InputError};
 

@@ -263,7 +263,7 @@ mod tests {
     use super::*;
     use crate::device::{Device, LaunchConfig};
 
-    fn run_in_block(f: impl FnMut(&mut BlockCtx)) {
+    fn run_in_block(f: impl Fn(&mut BlockCtx) + Sync) {
         let dev = Device::volta();
         dev.launch("test", LaunchConfig::new(1, 32, 64 * 1024), f);
     }

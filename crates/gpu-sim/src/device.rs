@@ -1,16 +1,44 @@
 //! Device handle, launch configuration and block execution.
 
+use std::any::Any;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 use crate::cost::{estimate_with_blocks, CostBreakdown};
 use crate::counters::Counters;
 use crate::fault::{FaultPlan, FaultState, LaunchFaults, WatchdogAbort};
 use crate::global::GlobalBuffer;
-use crate::prof::{BlockProfiler, LaunchProfile, LaunchProfiler};
+use crate::prof::{BlockProfiler, LaunchProfile, LaunchProfiler, ProfData};
 use crate::sanitizer::{BlockSanitizer, LaunchSanitizer, SanitizerMode, SanitizerReport, SimError};
 use crate::shared::{SharedArray, SharedMem};
 use crate::spec::{DeviceSpec, Occupancy};
-use crate::warp::{L2Tracker, WarpCtx, WARP_SIZE};
+use crate::warp::{AtomicDefer, L2Tracker, WarpCtx, WARP_SIZE};
+
+/// `GPU_SIM_HOST_THREADS` overrides the builder-configured host thread
+/// count process-wide (read once; `1` forces the serial path).
+fn env_host_threads() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("GPU_SIM_HOST_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+    })
+}
+
+/// Everything one block's execution produced, captured in a per-block
+/// slot by the parallel executor and merged in block order so the
+/// result is indistinguishable from the serial loop.
+struct BlockOutcome {
+    counters: Counters,
+    reports: Vec<SanitizerReport>,
+    reports_dropped: usize,
+    prof: Option<ProfData>,
+    fault: Option<SimError>,
+    panic: Option<Box<dyn Any + Send>>,
+    atomics: Vec<Box<dyn FnOnce() + Send>>,
+}
 
 /// Geometry and resources of one kernel launch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,6 +152,10 @@ pub struct BlockCtx<'a> {
     san: Rc<BlockSanitizer>,
     prof: Option<Rc<BlockProfiler>>,
     faults: Rc<LaunchFaults>,
+    /// `Some` when the block runs on a parallel-executor worker: global
+    /// atomics are logged here instead of applied eagerly, then replayed
+    /// in block order after the grid finishes (see [`AtomicDefer`]).
+    deferred: Option<&'a AtomicDefer>,
 }
 
 impl<'a> BlockCtx<'a> {
@@ -187,6 +219,7 @@ impl<'a> BlockCtx<'a> {
                 prof: self.prof.as_deref(),
                 faults: self.faults.as_ref(),
                 watchdog: self.faults.watchdog(),
+                deferred: self.deferred,
             };
             f(&mut ctx);
         }
@@ -260,6 +293,7 @@ pub struct Device {
     profiler: bool,
     fault: Option<Rc<FaultState>>,
     watchdog: Option<u64>,
+    host_threads: Option<usize>,
 }
 
 impl Device {
@@ -271,6 +305,7 @@ impl Device {
             profiler: false,
             fault: None,
             watchdog: None,
+            host_threads: None,
         }
     }
 
@@ -342,6 +377,26 @@ impl Device {
         self.watchdog
     }
 
+    /// Sets how many host worker threads execute the blocks of each
+    /// launch. The default (1) runs the grid in the classic serial
+    /// loop; `threads > 1` dispatches block indices to a scoped
+    /// [`std::thread`] pool while keeping counters, sanitizer reports,
+    /// profiles, faults and every byte of output identical to serial
+    /// execution (per-block slots merged in block order; global atomics
+    /// deferred and replayed in block order). The environment variable
+    /// `GPU_SIM_HOST_THREADS` overrides this setting process-wide —
+    /// `GPU_SIM_HOST_THREADS=1` forces the serial path.
+    pub fn with_host_threads(mut self, threads: usize) -> Self {
+        self.host_threads = Some(threads.max(1));
+        self
+    }
+
+    /// The effective host thread count for launches on this device
+    /// (environment override, then builder setting, then 1).
+    pub fn host_threads(&self) -> usize {
+        env_host_threads().unwrap_or_else(|| self.host_threads.unwrap_or(1))
+    }
+
     /// Converts a simulated-seconds deadline into a per-block
     /// effective-issue watchdog budget for `config`'s geometry, using
     /// the inverse of the cost model's compute roofline
@@ -381,7 +436,7 @@ impl Device {
         &self,
         name: &str,
         config: LaunchConfig,
-        kernel: impl FnMut(&mut BlockCtx),
+        kernel: impl Fn(&mut BlockCtx) + Sync,
     ) -> LaunchStats {
         self.try_launch(name, config, kernel)
             .unwrap_or_else(|e| panic!("{e}"))
@@ -390,11 +445,15 @@ impl Device {
     /// Fallible launch: invalid geometry, over-budget shared-memory
     /// allocations, and (under [`SanitizerMode::Fail`]) sanitizer findings
     /// come back as [`SimError`] values instead of panics.
+    ///
+    /// With [`Device::with_host_threads`] (or `GPU_SIM_HOST_THREADS`)
+    /// above 1, blocks execute on a host thread pool; results are
+    /// bit-identical to the serial loop.
     pub fn try_launch(
         &self,
         name: &str,
         config: LaunchConfig,
-        mut kernel: impl FnMut(&mut BlockCtx),
+        kernel: impl Fn(&mut BlockCtx) + Sync,
     ) -> Result<LaunchStats, SimError> {
         if config.threads_per_block == 0
             || config.threads_per_block > self.spec.max_threads_per_block
@@ -432,37 +491,84 @@ impl Device {
             }
             None => None,
         };
-        let faults = Rc::new(LaunchFaults::new(name, inject, watchdog));
         let mut total = Counters::new();
         let mut max_block_issues = 0u64;
-        let mut l2 = L2Tracker::new();
-        for b in 0..config.blocks {
-            let bsan = Rc::new(BlockSanitizer::new(
-                lsan.clone(),
-                b,
-                config.warps_per_block(),
-            ));
-            let mut block = BlockCtx {
-                block_id: b,
-                grid_blocks: config.blocks,
-                warps_per_block: config.warps_per_block(),
-                spec: &self.spec,
-                shared: SharedMem::with_sanitizer(config.smem_per_block, bsan.clone()),
-                counters: Counters::new(),
-                l2: &mut l2,
-                san: bsan,
-                prof: lprof
-                    .as_ref()
-                    .map(|lp| Rc::new(BlockProfiler::new(lp.clone(), b))),
-                faults: faults.clone(),
-            };
-            if watchdog.is_some() {
-                // A tripped watchdog unwinds out of the (possibly
-                // livelocked) kernel closure with a sentinel payload;
-                // anything else keeps unwinding.
+        let host_threads = self.host_threads();
+        // Injection-armed launches stay serial: fault arming (bit flips,
+        // allocator failures, hash overflows) is keyed to launch-wide
+        // "first access" state that per-block replicas would re-fire.
+        if host_threads > 1 && config.blocks > 1 && inject.is_none() {
+            let spec = &self.spec;
+            let warps_per_block = config.warps_per_block();
+            let profiling = lprof.is_some();
+            // One block, start to finish, on whichever worker claimed
+            // it: fresh per-block collectors feed a `BlockOutcome` slot.
+            // Panics are always caught here (they must not cross the
+            // scope join) and re-classified during the ordered merge.
+            let run_block = |b: usize| -> BlockOutcome {
+                let broot = Rc::new(LaunchSanitizer::new(mode, name));
+                let bsan = Rc::new(BlockSanitizer::new(broot.clone(), b, warps_per_block));
+                let bfaults = Rc::new(LaunchFaults::new(name, None, watchdog));
+                let bprof = profiling.then(|| Rc::new(LaunchProfiler::new()));
+                let defer = AtomicDefer::default();
+                let mut l2 = L2Tracker::new();
+                let mut block = BlockCtx {
+                    block_id: b,
+                    grid_blocks: config.blocks,
+                    warps_per_block,
+                    spec,
+                    shared: SharedMem::with_sanitizer(config.smem_per_block, bsan.clone()),
+                    counters: Counters::new(),
+                    l2: &mut l2,
+                    san: bsan,
+                    prof: bprof
+                        .as_ref()
+                        .map(|lp| Rc::new(BlockProfiler::new(lp.clone(), b))),
+                    faults: bfaults.clone(),
+                    deferred: Some(&defer),
+                };
                 let caught =
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| kernel(&mut block)));
-                if let Err(payload) = caught {
+                let fault = block.shared.take_fault().or_else(|| bfaults.take());
+                let counters = block.counters;
+                drop(block);
+                BlockOutcome {
+                    counters,
+                    reports: broot.take_reports(),
+                    reports_dropped: broot.dropped(),
+                    prof: bprof.map(|lp| lp.take_data()),
+                    fault,
+                    panic: caught.err(),
+                    atomics: defer.take(),
+                }
+            };
+            let queue = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<BlockOutcome>>> =
+                (0..config.blocks).map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|s| {
+                for _ in 0..host_threads.min(config.blocks) {
+                    s.spawn(|| loop {
+                        let b = queue.fetch_add(1, Ordering::Relaxed);
+                        if b >= config.blocks {
+                            break;
+                        }
+                        let outcome = run_block(b);
+                        *slots[b].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
+                    });
+                }
+            });
+            // Merge in block order. The first block (by index) that
+            // panicked or faulted decides the launch's fate exactly as
+            // it would have in the serial loop, where later blocks
+            // never ran; their outcomes are simply discarded along with
+            // the output buffers the caller drops on `Err`.
+            for slot in &slots {
+                let o = slot
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("parallel executor left a block unexecuted");
+                if let Some(payload) = o.panic {
                     if payload.is::<WatchdogAbort>() {
                         return Err(SimError::WatchdogTimeout {
                             kernel: name.to_string(),
@@ -471,17 +577,71 @@ impl Device {
                     }
                     std::panic::resume_unwind(payload);
                 }
-            } else {
-                kernel(&mut block);
+                if let Some(fault) = o.fault {
+                    return Err(fault);
+                }
+                lsan.absorb(o.reports, o.reports_dropped);
+                if let (Some(lp), Some(piece)) = (lprof.as_ref(), o.prof) {
+                    lp.absorb(piece);
+                }
+                for apply in o.atomics {
+                    apply();
+                }
+                max_block_issues = max_block_issues.max(o.counters.effective_issues());
+                total.merge(&o.counters);
             }
-            if let Some(fault) = block.shared.take_fault() {
-                return Err(fault);
+        } else {
+            let faults = Rc::new(LaunchFaults::new(name, inject, watchdog));
+            for b in 0..config.blocks {
+                let bsan = Rc::new(BlockSanitizer::new(
+                    lsan.clone(),
+                    b,
+                    config.warps_per_block(),
+                ));
+                let mut l2 = L2Tracker::new();
+                let mut block = BlockCtx {
+                    block_id: b,
+                    grid_blocks: config.blocks,
+                    warps_per_block: config.warps_per_block(),
+                    spec: &self.spec,
+                    shared: SharedMem::with_sanitizer(config.smem_per_block, bsan.clone()),
+                    counters: Counters::new(),
+                    l2: &mut l2,
+                    san: bsan,
+                    prof: lprof
+                        .as_ref()
+                        .map(|lp| Rc::new(BlockProfiler::new(lp.clone(), b))),
+                    faults: faults.clone(),
+                    deferred: None,
+                };
+                if watchdog.is_some() {
+                    // A tripped watchdog unwinds out of the (possibly
+                    // livelocked) kernel closure with a sentinel payload;
+                    // anything else keeps unwinding.
+                    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        kernel(&mut block)
+                    }));
+                    if let Err(payload) = caught {
+                        if payload.is::<WatchdogAbort>() {
+                            return Err(SimError::WatchdogTimeout {
+                                kernel: name.to_string(),
+                                budget: watchdog.unwrap_or(0),
+                            });
+                        }
+                        std::panic::resume_unwind(payload);
+                    }
+                } else {
+                    kernel(&mut block);
+                }
+                if let Some(fault) = block.shared.take_fault() {
+                    return Err(fault);
+                }
+                if let Some(fault) = faults.take() {
+                    return Err(fault);
+                }
+                max_block_issues = max_block_issues.max(block.counters.effective_issues());
+                total.merge(&block.counters);
             }
-            if let Some(fault) = faults.take() {
-                return Err(fault);
-            }
-            max_block_issues = max_block_issues.max(block.counters.effective_issues());
-            total.merge(&block.counters);
         }
         let sanitizer_reports = lsan.take_reports();
         if mode == SanitizerMode::Fail && !sanitizer_reports.is_empty() {
@@ -639,11 +799,11 @@ mod tests {
 
     #[test]
     fn l2_unique_bytes_reset_at_launch_boundaries() {
-        // The L2 tracker is launch-wide ("Launch-wide record of distinct
-        // (buffer, segment) touches"): within one launch, re-reading a
+        // The L2 tracker is per-block ("Per-block record of distinct
+        // (buffer, segment) touches"): within one block, re-reading a
         // segment grows `global_bytes` but not `global_bytes_unique`;
-        // a new launch starts cold, so the same buffer's compulsory
-        // misses are counted afresh.
+        // a new launch (and a new block) starts cold, so the same
+        // buffer's compulsory misses are counted afresh.
         let dev = Device::volta();
         let buf = dev.buffer_from_slice(&[1.0f32; 32]);
         let read_twice = |block: &mut BlockCtx| {
@@ -661,6 +821,54 @@ mod tests {
         // launch's touches did not carry over.
         assert_eq!(second.counters.global_bytes_unique, 128);
         assert_eq!(second.counters, first.counters);
+    }
+
+    #[test]
+    fn parallel_execution_matches_serial_bit_for_bit() {
+        let run = |threads: usize| {
+            let dev = Device::volta()
+                .with_host_threads(threads)
+                .with_profiler(true)
+                .with_sanitizer(SanitizerMode::Warn);
+            let n = 8 * 64;
+            let out = dev.buffer::<f32>(n);
+            let acc = dev.buffer::<f32>(1);
+            let stats = dev.launch("par", LaunchConfig::new(8, 64, 0), |block| {
+                block.range("body", |block| {
+                    block.sync();
+                    block.run_warps(|w| {
+                        let idx = lanes_from_fn(|l| Some(w.global_thread_id(l)));
+                        let vals = lanes_from_fn(|l| 0.1 + (w.global_thread_id(l) % 7) as f32);
+                        w.global_scatter(&out, &idx, &vals);
+                        let zero = lanes_from_fn(|_| Some(0usize));
+                        // Non-associative-friendly values: f32 addition
+                        // order is observable, so replay order matters.
+                        w.global_atomic(&acc, &zero, &vals, |x, y| x + y);
+                    });
+                });
+            });
+            (out.to_vec(), acc.host_get(0), stats)
+        };
+        let (out1, acc1, s1) = run(1);
+        let (out8, acc8, s8) = run(8);
+        assert_eq!(out1, out8);
+        assert_eq!(acc1.to_bits(), acc8.to_bits());
+        assert_eq!(s1.counters, s8.counters);
+        assert_eq!(s1.cost.total_seconds, s8.cost.total_seconds);
+        let (p1, p8) = (s1.profile.unwrap(), s8.profile.unwrap());
+        assert_eq!(p1.ranges.len(), p8.ranges.len());
+    }
+
+    #[test]
+    fn parallel_watchdog_still_times_out() {
+        let dev = Device::volta().with_host_threads(4);
+        let cfg = LaunchConfig::new(4, 32, 0).with_watchdog(16);
+        let err = dev
+            .try_launch("spin", cfg, |block| loop {
+                block.sync();
+            })
+            .unwrap_err();
+        assert!(matches!(err, SimError::WatchdogTimeout { budget: 16, .. }));
     }
 
     #[test]

@@ -1,9 +1,51 @@
 //! Simulated device (global) memory buffers.
 
-use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 static NEXT_BUFFER_ID: AtomicU64 = AtomicU64::new(0);
+
+/// The lockable payload of a buffer: element storage plus the optional
+/// initcheck bitmap. Kept in one lock so a write marks its element
+/// initialized atomically with the store.
+#[derive(Debug)]
+pub(crate) struct Storage<T> {
+    data: Vec<T>,
+    /// Initcheck bitmap: `Some` for buffers created with
+    /// [`GlobalBuffer::uninit`] (like `cudaMalloc` without a memset);
+    /// `None` for buffers whose construction defines every element.
+    init: Option<Vec<bool>>,
+}
+
+impl<T: Copy> Storage<T> {
+    fn mark_init(&mut self, idx: usize) {
+        if let Some(bits) = &mut self.init {
+            if let Some(b) = bits.get_mut(idx) {
+                *b = true;
+            }
+        }
+    }
+
+    pub(crate) fn get(&self, idx: usize) -> T {
+        self.data[idx]
+    }
+
+    pub(crate) fn set(&mut self, idx: usize, v: T) {
+        self.mark_init(idx);
+        self.data[idx] = v;
+    }
+
+    pub(crate) fn rmw(&mut self, idx: usize, f: impl FnOnce(T) -> T) {
+        self.mark_init(idx);
+        self.data[idx] = f(self.data[idx]);
+    }
+}
+
+/// A cloneable handle on a buffer's storage, used by the parallel
+/// executor to replay deferred atomics after all blocks finish (the
+/// handle is `'static`, so the replay closures outlive the launch's
+/// borrow of the buffer).
+pub(crate) type SharedStorage<T> = Arc<RwLock<Storage<T>>>;
 
 /// A buffer in simulated device memory.
 ///
@@ -12,20 +54,29 @@ static NEXT_BUFFER_ID: AtomicU64 = AtomicU64::new(0);
 /// coalescing model; the `host_*` methods model `cudaMemcpy`-style
 /// host-device transfers and are free of kernel-side accounting.
 ///
-/// Interior mutability (a `RefCell`) stands in for the device's freedom
-/// to write buffers from any thread; the simulator executes blocks
-/// sequentially, so no synchronization is needed.
+/// Interior mutability (an `RwLock`) stands in for the device's freedom
+/// to write buffers from any thread. Blocks of one launch may execute on
+/// concurrent host threads (see `GPU_SIM_HOST_THREADS`), but they write
+/// disjoint elements — cross-block combining goes through deferred
+/// atomics — so the lock only orders raw memory access, never results.
 #[derive(Debug)]
 pub struct GlobalBuffer<T> {
     id: u64,
-    data: RefCell<Vec<T>>,
-    /// Initcheck bitmap: `Some` for buffers created with
-    /// [`GlobalBuffer::uninit`] (like `cudaMalloc` without a memset);
-    /// `None` for buffers whose construction defines every element.
-    init: Option<RefCell<Vec<bool>>>,
+    storage: SharedStorage<T>,
     /// Optional human-readable label; fault injection targets buffers by
     /// label (see [`crate::fault::FaultPlan::with_bit_flips`]).
-    label: RefCell<Option<String>>,
+    label: RwLock<Option<String>>,
+}
+
+/// Ignores lock poisoning: a panicking block (watchdog abort, injected
+/// fault) never holds a guard across user code, so the payload is
+/// always consistent.
+fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
 }
 
 impl<T: Copy + Default> GlobalBuffer<T> {
@@ -38,9 +89,8 @@ impl<T: Copy + Default> GlobalBuffer<T> {
     pub fn from_vec(data: Vec<T>) -> Self {
         Self {
             id: NEXT_BUFFER_ID.fetch_add(1, Ordering::Relaxed),
-            data: RefCell::new(data),
-            init: None,
-            label: RefCell::new(None),
+            storage: Arc::new(RwLock::new(Storage { data, init: None })),
+            label: RwLock::new(None),
         }
     }
 
@@ -52,13 +102,15 @@ impl<T: Copy + Default> GlobalBuffer<T> {
     pub fn uninit(len: usize) -> Self {
         Self {
             id: NEXT_BUFFER_ID.fetch_add(1, Ordering::Relaxed),
-            data: RefCell::new(vec![T::default(); len]),
-            init: Some(RefCell::new(vec![false; len])),
-            label: RefCell::new(None),
+            storage: Arc::new(RwLock::new(Storage {
+                data: vec![T::default(); len],
+                init: Some(vec![false; len]),
+            })),
+            label: RwLock::new(None),
         }
     }
 
-    /// Process-unique allocation id (keys the launch-level L2 model).
+    /// Process-unique allocation id (keys the per-block L2 model).
     pub fn id(&self) -> u64 {
         self.id
     }
@@ -67,7 +119,7 @@ impl<T: Copy + Default> GlobalBuffer<T> {
     /// ([`crate::fault::FaultPlan::with_bit_flips`] selects buffers by
     /// label).
     pub fn set_label(&self, label: &str) {
-        *self.label.borrow_mut() = Some(label.to_string());
+        *write_lock(&self.label) = Some(label.to_string());
     }
 
     /// Builder-style [`GlobalBuffer::set_label`].
@@ -78,13 +130,13 @@ impl<T: Copy + Default> GlobalBuffer<T> {
 
     /// The buffer's label, if one was set.
     pub fn label(&self) -> Option<String> {
-        self.label.borrow().clone()
+        read_lock(&self.label).clone()
     }
 
     /// Runs `f` on the label without cloning (the fault injector's
     /// match path).
     pub(crate) fn with_label_ref<R>(&self, f: impl FnOnce(Option<&str>) -> R) -> R {
-        f(self.label.borrow().as_deref())
+        f(read_lock(&self.label).as_deref())
     }
 
     /// Copies host data from a slice.
@@ -94,7 +146,7 @@ impl<T: Copy + Default> GlobalBuffer<T> {
 
     /// Number of elements.
     pub fn len(&self) -> usize {
-        self.data.borrow().len()
+        read_lock(&self.storage).data.len()
     }
 
     /// True when the buffer has no elements.
@@ -109,7 +161,7 @@ impl<T: Copy + Default> GlobalBuffer<T> {
 
     /// Copies the buffer back to the host (the simulated D2H copy).
     pub fn to_vec(&self) -> Vec<T> {
-        self.data.borrow().clone()
+        read_lock(&self.storage).data.clone()
     }
 
     /// Host-side read of one element.
@@ -118,7 +170,7 @@ impl<T: Copy + Default> GlobalBuffer<T> {
     ///
     /// Panics if `idx` is out of bounds.
     pub fn host_get(&self, idx: usize) -> T {
-        self.data.borrow()[idx]
+        read_lock(&self.storage).get(idx)
     }
 
     /// Host-side write of one element.
@@ -127,41 +179,46 @@ impl<T: Copy + Default> GlobalBuffer<T> {
     ///
     /// Panics if `idx` is out of bounds.
     pub fn host_set(&self, idx: usize, v: T) {
-        self.mark_init(idx);
-        self.data.borrow_mut()[idx] = v;
+        write_lock(&self.storage).set(idx, v);
     }
 
     /// Whether element `idx` has ever been written (always true for
     /// buffers constructed from data).
     pub(crate) fn is_init(&self, idx: usize) -> bool {
-        match &self.init {
+        match &read_lock(&self.storage).init {
             None => true,
-            Some(bits) => bits.borrow().get(idx).copied().unwrap_or(true),
-        }
-    }
-
-    fn mark_init(&self, idx: usize) {
-        if let Some(bits) = &self.init {
-            if let Some(b) = bits.borrow_mut().get_mut(idx) {
-                *b = true;
-            }
+            Some(bits) => bits.get(idx).copied().unwrap_or(true),
         }
     }
 
     pub(crate) fn read(&self, idx: usize) -> T {
-        self.data.borrow()[idx]
+        read_lock(&self.storage).get(idx)
     }
 
     pub(crate) fn write(&self, idx: usize, v: T) {
-        self.mark_init(idx);
-        self.data.borrow_mut()[idx] = v;
+        write_lock(&self.storage).set(idx, v);
     }
 
     pub(crate) fn rmw(&self, idx: usize, f: impl FnOnce(T) -> T) {
-        self.mark_init(idx);
-        let mut d = self.data.borrow_mut();
-        d[idx] = f(d[idx]);
+        write_lock(&self.storage).rmw(idx, f);
     }
+
+    /// Clones the storage handle for deferred atomic replay (parallel
+    /// launches log atomics per block and apply them in block order once
+    /// every block has finished).
+    pub(crate) fn shared_storage(&self) -> SharedStorage<T> {
+        Arc::clone(&self.storage)
+    }
+}
+
+/// Applies one deferred read-modify-write through a storage handle,
+/// outside any buffer borrow. Used by the parallel executor's replay
+/// phase.
+pub(crate) fn replay_rmw<T: Copy>(storage: &SharedStorage<T>, idx: usize, f: impl FnOnce(T) -> T) {
+    storage
+        .write()
+        .unwrap_or_else(|e| e.into_inner())
+        .rmw(idx, f);
 }
 
 #[cfg(test)]
@@ -204,5 +261,13 @@ mod tests {
         // Constructed-from-data buffers are fully initialized.
         let c = GlobalBuffer::from_slice(&[1u32]);
         assert!(c.is_init(0));
+    }
+
+    #[test]
+    fn replay_through_shared_storage_matches_direct_rmw() {
+        let b = GlobalBuffer::from_slice(&[1.0f64, 2.0]);
+        let handle = b.shared_storage();
+        replay_rmw(&handle, 1, |v| v * 10.0);
+        assert_eq!(b.host_get(1), 20.0);
     }
 }

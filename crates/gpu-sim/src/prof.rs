@@ -189,7 +189,7 @@ struct RangeAcc {
 }
 
 #[derive(Debug, Default)]
-struct ProfData {
+pub(crate) struct ProfData {
     ranges: BTreeMap<String, RangeAcc>,
     spans: Vec<TraceSpan>,
     spans_dropped: u64,
@@ -223,6 +223,40 @@ impl LaunchProfiler {
         } else {
             d.spans_dropped += 1;
         }
+    }
+
+    /// Extracts this collector's raw data. The parallel executor gives
+    /// every block its own `LaunchProfiler`, takes the data on the
+    /// worker thread, and merges the pieces in block order with
+    /// [`Self::absorb`] — reproducing the serial collector's contents
+    /// exactly (range aggregates are additive; spans concatenate in the
+    /// serial emission order, which *is* block order).
+    pub(crate) fn take_data(&self) -> ProfData {
+        self.data.take()
+    }
+
+    /// Merges one block's extracted data into this launch-wide
+    /// collector, preserving the serial span cap: retained spans are the
+    /// first [`MAX_SPANS`] in block order, the rest are counted in
+    /// `spans_dropped` — the same set and count the serial path's
+    /// launch-wide cap produces.
+    pub(crate) fn absorb(&self, piece: ProfData) {
+        let mut d = self.data.borrow_mut();
+        for (path, acc) in piece.ranges {
+            let slot = d.ranges.entry(path).or_default();
+            slot.calls += acc.calls;
+            slot.exclusive.merge(&acc.exclusive);
+            slot.inclusive.merge(&acc.inclusive);
+        }
+        d.spans_dropped += piece.spans_dropped;
+        for span in piece.spans {
+            if d.spans.len() < MAX_SPANS {
+                d.spans.push(span);
+            } else {
+                d.spans_dropped += 1;
+            }
+        }
+        d.top_level.merge(&piece.top_level);
     }
 
     /// Folds the collected data into the launch's profile. Called once by

@@ -279,9 +279,27 @@ impl LaunchSanitizer {
     }
 
     /// Reports silently discarded past [`MAX_REPORTS`].
-    #[allow(dead_code)]
     pub(crate) fn dropped(&self) -> usize {
         self.dropped.get()
+    }
+
+    /// Merges one block's collected reports into this launch-wide sink,
+    /// preserving the serial capping discipline: reports append in the
+    /// order given until [`MAX_REPORTS`], the overflow joins the dropped
+    /// count. The parallel executor gives every block its own collector
+    /// and absorbs them in block order, which reproduces the serial
+    /// path's retained set and dropped count exactly (serial fills the
+    /// launch-wide sink in block order too).
+    pub(crate) fn absorb(&self, reports: Vec<SanitizerReport>, dropped: usize) {
+        self.dropped.set(self.dropped.get() + dropped);
+        let mut sink = self.reports.borrow_mut();
+        for r in reports {
+            if sink.len() >= MAX_REPORTS {
+                self.dropped.set(self.dropped.get() + 1);
+            } else {
+                sink.push(r);
+            }
+        }
     }
 }
 

@@ -15,13 +15,51 @@ use crate::prof::BlockProfiler;
 use crate::sanitizer::{BlockSanitizer, CheckerKind, MemSpace, SimError};
 use crate::shared::SharedArray;
 use crate::spec::DeviceSpec;
+use std::cell::RefCell;
 use std::collections::HashSet;
 
-/// Launch-wide record of distinct `(buffer, segment)` touches, standing
-/// in for the chip-wide L2: the first touch of a segment is a compulsory
-/// DRAM transaction, later touches are re-reads the cost model may
-/// discount.
+/// Per-block record of distinct `(buffer, segment)` touches, standing
+/// in for the block's view of the L2: the first touch of a segment is a
+/// compulsory DRAM transaction, later touches are re-reads the cost
+/// model may discount. Tracking per block (rather than launch-wide)
+/// keeps the counter independent of block execution order, which is
+/// what lets a launch run its blocks on concurrent host threads and
+/// still merge byte-identical counters.
 pub type L2Tracker = HashSet<(u64, usize)>;
+
+/// Per-block log of global atomics deferred by a parallel launch.
+///
+/// Blocks of one launch may interleave arbitrarily on host threads, and
+/// floating-point `⊕` is not associative, so a parallel launch must not
+/// apply cross-block atomics as they happen. Instead each block logs its
+/// read-modify-writes here (as `'static` closures over the buffer's
+/// shared storage handle) and [`crate::Device::try_launch`] replays the
+/// logs in block order once every block has finished — reproducing the
+/// serial schedule bit for bit. Kernels never read an atomic-target
+/// buffer mid-launch (results are only combined, then copied out after
+/// the launch), so deferral is invisible to kernel semantics.
+#[derive(Default)]
+pub(crate) struct AtomicDefer {
+    log: RefCell<Vec<Box<dyn FnOnce() + Send>>>,
+}
+
+impl AtomicDefer {
+    /// Appends one deferred replay step.
+    pub(crate) fn push(&self, f: Box<dyn FnOnce() + Send>) {
+        self.log.borrow_mut().push(f);
+    }
+
+    /// Drains the log in insertion order.
+    pub(crate) fn take(&self) -> Vec<Box<dyn FnOnce() + Send>> {
+        self.log.take()
+    }
+}
+
+impl std::fmt::Debug for AtomicDefer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AtomicDefer({} deferred)", self.log.borrow().len())
+    }
+}
 
 /// Number of lanes in a warp on every simulated architecture.
 pub const WARP_SIZE: usize = 32;
@@ -54,6 +92,11 @@ pub struct WarpCtx<'a> {
     pub(crate) prof: Option<&'a BlockProfiler>,
     pub(crate) faults: &'a LaunchFaults,
     pub(crate) watchdog: Option<u64>,
+    /// `Some` when the launch executes blocks on concurrent host
+    /// threads: global atomics are logged here instead of applied
+    /// eagerly (see [`AtomicDefer`]). `None` on the serial path and in
+    /// hand-built test contexts, which keep the eager behaviour.
+    pub(crate) deferred: Option<&'a AtomicDefer>,
 }
 
 impl<'a> WarpCtx<'a> {
@@ -305,12 +348,16 @@ impl<'a> WarpCtx<'a> {
     /// with `op`. Lanes of the same warp hitting the same address
     /// serialize: `m` lanes on one address pay `m − 1` extra slots,
     /// modeling atomic contention.
-    pub fn global_atomic<T: Copy + Default>(
+    ///
+    /// `T` and `op` are `Send + 'static` so that a parallel launch can
+    /// defer the data mutation into a replay log that outlives the
+    /// block (counters are always charged eagerly either way).
+    pub fn global_atomic<T: Copy + Default + Send + Sync + 'static>(
         &mut self,
         buf: &GlobalBuffer<T>,
         idx: &Lanes<Option<usize>>,
         vals: &Lanes<T>,
-        op: impl Fn(T, T) -> T,
+        op: impl Fn(T, T) -> T + Send + 'static,
     ) {
         self.fault_check_global(buf);
         let idx = self.memcheck(
@@ -328,11 +375,34 @@ impl<'a> WarpCtx<'a> {
                     Some((_, m)) => *m += 1,
                     None => seen.push((i, 1)),
                 }
-                buf.rmw(i, |cur| op(cur, vals[l]));
             }
         }
         for (_, m) in seen {
             self.counters.atomic_conflict_extra += m - 1;
+        }
+        match self.deferred {
+            None => {
+                // Serial path (and hand-built contexts): apply in lane
+                // order, exactly the hardware-serialized schedule.
+                for l in 0..WARP_SIZE {
+                    if let Some(i) = idx[l] {
+                        buf.rmw(i, |cur| op(cur, vals[l]));
+                    }
+                }
+            }
+            Some(log) => {
+                // Parallel path: log the whole warp-op; the launch
+                // replays logs in block order after the grid finishes.
+                let storage = buf.shared_storage();
+                let vals = *vals;
+                log.push(Box::new(move || {
+                    for l in 0..WARP_SIZE {
+                        if let Some(i) = idx[l] {
+                            crate::global::replay_rmw(&storage, i, |cur| op(cur, vals[l]));
+                        }
+                    }
+                }));
+            }
         }
     }
 
@@ -599,6 +669,7 @@ mod tests {
                 prof: None,
                 faults: &faults,
                 watchdog: None,
+                deferred: None,
             };
             f(&mut ctx)
         };

@@ -218,7 +218,7 @@ pub fn expand_sort_contract_kernel<T: Real>(
                     if warp_acc != sr.reduce_identity() || w.warp_id == 0 {
                         let oidx = lanes_from_fn(|l| (l == 0).then_some(pair));
                         let ovals = lanes_from_fn(|_| warp_acc);
-                        w.global_atomic(&out, &oidx, &ovals, |x, y| sr.reduce(x, y));
+                        w.global_atomic(&out, &oidx, &ovals, move |x, y| sr.reduce(x, y));
                     }
                 });
             });

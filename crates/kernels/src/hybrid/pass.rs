@@ -250,7 +250,7 @@ pub fn hybrid_pass<T: Real>(
                                 });
                                 let out_vals =
                                     lanes_from_fn(|l| segs.get(l).map(|&(_, v)| v).unwrap_or(id));
-                                w.global_atomic(inp.out, &out_idx, &out_vals, |x, y| {
+                                w.global_atomic(inp.out, &out_idx, &out_vals, move |x, y| {
                                     sr.reduce(x, y)
                                 });
                             } else {

@@ -16,7 +16,7 @@ use gpu_sim::{Device, GlobalBuffer, LaunchStats};
 use semiring::{Distance, DistanceParams, Family};
 use sparse::{CsrMatrix, DenseMatrix, NormKind, Real};
 use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Which execution strategy computes the semiring passes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -203,7 +203,7 @@ pub struct PreparedIndex<T> {
     host: CsrMatrix<T>,
     csr: DeviceCsr<T>,
     coo: DeviceCoo<T>,
-    norms: RefCell<Vec<(NormKind, Rc<GlobalBuffer<T>>)>>,
+    norms: RefCell<Vec<(NormKind, Arc<GlobalBuffer<T>>)>>,
 }
 
 impl<T: Real> PreparedIndex<T> {
@@ -263,13 +263,13 @@ impl<T: Real> PreparedIndex<T> {
         &self,
         dev: &Device,
         kind: NormKind,
-    ) -> Result<(Rc<GlobalBuffer<T>>, Option<LaunchStats>), KernelError> {
+    ) -> Result<(Arc<GlobalBuffer<T>>, Option<LaunchStats>), KernelError> {
         if let Some((_, buf)) = self.norms.borrow().iter().find(|(k, _)| *k == kind) {
-            return Ok((Rc::clone(buf), None));
+            return Ok((Arc::clone(buf), None));
         }
         let (buf, stats) = row_norms_kernel(dev, &self.csr, kind)?;
-        let buf = Rc::new(buf);
-        self.norms.borrow_mut().push((kind, Rc::clone(&buf)));
+        let buf = Arc::new(buf);
+        self.norms.borrow_mut().push((kind, Arc::clone(&buf)));
         Ok((buf, Some(stats)))
     }
 }
@@ -429,7 +429,7 @@ fn attempt_pairwise<T: Real>(
         _ => {
             let kinds = distance.norms();
             let mut a_norms = Vec::with_capacity(kinds.len());
-            let mut b_norms: Vec<Rc<GlobalBuffer<T>>> = Vec::with_capacity(kinds.len());
+            let mut b_norms: Vec<Arc<GlobalBuffer<T>>> = Vec::with_capacity(kinds.len());
             for &kind in kinds {
                 let (na, sa) = row_norms_kernel(dev, a_dev, kind)?;
                 workspace += na.bytes();
@@ -443,7 +443,7 @@ fn attempt_pairwise<T: Real>(
                 b_norms.push(nb);
             }
             let a_refs: Vec<&GlobalBuffer<T>> = a_norms.iter().collect();
-            let b_refs: Vec<&GlobalBuffer<T>> = b_norms.iter().map(Rc::as_ref).collect();
+            let b_refs: Vec<&GlobalBuffer<T>> = b_norms.iter().map(Arc::as_ref).collect();
             launches.push(expansion_kernel(
                 dev, &inner, m, n, k, &a_refs, &b_refs, distance,
             )?);

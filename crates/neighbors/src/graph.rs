@@ -109,6 +109,8 @@ mod tests {
             peak_memory: Default::default(),
             launches: Vec::new(),
             resilience: Vec::new(),
+            devices: 1,
+            per_device_seconds: vec![0.0],
         };
         assert!(kneighbors_graph(&res, 3, GraphMode::Connectivity).is_err());
     }
@@ -123,6 +125,8 @@ mod tests {
             peak_memory: Default::default(),
             launches: Vec::new(),
             resilience: Vec::new(),
+            devices: 1,
+            per_device_seconds: vec![0.0],
         };
         let g = kneighbors_graph(&res, 5, GraphMode::Connectivity).expect("valid");
         assert_eq!(g.shape(), (2, 5));

@@ -49,6 +49,14 @@ pub struct KnnResult<T> {
     /// one tile is retried or degraded in place, so a single poisoned
     /// tile does not fail the whole neighborhood graph.
     pub resilience: Vec<ResilienceReport>,
+    /// Number of simulated devices the query was sharded across
+    /// (1 for single-device queries; see [`crate::MultiDevice`]).
+    pub devices: usize,
+    /// Simulated seconds attributed to each device. Devices execute
+    /// concurrently in simulated time, so `sim_seconds` is the maximum
+    /// of these entries on sharded queries (and equal to the single
+    /// entry otherwise).
+    pub per_device_seconds: Vec<f64>,
 }
 
 /// Brute-force k-nearest-neighbors estimator over the sparse pairwise
@@ -141,6 +149,26 @@ impl<T: Real> NearestNeighbors<T> {
         self.index.as_ref()
     }
 
+    /// A copy of this estimator re-targeted at one shard: same distance,
+    /// options, batching and selection, but running on `device` against
+    /// the shard's slice of the index (used by
+    /// [`crate::MultiDevice`]-sharded queries).
+    pub(crate) fn shard_onto(&self, device: Device, shard: CsrMatrix<T>) -> Self {
+        let mut nn = self.clone();
+        nn.device = device;
+        nn.index = Some(shard);
+        nn
+    }
+
+    /// Rows per index slab when sharding across `devices` devices: the
+    /// explicit [`NearestNeighbors::with_index_batch_rows`] setting, or
+    /// one contiguous slab per device.
+    pub(crate) fn shard_slab_rows(&self, index_rows: usize, devices: usize) -> usize {
+        self.index_batch_rows
+            .unwrap_or_else(|| index_rows.div_ceil(devices.max(1)).max(1))
+            .max(1)
+    }
+
     fn kneighbors_fused(
         &self,
         query: &CsrMatrix<T>,
@@ -174,10 +202,11 @@ impl<T: Real> NearestNeighbors<T> {
             indices.push(row_i);
             distances.push(row_d);
         }
+        let sim_seconds = r.sim_seconds();
         Ok(KnnResult {
             indices,
             distances,
-            sim_seconds: r.sim_seconds(),
+            sim_seconds,
             batches: 1,
             peak_memory: MemoryFootprint {
                 input_bytes: query.device_bytes() + index.device_bytes(),
@@ -186,6 +215,8 @@ impl<T: Real> NearestNeighbors<T> {
             },
             launches: r.launches,
             resilience: Vec::new(),
+            devices: 1,
+            per_device_seconds: vec![sim_seconds],
         })
     }
 
@@ -308,6 +339,8 @@ impl<T: Real> NearestNeighbors<T> {
             peak_memory: peak,
             launches,
             resilience,
+            devices: 1,
+            per_device_seconds: vec![sim_seconds],
         })
     }
 
@@ -429,6 +462,8 @@ impl<T: Real> NearestNeighbors<T> {
             peak_memory: peak,
             launches,
             resilience,
+            devices: 1,
+            per_device_seconds: vec![sim_seconds],
         })
     }
 }

@@ -33,8 +33,10 @@
 
 pub mod graph;
 pub mod knn;
+pub mod multi;
 pub mod topk;
 
 pub use graph::{kneighbors_graph, GraphMode};
 pub use knn::{KnnResult, NearestNeighbors, Selection};
+pub use multi::MultiDevice;
 pub use topk::top_k_smallest;

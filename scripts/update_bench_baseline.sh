@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Refreshes the committed perf-gate baseline.
+#
+# Run this when a PR intentionally changes simulated performance
+# (cost-model edits, kernel strategy changes, new counters), then
+# commit the resulting experiments_output/BENCH_baseline.json diff.
+# The commands below are exactly what the CI `perf-gate` job runs
+# before diffing — keep the two in sync.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${BENCH_SCALE:-0.002}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+cargo run --release --locked -p bench --bin counters_report -- \
+    --scale "$SCALE" --json "$TMP/counters.json"
+cargo run --release --locked -p bench --bin shard_scaling -- \
+    --scale "$SCALE" --json "$TMP/shard.json"
+cargo run --locked -p xtask --bin compare_bench -- \
+    --write-baseline experiments_output/BENCH_baseline.json \
+    "$TMP/counters.json" "$TMP/shard.json"
+
+echo "Refreshed experiments_output/BENCH_baseline.json — review and commit the diff."
