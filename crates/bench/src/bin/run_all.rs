@@ -13,7 +13,7 @@ use std::fs;
 use std::path::Path;
 use std::process::Command;
 
-const HARNESSES: [&str; 9] = [
+const HARNESSES: [&str; 10] = [
     "table2",
     "figure1",
     "table3",
@@ -23,6 +23,7 @@ const HARNESSES: [&str; 9] = [
     "arch_compare",
     "resilience_report",
     "shard_scaling",
+    "serve_throughput",
 ];
 
 fn main() {

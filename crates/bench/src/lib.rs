@@ -21,5 +21,8 @@ pub mod report;
 pub mod runner;
 pub mod suite;
 
-pub use report::{validate_chrome_trace, validate_report, BenchReport, Json, MetricRow};
+pub use report::{
+    validate_chrome_trace, validate_latency_percentiles, validate_report, BenchReport, Json,
+    MetricRow,
+};
 pub use runner::{parse_path, parse_scale, parse_u64, try_parse_u64, BenchRow, Timed};

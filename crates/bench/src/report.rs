@@ -541,6 +541,59 @@ pub fn validate_report(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates latency-percentile pairs in a `bench.v1` document: every
+/// row carrying a `p<N>_latency_s` value must keep its percentiles
+/// non-negative and monotone (`p50 <= p99`, and in general any lower
+/// percentile must not exceed a higher one). Returns how many rows
+/// carried percentiles. Runs after [`validate_report`], so values are
+/// already known to be finite numbers.
+pub fn validate_latency_percentiles(text: &str) -> Result<usize, String> {
+    let doc = Json::parse(text)?;
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("missing \"rows\" array")?;
+    let mut carrying = 0usize;
+    for (i, row) in rows.iter().enumerate() {
+        let values = row
+            .get("values")
+            .and_then(Json::as_obj)
+            .ok_or(format!("row {i}: missing \"values\" object"))?;
+        // (percentile, value) pairs parsed out of p<N>_latency_s keys.
+        let mut pcts: Vec<(f64, f64)> = Vec::new();
+        for (k, v) in values {
+            let Some(rest) = k.strip_prefix('p') else {
+                continue;
+            };
+            let Some(num) = rest.strip_suffix("_latency_s") else {
+                continue;
+            };
+            let p: f64 = num
+                .parse()
+                .map_err(|_| format!("row {i}: malformed percentile key {k:?}"))?;
+            let lat = v.as_f64().ok_or(format!("row {i}: {k:?} not a number"))?;
+            if lat < 0.0 {
+                return Err(format!("row {i}: {k:?} is negative ({lat})"));
+            }
+            pcts.push((p, lat));
+        }
+        if pcts.is_empty() {
+            continue;
+        }
+        carrying += 1;
+        pcts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite percentile"));
+        for pair in pcts.windows(2) {
+            let ((lo_p, lo), (hi_p, hi)) = (pair[0], pair[1]);
+            if lo > hi {
+                return Err(format!(
+                    "row {i}: p{lo_p} latency {lo} exceeds p{hi_p} latency {hi}"
+                ));
+            }
+        }
+    }
+    Ok(carrying)
+}
+
 /// Validates the shape of a chrome://tracing document as produced by
 /// [`gpu_sim::chrome_trace`]: a `traceEvents` array whose `"X"` events
 /// carry `name`/`pid`/`tid`/`ts`/`dur` (with `ts`/`dur` finite and
@@ -697,6 +750,37 @@ mod tests {
     fn unicode_escapes_decode() {
         let doc = Json::parse("\"caf\\u00e9 \\u2603\"").expect("parses");
         assert_eq!(doc.as_str(), Some("café ☃"));
+    }
+
+    #[test]
+    fn latency_percentile_validator_enforces_order_and_sign() {
+        let mk = |p50: f64, p99: f64| {
+            let mut rep = BenchReport::new("serve");
+            rep.push(
+                MetricRow::new()
+                    .label("mode", "cached")
+                    .value("p50_latency_s", p50)
+                    .value("p99_latency_s", p99)
+                    .value("qps", 1000.0),
+            );
+            rep.push(
+                MetricRow::new()
+                    .label("mode", "speedup")
+                    .value("qps_speedup", 2.0),
+            );
+            rep.to_json()
+        };
+        assert_eq!(validate_latency_percentiles(&mk(1e-5, 4e-5)), Ok(1));
+        assert_eq!(validate_latency_percentiles(&mk(1e-5, 1e-5)), Ok(1));
+        assert!(validate_latency_percentiles(&mk(4e-5, 1e-5))
+            .unwrap_err()
+            .contains("exceeds"));
+        assert!(validate_latency_percentiles(&mk(-1e-5, 1e-5))
+            .unwrap_err()
+            .contains("negative"));
+        // Rows without percentile keys are not counted and not checked.
+        let plain = sample().to_json();
+        assert_eq!(validate_latency_percentiles(&plain), Ok(0));
     }
 
     #[test]

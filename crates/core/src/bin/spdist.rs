@@ -5,10 +5,23 @@
 //! ```text
 //! spdist knn      --input data.mtx --metric cosine --k 10 [--output out.tsv]
 //! spdist pairwise --input a.mtx [--index b.mtx] --metric manhattan [--output d.mtx]
+//! spdist serve    --input index.mtx --queries q.mtx --k 10 [--max-batch 8 ...]
 //! spdist info     --input data.mtx
 //! spdist gen      --profile movielens --scale 0.01 --output data.mtx [--seed 1]
 //! spdist profile  --input data.mtx [--replica out.mtx --seed 2]
 //! ```
+//!
+//! `serve` replays the query rows as a simulated request stream against
+//! a prepared-index cache and micro-batching engine: `--arrival-gap-us`
+//! spaces arrivals, `--max-batch`/`--max-wait-us` bound each batch,
+//! `--max-queue` rejects arrivals past that backlog,
+//! `--cache-budget-mb` caps the prepared-index cache, and
+//! `--per-query-prepare` disables the cache (the baseline the cache is
+//! measured against). Answers are byte-identical to `spdist knn` on the
+//! same operands; throughput and latency percentiles go to stderr.
+//!
+//! Unknown flags, misspelled flags, and flags missing their value are
+//! config errors (exit 2) — never silently ignored.
 //!
 //! Common flags: `--metric <name>` (any Table 1 distance plus
 //! `braycurtis`; see `Distance::from_name`), `--p <f>` (Minkowski
@@ -36,8 +49,9 @@
 use semiring::{Distance, DistanceParams};
 use sparse::{read_matrix_market, write_matrix_market, CsrMatrix, DegreeStats};
 use sparse_dist::{
-    chrome_trace, kneighbors_graph, Device, GraphMode, LaunchStats, MultiDevice, NearestNeighbors,
-    PairwiseOptions, ResiliencePolicy, ResilienceReport, SmemMode, Strategy,
+    chrome_trace, kneighbors_graph, replay_rows, Device, GraphMode, LaunchStats, MultiDevice,
+    NearestNeighbors, PairwiseOptions, ResiliencePolicy, ResilienceReport, ServeConfig,
+    ServeEngine, SmemMode, Strategy,
 };
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -87,18 +101,152 @@ impl std::fmt::Display for CliError {
     }
 }
 
-struct Args(Vec<String>);
+/// Per-command flag grammar: which `--flag <value>` and bare `--switch`
+/// names a command accepts, and whether it takes the profiler's
+/// `--profile[=trace.json]` form.
+struct FlagSpec {
+    values: &'static [&'static str],
+    switches: &'static [&'static str],
+    profiler: bool,
+}
+
+/// Value flags shared by every kernel-running command (`knn`,
+/// `pairwise`, `serve`).
+const COMMON_VALUES: &[&str] = &[
+    "--metric",
+    "--p",
+    "--strategy",
+    "--smem",
+    "--device",
+    "--host-threads",
+    "--retries",
+];
+const COMMON_SWITCHES: &[&str] = &["--resilience", "--no-fallback"];
+
+impl FlagSpec {
+    fn for_command(cmd: &str) -> Option<Self> {
+        let (values, switches, profiler): (&[&str], &[&str], bool) = match cmd {
+            "knn" => (
+                &[
+                    "--input",
+                    "--index",
+                    "--k",
+                    "--devices",
+                    "--output",
+                    "--graph",
+                ],
+                &["--fused"],
+                true,
+            ),
+            "pairwise" => (&["--input", "--index", "--output"], &[], true),
+            "serve" => (
+                &[
+                    "--input",
+                    "--queries",
+                    "--k",
+                    "--devices",
+                    "--max-batch",
+                    "--max-wait-us",
+                    "--max-queue",
+                    "--arrival-gap-us",
+                    "--cache-budget-mb",
+                    "--output",
+                ],
+                &["--per-query-prepare"],
+                false,
+            ),
+            "info" => (&["--input"], &[], false),
+            "gen" => (&["--profile", "--scale", "--seed", "--output"], &[], false),
+            "profile" => (&["--input", "--replica", "--seed"], &[], false),
+            _ => return None,
+        };
+        Some(Self {
+            values,
+            switches,
+            profiler,
+        })
+    }
+}
+
+/// Parsed command line: every flag validated against the command's
+/// [`FlagSpec`] up front, so a typo is a config error (exit 2) instead
+/// of a silently applied default.
+struct Args {
+    values: Vec<(String, String)>,
+    switches: Vec<String>,
+    profile: Option<Option<String>>,
+}
 
 impl Args {
+    fn parse(cmd: &str, argv: &[String]) -> Result<Self, CliError> {
+        let spec = FlagSpec::for_command(cmd)
+            .ok_or_else(|| CliError::config(format!("unknown command {cmd}")))?;
+        let kernel_cmd = matches!(cmd, "knn" | "pairwise" | "serve");
+        let accepts_value = |name: &str| {
+            spec.values.contains(&name) || (kernel_cmd && COMMON_VALUES.contains(&name))
+        };
+        let accepts_switch = |name: &str| {
+            spec.switches.contains(&name) || (kernel_cmd && COMMON_SWITCHES.contains(&name))
+        };
+        let mut args = Self {
+            values: Vec::new(),
+            switches: Vec::new(),
+            profile: None,
+        };
+        let mut i = 0;
+        while i < argv.len() {
+            let tok = &argv[i];
+            if spec.profiler && tok == "--profile" {
+                args.profile = Some(None);
+                i += 1;
+                continue;
+            }
+            if let Some(path) = tok.strip_prefix("--profile=") {
+                if spec.profiler {
+                    args.profile = Some(Some(path.to_string()));
+                    i += 1;
+                    continue;
+                }
+                return Err(CliError::config(format!(
+                    "unknown flag --profile= for {cmd}"
+                )));
+            }
+            if !tok.starts_with("--") {
+                return Err(CliError::config(format!(
+                    "unexpected argument {tok} (flags start with --)"
+                )));
+            }
+            if accepts_value(tok) {
+                match argv.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => {
+                        args.values.push((tok.clone(), v.clone()));
+                        i += 2;
+                    }
+                    _ => return Err(CliError::config(format!("missing value for {tok}"))),
+                }
+                continue;
+            }
+            if accepts_switch(tok) {
+                args.switches.push(tok.clone());
+                i += 1;
+                continue;
+            }
+            return Err(CliError::config(format!(
+                "unknown flag {tok} for {cmd} (run with no arguments for usage)"
+            )));
+        }
+        Ok(args)
+    }
+
     fn flag(&self, name: &str) -> Option<&str> {
-        self.0
-            .windows(2)
-            .find(|w| w[0] == name)
-            .map(|w| w[1].as_str())
+        self.values
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
     }
 
     fn switch(&self, name: &str) -> bool {
-        self.0.iter().any(|a| a == name)
+        self.switches.iter().any(|a| a == name)
     }
 
     fn required(&self, name: &str) -> Result<&str, CliError> {
@@ -109,15 +257,7 @@ impl Args {
     /// `--profile` / `--profile=trace.json`: `None` = profiler off,
     /// `Some(None)` = report only, `Some(Some(path))` = report + trace.
     fn profile(&self) -> Option<Option<String>> {
-        for a in &self.0 {
-            if a == "--profile" {
-                return Some(None);
-            }
-            if let Some(path) = a.strip_prefix("--profile=") {
-                return Some(Some(path.to_string()));
-            }
-        }
-        None
+        self.profile.clone()
     }
 }
 
@@ -167,18 +307,20 @@ fn emit_resilience(reports: &[ResilienceReport]) {
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first().cloned() else {
-        eprintln!("usage: spdist <knn|pairwise|info|gen|profile> --input <file.mtx> [options]");
+        eprintln!(
+            "usage: spdist <knn|pairwise|serve|info|gen|profile> --input <file.mtx> [options]"
+        );
         return ExitCode::from(2);
     };
-    let args = Args(argv);
-    let result = match cmd.as_str() {
+    let result = Args::parse(&cmd, &argv[1..]).and_then(|args| match cmd.as_str() {
         "knn" => cmd_knn(&args),
         "pairwise" => cmd_pairwise(&args),
+        "serve" => cmd_serve(&args),
         "info" => cmd_info(&args),
         "gen" => cmd_gen(&args),
         "profile" => cmd_profile(&args),
         other => Err(CliError::config(format!("unknown command {other}"))),
-    };
+    });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -463,6 +605,94 @@ fn cmd_knn(args: &Args) -> Result<(), CliError> {
                     .map_err(|e| CliError::input(format!("write failed: {e}")))?;
             }
         }
+    }
+    Ok(())
+}
+
+fn parse_num<T: std::str::FromStr>(args: &Args, name: &str, default: &str) -> Result<T, CliError> {
+    args.flag(name)
+        .unwrap_or(default)
+        .parse()
+        .map_err(|_| CliError::config(format!("bad {name} {}", args.flag(name).unwrap_or(default))))
+}
+
+fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    let (distance, params, options, device, show_resilience) = parse_common(args)?;
+    let index = load(args.required("--input")?)?;
+    let queries = load(args.required("--queries")?)?;
+    let k: usize = parse_num(args, "--k", "10")?;
+    let devices: usize = parse_num(args, "--devices", "1")?;
+    let max_batch: usize = parse_num(args, "--max-batch", "8")?;
+    let max_wait_us: f64 = parse_num(args, "--max-wait-us", "200")?;
+    let max_queue: usize = parse_num(args, "--max-queue", "1024")?;
+    let gap_us: f64 = parse_num(args, "--arrival-gap-us", "50")?;
+
+    let nn = NearestNeighbors::new(device.clone(), distance)
+        .with_params(params)
+        .with_options(options)
+        .fit(index.clone());
+    let multi = MultiDevice::replicate(&device, devices.max(1));
+    let config = ServeConfig {
+        k,
+        max_batch: max_batch.max(1),
+        max_wait_s: max_wait_us * 1e-6,
+        max_queue: max_queue.max(1),
+        per_query_prepare: args.switch("--per-query-prepare"),
+    };
+    let mut engine = ServeEngine::new(multi, config);
+    if let Some(mb) = args.flag("--cache-budget-mb") {
+        let mb: usize = mb
+            .parse()
+            .map_err(|_| CliError::config(format!("bad --cache-budget-mb {mb}")))?;
+        engine = engine.with_cache_budget(mb * 1024 * 1024);
+    }
+    let requests = replay_rows(&queries, gap_us * 1e-6);
+    let report = engine
+        .replay(std::slice::from_ref(&nn), &requests)
+        .map_err(|e| CliError::launch(format!("serve failed: {e}")))?;
+
+    eprintln!(
+        "spdist: served {}/{} requests in {} batches on {} device(s), \
+         {:.1} qps (sim), p50 {:.1} us / p99 {:.1} us, busy {:.3} ms",
+        report.responses.len(),
+        requests.len(),
+        report.batches,
+        devices.max(1),
+        report.qps(),
+        report.latency_percentile(50.0) * 1e6,
+        report.latency_percentile(99.0) * 1e6,
+        report.busy_seconds * 1e3,
+    );
+    eprintln!(
+        "spdist: cache {} hit(s) / {} miss(es) / {} eviction(s); {} rejected",
+        report.cache.hits,
+        report.cache.misses,
+        report.cache.evictions,
+        report.rejected.len()
+    );
+    if show_resilience {
+        eprintln!("resilience: policy active on every served batch");
+    }
+
+    let mut responses: Vec<_> = report.responses.iter().collect();
+    responses.sort_by_key(|r| r.id);
+    let mut sink: Box<dyn Write> = match args.flag("--output") {
+        Some(p) => {
+            Box::new(BufWriter::new(File::create(p).map_err(|e| {
+                CliError::input(format!("cannot create {p}: {e}"))
+            })?))
+        }
+        None => Box::new(std::io::stdout().lock()),
+    };
+    for r in responses {
+        let cols: Vec<String> = r
+            .indices
+            .iter()
+            .zip(&r.distances)
+            .map(|(i, d)| format!("{i}:{d:.6}"))
+            .collect();
+        writeln!(sink, "{}\t{}", r.id, cols.join("\t"))
+            .map_err(|e| CliError::input(format!("write failed: {e}")))?;
     }
     Ok(())
 }

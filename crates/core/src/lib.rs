@@ -42,9 +42,14 @@ pub use kernels::{
     ResiliencePolicy, ResilienceReport, SmemMode, Strategy,
 };
 pub use neighbors::{
-    kneighbors_graph, GraphMode, KnnResult, MultiDevice, NearestNeighbors, Selection,
+    kneighbors_graph, GraphMode, KnnResult, MultiDevice, NearestNeighbors, PreparedShards,
+    Selection,
 };
 pub use semiring::{Distance, DistanceParams, Family, Monoid, Semiring};
+pub use serve::{
+    fingerprint, replay_rows, CacheStats, PreparedCache, Request, Response, ServeConfig,
+    ServeEngine, ServeReport,
+};
 pub use validate::{validate_input, InputError};
 
 /// Re-export of the sparse-format substrate.

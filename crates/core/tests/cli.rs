@@ -165,3 +165,127 @@ fn bad_inputs_produce_clean_errors() {
 
     let _ = std::fs::remove_file(&data);
 }
+
+#[test]
+fn unknown_and_malformed_flags_exit_with_config_code() {
+    let data = tmp("strict-data.mtx");
+    std::fs::write(
+        &data,
+        "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n2 2 1.0\n",
+    )
+    .expect("write");
+
+    // A misspelled flag must be a config error (exit 2), not a silently
+    // applied default: `--host-thread 8` used to run serially with no
+    // warning at all.
+    let out = spdist()
+        .args(["knn", "--host-thread", "8", "--input"])
+        .arg(&data)
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2), "misspelled flag");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown flag --host-thread"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A value flag swallowing the next flag is a config error too:
+    // `--metric --k` used to parse "--k" as the metric's value.
+    let out = spdist()
+        .args(["knn", "--metric", "--k", "3", "--input"])
+        .arg(&data)
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2), "flag missing its value");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing value for --metric"));
+
+    // Flags valid for one command are rejected on another.
+    let out = spdist()
+        .args(["info", "--k", "3", "--input"])
+        .arg(&data)
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2), "knn flag on info");
+
+    // Stray positional arguments are rejected.
+    let out = spdist()
+        .args(["knn", "extra", "--input"])
+        .arg(&data)
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2), "stray positional");
+
+    let _ = std::fs::remove_file(&data);
+}
+
+#[test]
+fn serve_replays_queries_and_matches_knn_output() {
+    let data = tmp("serve-data.mtx");
+    let out = spdist()
+        .args([
+            "gen",
+            "--profile",
+            "nytimes",
+            "--scale",
+            "0.003",
+            "--seed",
+            "7",
+            "--output",
+        ])
+        .arg(&data)
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+
+    let knn = spdist()
+        .args(["knn", "--metric", "cosine", "--k", "3", "--input"])
+        .arg(&data)
+        .output()
+        .expect("runs");
+    assert!(knn.status.success());
+
+    let serve = spdist()
+        .args([
+            "serve",
+            "--metric",
+            "cosine",
+            "--k",
+            "3",
+            "--devices",
+            "2",
+            "--max-batch",
+            "4",
+            "--queries",
+        ])
+        .arg(&data)
+        .arg("--input")
+        .arg(&data)
+        .output()
+        .expect("runs");
+    let stderr = String::from_utf8_lossy(&serve.stderr);
+    assert!(serve.status.success(), "{stderr}");
+    // Served answers are byte-identical to the one-shot knn TSV.
+    assert_eq!(
+        String::from_utf8_lossy(&knn.stdout),
+        String::from_utf8_lossy(&serve.stdout),
+        "serve output must match knn"
+    );
+    assert!(stderr.contains("qps"), "{stderr}");
+    assert!(
+        stderr.contains("cache 0 hit(s)") || stderr.contains("hit(s)"),
+        "{stderr}"
+    );
+
+    // Unknown serve flag exits 2.
+    let out = spdist()
+        .args(["serve", "--max-batches", "4", "--queries"])
+        .arg(&data)
+        .arg("--input")
+        .arg(&data)
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+
+    let _ = std::fs::remove_file(&data);
+}

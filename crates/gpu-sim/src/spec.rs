@@ -53,6 +53,10 @@ pub struct DeviceSpec {
     /// Number of shared-memory banks (accesses by a warp to distinct
     /// addresses in the same bank serialize, §3.1).
     pub smem_banks: usize,
+    /// Device (global) memory capacity in bytes — 16 GB HBM2 on V100,
+    /// 40 GB HBM2e on A100. The serving layer's prepared-index cache
+    /// evicts against a fraction of this budget.
+    pub mem_bytes: usize,
 }
 
 impl DeviceSpec {
@@ -75,6 +79,7 @@ impl DeviceSpec {
             l2_bytes: 6 * 1024 * 1024,
             mem_transaction_bytes: 128,
             smem_banks: 32,
+            mem_bytes: 16 * 1024 * 1024 * 1024,
         }
     }
 
@@ -97,6 +102,7 @@ impl DeviceSpec {
             l2_bytes: 40 * 1024 * 1024,
             mem_transaction_bytes: 128,
             smem_banks: 32,
+            mem_bytes: 40 * 1024 * 1024 * 1024,
         }
     }
 

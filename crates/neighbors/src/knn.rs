@@ -1,6 +1,6 @@
 //! The brute-force `NearestNeighbors` estimator.
 
-use crate::topk::top_k_smallest;
+use crate::topk::{cmp_dist_idx, top_k_smallest};
 use gpu_sim::{Device, LaunchStats};
 use kernels::{
     fused_knn, pairwise_distances_prepared, radius_filter_kernel, top_k_kernel, KernelError,
@@ -8,6 +8,7 @@ use kernels::{
 };
 use semiring::{Distance, DistanceParams};
 use sparse::{CsrMatrix, Real, RowBatches};
+use std::sync::Arc;
 
 /// Default device-memory budget for one batch's dense output tile
 /// (256 MiB, comfortably under a V100's 16 GB alongside the inputs).
@@ -144,20 +145,28 @@ impl<T: Real> NearestNeighbors<T> {
         self
     }
 
-    /// The fitted index, if any.
-    pub fn index(&self) -> Option<&CsrMatrix<T>> {
-        self.index.as_ref()
+    /// The configured distance metric.
+    pub fn metric(&self) -> Distance {
+        self.distance
     }
 
-    /// A copy of this estimator re-targeted at one shard: same distance,
-    /// options, batching and selection, but running on `device` against
-    /// the shard's slice of the index (used by
-    /// [`crate::MultiDevice`]-sharded queries).
-    pub(crate) fn shard_onto(&self, device: Device, shard: CsrMatrix<T>) -> Self {
-        let mut nn = self.clone();
-        nn.device = device;
-        nn.index = Some(shard);
-        nn
+    /// The pairwise execution options (strategy, smem mode, resilience
+    /// policy) this estimator runs its distance tiles with.
+    pub fn pairwise_options(&self) -> &PairwiseOptions {
+        &self.options
+    }
+
+    /// The explicit index slab-rows override, if one was set with
+    /// [`NearestNeighbors::with_index_batch_rows`] (part of a prepared
+    /// shard set's cache identity: different slab geometry means a
+    /// different artifact).
+    pub fn index_slab_rows(&self) -> Option<usize> {
+        self.index_batch_rows
+    }
+
+    /// The fitted index matrix, if any.
+    pub fn index(&self) -> Option<&CsrMatrix<T>> {
+        self.index.as_ref()
     }
 
     /// Rows per index slab when sharding across `devices` devices: the
@@ -322,11 +331,7 @@ impl<T: Real> NearestNeighbors<T> {
                 launches.extend(tile.launches);
             }
             for mut cand in pool {
-                cand.sort_by(|a, b| {
-                    a.1.partial_cmp(&b.1)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.0.cmp(&b.0))
-                });
+                cand.sort_by(cmp_dist_idx);
                 indices.push(cand.iter().map(|&(i, _)| i).collect());
                 distances.push(cand.into_iter().map(|(_, d)| d).collect());
             }
@@ -361,6 +366,42 @@ impl<T: Real> NearestNeighbors<T> {
         }
         let n = index.rows();
         let slab_rows = self.index_batch_rows.unwrap_or(n.max(1));
+
+        // Prepare each index slab once: the CSR/COO uploads and the norm
+        // reductions are then shared by every query batch instead of
+        // being redone per tile.
+        let mut prepared: Vec<(usize, Arc<PreparedIndex<T>>)> = Vec::new();
+        let mut off = 0;
+        while off < n {
+            let end = (off + slab_rows).min(n);
+            prepared.push((
+                off,
+                Arc::new(PreparedIndex::new(&self.device, index.slice_rows(off..end))),
+            ));
+            off = end;
+        }
+        self.kneighbors_core(&self.device, &prepared, n, query, k)
+    }
+
+    /// The shared k-NN execution core: runs the query (in row batches)
+    /// against an already-prepared list of `(row_offset, slab)` pairs
+    /// covering `n` index rows on `device`, merging per-slab candidates
+    /// under the canonical [`crate::topk::cmp_dist_idx`] order.
+    ///
+    /// Both the one-shot paths ([`NearestNeighbors::kneighbors`],
+    /// [`NearestNeighbors::kneighbors_sharded`]) and the serving layer's
+    /// cached [`crate::PreparedShards`] path funnel through this
+    /// function, which is what makes "served results are byte-identical
+    /// to the batch path" true by construction rather than by test.
+    pub(crate) fn kneighbors_core(
+        &self,
+        device: &Device,
+        prepared: &[(usize, Arc<PreparedIndex<T>>)],
+        n: usize,
+        query: &CsrMatrix<T>,
+        k: usize,
+    ) -> Result<KnnResult<T>, KernelError> {
+        let slab_rows = self.index_batch_rows.unwrap_or(n.max(1));
         let mut indices = Vec::with_capacity(query.rows());
         let mut distances = Vec::with_capacity(query.rows());
         let mut sim_seconds = 0.0;
@@ -369,30 +410,16 @@ impl<T: Real> NearestNeighbors<T> {
         let mut launches = Vec::new();
         let mut resilience = Vec::new();
 
-        // Prepare each index slab once: the CSR/COO uploads and the norm
-        // reductions are then shared by every query batch instead of
-        // being redone per tile.
-        let mut prepared: Vec<(usize, PreparedIndex<T>)> = Vec::new();
-        let mut off = 0;
-        while off < n {
-            let end = (off + slab_rows).min(n);
-            prepared.push((
-                off,
-                PreparedIndex::new(&self.device, index.slice_rows(off..end)),
-            ));
-            off = end;
-        }
-
         for q_range in RowBatches::for_matrix(query, slab_rows.min(n.max(1)), self.batch_bytes) {
             let q0 = q_range.start;
             let slab = query.slice_rows(q_range);
             // Per-query candidate pools, merged across index slabs.
             let mut pool: Vec<Vec<(usize, T)>> = vec![Vec::new(); slab.rows()];
 
-            for (off, islab) in &prepared {
+            for (off, islab) in prepared {
                 let off = *off;
                 let mut tile = pairwise_distances_prepared(
-                    &self.device,
+                    device,
                     &slab,
                     islab,
                     self.distance,
@@ -412,7 +439,7 @@ impl<T: Real> NearestNeighbors<T> {
                     Selection::Device => {
                         let kk = k.min(tile.cols.max(1));
                         let (didx, dval, sel_stats) =
-                            top_k_kernel(&self.device, &tile.buffer, tile.rows, tile.cols, kk)?;
+                            top_k_kernel(device, &tile.buffer, tile.rows, tile.cols, kk)?;
                         sim_seconds += sel_stats.sim_seconds();
                         let didx = didx.to_vec();
                         let dval = dval.to_vec();
@@ -441,14 +468,14 @@ impl<T: Real> NearestNeighbors<T> {
                 launches.extend(tile.launches);
             }
 
-            // Merge slab candidates: sort by (distance, index) and keep k.
+            // Merge slab candidates under the canonical total order and
+            // keep k. `cmp_dist_idx` (not `partial_cmp().unwrap_or(Equal)`)
+            // matters here: a NaN candidate from one slab must not be
+            // able to displace a finite candidate from another just
+            // because of slab insertion order.
             for (r, mut cand) in pool.into_iter().enumerate() {
                 let _ = q0 + r;
-                cand.sort_by(|a, b| {
-                    a.1.partial_cmp(&b.1)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.0.cmp(&b.0))
-                });
+                cand.sort_by(cmp_dist_idx);
                 cand.truncate(k);
                 indices.push(cand.iter().map(|&(i, _)| i).collect());
                 distances.push(cand.into_iter().map(|(_, d)| d).collect());

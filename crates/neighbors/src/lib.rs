@@ -34,9 +34,11 @@
 pub mod graph;
 pub mod knn;
 pub mod multi;
+pub mod prepared;
 pub mod topk;
 
 pub use graph::{kneighbors_graph, GraphMode};
 pub use knn::{KnnResult, NearestNeighbors, Selection};
 pub use multi::MultiDevice;
-pub use topk::top_k_smallest;
+pub use prepared::{PreparedShard, PreparedShards};
+pub use topk::{cmp_dist_idx, top_k_smallest};

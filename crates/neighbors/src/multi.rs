@@ -20,7 +20,7 @@
 
 use crate::knn::{KnnResult, NearestNeighbors};
 use gpu_sim::Device;
-use kernels::{KernelError, MemoryFootprint};
+use kernels::KernelError;
 use sparse::{CsrMatrix, Real};
 
 /// A fixed-size pool of simulated devices used to shard k-NN queries.
@@ -90,73 +90,12 @@ impl<T: Real> NearestNeighbors<T> {
         query: &CsrMatrix<T>,
         k: usize,
     ) -> Result<KnnResult<T>, KernelError> {
-        let index = self
-            .index()
-            .expect("call fit() before kneighbors_sharded()")
-            .clone();
-        let nd = multi.len();
-        if nd <= 1 {
-            let dev = multi
-                .devices()
-                .first()
-                .cloned()
-                .unwrap_or_else(Device::volta);
-            return self.shard_onto(dev, index.clone()).kneighbors(query, k);
-        }
-        let n = index.rows();
-        let slab_rows = self.shard_slab_rows(n, nd);
-        let mut per_device_seconds = vec![0.0f64; nd];
-        let mut batches = 0;
-        let mut peak = MemoryFootprint::default();
-        let mut launches = Vec::new();
-        let mut resilience = Vec::new();
-        let mut pool: Vec<Vec<(usize, T)>> = vec![Vec::new(); query.rows()];
-
-        let mut off = 0;
-        let mut slab = 0;
-        while off < n {
-            let end = (off + slab_rows).min(n);
-            let device = &multi.devices()[slab % nd];
-            let shard = self.shard_onto(device.clone(), index.slice_rows(off..end));
-            let r = shard.kneighbors(query, k)?;
-            per_device_seconds[slab % nd] += r.sim_seconds;
-            batches += r.batches;
-            peak.input_bytes = peak.input_bytes.max(r.peak_memory.input_bytes);
-            peak.output_bytes = peak.output_bytes.max(r.peak_memory.output_bytes);
-            peak.workspace_bytes = peak.workspace_bytes.max(r.peak_memory.workspace_bytes);
-            launches.extend(r.launches);
-            resilience.extend(r.resilience);
-            for (q, (ri, rd)) in r.indices.iter().zip(&r.distances).enumerate() {
-                pool[q].extend(ri.iter().zip(rd).map(|(&i, &d)| (off + i, d)));
-            }
-            off = end;
-            slab += 1;
-        }
-
-        let mut indices = Vec::with_capacity(query.rows());
-        let mut distances = Vec::with_capacity(query.rows());
-        for mut cand in pool {
-            cand.sort_by(|a, b| {
-                a.1.partial_cmp(&b.1)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.0.cmp(&b.0))
-            });
-            cand.truncate(k);
-            indices.push(cand.iter().map(|&(i, _)| i).collect());
-            distances.push(cand.into_iter().map(|(_, d)| d).collect());
-        }
-        let sim_seconds = per_device_seconds.iter().cloned().fold(0.0, f64::max);
-        Ok(KnnResult {
-            indices,
-            distances,
-            sim_seconds,
-            batches,
-            peak_memory: peak,
-            launches,
-            resilience,
-            devices: nd,
-            per_device_seconds,
-        })
+        // One-shot: prepare the shard set fresh, query it once, drop it.
+        // The serving layer builds the same [`crate::PreparedShards`]
+        // once and keeps it cached across queries; both funnel through
+        // the same execution core, so results are byte-identical.
+        let shards = self.prepare_shards(multi);
+        self.kneighbors_prepared(&shards, query, k)
     }
 }
 

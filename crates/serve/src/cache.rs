@@ -1,0 +1,213 @@
+//! LRU cache of prepared index shard sets, evicting against a simulated
+//! device-memory budget.
+
+use crate::fingerprint::fingerprint;
+use kernels::KernelError;
+use neighbors::{MultiDevice, NearestNeighbors, PreparedShards};
+use sparse::Real;
+use std::sync::Arc;
+
+/// Cache key: the dataset's content fingerprint plus every knob that
+/// changes the prepared artifact (pool size and slab geometry — the
+/// metric only changes which norms get warmed, and norms accumulate
+/// per-kind inside one prepared entry, so it is deliberately *not* part
+/// of the key).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// [`crate::fingerprint::fingerprint`] of the index matrix.
+    pub fingerprint: u64,
+    /// Devices in the pool the shards are pinned to.
+    pub devices: usize,
+    /// Explicit slab-rows override, if the estimator has one.
+    pub index_batch_rows: Option<usize>,
+}
+
+/// Hit/miss/eviction counters, reported by the serve CLI and benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to prepare (upload + warm) a new entry.
+    pub misses: u64,
+    /// Entries evicted to fit the memory budget.
+    pub evictions: u64,
+}
+
+struct CacheEntry<T> {
+    key: CacheKey,
+    shards: Arc<PreparedShards<T>>,
+    bytes: usize,
+}
+
+/// An LRU cache of [`PreparedShards`] keyed by dataset fingerprint.
+///
+/// Entries are charged their simulated device footprint (uploads plus
+/// norm vectors); inserting past `budget_bytes` evicts least-recently
+/// used entries first. A single entry larger than the whole budget is
+/// still admitted (the alternative is not serving at all) — it simply
+/// evicts everything else and is replaced as soon as a different index
+/// is requested.
+pub struct PreparedCache<T> {
+    budget_bytes: usize,
+    // Most-recently-used entry last; eviction pops from the front.
+    // A Vec keeps iteration order deterministic (no hash-map ordering).
+    entries: Vec<CacheEntry<T>>,
+    stats: CacheStats,
+}
+
+impl<T: Real> PreparedCache<T> {
+    /// Creates a cache with an explicit byte budget.
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            budget_bytes,
+            entries: Vec::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Creates a cache budgeted at half the pool's first device's
+    /// global memory ([`gpu_sim::DeviceSpec::mem_bytes`]) — the other
+    /// half is left for query uploads and dense output tiles.
+    pub fn for_pool(multi: &MultiDevice) -> Self {
+        let mem = multi
+            .devices()
+            .first()
+            .map(|d| d.spec().mem_bytes)
+            .unwrap_or(16 * 1024 * 1024 * 1024);
+        Self::new(mem / 2)
+    }
+
+    /// The configured budget in bytes.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Bytes currently held by cached entries.
+    pub fn resident_bytes(&self) -> usize {
+        self.entries.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Counters accumulated since construction.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up (or prepares, on miss) the shard set for `nn`'s fitted
+    /// index over `multi`. On a miss the index is sliced, uploaded, and
+    /// its norms warmed; `warm_seconds` in the return value is the
+    /// simulated time that warming cost (0.0 on a hit), which the
+    /// request engine charges to the batch that triggered the miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors from the norm-warming launches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nn` has not been fitted.
+    pub fn get_or_prepare(
+        &mut self,
+        nn: &NearestNeighbors<T>,
+        multi: &MultiDevice,
+    ) -> Result<(Arc<PreparedShards<T>>, f64), KernelError> {
+        let index = nn.index().expect("fit() the estimator before serving");
+        let key = CacheKey {
+            fingerprint: fingerprint(index),
+            devices: multi.len(),
+            index_batch_rows: nn.index_slab_rows(),
+        };
+        if let Some(pos) = self.entries.iter().position(|e| e.key == key) {
+            // Refresh recency: move to the back.
+            let entry = self.entries.remove(pos);
+            let shards = Arc::clone(&entry.shards);
+            self.entries.push(entry);
+            self.stats.hits += 1;
+            return Ok((shards, 0.0));
+        }
+        self.stats.misses += 1;
+        let shards = Arc::new(nn.prepare_shards(multi));
+        let (warm_seconds, _) = nn.warm_shards(&shards)?;
+        let bytes = shards.device_bytes();
+        while !self.entries.is_empty() && self.resident_bytes() + bytes > self.budget_bytes {
+            self.entries.remove(0);
+            self.stats.evictions += 1;
+        }
+        self.entries.push(CacheEntry {
+            key,
+            shards: Arc::clone(&shards),
+            bytes,
+        });
+        Ok((shards, warm_seconds))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::Device;
+    use semiring::Distance;
+    use sparse::CsrMatrix;
+
+    fn dataset(rows: usize, salt: f64) -> CsrMatrix<f64> {
+        let mut data = vec![0.0; rows * 8];
+        for r in 0..rows {
+            for c in 0..8 {
+                if (r + c) % 3 == 0 {
+                    data[r * 8 + c] = salt + (r as f64) / 7.0 + (c as f64) / 31.0;
+                }
+            }
+        }
+        CsrMatrix::from_dense(rows, 8, &data)
+    }
+
+    #[test]
+    fn hit_on_identical_content_miss_on_different() {
+        let multi = MultiDevice::replicate(&Device::volta(), 2);
+        let mut cache = PreparedCache::new(usize::MAX);
+        let nn_a = NearestNeighbors::new(Device::volta(), Distance::Euclidean).fit(dataset(6, 1.0));
+        let nn_b = NearestNeighbors::new(Device::volta(), Distance::Euclidean).fit(dataset(6, 2.0));
+        let (_, warm_a) = cache.get_or_prepare(&nn_a, &multi).expect("ok");
+        assert!(warm_a > 0.0, "miss warms norms");
+        let (_, warm_again) = cache.get_or_prepare(&nn_a, &multi).expect("ok");
+        assert_eq!(warm_again, 0.0, "hit is free");
+        cache.get_or_prepare(&nn_b, &multi).expect("ok");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (1, 2, 0));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_when_over_budget() {
+        let multi = MultiDevice::replicate(&Device::volta(), 2);
+        let nn_a = NearestNeighbors::new(Device::volta(), Distance::Euclidean).fit(dataset(6, 1.0));
+        let nn_b = NearestNeighbors::new(Device::volta(), Distance::Euclidean).fit(dataset(6, 2.0));
+        // Budget sized so exactly one prepared entry fits.
+        let probe = nn_a.prepare_shards(&multi);
+        let mut cache = PreparedCache::new(probe.device_bytes() + 1);
+        cache.get_or_prepare(&nn_a, &multi).expect("ok");
+        cache.get_or_prepare(&nn_b, &multi).expect("ok");
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 1);
+        // A is gone: touching it again is a miss (and evicts B).
+        let (_, warm) = cache.get_or_prepare(&nn_a, &multi).expect("ok");
+        assert!(warm > 0.0);
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn pool_budget_comes_from_the_device_spec() {
+        let multi = MultiDevice::replicate(&Device::volta(), 2);
+        let cache = PreparedCache::<f64>::for_pool(&multi);
+        assert_eq!(cache.budget_bytes(), 8 * 1024 * 1024 * 1024);
+    }
+}

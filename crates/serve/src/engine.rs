@@ -1,0 +1,396 @@
+//! The micro-batched request engine: a deterministic discrete-event
+//! simulation of a k-NN serving loop.
+//!
+//! Requests arrive at simulated timestamps, one query row each, tagged
+//! with the dataset they query. The engine keeps one open batch per
+//! dataset and closes a batch when it fills ([`ServeConfig::max_batch`])
+//! or when its oldest request has waited [`ServeConfig::max_wait_s`];
+//! closed batches execute serially on the device pool (devices inside
+//! the pool still parallelize each batch's slabs, exactly like
+//! `kneighbors_sharded`). Admission control rejects arrivals outright
+//! once the backlog — queued plus not-yet-completed requests — reaches
+//! [`ServeConfig::max_queue`], which is the backpressure signal a real
+//! front-end would surface as HTTP 429.
+//!
+//! Determinism: batching only changes *when* a query runs and *which
+//! rows share a tile*, and per-row results are independent of tile
+//! composition (DESIGN §10); the engine funnels into the same execution
+//! core as `kneighbors_sharded`, so every served response is
+//! byte-identical to the one-shot answer for the same query row.
+
+use crate::cache::{CacheStats, PreparedCache};
+use kernels::KernelError;
+use neighbors::{MultiDevice, NearestNeighbors};
+use sparse::{CsrMatrix, Idx, Real};
+
+/// Batching and admission knobs for the request engine.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Neighbors returned per query.
+    pub k: usize,
+    /// A batch dispatches as soon as it holds this many requests.
+    pub max_batch: usize,
+    /// ... or as soon as its oldest request has waited this long
+    /// (simulated seconds).
+    pub max_wait_s: f64,
+    /// Reject arrivals once this many admitted requests are still
+    /// queued or executing.
+    pub max_queue: usize,
+    /// Serve without the prepared-index cache: every batch re-prepares
+    /// (re-uploads, re-warms) its index from scratch. Exists to measure
+    /// exactly what the cache buys; never faster.
+    pub per_query_prepare: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            k: 10,
+            max_batch: 8,
+            max_wait_s: 200e-6,
+            max_queue: 1024,
+            per_query_prepare: false,
+        }
+    }
+}
+
+/// One incoming query: a single row against dataset `dataset`.
+#[derive(Debug, Clone)]
+pub struct Request<T> {
+    /// Caller-chosen request id, echoed in the response.
+    pub id: u64,
+    /// Which fitted dataset this query targets (index into the slice
+    /// passed to [`ServeEngine::replay`]).
+    pub dataset: usize,
+    /// Simulated arrival time in seconds.
+    pub arrival_s: f64,
+    /// The query row (`1 × cols`).
+    pub row: CsrMatrix<T>,
+}
+
+/// The served answer for one request.
+#[derive(Debug, Clone)]
+pub struct Response<T> {
+    /// Echo of [`Request::id`].
+    pub id: u64,
+    /// Echo of [`Request::dataset`].
+    pub dataset: usize,
+    /// Neighbor indices, ascending by distance.
+    pub indices: Vec<usize>,
+    /// The corresponding distances.
+    pub distances: Vec<T>,
+    /// Simulated arrival time.
+    pub arrival_s: f64,
+    /// When the request's batch closed and was handed to the device.
+    pub dispatch_s: f64,
+    /// When the batch's kernels finished.
+    pub completion_s: f64,
+}
+
+impl<T> Response<T> {
+    /// Queue + execution latency in simulated seconds.
+    pub fn latency_s(&self) -> f64 {
+        self.completion_s - self.arrival_s
+    }
+}
+
+/// Aggregate outcome of a replay.
+#[derive(Debug, Clone)]
+pub struct ServeReport<T> {
+    /// Served responses, in completion order (ties by id).
+    pub responses: Vec<Response<T>>,
+    /// Ids rejected by admission control, in arrival order.
+    pub rejected: Vec<u64>,
+    /// Batches executed.
+    pub batches: usize,
+    /// Simulated seconds spent executing kernels (excludes queue idle
+    /// time; includes norm warming charged to cache misses).
+    pub busy_seconds: f64,
+    /// Last completion minus first arrival.
+    pub makespan_s: f64,
+    /// Cache counters accumulated during this replay.
+    pub cache: CacheStats,
+}
+
+impl<T> ServeReport<T> {
+    /// Served queries per simulated second.
+    pub fn qps(&self) -> f64 {
+        if self.makespan_s > 0.0 {
+            self.responses.len() as f64 / self.makespan_s
+        } else {
+            0.0
+        }
+    }
+
+    /// The `p`-th latency percentile (nearest-rank) in simulated
+    /// seconds, or 0.0 with no served responses.
+    pub fn latency_percentile(&self, p: f64) -> f64 {
+        if self.responses.is_empty() {
+            return 0.0;
+        }
+        let mut lat: Vec<f64> = self.responses.iter().map(Response::latency_s).collect();
+        lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let rank = ((p / 100.0) * lat.len() as f64).ceil().max(1.0) as usize;
+        lat[rank.min(lat.len()) - 1]
+    }
+}
+
+/// Stacks single-row queries into one `rows × cols` batch matrix.
+fn vstack<T: Real>(rows: &[&CsrMatrix<T>], cols: usize) -> CsrMatrix<T> {
+    let mut indptr = Vec::with_capacity(rows.len() + 1);
+    let mut indices: Vec<Idx> = Vec::new();
+    let mut values: Vec<T> = Vec::new();
+    indptr.push(0);
+    for r in rows {
+        indices.extend_from_slice(r.indices());
+        values.extend_from_slice(r.values());
+        indptr.push(indices.len());
+    }
+    CsrMatrix::from_parts(rows.len(), cols, indptr, indices, values)
+        .expect("stacking valid rows preserves CSR invariants")
+}
+
+/// The serving loop: fitted estimators, a device pool, a prepared-index
+/// cache, and the batching configuration.
+pub struct ServeEngine<T> {
+    multi: MultiDevice,
+    cache: PreparedCache<T>,
+    config: ServeConfig,
+}
+
+struct OpenBatch<T> {
+    requests: Vec<Request<T>>,
+}
+
+impl<T: Real> ServeEngine<T> {
+    /// Creates an engine over `multi` with the given config and a cache
+    /// budgeted from the pool's device spec
+    /// ([`PreparedCache::for_pool`]).
+    pub fn new(multi: MultiDevice, config: ServeConfig) -> Self {
+        let cache = PreparedCache::for_pool(&multi);
+        Self {
+            multi,
+            cache,
+            config,
+        }
+    }
+
+    /// Replaces the cache with one of an explicit byte budget.
+    pub fn with_cache_budget(mut self, budget_bytes: usize) -> Self {
+        self.cache = PreparedCache::new(budget_bytes);
+        self
+    }
+
+    /// The engine's cache statistics so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Replays a request stream against `fitted` estimators (one per
+    /// dataset id; each must already be [`NearestNeighbors::fit`]).
+    /// Requests are processed in `(arrival_s, id)` order regardless of
+    /// input order, so a replay is a pure function of its request set.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first kernel error any batch produces, or a
+    /// [`KernelError::ShapeMismatch`] when a request's dataset id is
+    /// out of range.
+    pub fn replay(
+        &mut self,
+        fitted: &[NearestNeighbors<T>],
+        requests: &[Request<T>],
+    ) -> Result<ServeReport<T>, KernelError> {
+        let stats_before = self.cache.stats();
+        let mut order: Vec<&Request<T>> = requests.iter().collect();
+        order.sort_by(|a, b| {
+            a.arrival_s
+                .partial_cmp(&b.arrival_s)
+                .expect("finite arrival times")
+                .then(a.id.cmp(&b.id))
+        });
+
+        let mut open: Vec<OpenBatch<T>> = (0..fitted.len())
+            .map(|_| OpenBatch {
+                requests: Vec::new(),
+            })
+            .collect();
+        let mut responses: Vec<Response<T>> = Vec::new();
+        let mut rejected: Vec<u64> = Vec::new();
+        let mut inflight: Vec<(f64, usize)> = Vec::new(); // (completion, count)
+        let mut device_free_at = 0.0f64;
+        let mut batches = 0usize;
+        let mut busy_seconds = 0.0f64;
+        let mut next = 0usize;
+
+        loop {
+            // The earliest forced dispatch: an open batch whose oldest
+            // request hits its wait deadline. Ties break by dataset id.
+            let deadline = open
+                .iter()
+                .enumerate()
+                .filter_map(|(d, b)| {
+                    b.requests
+                        .first()
+                        .map(|r| (r.arrival_s + self.config.max_wait_s, d))
+                })
+                .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
+            let arrival = order.get(next).map(|r| r.arrival_s);
+
+            match (deadline, arrival) {
+                (Some((t, d)), Some(at)) if t <= at => {
+                    self.dispatch(
+                        fitted,
+                        &mut open,
+                        d,
+                        t,
+                        &mut device_free_at,
+                        &mut inflight,
+                        &mut responses,
+                        &mut batches,
+                        &mut busy_seconds,
+                    )?;
+                }
+                (_, Some(at)) => {
+                    let r = order[next];
+                    next += 1;
+                    if r.dataset >= fitted.len() {
+                        return Err(KernelError::ShapeMismatch {
+                            a_cols: r.dataset,
+                            b_cols: fitted.len(),
+                        });
+                    }
+                    inflight.retain(|&(done, _)| done > at);
+                    let backlog: usize = open.iter().map(|b| b.requests.len()).sum::<usize>()
+                        + inflight.iter().map(|&(_, n)| n).sum::<usize>();
+                    if backlog >= self.config.max_queue {
+                        rejected.push(r.id);
+                        continue;
+                    }
+                    let d = r.dataset;
+                    open[d].requests.push(r.clone());
+                    if open[d].requests.len() >= self.config.max_batch {
+                        self.dispatch(
+                            fitted,
+                            &mut open,
+                            d,
+                            at,
+                            &mut device_free_at,
+                            &mut inflight,
+                            &mut responses,
+                            &mut batches,
+                            &mut busy_seconds,
+                        )?;
+                    }
+                }
+                (Some((t, d)), None) => {
+                    self.dispatch(
+                        fitted,
+                        &mut open,
+                        d,
+                        t,
+                        &mut device_free_at,
+                        &mut inflight,
+                        &mut responses,
+                        &mut batches,
+                        &mut busy_seconds,
+                    )?;
+                }
+                (None, None) => break,
+            }
+        }
+
+        responses.sort_by(|a, b| {
+            a.completion_s
+                .partial_cmp(&b.completion_s)
+                .expect("finite")
+                .then(a.id.cmp(&b.id))
+        });
+        let first_arrival = order.first().map(|r| r.arrival_s).unwrap_or(0.0);
+        let makespan_s = responses
+            .iter()
+            .map(|r| r.completion_s)
+            .fold(0.0f64, f64::max)
+            - first_arrival;
+        let after = self.cache.stats();
+        Ok(ServeReport {
+            responses,
+            rejected,
+            batches,
+            busy_seconds,
+            makespan_s: makespan_s.max(0.0),
+            cache: CacheStats {
+                hits: after.hits - stats_before.hits,
+                misses: after.misses - stats_before.misses,
+                evictions: after.evictions - stats_before.evictions,
+            },
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch(
+        &mut self,
+        fitted: &[NearestNeighbors<T>],
+        open: &mut [OpenBatch<T>],
+        dataset: usize,
+        close_s: f64,
+        device_free_at: &mut f64,
+        inflight: &mut Vec<(f64, usize)>,
+        responses: &mut Vec<Response<T>>,
+        batches: &mut usize,
+        busy_seconds: &mut f64,
+    ) -> Result<(), KernelError> {
+        let taken = std::mem::take(&mut open[dataset].requests);
+        if taken.is_empty() {
+            return Ok(());
+        }
+        let nn = &fitted[dataset];
+        let cols = nn.index().expect("fitted").cols();
+        let rows: Vec<&CsrMatrix<T>> = taken.iter().map(|r| &r.row).collect();
+        let batch_query = vstack(&rows, cols);
+
+        let (exec_seconds, result) = if self.config.per_query_prepare {
+            // Baseline mode: pay uploads + norms on every batch.
+            let r = nn.kneighbors_sharded(&self.multi, &batch_query, self.config.k)?;
+            (r.sim_seconds, r)
+        } else {
+            let (shards, warm_s) = self.cache.get_or_prepare(nn, &self.multi)?;
+            let r = nn.kneighbors_prepared(&shards, &batch_query, self.config.k)?;
+            (warm_s + r.sim_seconds, r)
+        };
+
+        let start_s = close_s.max(*device_free_at);
+        let completion_s = start_s + exec_seconds;
+        *device_free_at = completion_s;
+        *busy_seconds += exec_seconds;
+        *batches += 1;
+        inflight.push((completion_s, taken.len()));
+
+        for (i, req) in taken.into_iter().enumerate() {
+            responses.push(Response {
+                id: req.id,
+                dataset,
+                indices: result.indices[i].clone(),
+                distances: result.distances[i].clone(),
+                arrival_s: req.arrival_s,
+                dispatch_s: start_s,
+                completion_s,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Builds a fixed-gap replay stream over the rows of `query`: request
+/// `i` is row `i` arriving at `i * gap_s`, all against dataset 0. The
+/// `spdist serve` driver and the throughput bench both use this shape.
+pub fn replay_rows<T: Real>(query: &CsrMatrix<T>, gap_s: f64) -> Vec<Request<T>> {
+    (0..query.rows())
+        .map(|i| Request {
+            id: i as u64,
+            dataset: 0,
+            arrival_s: i as f64 * gap_s,
+            row: query.slice_rows(i..i + 1),
+        })
+        .collect()
+}

@@ -1,0 +1,36 @@
+//! The query-serving layer: prepared-index caching and micro-batched
+//! request execution on top of the sparse k-NN primitives.
+//!
+//! The ROADMAP's north star is a system "serving heavy traffic from
+//! millions of users", but the batch API re-validates, re-uploads, and
+//! re-plans the index on every call — the paper's amortization story
+//! (norms and device-resident CSR computed once, reused across the whole
+//! pairwise grid) stopped at a single `run()`. This crate extends it
+//! across requests:
+//!
+//! * [`fingerprint`] — content hash of a CSR dataset; the cache key.
+//! * [`PreparedCache`] — LRU cache of [`neighbors::PreparedShards`]
+//!   (device CSR/COO uploads, warmed norms, slab/device plan), evicted
+//!   against a simulated device-memory budget
+//!   ([`gpu_sim::DeviceSpec::mem_bytes`]).
+//! * [`ServeEngine`] — a deterministic discrete-event loop that
+//!   coalesces single-row requests into micro-batches (close on size or
+//!   deadline), applies admission control, executes batches through the
+//!   exact same core as `kneighbors_sharded`, and reports sim-time QPS
+//!   and latency percentiles.
+//!
+//! Determinism contract (DESIGN §11): for every request id, the served
+//! `(indices, distances)` are byte-identical to the corresponding row of
+//! a one-shot [`neighbors::NearestNeighbors::kneighbors_sharded`] call
+//! over the same pool — independent of batch sizes, arrival order,
+//! host-thread count, cache evictions, or absorbed faults.
+
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod fingerprint;
+
+pub use cache::{CacheKey, CacheStats, PreparedCache};
+pub use engine::{replay_rows, Request, Response, ServeConfig, ServeEngine, ServeReport};
+pub use fingerprint::fingerprint;

@@ -1,0 +1,295 @@
+//! Serving-layer determinism suite: streamed micro-batches must be
+//! byte-identical to the one-shot sharded path — across batch sizes,
+//! arrival orders, cache evictions mid-stream, host-thread counts, and
+//! under an armed fault plan absorbed by the resilience policy.
+
+use gpu_sim::{Device, FaultPlan};
+use kernels::{PairwiseOptions, ResiliencePolicy};
+use neighbors::{KnnResult, MultiDevice, NearestNeighbors};
+use semiring::Distance;
+use serve::{replay_rows, Request, ServeConfig, ServeEngine, ServeReport};
+use sparse::CsrMatrix;
+
+fn dataset(rows: usize, salt: u64) -> CsrMatrix<f64> {
+    let mut data = vec![0.0; rows * 12];
+    for r in 0..rows {
+        for c in 0..12 {
+            if (r + 2 * c + salt as usize).is_multiple_of(4) {
+                data[r * 12 + c] = 1.0 + (salt as f64) / 3.0 + (r as f64) / 7.0 + (c as f64) / 31.0;
+            }
+        }
+    }
+    CsrMatrix::from_dense(rows, 12, &data)
+}
+
+/// Asserts each served response equals (bit-for-bit) the corresponding
+/// row of the one-shot result.
+fn assert_rows_match(report: &ServeReport<f64>, oneshot: &KnnResult<f64>, ctx: &str) {
+    for resp in &report.responses {
+        let q = resp.id as usize;
+        assert_eq!(
+            resp.indices, oneshot.indices[q],
+            "{ctx}: indices of query {q}"
+        );
+        let served: Vec<u64> = resp.distances.iter().map(|d| d.to_bits()).collect();
+        let want: Vec<u64> = oneshot.distances[q].iter().map(|d| d.to_bits()).collect();
+        assert_eq!(served, want, "{ctx}: distance bits of query {q}");
+    }
+}
+
+#[test]
+fn served_answers_match_one_shot_across_batch_sizes() {
+    let m = dataset(18, 0);
+    let multi = MultiDevice::replicate(&Device::volta(), 3);
+    let nn = NearestNeighbors::new(Device::volta(), Distance::Euclidean).fit(m.clone());
+    let oneshot = nn.kneighbors_sharded(&multi, &m, 4).expect("ok");
+    for max_batch in [1usize, 2, 5, 18] {
+        for max_wait_us in [1.0, 50.0, 1000.0] {
+            let cfg = ServeConfig {
+                k: 4,
+                max_batch,
+                max_wait_s: max_wait_us * 1e-6,
+                ..ServeConfig::default()
+            };
+            let mut engine = ServeEngine::new(multi.clone(), cfg);
+            let report = engine
+                .replay(std::slice::from_ref(&nn), &replay_rows(&m, 20e-6))
+                .expect("replay");
+            assert_eq!(report.responses.len(), 18);
+            assert!(report.rejected.is_empty());
+            assert_rows_match(
+                &report,
+                &oneshot,
+                &format!("batch={max_batch} wait={max_wait_us}us"),
+            );
+        }
+    }
+}
+
+#[test]
+fn arrival_order_does_not_change_answers() {
+    let m = dataset(12, 0);
+    let multi = MultiDevice::replicate(&Device::volta(), 2);
+    let nn = NearestNeighbors::new(Device::volta(), Distance::Cosine).fit(m.clone());
+    let oneshot = nn.kneighbors_sharded(&multi, &m, 3).expect("ok");
+    // Rows arrive in reversed and in interleaved order; ids still name
+    // the original row.
+    let reversed: Vec<Request<f64>> = (0..12)
+        .map(|i| Request {
+            id: i as u64,
+            dataset: 0,
+            arrival_s: (11 - i) as f64 * 30e-6,
+            row: m.slice_rows(i..i + 1),
+        })
+        .collect();
+    let interleaved: Vec<Request<f64>> = (0..12)
+        .map(|i| Request {
+            id: i as u64,
+            dataset: 0,
+            arrival_s: ((i % 3) * 4 + i / 3) as f64 * 30e-6,
+            row: m.slice_rows(i..i + 1),
+        })
+        .collect();
+    for (label, reqs) in [("reversed", reversed), ("interleaved", interleaved)] {
+        let cfg = ServeConfig {
+            k: 3,
+            max_batch: 4,
+            max_wait_s: 60e-6,
+            ..ServeConfig::default()
+        };
+        let mut engine = ServeEngine::new(multi.clone(), cfg);
+        let report = engine
+            .replay(std::slice::from_ref(&nn), &reqs)
+            .expect("replay");
+        assert_eq!(report.responses.len(), 12);
+        assert_rows_match(&report, &oneshot, label);
+    }
+}
+
+#[test]
+fn cache_evictions_mid_stream_do_not_change_answers() {
+    let a = dataset(10, 0);
+    let b = dataset(10, 1);
+    let multi = MultiDevice::replicate(&Device::volta(), 2);
+    let nn_a = NearestNeighbors::new(Device::volta(), Distance::Euclidean).fit(a.clone());
+    let nn_b = NearestNeighbors::new(Device::volta(), Distance::Euclidean).fit(b.clone());
+    let one_a = nn_a.kneighbors_sharded(&multi, &a, 3).expect("ok");
+    let one_b = nn_b.kneighbors_sharded(&multi, &b, 3).expect("ok");
+    // Budget fits one prepared entry, so alternating datasets thrashes.
+    let budget = nn_a.prepare_shards(&multi).device_bytes() + 1;
+    let cfg = ServeConfig {
+        k: 3,
+        max_batch: 2,
+        max_wait_s: 40e-6,
+        ..ServeConfig::default()
+    };
+    let mut engine = ServeEngine::new(multi.clone(), cfg).with_cache_budget(budget);
+    // Interleave: rows of A and B alternate; ids 0..9 are A's rows,
+    // 100..109 are B's.
+    let mut reqs = Vec::new();
+    for i in 0..10usize {
+        reqs.push(Request {
+            id: i as u64,
+            dataset: 0,
+            arrival_s: (2 * i) as f64 * 25e-6,
+            row: a.slice_rows(i..i + 1),
+        });
+        reqs.push(Request {
+            id: 100 + i as u64,
+            dataset: 1,
+            arrival_s: (2 * i + 1) as f64 * 25e-6,
+            row: b.slice_rows(i..i + 1),
+        });
+    }
+    let report = engine.replay(&[nn_a, nn_b], &reqs).expect("replay");
+    assert_eq!(report.responses.len(), 20);
+    assert!(
+        report.cache.evictions > 0,
+        "the point of this test is to thrash: {:?}",
+        report.cache
+    );
+    for resp in &report.responses {
+        let (oneshot, q) = if resp.dataset == 0 {
+            (&one_a, resp.id as usize)
+        } else {
+            (&one_b, (resp.id - 100) as usize)
+        };
+        assert_eq!(resp.indices, oneshot.indices[q], "query {}", resp.id);
+        let served: Vec<u64> = resp.distances.iter().map(|d| d.to_bits()).collect();
+        let want: Vec<u64> = oneshot.distances[q].iter().map(|d| d.to_bits()).collect();
+        assert_eq!(served, want, "query {}", resp.id);
+    }
+}
+
+#[test]
+fn host_thread_parallelism_does_not_change_answers() {
+    let m = dataset(14, 0);
+    let serial = MultiDevice::replicate(&Device::volta(), 2);
+    let threaded = MultiDevice::replicate(&Device::volta().with_host_threads(4), 2);
+    let nn_serial = NearestNeighbors::new(Device::volta(), Distance::Manhattan).fit(m.clone());
+    let nn_threaded =
+        NearestNeighbors::new(Device::volta().with_host_threads(4), Distance::Manhattan)
+            .fit(m.clone());
+    let oneshot = nn_serial.kneighbors_sharded(&serial, &m, 5).expect("ok");
+    let cfg = ServeConfig {
+        k: 5,
+        max_batch: 3,
+        max_wait_s: 50e-6,
+        ..ServeConfig::default()
+    };
+    let mut engine = ServeEngine::new(threaded, cfg);
+    let report = engine
+        .replay(std::slice::from_ref(&nn_threaded), &replay_rows(&m, 15e-6))
+        .expect("replay");
+    assert_eq!(report.responses.len(), 14);
+    assert_rows_match(&report, &oneshot, "host-threads=4");
+}
+
+#[test]
+fn absorbed_faults_do_not_change_answers() {
+    let m = dataset(14, 0);
+    // 10% transient launch failures, absorbed by the retry policy: the
+    // serving path must return the same bits as the faultless one-shot.
+    let faulty =
+        Device::volta().with_fault_plan(FaultPlan::seeded(7).with_transient_launch_failures(100));
+    let opts = PairwiseOptions {
+        resilience: Some(ResiliencePolicy::with_retries(8)),
+        ..PairwiseOptions::default()
+    };
+    // Host-side selection: the device top-k kernel sits outside the
+    // resilience cascade in the one-shot path too, so a fault injected
+    // into it is fatal for both paths rather than absorbed by either.
+    let clean_multi = MultiDevice::replicate(&Device::volta(), 2);
+    let clean_nn = NearestNeighbors::new(Device::volta(), Distance::Euclidean)
+        .with_selection(neighbors::Selection::Host)
+        .fit(m.clone());
+    let oneshot = clean_nn
+        .kneighbors_sharded(&clean_multi, &m, 4)
+        .expect("ok");
+
+    let faulty_multi = MultiDevice::replicate(&faulty, 2);
+    let faulty_nn = NearestNeighbors::new(faulty.clone(), Distance::Euclidean)
+        .with_selection(neighbors::Selection::Host)
+        .with_options(opts)
+        .fit(m.clone());
+    let cfg = ServeConfig {
+        k: 4,
+        max_batch: 4,
+        max_wait_s: 80e-6,
+        ..ServeConfig::default()
+    };
+    let mut engine = ServeEngine::new(faulty_multi, cfg);
+    let report = engine
+        .replay(std::slice::from_ref(&faulty_nn), &replay_rows(&m, 20e-6))
+        .expect("replay");
+    assert_eq!(report.responses.len(), 14);
+    assert_rows_match(&report, &oneshot, "armed fault plan");
+}
+
+#[test]
+fn admission_control_rejects_past_max_queue() {
+    let m = dataset(16, 0);
+    let multi = MultiDevice::replicate(&Device::volta(), 2);
+    let nn = NearestNeighbors::new(Device::volta(), Distance::Euclidean).fit(m.clone());
+    let cfg = ServeConfig {
+        k: 2,
+        max_batch: 4,
+        // A long deadline and a burst of simultaneous arrivals: the
+        // queue saturates before anything dispatches.
+        max_wait_s: 10.0,
+        max_queue: 3,
+        ..ServeConfig::default()
+    };
+    let reqs: Vec<Request<f64>> = (0..16usize)
+        .map(|i| Request {
+            id: i as u64,
+            dataset: 0,
+            arrival_s: 0.0,
+            row: m.slice_rows(i..i + 1),
+        })
+        .collect();
+    let mut engine = ServeEngine::new(multi.clone(), cfg);
+    let report = engine
+        .replay(std::slice::from_ref(&nn), &reqs)
+        .expect("replay");
+    assert!(!report.rejected.is_empty(), "backpressure must engage");
+    assert_eq!(report.responses.len() + report.rejected.len(), 16);
+    // Whatever was admitted is still answered correctly.
+    let oneshot = nn.kneighbors_sharded(&multi, &m, 2).expect("ok");
+    assert_rows_match(&report, &oneshot, "with rejections");
+}
+
+#[test]
+fn latency_percentiles_are_ordered_and_batching_amortizes() {
+    let m = dataset(16, 0);
+    let multi = MultiDevice::replicate(&Device::volta(), 2);
+    let nn = NearestNeighbors::new(Device::volta(), Distance::Euclidean).fit(m.clone());
+    let cfg = ServeConfig {
+        k: 3,
+        max_batch: 4,
+        max_wait_s: 50e-6,
+        ..ServeConfig::default()
+    };
+    let mut engine = ServeEngine::new(multi.clone(), cfg);
+    let report = engine
+        .replay(std::slice::from_ref(&nn), &replay_rows(&m, 10e-6))
+        .expect("replay");
+    let p50 = report.latency_percentile(50.0);
+    let p99 = report.latency_percentile(99.0);
+    assert!(p50 > 0.0 && p50 <= p99, "p50={p50} p99={p99}");
+    assert!(report.batches < 16, "micro-batching coalesced requests");
+    assert!(report.qps() > 0.0);
+    // Cached serving re-executes without re-preparing: second replay of
+    // the same stream is all hits and strictly less busy time.
+    let first_busy = report.busy_seconds;
+    let report2 = engine
+        .replay(std::slice::from_ref(&nn), &replay_rows(&m, 10e-6))
+        .expect("replay");
+    assert_eq!(report2.cache.misses, 0);
+    assert!(report2.busy_seconds <= first_busy);
+    assert_rows_match(
+        &report2,
+        &nn.kneighbors_sharded(&multi, &m, 3).expect("ok"),
+        "second replay",
+    );
+}

@@ -15,15 +15,18 @@
 //! ```
 //!
 //! Positional arguments are validated as `bench.v1` reports
-//! ([`bench::validate_report`]); each `--trace <path>` is validated as
-//! a chrome-trace ([`bench::validate_chrome_trace`]). Exit status is
+//! ([`bench::validate_report`], plus
+//! [`bench::validate_latency_percentiles`] for rows carrying
+//! `p<N>_latency_s` values — non-negative and monotone in the
+//! percentile); each `--trace <path>` is validated as a chrome-trace
+//! ([`bench::validate_chrome_trace`]). Exit status is
 //! non-zero when any file fails to read, parse, or validate, or when no
 //! files were given at all (an empty CI glob is itself a regression).
 
 use std::fs;
 use std::process::ExitCode;
 
-use bench::{validate_chrome_trace, validate_report, Json};
+use bench::{validate_chrome_trace, validate_latency_percentiles, validate_report, Json};
 
 enum Kind {
     Report,
@@ -82,6 +85,7 @@ fn check_file(path: &str, kind: &Kind) -> Result<String, String> {
     match kind {
         Kind::Report => {
             validate_report(&text)?;
+            let latency_rows = validate_latency_percentiles(&text)?;
             let name = json
                 .get("name")
                 .and_then(Json::as_str)
@@ -91,7 +95,12 @@ fn check_file(path: &str, kind: &Kind) -> Result<String, String> {
                 .get("rows")
                 .and_then(Json::as_arr)
                 .map_or(0, <[Json]>::len);
-            Ok(format!("bench.v1 report {name:?}, {rows} rows"))
+            let latency = if latency_rows > 0 {
+                format!(" ({latency_rows} with ordered latency percentiles)")
+            } else {
+                String::new()
+            };
+            Ok(format!("bench.v1 report {name:?}, {rows} rows{latency}"))
         }
         Kind::Trace => {
             validate_chrome_trace(&text)?;

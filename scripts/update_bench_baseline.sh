@@ -17,8 +17,10 @@ cargo run --release --locked -p bench --bin counters_report -- \
     --scale "$SCALE" --json "$TMP/counters.json"
 cargo run --release --locked -p bench --bin shard_scaling -- \
     --scale "$SCALE" --json "$TMP/shard.json"
+cargo run --release --locked -p bench --bin serve_throughput -- \
+    --scale "$SCALE" --json "$TMP/serve.json"
 cargo run --locked -p xtask --bin compare_bench -- \
     --write-baseline experiments_output/BENCH_baseline.json \
-    "$TMP/counters.json" "$TMP/shard.json"
+    "$TMP/counters.json" "$TMP/shard.json" "$TMP/serve.json"
 
 echo "Refreshed experiments_output/BENCH_baseline.json — review and commit the diff."
