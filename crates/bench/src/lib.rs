@@ -25,4 +25,7 @@ pub use report::{
     validate_chrome_trace, validate_latency_percentiles, validate_report, BenchReport, Json,
     MetricRow,
 };
+// Re-exported so sibling tooling (xtask's diag.v1 writer) escapes JSON
+// strings with the exact same rules as the bench.v1 writers.
+pub use gpu_sim::json_escape;
 pub use runner::{parse_path, parse_scale, parse_u64, try_parse_u64, BenchRow, Timed};

@@ -122,6 +122,13 @@ pub fn hybrid_pass<T: Real>(
                         let vals = w.global_gather(&inp.smem_side.values, &idx);
                         let ocols = lanes_from_fn(|l| idx[l].map(|_| cols[l]));
                         w.range("insert", |w| vec_ref.insert_warp(w, &ocols, &vals));
+                        // Inserts can overflow the table/bloom capacity
+                        // (recorded as a typed fault inside insert_warp);
+                        // stop staging and limp so the launch surfaces the
+                        // fault instead of compounding the damage.
+                        if w.fault_pending() {
+                            break;
+                        }
                         base += wpb * WARP_SIZE;
                     }
                 });

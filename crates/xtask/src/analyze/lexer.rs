@@ -1,0 +1,400 @@
+//! Lexer-lite for kernel sources.
+//!
+//! The analyzer does not parse Rust; it tokenizes just enough of it to
+//! reason about *structure*: words, punctuation, and the comment-borne
+//! allow-region markers, with string/char literals, lifetimes, and
+//! comments stripped so prose and formatting can never trip a rule.
+//! Every token carries its line and column (both 1-based) so
+//! diagnostics point at real source locations.
+//!
+//! What is deliberately dropped: literal *contents* (a `"while "`
+//! inside a format string is not control flow), lifetimes (`'a` is not
+//! a char literal), and comment text (except the `…-lint:` markers,
+//! which are surfaced as [`TokKind::Marker`] tokens so the scope
+//! tracker can thread allow regions through the same ordered stream as
+//! the code they suppress).
+
+/// One token of the simplified stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in characters).
+    pub col: u32,
+}
+
+/// Token kinds the analyzer distinguishes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokKind {
+    /// An identifier, keyword, or numeric literal (a run of
+    /// alphanumerics and `_`).
+    Word(String),
+    /// A single punctuation character (`{`, `}`, `(`, `.`, `=`, …).
+    Punct(char),
+    /// An allow-region marker lifted out of a `//` comment.
+    Marker(Marker),
+}
+
+/// A `<prefix>: begin-allow(tag): reason` / `<prefix>: end-allow`
+/// marker found in a line comment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Marker {
+    /// The marker family, e.g. `smem-lint` or `panic-lint`.
+    pub prefix: String,
+    /// Begin or end.
+    pub kind: MarkerKind,
+}
+
+/// Whether a marker opens or closes an allow region.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MarkerKind {
+    /// `begin-allow(tag): reason` — `reason_len` is the trimmed length
+    /// of the text after `):`, used to demand documented reasons.
+    Begin {
+        /// The parenthesized tag naming why the region exists.
+        tag: String,
+        /// Trimmed length of the free-text reason after the tag.
+        reason_len: usize,
+    },
+    /// `end-allow`.
+    End,
+}
+
+const BEGIN_NEEDLE: &str = "-lint: begin-allow(";
+const END_NEEDLE: &str = "-lint: end-allow";
+
+/// Extracts a marker from one comment's text, if present.
+fn parse_marker(comment: &str) -> Option<Marker> {
+    if let Some(pos) = comment.find(BEGIN_NEEDLE) {
+        let prefix = marker_prefix(comment, pos);
+        let rest = &comment[pos + BEGIN_NEEDLE.len()..];
+        let (tag, reason) = match rest.split_once("):") {
+            Some((tag, reason)) => (tag.trim().to_string(), reason.trim().len()),
+            // Unterminated tag: keep the marker (so the region opens and
+            // its missing reason is reported) with what we can salvage.
+            None => (rest.trim_end_matches(')').trim().to_string(), 0),
+        };
+        return Some(Marker {
+            prefix,
+            kind: MarkerKind::Begin {
+                tag,
+                reason_len: reason,
+            },
+        });
+    }
+    if let Some(pos) = comment.find(END_NEEDLE) {
+        let prefix = marker_prefix(comment, pos);
+        return Some(Marker {
+            prefix,
+            kind: MarkerKind::End,
+        });
+    }
+    None
+}
+
+/// The word immediately before `-lint:` (e.g. `smem` in `smem-lint:`),
+/// rejoined with the `-lint` suffix.
+fn marker_prefix(comment: &str, needle_pos: usize) -> String {
+    let head = &comment[..needle_pos];
+    let word: String = head
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    format!("{word}-lint")
+}
+
+/// Tokenizes `text`. Never fails: unrecognized bytes are skipped, and
+/// an unterminated literal or comment simply ends the stream at EOF.
+pub fn lex(text: &str) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    // Advances past `n` characters, tracking line/col.
+    macro_rules! bump {
+        ($n:expr) => {
+            for _ in 0..$n {
+                if i < chars.len() {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+
+        // Line comments — scan for markers, then drop.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+                col += 1;
+            }
+            let comment: String = chars[start..i].iter().collect();
+            if let Some(marker) = parse_marker(&comment) {
+                toks.push(Tok {
+                    kind: TokKind::Marker(marker),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            continue;
+        }
+
+        // Block comments, nested per Rust.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            bump!(2);
+            let mut depth = 1usize;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    bump!(2);
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    bump!(2);
+                } else {
+                    bump!(1);
+                }
+            }
+            continue;
+        }
+
+        // String literals (plain and raw, with byte-string prefixes).
+        if c == '"' {
+            bump!(1);
+            while i < chars.len() {
+                match chars[i] {
+                    '\\' => bump!(2),
+                    '"' => {
+                        bump!(1);
+                        break;
+                    }
+                    _ => bump!(1),
+                }
+            }
+            continue;
+        }
+        if (c == 'r' || c == 'b') && is_raw_string_start(&chars, i) {
+            // Consume the prefix (`r`, `br`, `rb` never occurs) and
+            // count `#`s.
+            bump!(1);
+            if i < chars.len() && chars[i] == 'r' {
+                bump!(1);
+            }
+            let mut hashes = 0usize;
+            while i < chars.len() && chars[i] == '#' {
+                hashes += 1;
+                bump!(1);
+            }
+            bump!(1); // opening quote
+            'raw: while i < chars.len() {
+                if chars[i] == '"' {
+                    let mut ok = true;
+                    for h in 0..hashes {
+                        if chars.get(i + 1 + h) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        bump!(1 + hashes);
+                        break 'raw;
+                    }
+                }
+                bump!(1);
+            }
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if chars.get(i + 1) == Some(&'\\') {
+                // Escaped char literal: consume to the closing quote.
+                bump!(2);
+                while i < chars.len() && chars[i] != '\'' {
+                    bump!(1);
+                }
+                bump!(1);
+            } else if chars.get(i + 2) == Some(&'\'') {
+                bump!(3); // 'x'
+            } else {
+                // Lifetime: quote plus identifier.
+                bump!(1);
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    bump!(1);
+                }
+            }
+            continue;
+        }
+
+        // Words (identifiers, keywords, numbers).
+        if c.is_alphanumeric() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+                col += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Word(chars[start..i].iter().collect()),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!(1);
+            continue;
+        }
+
+        // Everything else is single-char punctuation.
+        toks.push(Tok {
+            kind: TokKind::Punct(c),
+            line: tline,
+            col: tcol,
+        });
+        bump!(1);
+    }
+    toks
+}
+
+/// True when the char at `i` starts a raw-string literal (`r"`, `r#`,
+/// `b"`, `br"`, `br#`) rather than an identifier like `radius`.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // Must not be the tail of a longer identifier.
+    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+        return false;
+    }
+    match chars[i] {
+        'b' => match chars.get(i + 1) {
+            Some('"') => true,
+            Some('r') => matches!(chars.get(i + 2), Some('"') | Some('#')),
+            _ => false,
+        },
+        'r' => matches!(chars.get(i + 1), Some('"') | Some('#')),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(text: &str) -> Vec<String> {
+        lex(text)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Word(w) => Some(w),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn words_and_puncts_carry_positions() {
+        let toks = lex("let x = a.read(0);\n  y");
+        assert_eq!(toks[0].kind, TokKind::Word("let".into()));
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        let dot = toks
+            .iter()
+            .find(|t| t.kind == TokKind::Punct('.'))
+            .expect("dot");
+        assert_eq!((dot.line, dot.col), (1, 10));
+        let last = toks.last().expect("y token");
+        assert_eq!((last.line, last.col), (2, 3));
+    }
+
+    #[test]
+    fn comments_and_strings_are_stripped() {
+        assert_eq!(words("// a.read(0) while for\nx"), vec!["x"]);
+        assert_eq!(
+            words("/* while { */ y /* nested /* deep */ still */ z"),
+            vec!["y", "z"]
+        );
+        assert_eq!(
+            words("let s = \"while .read( \\\" quoted\";"),
+            vec!["let", "s"]
+        );
+        assert_eq!(
+            words("let s = r#\"raw \"quote\" .write(\"#; k"),
+            vec!["let", "s", "k"]
+        );
+        assert_eq!(words("let b = b\"bytes.read(\"; m"), vec!["let", "b", "m"]);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_do_not_confuse() {
+        assert_eq!(
+            words("let c = 'x'; let n = '\\n';"),
+            vec!["let", "c", "let", "n"]
+        );
+        // A lifetime must not swallow the following code as a "literal";
+        // the lifetime identifier itself is dropped with the quote.
+        assert_eq!(
+            words("fn f<'a>(x: &'a str) { x.read(0) }"),
+            vec!["fn", "f", "x", "str", "x", "read", "0"]
+        );
+    }
+
+    #[test]
+    fn identifiers_starting_with_r_or_b_are_not_raw_strings() {
+        assert_eq!(
+            words("let radius = b1 + rows;"),
+            vec!["let", "radius", "b1", "rows"]
+        );
+    }
+
+    #[test]
+    fn markers_are_lifted_from_comments() {
+        let toks = lex("// smem-lint: begin-allow(emu): cost charged via explicit issue\nx.read(0);\n// smem-lint: end-allow\n");
+        let TokKind::Marker(m) = &toks[0].kind else {
+            panic!("expected marker, got {:?}", toks[0]);
+        };
+        assert_eq!(m.prefix, "smem-lint");
+        match &m.kind {
+            MarkerKind::Begin { tag, reason_len } => {
+                assert_eq!(tag, "emu");
+                assert!(*reason_len >= 10);
+            }
+            MarkerKind::End => panic!("expected begin"),
+        }
+        let TokKind::Marker(end) = &toks.last().expect("end marker").kind else {
+            panic!("expected trailing end marker");
+        };
+        assert_eq!(end.kind, MarkerKind::End);
+        assert_eq!(end.prefix, "smem-lint");
+    }
+
+    #[test]
+    fn begin_marker_without_reason_reports_zero_length() {
+        let toks = lex("// panic-lint: begin-allow(tag):\n");
+        let TokKind::Marker(m) = &toks[0].kind else {
+            panic!("marker");
+        };
+        assert_eq!(
+            m.kind,
+            MarkerKind::Begin {
+                tag: "tag".into(),
+                reason_len: 0
+            }
+        );
+        assert_eq!(m.prefix, "panic-lint");
+    }
+}

@@ -1,0 +1,96 @@
+//! `xtask analyze` — the control-flow-aware kernel analyzer.
+//!
+//! Successor to the old `lint_kernels` line matcher: a lexer-lite token
+//! stream ([`lexer`]) feeds a brace/branch scope tracker ([`scope`])
+//! whose [`scope::FileModel`] the rule registry ([`rules`]) queries.
+//! Findings are typed [`diag::Diagnostic`]s, rendered as human text and
+//! as a `diag.v1` JSON document ([`diag`]), and gated against the
+//! committed suppression baseline ([`baseline`]).
+//!
+//! Scan set: every `.rs` file under `crates/kernels/src` plus the
+//! cost-model-bearing simulator primitives and collections
+//! (`crates/gpu-sim/src/prims`, `crates/gpu-sim/src/collections`) —
+//! the code whose honesty the counters, determinism contract
+//! (DESIGN.md §10), and resilience cascade (§9) depend on.
+
+pub mod baseline;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod scope;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use diag::Diagnostic;
+
+/// Workspace-relative directories the analyzer scans.
+pub const SCAN_ROOTS: [&str; 3] = [
+    "crates/kernels/src",
+    "crates/gpu-sim/src/prims",
+    "crates/gpu-sim/src/collections",
+];
+
+/// The result of analyzing a source tree.
+#[derive(Debug)]
+pub struct Analysis {
+    /// How many files were scanned.
+    pub files_scanned: usize,
+    /// All findings, ordered by (file, line, col).
+    pub findings: Vec<Diagnostic>,
+}
+
+/// Collects the `.rs` files of one directory tree, sorted.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Runs every rule over the scan set rooted at the workspace `root`.
+///
+/// Fails when the scan set is empty (a wrong `--root` must not pass as
+/// a clean run) or a source file cannot be read.
+pub fn analyze_root(root: &Path) -> Result<Analysis, String> {
+    let mut files = Vec::new();
+    for sub in SCAN_ROOTS {
+        collect_rs_files(&root.join(sub), &mut files);
+    }
+    files.sort();
+    if files.is_empty() {
+        return Err(format!(
+            "no sources found under {} (scan roots: {})",
+            root.display(),
+            SCAN_ROOTS.join(", ")
+        ));
+    }
+    let mut findings = Vec::new();
+    for path in &files {
+        let text =
+            fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let rel = path.strip_prefix(root).unwrap_or(path);
+        // Forward slashes keep fingerprints and baselines portable
+        // across platforms.
+        let rel = rel
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        findings.extend(rules::run_rules(&rel, &text));
+    }
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    Ok(Analysis {
+        files_scanned: files.len(),
+        findings,
+    })
+}

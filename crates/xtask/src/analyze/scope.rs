@@ -1,0 +1,671 @@
+//! Brace/branch scope tracker: turns the token stream into a
+//! [`FileModel`] the rules can query.
+//!
+//! One pass over the tokens maintains a stack of brace scopes, each
+//! annotated with *why* it opened: a conditional (`if`/`else`), a loop
+//! (`while`/`for`/`loop`), a `match`, a closure passed to a named call
+//! (`run_warps`, `range`, …), or a plain block. Conditionals and loops
+//! capture the identifier list of their condition text, which is what
+//! lets the barrier-divergence rule ask "does any enclosing branch
+//! depend on a lane/thread/warp id?" without a real parser.
+//!
+//! `#[cfg(test)]` is scoped to the attribute's brace-matched item — the
+//! fix for the old `lint_kernels` behaviour of skipping everything from
+//! the first test attribute to end-of-file, which silently exempted any
+//! non-test code that followed a test module.
+//!
+//! Allow regions (`<prefix>-lint: begin-allow(tag): reason` …
+//! `<prefix>-lint: end-allow`) are threaded through the same stream:
+//! every call/assignment site records which regions were open at that
+//! point, so rules can honor opt-outs and the stale-allow rule can spot
+//! regions that no longer suppress anything.
+
+use super::lexer::{lex, Marker, MarkerKind, Tok, TokKind};
+
+/// Why a brace scope opened.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScopeKind {
+    /// `{ … }` with no recognized head (item bodies, plain blocks,
+    /// match arms).
+    Plain,
+    /// `if <cond> { … }` (and `else if`).
+    If,
+    /// `else { … }` — carries the condition of the `if` it belongs to.
+    Else,
+    /// `while <cond> { … }` (including `while let`).
+    While,
+    /// `for <pat> in <iter> { … }`.
+    For,
+    /// `loop { … }`.
+    Loop,
+    /// `match <scrutinee> { … }`.
+    Match,
+    /// A brace opened inside the argument list of `callee(…)` — i.e. a
+    /// closure body passed to that call. `run_warps` and `range` are
+    /// the ones rules care about.
+    Closure(String),
+}
+
+impl ScopeKind {
+    /// True for scopes whose body executes conditionally or repeatedly.
+    pub fn is_branch(&self) -> bool {
+        matches!(
+            self,
+            ScopeKind::If | ScopeKind::Else | ScopeKind::While | ScopeKind::For | ScopeKind::Match
+        )
+    }
+
+    /// True for loop scopes.
+    pub fn is_loop(&self) -> bool {
+        matches!(self, ScopeKind::While | ScopeKind::For | ScopeKind::Loop)
+    }
+}
+
+/// One enclosing scope, as recorded at a call/assignment site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScopeInfo {
+    /// Why the scope opened.
+    pub kind: ScopeKind,
+    /// Identifiers appearing in the scope's head (condition, iterator
+    /// expression, or match scrutinee). Empty for plain/loop/closure.
+    pub cond_idents: Vec<String>,
+    /// Head text, for diagnostics (words joined by spaces).
+    pub cond_text: String,
+    /// Unique id of this scope instance within the file (lets rules
+    /// group sites by the *specific* closure they sit in).
+    pub id: u32,
+}
+
+/// A call site: `word(` or `.word(`.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name; macros keep their bang (`panic!`).
+    pub callee: String,
+    /// True when invoked as a method (preceded by `.`).
+    pub method: bool,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// True when inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+    /// Enclosing scopes, outermost first.
+    pub scopes: Vec<ScopeInfo>,
+    /// Indices (into [`FileModel::regions`]) of allow regions open here.
+    pub regions: Vec<usize>,
+}
+
+impl CallSite {
+    /// True when lexically inside a closure passed to `callee`.
+    pub fn inside_closure_of(&self, callee: &str) -> bool {
+        self.scopes
+            .iter()
+            .any(|s| matches!(&s.kind, ScopeKind::Closure(c) if c == callee))
+    }
+
+    /// Innermost enclosing `callee`-closure scope id, if any.
+    pub fn closure_id(&self, callee: &str) -> Option<u32> {
+        self.scopes
+            .iter()
+            .rev()
+            .find(|s| matches!(&s.kind, ScopeKind::Closure(c) if c == callee))
+            .map(|s| s.id)
+    }
+
+    /// True when any enclosing scope is a loop.
+    pub fn in_loop(&self) -> bool {
+        self.scopes.iter().any(|s| s.kind.is_loop())
+    }
+}
+
+/// A direct assignment to a `counters.<field>` ledger field.
+#[derive(Debug, Clone)]
+pub struct AssignSite {
+    /// The mutated field name.
+    pub field: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// True when inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+    /// Open allow regions at this site.
+    pub regions: Vec<usize>,
+}
+
+/// One allow region found in the file.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// Marker family (`smem-lint`, `panic-lint`, …).
+    pub prefix: String,
+    /// The parenthesized tag.
+    pub tag: String,
+    /// Trimmed length of the documented reason.
+    pub reason_len: usize,
+    /// Line of the `begin-allow` marker.
+    pub line: u32,
+    /// True when the region sits inside `#[cfg(test)]` code.
+    pub in_test: bool,
+    /// True when a matching `end-allow` was seen.
+    pub closed: bool,
+}
+
+/// A malformed marker (stray end, nested begin).
+#[derive(Debug, Clone)]
+pub struct MarkerIssue {
+    /// Marker family the issue belongs to.
+    pub prefix: String,
+    /// 1-based line of the offending marker.
+    pub line: u32,
+    /// What went wrong.
+    pub what: MarkerProblem,
+}
+
+/// The malformed-marker cases.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MarkerProblem {
+    /// `end-allow` with no open region of its family.
+    StrayEnd,
+    /// `begin-allow` while a region of the same family is already open.
+    NestedBegin,
+}
+
+/// Everything the rules need to know about one file.
+#[derive(Debug, Default)]
+pub struct FileModel {
+    /// Every call site, in source order.
+    pub calls: Vec<CallSite>,
+    /// Every `counters.<field>` mutation.
+    pub assigns: Vec<AssignSite>,
+    /// Every allow region (open-line order).
+    pub regions: Vec<Region>,
+    /// Malformed markers.
+    pub marker_issues: Vec<MarkerIssue>,
+}
+
+/// Keywords that head a captured scope.
+const SCOPE_HEADS: [&str; 6] = ["if", "else", "while", "for", "loop", "match"];
+
+/// Keywords that look like calls when followed by `(` but are not.
+const NOT_CALLEES: [&str; 10] = [
+    "if", "while", "for", "match", "return", "let", "in", "fn", "move", "else",
+];
+
+struct Frame {
+    kind: ScopeKind,
+    cond_idents: Vec<String>,
+    cond_text: String,
+    is_test: bool,
+    id: u32,
+}
+
+/// A scope head being captured: from the keyword to its opening brace.
+struct Capture {
+    kind: ScopeKind,
+    idents: Vec<String>,
+    text: Vec<String>,
+    /// Paren/bracket depth relative to capture start; the head's brace
+    /// opens at depth 0.
+    delim_depth: i32,
+}
+
+/// An active `callee(…)` argument list (for closure attribution).
+struct ActiveCall {
+    callee: String,
+    /// Paren depth *before* its `(` was consumed.
+    outer_depth: i32,
+}
+
+/// Builds the [`FileModel`] for one file's source text.
+pub fn build_model(text: &str) -> FileModel {
+    let toks = lex(text);
+    let mut model = FileModel::default();
+
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut next_scope_id = 0u32;
+    let mut capture: Option<Capture> = None;
+    let mut paren_depth = 0i32;
+    let mut calls: Vec<ActiveCall> = Vec::new();
+    // Last closed `if` condition at each point, for `else` inheritance.
+    let mut last_if: (Vec<String>, String) = (Vec::new(), String::new());
+    // Pending `#[cfg(test)]`: brace depth where the attribute appeared.
+    let mut pending_test: Option<usize> = None;
+    // Open allow regions per family: (prefix, region index).
+    let mut open_regions: Vec<(String, usize)> = Vec::new();
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let tok = &toks[i];
+        let in_test = stack.iter().any(|f| f.is_test);
+        match &tok.kind {
+            TokKind::Marker(marker) => {
+                handle_marker(marker, tok, in_test, &mut model, &mut open_regions);
+                i += 1;
+            }
+            TokKind::Punct('#')
+                if matches!(toks.get(i + 1).map(|t| &t.kind), Some(TokKind::Punct('['))) =>
+            {
+                // Attribute: scan to the matching `]`, watching for
+                // `cfg(... test ...)`.
+                let mut j = i + 2;
+                let mut depth = 1i32;
+                let mut words: Vec<&str> = Vec::new();
+                while j < toks.len() && depth > 0 {
+                    match &toks[j].kind {
+                        TokKind::Punct('[') => depth += 1,
+                        TokKind::Punct(']') => depth -= 1,
+                        TokKind::Word(w) => words.push(w),
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let cfg_test = words.first() == Some(&"cfg")
+                    && words.contains(&"test")
+                    && !words.contains(&"not");
+                if cfg_test || words.first() == Some(&"test") {
+                    pending_test = Some(stack.len());
+                }
+                i = j;
+            }
+            TokKind::Word(w) => {
+                if capture.is_none() && SCOPE_HEADS.contains(&w.as_str()) {
+                    let kind = match w.as_str() {
+                        "if" => ScopeKind::If,
+                        "else" => ScopeKind::Else,
+                        "while" => ScopeKind::While,
+                        "for" => ScopeKind::For,
+                        "loop" => ScopeKind::Loop,
+                        _ => ScopeKind::Match,
+                    };
+                    capture = Some(Capture {
+                        kind,
+                        idents: Vec::new(),
+                        text: Vec::new(),
+                        delim_depth: 0,
+                    });
+                    i += 1;
+                    continue;
+                }
+                if let Some(cap) = capture.as_mut() {
+                    // `else if …` upgrades the pending Else to an If.
+                    if w == "if" && cap.kind == ScopeKind::Else && cap.text.is_empty() {
+                        cap.kind = ScopeKind::If;
+                    } else {
+                        cap.idents.push(w.clone());
+                        cap.text.push(w.clone());
+                    }
+                }
+                // Call site: word followed by `(`, or macro `word!(`.
+                let (bang, open_at) = match toks.get(i + 1).map(|t| &t.kind) {
+                    Some(TokKind::Punct('!'))
+                        if matches!(
+                            toks.get(i + 2).map(|t| &t.kind),
+                            Some(TokKind::Punct('('))
+                        ) =>
+                    {
+                        (true, i + 2)
+                    }
+                    Some(TokKind::Punct('(')) => (false, i + 1),
+                    _ => (false, 0),
+                };
+                if open_at > 0 && !NOT_CALLEES.contains(&w.as_str()) {
+                    let method = i > 0 && matches!(toks[i - 1].kind, TokKind::Punct('.'));
+                    let callee = if bang { format!("{w}!") } else { w.clone() };
+                    model.calls.push(CallSite {
+                        callee: callee.clone(),
+                        method,
+                        line: tok.line,
+                        col: tok.col,
+                        in_test: in_test || pending_test.is_some(),
+                        scopes: snapshot(&stack),
+                        regions: open_regions.iter().map(|(_, id)| *id).collect(),
+                    });
+                    // Track the argument list for closure attribution.
+                    calls.push(ActiveCall {
+                        callee,
+                        outer_depth: paren_depth,
+                    });
+                    paren_depth += 1;
+                    if let Some(cap) = capture.as_mut() {
+                        cap.delim_depth += 1;
+                    }
+                    i = open_at + 1;
+                    continue;
+                }
+                // `counters.<field> <op>=` mutation.
+                if w == "counters"
+                    && matches!(toks.get(i + 1).map(|t| &t.kind), Some(TokKind::Punct('.')))
+                {
+                    if let Some(TokKind::Word(field)) = toks.get(i + 2).map(|t| &t.kind) {
+                        if is_mutation(&toks, i + 3) {
+                            model.assigns.push(AssignSite {
+                                field: field.clone(),
+                                line: tok.line,
+                                col: tok.col,
+                                in_test: in_test || pending_test.is_some(),
+                                regions: open_regions.iter().map(|(_, id)| *id).collect(),
+                            });
+                        }
+                    }
+                }
+                i += 1;
+            }
+            TokKind::Punct(p) => {
+                let p = *p;
+                if let Some(cap) = capture.as_mut() {
+                    match p {
+                        '(' | '[' => cap.delim_depth += 1,
+                        ')' | ']' => cap.delim_depth -= 1,
+                        ';' => {
+                            // Expression-position head without a block
+                            // we can attribute (`let x = if c {…};`
+                            // aborts only if no brace ever opened).
+                            capture = None;
+                        }
+                        _ => {}
+                    }
+                    if !matches!(p, '{' | '}') {
+                        if let Some(cap) = capture.as_mut() {
+                            cap.text.push(p.to_string());
+                        }
+                    }
+                }
+                match p {
+                    '(' => paren_depth += 1,
+                    ')' => {
+                        paren_depth -= 1;
+                        while calls.last().is_some_and(|c| c.outer_depth >= paren_depth) {
+                            calls.pop();
+                        }
+                    }
+                    '{' => {
+                        let captured = match capture.take() {
+                            Some(cap) if cap.delim_depth == 0 => Some(cap),
+                            Some(cap) => {
+                                // Brace inside the head's parens: a
+                                // closure in the condition. Keep
+                                // capturing after this scope.
+                                capture = Some(cap);
+                                None
+                            }
+                            None => None,
+                        };
+                        let frame = match captured {
+                            Some(cap) => {
+                                let (idents, text) = if cap.kind == ScopeKind::Else {
+                                    last_if.clone()
+                                } else {
+                                    (cap.idents, cap.text.join(" "))
+                                };
+                                Frame {
+                                    kind: cap.kind,
+                                    cond_idents: idents,
+                                    cond_text: text,
+                                    is_test: pending_test.take().is_some(),
+                                    id: next_scope_id,
+                                }
+                            }
+                            None => {
+                                let kind = if paren_depth > 0 {
+                                    // Inside some call's argument list:
+                                    // attribute to the innermost call.
+                                    ScopeKind::Closure(
+                                        calls.last().map(|c| c.callee.clone()).unwrap_or_default(),
+                                    )
+                                } else {
+                                    ScopeKind::Plain
+                                };
+                                Frame {
+                                    kind,
+                                    cond_idents: Vec::new(),
+                                    cond_text: String::new(),
+                                    is_test: pending_test.take().is_some(),
+                                    id: next_scope_id,
+                                }
+                            }
+                        };
+                        next_scope_id += 1;
+                        stack.push(frame);
+                    }
+                    '}' => {
+                        if let Some(frame) = stack.pop() {
+                            if matches!(frame.kind, ScopeKind::If) {
+                                last_if = (frame.cond_idents, frame.cond_text);
+                            }
+                        }
+                    }
+                    // An attribute followed by a braceless item
+                    // (`#[cfg(test)] use x;`) consumes the pending
+                    // flag at its own depth.
+                    ';' if pending_test == Some(stack.len()) => pending_test = None,
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+    }
+
+    // Unclosed regions stay marked `closed: false`; rules report them.
+    model
+}
+
+fn handle_marker(
+    marker: &Marker,
+    tok: &Tok,
+    in_test: bool,
+    model: &mut FileModel,
+    open_regions: &mut Vec<(String, usize)>,
+) {
+    match &marker.kind {
+        MarkerKind::Begin { tag, reason_len } => {
+            if open_regions.iter().any(|(p, _)| p == &marker.prefix) {
+                model.marker_issues.push(MarkerIssue {
+                    prefix: marker.prefix.clone(),
+                    line: tok.line,
+                    what: MarkerProblem::NestedBegin,
+                });
+            }
+            let id = model.regions.len();
+            model.regions.push(Region {
+                prefix: marker.prefix.clone(),
+                tag: tag.clone(),
+                reason_len: *reason_len,
+                line: tok.line,
+                in_test,
+                closed: false,
+            });
+            open_regions.push((marker.prefix.clone(), id));
+        }
+        MarkerKind::End => {
+            // Close the innermost open region of this family.
+            match open_regions.iter().rposition(|(p, _)| p == &marker.prefix) {
+                Some(pos) => {
+                    let (_, id) = open_regions.remove(pos);
+                    model.regions[id].closed = true;
+                }
+                None => model.marker_issues.push(MarkerIssue {
+                    prefix: marker.prefix.clone(),
+                    line: tok.line,
+                    what: MarkerProblem::StrayEnd,
+                }),
+            }
+        }
+    }
+}
+
+fn snapshot(stack: &[Frame]) -> Vec<ScopeInfo> {
+    stack
+        .iter()
+        .map(|f| ScopeInfo {
+            kind: f.kind.clone(),
+            cond_idents: f.cond_idents.clone(),
+            cond_text: f.cond_text.clone(),
+            id: f.id,
+        })
+        .collect()
+}
+
+/// True when the tokens at `at` form `=` (not `==`), `+=`, `-=`, `*=`.
+fn is_mutation(toks: &[Tok], at: usize) -> bool {
+    match toks.get(at).map(|t| &t.kind) {
+        Some(TokKind::Punct('=')) => {
+            !matches!(toks.get(at + 1).map(|t| &t.kind), Some(TokKind::Punct('=')))
+        }
+        Some(TokKind::Punct('+' | '-' | '*')) => {
+            matches!(toks.get(at + 1).map(|t| &t.kind), Some(TokKind::Punct('=')))
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call<'m>(m: &'m FileModel, name: &str) -> &'m CallSite {
+        m.calls
+            .iter()
+            .find(|c| c.callee == name)
+            .unwrap_or_else(|| panic!("no call {name}"))
+    }
+
+    #[test]
+    fn closure_scopes_attribute_to_their_call() {
+        let src = "block.run_warps(|w| {\n    w.range(\"scan\", |w| {\n        w.issue(1);\n    });\n});\n";
+        let m = build_model(src);
+        let issue = call(&m, "issue");
+        assert!(issue.inside_closure_of("run_warps"));
+        assert!(issue.inside_closure_of("range"));
+        let range = call(&m, "range");
+        assert!(range.inside_closure_of("run_warps"));
+        assert!(!range.inside_closure_of("range"));
+    }
+
+    #[test]
+    fn branch_conditions_capture_identifiers() {
+        let src =
+            "if w.warp_id == 0 {\n    block.sync();\n}\nwhile base < end {\n    w.issue(1);\n}\n";
+        let m = build_model(src);
+        let sync = call(&m, "sync");
+        let branch = sync.scopes.iter().find(|s| s.kind.is_branch()).expect("if");
+        assert!(branch.cond_idents.iter().any(|i| i == "warp_id"));
+        let issue = call(&m, "issue");
+        assert!(issue.in_loop());
+        let w = issue
+            .scopes
+            .iter()
+            .find(|s| s.kind.is_loop())
+            .expect("while");
+        assert_eq!(w.cond_idents, vec!["base", "end"]);
+    }
+
+    #[test]
+    fn else_branches_inherit_the_if_condition() {
+        let src = "if lane == 0 {\n    a();\n} else {\n    b();\n}\n";
+        let m = build_model(src);
+        let b = call(&m, "b");
+        let scope = b
+            .scopes
+            .iter()
+            .find(|s| s.kind == ScopeKind::Else)
+            .expect("else");
+        assert!(scope.cond_idents.iter().any(|i| i == "lane"));
+    }
+
+    #[test]
+    fn cfg_test_is_scoped_to_the_braced_item() {
+        let src = "\
+fn live() { a.read(0); }
+#[cfg(test)]
+mod tests {
+    fn t() { b.read(0); }
+}
+fn also_live() { c.read(0); }
+";
+        let m = build_model(src);
+        let reads: Vec<(&str, bool)> = m
+            .calls
+            .iter()
+            .filter(|c| c.callee == "read")
+            .map(|c| {
+                (
+                    if c.line <= 1 {
+                        "a"
+                    } else if c.line <= 4 {
+                        "b"
+                    } else {
+                        "c"
+                    },
+                    c.in_test,
+                )
+            })
+            .collect();
+        assert_eq!(reads, vec![("a", false), ("b", true), ("c", false)]);
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_items_does_not_leak() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn live() { x.read(0); }\n";
+        let m = build_model(src);
+        assert!(!call(&m, "read").in_test);
+    }
+
+    #[test]
+    fn regions_track_open_spans_and_problems() {
+        let src = "\
+// smem-lint: begin-allow(emu): charged in aggregate by the probe below
+x.read(0);
+// smem-lint: end-allow
+y.write(1, v);
+// panic-lint: end-allow
+";
+        let m = build_model(src);
+        assert_eq!(m.regions.len(), 1);
+        assert!(m.regions[0].closed);
+        assert_eq!(call(&m, "read").regions, vec![0]);
+        assert!(call(&m, "write").regions.is_empty());
+        assert_eq!(m.marker_issues.len(), 1);
+        assert_eq!(m.marker_issues[0].what, MarkerProblem::StrayEnd);
+        assert_eq!(m.marker_issues[0].prefix, "panic-lint");
+    }
+
+    #[test]
+    fn different_region_families_may_overlap() {
+        let src = "\
+// smem-lint: begin-allow(a): reason reason reason
+// panic-lint: begin-allow(b): reason reason reason
+x.read(0);
+// smem-lint: end-allow
+// panic-lint: end-allow
+";
+        let m = build_model(src);
+        assert!(m.marker_issues.is_empty());
+        assert_eq!(call(&m, "read").regions.len(), 2);
+    }
+
+    #[test]
+    fn counters_mutations_are_assignments_not_reads() {
+        let src = "\
+self.counters.issues += 1;
+let n = stats.counters.global_bytes;
+if counters.issues == 3 {}
+counters.barriers = 0;
+";
+        let m = build_model(src);
+        let fields: Vec<&str> = m.assigns.iter().map(|a| a.field.as_str()).collect();
+        assert_eq!(fields, vec!["issues", "barriers"]);
+    }
+
+    #[test]
+    fn macro_calls_keep_their_bang() {
+        let m = build_model("panic!(\"boom\");\nw.issue(1);\n");
+        assert!(m.calls.iter().any(|c| c.callee == "panic!"));
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let m = build_model("let v = x.unwrap_or(0);\n");
+        assert!(m.calls.iter().all(|c| c.callee != "unwrap"));
+        assert!(m.calls.iter().any(|c| c.callee == "unwrap_or"));
+    }
+}

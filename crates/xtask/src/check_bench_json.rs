@@ -11,7 +11,8 @@
 //!
 //! ```text
 //! cargo run -p xtask --bin check_bench_json -- \
-//!     experiments_output/BENCH_*.json [--trace trace.json ...]
+//!     experiments_output/BENCH_*.json [--trace trace.json ...] \
+//!     [--diag analyze.json ...]
 //! ```
 //!
 //! Positional arguments are validated as `bench.v1` reports
@@ -19,7 +20,9 @@
 //! [`bench::validate_latency_percentiles`] for rows carrying
 //! `p<N>_latency_s` values — non-negative and monotone in the
 //! percentile); each `--trace <path>` is validated as a chrome-trace
-//! ([`bench::validate_chrome_trace`]). Exit status is
+//! ([`bench::validate_chrome_trace`]); each `--diag <path>` is
+//! validated as a `diag.v1` analyzer report
+//! ([`xtask::analyze::diag::validate_diag`]). Exit status is
 //! non-zero when any file fails to read, parse, or validate, or when no
 //! files were given at all (an empty CI glob is itself a regression).
 
@@ -27,10 +30,12 @@ use std::fs;
 use std::process::ExitCode;
 
 use bench::{validate_chrome_trace, validate_latency_percentiles, validate_report, Json};
+use xtask::analyze::diag::validate_diag;
 
 enum Kind {
     Report,
     Trace,
+    Diag,
 }
 
 fn main() -> ExitCode {
@@ -38,11 +43,16 @@ fn main() -> ExitCode {
     let mut files: Vec<(String, Kind)> = Vec::new();
     let mut i = 0;
     while i < args.len() {
-        if args[i] == "--trace" {
+        if args[i] == "--trace" || args[i] == "--diag" {
+            let kind = if args[i] == "--trace" {
+                Kind::Trace
+            } else {
+                Kind::Diag
+            };
             match args.get(i + 1) {
-                Some(path) => files.push((path.clone(), Kind::Trace)),
+                Some(path) => files.push((path.clone(), kind)),
                 None => {
-                    eprintln!("error: --trace expects a path operand");
+                    eprintln!("error: {} expects a path operand", args[i]);
                     return ExitCode::FAILURE;
                 }
             }
@@ -53,7 +63,10 @@ fn main() -> ExitCode {
         }
     }
     if files.is_empty() {
-        eprintln!("check_bench_json: no files given (pass bench.v1 paths and/or --trace paths)");
+        eprintln!(
+            "check_bench_json: no files given (pass bench.v1 paths, --trace paths, \
+             and/or --diag paths)"
+        );
         return ExitCode::FAILURE;
     }
 
@@ -109,6 +122,19 @@ fn check_file(path: &str, kind: &Kind) -> Result<String, String> {
                 .and_then(Json::as_arr)
                 .map_or(0, <[Json]>::len);
             Ok(format!("chrome-trace, {events} events"))
+        }
+        Kind::Diag => {
+            validate_diag(&text)?;
+            let name = json
+                .get("name")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string();
+            let findings = json
+                .get("findings")
+                .and_then(Json::as_arr)
+                .map_or(0, <[Json]>::len);
+            Ok(format!("diag.v1 report {name:?}, {findings} finding(s)"))
         }
     }
 }

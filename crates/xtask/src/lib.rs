@@ -1,0 +1,10 @@
+//! Repo automation for the workspace: the static kernel analyzer and
+//! its `diag.v1` report format.
+//!
+//! The binaries (`analyze`, `check_bench_json`, `compare_bench`) are
+//! thin CLI shells; the analyzer itself lives here so the fixture suite
+//! in `tests/analyze.rs` can drive the same code CI gates on.
+
+#![deny(missing_docs)]
+
+pub mod analyze;

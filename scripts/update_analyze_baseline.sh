@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Refreshes the committed static-analysis suppression baseline.
+#
+# Run this when a PR intentionally accepts an analyzer finding (rare —
+# prefer a real fix or a documented allow region), or when fixing code
+# has left baseline entries stale. Then commit the resulting
+# experiments_output/ANALYZE_baseline.json diff; the reviewed diff IS
+# the acceptance decision, exactly like the perf-gate baseline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --locked -p xtask --bin analyze -- --write-baseline
+
+echo "Refreshed experiments_output/ANALYZE_baseline.json — review and commit the diff."
