@@ -26,13 +26,18 @@ use datasets::DatasetProfile;
 use gpu_sim::Device;
 use neighbors::{MultiDevice, NearestNeighbors};
 use semiring::Distance;
-use sparse_dist::{replay_rows, ServeConfig, ServeEngine, ServeReport};
+use sparse_dist::{replay_rows, MetricsRegistry, ServeConfig, ServeEngine, ServeReport, SloBudget};
 
 /// Simulated gap between request arrivals. Zero means a burst
 /// (closed-load) replay: every request is queued at t=0, the device
 /// never idles waiting for arrivals, and QPS measures execution
 /// throughput rather than arrival spacing.
 const ARRIVAL_GAP_S: f64 = 0.0;
+
+/// The p99 latency SLO both modes are assessed against (burst replays
+/// queue everything at t=0, so per-query mode burns its budget hard —
+/// exactly the signal ROADMAP item 4's admission control will read).
+const SLO_TARGET_P99_S: f64 = 500e-6;
 
 fn describe(mode: &str, r: &ServeReport<f32>) -> String {
     format!(
@@ -53,7 +58,11 @@ fn push_row(
     mode: &str,
     devices: usize,
     r: &ServeReport<f32>,
+    m: &MetricsRegistry,
 ) {
+    // Cache and occupancy values come from the engine's deterministic
+    // metrics registry (not recomputed here), so the bench.v1 rows and
+    // a `--metrics` snapshot of the same replay can never disagree.
     report.push(
         MetricRow::new()
             .label("dataset", dataset)
@@ -67,9 +76,24 @@ fn push_row(
             .value("batches", r.batches as f64)
             .value("served", r.responses.len() as f64)
             .value("rejected", r.rejected.len() as f64)
-            .value("cache_hits", r.cache.hits as f64)
-            .value("cache_misses", r.cache.misses as f64)
-            .value("cache_evictions", r.cache.evictions as f64),
+            .value("cache_hits", m.counter("serve.cache_hits_total") as f64)
+            .value("cache_misses", m.counter("serve.cache_misses_total") as f64)
+            .value(
+                "cache_evictions",
+                m.counter("serve.cache_evictions_total") as f64,
+            )
+            .value(
+                "batch_occupancy",
+                m.gauge("serve.batch_occupancy").unwrap_or(0.0),
+            )
+            .value(
+                "slo_breaches",
+                m.counter("serve.d0.slo_breaches_total") as f64,
+            )
+            .value(
+                "slo_budget_burn",
+                m.gauge("serve.d0.slo_budget_burn").unwrap_or(0.0),
+            ),
     );
 }
 
@@ -100,7 +124,7 @@ fn main() {
         // backpressure, so the queue must outsize the stream.
         let max_queue = requests.len() + 1;
 
-        let per_query = ServeEngine::new(
+        let mut per_query_engine = ServeEngine::new(
             multi.clone(),
             ServeConfig {
                 k,
@@ -110,12 +134,21 @@ fn main() {
                 per_query_prepare: true,
             },
         )
-        .replay(std::slice::from_ref(&nn), &requests)
-        .expect("per-query replay runs");
+        .with_slo(0, SloBudget::p99(SLO_TARGET_P99_S));
+        let per_query = per_query_engine
+            .replay(std::slice::from_ref(&nn), &requests)
+            .expect("per-query replay runs");
         println!("{:<14} {}", profile.name, describe("per_query", &per_query));
-        push_row(&mut report, profile.name, "per_query", devices, &per_query);
+        push_row(
+            &mut report,
+            profile.name,
+            "per_query",
+            devices,
+            &per_query,
+            per_query_engine.metrics(),
+        );
 
-        let cached = ServeEngine::new(
+        let mut cached_engine = ServeEngine::new(
             multi.clone(),
             ServeConfig {
                 k,
@@ -125,10 +158,37 @@ fn main() {
                 per_query_prepare: false,
             },
         )
-        .replay(std::slice::from_ref(&nn), &requests)
-        .expect("cached replay runs");
+        .with_slo(0, SloBudget::p99(SLO_TARGET_P99_S));
+        let cached = cached_engine
+            .replay(std::slice::from_ref(&nn), &requests)
+            .expect("cached replay runs");
         println!("{:<14} {}", profile.name, describe("cached", &cached));
-        push_row(&mut report, profile.name, "cached", devices, &cached);
+        push_row(
+            &mut report,
+            profile.name,
+            "cached",
+            devices,
+            &cached,
+            cached_engine.metrics(),
+        );
+
+        // The registry's histogram percentiles must agree with the
+        // exact sort-based percentiles to within one log-bucket width.
+        for (engine, r) in [(&per_query_engine, &per_query), (&cached_engine, &cached)] {
+            let hist = engine
+                .metrics()
+                .histogram("serve.latency_s")
+                .expect("latency histogram recorded");
+            for p in [50.0, 99.0] {
+                let exact = r.latency_percentile(p);
+                let bucketed = hist.percentile(p);
+                let limit = (exact * sparse_dist::HIST_GROWTH).max(sparse_dist::HIST_MIN);
+                assert!(
+                    exact <= bucketed && bucketed <= limit,
+                    "histogram p{p} {bucketed} disagrees with exact {exact}"
+                );
+            }
+        }
 
         let speedup = if per_query.qps() > 0.0 {
             cached.qps() / per_query.qps()

@@ -22,8 +22,8 @@ pub mod runner;
 pub mod suite;
 
 pub use report::{
-    validate_chrome_trace, validate_latency_percentiles, validate_report, BenchReport, Json,
-    MetricRow,
+    validate_chrome_trace, validate_latency_percentiles, validate_metrics, validate_report,
+    BenchReport, Json, MetricRow,
 };
 // Re-exported so sibling tooling (xtask's diag.v1 writer) escapes JSON
 // strings with the exact same rules as the bench.v1 writers.

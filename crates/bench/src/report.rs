@@ -642,6 +642,149 @@ pub fn validate_chrome_trace(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates a `metrics.v1` document as produced by the serving
+/// layer's `MetricsSnapshot::to_json`: schema tag, non-empty name, a
+/// `counters` object of non-negative integers, a `gauges` object of
+/// finite numbers, and a `histograms` array where every entry carries
+/// `name`/`count`/`sum`/`overflow`/`p50`/`p99` plus a `buckets` array
+/// of `{i, le, count}` objects with strictly increasing indices and
+/// edges whose counts (plus overflow) sum to `count`. Both object key
+/// sets and the histogram names must be strictly sorted — the writer
+/// is canonical, and canonical order is what makes snapshots
+/// byte-comparable.
+pub fn validate_metrics(text: &str) -> Result<(), String> {
+    let doc = Json::parse(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing \"schema\"")?;
+    if schema != "metrics.v1" {
+        return Err(format!("schema {schema:?}, expected \"metrics.v1\""));
+    }
+    let name = doc
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("missing \"name\"")?;
+    if name.is_empty() {
+        return Err("empty \"name\"".to_string());
+    }
+    let counters = doc
+        .get("counters")
+        .and_then(Json::as_obj)
+        .ok_or("missing \"counters\" object")?;
+    let mut prev: Option<&str> = None;
+    for (k, v) in counters {
+        if prev.is_some_and(|p| p >= k.as_str()) {
+            return Err(format!("counters not strictly sorted at {k:?}"));
+        }
+        prev = Some(k);
+        match v.as_f64() {
+            Some(n) if n.is_finite() && n >= 0.0 && n.fract() == 0.0 => {}
+            _ => return Err(format!("counter {k:?} is not a non-negative integer")),
+        }
+    }
+    let gauges = doc
+        .get("gauges")
+        .and_then(Json::as_obj)
+        .ok_or("missing \"gauges\" object")?;
+    let mut prev: Option<&str> = None;
+    for (k, v) in gauges {
+        if prev.is_some_and(|p| p >= k.as_str()) {
+            return Err(format!("gauges not strictly sorted at {k:?}"));
+        }
+        prev = Some(k);
+        match v.as_f64() {
+            Some(n) if n.is_finite() => {}
+            _ => return Err(format!("gauge {k:?} is not a finite number")),
+        }
+    }
+    let hists = doc
+        .get("histograms")
+        .and_then(Json::as_arr)
+        .ok_or("missing \"histograms\" array")?;
+    let mut prev_name: Option<String> = None;
+    for (i, h) in hists.iter().enumerate() {
+        let hname = h
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("histogram {i}: missing \"name\""))?;
+        if prev_name.as_deref().is_some_and(|p| p >= hname) {
+            return Err(format!("histograms not strictly sorted at {hname:?}"));
+        }
+        prev_name = Some(hname.to_string());
+        let int_field = |key: &str| -> Result<u64, String> {
+            match h.get(key).and_then(Json::as_f64) {
+                Some(n) if n.is_finite() && n >= 0.0 && n.fract() == 0.0 => Ok(n as u64),
+                _ => Err(format!(
+                    "histogram {hname:?}: {key:?} is not a non-negative integer"
+                )),
+            }
+        };
+        let count = int_field("count")?;
+        let overflow = int_field("overflow")?;
+        for key in ["sum", "p50", "p99"] {
+            match h.get(key).and_then(Json::as_f64) {
+                Some(n) if n.is_finite() => {}
+                _ => {
+                    return Err(format!(
+                        "histogram {hname:?}: {key:?} is not a finite number"
+                    ))
+                }
+            }
+        }
+        let (p50, p99) = (
+            h.get("p50").and_then(Json::as_f64).unwrap_or(0.0),
+            h.get("p99").and_then(Json::as_f64).unwrap_or(0.0),
+        );
+        if p50 > p99 {
+            return Err(format!("histogram {hname:?}: p50 {p50} exceeds p99 {p99}"));
+        }
+        let buckets = h
+            .get("buckets")
+            .and_then(Json::as_arr)
+            .ok_or(format!("histogram {hname:?}: missing \"buckets\" array"))?;
+        let mut total = overflow;
+        let mut prev_le = f64::NEG_INFINITY;
+        let mut prev_i = -1i64;
+        for (j, b) in buckets.iter().enumerate() {
+            let idx = b
+                .get("i")
+                .and_then(Json::as_f64)
+                .ok_or(format!("histogram {hname:?}: bucket {j} missing \"i\""))?;
+            if (idx as i64) <= prev_i {
+                return Err(format!(
+                    "histogram {hname:?}: bucket indices not increasing at {j}"
+                ));
+            }
+            prev_i = idx as i64;
+            let le = b
+                .get("le")
+                .and_then(Json::as_f64)
+                .ok_or(format!("histogram {hname:?}: bucket {j} missing \"le\""))?;
+            if !le.is_finite() || le <= prev_le {
+                return Err(format!(
+                    "histogram {hname:?}: bucket edges not increasing at {j}"
+                ));
+            }
+            prev_le = le;
+            match b.get("count").and_then(Json::as_f64) {
+                Some(n) if n.is_finite() && n >= 1.0 && n.fract() == 0.0 => total += n as u64,
+                _ => {
+                    return Err(format!(
+                        "histogram {hname:?}: bucket {j} count is not a positive integer"
+                    ))
+                }
+            }
+        }
+        if total != count {
+            return Err(format!(
+                "histogram {hname:?}: bucket counts sum to {total}, count says {count}"
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -821,5 +964,55 @@ mod tests {
         let mut rep = BenchReport::new("bad");
         rep.push(MetricRow::new().value("x", f64::NAN));
         let _ = rep.to_json();
+    }
+
+    #[test]
+    fn metrics_validator_accepts_canonical_documents() {
+        let good = "{\"schema\":\"metrics.v1\",\"name\":\"unit\",\
+            \"counters\":{\"a_total\":2,\"b_total\":0},\
+            \"gauges\":{\"qps\":12.5},\
+            \"histograms\":[{\"name\":\"lat\",\"count\":3,\"sum\":0.5,\
+            \"overflow\":1,\"p50\":1e-7,\"p99\":2e-7,\
+            \"buckets\":[{\"i\":0,\"le\":1e-7,\"count\":1},\
+            {\"i\":4,\"le\":2e-7,\"count\":1}]}]}";
+        validate_metrics(good).expect("valid");
+    }
+
+    #[test]
+    fn metrics_validator_rejects_structural_breakage() {
+        let wrong_schema = "{\"schema\":\"bench.v1\",\"name\":\"x\",\
+            \"counters\":{},\"gauges\":{},\"histograms\":[]}";
+        assert!(validate_metrics(wrong_schema)
+            .unwrap_err()
+            .contains("schema"));
+        let unsorted = "{\"schema\":\"metrics.v1\",\"name\":\"x\",\
+            \"counters\":{\"b\":1,\"a\":1},\"gauges\":{},\"histograms\":[]}";
+        assert!(validate_metrics(unsorted).unwrap_err().contains("sorted"));
+        let fractional = "{\"schema\":\"metrics.v1\",\"name\":\"x\",\
+            \"counters\":{\"a\":1.5},\"gauges\":{},\"histograms\":[]}";
+        assert!(validate_metrics(fractional)
+            .unwrap_err()
+            .contains("integer"));
+        let bad_sum = "{\"schema\":\"metrics.v1\",\"name\":\"x\",\
+            \"counters\":{},\"gauges\":{},\
+            \"histograms\":[{\"name\":\"h\",\"count\":5,\"sum\":0.0,\
+            \"overflow\":0,\"p50\":0.0,\"p99\":0.0,\
+            \"buckets\":[{\"i\":0,\"le\":1e-7,\"count\":2}]}]}";
+        assert!(validate_metrics(bad_sum).unwrap_err().contains("sum to"));
+        let bad_edges = "{\"schema\":\"metrics.v1\",\"name\":\"x\",\
+            \"counters\":{},\"gauges\":{},\
+            \"histograms\":[{\"name\":\"h\",\"count\":2,\"sum\":0.0,\
+            \"overflow\":0,\"p50\":0.0,\"p99\":0.0,\
+            \"buckets\":[{\"i\":0,\"le\":2e-7,\"count\":1},\
+            {\"i\":1,\"le\":1e-7,\"count\":1}]}]}";
+        assert!(validate_metrics(bad_edges).unwrap_err().contains("edges"));
+        let p_inverted = "{\"schema\":\"metrics.v1\",\"name\":\"x\",\
+            \"counters\":{},\"gauges\":{},\
+            \"histograms\":[{\"name\":\"h\",\"count\":1,\"sum\":0.0,\
+            \"overflow\":0,\"p50\":2.0,\"p99\":1.0,\
+            \"buckets\":[{\"i\":0,\"le\":1e-7,\"count\":1}]}]}";
+        assert!(validate_metrics(p_inverted)
+            .unwrap_err()
+            .contains("exceeds"));
     }
 }

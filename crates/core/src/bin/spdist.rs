@@ -20,6 +20,16 @@
 //! measured against). Answers are byte-identical to `spdist knn` on the
 //! same operands; throughput and latency percentiles go to stderr.
 //!
+//! Serving telemetry (DESIGN §13): `--metrics` prints a
+//! Prometheus-style snapshot of the engine's deterministic metrics
+//! registry to stderr, `--metrics=out.json` writes the self-validating
+//! `metrics.v1` document instead; `--trace-requests[=trace.json]`
+//! summarizes (or exports as chrome://tracing JSON) the per-request
+//! spans — enqueue → batch-admit → cache hit/miss → prepare →
+//! per-shard launch → retry/degrade → merge → reply. `--slo-p99-us <f>`
+//! sets a p99 latency SLO on the served dataset; breach counts and
+//! error-budget burn land in the summary and the snapshot.
+//!
 //! Unknown flags, misspelled flags, and flags missing their value are
 //! config errors (exit 2) — never silently ignored.
 //!
@@ -49,9 +59,9 @@
 use semiring::{Distance, DistanceParams};
 use sparse::{read_matrix_market, write_matrix_market, CsrMatrix, DegreeStats};
 use sparse_dist::{
-    chrome_trace, kneighbors_graph, replay_rows, Device, GraphMode, LaunchStats, MultiDevice,
-    NearestNeighbors, PairwiseOptions, ResiliencePolicy, ResilienceReport, ServeConfig,
-    ServeEngine, SmemMode, Strategy,
+    chrome_trace, kneighbors_graph, replay_rows, request_chrome_trace, Device, GraphMode,
+    LaunchStats, MultiDevice, NearestNeighbors, PairwiseOptions, ResiliencePolicy,
+    ResilienceReport, ServeConfig, ServeEngine, SloBudget, SmemMode, Strategy,
 };
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -107,6 +117,9 @@ impl std::fmt::Display for CliError {
 struct FlagSpec {
     values: &'static [&'static str],
     switches: &'static [&'static str],
+    /// Flags taking an *optional* `=value` (`--metrics` or
+    /// `--metrics=out.json`), like the profiler's `--profile` form.
+    optionals: &'static [&'static str],
     profiler: bool,
 }
 
@@ -125,7 +138,7 @@ const COMMON_SWITCHES: &[&str] = &["--resilience", "--no-fallback"];
 
 impl FlagSpec {
     fn for_command(cmd: &str) -> Option<Self> {
-        let (values, switches, profiler): (&[&str], &[&str], bool) = match cmd {
+        let (values, switches, optionals, profiler): (&[&str], &[&str], &[&str], bool) = match cmd {
             "knn" => (
                 &[
                     "--input",
@@ -136,9 +149,10 @@ impl FlagSpec {
                     "--graph",
                 ],
                 &["--fused"],
+                &[],
                 true,
             ),
-            "pairwise" => (&["--input", "--index", "--output"], &[], true),
+            "pairwise" => (&["--input", "--index", "--output"], &[], &[], true),
             "serve" => (
                 &[
                     "--input",
@@ -150,19 +164,27 @@ impl FlagSpec {
                     "--max-queue",
                     "--arrival-gap-us",
                     "--cache-budget-mb",
+                    "--slo-p99-us",
                     "--output",
                 ],
                 &["--per-query-prepare"],
+                &["--metrics", "--trace-requests"],
                 false,
             ),
-            "info" => (&["--input"], &[], false),
-            "gen" => (&["--profile", "--scale", "--seed", "--output"], &[], false),
-            "profile" => (&["--input", "--replica", "--seed"], &[], false),
+            "info" => (&["--input"], &[], &[], false),
+            "gen" => (
+                &["--profile", "--scale", "--seed", "--output"],
+                &[],
+                &[],
+                false,
+            ),
+            "profile" => (&["--input", "--replica", "--seed"], &[], &[], false),
             _ => return None,
         };
         Some(Self {
             values,
             switches,
+            optionals,
             profiler,
         })
     }
@@ -174,6 +196,7 @@ impl FlagSpec {
 struct Args {
     values: Vec<(String, String)>,
     switches: Vec<String>,
+    optionals: Vec<(String, Option<String>)>,
     profile: Option<Option<String>>,
 }
 
@@ -191,6 +214,7 @@ impl Args {
         let mut args = Self {
             values: Vec::new(),
             switches: Vec::new(),
+            optionals: Vec::new(),
             profile: None,
         };
         let mut i = 0;
@@ -210,6 +234,22 @@ impl Args {
                 return Err(CliError::config(format!(
                     "unknown flag --profile= for {cmd}"
                 )));
+            }
+            if let Some(name) = spec
+                .optionals
+                .iter()
+                .find(|n| tok == **n || tok.strip_prefix(**n).is_some_and(|r| r.starts_with('=')))
+            {
+                let value = tok.strip_prefix(*name).and_then(|r| r.strip_prefix('='));
+                if value == Some("") {
+                    return Err(CliError::config(format!(
+                        "empty path in {name}= (use bare {name} or {name}=<file>)"
+                    )));
+                }
+                args.optionals
+                    .push((name.to_string(), value.map(str::to_string)));
+                i += 1;
+                continue;
             }
             if !tok.starts_with("--") {
                 return Err(CliError::config(format!(
@@ -258,6 +298,16 @@ impl Args {
     /// `Some(None)` = report only, `Some(Some(path))` = report + trace.
     fn profile(&self) -> Option<Option<String>> {
         self.profile.clone()
+    }
+
+    /// An optional-value flag (`--metrics[=path]` shape): `None` = flag
+    /// absent, `Some(None)` = bare form, `Some(Some(path))` = with a
+    /// destination path.
+    fn optional(&self, name: &str) -> Option<Option<&str>> {
+        self.optionals
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_deref())
     }
 }
 
@@ -646,6 +696,15 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
             .map_err(|_| CliError::config(format!("bad --cache-budget-mb {mb}")))?;
         engine = engine.with_cache_budget(mb * 1024 * 1024);
     }
+    if let Some(us) = args.flag("--slo-p99-us") {
+        let us: f64 = us
+            .parse()
+            .map_err(|_| CliError::config(format!("bad --slo-p99-us {us}")))?;
+        if !(us > 0.0 && us.is_finite()) {
+            return Err(CliError::config(format!("bad --slo-p99-us {us}")));
+        }
+        engine.set_slo(0, SloBudget::p99(us * 1e-6));
+    }
     let requests = replay_rows(&queries, gap_us * 1e-6);
     let report = engine
         .replay(std::slice::from_ref(&nn), &requests)
@@ -672,6 +731,57 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     );
     if show_resilience {
         eprintln!("resilience: policy active on every served batch");
+    }
+    for s in &report.slo {
+        eprintln!(
+            "spdist: slo d{}: target p99 {:.1} us, {}/{} breach(es), \
+             burn {:.2} (worst window {:.2})",
+            s.dataset,
+            s.budget.target_p99_s * 1e6,
+            s.breaches,
+            s.requests,
+            s.budget_burn(),
+            s.worst_window_burn(),
+        );
+    }
+    if let Some(dest) = args.optional("--metrics") {
+        let snap = engine.metrics().snapshot("spdist_serve");
+        match dest {
+            Some(path) => {
+                std::fs::write(path, snap.to_json())
+                    .map_err(|e| CliError::input(format!("cannot write {path}: {e}")))?;
+                eprintln!(
+                    "spdist: wrote metrics.v1 snapshot ({} counters, {} gauges, \
+                     {} histograms) to {path}",
+                    snap.counters.len(),
+                    snap.gauges.len(),
+                    snap.histograms.len()
+                );
+            }
+            None => eprint!("{}", snap.to_prometheus()),
+        }
+    }
+    if let Some(dest) = args.optional("--trace-requests") {
+        match dest {
+            Some(path) => {
+                std::fs::write(path, request_chrome_trace(&report.spans))
+                    .map_err(|e| CliError::input(format!("cannot write {path}: {e}")))?;
+                eprintln!(
+                    "spdist: wrote request trace with {} span(s) to {path} \
+                     (load in Perfetto / chrome://tracing)",
+                    report.spans.len()
+                );
+            }
+            None => {
+                let terminal = report.spans.iter().filter(|s| s.is_terminal()).count();
+                eprintln!(
+                    "spdist: traced {} request span(s), {} terminal \
+                     (pass --trace-requests=trace.json to export)",
+                    report.spans.len(),
+                    terminal
+                );
+            }
+        }
     }
 
     let mut responses: Vec<_> = report.responses.iter().collect();

@@ -34,8 +34,8 @@ pub mod api;
 pub mod validate;
 
 pub use gpu_sim::{
-    chrome_trace, CheckerKind, Device, DeviceSpec, LaunchProfile, LaunchStats, SanitizerMode,
-    SanitizerReport, SimError,
+    chrome_trace, chrome_trace_envelope, CheckerKind, Device, DeviceSpec, LaunchProfile,
+    LaunchStats, SanitizerMode, SanitizerReport, SimError,
 };
 pub use kernels::{
     FallbackCascade, KernelError, MemoryFootprint, PairwiseOptions, PairwiseResult,
@@ -46,9 +46,12 @@ pub use neighbors::{
     Selection,
 };
 pub use semiring::{Distance, DistanceParams, Family, Monoid, Semiring};
+pub use serve::metrics::{HIST_GROWTH, HIST_MIN};
 pub use serve::{
-    fingerprint, replay_rows, CacheStats, PreparedCache, Request, Response, ServeConfig,
-    ServeEngine, ServeReport,
+    fingerprint, nearest_rank, replay_rows, request_chrome_trace, CacheOutcome, CacheStats,
+    LogHistogram, MetricsRegistry, MetricsSnapshot, PreparedCache, Request, RequestSpan,
+    RequestTraces, Response, ServeConfig, ServeEngine, ServeReport, SloBudget, SloReport,
+    SpanEvent,
 };
 pub use validate::{validate_input, InputError};
 

@@ -402,6 +402,17 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
+/// Wraps pre-rendered `trace_event` objects in the chrome://tracing
+/// envelope. Shared by the kernel profiler's [`chrome_trace`] and
+/// downstream exporters (the serving layer's per-request trace), so
+/// every trace the workspace writes opens in Perfetto the same way.
+pub fn chrome_trace_envelope(events: &[String]) -> String {
+    format!(
+        "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\"}}",
+        events.join(",")
+    )
+}
+
 /// Serializes a launch sequence's profiles as chrome://tracing
 /// `trace_event` JSON, loadable in Perfetto.
 ///
@@ -440,10 +451,7 @@ pub fn chrome_trace(launches: &[LaunchStats]) -> String {
         }
         offset_us += p.cost.total_seconds * 1e6;
     }
-    format!(
-        "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\"}}",
-        events.join(",")
-    )
+    chrome_trace_envelope(&events)
 }
 
 #[cfg(test)]

@@ -33,6 +33,18 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
+/// The outcome of one cache lookup, consumed by the request engine's
+/// span events and metrics registry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheOutcome {
+    /// Whether the lookup was answered from the cache.
+    pub hit: bool,
+    /// Entries evicted by this lookup (0 on hits).
+    pub evictions: u64,
+    /// Simulated seconds spent warming norms (0.0 on hits).
+    pub warm_seconds: f64,
+}
+
 struct CacheEntry<T> {
     key: CacheKey,
     shards: Arc<PreparedShards<T>>,
@@ -120,6 +132,26 @@ impl<T: Real> PreparedCache<T> {
         nn: &NearestNeighbors<T>,
         multi: &MultiDevice,
     ) -> Result<(Arc<PreparedShards<T>>, f64), KernelError> {
+        let (shards, outcome) = self.lookup(nn, multi)?;
+        Ok((shards, outcome.warm_seconds))
+    }
+
+    /// [`Self::get_or_prepare`] with a full [`CacheOutcome`] — the
+    /// request engine uses this to emit cache hit/miss span events and
+    /// per-lookup eviction counts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors from the norm-warming launches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nn` has not been fitted.
+    pub fn lookup(
+        &mut self,
+        nn: &NearestNeighbors<T>,
+        multi: &MultiDevice,
+    ) -> Result<(Arc<PreparedShards<T>>, CacheOutcome), KernelError> {
         let index = nn.index().expect("fit() the estimator before serving");
         let key = CacheKey {
             fingerprint: fingerprint(index),
@@ -132,22 +164,38 @@ impl<T: Real> PreparedCache<T> {
             let shards = Arc::clone(&entry.shards);
             self.entries.push(entry);
             self.stats.hits += 1;
-            return Ok((shards, 0.0));
+            return Ok((
+                shards,
+                CacheOutcome {
+                    hit: true,
+                    evictions: 0,
+                    warm_seconds: 0.0,
+                },
+            ));
         }
         self.stats.misses += 1;
         let shards = Arc::new(nn.prepare_shards(multi));
         let (warm_seconds, _) = nn.warm_shards(&shards)?;
         let bytes = shards.device_bytes();
+        let mut evictions = 0u64;
         while !self.entries.is_empty() && self.resident_bytes() + bytes > self.budget_bytes {
             self.entries.remove(0);
             self.stats.evictions += 1;
+            evictions += 1;
         }
         self.entries.push(CacheEntry {
             key,
             shards: Arc::clone(&shards),
             bytes,
         });
-        Ok((shards, warm_seconds))
+        Ok((
+            shards,
+            CacheOutcome {
+                hit: false,
+                evictions,
+                warm_seconds,
+            },
+        ))
     }
 }
 

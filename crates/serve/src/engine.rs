@@ -12,6 +12,15 @@
 //! [`ServeConfig::max_queue`], which is the backpressure signal a real
 //! front-end would surface as HTTP 429.
 //!
+//! Observability: every replay threads a [`RequestTraces`] collector
+//! through the event loop (enqueue → batch-admit → cache hit/miss →
+//! prepare → per-shard launch → retry/degrade → merge → reply) and
+//! folds the outcome into the engine's [`MetricsRegistry`] — counters,
+//! gauges, latency histograms, and per-dataset SLO burn (DESIGN §13).
+//! Both are pure functions of the request set, so snapshots and traces
+//! are byte-identical across host-thread counts and arrival
+//! permutations.
+//!
 //! Determinism: batching only changes *when* a query runs and *which
 //! rows share a tile*, and per-row results are independent of tile
 //! composition (DESIGN §10); the engine funnels into the same execution
@@ -19,9 +28,13 @@
 //! byte-identical to the one-shot answer for the same query row.
 
 use crate::cache::{CacheStats, PreparedCache};
+use crate::metrics::{percentile_sorted, MetricsRegistry};
+use crate::slo::{assess, SloBudget, SloReport};
+use crate::span::{RequestSpan, RequestTraces, SpanEvent};
 use kernels::KernelError;
 use neighbors::{MultiDevice, NearestNeighbors};
 use sparse::{CsrMatrix, Idx, Real};
+use std::collections::BTreeMap;
 
 /// Batching and admission knobs for the request engine.
 #[derive(Debug, Clone, Copy)]
@@ -110,6 +123,12 @@ pub struct ServeReport<T> {
     pub makespan_s: f64,
     /// Cache counters accumulated during this replay.
     pub cache: CacheStats,
+    /// Per-request spans in canonical `(arrival_s, id)` order; every
+    /// span ends in a terminal event (reply or rejection).
+    pub spans: Vec<RequestSpan>,
+    /// SLO assessments for datasets with a configured
+    /// [`SloBudget`] (see [`ServeEngine::set_slo`]), in dataset order.
+    pub slo: Vec<SloReport>,
 }
 
 impl<T> ServeReport<T> {
@@ -122,16 +141,19 @@ impl<T> ServeReport<T> {
         }
     }
 
-    /// The `p`-th latency percentile (nearest-rank) in simulated
-    /// seconds, or 0.0 with no served responses.
+    /// The `p`-th latency percentile in simulated seconds, using the
+    /// workspace-wide nearest-rank definition
+    /// ([`crate::metrics::nearest_rank`]) — the same rank rule the
+    /// `metrics.v1` histograms apply, so the stderr summary and the
+    /// registry always agree to within one histogram bucket width.
+    ///
+    /// Defined for every input: 0.0 with no served responses, the
+    /// single latency with one. Never panics — simulated latencies are
+    /// finite by construction and sorting uses [`f64::total_cmp`].
     pub fn latency_percentile(&self, p: f64) -> f64 {
-        if self.responses.is_empty() {
-            return 0.0;
-        }
         let mut lat: Vec<f64> = self.responses.iter().map(Response::latency_s).collect();
-        lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-        let rank = ((p / 100.0) * lat.len() as f64).ceil().max(1.0) as usize;
-        lat[rank.min(lat.len()) - 1]
+        lat.sort_by(f64::total_cmp);
+        percentile_sorted(&lat, p)
     }
 }
 
@@ -151,15 +173,37 @@ fn vstack<T: Real>(rows: &[&CsrMatrix<T>], cols: usize) -> CsrMatrix<T> {
 }
 
 /// The serving loop: fitted estimators, a device pool, a prepared-index
-/// cache, and the batching configuration.
+/// cache, the batching configuration, and the metrics registry every
+/// replay folds its signals into.
 pub struct ServeEngine<T> {
     multi: MultiDevice,
     cache: PreparedCache<T>,
     config: ServeConfig,
+    metrics: MetricsRegistry,
+    slos: BTreeMap<usize, SloBudget>,
 }
 
 struct OpenBatch<T> {
     requests: Vec<Request<T>>,
+}
+
+/// Mutable state of one replay's event loop, bundled so
+/// [`ServeEngine::dispatch`] stays a readable call.
+struct ReplayState<T> {
+    open: Vec<OpenBatch<T>>,
+    responses: Vec<Response<T>>,
+    rejected: Vec<u64>,
+    /// (completion, count) of still-executing batches.
+    inflight: Vec<(f64, usize)>,
+    device_free_at: f64,
+    batches: usize,
+    busy_seconds: f64,
+    traces: RequestTraces,
+    retries: u64,
+    degrades: u64,
+    faults: u64,
+    shard_launches: u64,
+    prepares: u64,
 }
 
 impl<T: Real> ServeEngine<T> {
@@ -172,6 +216,8 @@ impl<T: Real> ServeEngine<T> {
             multi,
             cache,
             config,
+            metrics: MetricsRegistry::new(),
+            slos: BTreeMap::new(),
         }
     }
 
@@ -181,9 +227,30 @@ impl<T: Real> ServeEngine<T> {
         self
     }
 
+    /// Sets the latency SLO for `dataset` (builder form of
+    /// [`Self::set_slo`]).
+    pub fn with_slo(mut self, dataset: usize, budget: SloBudget) -> Self {
+        self.set_slo(dataset, budget);
+        self
+    }
+
+    /// Sets the latency SLO for `dataset`: subsequent replays assess
+    /// the budget over that dataset's responses, report it in
+    /// [`ServeReport::slo`], and record burn signals in the registry.
+    pub fn set_slo(&mut self, dataset: usize, budget: SloBudget) {
+        self.slos.insert(dataset, budget);
+    }
+
     /// The engine's cache statistics so far.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// The metrics registry accumulated over every replay so far.
+    /// Counters accumulate across replays; gauges reflect the most
+    /// recent replay; histograms accumulate observations.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Replays a request stream against `fitted` estimators (one per
@@ -203,30 +270,34 @@ impl<T: Real> ServeEngine<T> {
     ) -> Result<ServeReport<T>, KernelError> {
         let stats_before = self.cache.stats();
         let mut order: Vec<&Request<T>> = requests.iter().collect();
-        order.sort_by(|a, b| {
-            a.arrival_s
-                .partial_cmp(&b.arrival_s)
-                .expect("finite arrival times")
-                .then(a.id.cmp(&b.id))
-        });
+        order.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s).then(a.id.cmp(&b.id)));
 
-        let mut open: Vec<OpenBatch<T>> = (0..fitted.len())
-            .map(|_| OpenBatch {
-                requests: Vec::new(),
-            })
-            .collect();
-        let mut responses: Vec<Response<T>> = Vec::new();
-        let mut rejected: Vec<u64> = Vec::new();
-        let mut inflight: Vec<(f64, usize)> = Vec::new(); // (completion, count)
-        let mut device_free_at = 0.0f64;
-        let mut batches = 0usize;
-        let mut busy_seconds = 0.0f64;
+        let mut st = ReplayState {
+            open: (0..fitted.len())
+                .map(|_| OpenBatch {
+                    requests: Vec::new(),
+                })
+                .collect(),
+            responses: Vec::new(),
+            rejected: Vec::new(),
+            inflight: Vec::new(),
+            device_free_at: 0.0,
+            batches: 0,
+            busy_seconds: 0.0,
+            traces: RequestTraces::new(),
+            retries: 0,
+            degrades: 0,
+            faults: 0,
+            shard_launches: 0,
+            prepares: 0,
+        };
         let mut next = 0usize;
 
         loop {
             // The earliest forced dispatch: an open batch whose oldest
             // request hits its wait deadline. Ties break by dataset id.
-            let deadline = open
+            let deadline = st
+                .open
                 .iter()
                 .enumerate()
                 .filter_map(|(d, b)| {
@@ -234,22 +305,12 @@ impl<T: Real> ServeEngine<T> {
                         .first()
                         .map(|r| (r.arrival_s + self.config.max_wait_s, d))
                 })
-                .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
+                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             let arrival = order.get(next).map(|r| r.arrival_s);
 
             match (deadline, arrival) {
                 (Some((t, d)), Some(at)) if t <= at => {
-                    self.dispatch(
-                        fitted,
-                        &mut open,
-                        d,
-                        t,
-                        &mut device_free_at,
-                        &mut inflight,
-                        &mut responses,
-                        &mut batches,
-                        &mut busy_seconds,
-                    )?;
+                    self.dispatch(fitted, &mut st, d, t)?;
                 }
                 (_, Some(at)) => {
                     let r = order[next];
@@ -260,87 +321,137 @@ impl<T: Real> ServeEngine<T> {
                             b_cols: fitted.len(),
                         });
                     }
-                    inflight.retain(|&(done, _)| done > at);
-                    let backlog: usize = open.iter().map(|b| b.requests.len()).sum::<usize>()
-                        + inflight.iter().map(|&(_, n)| n).sum::<usize>();
+                    st.inflight.retain(|&(done, _)| done > at);
+                    let backlog: usize = st.open.iter().map(|b| b.requests.len()).sum::<usize>()
+                        + st.inflight.iter().map(|&(_, n)| n).sum::<usize>();
+                    st.traces.begin_request(r.id, r.dataset, r.arrival_s);
                     if backlog >= self.config.max_queue {
-                        rejected.push(r.id);
+                        st.rejected.push(r.id);
+                        st.traces.reject_request(r.id, at, backlog);
                         continue;
                     }
                     let d = r.dataset;
-                    open[d].requests.push(r.clone());
-                    if open[d].requests.len() >= self.config.max_batch {
-                        self.dispatch(
-                            fitted,
-                            &mut open,
-                            d,
-                            at,
-                            &mut device_free_at,
-                            &mut inflight,
-                            &mut responses,
-                            &mut batches,
-                            &mut busy_seconds,
-                        )?;
+                    st.open[d].requests.push(r.clone());
+                    if st.open[d].requests.len() >= self.config.max_batch {
+                        self.dispatch(fitted, &mut st, d, at)?;
                     }
                 }
                 (Some((t, d)), None) => {
-                    self.dispatch(
-                        fitted,
-                        &mut open,
-                        d,
-                        t,
-                        &mut device_free_at,
-                        &mut inflight,
-                        &mut responses,
-                        &mut batches,
-                        &mut busy_seconds,
-                    )?;
+                    self.dispatch(fitted, &mut st, d, t)?;
                 }
                 (None, None) => break,
             }
         }
 
-        responses.sort_by(|a, b| {
+        st.responses.sort_by(|a, b| {
             a.completion_s
-                .partial_cmp(&b.completion_s)
-                .expect("finite")
+                .total_cmp(&b.completion_s)
                 .then(a.id.cmp(&b.id))
         });
         let first_arrival = order.first().map(|r| r.arrival_s).unwrap_or(0.0);
-        let makespan_s = responses
+        let makespan_s = st
+            .responses
             .iter()
             .map(|r| r.completion_s)
             .fold(0.0f64, f64::max)
             - first_arrival;
         let after = self.cache.stats();
-        Ok(ServeReport {
-            responses,
-            rejected,
-            batches,
-            busy_seconds,
+        let mut report = ServeReport {
+            responses: st.responses,
+            rejected: st.rejected,
+            batches: st.batches,
+            busy_seconds: st.busy_seconds,
             makespan_s: makespan_s.max(0.0),
             cache: CacheStats {
                 hits: after.hits - stats_before.hits,
                 misses: after.misses - stats_before.misses,
                 evictions: after.evictions - stats_before.evictions,
             },
-        })
+            spans: st.traces.into_spans(),
+            slo: Vec::new(),
+        };
+        let counts = ReplayCounts {
+            retries: st.retries,
+            degrades: st.degrades,
+            faults: st.faults,
+            shard_launches: st.shard_launches,
+            prepares: st.prepares,
+        };
+        self.record_replay(&mut report, &counts);
+        Ok(report)
     }
 
-    #[allow(clippy::too_many_arguments)]
+    /// Folds one replay's outcome into the engine's registry and
+    /// assesses configured SLOs (filling [`ServeReport::slo`]).
+    fn record_replay(&mut self, report: &mut ServeReport<T>, extra: &ReplayCounts) {
+        let m = &mut self.metrics;
+        let served = report.responses.len() as u64;
+        m.inc(
+            "serve.requests_arrived_total",
+            served + report.rejected.len() as u64,
+        );
+        m.inc("serve.requests_served_total", served);
+        m.inc(
+            "serve.requests_rejected_total",
+            report.rejected.len() as u64,
+        );
+        m.inc("serve.batches_total", report.batches as u64);
+        m.inc("serve.cache_hits_total", report.cache.hits);
+        m.inc("serve.cache_misses_total", report.cache.misses);
+        m.inc("serve.cache_evictions_total", report.cache.evictions);
+        m.inc("serve.retries_total", extra.retries);
+        m.inc("serve.degrades_total", extra.degrades);
+        m.inc("serve.faults_absorbed_total", extra.faults);
+        m.inc("serve.shard_launches_total", extra.shard_launches);
+        m.inc("serve.prepares_total", extra.prepares);
+
+        let occupancy = if report.batches > 0 && self.config.max_batch > 0 {
+            served as f64 / (report.batches as f64 * self.config.max_batch as f64)
+        } else {
+            0.0
+        };
+        m.set_gauge("serve.batch_occupancy", occupancy);
+        m.set_gauge("serve.qps", report.qps());
+        m.set_gauge("serve.busy_seconds", report.busy_seconds);
+        m.set_gauge("serve.makespan_s", report.makespan_s);
+        m.set_gauge(
+            "serve.cache_resident_bytes",
+            self.cache.resident_bytes() as f64,
+        );
+        m.set_gauge("serve.cache_budget_bytes", self.cache.budget_bytes() as f64);
+        m.set_gauge("serve.p50_latency_s", report.latency_percentile(50.0));
+        m.set_gauge("serve.p99_latency_s", report.latency_percentile(99.0));
+
+        // Histograms record in canonical (completion, id) order, so
+        // float sums are reproducible bit-for-bit.
+        for r in &report.responses {
+            m.observe("serve.latency_s", r.latency_s());
+            m.observe("serve.queue_wait_s", r.dispatch_s - r.arrival_s);
+            m.observe("serve.exec_s", r.completion_s - r.dispatch_s);
+            m.observe(&format!("serve.d{}.latency_s", r.dataset), r.latency_s());
+        }
+
+        for (&dataset, &budget) in &self.slos {
+            let pairs: Vec<(f64, f64)> = report
+                .responses
+                .iter()
+                .filter(|r| r.dataset == dataset)
+                .map(|r| (r.completion_s, r.latency_s()))
+                .collect();
+            let slo = assess(dataset, budget, &pairs);
+            slo.record(m);
+            report.slo.push(slo);
+        }
+    }
+
     fn dispatch(
         &mut self,
         fitted: &[NearestNeighbors<T>],
-        open: &mut [OpenBatch<T>],
+        st: &mut ReplayState<T>,
         dataset: usize,
         close_s: f64,
-        device_free_at: &mut f64,
-        inflight: &mut Vec<(f64, usize)>,
-        responses: &mut Vec<Response<T>>,
-        batches: &mut usize,
-        busy_seconds: &mut f64,
     ) -> Result<(), KernelError> {
-        let taken = std::mem::take(&mut open[dataset].requests);
+        let taken = std::mem::take(&mut st.open[dataset].requests);
         if taken.is_empty() {
             return Ok(());
         }
@@ -349,25 +460,125 @@ impl<T: Real> ServeEngine<T> {
         let rows: Vec<&CsrMatrix<T>> = taken.iter().map(|r| &r.row).collect();
         let batch_query = vstack(&rows, cols);
 
-        let (exec_seconds, result) = if self.config.per_query_prepare {
-            // Baseline mode: pay uploads + norms on every batch.
-            let r = nn.kneighbors_sharded(&self.multi, &batch_query, self.config.k)?;
-            (r.sim_seconds, r)
-        } else {
-            let (shards, warm_s) = self.cache.get_or_prepare(nn, &self.multi)?;
-            let r = nn.kneighbors_prepared(&shards, &batch_query, self.config.k)?;
-            (warm_s + r.sim_seconds, r)
-        };
+        let batch_id = st.batches;
+        for req in &taken {
+            st.traces.push_event(
+                req.id,
+                close_s,
+                SpanEvent::BatchAdmit {
+                    batch: batch_id,
+                    size: taken.len(),
+                },
+            );
+        }
 
-        let start_s = close_s.max(*device_free_at);
+        let start_s = close_s.max(st.device_free_at);
+        let mut prep_s = 0.0;
+        let result = if self.config.per_query_prepare {
+            // Baseline mode: pay uploads + norms on every batch (no
+            // cache involved, so no cache span events either).
+            st.prepares += 1;
+            nn.kneighbors_sharded(&self.multi, &batch_query, self.config.k)?
+        } else {
+            let (shards, outcome) = self.cache.lookup(nn, &self.multi)?;
+            for req in &taken {
+                if outcome.hit {
+                    st.traces.push_event(req.id, close_s, SpanEvent::CacheHit);
+                } else {
+                    st.traces.push_event(
+                        req.id,
+                        close_s,
+                        SpanEvent::CacheMiss {
+                            evictions: outcome.evictions,
+                        },
+                    );
+                    st.traces.push_event(
+                        req.id,
+                        start_s,
+                        SpanEvent::Prepare {
+                            seconds: outcome.warm_seconds,
+                        },
+                    );
+                }
+            }
+            if !outcome.hit {
+                st.prepares += 1;
+            }
+            prep_s = outcome.warm_seconds;
+            nn.kneighbors_prepared(&shards, &batch_query, self.config.k)?
+        };
+        let exec_seconds = prep_s + result.sim_seconds;
+
+        for (slot, secs) in result.per_device_seconds.iter().enumerate() {
+            st.shard_launches += 1;
+            for req in &taken {
+                st.traces.push_event(
+                    req.id,
+                    start_s,
+                    SpanEvent::ShardLaunch {
+                        shard: slot,
+                        device_slot: slot,
+                        seconds: *secs,
+                    },
+                );
+            }
+        }
+
+        let max_attempts = result
+            .resilience
+            .iter()
+            .map(|r| r.attempts)
+            .max()
+            .unwrap_or(1);
+        let batch_faults: usize = result
+            .resilience
+            .iter()
+            .map(|r| r.faults_absorbed.len())
+            .sum();
+        let downgraded = result.resilience.iter().find(|r| r.downgraded);
+        st.retries += result
+            .resilience
+            .iter()
+            .map(|r| r.attempts.saturating_sub(1) as u64)
+            .sum::<u64>();
+        st.degrades += result.resilience.iter().filter(|r| r.downgraded).count() as u64;
+        st.faults += batch_faults as u64;
+        if max_attempts > 1 || batch_faults > 0 {
+            for req in &taken {
+                st.traces.push_event(
+                    req.id,
+                    start_s,
+                    SpanEvent::Retry {
+                        attempts: max_attempts,
+                        faults: batch_faults,
+                    },
+                );
+            }
+        }
+        if let Some(r) = downgraded {
+            let strategy = format!("{:?}", r.final_strategy);
+            for req in &taken {
+                st.traces.push_event(
+                    req.id,
+                    start_s,
+                    SpanEvent::Degrade {
+                        strategy: strategy.clone(),
+                    },
+                );
+            }
+        }
+
         let completion_s = start_s + exec_seconds;
-        *device_free_at = completion_s;
-        *busy_seconds += exec_seconds;
-        *batches += 1;
-        inflight.push((completion_s, taken.len()));
+        st.device_free_at = completion_s;
+        st.busy_seconds += exec_seconds;
+        st.batches += 1;
+        st.inflight.push((completion_s, taken.len()));
 
         for (i, req) in taken.into_iter().enumerate() {
-            responses.push(Response {
+            st.traces.push_event(req.id, completion_s, SpanEvent::Merge);
+            st.traces
+                .finish_request(req.id, completion_s, completion_s - req.arrival_s);
+            st.responses.push(Response {
                 id: req.id,
                 dataset,
                 indices: result.indices[i].clone(),
@@ -379,6 +590,15 @@ impl<T: Real> ServeEngine<T> {
         }
         Ok(())
     }
+}
+
+/// Counters a replay accumulates outside the report itself.
+struct ReplayCounts {
+    retries: u64,
+    degrades: u64,
+    faults: u64,
+    shard_launches: u64,
+    prepares: u64,
 }
 
 /// Builds a fixed-gap replay stream over the rows of `query`: request

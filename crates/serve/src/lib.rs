@@ -24,13 +24,29 @@
 //! a one-shot [`neighbors::NearestNeighbors::kneighbors_sharded`] call
 //! over the same pool — independent of batch sizes, arrival order,
 //! host-thread count, cache evictions, or absorbed faults.
+//!
+//! Observability (DESIGN §13): every replay threads per-request spans
+//! ([`RequestTraces`]) through the event loop and folds counters,
+//! gauges, latency histograms, and SLO burn into a deterministic
+//! [`MetricsRegistry`], exported as `metrics.v1` JSON or a
+//! Prometheus-style text snapshot ([`MetricsSnapshot`]) and as a
+//! chrome://tracing per-request flame view
+//! ([`span::request_chrome_trace`]).
 
 #![deny(missing_docs)]
 
 pub mod cache;
 pub mod engine;
 pub mod fingerprint;
+pub mod metrics;
+pub mod slo;
+pub mod span;
 
-pub use cache::{CacheKey, CacheStats, PreparedCache};
+pub use cache::{CacheKey, CacheOutcome, CacheStats, PreparedCache};
 pub use engine::{replay_rows, Request, Response, ServeConfig, ServeEngine, ServeReport};
 pub use fingerprint::fingerprint;
+pub use metrics::{
+    nearest_rank, percentile_sorted, LogHistogram, MetricsRegistry, MetricsSnapshot,
+};
+pub use slo::{SloBudget, SloReport};
+pub use span::{request_chrome_trace, RequestSpan, RequestTraces, SpanEvent};

@@ -12,6 +12,14 @@
 //! (`crates/gpu-sim/src/prims`, `crates/gpu-sim/src/collections`) —
 //! the code whose honesty the counters, determinism contract
 //! (DESIGN.md §10), and resilience cascade (§9) depend on.
+//!
+//! A second, lighter scan set covers the serving path
+//! ([`SPAN_SCAN_ROOTS`]: `crates/serve/src`, `crates/neighbors/src`)
+//! with only the warn-severity span-lifecycle rule
+//! ([`rules::run_span_rules`]) — the kernel rules would false-positive
+//! all over legitimate host code there, but a file that opens request
+//! spans without ever terminating them is worth a nudge (DESIGN.md
+//! §13).
 
 pub mod baseline;
 pub mod diag;
@@ -24,12 +32,19 @@ use std::path::{Path, PathBuf};
 
 use diag::Diagnostic;
 
-/// Workspace-relative directories the analyzer scans.
+/// Workspace-relative directories the analyzer scans with the full
+/// kernel rule set.
 pub const SCAN_ROOTS: [&str; 3] = [
     "crates/kernels/src",
     "crates/gpu-sim/src/prims",
     "crates/gpu-sim/src/collections",
 ];
+
+/// Workspace-relative directories scanned with only the serving-path
+/// span-lifecycle rules ([`rules::run_span_rules`]). Absent roots are
+/// skipped silently: fixture trees and partial checkouts need not carry
+/// a serving layer.
+pub const SPAN_SCAN_ROOTS: [&str; 2] = ["crates/serve/src", "crates/neighbors/src"];
 
 /// The result of analyzing a source tree.
 #[derive(Debug)]
@@ -72,25 +87,37 @@ pub fn analyze_root(root: &Path) -> Result<Analysis, String> {
             SCAN_ROOTS.join(", ")
         ));
     }
-    let mut findings = Vec::new();
-    for path in &files {
-        let text =
-            fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        let rel = path.strip_prefix(root).unwrap_or(path);
-        // Forward slashes keep fingerprints and baselines portable
-        // across platforms.
-        let rel = rel
-            .components()
-            .map(|c| c.as_os_str().to_string_lossy())
-            .collect::<Vec<_>>()
-            .join("/");
-        findings.extend(rules::run_rules(&rel, &text));
+    let mut span_files = Vec::new();
+    for sub in SPAN_SCAN_ROOTS {
+        collect_rs_files(&root.join(sub), &mut span_files);
+    }
+    span_files.sort();
+
+    let mut findings: Vec<Diagnostic> = Vec::new();
+    type Runner = fn(&str, &str) -> Vec<Diagnostic>;
+    for (paths, runner) in [
+        (&files, rules::run_rules as Runner),
+        (&span_files, rules::run_span_rules as Runner),
+    ] {
+        for path in paths {
+            let text = fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let rel = path.strip_prefix(root).unwrap_or(path);
+            // Forward slashes keep fingerprints and baselines portable
+            // across platforms.
+            let rel = rel
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            findings.extend(runner(&rel, &text));
+        }
     }
     findings.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
     });
     Ok(Analysis {
-        files_scanned: files.len(),
+        files_scanned: files.len() + span_files.len(),
         findings,
     })
 }

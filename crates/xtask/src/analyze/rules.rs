@@ -15,10 +15,15 @@
 //! | nondet-reduction   | global-buffer mutation inside `run_warps`        | `nondet-lint`   |
 //! | unguarded-fallible | fallible collection ops with no fault guard      | `fallible-lint` |
 //! | stale-allow        | allow regions that no longer suppress anything   | —               |
+//! | dropped-span       | request spans opened with no terminal event      | —               |
 //!
-//! Every rule is deny severity: the committed baseline
+//! Every kernel rule is deny severity: the committed baseline
 //! (`experiments_output/ANALYZE_baseline.json`), not a severity tier,
 //! is what lets pre-existing findings ride while new ones fail CI.
+//! `dropped-span` is the exception — it runs over the serving scan
+//! roots ([`super::SPAN_SCAN_ROOTS`], via [`run_span_rules`] rather
+//! than [`run_rules`]) and is warn severity: reported in the output and
+//! the `diag.v1` document, never failing the gate.
 //!
 //! Test code (`#[cfg(test)]`, brace-matched — see [`super::scope`]) is
 //! exempt from every rule: tests panic, poke shared memory, and mutate
@@ -79,6 +84,12 @@ pub const RULES: &[RuleInfo] = &[
         prefix: None,
         summary: "an allow region whose body no longer contains anything its rule would flag",
     },
+    RuleInfo {
+        name: "dropped-span",
+        prefix: None,
+        summary: "a serving-path file opens request spans but never records a terminal event \
+                  (warn-only)",
+    },
 ];
 
 /// The rule a marker family's structural problems are reported under.
@@ -114,6 +125,14 @@ const GUARD_CALLS: [&str; 4] = [
     "record_capacity_overflow",
     "record_corrupted_lane",
 ];
+
+/// Opening a request span (`RequestTraces::begin_request`) obligates
+/// the file to also terminate spans; only *method* calls count, so the
+/// definition site in `serve/src/span.rs` stays exempt.
+const SPAN_BEGIN_CALL: &str = "begin_request";
+
+/// Calls that record a terminal span event (served or shed).
+const SPAN_TERMINAL_CALLS: [&str; 2] = ["finish_request", "reject_request"];
 
 /// Identifiers that carry a per-lane / per-warp / per-thread identity;
 /// a branch on one of these diverges within or across warps.
@@ -195,9 +214,24 @@ impl Ctx<'_> {
     }
 }
 
-/// Builds one diagnostic, fingerprinting the flagged source line.
+/// Builds one deny diagnostic, fingerprinting the flagged source line.
 fn diag(
     rule: &'static str,
+    file: &str,
+    lines: &[&str],
+    line: u32,
+    col: u32,
+    message: String,
+    help: &str,
+) -> Diagnostic {
+    diag_at(rule, Severity::Deny, file, lines, line, col, message, help)
+}
+
+/// Builds one diagnostic at an explicit severity.
+#[allow(clippy::too_many_arguments)]
+fn diag_at(
+    rule: &'static str,
+    severity: Severity,
     file: &str,
     lines: &[&str],
     line: u32,
@@ -208,7 +242,7 @@ fn diag(
     let text = lines.get(line as usize - 1).copied().unwrap_or_default();
     Diagnostic {
         rule,
-        severity: Severity::Deny,
+        severity,
         file: file.to_string(),
         line,
         col,
@@ -217,6 +251,47 @@ fn diag(
         fingerprint: fingerprint(rule, file, text),
         baselined: false,
     }
+}
+
+/// Runs the serving-path span-lifecycle rules over one file — the scan
+/// set is [`super::SPAN_SCAN_ROOTS`] (serve + neighbors), where the
+/// kernel rules would drown legitimate host code in noise.
+///
+/// `dropped-span` (warn-only): a file whose live code opens request
+/// spans via `.begin_request(…)` must also contain at least one
+/// terminal call (`.finish_request(…)` or `.reject_request(…)`);
+/// otherwise every span the file opens leaks as non-terminal in the
+/// per-request trace. One finding per file, at the first opening call.
+pub fn run_span_rules(file: &str, text: &str) -> Vec<Diagnostic> {
+    let model = build_model(text);
+    let lines: Vec<&str> = text.lines().collect();
+    let terminated = model
+        .calls
+        .iter()
+        .any(|c| !c.in_test && c.method && SPAN_TERMINAL_CALLS.contains(&c.callee.as_str()));
+    if terminated {
+        return Vec::new();
+    }
+    let Some(call) = model
+        .calls
+        .iter()
+        .find(|c| !c.in_test && c.method && c.callee == SPAN_BEGIN_CALL)
+    else {
+        return Vec::new();
+    };
+    vec![diag_at(
+        "dropped-span",
+        Severity::Warn,
+        file,
+        &lines,
+        call.line,
+        call.col,
+        "`.begin_request(…)` opens request spans, but this file never records a terminal \
+         span event"
+            .to_string(),
+        "end every span with `.finish_request(…)` (served) or `.reject_request(…)` (shed) \
+         so traces cannot leak open spans; warn-only — reported but never fails the gate",
+    )]
 }
 
 fn rule_uncosted_smem(ctx: &mut Ctx<'_>) {

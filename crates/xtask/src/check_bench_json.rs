@@ -12,7 +12,7 @@
 //! ```text
 //! cargo run -p xtask --bin check_bench_json -- \
 //!     experiments_output/BENCH_*.json [--trace trace.json ...] \
-//!     [--diag analyze.json ...]
+//!     [--diag analyze.json ...] [--metrics metrics.json ...]
 //! ```
 //!
 //! Positional arguments are validated as `bench.v1` reports
@@ -22,20 +22,25 @@
 //! percentile); each `--trace <path>` is validated as a chrome-trace
 //! ([`bench::validate_chrome_trace`]); each `--diag <path>` is
 //! validated as a `diag.v1` analyzer report
-//! ([`xtask::analyze::diag::validate_diag`]). Exit status is
+//! ([`xtask::analyze::diag::validate_diag`]); each `--metrics <path>`
+//! is validated as a `metrics.v1` serving-telemetry snapshot
+//! ([`bench::validate_metrics`]). Exit status is
 //! non-zero when any file fails to read, parse, or validate, or when no
 //! files were given at all (an empty CI glob is itself a regression).
 
 use std::fs;
 use std::process::ExitCode;
 
-use bench::{validate_chrome_trace, validate_latency_percentiles, validate_report, Json};
+use bench::{
+    validate_chrome_trace, validate_latency_percentiles, validate_metrics, validate_report, Json,
+};
 use xtask::analyze::diag::validate_diag;
 
 enum Kind {
     Report,
     Trace,
     Diag,
+    Metrics,
 }
 
 fn main() -> ExitCode {
@@ -43,11 +48,11 @@ fn main() -> ExitCode {
     let mut files: Vec<(String, Kind)> = Vec::new();
     let mut i = 0;
     while i < args.len() {
-        if args[i] == "--trace" || args[i] == "--diag" {
-            let kind = if args[i] == "--trace" {
-                Kind::Trace
-            } else {
-                Kind::Diag
+        if args[i] == "--trace" || args[i] == "--diag" || args[i] == "--metrics" {
+            let kind = match args[i].as_str() {
+                "--trace" => Kind::Trace,
+                "--diag" => Kind::Diag,
+                _ => Kind::Metrics,
             };
             match args.get(i + 1) {
                 Some(path) => files.push((path.clone(), kind)),
@@ -65,7 +70,7 @@ fn main() -> ExitCode {
     if files.is_empty() {
         eprintln!(
             "check_bench_json: no files given (pass bench.v1 paths, --trace paths, \
-             and/or --diag paths)"
+             --diag paths, and/or --metrics paths)"
         );
         return ExitCode::FAILURE;
     }
@@ -135,6 +140,25 @@ fn check_file(path: &str, kind: &Kind) -> Result<String, String> {
                 .and_then(Json::as_arr)
                 .map_or(0, <[Json]>::len);
             Ok(format!("diag.v1 report {name:?}, {findings} finding(s)"))
+        }
+        Kind::Metrics => {
+            validate_metrics(&text)?;
+            let name = json
+                .get("name")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string();
+            let counters = json
+                .get("counters")
+                .and_then(Json::as_obj)
+                .map_or(0, <[(String, Json)]>::len);
+            let histograms = json
+                .get("histograms")
+                .and_then(Json::as_arr)
+                .map_or(0, <[Json]>::len);
+            Ok(format!(
+                "metrics.v1 snapshot {name:?}, {counters} counter(s), {histograms} histogram(s)"
+            ))
         }
     }
 }

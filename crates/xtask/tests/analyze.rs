@@ -13,9 +13,9 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use xtask::analyze::baseline::{write_baseline, Baseline};
-use xtask::analyze::diag::{validate_diag, DiagReport, Diagnostic};
-use xtask::analyze::rules::{run_rules, RULES};
-use xtask::analyze::{analyze_root, SCAN_ROOTS};
+use xtask::analyze::diag::{validate_diag, DiagReport, Diagnostic, Severity};
+use xtask::analyze::rules::{run_rules, run_span_rules, RULES};
+use xtask::analyze::{analyze_root, SCAN_ROOTS, SPAN_SCAN_ROOTS};
 
 fn rules_of(diags: &[Diagnostic]) -> Vec<&'static str> {
     diags.iter().map(|d| d.rule).collect()
@@ -180,9 +180,76 @@ fn every_rule_is_cataloged() {
             "nondet-reduction",
             "unguarded-fallible",
             "stale-allow",
+            "dropped-span",
         ]
     );
     assert!(RULES.iter().all(|r| !r.summary.is_empty()));
+}
+
+// ---------------------------------------------------------------------
+// dropped-span (warn-only, serving scan roots).
+// ---------------------------------------------------------------------
+
+#[test]
+fn dropped_span_seeded_violation() {
+    // True positive: a serving file that opens request spans but never
+    // records a terminal event — every span it opens leaks open.
+    let seeded = "\
+fn admit(traces: &mut RequestTraces, r: &Request) {
+    traces.begin_request(r.id, r.dataset, r.arrival_s);
+    traces.push_event(r.id, t, SpanEvent::CacheHit);
+}
+";
+    let out = run_span_rules("fixture.rs", seeded);
+    assert_eq!(rules_of(&out), ["dropped-span"]);
+    assert_eq!(out[0].severity, Severity::Warn);
+    assert_eq!(out[0].line, 2);
+    assert!(out[0].message.contains("terminal"));
+}
+
+#[test]
+fn dropped_span_true_negatives() {
+    // Served and shed paths both terminate: clean.
+    let terminated = "\
+traces.begin_request(r.id, r.dataset, r.arrival_s);
+if admitted {
+    traces.finish_request(r.id, t, t - r.arrival_s);
+} else {
+    traces.reject_request(r.id, t, backlog);
+}
+";
+    assert!(run_span_rules("fixture.rs", terminated).is_empty());
+
+    // A file that never opens spans owes no terminal event — even if it
+    // pushes intermediate events on spans opened elsewhere.
+    let events_only = "traces.push_event(r.id, t, SpanEvent::Merge);\n";
+    assert!(run_span_rules("fixture.rs", events_only).is_empty());
+
+    // Definition sites are not method calls: the span module itself,
+    // which defines begin_request but calls no terminal method, passes.
+    let definitions = "\
+pub fn begin_request(&mut self, id: u64, dataset: usize, arrival_s: f64) {
+    self.spans.push(RequestSpan::new(id, dataset, arrival_s));
+}
+";
+    assert!(run_span_rules("fixture.rs", definitions).is_empty());
+
+    // Test code is exempt, as everywhere else in the analyzer.
+    let in_test = "\
+#[cfg(test)]
+mod tests {
+    fn t(traces: &mut RequestTraces) {
+        traces.begin_request(1, 0, 0.0);
+    }
+}
+";
+    assert!(run_span_rules("fixture.rs", in_test).is_empty());
+
+    // The kernel rules never fire on serving-path files: host-side
+    // constructs that would be deny findings under run_rules are out of
+    // scope for the span scan.
+    let host_code = "let v = opt.unwrap();\narr.write(0, v);\n";
+    assert!(run_span_rules("fixture.rs", host_code).is_empty());
 }
 
 // ---------------------------------------------------------------------
@@ -230,6 +297,35 @@ fn analyze_root_scans_kernels_and_gpu_sim() {
             "crates/kernels/src/a.rs",
         ]
     );
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn analyze_root_runs_only_span_rules_over_serving_roots() {
+    let root = fixture_tree(
+        "span_scan_set",
+        &[
+            // Kernel scan set must be non-empty for analyze_root.
+            ("crates/kernels/src/a.rs", "w.issue(1);\n"),
+            // Opens spans, never terminates: one dropped-span warn. The
+            // unwrap must NOT be flagged — kernel rules are out of
+            // scope on serving roots.
+            (
+                "crates/serve/src/leaky.rs",
+                "let q = opt.unwrap();\ntraces.begin_request(id, 0, t);\n",
+            ),
+            // Terminates its spans: clean.
+            (
+                "crates/neighbors/src/ok.rs",
+                "traces.begin_request(id, 0, t);\ntraces.finish_request(id, t, 0.0);\n",
+            ),
+        ],
+    );
+    let analysis = analyze_root(&root).expect("analyzes");
+    assert_eq!(analysis.files_scanned, 3);
+    assert_eq!(rules_of(&analysis.findings), ["dropped-span"]);
+    assert_eq!(analysis.findings[0].file, "crates/serve/src/leaky.rs");
+    assert_eq!(analysis.findings[0].severity, Severity::Warn);
     fs::remove_dir_all(&root).ok();
 }
 
@@ -316,7 +412,7 @@ fn live_repo_has_no_fresh_findings_and_no_stale_baseline() {
         .parent()
         .and_then(Path::parent)
         .expect("workspace root");
-    for sub in SCAN_ROOTS {
+    for sub in SCAN_ROOTS.iter().chain(&SPAN_SCAN_ROOTS) {
         assert!(root.join(sub).is_dir(), "scan root {sub} missing");
     }
     let mut analysis = analyze_root(root).expect("live repo analyzes");
