@@ -13,7 +13,7 @@ use std::fs;
 use std::path::Path;
 use std::process::Command;
 
-const HARNESSES: [&str; 10] = [
+const HARNESSES: [&str; 11] = [
     "table2",
     "figure1",
     "table3",
@@ -24,6 +24,7 @@ const HARNESSES: [&str; 10] = [
     "resilience_report",
     "shard_scaling",
     "serve_throughput",
+    "serve_fleet",
 ];
 
 fn main() {

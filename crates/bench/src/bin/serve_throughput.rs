@@ -132,6 +132,7 @@ fn main() {
                 max_wait_s: 0.0,
                 max_queue,
                 per_query_prepare: true,
+                admission: None,
             },
         )
         .with_slo(0, SloBudget::p99(SLO_TARGET_P99_S));
@@ -156,6 +157,7 @@ fn main() {
                 max_wait_s: 20e-6,
                 max_queue,
                 per_query_prepare: false,
+                admission: None,
             },
         )
         .with_slo(0, SloBudget::p99(SLO_TARGET_P99_S));

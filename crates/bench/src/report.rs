@@ -642,6 +642,77 @@ pub fn validate_chrome_trace(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Cross-counter invariants for serving-layer `metrics.v1` documents
+/// (DESIGN §14). The engine and fleet counters are not independent:
+/// every arrival is either served or typed-shed, the typed shed
+/// reasons partition the rejected total, and only served requests can
+/// be degraded. Each check only fires when the counters involved are
+/// all present, so non-serving registries validate unchanged.
+fn validate_serving_counters(counts: &std::collections::BTreeMap<&str, u64>) -> Result<(), String> {
+    let conservation = [
+        // (arrived, served, rejected) triples for the engine and fleet.
+        (
+            "serve.requests_arrived_total",
+            "serve.requests_served_total",
+            "serve.requests_rejected_total",
+        ),
+        (
+            "serve.fleet.requests_arrived_total",
+            "serve.fleet.requests_served_total",
+            "serve.fleet.requests_shed_total",
+        ),
+    ];
+    for (arrived, served, rejected) in conservation {
+        if let (Some(&a), Some(&s), Some(&r)) = (
+            counts.get(arrived),
+            counts.get(served),
+            counts.get(rejected),
+        ) {
+            if a != s + r {
+                return Err(format!(
+                    "counter {arrived:?} is {a} but {served:?} + {rejected:?} is {}",
+                    s + r
+                ));
+            }
+        }
+    }
+    if let Some(&rejected) = counts.get("serve.requests_rejected_total") {
+        let shed: u64 = counts
+            .iter()
+            .filter(|(k, _)| k.starts_with("serve.shed_") && k.ends_with("_total"))
+            .map(|(_, &v)| v)
+            .sum();
+        if shed != rejected {
+            return Err(format!(
+                "serve.shed_*_total counters sum to {shed}, \
+                 \"serve.requests_rejected_total\" says {rejected}"
+            ));
+        }
+    }
+    let degrade_caps = [
+        (
+            "serve.degraded_requests_total",
+            "serve.requests_served_total",
+        ),
+        (
+            "serve.fleet.degraded_requests_total",
+            "serve.fleet.requests_served_total",
+        ),
+        (
+            "serve.fleet.chaos_windows_total",
+            "serve.fleet.windows_total",
+        ),
+    ];
+    for (part, whole) in degrade_caps {
+        if let (Some(&p), Some(&w)) = (counts.get(part), counts.get(whole)) {
+            if p > w {
+                return Err(format!("counter {part:?} ({p}) exceeds {whole:?} ({w})"));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Validates a `metrics.v1` document as produced by the serving
 /// layer's `MetricsSnapshot::to_json`: schema tag, non-empty name, a
 /// `counters` object of non-negative integers, a `gauges` object of
@@ -652,6 +723,12 @@ pub fn validate_chrome_trace(text: &str) -> Result<(), String> {
 /// sets and the histogram names must be strictly sorted — the writer
 /// is canonical, and canonical order is what makes snapshots
 /// byte-comparable.
+///
+/// On top of the per-field shape checks, serving-layer counters are
+/// held to their cross-counter invariants (see
+/// [`validate_serving_counters`]): arrivals are conserved across
+/// served + shed, typed shed reasons partition the rejected total, and
+/// degraded/chaos counters never exceed the totals they are part of.
 pub fn validate_metrics(text: &str) -> Result<(), String> {
     let doc = Json::parse(text)?;
     let schema = doc
@@ -673,16 +750,20 @@ pub fn validate_metrics(text: &str) -> Result<(), String> {
         .and_then(Json::as_obj)
         .ok_or("missing \"counters\" object")?;
     let mut prev: Option<&str> = None;
+    let mut counts: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
     for (k, v) in counters {
         if prev.is_some_and(|p| p >= k.as_str()) {
             return Err(format!("counters not strictly sorted at {k:?}"));
         }
         prev = Some(k);
         match v.as_f64() {
-            Some(n) if n.is_finite() && n >= 0.0 && n.fract() == 0.0 => {}
+            Some(n) if n.is_finite() && n >= 0.0 && n.fract() == 0.0 => {
+                counts.insert(k.as_str(), n as u64);
+            }
             _ => return Err(format!("counter {k:?} is not a non-negative integer")),
         }
     }
+    validate_serving_counters(&counts)?;
     let gauges = doc
         .get("gauges")
         .and_then(Json::as_obj)
@@ -976,6 +1057,58 @@ mod tests {
             \"buckets\":[{\"i\":0,\"le\":1e-7,\"count\":1},\
             {\"i\":4,\"le\":2e-7,\"count\":1}]}]}";
         validate_metrics(good).expect("valid");
+    }
+
+    #[test]
+    fn metrics_validator_enforces_serving_counter_invariants() {
+        // Conservation: arrived != served + rejected.
+        let unbalanced = "{\"schema\":\"metrics.v1\",\"name\":\"x\",\
+            \"counters\":{\"serve.requests_arrived_total\":10,\
+            \"serve.requests_rejected_total\":1,\
+            \"serve.requests_served_total\":8},\
+            \"gauges\":{},\"histograms\":[]}";
+        assert!(validate_metrics(unbalanced)
+            .unwrap_err()
+            .contains("serve.requests_arrived_total"));
+        // Typed shed reasons must partition the rejected total.
+        let shed_mismatch = "{\"schema\":\"metrics.v1\",\"name\":\"x\",\
+            \"counters\":{\"serve.requests_arrived_total\":10,\
+            \"serve.requests_rejected_total\":3,\
+            \"serve.requests_served_total\":7,\
+            \"serve.shed_queue_full_total\":1,\
+            \"serve.shed_rate_limit_total\":1},\
+            \"gauges\":{},\"histograms\":[]}";
+        assert!(validate_metrics(shed_mismatch)
+            .unwrap_err()
+            .contains("shed"));
+        // Only served requests can be degraded.
+        let over_degraded = "{\"schema\":\"metrics.v1\",\"name\":\"x\",\
+            \"counters\":{\"serve.degraded_requests_total\":9,\
+            \"serve.requests_served_total\":7},\
+            \"gauges\":{},\"histograms\":[]}";
+        assert!(validate_metrics(over_degraded)
+            .unwrap_err()
+            .contains("serve.degraded_requests_total"));
+        // Fleet: chaos windows are a subset of all windows.
+        let chaos_overflow = "{\"schema\":\"metrics.v1\",\"name\":\"x\",\
+            \"counters\":{\"serve.fleet.chaos_windows_total\":5,\
+            \"serve.fleet.windows_total\":4},\
+            \"gauges\":{},\"histograms\":[]}";
+        assert!(validate_metrics(chaos_overflow)
+            .unwrap_err()
+            .contains("serve.fleet.chaos_windows_total"));
+        // A consistent serving document still validates.
+        let consistent = "{\"schema\":\"metrics.v1\",\"name\":\"x\",\
+            \"counters\":{\"serve.degraded_requests_total\":2,\
+            \"serve.fleet.chaos_windows_total\":2,\
+            \"serve.fleet.windows_total\":4,\
+            \"serve.requests_arrived_total\":10,\
+            \"serve.requests_rejected_total\":3,\
+            \"serve.requests_served_total\":7,\
+            \"serve.shed_queue_full_total\":1,\
+            \"serve.shed_rate_limit_total\":2},\
+            \"gauges\":{},\"histograms\":[]}";
+        validate_metrics(consistent).expect("consistent serving counters");
     }
 
     #[test]

@@ -20,6 +20,20 @@
 //! measured against). Answers are byte-identical to `spdist knn` on the
 //! same operands; throughput and latency percentiles go to stderr.
 //!
+//! Serving under overload (DESIGN §14): `--workload <qps>` replaces the
+//! fixed arrival gap with a deterministic generated stream (Zipf row
+//! popularity, diurnal rate, seeded by `--seed`, lasting
+//! `--duration-ms`); `--admit-qps <r>`/`--admit-burst <b>` arm a
+//! token-bucket admission controller and
+//! `--degrade-watermark`/`--shed-watermark` set the backlog depths at
+//! which batches execute degraded (reduced shared-memory footprint,
+//! byte-identical answers) or arrivals shed outright. `--fleet min:max`
+//! serves through an autoscaled replica fleet (window length
+//! `--window-ms`) and reports scale events; adding `--chaos` runs a
+//! chaos drill instead — the same traffic with and without a seeded
+//! mid-run fault plan — prints the recovery summary, and exits 4 if any
+//! surviving request diverges by a byte.
+//!
 //! Serving telemetry (DESIGN §13): `--metrics` prints a
 //! Prometheus-style snapshot of the engine's deterministic metrics
 //! registry to stderr, `--metrics=out.json` writes the self-validating
@@ -59,9 +73,10 @@
 use semiring::{Distance, DistanceParams};
 use sparse::{read_matrix_market, write_matrix_market, CsrMatrix, DegreeStats};
 use sparse_dist::{
-    chrome_trace, kneighbors_graph, replay_rows, request_chrome_trace, Device, GraphMode,
-    LaunchStats, MultiDevice, NearestNeighbors, PairwiseOptions, ResiliencePolicy,
-    ResilienceReport, ServeConfig, ServeEngine, SloBudget, SmemMode, Strategy,
+    chaos_drill, chrome_trace, kneighbors_graph, replay_rows, request_chrome_trace,
+    AdmissionConfig, ChaosPlan, Device, FaultPlan, Fleet, FleetConfig, GraphMode, LaunchStats,
+    MultiDevice, NearestNeighbors, PairwiseOptions, ResiliencePolicy, ResilienceReport,
+    ServeConfig, ServeEngine, SloBudget, SmemMode, Strategy, Workload,
 };
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -165,9 +180,18 @@ impl FlagSpec {
                     "--arrival-gap-us",
                     "--cache-budget-mb",
                     "--slo-p99-us",
+                    "--admit-qps",
+                    "--admit-burst",
+                    "--degrade-watermark",
+                    "--shed-watermark",
+                    "--workload",
+                    "--duration-ms",
+                    "--seed",
+                    "--fleet",
+                    "--window-ms",
                     "--output",
                 ],
-                &["--per-query-prepare"],
+                &["--per-query-prepare", "--chaos"],
                 &["--metrics", "--trace-requests"],
                 false,
             ),
@@ -444,6 +468,13 @@ fn parse_common(
         "ampere" | "a100" => Device::ampere(),
         other => return Err(CliError::config(format!("unknown device {other}"))),
     };
+    // Same CI hook the fault-matrix tests honor: run every launch under
+    // the requested sanitizer mode (the chaos-smoke job sets `fail`).
+    let device = match std::env::var("RESILIENCE_SANITIZER").as_deref() {
+        Ok("fail") => device.with_sanitizer(sparse_dist::SanitizerMode::Fail),
+        Ok("warn") => device.with_sanitizer(sparse_dist::SanitizerMode::Warn),
+        _ => device,
+    };
     let device = if args.profile().is_some() {
         device.with_profiler(true)
     } else {
@@ -666,8 +697,283 @@ fn parse_num<T: std::str::FromStr>(args: &Args, name: &str, default: &str) -> Re
         .map_err(|_| CliError::config(format!("bad {name} {}", args.flag(name).unwrap_or(default))))
 }
 
+/// Parses the serve admission flags into an [`AdmissionConfig`], or
+/// `None` when none are present (admit everything, queue cliff only).
+fn parse_admission(args: &Args) -> Result<Option<AdmissionConfig>, CliError> {
+    let mut admission = None;
+    if let Some(r) = args.flag("--admit-qps") {
+        let rate: f64 = r
+            .parse()
+            .map_err(|_| CliError::config(format!("bad --admit-qps {r}")))?;
+        if !(rate > 0.0 && rate.is_finite()) {
+            return Err(CliError::config(format!("bad --admit-qps {r}")));
+        }
+        let burst: f64 = parse_num(args, "--admit-burst", "8")?;
+        if !(burst >= 1.0 && burst.is_finite()) {
+            return Err(CliError::config(format!("bad --admit-burst {burst}")));
+        }
+        admission = Some(AdmissionConfig::default().with_rate(rate, burst));
+    }
+    let degrade = args
+        .flag("--degrade-watermark")
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|_| CliError::config(format!("bad --degrade-watermark {v}")))
+        })
+        .transpose()?;
+    let shed = args
+        .flag("--shed-watermark")
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|_| CliError::config(format!("bad --shed-watermark {v}")))
+        })
+        .transpose()?;
+    if degrade.is_some() || shed.is_some() {
+        let degrade = degrade.unwrap_or(usize::MAX);
+        let shed = shed.unwrap_or(usize::MAX);
+        if degrade > shed {
+            return Err(CliError::config(format!(
+                "--degrade-watermark {degrade} must not exceed --shed-watermark {shed}"
+            )));
+        }
+        admission = Some(admission.unwrap_or_default().with_watermarks(degrade, shed));
+    }
+    Ok(admission)
+}
+
+/// Writes served `id\tindex:distance...` rows to `--output` or stdout,
+/// sorted by request id — shared by the engine and fleet serve paths.
+fn write_responses<T: sparse::Real>(
+    args: &Args,
+    responses: &[sparse_dist::Response<T>],
+) -> Result<(), CliError> {
+    let mut responses: Vec<_> = responses.iter().collect();
+    responses.sort_by_key(|r| r.id);
+    let mut sink: Box<dyn Write> = match args.flag("--output") {
+        Some(p) => {
+            Box::new(BufWriter::new(File::create(p).map_err(|e| {
+                CliError::input(format!("cannot create {p}: {e}"))
+            })?))
+        }
+        None => Box::new(std::io::stdout().lock()),
+    };
+    for r in responses {
+        let cols: Vec<String> = r
+            .indices
+            .iter()
+            .zip(&r.distances)
+            .map(|(i, d)| format!("{i}:{d:.6}"))
+            .collect();
+        writeln!(sink, "{}\t{}", r.id, cols.join("\t"))
+            .map_err(|e| CliError::input(format!("write failed: {e}")))?;
+    }
+    Ok(())
+}
+
+/// The serve request stream: `--workload <qps>` generates deterministic
+/// Zipf/diurnal traffic over the query rows; otherwise the query rows
+/// replay once at a fixed `--arrival-gap-us`.
+fn serve_requests<T: sparse::Real>(
+    args: &Args,
+    queries: &CsrMatrix<T>,
+) -> Result<Vec<sparse_dist::Request<T>>, CliError> {
+    match args.flag("--workload") {
+        Some(q) => {
+            let qps: f64 = q
+                .parse()
+                .map_err(|_| CliError::config(format!("bad --workload {q}")))?;
+            if !(qps > 0.0 && qps.is_finite()) {
+                return Err(CliError::config(format!("bad --workload {q}")));
+            }
+            let duration_ms: f64 = parse_num(args, "--duration-ms", "5")?;
+            if !(duration_ms > 0.0 && duration_ms.is_finite()) {
+                return Err(CliError::config(format!("bad --duration-ms {duration_ms}")));
+            }
+            let seed: u64 = parse_num(args, "--seed", "1")?;
+            let duration_s = duration_ms * 1e-3;
+            let workload = Workload::steady(seed, qps, duration_s)
+                .with_zipf(1.1)
+                .with_diurnal(0.3, duration_s / 2.0);
+            Ok(workload.generate(std::slice::from_ref(queries)))
+        }
+        None => {
+            let gap_us: f64 = parse_num(args, "--arrival-gap-us", "50")?;
+            Ok(replay_rows(queries, gap_us * 1e-6))
+        }
+    }
+}
+
+/// Serves through the autoscaled replica fleet (`--fleet min:max`),
+/// optionally as a chaos drill (`--chaos`): the same traffic runs with
+/// and without a seeded mid-run fault plan, surviving responses are
+/// byte-compared, and any divergence is a launch error (exit 4).
+fn cmd_serve_fleet<T: sparse::Real>(
+    args: &Args,
+    spec: &str,
+    device: &Device,
+    nn: NearestNeighbors<T>,
+    config: ServeConfig,
+    requests: &[sparse_dist::Request<T>],
+) -> Result<(), CliError> {
+    let (min, max) = spec
+        .split_once(':')
+        .and_then(|(a, b)| Some((a.parse::<usize>().ok()?, b.parse::<usize>().ok()?)))
+        .filter(|&(min, max)| min >= 1 && min <= max)
+        .ok_or_else(|| CliError::config(format!("bad --fleet {spec} (expected min:max)")))?;
+    let window_ms: f64 = parse_num(args, "--window-ms", "1")?;
+    if !(window_ms > 0.0 && window_ms.is_finite()) {
+        return Err(CliError::config(format!("bad --window-ms {window_ms}")));
+    }
+    let fleet_config = FleetConfig {
+        min_replicas: min,
+        max_replicas: max,
+        window_s: window_ms * 1e-3,
+        serve: config,
+        ..FleetConfig::default()
+    };
+    let mut slos = Vec::new();
+    if let Some(us) = args.flag("--slo-p99-us") {
+        let us: f64 = us
+            .parse()
+            .map_err(|_| CliError::config(format!("bad --slo-p99-us {us}")))?;
+        if !(us > 0.0 && us.is_finite()) {
+            return Err(CliError::config(format!("bad --slo-p99-us {us}")));
+        }
+        slos.push((0usize, SloBudget::p99(us * 1e-6)));
+    }
+
+    if args.switch("--chaos") {
+        let seed: u64 = parse_num(args, "--seed", "1")?;
+        let span_s = requests.iter().map(|r| r.arrival_s).fold(0.0, f64::max);
+        let chaos = ChaosPlan {
+            start_s: span_s * 0.25,
+            end_s: (span_s * 0.5).max(span_s * 0.25 + fleet_config.window_s),
+            fault: FaultPlan::seeded(seed).with_transient_launch_failures(100),
+        };
+        eprintln!(
+            "spdist: chaos drill: 10% transient launch faults over \
+             [{:.2} ms, {:.2} ms) (seed {seed})",
+            chaos.start_s * 1e3,
+            chaos.end_s * 1e3,
+        );
+        let outcome = chaos_drill(device, fleet_config, &slos, &[nn], requests, chaos, 1.0)
+            .map_err(|e| CliError::launch(format!("chaos drill failed: {e}")))?;
+        eprintln!(
+            "spdist: chaos drill: {} common response(s), {} divergent, \
+             baseline shed {:.1}% vs chaos shed {:.1}%",
+            outcome.common,
+            outcome.divergent,
+            outcome.baseline.shed_fraction() * 100.0,
+            outcome.chaos.shed_fraction() * 100.0,
+        );
+        match outcome.recovery_window {
+            Some(w) => {
+                let win = &outcome.chaos.windows[w];
+                eprintln!(
+                    "spdist: chaos drill: recovered in window {w} \
+                     (t={:.2} ms, burn {:.2} within envelope 1.0)",
+                    win.start_s * 1e3,
+                    win.worst_burn,
+                );
+            }
+            None => eprintln!("spdist: chaos drill: no post-chaos window re-entered the envelope"),
+        }
+        if outcome.divergent > 0 {
+            return Err(CliError::launch(format!(
+                "chaos drill diverged on {} of {} surviving request(s)",
+                outcome.divergent, outcome.common,
+            )));
+        }
+        if args.optional("--metrics").is_some() {
+            eprintln!(
+                "spdist: note: --metrics is ignored under --chaos (the drill \
+                 runs two fleets; rerun without --chaos for a snapshot)"
+            );
+        }
+        write_request_trace(args, &outcome.chaos.spans)?;
+        return write_responses(args, &outcome.chaos.responses);
+    }
+
+    let mut fleet = Fleet::new(device.clone(), fleet_config);
+    for (dataset, budget) in slos {
+        fleet = fleet.with_slo(dataset, budget);
+    }
+    let report = fleet
+        .run(&[nn], requests)
+        .map_err(|e| CliError::launch(format!("fleet serve failed: {e}")))?;
+    eprintln!(
+        "spdist: fleet served {}/{} request(s) over {} window(s), \
+         shed {:.1}%, p50 {:.1} us / p99 {:.1} us, worst burn {:.2}, \
+         {} replica(s) final",
+        report.responses.len(),
+        requests.len(),
+        report.windows.len(),
+        report.shed_fraction() * 100.0,
+        report.latency_percentile(50.0) * 1e6,
+        report.latency_percentile(99.0) * 1e6,
+        report.worst_burn(),
+        report.replicas_final,
+    );
+    for e in &report.scale_events {
+        eprintln!(
+            "spdist: fleet scale {} -> {} at window {} (t={:.2} ms, burn {:.2})",
+            e.from,
+            e.to,
+            e.window,
+            e.at_s * 1e3,
+            e.burn,
+        );
+    }
+    if let Some(dest) = args.optional("--metrics") {
+        let snap = fleet.metrics().snapshot("spdist_fleet");
+        match dest {
+            Some(path) => {
+                std::fs::write(path, snap.to_json())
+                    .map_err(|e| CliError::input(format!("cannot write {path}: {e}")))?;
+                eprintln!(
+                    "spdist: wrote metrics.v1 snapshot ({} counters, {} gauges, \
+                     {} histograms) to {path}",
+                    snap.counters.len(),
+                    snap.gauges.len(),
+                    snap.histograms.len()
+                );
+            }
+            None => eprint!("{}", snap.to_prometheus()),
+        }
+    }
+    write_request_trace(args, &report.spans)?;
+    write_responses(args, &report.responses)
+}
+
+/// Honors `--trace-requests[=path]` for a fleet or drill run's spans.
+fn write_request_trace(args: &Args, spans: &[sparse_dist::RequestSpan]) -> Result<(), CliError> {
+    if let Some(dest) = args.optional("--trace-requests") {
+        match dest {
+            Some(path) => {
+                std::fs::write(path, request_chrome_trace(spans))
+                    .map_err(|e| CliError::input(format!("cannot write {path}: {e}")))?;
+                eprintln!(
+                    "spdist: wrote request trace with {} span(s) to {path} \
+                     (load in Perfetto / chrome://tracing)",
+                    spans.len()
+                );
+            }
+            None => {
+                let terminal = spans.iter().filter(|s| s.is_terminal()).count();
+                eprintln!(
+                    "spdist: traced {} request span(s), {} terminal \
+                     (pass --trace-requests=trace.json to export)",
+                    spans.len(),
+                    terminal
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
 fn cmd_serve(args: &Args) -> Result<(), CliError> {
-    let (distance, params, options, device, show_resilience) = parse_common(args)?;
+    let (distance, params, mut options, device, show_resilience) = parse_common(args)?;
     let index = load(args.required("--input")?)?;
     let queries = load(args.required("--queries")?)?;
     let k: usize = parse_num(args, "--k", "10")?;
@@ -675,20 +981,45 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     let max_batch: usize = parse_num(args, "--max-batch", "8")?;
     let max_wait_us: f64 = parse_num(args, "--max-wait-us", "200")?;
     let max_queue: usize = parse_num(args, "--max-queue", "1024")?;
-    let gap_us: f64 = parse_num(args, "--arrival-gap-us", "50")?;
 
+    let mut selection = sparse_dist::Selection::Device;
+    if args.switch("--chaos") {
+        // The chaos drill injects transient launch faults mid-run; they
+        // are only absorbable through the retry policy, which covers the
+        // distance kernels but not the device top-k kernel — force
+        // host-side selection and a retry budget so the drill measures
+        // degradation and recovery instead of dying on the first fault.
+        if options.resilience.is_none() {
+            options.resilience = Some(ResiliencePolicy::with_retries(8));
+            eprintln!("spdist: --chaos implies --resilience (retry budget 8)");
+        }
+        selection = sparse_dist::Selection::Host;
+    }
     let nn = NearestNeighbors::new(device.clone(), distance)
         .with_params(params)
+        .with_selection(selection)
         .with_options(options)
         .fit(index.clone());
-    let multi = MultiDevice::replicate(&device, devices.max(1));
     let config = ServeConfig {
         k,
         max_batch: max_batch.max(1),
         max_wait_s: max_wait_us * 1e-6,
         max_queue: max_queue.max(1),
         per_query_prepare: args.switch("--per-query-prepare"),
+        admission: parse_admission(args)?,
     };
+    let requests = serve_requests(args, &queries)?;
+
+    if let Some(spec) = args.flag("--fleet") {
+        return cmd_serve_fleet(args, spec, &device, nn, config, &requests);
+    }
+    if args.switch("--chaos") {
+        return Err(CliError::config(
+            "--chaos requires --fleet min:max (the drill runs through the fleet)",
+        ));
+    }
+
+    let multi = MultiDevice::replicate(&device, devices.max(1));
     let mut engine = ServeEngine::new(multi, config);
     if let Some(mb) = args.flag("--cache-budget-mb") {
         let mb: usize = mb
@@ -705,7 +1036,6 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         }
         engine.set_slo(0, SloBudget::p99(us * 1e-6));
     }
-    let requests = replay_rows(&queries, gap_us * 1e-6);
     let report = engine
         .replay(std::slice::from_ref(&nn), &requests)
         .map_err(|e| CliError::launch(format!("serve failed: {e}")))?;
@@ -722,13 +1052,33 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         report.latency_percentile(99.0) * 1e6,
         report.busy_seconds * 1e3,
     );
+    // Typed shed breakdown (only non-zero reasons, to keep the summary
+    // line stable for scripts when admission control is off).
+    let sheds: Vec<String> = report
+        .shed_counts()
+        .iter()
+        .filter(|(_, n)| *n > 0)
+        .map(|(reason, n)| format!("{n} {}", reason.name()))
+        .collect();
     eprintln!(
-        "spdist: cache {} hit(s) / {} miss(es) / {} eviction(s); {} rejected",
+        "spdist: cache {} hit(s) / {} miss(es) / {} eviction(s); {} rejected{}",
         report.cache.hits,
         report.cache.misses,
         report.cache.evictions,
-        report.rejected.len()
+        report.rejected.len(),
+        if sheds.is_empty() {
+            String::new()
+        } else {
+            format!(" ({})", sheds.join(", "))
+        }
     );
+    if report.degraded_requests > 0 {
+        eprintln!(
+            "spdist: admission degraded {} request(s) in {} batch(es) \
+             (reduced smem footprint, byte-identical answers)",
+            report.degraded_requests, report.degraded_batches,
+        );
+    }
     if show_resilience {
         eprintln!("resilience: policy active on every served batch");
     }
@@ -784,27 +1134,7 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         }
     }
 
-    let mut responses: Vec<_> = report.responses.iter().collect();
-    responses.sort_by_key(|r| r.id);
-    let mut sink: Box<dyn Write> = match args.flag("--output") {
-        Some(p) => {
-            Box::new(BufWriter::new(File::create(p).map_err(|e| {
-                CliError::input(format!("cannot create {p}: {e}"))
-            })?))
-        }
-        None => Box::new(std::io::stdout().lock()),
-    };
-    for r in responses {
-        let cols: Vec<String> = r
-            .indices
-            .iter()
-            .zip(&r.distances)
-            .map(|(i, d)| format!("{i}:{d:.6}"))
-            .collect();
-        writeln!(sink, "{}\t{}", r.id, cols.join("\t"))
-            .map_err(|e| CliError::input(format!("write failed: {e}")))?;
-    }
-    Ok(())
+    write_responses(args, &report.responses)
 }
 
 fn cmd_pairwise(args: &Args) -> Result<(), CliError> {

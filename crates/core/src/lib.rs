@@ -34,7 +34,7 @@ pub mod api;
 pub mod validate;
 
 pub use gpu_sim::{
-    chrome_trace, chrome_trace_envelope, CheckerKind, Device, DeviceSpec, LaunchProfile,
+    chrome_trace, chrome_trace_envelope, CheckerKind, Device, DeviceSpec, FaultPlan, LaunchProfile,
     LaunchStats, SanitizerMode, SanitizerReport, SimError,
 };
 pub use kernels::{
@@ -48,10 +48,11 @@ pub use neighbors::{
 pub use semiring::{Distance, DistanceParams, Family, Monoid, Semiring};
 pub use serve::metrics::{HIST_GROWTH, HIST_MIN};
 pub use serve::{
-    fingerprint, nearest_rank, replay_rows, request_chrome_trace, CacheOutcome, CacheStats,
-    LogHistogram, MetricsRegistry, MetricsSnapshot, PreparedCache, Request, RequestSpan,
-    RequestTraces, Response, ServeConfig, ServeEngine, ServeReport, SloBudget, SloReport,
-    SpanEvent,
+    chaos_drill, fingerprint, nearest_rank, replay_rows, request_chrome_trace, AdmissionConfig,
+    CacheOutcome, CacheStats, ChaosPlan, DrillOutcome, Fleet, FleetConfig, FleetReport,
+    LogHistogram, MetricsRegistry, MetricsSnapshot, PreparedCache, Rejection, Request, RequestSpan,
+    RequestTraces, Response, ScaleEvent, ServeConfig, ServeEngine, ServeReport, ShedReason,
+    SloBudget, SloReport, SpanEvent, WindowOutcome, Workload,
 };
 pub use validate::{validate_input, InputError};
 

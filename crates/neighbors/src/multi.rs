@@ -63,6 +63,17 @@ impl MultiDevice {
     pub fn is_empty(&self) -> bool {
         self.devices.is_empty()
     }
+
+    /// A pool of `n` replicas cloned from this pool's first device —
+    /// the replica-lifecycle primitive the serving fleet's autoscaler
+    /// uses to grow or shrink deterministically. Fault plans, sanitizer
+    /// and watchdog settings carry over exactly as in
+    /// [`MultiDevice::replicate`]; each replica gets an independent
+    /// launch-ordinal counter, so scaling never reshuffles injected
+    /// faults on surviving replicas' workloads.
+    pub fn resized(&self, n: usize) -> Self {
+        Self::replicate(&self.devices[0], n)
+    }
 }
 
 impl<T: Real> NearestNeighbors<T> {
@@ -173,6 +184,22 @@ mod tests {
             .kneighbors(&m, 4)
             .expect("ok");
         assert_eq!(whole.indices, r.indices);
+    }
+
+    #[test]
+    fn resized_pools_preserve_proto_and_results() {
+        let m = dataset();
+        let multi = MultiDevice::replicate(&Device::volta(), 2);
+        let grown = multi.resized(4);
+        assert_eq!(grown.len(), 4);
+        let shrunk = grown.resized(1);
+        assert_eq!(shrunk.len(), 1);
+        // Results are pool-size independent (the determinism contract
+        // the autoscaler leans on).
+        let nn = NearestNeighbors::new(Device::volta(), Distance::Euclidean).fit(m.clone());
+        let a = nn.kneighbors_sharded(&multi, &m, 3).expect("ok");
+        let b = nn.kneighbors_sharded(&grown, &m, 3).expect("ok");
+        assert_eq!(a.indices, b.indices);
     }
 
     #[test]

@@ -258,4 +258,83 @@ mod tests {
         let cache = PreparedCache::<f64>::for_pool(&multi);
         assert_eq!(cache.budget_bytes(), 8 * 1024 * 1024 * 1024);
     }
+
+    #[test]
+    fn zero_byte_budget_still_serves_and_never_panics() {
+        // Degenerate budget: every entry is oversized, so each lookup
+        // evicts whatever is resident and admits the new entry anyway
+        // (serving beats refusing). Deterministic, no panic.
+        let multi = MultiDevice::replicate(&Device::volta(), 2);
+        let mut cache = PreparedCache::new(0);
+        let nn_a = NearestNeighbors::new(Device::volta(), Distance::Euclidean).fit(dataset(6, 1.0));
+        let nn_b = NearestNeighbors::new(Device::volta(), Distance::Euclidean).fit(dataset(6, 2.0));
+        let (shards_a, warm_a) = cache.get_or_prepare(&nn_a, &multi).expect("ok");
+        assert!(warm_a > 0.0);
+        assert_eq!(cache.len(), 1, "oversized entry is still admitted");
+        assert!(cache.resident_bytes() > cache.budget_bytes());
+        let (_, outcome) = cache.lookup(&nn_b, &multi).expect("ok");
+        assert!(!outcome.hit);
+        assert_eq!(outcome.evictions, 1, "the resident entry is evicted");
+        assert_eq!(cache.len(), 1);
+        // The evicted Arc stays usable by whoever still holds it.
+        let r = nn_a
+            .kneighbors_prepared(&shards_a, &dataset(6, 1.0), 2)
+            .expect("stale shards still serve");
+        assert_eq!(r.indices.len(), 6);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (0, 2, 1));
+    }
+
+    #[test]
+    fn single_dataset_larger_than_the_whole_budget_is_admitted_once() {
+        let multi = MultiDevice::replicate(&Device::volta(), 2);
+        let nn = NearestNeighbors::new(Device::volta(), Distance::Euclidean).fit(dataset(8, 1.0));
+        let bytes = nn.prepare_shards(&multi).device_bytes();
+        // Budget strictly smaller than the one dataset we serve.
+        let mut cache = PreparedCache::new(bytes / 2);
+        let (_, first) = cache.lookup(&nn, &multi).expect("ok");
+        assert!(!first.hit);
+        assert_eq!(cache.len(), 1);
+        // Repeated lookups of the same oversized entry are hits — it is
+        // never self-evicted, so an over-budget tenant does not thrash.
+        for _ in 0..3 {
+            let (_, again) = cache.lookup(&nn, &multi).expect("ok");
+            assert!(again.hit, "oversized resident entry must hit");
+            assert_eq!(again.evictions, 0);
+        }
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (3, 1, 0));
+    }
+
+    #[test]
+    fn eviction_racing_warm_shards_on_a_stale_handle_is_deterministic() {
+        // The "race": a caller holds the Arc from a lookup while later
+        // lookups evict that entry from the cache. The simulated-device
+        // buffers are owned by the Arc, so warming and querying the
+        // stale handle must keep working, byte-identical to a fresh
+        // prepare — eviction only drops the cache's reference.
+        let multi = MultiDevice::replicate(&Device::volta(), 2);
+        let nn_a = NearestNeighbors::new(Device::volta(), Distance::Euclidean).fit(dataset(6, 1.0));
+        let nn_b = NearestNeighbors::new(Device::volta(), Distance::Euclidean).fit(dataset(6, 2.0));
+        let probe = nn_a.prepare_shards(&multi).device_bytes();
+        let mut cache = PreparedCache::new(probe + 1);
+        let (stale, _) = cache.lookup(&nn_a, &multi).expect("ok");
+        // Evict A by inserting B into the one-entry budget.
+        cache.lookup(&nn_b, &multi).expect("ok");
+        assert_eq!(cache.stats().evictions, 1);
+        // Re-warming the stale handle after its eviction: idempotent
+        // (norms are already warmed, so zero additional sim time).
+        let (rewarm_s, launches) = nn_a.warm_shards(&stale).expect("warm after evict");
+        assert_eq!(rewarm_s, 0.0, "already-warm shards cost nothing");
+        assert_eq!(launches, 0);
+        let query = dataset(6, 1.0);
+        let via_stale = nn_a.kneighbors_prepared(&stale, &query, 3).expect("ok");
+        let fresh = nn_a.kneighbors_sharded(&multi, &query, 3).expect("ok");
+        assert_eq!(via_stale.indices, fresh.indices);
+        for (a, b) in via_stale.distances.iter().zip(&fresh.distances) {
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "stale handle must serve bytes");
+            }
+        }
+    }
 }

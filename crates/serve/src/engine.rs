@@ -7,10 +7,14 @@
 //! or when its oldest request has waited [`ServeConfig::max_wait_s`];
 //! closed batches execute serially on the device pool (devices inside
 //! the pool still parallelize each batch's slabs, exactly like
-//! `kneighbors_sharded`). Admission control rejects arrivals outright
-//! once the backlog — queued plus not-yet-completed requests — reaches
-//! [`ServeConfig::max_queue`], which is the backpressure signal a real
-//! front-end would surface as HTTP 429.
+//! `kneighbors_sharded`). Admission control (DESIGN §14) runs three
+//! levers hard-to-soft: arrivals are shed outright once the backlog —
+//! queued plus not-yet-completed requests — reaches
+//! [`ServeConfig::max_queue`] (the HTTP-429 cliff), shed with typed
+//! reasons past the [`AdmissionConfig`] watermarks or an empty
+//! per-dataset token bucket, and *degraded* (routed through the
+//! bloom-filter smem representation, byte-identical answers) past the
+//! degrade watermark.
 //!
 //! Observability: every replay threads a [`RequestTraces`] collector
 //! through the event loop (enqueue → batch-admit → cache hit/miss →
@@ -27,11 +31,12 @@
 //! core as `kneighbors_sharded`, so every served response is
 //! byte-identical to the one-shot answer for the same query row.
 
+use crate::admission::{AdmissionConfig, AdmissionDecision, Rejection, ShedReason, TokenBucket};
 use crate::cache::{CacheStats, PreparedCache};
 use crate::metrics::{percentile_sorted, MetricsRegistry};
 use crate::slo::{assess, SloBudget, SloReport};
 use crate::span::{RequestSpan, RequestTraces, SpanEvent};
-use kernels::KernelError;
+use kernels::{KernelError, SmemMode};
 use neighbors::{MultiDevice, NearestNeighbors};
 use sparse::{CsrMatrix, Idx, Real};
 use std::collections::BTreeMap;
@@ -53,6 +58,10 @@ pub struct ServeConfig {
     /// (re-uploads, re-warms) its index from scratch. Exists to measure
     /// exactly what the cache buys; never faster.
     pub per_query_prepare: bool,
+    /// SLO-driven admission control: per-dataset token buckets and
+    /// degrade/shed watermarks ([`AdmissionConfig`]). `None` keeps only
+    /// the hard `max_queue` cliff.
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +72,7 @@ impl Default for ServeConfig {
             max_wait_s: 200e-6,
             max_queue: 1024,
             per_query_prepare: false,
+            admission: None,
         }
     }
 }
@@ -112,8 +122,9 @@ impl<T> Response<T> {
 pub struct ServeReport<T> {
     /// Served responses, in completion order (ties by id).
     pub responses: Vec<Response<T>>,
-    /// Ids rejected by admission control, in arrival order.
-    pub rejected: Vec<u64>,
+    /// Requests shed by admission control (typed reason per id), in
+    /// arrival order.
+    pub rejected: Vec<Rejection>,
     /// Batches executed.
     pub batches: usize,
     /// Simulated seconds spent executing kernels (excludes queue idle
@@ -129,6 +140,11 @@ pub struct ServeReport<T> {
     /// SLO assessments for datasets with a configured
     /// [`SloBudget`] (see [`ServeEngine::set_slo`]), in dataset order.
     pub slo: Vec<SloReport>,
+    /// Requests served through degraded (low-footprint) execution after
+    /// their batch crossed the admission degrade watermark.
+    pub degraded_requests: u64,
+    /// Batches dispatched in degraded mode.
+    pub degraded_batches: u64,
 }
 
 impl<T> ServeReport<T> {
@@ -154,6 +170,28 @@ impl<T> ServeReport<T> {
         let mut lat: Vec<f64> = self.responses.iter().map(Response::latency_s).collect();
         lat.sort_by(f64::total_cmp);
         percentile_sorted(&lat, p)
+    }
+
+    /// Shed counts per typed reason, in [`ShedReason::ALL`] order —
+    /// what the serve CLI's stderr summary prints so shedding is
+    /// visible without a metrics snapshot.
+    pub fn shed_counts(&self) -> [(ShedReason, usize); 3] {
+        ShedReason::ALL.map(|reason| {
+            (
+                reason,
+                self.rejected.iter().filter(|r| r.reason == reason).count(),
+            )
+        })
+    }
+
+    /// Fraction of arrivals shed (0.0 when nothing arrived).
+    pub fn shed_fraction(&self) -> f64 {
+        let arrived = self.responses.len() + self.rejected.len();
+        if arrived == 0 {
+            0.0
+        } else {
+            self.rejected.len() as f64 / arrived as f64
+        }
     }
 }
 
@@ -185,6 +223,9 @@ pub struct ServeEngine<T> {
 
 struct OpenBatch<T> {
     requests: Vec<Request<T>>,
+    /// Sticky: set when any member was admitted past the degrade
+    /// watermark; the whole batch then executes in degraded mode.
+    degraded: bool,
 }
 
 /// Mutable state of one replay's event loop, bundled so
@@ -192,7 +233,7 @@ struct OpenBatch<T> {
 struct ReplayState<T> {
     open: Vec<OpenBatch<T>>,
     responses: Vec<Response<T>>,
-    rejected: Vec<u64>,
+    rejected: Vec<Rejection>,
     /// (completion, count) of still-executing batches.
     inflight: Vec<(f64, usize)>,
     device_free_at: f64,
@@ -204,6 +245,13 @@ struct ReplayState<T> {
     faults: u64,
     shard_launches: u64,
     prepares: u64,
+    /// Per-dataset admission token buckets (empty without admission).
+    buckets: Vec<TokenBucket>,
+    /// Lazily-built degraded-mode clones of the fitted estimators
+    /// (same fitted index, bloom-filter smem; DESIGN §14).
+    degraded_fit: Vec<Option<NearestNeighbors<T>>>,
+    degraded_requests: u64,
+    degraded_batches: u64,
 }
 
 impl<T: Real> ServeEngine<T> {
@@ -224,6 +272,13 @@ impl<T: Real> ServeEngine<T> {
     /// Replaces the cache with one of an explicit byte budget.
     pub fn with_cache_budget(mut self, budget_bytes: usize) -> Self {
         self.cache = PreparedCache::new(budget_bytes);
+        self
+    }
+
+    /// Attaches SLO-driven admission control (token buckets + degrade/
+    /// shed watermarks) to subsequent replays.
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
+        self.config.admission = Some(admission);
         self
     }
 
@@ -272,10 +327,12 @@ impl<T: Real> ServeEngine<T> {
         let mut order: Vec<&Request<T>> = requests.iter().collect();
         order.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s).then(a.id.cmp(&b.id)));
 
+        let admission = self.config.admission;
         let mut st = ReplayState {
             open: (0..fitted.len())
                 .map(|_| OpenBatch {
                     requests: Vec::new(),
+                    degraded: false,
                 })
                 .collect(),
             responses: Vec::new(),
@@ -290,6 +347,12 @@ impl<T: Real> ServeEngine<T> {
             faults: 0,
             shard_launches: 0,
             prepares: 0,
+            buckets: admission
+                .map(|cfg| vec![TokenBucket::new(&cfg); fitted.len()])
+                .unwrap_or_default(),
+            degraded_fit: (0..fitted.len()).map(|_| None).collect(),
+            degraded_requests: 0,
+            degraded_batches: 0,
         };
         let mut next = 0usize;
 
@@ -325,12 +388,23 @@ impl<T: Real> ServeEngine<T> {
                     let backlog: usize = st.open.iter().map(|b| b.requests.len()).sum::<usize>()
                         + st.inflight.iter().map(|&(_, n)| n).sum::<usize>();
                     st.traces.begin_request(r.id, r.dataset, r.arrival_s);
-                    if backlog >= self.config.max_queue {
-                        st.rejected.push(r.id);
-                        st.traces.reject_request(r.id, at, backlog);
-                        continue;
-                    }
                     let d = r.dataset;
+                    let decision = match admission {
+                        Some(cfg) => st.buckets[d].admit(&cfg, at, backlog, self.config.max_queue),
+                        None if backlog >= self.config.max_queue => {
+                            AdmissionDecision::Shed(ShedReason::QueueFull)
+                        }
+                        None => AdmissionDecision::Admit,
+                    };
+                    match decision {
+                        AdmissionDecision::Shed(reason) => {
+                            st.rejected.push(Rejection { id: r.id, reason });
+                            st.traces.reject_request(r.id, at, backlog, reason);
+                            continue;
+                        }
+                        AdmissionDecision::Degrade => st.open[d].degraded = true,
+                        AdmissionDecision::Admit => {}
+                    }
                     st.open[d].requests.push(r.clone());
                     if st.open[d].requests.len() >= self.config.max_batch {
                         self.dispatch(fitted, &mut st, d, at)?;
@@ -369,6 +443,8 @@ impl<T: Real> ServeEngine<T> {
             },
             spans: st.traces.into_spans(),
             slo: Vec::new(),
+            degraded_requests: st.degraded_requests,
+            degraded_batches: st.degraded_batches,
         };
         let counts = ReplayCounts {
             retries: st.retries,
@@ -395,6 +471,11 @@ impl<T: Real> ServeEngine<T> {
             "serve.requests_rejected_total",
             report.rejected.len() as u64,
         );
+        for (reason, n) in report.shed_counts() {
+            m.inc(&format!("serve.shed_{}_total", reason.name()), n as u64);
+        }
+        m.inc("serve.degraded_requests_total", report.degraded_requests);
+        m.inc("serve.degraded_batches_total", report.degraded_batches);
         m.inc("serve.batches_total", report.batches as u64);
         m.inc("serve.cache_hits_total", report.cache.hits);
         m.inc("serve.cache_misses_total", report.cache.misses);
@@ -452,6 +533,7 @@ impl<T: Real> ServeEngine<T> {
         close_s: f64,
     ) -> Result<(), KernelError> {
         let taken = std::mem::take(&mut st.open[dataset].requests);
+        let degraded = std::mem::replace(&mut st.open[dataset].degraded, false);
         if taken.is_empty() {
             return Ok(());
         }
@@ -472,13 +554,43 @@ impl<T: Real> ServeEngine<T> {
             );
         }
 
+        // Degraded batches run through a lazily-built clone of the
+        // estimator forced onto the bloom-filter smem representation —
+        // the low-footprint end of the Hybrid→Hash→Bloom→NaiveCsr
+        // cascade. Same fitted index, same prepared shards, and every
+        // strategy produces bit-identical distances (DESIGN §11), so
+        // degrading trades occupancy headroom, never answer bytes.
+        if degraded {
+            st.degraded_batches += 1;
+            st.degraded_requests += taken.len() as u64;
+            if st.degraded_fit[dataset].is_none() {
+                let mut opts = *nn.pairwise_options();
+                opts.smem_mode = SmemMode::Bloom;
+                st.degraded_fit[dataset] = Some(nn.clone().with_options(opts));
+            }
+            for req in &taken {
+                st.traces.push_event(
+                    req.id,
+                    close_s,
+                    SpanEvent::AdmissionDegrade {
+                        strategy: "smem=Bloom".to_string(),
+                    },
+                );
+            }
+        }
+        let exec_nn = if degraded {
+            st.degraded_fit[dataset].as_ref().expect("built above")
+        } else {
+            nn
+        };
+
         let start_s = close_s.max(st.device_free_at);
         let mut prep_s = 0.0;
         let result = if self.config.per_query_prepare {
             // Baseline mode: pay uploads + norms on every batch (no
             // cache involved, so no cache span events either).
             st.prepares += 1;
-            nn.kneighbors_sharded(&self.multi, &batch_query, self.config.k)?
+            exec_nn.kneighbors_sharded(&self.multi, &batch_query, self.config.k)?
         } else {
             let (shards, outcome) = self.cache.lookup(nn, &self.multi)?;
             for req in &taken {
@@ -505,7 +617,7 @@ impl<T: Real> ServeEngine<T> {
                 st.prepares += 1;
             }
             prep_s = outcome.warm_seconds;
-            nn.kneighbors_prepared(&shards, &batch_query, self.config.k)?
+            exec_nn.kneighbors_prepared(&shards, &batch_query, self.config.k)?
         };
         let exec_seconds = prep_s + result.sim_seconds;
 

@@ -32,19 +32,35 @@
 //! Prometheus-style text snapshot ([`MetricsSnapshot`]) and as a
 //! chrome://tracing per-request flame view
 //! ([`span::request_chrome_trace`]).
+//!
+//! Serving under overload (DESIGN §14): [`Workload`] generates
+//! deterministic Zipf/diurnal/bursty traffic, [`AdmissionConfig`]
+//! sheds or degrades load before the queue collapses, [`Fleet`]
+//! autoscales [`neighbors::MultiDevice`] replicas on SLO error-budget
+//! burn, and [`chaos_drill`] injects mid-traffic [`gpu_sim::FaultPlan`]
+//! faults and asserts the fleet recovers with byte-identical answers.
 
 #![deny(missing_docs)]
 
+pub mod admission;
 pub mod cache;
 pub mod engine;
 pub mod fingerprint;
+pub mod fleet;
+pub mod load;
 pub mod metrics;
 pub mod slo;
 pub mod span;
 
+pub use admission::{AdmissionConfig, AdmissionDecision, Rejection, ShedReason, TokenBucket};
 pub use cache::{CacheKey, CacheOutcome, CacheStats, PreparedCache};
 pub use engine::{replay_rows, Request, Response, ServeConfig, ServeEngine, ServeReport};
 pub use fingerprint::fingerprint;
+pub use fleet::{
+    chaos_drill, ChaosPlan, DrillOutcome, Fleet, FleetConfig, FleetReport, ScaleEvent,
+    WindowOutcome,
+};
+pub use load::{SplitMix64, Workload};
 pub use metrics::{
     nearest_rank, percentile_sorted, LogHistogram, MetricsRegistry, MetricsSnapshot,
 };

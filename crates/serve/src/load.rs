@@ -1,0 +1,390 @@
+//! Deterministic traffic-realistic workload generation: seeded Zipf
+//! dataset popularity over diurnal/bursty arrival processes, all on the
+//! discrete-event sim clock.
+//!
+//! Production sparse-retrieval traffic is nothing like the polite
+//! fixed-gap streams of [`crate::replay_rows`]: dataset popularity is
+//! Zipf-skewed (the same degree skew the paper's load-balancing story
+//! targets, now across tenants), arrival rates swing diurnally, and
+//! bursts land on top. [`Workload`] generates such a stream as a pure
+//! function of its seed — no wall-clock, no global RNG — so every
+//! replay, bench, and chaos drill that consumes it is reproducible
+//! byte-for-byte.
+//!
+//! Two loop disciplines (DESIGN §14):
+//!
+//! * **open loop** ([`Workload::generate`]): arrivals follow a
+//!   non-homogeneous Poisson process — rate `base_qps` modulated by a
+//!   sinusoidal diurnal factor — realized by thinning, plus optional
+//!   periodic bursts of simultaneous arrivals. Arrival times never
+//!   react to service times, which is exactly what makes open-loop load
+//!   the overload test: the generator keeps firing while the engine
+//!   drowns.
+//! * **closed loop** ([`Workload::generate_closed_loop`]): a fixed
+//!   client population paces itself — each client issues its next
+//!   request one think-time (exponential) plus one service-time
+//!   estimate after the previous one, bounding outstanding requests by
+//!   the population size. The service-time pacing uses a caller-supplied
+//!   estimate rather than feedback from the engine, keeping generation
+//!   a pure function of the seed (the determinism contract outranks
+//!   closed-loop exactness; DESIGN §14 records the approximation).
+
+use crate::engine::Request;
+use sparse::{CsrMatrix, Real};
+
+/// A deterministic splitmix64 PRNG — the workload generator's only
+/// entropy source, so streams are pure functions of the seed.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_f64() * n as f64) as usize % n.max(1)
+    }
+
+    /// Exponential draw with the given rate (mean `1 / rate`).
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        // 1 - u is in (0, 1], so the log is finite.
+        -(1.0 - self.next_f64()).ln() / rate
+    }
+}
+
+/// A seeded traffic model: Zipf dataset popularity, diurnal rate
+/// modulation, periodic bursts, over a fixed simulated duration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// PRNG seed; the generated stream is a pure function of it.
+    pub seed: u64,
+    /// Zipf skew exponent `s` for dataset popularity (`0.0` = uniform;
+    /// larger = more skew toward dataset 0).
+    pub zipf_s: f64,
+    /// Baseline arrival rate in requests per simulated second.
+    pub base_qps: f64,
+    /// Diurnal modulation amplitude in `[0, 1)`: the instantaneous rate
+    /// is `base_qps * (1 + amplitude * sin(2π t / period))`.
+    pub diurnal_amplitude: f64,
+    /// Diurnal period in simulated seconds.
+    pub diurnal_period_s: f64,
+    /// Burst spacing in simulated seconds (`0.0` disables bursts).
+    pub burst_every_s: f64,
+    /// Requests arriving simultaneously at each burst instant.
+    pub burst_size: usize,
+    /// Stream duration in simulated seconds.
+    pub duration_s: f64,
+}
+
+impl Workload {
+    /// A steady workload: `base_qps` for `duration_s`, no diurnal
+    /// swing, no bursts, mild Zipf skew (`s = 1.0`).
+    pub fn steady(seed: u64, base_qps: f64, duration_s: f64) -> Self {
+        assert!(
+            base_qps > 0.0 && duration_s > 0.0,
+            "workload needs a positive rate and duration"
+        );
+        Self {
+            seed,
+            zipf_s: 1.0,
+            base_qps,
+            diurnal_amplitude: 0.0,
+            diurnal_period_s: duration_s,
+            burst_every_s: 0.0,
+            burst_size: 0,
+            duration_s,
+        }
+    }
+
+    /// Sets the Zipf skew exponent.
+    pub fn with_zipf(mut self, s: f64) -> Self {
+        assert!(s >= 0.0 && s.is_finite(), "zipf exponent must be >= 0");
+        self.zipf_s = s;
+        self
+    }
+
+    /// Adds sinusoidal diurnal modulation.
+    pub fn with_diurnal(mut self, amplitude: f64, period_s: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&amplitude) && period_s > 0.0,
+            "amplitude in [0,1), positive period"
+        );
+        self.diurnal_amplitude = amplitude;
+        self.diurnal_period_s = period_s;
+        self
+    }
+
+    /// Adds periodic bursts of `size` simultaneous arrivals.
+    pub fn with_bursts(mut self, every_s: f64, size: usize) -> Self {
+        assert!(every_s > 0.0, "burst spacing must be positive");
+        self.burst_every_s = every_s;
+        self.burst_size = size;
+        self
+    }
+
+    /// Instantaneous arrival rate at simulated time `t`.
+    pub fn rate_at(&self, t: f64) -> f64 {
+        let phase = 2.0 * std::f64::consts::PI * t / self.diurnal_period_s;
+        self.base_qps * (1.0 + self.diurnal_amplitude * phase.sin())
+    }
+
+    /// Zipf CDF over `n` datasets: entry `i` is the cumulative
+    /// probability of datasets `0..=i`.
+    fn zipf_cdf(&self, n: usize) -> Vec<f64> {
+        let weights: Vec<f64> = (0..n)
+            .map(|i| 1.0 / ((i + 1) as f64).powf(self.zipf_s))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect()
+    }
+
+    /// Draws a dataset id from the Zipf CDF.
+    fn draw_dataset(cdf: &[f64], u: f64) -> usize {
+        cdf.iter().position(|&c| u < c).unwrap_or(cdf.len() - 1)
+    }
+
+    /// Generates an **open-loop** request stream over `pools` (one CSR
+    /// matrix per dataset; query rows are drawn uniformly from the
+    /// targeted pool). Ids are assigned in arrival order after sorting,
+    /// so the stream is already in canonical `(arrival_s, id)` order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pools` is empty or any pool has no rows.
+    pub fn generate<T: Real>(&self, pools: &[CsrMatrix<T>]) -> Vec<Request<T>> {
+        assert!(!pools.is_empty(), "workload needs at least one dataset");
+        assert!(
+            pools.iter().all(|p| p.rows() > 0),
+            "every dataset pool needs at least one row"
+        );
+        let mut rng = SplitMix64::new(self.seed);
+        let cdf = self.zipf_cdf(pools.len());
+        let rate_max = self.base_qps * (1.0 + self.diurnal_amplitude);
+
+        // Thinned non-homogeneous Poisson arrivals.
+        let mut times: Vec<f64> = Vec::new();
+        let mut t = 0.0;
+        loop {
+            t += rng.exponential(rate_max);
+            if t >= self.duration_s {
+                break;
+            }
+            if rng.next_f64() < self.rate_at(t) / rate_max {
+                times.push(t);
+            }
+        }
+        // Periodic bursts: `burst_size` simultaneous arrivals.
+        if self.burst_every_s > 0.0 && self.burst_size > 0 {
+            let mut b = self.burst_every_s;
+            while b < self.duration_s {
+                for _ in 0..self.burst_size {
+                    times.push(b);
+                }
+                b += self.burst_every_s;
+            }
+        }
+        times.sort_by(f64::total_cmp);
+
+        times
+            .into_iter()
+            .enumerate()
+            .map(|(i, arrival_s)| {
+                let dataset = Self::draw_dataset(&cdf, rng.next_f64());
+                let row = rng.below(pools[dataset].rows());
+                Request {
+                    id: i as u64,
+                    dataset,
+                    arrival_s,
+                    row: pools[dataset].slice_rows(row..row + 1),
+                }
+            })
+            .collect()
+    }
+
+    /// Generates a **closed-loop** stream: `clients` clients each pace
+    /// themselves with exponential think time (mean `think_s`) plus a
+    /// fixed `service_est_s` per request, bounding outstanding load by
+    /// the population size. Burst/diurnal knobs are ignored (the client
+    /// population is the rate control); Zipf skew still picks datasets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients == 0`, parameters are non-positive, or
+    /// `pools` is empty / has empty rows.
+    pub fn generate_closed_loop<T: Real>(
+        &self,
+        pools: &[CsrMatrix<T>],
+        clients: usize,
+        think_s: f64,
+        service_est_s: f64,
+    ) -> Vec<Request<T>> {
+        assert!(clients > 0, "closed loop needs at least one client");
+        assert!(
+            think_s > 0.0 && service_est_s >= 0.0,
+            "think time must be positive, service estimate non-negative"
+        );
+        assert!(!pools.is_empty(), "workload needs at least one dataset");
+        assert!(
+            pools.iter().all(|p| p.rows() > 0),
+            "every dataset pool needs at least one row"
+        );
+        let mut rng = SplitMix64::new(self.seed);
+        let cdf = self.zipf_cdf(pools.len());
+        let mut times: Vec<f64> = Vec::new();
+        for _ in 0..clients {
+            // Stagger client start times across one think interval.
+            let mut t = rng.exponential(1.0 / think_s);
+            while t < self.duration_s {
+                times.push(t);
+                t += service_est_s + rng.exponential(1.0 / think_s);
+            }
+        }
+        times.sort_by(f64::total_cmp);
+        times
+            .into_iter()
+            .enumerate()
+            .map(|(i, arrival_s)| {
+                let dataset = Self::draw_dataset(&cdf, rng.next_f64());
+                let row = rng.below(pools[dataset].rows());
+                Request {
+                    id: i as u64,
+                    dataset,
+                    arrival_s,
+                    row: pools[dataset].slice_rows(row..row + 1),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(rows: usize, salt: u64) -> CsrMatrix<f64> {
+        let mut data = vec![0.0; rows * 6];
+        for r in 0..rows {
+            for c in 0..6 {
+                if (r + c + salt as usize).is_multiple_of(3) {
+                    data[r * 6 + c] = 1.0 + r as f64 + c as f64 / 7.0;
+                }
+            }
+        }
+        CsrMatrix::from_dense(rows, 6, &data)
+    }
+
+    #[test]
+    fn streams_are_pure_functions_of_the_seed() {
+        let pools = [pool(8, 0), pool(8, 1)];
+        let w = Workload::steady(42, 5000.0, 0.02)
+            .with_zipf(1.2)
+            .with_diurnal(0.5, 0.01)
+            .with_bursts(0.005, 4);
+        let a = w.generate(&pools);
+        let b = w.generate(&pools);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.dataset, y.dataset);
+            assert_eq!(x.arrival_s.to_bits(), y.arrival_s.to_bits());
+        }
+        let c = Workload { seed: 43, ..w }.generate(&pools);
+        assert!(
+            a.len() != c.len()
+                || a.iter()
+                    .zip(&c)
+                    .any(|(x, y)| x.arrival_s.to_bits() != y.arrival_s.to_bits()),
+            "different seeds must produce different streams"
+        );
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_dataset_ids() {
+        let pools = [pool(4, 0), pool(4, 1), pool(4, 2), pool(4, 3)];
+        let reqs = Workload::steady(7, 20_000.0, 0.05)
+            .with_zipf(1.5)
+            .generate(&pools);
+        assert!(reqs.len() > 200, "enough samples to see the skew");
+        let mut counts = [0usize; 4];
+        for r in &reqs {
+            counts[r.dataset] += 1;
+        }
+        assert!(counts[0] > counts[1] && counts[1] > counts[3], "{counts:?}");
+    }
+
+    #[test]
+    fn bursts_land_on_schedule_and_ids_are_canonical() {
+        let pools = [pool(4, 0)];
+        let w = Workload::steady(1, 100.0, 0.1).with_bursts(0.025, 8);
+        let reqs = w.generate(&pools);
+        for (i, r) in reqs.iter().enumerate() {
+            assert_eq!(r.id, i as u64, "ids follow arrival order");
+        }
+        let at_burst = reqs
+            .iter()
+            .filter(|r| (r.arrival_s - 0.025).abs() < 1e-12)
+            .count();
+        assert!(at_burst >= 8, "burst arrivals present: {at_burst}");
+        // Arrivals are sorted.
+        for w in reqs.windows(2) {
+            assert!(w[0].arrival_s <= w[1].arrival_s);
+        }
+    }
+
+    #[test]
+    fn diurnal_modulation_shifts_density() {
+        let w = Workload::steady(3, 10_000.0, 1.0).with_diurnal(0.9, 1.0);
+        let pools = [pool(4, 0)];
+        let reqs = w.generate(&pools);
+        // First half-period sits above base rate, second half below.
+        let first: usize = reqs.iter().filter(|r| r.arrival_s < 0.5).count();
+        let second = reqs.len() - first;
+        assert!(
+            first > second + second / 2,
+            "diurnal peak must dominate: {first} vs {second}"
+        );
+    }
+
+    #[test]
+    fn closed_loop_bounds_outstanding_requests_by_population() {
+        let pools = [pool(4, 0)];
+        let w = Workload::steady(9, 1000.0, 0.1);
+        let clients = 4;
+        let service = 2e-3;
+        let reqs = w.generate_closed_loop(&pools, clients, 1e-3, service);
+        assert!(!reqs.is_empty());
+        // With pacing >= service_est, at most `clients` requests can sit
+        // inside any service_est-wide window.
+        for r in &reqs {
+            let inside = reqs
+                .iter()
+                .filter(|x| x.arrival_s >= r.arrival_s && x.arrival_s < r.arrival_s + service)
+                .count();
+            assert!(inside <= clients, "window holds {inside} > {clients}");
+        }
+    }
+}

@@ -5,10 +5,12 @@
 //! Span taxonomy (DESIGN §13): a request's life is
 //! `Enqueue → BatchAdmit → (CacheHit | CacheMiss → Prepare) →
 //! ShardLaunch per device → (Retry | Degrade)* → Merge → Reply`,
-//! or `Enqueue → Rejected` when admission control sheds it. Every span
-//! **must** end in a terminal event ([`SpanEvent::Reply`] or
-//! [`SpanEvent::Rejected`]) — `xtask analyze`'s warn-only
-//! `dropped-span` rule flags serve/neighbors code that calls
+//! or `Enqueue → Rejected` when admission control sheds it. Batches
+//! admitted past the degrade watermark additionally carry an
+//! [`SpanEvent::AdmissionDegrade`] marker. Every span **must** end in a
+//! terminal event ([`SpanEvent::Reply`] or [`SpanEvent::Rejected`]) —
+//! `xtask analyze`'s deny-severity `dropped-span` rule fails the gate
+//! on serve/neighbors code that calls
 //! [`RequestTraces::begin_request`] without a matching
 //! [`RequestTraces::finish_request`]/[`RequestTraces::reject_request`].
 //!
@@ -17,6 +19,7 @@
 //! per-request flame view that lines up with `--profile`'s kernel
 //! timeline and opens directly in Perfetto.
 
+use crate::admission::ShedReason;
 use gpu_sim::{chrome_trace_envelope, json_escape};
 use std::collections::BTreeMap;
 
@@ -29,6 +32,8 @@ pub enum SpanEvent {
     Rejected {
         /// Queued + executing requests at the rejection instant.
         backlog: usize,
+        /// The typed shed reason (queue cliff, rate limit, watermark).
+        reason: ShedReason,
     },
     /// The request's batch closed and was handed to the device pool.
     BatchAdmit {
@@ -70,6 +75,13 @@ pub enum SpanEvent {
         /// The strategy that produced the returned distances.
         strategy: String,
     },
+    /// Admission control routed the request's batch to degraded
+    /// (low-footprint) execution because the backlog crossed the
+    /// degrade watermark. Answers stay byte-identical (DESIGN §11).
+    AdmissionDegrade {
+        /// The degraded execution mode (e.g. `smem=Bloom`).
+        strategy: String,
+    },
     /// Per-shard results merged into the batch answer.
     Merge,
     /// The response was handed back to the caller (terminal).
@@ -92,6 +104,7 @@ impl SpanEvent {
             SpanEvent::ShardLaunch { .. } => "shard_launch",
             SpanEvent::Retry { .. } => "retry",
             SpanEvent::Degrade { .. } => "degrade",
+            SpanEvent::AdmissionDegrade { .. } => "admission_degrade",
             SpanEvent::Merge => "merge",
             SpanEvent::Reply { .. } => "reply",
         }
@@ -205,9 +218,9 @@ impl RequestTraces {
     }
 
     /// Closes request `id`'s span with its terminal
-    /// [`SpanEvent::Rejected`].
-    pub fn reject_request(&mut self, id: u64, t_s: f64, backlog: usize) {
-        self.push_event(id, t_s, SpanEvent::Rejected { backlog });
+    /// [`SpanEvent::Rejected`] carrying the typed shed reason.
+    pub fn reject_request(&mut self, id: u64, t_s: f64, backlog: usize, reason: ShedReason) {
+        self.push_event(id, t_s, SpanEvent::Rejected { backlog, reason });
     }
 
     /// The collected spans, in span-open (admission) order.
@@ -286,12 +299,16 @@ pub fn request_chrome_trace(spans: &[RequestSpan]) -> String {
                     ));
                 }
             }
-            _ => {
+            last => {
+                let reason = match last {
+                    Some(SpanEvent::Rejected { reason, .. }) => reason.name(),
+                    _ => "dropped",
+                };
                 events.push(format!(
                     "{{\"name\":\"rejected\",\"cat\":\"serve\",\"ph\":\"X\",\
                      \"ts\":{ts:.4},\"dur\":0.0,\"pid\":{},\"tid\":{},\
-                     \"args\":{{\"trace\":\"{}\"}}}}",
-                    s.dataset, s.request_id, trace
+                     \"args\":{{\"trace\":\"{}\",\"reason\":\"{}\"}}}}",
+                    s.dataset, s.request_id, trace, reason
                 ));
             }
         }
@@ -321,7 +338,7 @@ mod tests {
             traces.push_event(id, 3e-6, SpanEvent::Merge);
             traces.finish_request(id, 3e-6, 3e-6);
         } else {
-            traces.reject_request(id, 1e-6 * id as f64, 9);
+            traces.reject_request(id, 1e-6 * id as f64, 9, ShedReason::QueueFull);
         }
         traces.into_spans().remove(0)
     }

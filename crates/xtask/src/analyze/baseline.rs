@@ -2,9 +2,9 @@
 //!
 //! `experiments_output/ANALYZE_baseline.json` is a `diag.v1` document
 //! (name `analyze_baseline`) recording the findings the repo has
-//! accepted — the mechanism that let the warn-only `unranged-phase` and
-//! `panic-path` rules become deny: pre-existing findings ride, anything
-//! new fails CI. Mirrors the `compare_bench` baseline workflow:
+//! accepted — the mechanism that let the once-warn-only
+//! `unranged-phase`, `panic-path`, and `dropped-span` rules become
+//! deny: pre-existing findings ride, anything new fails CI. Mirrors the `compare_bench` baseline workflow:
 //! `--write-baseline` refreshes the file (via
 //! `scripts/update_analyze_baseline.sh`), and the committed diff is
 //! reviewed like any other code change.

@@ -15,11 +15,12 @@
 //!
 //! A second, lighter scan set covers the serving path
 //! ([`SPAN_SCAN_ROOTS`]: `crates/serve/src`, `crates/neighbors/src`)
-//! with only the warn-severity span-lifecycle rule
-//! ([`rules::run_span_rules`]) — the kernel rules would false-positive
-//! all over legitimate host code there, but a file that opens request
-//! spans without ever terminating them is worth a nudge (DESIGN.md
-//! §13).
+//! with only the span-lifecycle rule ([`rules::run_span_rules`]) — the
+//! kernel rules would false-positive all over legitimate host code
+//! there. The rule is deny severity like the rest: with admission
+//! control shedding requests on purpose, an unterminated span would
+//! silently drop a request from the trace, so it gates against the same
+//! committed baseline (DESIGN.md §13–§14).
 
 pub mod baseline;
 pub mod diag;

@@ -17,13 +17,15 @@
 //! | stale-allow        | allow regions that no longer suppress anything   | —               |
 //! | dropped-span       | request spans opened with no terminal event      | —               |
 //!
-//! Every kernel rule is deny severity: the committed baseline
+//! Every rule is deny severity: the committed baseline
 //! (`experiments_output/ANALYZE_baseline.json`), not a severity tier,
 //! is what lets pre-existing findings ride while new ones fail CI.
-//! `dropped-span` is the exception — it runs over the serving scan
-//! roots ([`super::SPAN_SCAN_ROOTS`], via [`run_span_rules`] rather
-//! than [`run_rules`]) and is warn severity: reported in the output and
-//! the `diag.v1` document, never failing the gate.
+//! `dropped-span` differs only in its scan set — it runs over the
+//! serving scan roots ([`super::SPAN_SCAN_ROOTS`], via
+//! [`run_span_rules`] rather than [`run_rules`]), where the admission
+//! controller now sheds requests on purpose; a span that ends without
+//! a terminal served/rejected event would silently drop a request from
+//! the trace, so the rule gates the same way the kernel rules do.
 //!
 //! Test code (`#[cfg(test)]`, brace-matched — see [`super::scope`]) is
 //! exempt from every rule: tests panic, poke shared memory, and mutate
@@ -87,8 +89,7 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         name: "dropped-span",
         prefix: None,
-        summary: "a serving-path file opens request spans but never records a terminal event \
-                  (warn-only)",
+        summary: "a serving-path file opens request spans but never records a terminal event",
     },
 ];
 
@@ -257,7 +258,7 @@ fn diag_at(
 /// set is [`super::SPAN_SCAN_ROOTS`] (serve + neighbors), where the
 /// kernel rules would drown legitimate host code in noise.
 ///
-/// `dropped-span` (warn-only): a file whose live code opens request
+/// `dropped-span`: a file whose live code opens request
 /// spans via `.begin_request(…)` must also contain at least one
 /// terminal call (`.finish_request(…)` or `.reject_request(…)`);
 /// otherwise every span the file opens leaks as non-terminal in the
@@ -281,7 +282,7 @@ pub fn run_span_rules(file: &str, text: &str) -> Vec<Diagnostic> {
     };
     vec![diag_at(
         "dropped-span",
-        Severity::Warn,
+        Severity::Deny,
         file,
         &lines,
         call.line,
@@ -290,7 +291,7 @@ pub fn run_span_rules(file: &str, text: &str) -> Vec<Diagnostic> {
          span event"
             .to_string(),
         "end every span with `.finish_request(…)` (served) or `.reject_request(…)` (shed) \
-         so traces cannot leak open spans; warn-only — reported but never fails the gate",
+         so traces cannot leak open spans",
     )]
 }
 

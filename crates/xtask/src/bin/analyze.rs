@@ -5,9 +5,10 @@
 //! and fails on anything the baseline does not cover — in *either*
 //! direction: a fresh finding means new questionable code, a stale
 //! baseline entry means an exemption outlived the code it excused.
-//! Only deny-severity findings gate: warn findings (the serving-path
-//! `dropped-span` rule) are printed and recorded in the `diag.v1`
-//! document but never fail the run.
+//! Only deny-severity findings gate; warn findings are printed and
+//! recorded in the `diag.v1` document but never fail the run. Every
+//! current rule — including the serving-path `dropped-span` rule — is
+//! deny severity, so the warn tier is presently empty.
 //!
 //! Gate mode (the CI `checks` job):
 //!

@@ -187,7 +187,7 @@ fn every_rule_is_cataloged() {
 }
 
 // ---------------------------------------------------------------------
-// dropped-span (warn-only, serving scan roots).
+// dropped-span (deny severity, serving scan roots).
 // ---------------------------------------------------------------------
 
 #[test]
@@ -202,7 +202,7 @@ fn admit(traces: &mut RequestTraces, r: &Request) {
 ";
     let out = run_span_rules("fixture.rs", seeded);
     assert_eq!(rules_of(&out), ["dropped-span"]);
-    assert_eq!(out[0].severity, Severity::Warn);
+    assert_eq!(out[0].severity, Severity::Deny);
     assert_eq!(out[0].line, 2);
     assert!(out[0].message.contains("terminal"));
 }
@@ -307,9 +307,9 @@ fn analyze_root_runs_only_span_rules_over_serving_roots() {
         &[
             // Kernel scan set must be non-empty for analyze_root.
             ("crates/kernels/src/a.rs", "w.issue(1);\n"),
-            // Opens spans, never terminates: one dropped-span warn. The
-            // unwrap must NOT be flagged — kernel rules are out of
-            // scope on serving roots.
+            // Opens spans, never terminates: one dropped-span deny
+            // finding. The unwrap must NOT be flagged — kernel rules
+            // are out of scope on serving roots.
             (
                 "crates/serve/src/leaky.rs",
                 "let q = opt.unwrap();\ntraces.begin_request(id, 0, t);\n",
@@ -325,7 +325,7 @@ fn analyze_root_runs_only_span_rules_over_serving_roots() {
     assert_eq!(analysis.files_scanned, 3);
     assert_eq!(rules_of(&analysis.findings), ["dropped-span"]);
     assert_eq!(analysis.findings[0].file, "crates/serve/src/leaky.rs");
-    assert_eq!(analysis.findings[0].severity, Severity::Warn);
+    assert_eq!(analysis.findings[0].severity, Severity::Deny);
     fs::remove_dir_all(&root).ok();
 }
 

@@ -19,8 +19,10 @@ cargo run --release --locked -p bench --bin shard_scaling -- \
     --scale "$SCALE" --json "$TMP/shard.json"
 cargo run --release --locked -p bench --bin serve_throughput -- \
     --scale "$SCALE" --json "$TMP/serve.json"
+cargo run --release --locked -p bench --bin serve_fleet -- \
+    --scale "$SCALE" --json "$TMP/fleet.json"
 cargo run --locked -p xtask --bin compare_bench -- \
     --write-baseline experiments_output/BENCH_baseline.json \
-    "$TMP/counters.json" "$TMP/shard.json" "$TMP/serve.json"
+    "$TMP/counters.json" "$TMP/shard.json" "$TMP/serve.json" "$TMP/fleet.json"
 
 echo "Refreshed experiments_output/BENCH_baseline.json — review and commit the diff."
