@@ -13,7 +13,7 @@ use std::fs;
 use std::path::Path;
 use std::process::Command;
 
-const HARNESSES: [&str; 11] = [
+const HARNESSES: [&str; 12] = [
     "table2",
     "figure1",
     "table3",
@@ -23,6 +23,7 @@ const HARNESSES: [&str; 11] = [
     "arch_compare",
     "resilience_report",
     "shard_scaling",
+    "ann_recall",
     "serve_throughput",
     "serve_fleet",
 ];

@@ -35,7 +35,7 @@ use kernels::{PairwiseOptions, ResiliencePolicy};
 use neighbors::NearestNeighbors;
 use semiring::Distance;
 use sparse_dist::{
-    chaos_drill, AdmissionConfig, ChaosPlan, Fleet, FleetConfig, FleetReport, Selection,
+    chaos_drill, AdmissionConfig, ChaosPlan, Fleet, FleetConfig, FleetReport, IndexMode, Selection,
     ServeConfig, SloBudget, Workload,
 };
 
@@ -79,6 +79,7 @@ fn fleet_config(k: usize) -> FleetConfig {
             // enough queueing for sustained overload to breach the SLO
             // and feed the autoscaler.
             admission: Some(AdmissionConfig::default().with_watermarks(64, 256)),
+            index: IndexMode::Exact,
         },
         ..FleetConfig::default()
     }

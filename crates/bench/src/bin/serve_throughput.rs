@@ -26,7 +26,9 @@ use datasets::DatasetProfile;
 use gpu_sim::Device;
 use neighbors::{MultiDevice, NearestNeighbors};
 use semiring::Distance;
-use sparse_dist::{replay_rows, MetricsRegistry, ServeConfig, ServeEngine, ServeReport, SloBudget};
+use sparse_dist::{
+    replay_rows, IndexMode, MetricsRegistry, ServeConfig, ServeEngine, ServeReport, SloBudget,
+};
 
 /// Simulated gap between request arrivals. Zero means a burst
 /// (closed-load) replay: every request is queued at t=0, the device
@@ -133,6 +135,7 @@ fn main() {
                 max_queue,
                 per_query_prepare: true,
                 admission: None,
+                index: IndexMode::Exact,
             },
         )
         .with_slo(0, SloBudget::p99(SLO_TARGET_P99_S));
@@ -158,6 +161,7 @@ fn main() {
                 max_queue,
                 per_query_prepare: false,
                 admission: None,
+                index: IndexMode::Exact,
             },
         )
         .with_slo(0, SloBudget::p99(SLO_TARGET_P99_S));

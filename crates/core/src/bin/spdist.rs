@@ -4,8 +4,10 @@
 //!
 //! ```text
 //! spdist knn      --input data.mtx --metric cosine --k 10 [--output out.tsv]
+//! spdist knn      --input data.mtx --index ivf --nlist 32 --nprobe 4 --k 10
 //! spdist pairwise --input a.mtx [--index b.mtx] --metric manhattan [--output d.mtx]
 //! spdist serve    --input index.mtx --queries q.mtx --k 10 [--max-batch 8 ...]
+//! spdist serve    --input index.mtx --queries q.mtx --index ivf --nprobe 4
 //! spdist info     --input data.mtx
 //! spdist gen      --profile movielens --scale 0.01 --output data.mtx [--seed 1]
 //! spdist profile  --input data.mtx [--replica out.mtx --seed 2]
@@ -44,6 +46,15 @@
 //! sets a p99 latency SLO on the served dataset; breach counts and
 //! error-budget burn land in the summary and the snapshot.
 //!
+//! Approximate tier (DESIGN §15): `--index ivf` on `knn` and `serve`
+//! routes candidate generation through a seeded IVF index —
+//! `--nlist <n>` posting lists (0 or omitted = `ceil(sqrt(rows))`),
+//! `--nprobe <p>` lists probed per query — with every shortlist
+//! reranked by the exact kernels, so returned distances are always
+//! exact and `--nprobe` = nlist reproduces the exact path byte for
+//! byte. On `knn`, the literal values `ivf`/`exact` select the tier;
+//! any other `--index` value remains the index-matrix path.
+//!
 //! Unknown flags, misspelled flags, and flags missing their value are
 //! config errors (exit 2) — never silently ignored.
 //!
@@ -74,9 +85,10 @@ use semiring::{Distance, DistanceParams};
 use sparse::{read_matrix_market, write_matrix_market, CsrMatrix, DegreeStats};
 use sparse_dist::{
     chaos_drill, chrome_trace, kneighbors_graph, replay_rows, request_chrome_trace,
-    AdmissionConfig, ChaosPlan, Device, FaultPlan, Fleet, FleetConfig, GraphMode, LaunchStats,
-    MultiDevice, NearestNeighbors, PairwiseOptions, ResiliencePolicy, ResilienceReport,
-    ServeConfig, ServeEngine, SloBudget, SmemMode, Strategy, Workload,
+    AdmissionConfig, ChaosPlan, Device, FaultPlan, Fleet, FleetConfig, GraphMode, IndexMode,
+    IvfIndex, IvfParams, LaunchStats, MultiDevice, NearestNeighbors, PairwiseOptions,
+    ResiliencePolicy, ResilienceReport, ServeConfig, ServeEngine, SloBudget, SmemMode, Strategy,
+    Workload,
 };
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -162,6 +174,8 @@ impl FlagSpec {
                     "--devices",
                     "--output",
                     "--graph",
+                    "--nlist",
+                    "--nprobe",
                 ],
                 &["--fused"],
                 &[],
@@ -171,6 +185,9 @@ impl FlagSpec {
             "serve" => (
                 &[
                     "--input",
+                    "--index",
+                    "--nlist",
+                    "--nprobe",
                     "--queries",
                     "--k",
                     "--devices",
@@ -602,38 +619,77 @@ fn cmd_info(args: &Args) -> Result<(), CliError> {
 fn cmd_knn(args: &Args) -> Result<(), CliError> {
     let (distance, params, options, device, show_resilience) = parse_common(args)?;
     let query = load(args.required("--input")?)?;
-    let index = match args.flag("--index") {
-        Some(p) => load(p)?,
-        None => query.clone(),
+    // `--index` doubles as the candidate-tier selector: the literal
+    // values `ivf` / `exact` pick a tier over the self-index, anything
+    // else is the historical index-matrix path.
+    let (ivf_mode, index) = match args.flag("--index") {
+        Some("ivf") => (true, query.clone()),
+        Some("exact") | None => (false, query.clone()),
+        Some(p) => (false, load(p)?),
     };
+    let (nlist, nprobe) = parse_ivf_knobs(args, ivf_mode)?;
     let k: usize = args
         .flag("--k")
         .unwrap_or("10")
         .parse()
         .map_err(|_| CliError::config("bad --k"))?;
     let fused = args.switch("--fused");
+    if fused && ivf_mode {
+        return Err(CliError::config(
+            "--fused cannot be combined with --index ivf",
+        ));
+    }
     let devices: usize = args
         .flag("--devices")
         .unwrap_or("1")
         .parse()
         .map_err(|_| CliError::config("bad --devices"))?;
+    if devices > 1 && fused {
+        return Err(CliError::config(
+            "--fused cannot be combined with --devices",
+        ));
+    }
     let nn = NearestNeighbors::new(device.clone(), distance)
         .with_params(params)
         .with_options(options)
         .with_fused(fused)
         .fit(index.clone());
-    let result = if devices > 1 {
-        if fused {
-            return Err(CliError::config(
-                "--fused cannot be combined with --devices",
-            ));
+    let result = if ivf_mode {
+        let nlist = resolve_nlist(nlist, index.rows());
+        let ivf = IvfIndex::fit(
+            &nn,
+            IvfParams {
+                nlist,
+                nprobe,
+                ..IvfParams::default()
+            },
+        )
+        .map_err(|e| CliError::launch(format!("ivf fit failed: {e}")))?;
+        let ans = if devices > 1 {
+            let multi = MultiDevice::replicate(&device, devices);
+            ivf.search_sharded(&multi, &query, k, nprobe)
+        } else {
+            ivf.search_with_nprobe(&query, k, nprobe)
         }
+        .map_err(|e| CliError::launch(format!("ivf query failed: {e}")))?;
+        eprintln!(
+            "spdist: ivf tier: {} list(s), nprobe {} -> {} probe(s), \
+             {} shortlist row(s) reranked exactly, fit {:.3} ms simulated",
+            ivf.nlist(),
+            ans.stats.nprobe,
+            ans.stats.probes,
+            ans.stats.shortlist_rows,
+            ivf.fit_sim_seconds() * 1e3,
+        );
+        ans.knn
+    } else if devices > 1 {
         let multi = MultiDevice::replicate(&device, devices);
         nn.kneighbors_sharded(&multi, &query, k)
+            .map_err(|e| CliError::launch(format!("query failed: {e}")))?
     } else {
         nn.kneighbors(&query, k)
-    }
-    .map_err(|e| CliError::launch(format!("query failed: {e}")))?;
+            .map_err(|e| CliError::launch(format!("query failed: {e}")))?
+    };
 
     eprintln!(
         "spdist: {} queries x {} index rows, {} tiles on {} device(s), \
@@ -695,6 +751,40 @@ fn parse_num<T: std::str::FromStr>(args: &Args, name: &str, default: &str) -> Re
         .unwrap_or(default)
         .parse()
         .map_err(|_| CliError::config(format!("bad {name} {}", args.flag(name).unwrap_or(default))))
+}
+
+/// Parses `--nlist`/`--nprobe` for the IVF tier. `nlist` defaults to 0
+/// (auto: `ceil(sqrt(index rows))`), `nprobe` to the [`IvfParams`]
+/// default. Both flags are config errors unless the IVF tier is
+/// selected — misreading an approximate-index knob as a no-op would
+/// silently change answers.
+fn parse_ivf_knobs(args: &Args, ivf: bool) -> Result<(usize, usize), CliError> {
+    if !ivf {
+        for knob in ["--nlist", "--nprobe"] {
+            if args.flag(knob).is_some() {
+                return Err(CliError::config(format!("{knob} requires --index ivf")));
+            }
+        }
+        return Ok((0, 0));
+    }
+    let nlist: usize = parse_num(args, "--nlist", "0")?;
+    let default_nprobe = IvfParams::default().nprobe.to_string();
+    let nprobe: usize = parse_num(args, "--nprobe", &default_nprobe)?;
+    if nprobe == 0 {
+        return Err(CliError::config("bad --nprobe 0 (must probe at least 1)"));
+    }
+    Ok((nlist, nprobe))
+}
+
+/// Auto `nlist` (the IVF sweet spot `ceil(sqrt(n))`) when the flag was
+/// 0/omitted, clamped to the index size.
+fn resolve_nlist(nlist: usize, index_rows: usize) -> usize {
+    let n = if nlist == 0 {
+        (index_rows as f64).sqrt().ceil() as usize
+    } else {
+        nlist
+    };
+    n.clamp(1, index_rows.max(1))
 }
 
 /// Parses the serve admission flags into an [`AdmissionConfig`], or
@@ -995,6 +1085,17 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         }
         selection = sparse_dist::Selection::Host;
     }
+    let ivf_mode = match args.flag("--index") {
+        Some("ivf") => true,
+        Some("exact") | None => false,
+        Some(other) => {
+            return Err(CliError::config(format!(
+                "bad --index {other} (serve accepts exact or ivf; \
+                 the index matrix is --input)"
+            )))
+        }
+    };
+    let (nlist, nprobe) = parse_ivf_knobs(args, ivf_mode)?;
     let nn = NearestNeighbors::new(device.clone(), distance)
         .with_params(params)
         .with_selection(selection)
@@ -1007,6 +1108,11 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         max_queue: max_queue.max(1),
         per_query_prepare: args.switch("--per-query-prepare"),
         admission: parse_admission(args)?,
+        index: if ivf_mode {
+            IndexMode::Ivf { nlist, nprobe }
+        } else {
+            IndexMode::Exact
+        },
     };
     let requests = serve_requests(args, &queries)?;
 
@@ -1092,6 +1198,18 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
             s.requests,
             s.budget_burn(),
             s.worst_window_burn(),
+        );
+    }
+    if ivf_mode {
+        let m = engine.metrics();
+        eprintln!(
+            "spdist: ivf tier: {} search(es), {} probe(s), {} shortlist \
+             row(s) reranked exactly, {} fit(s), {} degraded-nprobe batch(es)",
+            m.counter("ann.searches_total"),
+            m.counter("ann.probes_total"),
+            m.counter("ann.shortlist_rows_total"),
+            m.counter("ann.fits_total"),
+            m.counter("ann.degraded_nprobe_total"),
         );
     }
     if let Some(dest) = args.optional("--metrics") {

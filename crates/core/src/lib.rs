@@ -42,14 +42,14 @@ pub use kernels::{
     ResiliencePolicy, ResilienceReport, SmemMode, Strategy,
 };
 pub use neighbors::{
-    kneighbors_graph, GraphMode, KnnResult, MultiDevice, NearestNeighbors, PreparedShards,
-    Selection,
+    kneighbors_graph, GraphMode, IvfAnswer, IvfIndex, IvfParams, IvfPrepared, IvfQueryStats,
+    KnnResult, MultiDevice, NearestNeighbors, PreparedShards, Selection,
 };
 pub use semiring::{Distance, DistanceParams, Family, Monoid, Semiring};
 pub use serve::metrics::{HIST_GROWTH, HIST_MIN};
 pub use serve::{
     chaos_drill, fingerprint, nearest_rank, replay_rows, request_chrome_trace, AdmissionConfig,
-    CacheOutcome, CacheStats, ChaosPlan, DrillOutcome, Fleet, FleetConfig, FleetReport,
+    CacheOutcome, CacheStats, ChaosPlan, DrillOutcome, Fleet, FleetConfig, FleetReport, IndexMode,
     LogHistogram, MetricsRegistry, MetricsSnapshot, PreparedCache, Rejection, Request, RequestSpan,
     RequestTraces, Response, ScaleEvent, ServeConfig, ServeEngine, ServeReport, ShedReason,
     SloBudget, SloReport, SpanEvent, WindowOutcome, Workload,

@@ -150,6 +150,11 @@ impl<T: Real> NearestNeighbors<T> {
         self.distance
     }
 
+    /// The simulated device this estimator launches kernels on.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
     /// The pairwise execution options (strategy, smem mode, resilience
     /// policy) this estimator runs its distance tiles with.
     pub fn pairwise_options(&self) -> &PairwiseOptions {

@@ -32,12 +32,14 @@
 #![deny(missing_docs)]
 
 pub mod graph;
+pub mod ivf;
 pub mod knn;
 pub mod multi;
 pub mod prepared;
 pub mod topk;
 
 pub use graph::{kneighbors_graph, GraphMode};
+pub use ivf::{IvfAnswer, IvfIndex, IvfParams, IvfPrepared, IvfQueryStats, IvfShard};
 pub use knn::{KnnResult, NearestNeighbors, Selection};
 pub use multi::MultiDevice;
 pub use prepared::{PreparedShard, PreparedShards};

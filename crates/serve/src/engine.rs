@@ -33,13 +33,39 @@
 
 use crate::admission::{AdmissionConfig, AdmissionDecision, Rejection, ShedReason, TokenBucket};
 use crate::cache::{CacheStats, PreparedCache};
+use crate::fingerprint::fingerprint;
 use crate::metrics::{percentile_sorted, MetricsRegistry};
 use crate::slo::{assess, SloBudget, SloReport};
 use crate::span::{RequestSpan, RequestTraces, SpanEvent};
 use kernels::{KernelError, SmemMode};
-use neighbors::{MultiDevice, NearestNeighbors};
+use neighbors::{IvfIndex, IvfParams, IvfPrepared, MultiDevice, NearestNeighbors};
 use sparse::{CsrMatrix, Idx, Real};
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// How the engine generates candidates for each batch (DESIGN §15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexMode {
+    /// Brute-force scan of every index row (the default): answers are
+    /// exact and degraded batches reroute through the bloom-filter smem
+    /// representation, byte-identical by DESIGN §11.
+    #[default]
+    Exact,
+    /// IVF approximate tier: a seeded [`IvfIndex`] is fitted (and
+    /// cached) per dataset; batches probe `nprobe` posting lists and
+    /// rerank them exactly. Degraded batches *halve* `nprobe` instead
+    /// of switching smem — trading recall, never answer integrity
+    /// (every returned pair carries an exact kernel distance,
+    /// deterministic across host threads and pool sizes).
+    Ivf {
+        /// Posting lists to fit. `0` = auto (`ceil(sqrt(rows))`).
+        nlist: usize,
+        /// Lists probed per query (clamped to `[1, nlist]`;
+        /// `nprobe == nlist` routes through the exact serving path, so
+        /// it reproduces the exact oracle byte for byte).
+        nprobe: usize,
+    },
+}
 
 /// Batching and admission knobs for the request engine.
 #[derive(Debug, Clone, Copy)]
@@ -62,6 +88,8 @@ pub struct ServeConfig {
     /// degrade/shed watermarks ([`AdmissionConfig`]). `None` keeps only
     /// the hard `max_queue` cliff.
     pub admission: Option<AdmissionConfig>,
+    /// Candidate-generation tier ([`IndexMode::Exact`] by default).
+    pub index: IndexMode,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +101,7 @@ impl Default for ServeConfig {
             max_queue: 1024,
             per_query_prepare: false,
             admission: None,
+            index: IndexMode::Exact,
         }
     }
 }
@@ -219,6 +248,25 @@ pub struct ServeEngine<T> {
     config: ServeConfig,
     metrics: MetricsRegistry,
     slos: BTreeMap<usize, SloBudget>,
+    /// Fitted IVF artifacts per dataset id (IVF mode only), keyed by
+    /// content fingerprint + pool size so refits and reshards are
+    /// detected exactly like [`PreparedCache`] misses.
+    ivf: BTreeMap<usize, IvfEntry<T>>,
+}
+
+/// What `ivf_lookup` hands a dispatching batch: the fitted index, its
+/// prepared posting lists, the fit's simulated seconds, and whether
+/// this call paid them (false on a cache hit).
+type IvfArtifact<T> = (Arc<IvfIndex<T>>, Arc<IvfPrepared<T>>, f64, bool);
+
+/// One cached IVF artifact: the fitted index plus its posting lists
+/// prepared for the engine's pool.
+struct IvfEntry<T> {
+    fingerprint: u64,
+    nlist: usize,
+    devices: usize,
+    index: Arc<IvfIndex<T>>,
+    prepared: Arc<IvfPrepared<T>>,
 }
 
 struct OpenBatch<T> {
@@ -252,6 +300,12 @@ struct ReplayState<T> {
     degraded_fit: Vec<Option<NearestNeighbors<T>>>,
     degraded_requests: u64,
     degraded_batches: u64,
+    /// `ann.*` accounting (IVF mode only; all zero in exact mode).
+    ann_searches: u64,
+    ann_probes: u64,
+    ann_shortlist_rows: u64,
+    ann_fits: u64,
+    ann_degraded_nprobe: u64,
 }
 
 impl<T: Real> ServeEngine<T> {
@@ -266,7 +320,14 @@ impl<T: Real> ServeEngine<T> {
             config,
             metrics: MetricsRegistry::new(),
             slos: BTreeMap::new(),
+            ivf: BTreeMap::new(),
         }
+    }
+
+    /// Switches the candidate-generation tier (builder form).
+    pub fn with_index_mode(mut self, index: IndexMode) -> Self {
+        self.config.index = index;
+        self
     }
 
     /// Replaces the cache with one of an explicit byte budget.
@@ -353,6 +414,11 @@ impl<T: Real> ServeEngine<T> {
             degraded_fit: (0..fitted.len()).map(|_| None).collect(),
             degraded_requests: 0,
             degraded_batches: 0,
+            ann_searches: 0,
+            ann_probes: 0,
+            ann_shortlist_rows: 0,
+            ann_fits: 0,
+            ann_degraded_nprobe: 0,
         };
         let mut next = 0usize;
 
@@ -452,6 +518,11 @@ impl<T: Real> ServeEngine<T> {
             faults: st.faults,
             shard_launches: st.shard_launches,
             prepares: st.prepares,
+            ann_searches: st.ann_searches,
+            ann_probes: st.ann_probes,
+            ann_shortlist_rows: st.ann_shortlist_rows,
+            ann_fits: st.ann_fits,
+            ann_degraded_nprobe: st.ann_degraded_nprobe,
         };
         self.record_replay(&mut report, &counts);
         Ok(report)
@@ -485,6 +556,19 @@ impl<T: Real> ServeEngine<T> {
         m.inc("serve.faults_absorbed_total", extra.faults);
         m.inc("serve.shard_launches_total", extra.shard_launches);
         m.inc("serve.prepares_total", extra.prepares);
+
+        // `ann.*` only exists in IVF mode, so exact-mode snapshots are
+        // byte-identical to pre-IVF builds.
+        if extra.ann_searches > 0 {
+            m.inc("ann.searches_total", extra.ann_searches);
+            m.inc("ann.probes_total", extra.ann_probes);
+            m.inc("ann.shortlist_rows_total", extra.ann_shortlist_rows);
+            m.inc("ann.fits_total", extra.ann_fits);
+            m.inc("ann.degraded_nprobe_total", extra.ann_degraded_nprobe);
+            if let IndexMode::Ivf { nprobe, .. } = self.config.index {
+                m.set_gauge("ann.nprobe", nprobe.max(1) as f64);
+            }
+        }
 
         let occupancy = if report.batches > 0 && self.config.max_batch > 0 {
             served as f64 / (report.batches as f64 * self.config.max_batch as f64)
@@ -525,6 +609,49 @@ impl<T: Real> ServeEngine<T> {
         }
     }
 
+    /// Returns the cached IVF artifact for `dataset` (fingerprint,
+    /// `nlist`, and pool size all matching), fitting and preparing one
+    /// on a miss. The returned flag says whether this call fitted, so
+    /// the dispatching batch can be charged the fit's simulated time.
+    fn ivf_lookup(
+        &mut self,
+        dataset: usize,
+        nn: &NearestNeighbors<T>,
+        nlist: usize,
+    ) -> Result<IvfArtifact<T>, KernelError> {
+        let index = nn.index().expect("fit() the estimator before serving");
+        let fp = fingerprint(index);
+        let nlist_eff = if nlist == 0 {
+            (index.rows() as f64).sqrt().ceil() as usize
+        } else {
+            nlist
+        }
+        .max(1);
+        if let Some(e) = self.ivf.get(&dataset) {
+            if e.fingerprint == fp && e.nlist == nlist_eff && e.devices == self.multi.len() {
+                return Ok((Arc::clone(&e.index), Arc::clone(&e.prepared), 0.0, false));
+            }
+        }
+        let params = IvfParams {
+            nlist: nlist_eff,
+            ..IvfParams::default()
+        };
+        let ivf = Arc::new(IvfIndex::fit(nn, params)?);
+        let prepared = Arc::new(ivf.prepare(&self.multi));
+        let fit_seconds = ivf.fit_sim_seconds();
+        self.ivf.insert(
+            dataset,
+            IvfEntry {
+                fingerprint: fp,
+                nlist: nlist_eff,
+                devices: self.multi.len(),
+                index: Arc::clone(&ivf),
+                prepared: Arc::clone(&prepared),
+            },
+        );
+        Ok((ivf, prepared, fit_seconds, true))
+    }
+
     fn dispatch(
         &mut self,
         fitted: &[NearestNeighbors<T>],
@@ -554,70 +681,154 @@ impl<T: Real> ServeEngine<T> {
             );
         }
 
+        let is_ivf = matches!(self.config.index, IndexMode::Ivf { .. });
         // Degraded batches run through a lazily-built clone of the
         // estimator forced onto the bloom-filter smem representation —
         // the low-footprint end of the Hybrid→Hash→Bloom→NaiveCsr
         // cascade. Same fitted index, same prepared shards, and every
         // strategy produces bit-identical distances (DESIGN §11), so
         // degrading trades occupancy headroom, never answer bytes.
+        // (IVF batches degrade differently — by lowering `nprobe`,
+        // handled in the IVF arm below.)
         if degraded {
             st.degraded_batches += 1;
             st.degraded_requests += taken.len() as u64;
-            if st.degraded_fit[dataset].is_none() {
-                let mut opts = *nn.pairwise_options();
-                opts.smem_mode = SmemMode::Bloom;
-                st.degraded_fit[dataset] = Some(nn.clone().with_options(opts));
-            }
-            for req in &taken {
-                st.traces.push_event(
-                    req.id,
-                    close_s,
-                    SpanEvent::AdmissionDegrade {
-                        strategy: "smem=Bloom".to_string(),
-                    },
-                );
-            }
-        }
-        let exec_nn = if degraded {
-            st.degraded_fit[dataset].as_ref().expect("built above")
-        } else {
-            nn
-        };
-
-        let start_s = close_s.max(st.device_free_at);
-        let mut prep_s = 0.0;
-        let result = if self.config.per_query_prepare {
-            // Baseline mode: pay uploads + norms on every batch (no
-            // cache involved, so no cache span events either).
-            st.prepares += 1;
-            exec_nn.kneighbors_sharded(&self.multi, &batch_query, self.config.k)?
-        } else {
-            let (shards, outcome) = self.cache.lookup(nn, &self.multi)?;
-            for req in &taken {
-                if outcome.hit {
-                    st.traces.push_event(req.id, close_s, SpanEvent::CacheHit);
-                } else {
+            if !is_ivf {
+                if st.degraded_fit[dataset].is_none() {
+                    let mut opts = *nn.pairwise_options();
+                    opts.smem_mode = SmemMode::Bloom;
+                    st.degraded_fit[dataset] = Some(nn.clone().with_options(opts));
+                }
+                for req in &taken {
                     st.traces.push_event(
                         req.id,
                         close_s,
-                        SpanEvent::CacheMiss {
-                            evictions: outcome.evictions,
-                        },
-                    );
-                    st.traces.push_event(
-                        req.id,
-                        start_s,
-                        SpanEvent::Prepare {
-                            seconds: outcome.warm_seconds,
+                        SpanEvent::AdmissionDegrade {
+                            strategy: "smem=Bloom".to_string(),
                         },
                     );
                 }
             }
-            if !outcome.hit {
-                st.prepares += 1;
+        }
+
+        let start_s = close_s.max(st.device_free_at);
+        let mut prep_s = 0.0;
+        let result = match self.config.index {
+            IndexMode::Exact => {
+                let exec_nn = if degraded {
+                    st.degraded_fit[dataset].as_ref().expect("built above")
+                } else {
+                    nn
+                };
+                if self.config.per_query_prepare {
+                    // Baseline mode: pay uploads + norms on every batch
+                    // (no cache involved, so no cache span events
+                    // either).
+                    st.prepares += 1;
+                    exec_nn.kneighbors_sharded(&self.multi, &batch_query, self.config.k)?
+                } else {
+                    let (shards, outcome) = self.cache.lookup(nn, &self.multi)?;
+                    for req in &taken {
+                        if outcome.hit {
+                            st.traces.push_event(req.id, close_s, SpanEvent::CacheHit);
+                        } else {
+                            st.traces.push_event(
+                                req.id,
+                                close_s,
+                                SpanEvent::CacheMiss {
+                                    evictions: outcome.evictions,
+                                },
+                            );
+                            st.traces.push_event(
+                                req.id,
+                                start_s,
+                                SpanEvent::Prepare {
+                                    seconds: outcome.warm_seconds,
+                                },
+                            );
+                        }
+                    }
+                    if !outcome.hit {
+                        st.prepares += 1;
+                    }
+                    prep_s = outcome.warm_seconds;
+                    exec_nn.kneighbors_prepared(&shards, &batch_query, self.config.k)?
+                }
             }
-            prep_s = outcome.warm_seconds;
-            exec_nn.kneighbors_prepared(&shards, &batch_query, self.config.k)?
+            IndexMode::Ivf { nlist, nprobe } => {
+                // The fitted IVF artifact is cached per dataset; the
+                // first batch to touch a dataset pays the k-means fit
+                // the same way the first exact batch pays norm warming.
+                let (ivf, prepared, fit_seconds, fitted_now) =
+                    self.ivf_lookup(dataset, nn, nlist)?;
+                for req in &taken {
+                    if fitted_now {
+                        st.traces.push_event(
+                            req.id,
+                            close_s,
+                            SpanEvent::CacheMiss { evictions: 0 },
+                        );
+                        st.traces.push_event(
+                            req.id,
+                            start_s,
+                            SpanEvent::Prepare {
+                                seconds: fit_seconds,
+                            },
+                        );
+                    } else {
+                        st.traces.push_event(req.id, close_s, SpanEvent::CacheHit);
+                    }
+                }
+                if fitted_now {
+                    st.prepares += 1;
+                    st.ann_fits += 1;
+                    prep_s += fit_seconds;
+                }
+                // Degrade cascade, IVF edition: under admission
+                // pressure the batch probes half as many posting lists
+                // — visible in `ann.*` counters and the span stream,
+                // recovered the moment pressure lifts.
+                let nprobe_eff = if degraded {
+                    st.ann_degraded_nprobe += 1;
+                    let lowered = (nprobe.max(1) / 2).max(1);
+                    for req in &taken {
+                        st.traces.push_event(
+                            req.id,
+                            close_s,
+                            SpanEvent::AdmissionDegrade {
+                                strategy: format!("nprobe={lowered}"),
+                            },
+                        );
+                    }
+                    lowered
+                } else {
+                    nprobe.max(1)
+                };
+                st.ann_searches += 1;
+                if nprobe_eff >= ivf.nlist() {
+                    // Full probe degenerates to the exact tier: the
+                    // same `PreparedShards` artifact and execution core
+                    // `IndexMode::Exact` serves with, so the response
+                    // bytes equal the exact oracle's by construction
+                    // (DESIGN §15) — gathered posting-list slabs could
+                    // only reproduce them to re-association precision.
+                    let rows = batch_query.rows();
+                    st.ann_probes += (rows * ivf.nlist()) as u64;
+                    st.ann_shortlist_rows += (rows * ivf.index_rows()) as u64;
+                    let (shards, outcome) = self.cache.lookup(nn, &self.multi)?;
+                    if !outcome.hit {
+                        st.prepares += 1;
+                    }
+                    prep_s += outcome.warm_seconds;
+                    nn.kneighbors_prepared(&shards, &batch_query, self.config.k)?
+                } else {
+                    let ans =
+                        ivf.search_prepared(&prepared, &batch_query, self.config.k, nprobe_eff)?;
+                    st.ann_probes += ans.stats.probes as u64;
+                    st.ann_shortlist_rows += ans.stats.shortlist_rows as u64;
+                    ans.knn
+                }
+            }
         };
         let exec_seconds = prep_s + result.sim_seconds;
 
@@ -711,6 +922,11 @@ struct ReplayCounts {
     faults: u64,
     shard_launches: u64,
     prepares: u64,
+    ann_searches: u64,
+    ann_probes: u64,
+    ann_shortlist_rows: u64,
+    ann_fits: u64,
+    ann_degraded_nprobe: u64,
 }
 
 /// Builds a fixed-gap replay stream over the rows of `query`: request

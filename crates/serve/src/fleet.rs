@@ -30,7 +30,7 @@
 //! (each window's engine starts idle), which is the one modeling
 //! simplification DESIGN §14 records.
 
-use crate::admission::Rejection;
+use crate::admission::{Rejection, ShedReason};
 use crate::engine::{Request, Response, ServeConfig, ServeEngine};
 use crate::metrics::{percentile_sorted, MetricsRegistry};
 use crate::slo::SloBudget;
@@ -179,6 +179,9 @@ pub struct Fleet {
     slos: BTreeMap<usize, SloBudget>,
     chaos: Option<ChaosPlan>,
     metrics: MetricsRegistry,
+    /// Completed [`Fleet::run`] calls — the ordinal that namespaces
+    /// each run's per-window counter series in the registry.
+    runs: u64,
 }
 
 impl Fleet {
@@ -199,6 +202,7 @@ impl Fleet {
             slos: BTreeMap::new(),
             chaos: None,
             metrics: MetricsRegistry::new(),
+            runs: 0,
         }
     }
 
@@ -274,6 +278,12 @@ impl Fleet {
         let mut degraded_total = 0u64;
         let mut chaos_windows = 0u64;
         let mut next = 0usize;
+        // Cumulative shed counts per typed reason at the close of each
+        // window — the monotone series `bench::validate_metrics` checks
+        // (a cumulative counter that ever decreased would mean a window
+        // un-shed a request).
+        let mut shed_cum = [0u64; ShedReason::ALL.len()];
+        let mut window_shed_cum: Vec<[u64; ShedReason::ALL.len()]> = Vec::new();
 
         for w in 0..n_windows {
             let start_s = w as f64 * cfg.window_s;
@@ -323,6 +333,13 @@ impl Fleet {
                     worst,
                 );
                 degraded_total += r.degraded_requests;
+                for rej in &r.rejected {
+                    let slot = ShedReason::ALL
+                        .iter()
+                        .position(|&x| x == rej.reason)
+                        .expect("every reason is in ALL");
+                    shed_cum[slot] += 1;
+                }
                 report.responses.extend(r.responses);
                 report.rejected.extend(r.rejected);
                 report.spans.extend(r.spans);
@@ -339,6 +356,7 @@ impl Fleet {
                 worst_burn,
                 chaos,
             });
+            window_shed_cum.push(shed_cum);
 
             // The autoscaling state machine (DESIGN §14): one step per
             // window, cooldown after scale-up, calm streak before
@@ -408,6 +426,29 @@ impl Fleet {
             report.rejected.len() as u64,
         );
         m.inc("serve.fleet.degraded_requests_total", degraded_total);
+        // Per-window cumulative shed series, namespaced by run ordinal
+        // so several runs through one fleet never splice their windows
+        // together. Zero-padded window tags make the registry's sorted
+        // key order equal window order; `bench::validate_metrics`
+        // asserts each series is monotone non-decreasing and that the
+        // final cumulative values reconcile with
+        // `serve.fleet.requests_shed_total`.
+        if !report.rejected.is_empty() {
+            for (w, cums) in window_shed_cum.iter().enumerate() {
+                for (slot, reason) in ShedReason::ALL.iter().enumerate() {
+                    m.inc(
+                        &format!(
+                            "serve.fleet.run{:03}.w{:04}.shed_{}_total",
+                            self.runs,
+                            w,
+                            reason.name()
+                        ),
+                        cums[slot],
+                    );
+                }
+            }
+        }
+        self.runs += 1;
         m.set_gauge("serve.fleet.replicas", replicas as f64);
         m.set_gauge("serve.fleet.shed_fraction", report.shed_fraction());
         m.set_gauge("serve.fleet.worst_window_burn", report.worst_burn());

@@ -54,7 +54,9 @@ pub mod span;
 
 pub use admission::{AdmissionConfig, AdmissionDecision, Rejection, ShedReason, TokenBucket};
 pub use cache::{CacheKey, CacheOutcome, CacheStats, PreparedCache};
-pub use engine::{replay_rows, Request, Response, ServeConfig, ServeEngine, ServeReport};
+pub use engine::{
+    replay_rows, IndexMode, Request, Response, ServeConfig, ServeEngine, ServeReport,
+};
 pub use fingerprint::fingerprint;
 pub use fleet::{
     chaos_drill, ChaosPlan, DrillOutcome, Fleet, FleetConfig, FleetReport, ScaleEvent,

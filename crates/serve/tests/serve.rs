@@ -5,9 +5,11 @@
 
 use gpu_sim::{Device, FaultPlan};
 use kernels::{PairwiseOptions, ResiliencePolicy};
-use neighbors::{KnnResult, MultiDevice, NearestNeighbors};
+use neighbors::{IvfIndex, IvfParams, KnnResult, MultiDevice, NearestNeighbors};
 use semiring::Distance;
-use serve::{replay_rows, Request, ServeConfig, ServeEngine, ServeReport};
+use serve::{
+    replay_rows, AdmissionConfig, IndexMode, Request, ServeConfig, ServeEngine, ServeReport,
+};
 use sparse::CsrMatrix;
 
 fn dataset(rows: usize, salt: u64) -> CsrMatrix<f64> {
@@ -292,4 +294,158 @@ fn latency_percentiles_are_ordered_and_batching_amortizes() {
         &nn.kneighbors_sharded(&multi, &m, 3).expect("ok"),
         "second replay",
     );
+}
+
+/// IVF serving at `nprobe == nlist` probes every posting list, so the
+/// exact-rerank contract (DESIGN §15) makes every served response
+/// byte-identical to the exact one-shot oracle — and the `ann.*`
+/// counter family appears in the registry.
+#[test]
+fn ivf_full_probe_serving_matches_exact_oracle() {
+    let m = dataset(20, 1);
+    let multi = MultiDevice::replicate(&Device::volta(), 2);
+    let nn = NearestNeighbors::new(Device::volta(), Distance::Euclidean).fit(m.clone());
+    let oneshot = nn.kneighbors_sharded(&multi, &m, 4).expect("ok");
+    let cfg = ServeConfig {
+        k: 4,
+        max_batch: 5,
+        max_wait_s: 40e-6,
+        index: IndexMode::Ivf {
+            nlist: 5,
+            nprobe: 5,
+        },
+        ..ServeConfig::default()
+    };
+    let mut engine = ServeEngine::new(multi, cfg);
+    let report = engine
+        .replay(std::slice::from_ref(&nn), &replay_rows(&m, 15e-6))
+        .expect("replay");
+    assert_eq!(report.responses.len(), 20);
+    assert_rows_match(&report, &oneshot, "ivf nprobe=nlist");
+    let metrics = engine.metrics();
+    assert!(metrics.counter("ann.searches_total") > 0);
+    assert_eq!(metrics.counter("ann.fits_total"), 1);
+    assert!(metrics.counter("ann.probes_total") >= metrics.counter("ann.searches_total"));
+    assert_eq!(metrics.gauge("ann.nprobe"), Some(5.0));
+    // Second replay reuses the fitted artifact: no new fit.
+    engine
+        .replay(std::slice::from_ref(&nn), &replay_rows(&m, 15e-6))
+        .expect("replay");
+    assert_eq!(engine.metrics().counter("ann.fits_total"), 1);
+}
+
+/// Partial probes shrink the shortlist but never invent distances:
+/// every served pair appears in the exact full ranking with its
+/// distance agreeing to re-tiling (ulp) precision, and — Cosine being
+/// a single-pass family, whose pair bits are independent of batch
+/// composition (DESIGN §15) — the served bytes equal the library
+/// [`IvfIndex`] answer for the same `nprobe` exactly, even though the
+/// engine reranks in micro-batches of 4.
+#[test]
+fn ivf_partial_probe_serves_pairs_from_the_exact_ranking() {
+    let m = dataset(20, 2);
+    let multi = MultiDevice::replicate(&Device::volta(), 3);
+    let nn = NearestNeighbors::new(Device::volta(), Distance::Cosine).fit(m.clone());
+    let full = nn.kneighbors_sharded(&multi, &m, 20).expect("ok");
+    let ivf = IvfIndex::fit(
+        &nn,
+        IvfParams {
+            nlist: 5,
+            ..IvfParams::default()
+        },
+    )
+    .expect("fit");
+    let library = ivf.search_with_nprobe(&m, 4, 2).expect("search");
+    let cfg = ServeConfig {
+        k: 4,
+        max_batch: 4,
+        max_wait_s: 40e-6,
+        index: IndexMode::Ivf {
+            nlist: 5,
+            nprobe: 2,
+        },
+        ..ServeConfig::default()
+    };
+    let mut engine = ServeEngine::new(multi, cfg);
+    let report = engine
+        .replay(std::slice::from_ref(&nn), &replay_rows(&m, 15e-6))
+        .expect("replay");
+    assert_eq!(report.responses.len(), 20);
+    for resp in &report.responses {
+        let q = resp.id as usize;
+        assert_eq!(resp.indices, library.knn.indices[q], "query {q}");
+        let served: Vec<u64> = resp.distances.iter().map(|d| d.to_bits()).collect();
+        let want: Vec<u64> = library.knn.distances[q]
+            .iter()
+            .map(|d| d.to_bits())
+            .collect();
+        assert_eq!(served, want, "query {q}: serve vs library bits");
+        for (&idx, &dist) in resp.indices.iter().zip(&resp.distances) {
+            let pos = full.indices[q]
+                .iter()
+                .position(|&j| j == idx)
+                .expect("served index exists in the full ranking");
+            assert!(
+                (dist - full.distances[q][pos]).abs() < 1e-9,
+                "query {q} neighbor {idx}: rerank must agree with the oracle"
+            );
+        }
+    }
+}
+
+/// Under admission pressure the IVF degrade cascade halves `nprobe`
+/// instead of swapping smem representation: responses still carry
+/// exact distances and the lowered probes are visible in `ann.*`.
+#[test]
+fn ivf_degrade_lowers_nprobe_and_keeps_exact_rerank() {
+    let m = dataset(16, 0);
+    let multi = MultiDevice::replicate(&Device::volta(), 2);
+    let nn = NearestNeighbors::new(Device::volta(), Distance::Euclidean).fit(m.clone());
+    let full = nn.kneighbors_sharded(&multi, &m, 16).expect("ok");
+    let cfg = ServeConfig {
+        k: 3,
+        max_batch: 4,
+        max_wait_s: 20e-6,
+        max_queue: 1024,
+        admission: Some(AdmissionConfig::default().with_watermarks(0, usize::MAX)),
+        index: IndexMode::Ivf {
+            nlist: 4,
+            nprobe: 4,
+        },
+        ..ServeConfig::default()
+    };
+    let reqs: Vec<Request<f64>> = (0..16)
+        .map(|i| Request {
+            id: i as u64,
+            dataset: 0,
+            arrival_s: 0.0,
+            row: m.slice_rows(i..i + 1),
+        })
+        .collect();
+    let mut engine = ServeEngine::new(multi, cfg);
+    let report = engine
+        .replay(std::slice::from_ref(&nn), &reqs)
+        .expect("replay");
+    assert_eq!(report.responses.len(), 16);
+    assert!(report.degraded_batches > 0);
+    let metrics = engine.metrics();
+    assert!(metrics.counter("ann.degraded_nprobe_total") > 0);
+    assert_eq!(
+        metrics.counter("ann.degraded_nprobe_total"),
+        report.degraded_batches
+    );
+    // Halved probes still rerank exactly: every served pair agrees
+    // with the full ranking to re-tiling precision (Euclidean pair
+    // bits are batch-independent, but the full ranking was computed on
+    // a different slab geometry — DESIGN §15).
+    for resp in &report.responses {
+        let q = resp.id as usize;
+        for (&idx, &dist) in resp.indices.iter().zip(&resp.distances) {
+            let pos = full.indices[q]
+                .iter()
+                .position(|&j| j == idx)
+                .expect("served index exists in the full ranking");
+            assert!((dist - full.distances[q][pos]).abs() < 1e-9);
+        }
+    }
 }

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Refreshes every committed CI baseline in one pass:
+#
+#   * experiments_output/BENCH_baseline.json   — perf gate (±10%)
+#   * experiments_output/ANALYZE_baseline.json — analyzer suppressions
+#   * experiments_output/ANN_recall_floor.json — IVF recall gate
+#
+# Run this when a PR intentionally moves performance, accepts an
+# analyzer finding, or changes approximate-search quality; review and
+# commit the resulting diffs — the reviewed diff IS the acceptance
+# decision. The CI `baseline-refresh` job (workflow_dispatch) runs this
+# script on a runner and uploads the diff as a patch artifact, so the
+# refresh can be produced without a local checkout.
+#
+# BENCH_SCALE (default 0.002) must match what the CI perf-gate and
+# ann-recall-gate jobs pass — keep them in sync.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${BENCH_SCALE:-0.002}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+scripts/update_bench_baseline.sh
+
+cargo run --locked -p xtask --bin analyze -- --write-baseline
+
+cargo run --release --locked -p bench --bin ann_recall -- \
+    --scale "$SCALE" --json "$TMP/ann.json"
+cargo run --locked -p xtask --bin check_recall -- \
+    --write-floor experiments_output/ANN_recall_floor.json "$TMP/ann.json"
+
+echo "Refreshed BENCH_baseline.json, ANALYZE_baseline.json and" \
+     "ANN_recall_floor.json — review and commit the diffs."

@@ -1,0 +1,179 @@
+//! Property tests for the IVF approximate tier (DESIGN §15).
+//!
+//! Three contracts, held under randomized operands:
+//!
+//! * **Exactness at full probe.** With `nprobe == nlist` every posting
+//!   list would be probed, so the search degenerates to the exact
+//!   estimator itself (same slab geometry, same execution core —
+//!   DESIGN §15) and must reproduce its answer *byte for byte* —
+//!   across kernel strategies, distance families, and host-thread
+//!   counts (the builder knob; the `GPU_SIM_HOST_THREADS` env override
+//!   preserves the property too, it just pins the count process-wide).
+//! * **Recall monotonicity.** Probing more posting lists can only grow
+//!   each query's candidate pool, so recall@k against the exact oracle
+//!   is monotone non-decreasing in `nprobe`, ending at exactly 1.0.
+//! * **Partial-probe bit stability.** For single-pass distance
+//!   families (annihilating / expansion-based: Euclidean, Cosine) a
+//!   reranked pair's distance is a pure function of the fitted posting
+//!   lists — the same `(query, id)` pair served at different partial
+//!   `nprobe` values carries identical bits. NAMM families stream the
+//!   gathered query rows in their second pass, so their bits
+//!   re-associate (ulp-level) when the visitor set changes; they are
+//!   covered by the recall and full-probe contracts only.
+
+use proptest::prelude::*;
+use semiring::Distance;
+use sparse::CsrMatrix;
+use sparse_dist::{
+    Device, IvfIndex, IvfParams, KnnResult, NearestNeighbors, PairwiseOptions, SmemMode,
+    Strategy as KernelStrategy,
+};
+
+fn arb_index() -> impl Strategy<Value = CsrMatrix<f64>> {
+    (6usize..20, 4usize..12).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(
+            prop_oneof![
+                3 => Just(0.0f64),
+                2 => (1u32..400).prop_map(|v| v as f64 / 100.0),
+            ],
+            rows * cols,
+        )
+        .prop_map(move |data| CsrMatrix::from_dense(rows, cols, &data))
+    })
+}
+
+/// Bitwise equality of two k-NN answers (indices and distance bits).
+fn assert_bit_identical(got: &KnnResult<f64>, want: &KnnResult<f64>, ctx: &str) {
+    assert_eq!(got.indices, want.indices, "{ctx}: indices");
+    for (q, (a, b)) in got.distances.iter().zip(&want.distances).enumerate() {
+        let got_bits: Vec<u64> = a.iter().map(|d| d.to_bits()).collect();
+        let want_bits: Vec<u64> = b.iter().map(|d| d.to_bits()).collect();
+        assert_eq!(got_bits, want_bits, "{ctx}: distance bits of query {q}");
+    }
+}
+
+/// Mean recall@k of `got` against the exact `want`.
+fn recall(got: &KnnResult<f64>, want: &KnnResult<f64>) -> f64 {
+    let mut total = 0.0;
+    let mut rows = 0usize;
+    for (g, w) in got.indices.iter().zip(&want.indices) {
+        if w.is_empty() {
+            continue;
+        }
+        rows += 1;
+        total += g.iter().filter(|i| w.contains(i)).count() as f64 / w.len() as f64;
+    }
+    if rows == 0 {
+        1.0
+    } else {
+        total / rows as f64
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// IVF at `nprobe == nlist` equals the exact estimator byte for
+    /// byte, for every strategy × distance family × host-thread count.
+    #[test]
+    fn full_probe_is_byte_identical_to_exact(
+        m in arb_index(),
+        nlist in 2usize..7,
+        seed in 0u64..1000,
+    ) {
+        let k = 4.min(m.rows());
+        for threads in [1usize, 4] {
+            let device = Device::volta().with_host_threads(threads);
+            for strategy in [KernelStrategy::HybridCooSpmv, KernelStrategy::NaiveCsr] {
+                let opts = PairwiseOptions {
+                    strategy,
+                    smem_mode: SmemMode::Auto,
+                    resilience: None,
+                };
+                for distance in [Distance::Euclidean, Distance::Cosine, Distance::Manhattan] {
+                    let nn = NearestNeighbors::new(device.clone(), distance)
+                        .with_options(opts)
+                        .fit(m.clone());
+                    let exact = nn.kneighbors(&m, k).expect("exact query runs");
+                    let ivf = IvfIndex::fit(
+                        &nn,
+                        IvfParams { nlist, seed, ..IvfParams::default() },
+                    )
+                    .expect("ivf fit runs");
+                    let ans = ivf
+                        .search_with_nprobe(&m, k, ivf.nlist())
+                        .expect("ivf query runs");
+                    assert_bit_identical(
+                        &ans.knn,
+                        &exact,
+                        &format!("{distance:?} via {strategy:?}, {threads} host thread(s)"),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Recall@k against the exact oracle never decreases as `nprobe`
+    /// grows, the full-probe point recalls everything, and — for
+    /// single-pass families — a pair served at two different partial
+    /// `nprobe` values carries identical distance bits.
+    #[test]
+    fn recall_is_monotone_and_partial_probe_bits_are_stable(
+        m in arb_index(),
+        nlist in 2usize..7,
+        seed in 0u64..1000,
+    ) {
+        let k = 4.min(m.rows());
+        let device = Device::volta();
+        for distance in [Distance::Euclidean, Distance::Cosine, Distance::Manhattan] {
+            let nn = NearestNeighbors::new(device.clone(), distance).fit(m.clone());
+            let exact = nn.kneighbors(&m, k).expect("exact query runs");
+            let ivf = IvfIndex::fit(
+                &nn,
+                IvfParams { nlist, seed, ..IvfParams::default() },
+            )
+            .expect("ivf fit runs");
+            let mut last = 0.0f64;
+            let mut pair_bits: std::collections::BTreeMap<(usize, usize), u64> =
+                std::collections::BTreeMap::new();
+            for nprobe in 1..=ivf.nlist() {
+                let ans = ivf
+                    .search_with_nprobe(&m, k, nprobe)
+                    .expect("ivf query runs");
+                let r = recall(&ans.knn, &exact);
+                prop_assert!(
+                    r + 1e-12 >= last,
+                    "{:?}: recall fell {} -> {} at nprobe {}",
+                    distance, last, r, nprobe
+                );
+                last = r;
+                if nprobe == ivf.nlist()
+                    || matches!(distance, Distance::Manhattan)
+                {
+                    // Full probe runs the exact path, whose bits may
+                    // differ from the slab rerank's by re-association
+                    // (DESIGN §15), and NAMM families re-associate
+                    // with the visitor set — stability is a
+                    // partial-probe, single-pass contract.
+                    continue;
+                }
+                for (q, (ids, ds)) in ans.knn.indices.iter().zip(&ans.knn.distances).enumerate() {
+                    for (&i, d) in ids.iter().zip(ds) {
+                        if let Some(prev) = pair_bits.insert((q, i), d.to_bits()) {
+                            prop_assert!(
+                                prev == d.to_bits(),
+                                "{:?}: pair ({}, {}) bits drift with nprobe {}",
+                                distance, q, i, nprobe
+                            );
+                        }
+                    }
+                }
+            }
+            prop_assert!(
+                (last - 1.0).abs() < 1e-12,
+                "{:?}: full probe recall {} != 1.0",
+                distance, last
+            );
+        }
+    }
+}
