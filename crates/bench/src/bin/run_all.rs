@@ -13,7 +13,7 @@ use std::fs;
 use std::path::Path;
 use std::process::Command;
 
-const HARNESSES: [&str; 12] = [
+const HARNESSES: [&str; 13] = [
     "table2",
     "figure1",
     "table3",
@@ -26,6 +26,7 @@ const HARNESSES: [&str; 12] = [
     "ann_recall",
     "serve_throughput",
     "serve_fleet",
+    "serve_ingest",
 ];
 
 fn main() {

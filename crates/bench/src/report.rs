@@ -661,6 +661,19 @@ fn validate_serving_counters(counts: &std::collections::BTreeMap<&str, u64>) -> 
             "serve.fleet.requests_served_total",
             "serve.fleet.requests_shed_total",
         ),
+        // WAL ingest (DESIGN §16): every appended record is either
+        // applied or typed-rejected, and the applied records partition
+        // into inserts and deletes.
+        (
+            "wal.records_appended_total",
+            "wal.records_applied_total",
+            "wal.records_rejected_total",
+        ),
+        (
+            "wal.records_applied_total",
+            "wal.inserts_total",
+            "wal.deletes_total",
+        ),
     ];
     for (arrived, served, rejected) in conservation {
         if let (Some(&a), Some(&s), Some(&r)) = (
@@ -702,6 +715,12 @@ fn validate_serving_counters(counts: &std::collections::BTreeMap<&str, u64>) -> 
             "serve.fleet.chaos_windows_total",
             "serve.fleet.windows_total",
         ),
+        // Compaction (DESIGN §16): a compaction lands at most once per
+        // start, starts only on a WAL write, and the fresh segment is
+        // scanned at most once per served batch.
+        ("compact.completed_total", "compact.started_total"),
+        ("compact.started_total", "wal.records_appended_total"),
+        ("wal.fresh_scans_total", "serve.batches_total"),
     ];
     for (part, whole) in degrade_caps {
         if let (Some(&p), Some(&w)) = (counts.get(part), counts.get(whole)) {
@@ -1160,6 +1179,64 @@ mod tests {
             \"serve.shed_rate_limit_total\":2},\
             \"gauges\":{},\"histograms\":[]}";
         validate_metrics(consistent).expect("consistent serving counters");
+    }
+
+    #[test]
+    fn metrics_validator_enforces_wal_and_compaction_invariants() {
+        // Appended records must partition into applied + rejected.
+        let leaky_log = "{\"schema\":\"metrics.v1\",\"name\":\"x\",\
+            \"counters\":{\"wal.records_appended_total\":10,\
+            \"wal.records_applied_total\":8,\
+            \"wal.records_rejected_total\":1},\
+            \"gauges\":{},\"histograms\":[]}";
+        assert!(validate_metrics(leaky_log)
+            .unwrap_err()
+            .contains("wal.records_appended_total"));
+        // Applied records must partition into inserts + deletes.
+        let phantom_op = "{\"schema\":\"metrics.v1\",\"name\":\"x\",\
+            \"counters\":{\"wal.deletes_total\":2,\
+            \"wal.inserts_total\":5,\
+            \"wal.records_applied_total\":8},\
+            \"gauges\":{},\"histograms\":[]}";
+        assert!(validate_metrics(phantom_op)
+            .unwrap_err()
+            .contains("wal.records_applied_total"));
+        // A compaction cannot land more often than it started.
+        let ghost_compaction = "{\"schema\":\"metrics.v1\",\"name\":\"x\",\
+            \"counters\":{\"compact.completed_total\":3,\
+            \"compact.started_total\":2},\
+            \"gauges\":{},\"histograms\":[]}";
+        assert!(validate_metrics(ghost_compaction)
+            .unwrap_err()
+            .contains("compact.completed_total"));
+        // Compactions start on writes; fresh scans happen per batch.
+        let eager_compactor = "{\"schema\":\"metrics.v1\",\"name\":\"x\",\
+            \"counters\":{\"compact.started_total\":5,\
+            \"wal.records_appended_total\":4},\
+            \"gauges\":{},\"histograms\":[]}";
+        assert!(validate_metrics(eager_compactor)
+            .unwrap_err()
+            .contains("compact.started_total"));
+        let over_scanned = "{\"schema\":\"metrics.v1\",\"name\":\"x\",\
+            \"counters\":{\"serve.batches_total\":3,\
+            \"wal.fresh_scans_total\":4},\
+            \"gauges\":{},\"histograms\":[]}";
+        assert!(validate_metrics(over_scanned)
+            .unwrap_err()
+            .contains("wal.fresh_scans_total"));
+        // A consistent ingest document still validates.
+        let consistent = "{\"schema\":\"metrics.v1\",\"name\":\"x\",\
+            \"counters\":{\"compact.completed_total\":1,\
+            \"compact.started_total\":2,\
+            \"serve.batches_total\":6,\
+            \"wal.deletes_total\":3,\
+            \"wal.fresh_scans_total\":5,\
+            \"wal.inserts_total\":6,\
+            \"wal.records_appended_total\":10,\
+            \"wal.records_applied_total\":9,\
+            \"wal.records_rejected_total\":1},\
+            \"gauges\":{},\"histograms\":[]}";
+        validate_metrics(consistent).expect("consistent ingest counters");
     }
 
     #[test]

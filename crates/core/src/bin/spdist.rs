@@ -8,6 +8,8 @@
 //! spdist pairwise --input a.mtx [--index b.mtx] --metric manhattan [--output d.mtx]
 //! spdist serve    --input index.mtx --queries q.mtx --k 10 [--max-batch 8 ...]
 //! spdist serve    --input index.mtx --queries q.mtx --index ivf --nprobe 4
+//! spdist serve    --input base.mtx --queries q.mtx --ingest wal.tsv --compact-threshold 64
+//! spdist wal      --input data.mtx --base-rows 100 --output wal.tsv [--rebuilt r.mtx]
 //! spdist info     --input data.mtx
 //! spdist gen      --profile movielens --scale 0.01 --output data.mtx [--seed 1]
 //! spdist profile  --input data.mtx [--replica out.mtx --seed 2]
@@ -45,6 +47,29 @@
 //! per-shard launch → retry/degrade → merge → reply. `--slo-p99-us <f>`
 //! sets a p99 latency SLO on the served dataset; breach counts and
 //! error-budget burn land in the summary and the snapshot.
+//!
+//! Mutable datasets (DESIGN §16): `--ingest wal.tsv` on `serve` replays
+//! a `wal.v1` write-ahead log (checksummed insert/delete records, see
+//! `spdist wal`) into the base index before the query stream — every
+//! write lands at t=0, so each query is answered against the fully
+//! applied log, exactly as if the index had been rebuilt from scratch.
+//! `--compact-threshold <n>` arms background compaction (0 = off):
+//! once that many fresh rows + tombstones accumulate, the live rows are
+//! re-prepared as the next generation off the serving lane and swapped
+//! in atomically. `--manifest <path>` writes the generation-stamped
+//! `manifest.v1` line after the replay. A torn or corrupt WAL is an
+//! input error (exit 3), never a partial apply. `--ingest` serves the
+//! exact tier on a single engine (no `--fleet`/`--chaos`/`--index ivf`).
+//! Served indices are live-rank positions: row `r` of the rebuilt
+//! matrix (base minus deletes, then surviving inserts, in id order).
+//!
+//! `spdist wal` derives a WAL fixture from a matrix: the first
+//! `--base-rows` rows form the base (written with `--base`), every
+//! later row becomes an insert, and every `--delete-every`-th operation
+//! deletes a deterministically chosen live row. `--prefix <n>` keeps
+//! only the first `n` records; `--rebuilt <path>` writes the matrix the
+//! log rebuilds to — the oracle the ingest-smoke CI job byte-compares
+//! mutable serving against.
 //!
 //! Approximate tier (DESIGN §15): `--index ivf` on `knn` and `serve`
 //! routes candidate generation through a seeded IVF index —
@@ -84,11 +109,11 @@
 use semiring::{Distance, DistanceParams};
 use sparse::{read_matrix_market, write_matrix_market, CsrMatrix, DegreeStats};
 use sparse_dist::{
-    chaos_drill, chrome_trace, kneighbors_graph, replay_rows, request_chrome_trace,
-    AdmissionConfig, ChaosPlan, Device, FaultPlan, Fleet, FleetConfig, GraphMode, IndexMode,
-    IvfIndex, IvfParams, LaunchStats, MultiDevice, NearestNeighbors, PairwiseOptions,
-    ResiliencePolicy, ResilienceReport, ServeConfig, ServeEngine, SloBudget, SmemMode, Strategy,
-    Workload,
+    chaos_drill, chrome_trace, fingerprint_with_generation, kneighbors_graph, replay_rows,
+    request_chrome_trace, AdmissionConfig, ChaosPlan, Device, FaultPlan, Fleet, FleetConfig,
+    GraphMode, IndexMode, IvfIndex, IvfParams, LaunchStats, Manifest, MultiDevice, MutableDataset,
+    NearestNeighbors, PairwiseOptions, ResiliencePolicy, ResilienceReport, ServeConfig,
+    ServeEngine, ServeReport, SloBudget, SmemMode, Strategy, TimedRecord, Wal, Workload,
 };
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -206,10 +231,27 @@ impl FlagSpec {
                     "--seed",
                     "--fleet",
                     "--window-ms",
+                    "--ingest",
+                    "--compact-threshold",
+                    "--manifest",
                     "--output",
                 ],
                 &["--per-query-prepare", "--chaos"],
                 &["--metrics", "--trace-requests"],
+                false,
+            ),
+            "wal" => (
+                &[
+                    "--input",
+                    "--base-rows",
+                    "--delete-every",
+                    "--prefix",
+                    "--output",
+                    "--base",
+                    "--rebuilt",
+                ],
+                &[],
+                &[],
                 false,
             ),
             "info" => (&["--input"], &[], &[], false),
@@ -399,7 +441,7 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first().cloned() else {
         eprintln!(
-            "usage: spdist <knn|pairwise|serve|info|gen|profile> --input <file.mtx> [options]"
+            "usage: spdist <knn|pairwise|serve|wal|info|gen|profile> --input <file.mtx> [options]"
         );
         return ExitCode::from(2);
     };
@@ -407,6 +449,7 @@ fn main() -> ExitCode {
         "knn" => cmd_knn(&args),
         "pairwise" => cmd_pairwise(&args),
         "serve" => cmd_serve(&args),
+        "wal" => cmd_wal(&args),
         "info" => cmd_info(&args),
         "gen" => cmd_gen(&args),
         "profile" => cmd_profile(&args),
@@ -1116,6 +1159,25 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     };
     let requests = serve_requests(args, &queries)?;
 
+    if args.flag("--ingest").is_some() {
+        if args.flag("--fleet").is_some() || args.switch("--chaos") {
+            return Err(CliError::config(
+                "--ingest serves a single mutable engine (drop --fleet/--chaos)",
+            ));
+        }
+        if ivf_mode {
+            return Err(CliError::config(
+                "--ingest serves the exact tier (drop --index ivf)",
+            ));
+        }
+    } else {
+        for knob in ["--compact-threshold", "--manifest"] {
+            if args.flag(knob).is_some() {
+                return Err(CliError::config(format!("{knob} requires --ingest")));
+            }
+        }
+    }
+
     if let Some(spec) = args.flag("--fleet") {
         return cmd_serve_fleet(args, spec, &device, nn, config, &requests);
     }
@@ -1142,9 +1204,12 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         }
         engine.set_slo(0, SloBudget::p99(us * 1e-6));
     }
-    let report = engine
-        .replay(std::slice::from_ref(&nn), &requests)
-        .map_err(|e| CliError::launch(format!("serve failed: {e}")))?;
+    let report = match args.flag("--ingest") {
+        Some(wal_path) => serve_ingest_replay(args, wal_path, &mut engine, &nn, &index, &requests)?,
+        None => engine
+            .replay(std::slice::from_ref(&nn), &requests)
+            .map_err(|e| CliError::launch(format!("serve failed: {e}")))?,
+    };
 
     eprintln!(
         "spdist: served {}/{} requests in {} batches on {} device(s), \
@@ -1253,6 +1318,158 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     }
 
     write_responses(args, &report.responses)
+}
+
+/// Replays `--ingest wal.tsv` through the mutable-dataset engine
+/// (DESIGN §16): strict parse (a torn log is exit 3), every write at
+/// t=0 so each query sees the fully applied log, optional background
+/// compaction and `manifest.v1` emission. Returns the serving-side
+/// report so the shared summary/telemetry/output paths apply unchanged.
+fn serve_ingest_replay(
+    args: &Args,
+    wal_path: &str,
+    engine: &mut ServeEngine<f32>,
+    proto: &NearestNeighbors<f32>,
+    index: &CsrMatrix<f32>,
+    requests: &[sparse_dist::Request<f32>],
+) -> Result<ServeReport<f32>, CliError> {
+    let text = std::fs::read_to_string(wal_path)
+        .map_err(|e| CliError::input(format!("cannot open {wal_path}: {e}")))?;
+    let wal = Wal::<f32>::parse(&text)
+        .map_err(|e| CliError::input(format!("torn or corrupt WAL {wal_path}: {e}")))?;
+    if wal.cols() != index.cols() {
+        return Err(CliError::input(format!(
+            "WAL {wal_path} has {} column(s) but the base index has {}",
+            wal.cols(),
+            index.cols()
+        )));
+    }
+    let threshold: usize = parse_num(args, "--compact-threshold", "0")?;
+    let mut ds = MutableDataset::new(index.clone());
+    let writes: Vec<TimedRecord<f32>> = wal
+        .records()
+        .iter()
+        .map(|record| TimedRecord {
+            at_s: 0.0,
+            record: record.clone(),
+        })
+        .collect();
+    let report = engine
+        .replay_ingest(proto, &mut ds, &writes, requests, threshold)
+        .map_err(|e| CliError::launch(format!("ingest serve failed: {e}")))?;
+    eprintln!(
+        "spdist: ingest applied {}/{} WAL record(s) ({} insert(s), {} delete(s), \
+         {} rejected), {}/{} compaction(s) landed, generation {}, \
+         {} live row(s) ({} fresh, {} tombstone(s))",
+        report.wal.applied,
+        report.wal.appended,
+        report.wal.inserts,
+        report.wal.deletes,
+        report.wal.rejected,
+        report.compactions.len(),
+        report.compactions_started,
+        report.final_generation,
+        ds.live_rows(),
+        ds.fresh_rows(),
+        ds.tombstone_count(),
+    );
+    for (seq, err) in &report.wal_errors {
+        eprintln!("spdist: ingest rejected record {seq}: {err}");
+    }
+    if let Some(path) = args.flag("--manifest") {
+        let manifest = Manifest {
+            generation: ds.generation(),
+            base_rows: ds.base().rows(),
+            base_fingerprint: fingerprint_with_generation(ds.base(), ds.generation()),
+            log_position: ds.log_position(),
+            cols: ds.cols(),
+        };
+        std::fs::write(path, manifest.render() + "\n")
+            .map_err(|e| CliError::input(format!("cannot write {path}: {e}")))?;
+        eprintln!(
+            "spdist: wrote manifest (generation {}) to {path}",
+            ds.generation()
+        );
+    }
+    Ok(report.serve)
+}
+
+/// Derives a deterministic WAL fixture from a matrix (DESIGN §16): the
+/// first `--base-rows` rows form the base, every later row becomes an
+/// insert, and every `--delete-every`-th operation also deletes a
+/// deterministically chosen live row. `--rebuilt` writes the oracle
+/// matrix the log rebuilds to; `--prefix` truncates the log first so CI
+/// can replay any prefix against its own oracle.
+fn cmd_wal(args: &Args) -> Result<(), CliError> {
+    let m = load(args.required("--input")?)?;
+    if m.rows() == 0 {
+        return Err(CliError::input("--input matrix has no rows"));
+    }
+    let default_base = (m.rows() / 2).max(1).to_string();
+    let base_rows: usize = parse_num(args, "--base-rows", &default_base)?;
+    if base_rows == 0 || base_rows > m.rows() {
+        return Err(CliError::config(format!(
+            "bad --base-rows {base_rows} (need 1..={} for this matrix)",
+            m.rows()
+        )));
+    }
+    let delete_every: usize = parse_num(args, "--delete-every", "4")?;
+    let base = m.slice_rows(0..base_rows);
+    let mut wal: Wal<f32> = Wal::new(m.cols());
+    let mut live: Vec<u64> = (0..base_rows as u64).collect();
+    for r in base_rows..m.rows() {
+        let i = r - base_rows;
+        if delete_every > 0 && i % delete_every == delete_every - 1 && !live.is_empty() {
+            let victim = live.remove((i * 7 + 3) % live.len());
+            wal.append_delete(victim);
+        }
+        wal.append_insert(m.row_indices(r), m.row_values(r));
+        // Deletes never consume logical ids: insert i is id base_rows + i.
+        live.push((base_rows + i) as u64);
+    }
+    if let Some(p) = args.flag("--prefix") {
+        let n: usize = p
+            .parse()
+            .map_err(|_| CliError::config(format!("bad --prefix {p}")))?;
+        if n > wal.len() {
+            return Err(CliError::config(format!(
+                "bad --prefix {n} (the log has {} record(s))",
+                wal.len()
+            )));
+        }
+        wal.truncate(n);
+    }
+    let out_path = args.required("--output")?;
+    std::fs::write(out_path, wal.render())
+        .map_err(|e| CliError::input(format!("cannot write {out_path}: {e}")))?;
+    // Replay the (possibly truncated) log so the written oracle always
+    // corresponds to exactly the records in the written WAL.
+    let mut ds = MutableDataset::new(base.clone());
+    for rec in wal.records() {
+        ds.apply(rec)
+            .map_err(|e| CliError::input(format!("derived log does not replay: {e}")))?;
+    }
+    eprintln!(
+        "spdist: wrote {} WAL record(s) over {} column(s) to {out_path} \
+         (base {} row(s), rebuild {} live row(s))",
+        wal.len(),
+        wal.cols(),
+        base_rows,
+        ds.live_rows(),
+    );
+    if let Some(path) = args.flag("--base") {
+        let f = File::create(path)
+            .map_err(|e| CliError::input(format!("cannot create {path}: {e}")))?;
+        write_matrix_market(&base, BufWriter::new(f))
+            .map_err(|e| CliError::input(format!("write failed: {e}")))?;
+    }
+    if let Some(path) = args.flag("--rebuilt") {
+        let f = File::create(path)
+            .map_err(|e| CliError::input(format!("cannot create {path}: {e}")))?;
+        write_matrix_market(&ds.rebuild(), BufWriter::new(f))
+            .map_err(|e| CliError::input(format!("write failed: {e}")))?;
+    }
+    Ok(())
 }
 
 fn cmd_pairwise(args: &Args) -> Result<(), CliError> {

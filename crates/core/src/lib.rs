@@ -48,11 +48,13 @@ pub use neighbors::{
 pub use semiring::{Distance, DistanceParams, Family, Monoid, Semiring};
 pub use serve::metrics::{HIST_GROWTH, HIST_MIN};
 pub use serve::{
-    chaos_drill, fingerprint, nearest_rank, replay_rows, request_chrome_trace, AdmissionConfig,
-    CacheOutcome, CacheStats, ChaosPlan, DrillOutcome, Fleet, FleetConfig, FleetReport, IndexMode,
-    LogHistogram, MetricsRegistry, MetricsSnapshot, PreparedCache, Rejection, Request, RequestSpan,
-    RequestTraces, Response, ScaleEvent, ServeConfig, ServeEngine, ServeReport, ShedReason,
-    SloBudget, SloReport, SpanEvent, WindowOutcome, Workload,
+    chaos_drill, fingerprint, fingerprint_with_generation, nearest_rank, replay_rows,
+    request_chrome_trace, AdmissionConfig, CacheOutcome, CacheStats, ChaosPlan, CompactionRecord,
+    DrillOutcome, Fleet, FleetConfig, FleetReport, IndexMode, IngestReport, LogHistogram, Manifest,
+    MetricsRegistry, MetricsSnapshot, MutableDataset, PreparedCache, Rejection, Request,
+    RequestSpan, RequestTraces, Response, ScaleEvent, ServeConfig, ServeEngine, ServeReport,
+    ShedReason, SloBudget, SloReport, SpanEvent, TimedRecord, Wal, WalCounts, WalError, WalRecord,
+    WindowOutcome, Workload,
 };
 pub use validate::{validate_input, InputError};
 

@@ -1,7 +1,7 @@
 //! LRU cache of prepared index shard sets, evicting against a simulated
 //! device-memory budget.
 
-use crate::fingerprint::fingerprint;
+use crate::fingerprint::fingerprint_with_generation;
 use kernels::KernelError;
 use neighbors::{MultiDevice, NearestNeighbors, PreparedShards};
 use sparse::Real;
@@ -31,6 +31,12 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted to fit the memory budget.
     pub evictions: u64,
+    /// Entries whose byte accounting was touched while reclaiming
+    /// budget. With incremental resident-byte tracking this equals
+    /// `evictions` exactly; the old implementation re-summed every
+    /// resident entry per eviction, which would have made a cold burst
+    /// of E evictions cost O(E²) probes. Regression-guarded in tests.
+    pub eviction_probes: u64,
 }
 
 /// The outcome of one cache lookup, consumed by the request engine's
@@ -64,6 +70,9 @@ pub struct PreparedCache<T> {
     // Most-recently-used entry last; eviction pops from the front.
     // A Vec keeps iteration order deterministic (no hash-map ordering).
     entries: Vec<CacheEntry<T>>,
+    // Incrementally-maintained sum of entry bytes. Re-summing the entry
+    // list inside the eviction loop made a cold burst O(n²).
+    resident: usize,
     stats: CacheStats,
 }
 
@@ -73,6 +82,7 @@ impl<T: Real> PreparedCache<T> {
         Self {
             budget_bytes,
             entries: Vec::new(),
+            resident: 0,
             stats: CacheStats::default(),
         }
     }
@@ -94,9 +104,15 @@ impl<T: Real> PreparedCache<T> {
         self.budget_bytes
     }
 
-    /// Bytes currently held by cached entries.
+    /// Bytes currently held by cached entries. O(1): the total is
+    /// maintained incrementally across inserts and evictions.
     pub fn resident_bytes(&self) -> usize {
-        self.entries.iter().map(|e| e.bytes).sum()
+        debug_assert_eq!(
+            self.resident,
+            self.entries.iter().map(|e| e.bytes).sum::<usize>(),
+            "incremental resident-byte accounting drifted"
+        );
+        self.resident
     }
 
     /// Number of cached entries.
@@ -152,9 +168,33 @@ impl<T: Real> PreparedCache<T> {
         nn: &NearestNeighbors<T>,
         multi: &MultiDevice,
     ) -> Result<(Arc<PreparedShards<T>>, CacheOutcome), KernelError> {
+        self.lookup_generation(nn, multi, 0)
+    }
+
+    /// [`Self::lookup`] for a specific compaction generation of a
+    /// mutable dataset (DESIGN §16). The generation is folded into the
+    /// cache key via [`fingerprint_with_generation`], so a re-compacted
+    /// base whose bytes coincide with an earlier generation (most
+    /// plainly: an empty one) still gets its own entry, and the
+    /// compactor's atomic swap is just "start looking up gen+1".
+    /// Immutable callers are generation 0.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors from the norm-warming launches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nn` has not been fitted.
+    pub fn lookup_generation(
+        &mut self,
+        nn: &NearestNeighbors<T>,
+        multi: &MultiDevice,
+        generation: u64,
+    ) -> Result<(Arc<PreparedShards<T>>, CacheOutcome), KernelError> {
         let index = nn.index().expect("fit() the estimator before serving");
         let key = CacheKey {
-            fingerprint: fingerprint(index),
+            fingerprint: fingerprint_with_generation(index, generation),
             devices: multi.len(),
             index_batch_rows: nn.index_slab_rows(),
         };
@@ -178,11 +218,17 @@ impl<T: Real> PreparedCache<T> {
         let (warm_seconds, _) = nn.warm_shards(&shards)?;
         let bytes = shards.device_bytes();
         let mut evictions = 0u64;
-        while !self.entries.is_empty() && self.resident_bytes() + bytes > self.budget_bytes {
-            self.entries.remove(0);
+        while !self.entries.is_empty() && self.resident + bytes > self.budget_bytes {
+            // One O(1) accounting probe per evicted entry — `resident`
+            // is already maintained, so a burst of E evictions does
+            // exactly E probes (the counter the regression test pins).
+            let evicted = self.entries.remove(0);
+            self.resident -= evicted.bytes;
             self.stats.evictions += 1;
+            self.stats.eviction_probes += 1;
             evictions += 1;
         }
+        self.resident += bytes;
         self.entries.push(CacheEntry {
             key,
             shards: Arc::clone(&shards),
@@ -304,6 +350,66 @@ mod tests {
         }
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.evictions), (3, 1, 0));
+    }
+
+    #[test]
+    fn burst_eviction_does_linear_accounting_work() {
+        // Regression guard for the O(n²) eviction loop: admitting an
+        // entry that forces E evictions must touch each victim's byte
+        // accounting exactly once (E probes), not re-walk the resident
+        // list per victim (which totals E·(E+1)/2 probes and made cold
+        // bursts quadratic).
+        let multi = MultiDevice::replicate(&Device::volta(), 2);
+        let fits: Vec<_> = (0..6)
+            .map(|i| {
+                NearestNeighbors::new(Device::volta(), Distance::Euclidean)
+                    .fit(dataset(6, 1.0 + i as f64))
+            })
+            .collect();
+        let one = fits[0].prepare_shards(&multi).device_bytes();
+        // Budget holds five entries; the sixth (slightly larger set
+        // below) forces a multi-entry burst in a single lookup.
+        let mut cache = PreparedCache::new(5 * one + 1);
+        for nn in &fits[..5] {
+            cache.lookup(nn, &multi).expect("ok");
+        }
+        assert_eq!(cache.len(), 5);
+        assert_eq!(cache.stats().evictions, 0);
+        // A larger entry that needs more than one entry's worth of
+        // space reclaimed: every eviction in the burst must cost
+        // exactly one probe.
+        let big = NearestNeighbors::new(Device::volta(), Distance::Euclidean).fit(dataset(24, 9.0));
+        cache.lookup(&big, &multi).expect("ok");
+        let s = cache.stats();
+        assert!(s.evictions >= 2, "burst expected: {s:?}");
+        assert_eq!(
+            s.evictions, s.eviction_probes,
+            "eviction accounting must be O(E): {s:?}"
+        );
+        let check = cache.resident_bytes();
+        assert!(check <= 5 * one + 1 || cache.len() == 1, "budget respected");
+    }
+
+    #[test]
+    fn generations_get_distinct_entries_for_identical_bytes() {
+        // The compactor's atomic swap relies on (content, generation)
+        // keys: the same bytes looked up under a new generation is a
+        // miss (its own prepared artifact), and both generations then
+        // hit independently.
+        let multi = MultiDevice::replicate(&Device::volta(), 2);
+        let mut cache = PreparedCache::new(usize::MAX);
+        let nn = NearestNeighbors::new(Device::volta(), Distance::Euclidean).fit(dataset(6, 1.0));
+        let (_, g0) = cache.lookup_generation(&nn, &multi, 0).expect("ok");
+        assert!(!g0.hit);
+        let (_, g1) = cache.lookup_generation(&nn, &multi, 1).expect("ok");
+        assert!(!g1.hit, "new generation must not alias the old entry");
+        assert_eq!(cache.len(), 2);
+        let (_, g0_again) = cache.lookup_generation(&nn, &multi, 0).expect("ok");
+        let (_, g1_again) = cache.lookup_generation(&nn, &multi, 1).expect("ok");
+        assert!(g0_again.hit && g1_again.hit);
+        // Plain lookup is generation 0.
+        let (_, plain) = cache.lookup(&nn, &multi).expect("ok");
+        assert!(plain.hit);
     }
 
     #[test]

@@ -35,8 +35,10 @@ use crate::admission::{AdmissionConfig, AdmissionDecision, Rejection, ShedReason
 use crate::cache::{CacheStats, PreparedCache};
 use crate::fingerprint::fingerprint;
 use crate::metrics::{percentile_sorted, MetricsRegistry};
+use crate::segment::{merge_arms, AppliedOp, CompactionJob, MutableDataset};
 use crate::slo::{assess, SloBudget, SloReport};
 use crate::span::{RequestSpan, RequestTraces, SpanEvent};
+use crate::wal::{WalError, WalRecord};
 use kernels::{KernelError, SmemMode};
 use neighbors::{IvfIndex, IvfParams, IvfPrepared, MultiDevice, NearestNeighbors};
 use sparse::{CsrMatrix, Idx, Real};
@@ -506,6 +508,7 @@ impl<T: Real> ServeEngine<T> {
                 hits: after.hits - stats_before.hits,
                 misses: after.misses - stats_before.misses,
                 evictions: after.evictions - stats_before.evictions,
+                eviction_probes: after.eviction_probes - stats_before.eviction_probes,
             },
             spans: st.traces.into_spans(),
             slo: Vec::new(),
@@ -913,6 +916,669 @@ impl<T: Real> ServeEngine<T> {
         }
         Ok(())
     }
+
+    /// Replays a merged stream of WAL writes and query requests against
+    /// a [`MutableDataset`] (DESIGN §16). Queries are answered from two
+    /// arms — the prepared base (through the generation-keyed cache)
+    /// and a brute-force scan of the fresh segment — tombstone-masked
+    /// and merged under the canonical `cmp_dist_idx` order into
+    /// *live-rank* coordinates, so every response is byte-identical to
+    /// a one-shot `kneighbors_sharded` over
+    /// [`MutableDataset::rebuild`]'s matrix at the same instant.
+    ///
+    /// Semantics of time: a batch is answered against the dataset state
+    /// at its dispatch instant, and every write first flushes the open
+    /// batch (queries admitted before a write never see it). Once
+    /// `dataset.pending_ops()` reaches `compact_threshold` (0 disables
+    /// compaction), a background compaction snapshots the live state,
+    /// re-prepares it as generation+1 off the serving lane (its warm
+    /// time never blocks a batch), and atomically swaps in at the first
+    /// event on or after its ready time. `proto` supplies the metric /
+    /// device / kernel options; it does not need to be fitted.
+    ///
+    /// # Errors
+    ///
+    /// Returns kernel errors from either arm, or
+    /// [`KernelError::ShapeMismatch`] when a request targets a dataset
+    /// other than 0 (mutable replays serve exactly one dataset).
+    /// Malformed WAL records are *not* errors: they are counted,
+    /// reported in [`IngestReport::wal_errors`], and skipped — the log
+    /// position advances so one poison record cannot wedge the stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics in IVF mode: the approximate tier over mutable datasets
+    /// is ROADMAP work, and serving it would break the byte-identity
+    /// contract this method is defined by.
+    pub fn replay_ingest(
+        &mut self,
+        proto: &NearestNeighbors<T>,
+        dataset: &mut MutableDataset<T>,
+        writes: &[TimedRecord<T>],
+        requests: &[Request<T>],
+        compact_threshold: usize,
+    ) -> Result<IngestReport<T>, KernelError> {
+        assert!(
+            matches!(self.config.index, IndexMode::Exact),
+            "mutable ingest serves the exact tier only"
+        );
+        let stats_before = self.cache.stats();
+        let mut order: Vec<&Request<T>> = requests.iter().collect();
+        order.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s).then(a.id.cmp(&b.id)));
+        let mut wseq: Vec<&TimedRecord<T>> = writes.iter().collect();
+        wseq.sort_by(|a, b| {
+            a.at_s
+                .total_cmp(&b.at_s)
+                .then(a.record.seq.cmp(&b.record.seq))
+        });
+
+        let admission = self.config.admission;
+        let mut st = ReplayState {
+            open: vec![OpenBatch {
+                requests: Vec::new(),
+                degraded: false,
+            }],
+            responses: Vec::new(),
+            rejected: Vec::new(),
+            inflight: Vec::new(),
+            device_free_at: 0.0,
+            batches: 0,
+            busy_seconds: 0.0,
+            traces: RequestTraces::new(),
+            retries: 0,
+            degrades: 0,
+            faults: 0,
+            shard_launches: 0,
+            prepares: 0,
+            buckets: admission
+                .map(|cfg| vec![TokenBucket::new(&cfg)])
+                .unwrap_or_default(),
+            degraded_fit: vec![None],
+            degraded_requests: 0,
+            degraded_batches: 0,
+            ann_searches: 0,
+            ann_probes: 0,
+            ann_shortlist_rows: 0,
+            ann_fits: 0,
+            ann_degraded_nprobe: 0,
+        };
+        let mut ing = IngestState {
+            pending: None,
+            base_fit: None,
+            wal: WalCounts::default(),
+            wal_errors: Vec::new(),
+            compactions_started: 0,
+            compactions: Vec::new(),
+            fresh_scans: 0,
+        };
+        let mut nq = 0usize;
+        let mut nw = 0usize;
+
+        loop {
+            let deadline = st.open[0]
+                .requests
+                .first()
+                .map(|r| r.arrival_s + self.config.max_wait_s);
+            let write = wseq.get(nw).map(|w| w.at_s);
+            let arrival = order.get(nq).map(|r| r.arrival_s);
+
+            // Earliest event wins; ties resolve deadline → write →
+            // query, so a same-instant write still flushes the batch
+            // of earlier arrivals before mutating state.
+            let due_deadline = deadline
+                .is_some_and(|t| write.is_none_or(|w| t <= w) && arrival.is_none_or(|a| t <= a));
+            let due_write = !due_deadline && write.is_some_and(|w| arrival.is_none_or(|a| w <= a));
+
+            if due_deadline {
+                let t = deadline.expect("checked above");
+                self.dispatch_ingest(proto, dataset, &mut st, &mut ing, t)?;
+            } else if due_write {
+                let w = wseq[nw];
+                nw += 1;
+                // Read-your-writes boundary: queries already admitted
+                // are answered against pre-write state.
+                self.dispatch_ingest(proto, dataset, &mut st, &mut ing, w.at_s)?;
+                Self::land_ready_compaction(dataset, &mut ing, w.at_s);
+                ing.wal.appended += 1;
+                match dataset.apply(&w.record) {
+                    Ok(AppliedOp::Inserted { .. }) => {
+                        ing.wal.applied += 1;
+                        ing.wal.inserts += 1;
+                    }
+                    Ok(AppliedOp::Deleted { .. }) => {
+                        ing.wal.applied += 1;
+                        ing.wal.deletes += 1;
+                    }
+                    Err(e) => {
+                        ing.wal.rejected += 1;
+                        ing.wal_errors.push((w.record.seq, e));
+                    }
+                }
+                if compact_threshold > 0
+                    && ing.pending.is_none()
+                    && dataset.pending_ops() >= compact_threshold
+                {
+                    self.start_compaction(proto, dataset, &mut ing, w.at_s)?;
+                }
+            } else if let Some(at) = arrival {
+                let r = order[nq];
+                nq += 1;
+                if r.dataset != 0 {
+                    return Err(KernelError::ShapeMismatch {
+                        a_cols: r.dataset,
+                        b_cols: 1,
+                    });
+                }
+                st.inflight.retain(|&(done, _)| done > at);
+                let backlog: usize =
+                    st.open[0].requests.len() + st.inflight.iter().map(|&(_, n)| n).sum::<usize>();
+                st.traces.begin_request(r.id, 0, r.arrival_s);
+                let decision = match admission {
+                    Some(cfg) => st.buckets[0].admit(&cfg, at, backlog, self.config.max_queue),
+                    None if backlog >= self.config.max_queue => {
+                        AdmissionDecision::Shed(ShedReason::QueueFull)
+                    }
+                    None => AdmissionDecision::Admit,
+                };
+                match decision {
+                    AdmissionDecision::Shed(reason) => {
+                        st.rejected.push(Rejection { id: r.id, reason });
+                        st.traces.reject_request(r.id, at, backlog, reason);
+                        continue;
+                    }
+                    AdmissionDecision::Degrade => st.open[0].degraded = true,
+                    AdmissionDecision::Admit => {}
+                }
+                st.open[0].requests.push(r.clone());
+                if st.open[0].requests.len() >= self.config.max_batch {
+                    self.dispatch_ingest(proto, dataset, &mut st, &mut ing, at)?;
+                }
+            } else {
+                break;
+            }
+        }
+        // A compaction still in flight at stream end stays pending: the
+        // report's started/landed counts record the difference.
+
+        st.responses.sort_by(|a, b| {
+            a.completion_s
+                .total_cmp(&b.completion_s)
+                .then(a.id.cmp(&b.id))
+        });
+        let first_arrival = order.first().map(|r| r.arrival_s).unwrap_or(0.0);
+        let makespan_s = st
+            .responses
+            .iter()
+            .map(|r| r.completion_s)
+            .fold(0.0f64, f64::max)
+            - first_arrival;
+        let after = self.cache.stats();
+        let mut serve = ServeReport {
+            responses: st.responses,
+            rejected: st.rejected,
+            batches: st.batches,
+            busy_seconds: st.busy_seconds,
+            makespan_s: makespan_s.max(0.0),
+            cache: CacheStats {
+                hits: after.hits - stats_before.hits,
+                misses: after.misses - stats_before.misses,
+                evictions: after.evictions - stats_before.evictions,
+                eviction_probes: after.eviction_probes - stats_before.eviction_probes,
+            },
+            spans: st.traces.into_spans(),
+            slo: Vec::new(),
+            degraded_requests: st.degraded_requests,
+            degraded_batches: st.degraded_batches,
+        };
+        let counts = ReplayCounts {
+            retries: st.retries,
+            degrades: st.degrades,
+            faults: st.faults,
+            shard_launches: st.shard_launches,
+            prepares: st.prepares,
+            ann_searches: 0,
+            ann_probes: 0,
+            ann_shortlist_rows: 0,
+            ann_fits: 0,
+            ann_degraded_nprobe: 0,
+        };
+        self.record_replay(&mut serve, &counts);
+        let report = IngestReport {
+            serve,
+            wal: ing.wal,
+            wal_errors: ing.wal_errors,
+            compactions_started: ing.compactions_started,
+            compactions: ing.compactions,
+            final_generation: dataset.generation(),
+        };
+        self.record_ingest(&report, dataset, ing.fresh_scans);
+        Ok(report)
+    }
+
+    /// Folds one ingest replay's `wal.*` / `compact.*` signals into the
+    /// registry. Emitted only by ingest replays, so immutable-serving
+    /// snapshots are byte-identical to pre-WAL builds.
+    fn record_ingest(
+        &mut self,
+        report: &IngestReport<T>,
+        dataset: &MutableDataset<T>,
+        fresh_scans: u64,
+    ) {
+        let m = &mut self.metrics;
+        m.inc("wal.records_appended_total", report.wal.appended);
+        m.inc("wal.records_applied_total", report.wal.applied);
+        m.inc("wal.records_rejected_total", report.wal.rejected);
+        m.inc("wal.inserts_total", report.wal.inserts);
+        m.inc("wal.deletes_total", report.wal.deletes);
+        m.inc("wal.fresh_scans_total", fresh_scans);
+        m.inc("compact.started_total", report.compactions_started);
+        m.inc("compact.completed_total", report.compactions.len() as u64);
+        for c in &report.compactions {
+            m.inc("compact.rows_total", c.rows as u64);
+            m.inc(
+                "compact.tombstones_cleared_total",
+                c.cleared_tombstones as u64,
+            );
+            m.inc("compact.folded_fresh_total", c.folded_fresh as u64);
+            m.observe("compact.seconds", c.seconds);
+        }
+        m.set_gauge("wal.fresh_rows", dataset.fresh_rows() as f64);
+        m.set_gauge("wal.tombstones", dataset.tombstone_count() as f64);
+        m.set_gauge("wal.live_rows", dataset.live_rows() as f64);
+        m.set_gauge("compact.generation", dataset.generation() as f64);
+    }
+
+    /// Snapshots the dataset and pre-warms the next generation's shards
+    /// into the cache under its generation-stamped key. The warm time
+    /// is the compaction's duration — spent on the maintenance lane,
+    /// not the serving lane — and the swap lands at the first event on
+    /// or after `started + seconds`.
+    fn start_compaction(
+        &mut self,
+        proto: &NearestNeighbors<T>,
+        dataset: &MutableDataset<T>,
+        ing: &mut IngestState<T>,
+        t: f64,
+    ) -> Result<(), KernelError> {
+        let job = dataset.begin_compaction();
+        let (nn, seconds) = if job.matrix.rows() > 0 {
+            let nn = proto.clone().fit(job.matrix.clone());
+            let (_, outcome) = self
+                .cache
+                .lookup_generation(&nn, &self.multi, job.generation)?;
+            (Some(nn), outcome.warm_seconds)
+        } else {
+            // Compacting to empty: nothing to upload or warm.
+            (None, 0.0)
+        };
+        ing.compactions_started += 1;
+        ing.pending = Some(PendingCompaction {
+            ready_s: t + seconds,
+            started_s: t,
+            seconds,
+            job,
+            nn,
+        });
+        Ok(())
+    }
+
+    /// Lands the pending compaction if its ready time has passed.
+    fn land_ready_compaction(dataset: &mut MutableDataset<T>, ing: &mut IngestState<T>, t: f64) {
+        let ready = ing.pending.as_ref().is_some_and(|p| p.ready_s <= t);
+        if !ready {
+            return;
+        }
+        let p = ing.pending.take().expect("checked above");
+        let generation = p.job.generation;
+        let outcome = dataset.finish_compaction(p.job);
+        ing.base_fit = p.nn.map(|nn| (generation, nn));
+        ing.compactions.push(CompactionRecord {
+            generation,
+            started_s: p.started_s,
+            ready_s: p.ready_s,
+            seconds: p.seconds,
+            rows: outcome.rows,
+            cleared_tombstones: outcome.cleared_tombstones,
+            folded_fresh: outcome.folded_fresh,
+        });
+    }
+
+    /// Closes and executes the open batch against the mutable dataset:
+    /// base arm through the generation-keyed cache, fresh arm as a
+    /// brute-force scan, tombstone masking and `cmp_dist_idx` merge
+    /// into live-rank coordinates.
+    fn dispatch_ingest(
+        &mut self,
+        proto: &NearestNeighbors<T>,
+        dataset: &mut MutableDataset<T>,
+        st: &mut ReplayState<T>,
+        ing: &mut IngestState<T>,
+        close_s: f64,
+    ) -> Result<(), KernelError> {
+        // Serve against the newest landed generation first.
+        Self::land_ready_compaction(dataset, ing, close_s);
+        let taken = std::mem::take(&mut st.open[0].requests);
+        let degraded = std::mem::replace(&mut st.open[0].degraded, false);
+        if taken.is_empty() {
+            return Ok(());
+        }
+        let rows: Vec<&CsrMatrix<T>> = taken.iter().map(|r| &r.row).collect();
+        let batch_query = vstack(&rows, dataset.cols());
+        let k = self.config.k;
+        let plan = dataset.rank_plan();
+
+        let batch_id = st.batches;
+        for req in &taken {
+            st.traces.push_event(
+                req.id,
+                close_s,
+                SpanEvent::BatchAdmit {
+                    batch: batch_id,
+                    size: taken.len(),
+                },
+            );
+        }
+        if degraded {
+            st.degraded_batches += 1;
+            st.degraded_requests += taken.len() as u64;
+            for req in &taken {
+                st.traces.push_event(
+                    req.id,
+                    close_s,
+                    SpanEvent::AdmissionDegrade {
+                        strategy: "smem=Bloom".to_string(),
+                    },
+                );
+            }
+        }
+        let degrade_opts = |nn: &NearestNeighbors<T>| {
+            let mut opts = *nn.pairwise_options();
+            opts.smem_mode = SmemMode::Bloom;
+            nn.clone().with_options(opts)
+        };
+
+        let start_s = close_s.max(st.device_free_at);
+        let mut prep_s = 0.0;
+
+        // Base arm: over-fetch k + dead so tombstone masking can never
+        // starve the merge, through the generation-keyed cache.
+        let base_result = if dataset.base().rows() > 0 && k > 0 {
+            let refit = !matches!(&ing.base_fit, Some((g, _)) if *g == dataset.generation());
+            if refit {
+                ing.base_fit = Some((
+                    dataset.generation(),
+                    proto.clone().fit(dataset.base().clone()),
+                ));
+            }
+            let (_, base_nn) = ing.base_fit.as_ref().expect("fitted above");
+            let k_base = (k + plan.base_dead).min(dataset.base().rows());
+            let exec_nn = if degraded {
+                degrade_opts(base_nn)
+            } else {
+                base_nn.clone()
+            };
+            let result = if self.config.per_query_prepare {
+                st.prepares += 1;
+                exec_nn.kneighbors_sharded(&self.multi, &batch_query, k_base)?
+            } else {
+                let (shards, outcome) =
+                    self.cache
+                        .lookup_generation(base_nn, &self.multi, dataset.generation())?;
+                for req in &taken {
+                    if outcome.hit {
+                        st.traces.push_event(req.id, close_s, SpanEvent::CacheHit);
+                    } else {
+                        st.traces.push_event(
+                            req.id,
+                            close_s,
+                            SpanEvent::CacheMiss {
+                                evictions: outcome.evictions,
+                            },
+                        );
+                        st.traces.push_event(
+                            req.id,
+                            start_s,
+                            SpanEvent::Prepare {
+                                seconds: outcome.warm_seconds,
+                            },
+                        );
+                    }
+                }
+                if !outcome.hit {
+                    st.prepares += 1;
+                }
+                prep_s += outcome.warm_seconds;
+                exec_nn.kneighbors_prepared(&shards, &batch_query, k_base)?
+            };
+            Some(result)
+        } else {
+            None
+        };
+
+        // Fresh arm: brute-force scan, re-uploaded every batch — that
+        // is the cost compaction exists to bound.
+        let fresh_result = if dataset.fresh_rows() > 0 && k > 0 {
+            ing.fresh_scans += 1;
+            let fresh_nn = {
+                let fitted = proto.clone().fit(dataset.fresh_matrix());
+                if degraded {
+                    degrade_opts(&fitted)
+                } else {
+                    fitted
+                }
+            };
+            let k_fresh = (k + plan.fresh_dead).min(dataset.fresh_rows());
+            for req in &taken {
+                st.traces.push_event(
+                    req.id,
+                    close_s,
+                    SpanEvent::FreshScan {
+                        rows: dataset.fresh_rows(),
+                        tombstoned: plan.fresh_dead,
+                    },
+                );
+            }
+            Some(fresh_nn.kneighbors_sharded(&self.multi, &batch_query, k_fresh)?)
+        } else {
+            None
+        };
+
+        let mut exec_seconds = prep_s;
+        for result in [&base_result, &fresh_result].into_iter().flatten() {
+            exec_seconds += result.sim_seconds;
+            for (slot, secs) in result.per_device_seconds.iter().enumerate() {
+                st.shard_launches += 1;
+                for req in &taken {
+                    st.traces.push_event(
+                        req.id,
+                        start_s,
+                        SpanEvent::ShardLaunch {
+                            shard: slot,
+                            device_slot: slot,
+                            seconds: *secs,
+                        },
+                    );
+                }
+            }
+            let max_attempts = result
+                .resilience
+                .iter()
+                .map(|r| r.attempts)
+                .max()
+                .unwrap_or(1);
+            let batch_faults: usize = result
+                .resilience
+                .iter()
+                .map(|r| r.faults_absorbed.len())
+                .sum();
+            st.retries += result
+                .resilience
+                .iter()
+                .map(|r| r.attempts.saturating_sub(1) as u64)
+                .sum::<u64>();
+            st.degrades += result.resilience.iter().filter(|r| r.downgraded).count() as u64;
+            st.faults += batch_faults as u64;
+            if max_attempts > 1 || batch_faults > 0 {
+                for req in &taken {
+                    st.traces.push_event(
+                        req.id,
+                        start_s,
+                        SpanEvent::Retry {
+                            attempts: max_attempts,
+                            faults: batch_faults,
+                        },
+                    );
+                }
+            }
+            if let Some(r) = result.resilience.iter().find(|r| r.downgraded) {
+                let strategy = format!("{:?}", r.final_strategy);
+                for req in &taken {
+                    st.traces.push_event(
+                        req.id,
+                        start_s,
+                        SpanEvent::Degrade {
+                            strategy: strategy.clone(),
+                        },
+                    );
+                }
+            }
+        }
+
+        let (indices, distances) = merge_arms(
+            k,
+            &plan,
+            base_result
+                .as_ref()
+                .map(|r| (r.indices.as_slice(), r.distances.as_slice())),
+            fresh_result
+                .as_ref()
+                .map(|r| (r.indices.as_slice(), r.distances.as_slice())),
+            taken.len(),
+        );
+
+        let completion_s = start_s + exec_seconds;
+        st.device_free_at = completion_s;
+        st.busy_seconds += exec_seconds;
+        st.batches += 1;
+        st.inflight.push((completion_s, taken.len()));
+
+        for (i, req) in taken.into_iter().enumerate() {
+            st.traces.push_event(
+                req.id,
+                completion_s,
+                SpanEvent::SegmentMerge {
+                    generation: dataset.generation(),
+                },
+            );
+            st.traces.push_event(req.id, completion_s, SpanEvent::Merge);
+            st.traces
+                .finish_request(req.id, completion_s, completion_s - req.arrival_s);
+            st.responses.push(Response {
+                id: req.id,
+                dataset: 0,
+                indices: indices[i].clone(),
+                distances: distances[i].clone(),
+                arrival_s: req.arrival_s,
+                dispatch_s: start_s,
+                completion_s,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A WAL record stamped with its simulated arrival time, for
+/// [`ServeEngine::replay_ingest`]'s merged write/query event stream.
+#[derive(Debug, Clone)]
+pub struct TimedRecord<T> {
+    /// When the write lands on the sim clock.
+    pub at_s: f64,
+    /// The record itself (its `seq` orders same-instant writes).
+    pub record: WalRecord<T>,
+}
+
+/// WAL bookkeeping for one ingest replay. Conservation law (enforced
+/// by `bench::validate_metrics`): `appended = applied + rejected`, and
+/// `applied = inserts + deletes`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalCounts {
+    /// Records presented to the engine.
+    pub appended: u64,
+    /// Records that mutated the dataset.
+    pub applied: u64,
+    /// Records rejected with a typed [`WalError`].
+    pub rejected: u64,
+    /// Applied inserts.
+    pub inserts: u64,
+    /// Applied deletes.
+    pub deletes: u64,
+}
+
+/// One landed compaction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactionRecord {
+    /// The generation the compaction produced.
+    pub generation: u64,
+    /// Sim time the snapshot was taken.
+    pub started_s: f64,
+    /// Sim time the new generation became servable.
+    pub ready_s: f64,
+    /// Simulated seconds of re-prepare work (upload + norm warming of
+    /// the new base), spent off the serving lane.
+    pub seconds: f64,
+    /// Rows in the new base.
+    pub rows: usize,
+    /// Tombstones cleared because their rows were compacted away.
+    pub cleared_tombstones: usize,
+    /// Fresh rows folded into the new base.
+    pub folded_fresh: usize,
+}
+
+/// Outcome of one [`ServeEngine::replay_ingest`] call.
+#[derive(Debug, Clone)]
+pub struct IngestReport<T> {
+    /// The serving-side report (responses in live-rank coordinates).
+    pub serve: ServeReport<T>,
+    /// WAL bookkeeping.
+    pub wal: WalCounts,
+    /// Typed rejects, in log order: `(seq, error)`.
+    pub wal_errors: Vec<(u64, WalError)>,
+    /// Compactions started (landed or still in flight at stream end).
+    pub compactions_started: u64,
+    /// Landed compactions, in landing order.
+    pub compactions: Vec<CompactionRecord>,
+    /// The dataset's generation when the stream ended.
+    pub final_generation: u64,
+}
+
+impl<T> IngestReport<T> {
+    /// The served responses, in completion order (live-rank indices).
+    pub fn responses(&self) -> &[Response<T>] {
+        &self.serve.responses
+    }
+}
+
+/// An in-flight compaction: the frozen snapshot plus the sim time its
+/// re-prepared base becomes swappable.
+struct PendingCompaction<T> {
+    job: CompactionJob<T>,
+    /// The new base, already fitted (None for an empty base).
+    nn: Option<NearestNeighbors<T>>,
+    started_s: f64,
+    seconds: f64,
+    ready_s: f64,
+}
+
+/// Mutable-dataset state threaded through one ingest replay.
+struct IngestState<T> {
+    pending: Option<PendingCompaction<T>>,
+    /// The fitted estimator for the *current* base generation.
+    base_fit: Option<(u64, NearestNeighbors<T>)>,
+    wal: WalCounts,
+    wal_errors: Vec<(u64, WalError)>,
+    compactions_started: u64,
+    compactions: Vec<CompactionRecord>,
+    fresh_scans: u64,
 }
 
 /// Counters a replay accumulates outside the report itself.

@@ -42,6 +42,19 @@ impl Fnv1a {
 /// granularity the determinism contract promises results at — so a
 /// cache hit can never change an answer.
 pub fn fingerprint<T: Real>(m: &CsrMatrix<T>) -> u64 {
+    fingerprint_with_generation(m, 0)
+}
+
+/// [`fingerprint`] extended with a compaction-generation stamp.
+///
+/// Mutable datasets (DESIGN §16) rewrite their base matrix on every
+/// compaction; two generations can coincidentally share content bytes —
+/// most plainly, every compacted-to-empty dataset is bit-identical to a
+/// never-written one — yet must not alias in the prepared cache, or a
+/// stale generation's shards could serve a swapped-out dataset. The
+/// generation is folded in *after* the content bytes so immutable
+/// callers (generation 0) keep their existing keys.
+pub fn fingerprint_with_generation<T: Real>(m: &CsrMatrix<T>, generation: u64) -> u64 {
     let mut h = Fnv1a::default();
     h.write_u64(m.rows() as u64);
     h.write_u64(m.cols() as u64);
@@ -55,6 +68,7 @@ pub fn fingerprint<T: Real>(m: &CsrMatrix<T>) -> u64 {
     for &v in m.values() {
         h.write_u64(v.to_f64().to_bits());
     }
+    h.write_u64(generation);
     h.finish()
 }
 
@@ -86,5 +100,25 @@ mod tests {
         let b = CsrMatrix::<f64>::zeros(0, 5);
         assert_ne!(fingerprint(&a), fingerprint(&b));
         assert_eq!(fingerprint(&a), fingerprint(&CsrMatrix::<f64>::zeros(0, 4)));
+    }
+
+    #[test]
+    fn generation_stamp_splits_bitwise_equal_content() {
+        // The empty-matrix aliasing bug: a dataset compacted down to
+        // zero rows is bit-identical to a never-written one of the same
+        // width, so without the generation stamp they would share a
+        // cache key across generations.
+        let empty = CsrMatrix::<f64>::zeros(0, 4);
+        assert_eq!(fingerprint(&empty), fingerprint_with_generation(&empty, 0));
+        assert_ne!(
+            fingerprint_with_generation(&empty, 0),
+            fingerprint_with_generation(&empty, 1)
+        );
+        let dense = CsrMatrix::<f32>::from_dense(2, 3, &[1.0, 0.0, 2.0, 0.0, 3.0, 0.0]);
+        assert_eq!(fingerprint(&dense), fingerprint_with_generation(&dense, 0));
+        assert_ne!(
+            fingerprint_with_generation(&dense, 3),
+            fingerprint_with_generation(&dense, 4)
+        );
     }
 }

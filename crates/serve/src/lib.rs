@@ -49,15 +49,18 @@ pub mod fingerprint;
 pub mod fleet;
 pub mod load;
 pub mod metrics;
+pub mod segment;
 pub mod slo;
 pub mod span;
+pub mod wal;
 
 pub use admission::{AdmissionConfig, AdmissionDecision, Rejection, ShedReason, TokenBucket};
 pub use cache::{CacheKey, CacheOutcome, CacheStats, PreparedCache};
 pub use engine::{
-    replay_rows, IndexMode, Request, Response, ServeConfig, ServeEngine, ServeReport,
+    replay_rows, CompactionRecord, IndexMode, IngestReport, Request, Response, ServeConfig,
+    ServeEngine, ServeReport, TimedRecord, WalCounts,
 };
-pub use fingerprint::fingerprint;
+pub use fingerprint::{fingerprint, fingerprint_with_generation};
 pub use fleet::{
     chaos_drill, ChaosPlan, DrillOutcome, Fleet, FleetConfig, FleetReport, ScaleEvent,
     WindowOutcome,
@@ -66,5 +69,9 @@ pub use load::{SplitMix64, Workload};
 pub use metrics::{
     nearest_rank, percentile_sorted, LogHistogram, MetricsRegistry, MetricsSnapshot,
 };
+pub use segment::{
+    merge_arms, AppliedOp, CompactionJob, CompactionOutcome, MutableDataset, RankPlan,
+};
 pub use slo::{SloBudget, SloReport};
 pub use span::{request_chrome_trace, RequestSpan, RequestTraces, SpanEvent};
+pub use wal::{Manifest, Wal, WalError, WalOp, WalRecord};

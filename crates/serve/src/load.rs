@@ -58,8 +58,15 @@ impl SplitMix64 {
     }
 
     /// Uniform draw in `0..n` (`n > 0`).
+    ///
+    /// Uses the rejection-free Lemire multiply-shift reduction on the
+    /// raw 64-bit draw. The old `(next_f64() * n) as usize % n` route
+    /// had two defects: the float product quantizes to 53 bits (a
+    /// modulo-style bias across buckets), and when rounding pushed the
+    /// product to exactly `n` the `%` silently wrapped an out-of-range
+    /// index back to 0, double-weighting bucket zero.
     pub fn below(&mut self, n: usize) -> usize {
-        (self.next_f64() * n as f64) as usize % n.max(1)
+        bounded(self.next_u64(), n.max(1) as u64) as usize
     }
 
     /// Exponential draw with the given rate (mean `1 / rate`).
@@ -67,6 +74,17 @@ impl SplitMix64 {
         // 1 - u is in (0, 1], so the log is finite.
         -(1.0 - self.next_f64()).ln() / rate
     }
+}
+
+/// Lemire multiply-shift reduction: maps a uniform 64-bit draw onto
+/// `0..n` by taking the high 64 bits of the 128-bit product. Every
+/// output is in range by construction (no `%` safety net needed) and
+/// the per-bucket bias is at most `n / 2^64` — unmeasurable for any
+/// pool size this system serves, versus the up-to-`2^11`-sample skew of
+/// the former 53-bit float route.
+#[inline]
+pub(crate) fn bounded(x: u64, n: u64) -> u64 {
+    ((u128::from(x) * u128::from(n)) >> 64) as u64
 }
 
 /// A seeded traffic model: Zipf dataset popularity, diurnal rate
@@ -367,6 +385,82 @@ mod tests {
             first > second + second / 2,
             "diurnal peak must dominate: {first} vs {second}"
         );
+    }
+
+    #[test]
+    fn bounded_reduction_covers_the_full_range_without_wrapping() {
+        // The top of the u64 range must map to n-1, not wrap to 0 the
+        // way the float route did when rounding hit exactly n.
+        for n in [1u64, 2, 3, 7, 8, 1000, u64::MAX] {
+            assert_eq!(bounded(0, n), 0);
+            assert_eq!(bounded(u64::MAX, n), n - 1);
+        }
+        // Monotone in x: the reduction is order-preserving.
+        assert!(bounded(u64::MAX / 3, 9) <= bounded(u64::MAX / 2, 9));
+        let mut rng = SplitMix64::new(11);
+        for _ in 0..10_000 {
+            assert!(rng.below(7) < 7);
+        }
+        assert_eq!(SplitMix64::new(5).below(1), 0);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn empirical_histograms_match_zipf_and_uniform_weights(
+            seed in 0u64..1000,
+            zipf_milli in 0u32..2000,
+        ) {
+            let zipf_s = f64::from(zipf_milli) / 1000.0;
+            let pools = [pool(8, 0), pool(8, 1), pool(8, 2), pool(8, 3)];
+            let reqs = Workload::steady(seed, 40_000.0, 0.05)
+                .with_zipf(zipf_s)
+                .generate(&pools);
+            // ~2000 expected arrivals; Poisson thinning cannot collapse
+            // that below the histogram's statistical floor.
+            prop_assert!(reqs.len() > 1000, "stream too short: {}", reqs.len());
+            let n = reqs.len() as f64;
+
+            // Dataset draws follow the Zipf weights.
+            let weights: Vec<f64> =
+                (0..4).map(|i| 1.0 / ((i + 1) as f64).powf(zipf_s)).collect();
+            let total: f64 = weights.iter().sum();
+            let mut counts = [0usize; 4];
+            for r in &reqs {
+                counts[r.dataset] += 1;
+            }
+            for (c, w) in counts.iter().zip(&weights) {
+                let expected = w / total;
+                let got = *c as f64 / n;
+                // 6-sigma binomial tolerance: deterministic per seed,
+                // loose enough to never flake across the seed range.
+                let tol = 6.0 * (expected * (1.0 - expected) / n).sqrt() + 1e-3;
+                prop_assert!(
+                    (got - expected).abs() < tol,
+                    "dataset freq {got:.4} vs zipf weight {expected:.4} (tol {tol:.4})"
+                );
+            }
+
+            // Row draws within a pool are uniform (the fixed `below`).
+            let mut rows = [0usize; 8];
+            let mut rng = SplitMix64::new(seed.wrapping_mul(0x9e37));
+            let draws = 8000;
+            for _ in 0..draws {
+                let r = rng.below(8);
+                prop_assert!(r < 8);
+                rows[r] += 1;
+            }
+            let expect = draws as f64 / 8.0;
+            for c in rows {
+                prop_assert!(
+                    (c as f64 - expect).abs() < 6.0 * expect.sqrt(),
+                    "row histogram bucket {c} strays from uniform {expect}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -82,6 +82,20 @@ pub enum SpanEvent {
         /// The degraded execution mode (e.g. `smem=Bloom`).
         strategy: String,
     },
+    /// The brute-force fresh-segment scan ran alongside the prepared
+    /// base for this batch (mutable datasets, DESIGN §16).
+    FreshScan {
+        /// Rows in the fresh segment at dispatch time.
+        rows: usize,
+        /// Tombstoned rows masked out of the scan's candidates.
+        tombstoned: usize,
+    },
+    /// Base-arm and fresh-arm candidates merged under the canonical
+    /// `cmp_dist_idx` order into live-rank coordinates.
+    SegmentMerge {
+        /// Base generation the batch was served against.
+        generation: u64,
+    },
     /// Per-shard results merged into the batch answer.
     Merge,
     /// The response was handed back to the caller (terminal).
@@ -105,6 +119,8 @@ impl SpanEvent {
             SpanEvent::Retry { .. } => "retry",
             SpanEvent::Degrade { .. } => "degrade",
             SpanEvent::AdmissionDegrade { .. } => "admission_degrade",
+            SpanEvent::FreshScan { .. } => "fresh_scan",
+            SpanEvent::SegmentMerge { .. } => "segment_merge",
             SpanEvent::Merge => "merge",
             SpanEvent::Reply { .. } => "reply",
         }

@@ -1,0 +1,600 @@
+//! The write-ahead log for mutable datasets (DESIGN §16): an
+//! append-only, checksummed record stream of insert/delete deltas.
+//!
+//! The serving layer's amortization story keys everything on immutable
+//! content fingerprints, so a dataset that changes at all today changes
+//! *wholesale* — full re-upload, full re-prepare. The WAL is the other
+//! half of the LSM-style answer: writes land as deltas in a durable,
+//! replayable log; queries see them through the fresh segment
+//! ([`crate::segment::MutableDataset`]); compaction folds them back
+//! into a new immutable generation.
+//!
+//! Format (`wal.v1`, line-oriented TSV — same family as the CLI's
+//! request/response TSVs, so it diffs and `cmp`s cleanly in CI):
+//!
+//! ```text
+//! wal.v1 <tab> <cols> <tab> <fnv64-hex>
+//! <seq> <tab> i <tab> col:bits,col:bits,... <tab> <fnv64-hex>
+//! <seq> <tab> d <tab> <row-id> <tab> <fnv64-hex>
+//! ```
+//!
+//! * `seq` is a zero-based, strictly sequential record number; a gap or
+//!   repeat is a [`WalError::BadSequence`], never a silent skip.
+//! * Insert payloads carry ascending column indices with the value's
+//!   exact `f64` bit pattern in hex (`-` for an all-zero row), so a
+//!   render→parse round trip is bit-identical — the property the whole
+//!   determinism contract rides on.
+//! * Delete payloads name the *logical row id*: rows are numbered in
+//!   insertion order starting from the seed base (base row `r` is id
+//!   `r`), and ids are never reused — a tombstoned id stays dead across
+//!   compactions.
+//! * Every line ends with an FNV-1a checksum of the bytes before the
+//!   final tab. A torn tail (power cut mid-append) therefore fails
+//!   closed: [`Wal::parse`] reports the typed error, and
+//!   [`Wal::parse_prefix`] recovers exactly the records before it.
+
+use crate::fingerprint::Fnv1a;
+use sparse::{Idx, Real};
+use std::fmt;
+
+/// One logged mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalOp<T> {
+    /// Append a new row (ascending column indices + values); the row is
+    /// assigned the next logical id.
+    Insert {
+        /// Column indices, strictly ascending.
+        cols: Vec<Idx>,
+        /// Matching values.
+        vals: Vec<T>,
+    },
+    /// Tombstone the row with this logical id.
+    Delete {
+        /// The logical row id (insertion order, seed base included).
+        row: u64,
+    },
+}
+
+/// One WAL record: a sequence number plus its operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord<T> {
+    /// Zero-based position in the log.
+    pub seq: u64,
+    /// The mutation.
+    pub op: WalOp<T>,
+}
+
+/// Typed WAL failures. Parsing and replay either succeed completely or
+/// surface one of these — never a panic, never a silent partial apply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalError {
+    /// The log does not start with a valid `wal.v1` header.
+    BadHeader {
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A record line could not be parsed.
+    Malformed {
+        /// 1-based line number in the log text.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A record's checksum does not match its bytes (torn or corrupted
+    /// tail).
+    ChecksumMismatch {
+        /// 1-based line number in the log text.
+        line: usize,
+        /// Checksum recomputed from the record bytes.
+        expected: u64,
+        /// Checksum stored on the line.
+        found: u64,
+    },
+    /// Record numbering skipped or repeated.
+    BadSequence {
+        /// 1-based line number (0 when raised at apply time).
+        line: usize,
+        /// The sequence number required here.
+        expected: u64,
+        /// The sequence number found.
+        found: u64,
+    },
+    /// A delete names a logical id that was never assigned.
+    DeleteOutOfRange {
+        /// The offending record's sequence number.
+        seq: u64,
+        /// The id it tried to delete.
+        row: u64,
+    },
+    /// A delete names a row that is already dead (tombstoned earlier or
+    /// compacted away).
+    DeleteDead {
+        /// The offending record's sequence number.
+        seq: u64,
+        /// The id it tried to delete.
+        row: u64,
+    },
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadHeader { reason } => write!(f, "bad wal.v1 header: {reason}"),
+            Self::Malformed { line, reason } => {
+                write!(f, "malformed wal record at line {line}: {reason}")
+            }
+            Self::ChecksumMismatch {
+                line,
+                expected,
+                found,
+            } => write!(
+                f,
+                "wal checksum mismatch at line {line}: expected {expected:016x}, found {found:016x}"
+            ),
+            Self::BadSequence {
+                line,
+                expected,
+                found,
+            } => write!(
+                f,
+                "wal sequence break at line {line}: expected seq {expected}, found {found}"
+            ),
+            Self::DeleteOutOfRange { seq, row } => {
+                write!(f, "wal record {seq} deletes unassigned row id {row}")
+            }
+            Self::DeleteDead { seq, row } => {
+                write!(f, "wal record {seq} deletes already-dead row id {row}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+/// FNV-1a over a line's pre-checksum bytes.
+fn line_checksum(body: &str) -> u64 {
+    let mut h = Fnv1a::default();
+    h.write(body.as_bytes());
+    h.finish()
+}
+
+/// An in-memory WAL: the dataset width it applies to plus its records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Wal<T> {
+    cols: usize,
+    records: Vec<WalRecord<T>>,
+}
+
+impl<T: Real> Wal<T> {
+    /// An empty log for datasets of the given width.
+    pub fn new(cols: usize) -> Self {
+        Self {
+            cols,
+            records: Vec::new(),
+        }
+    }
+
+    /// Dataset width every insert must respect.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The records, in sequence order.
+    pub fn records(&self) -> &[WalRecord<T>] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Keeps only the first `n` records — the crash-replay test's "the
+    /// tail never happened" primitive.
+    pub fn truncate(&mut self, n: usize) {
+        self.records.truncate(n);
+    }
+
+    /// Appends an insert record; returns its sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column indices are not strictly ascending and in
+    /// range, or if `cols` and `vals` disagree in length — appending is
+    /// the writer's API, and a writer handing over a malformed row is a
+    /// programmer error, not a replay-time condition.
+    pub fn append_insert(&mut self, cols: &[Idx], vals: &[T]) -> u64 {
+        assert_eq!(cols.len(), vals.len(), "cols/vals length mismatch");
+        assert!(
+            cols.windows(2).all(|w| w[0] < w[1]),
+            "insert columns must be strictly ascending"
+        );
+        assert!(
+            cols.iter().all(|&c| (c as usize) < self.cols),
+            "insert column out of range"
+        );
+        let seq = self.records.len() as u64;
+        self.records.push(WalRecord {
+            seq,
+            op: WalOp::Insert {
+                cols: cols.to_vec(),
+                vals: vals.to_vec(),
+            },
+        });
+        seq
+    }
+
+    /// Appends a delete record for logical `row`; returns its sequence
+    /// number. Liveness of the id is checked at apply time (the log
+    /// cannot know the dataset's state).
+    pub fn append_delete(&mut self, row: u64) -> u64 {
+        let seq = self.records.len() as u64;
+        self.records.push(WalRecord {
+            seq,
+            op: WalOp::Delete { row },
+        });
+        seq
+    }
+
+    /// Renders the log as `wal.v1` text (header + one line per record,
+    /// each with its FNV checksum).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let header = format!("wal.v1\t{}", self.cols);
+        out.push_str(&header);
+        out.push('\t');
+        out.push_str(&format!("{:016x}", line_checksum(&header)));
+        out.push('\n');
+        for rec in &self.records {
+            let body = match &rec.op {
+                WalOp::Insert { cols, vals } => {
+                    let payload = if cols.is_empty() {
+                        "-".to_string()
+                    } else {
+                        cols.iter()
+                            .zip(vals)
+                            .map(|(c, v)| format!("{}:{:016x}", c, v.to_f64().to_bits()))
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    };
+                    format!("{}\ti\t{}", rec.seq, payload)
+                }
+                WalOp::Delete { row } => format!("{}\td\t{}", rec.seq, row),
+            };
+            out.push_str(&body);
+            out.push('\t');
+            out.push_str(&format!("{:016x}", line_checksum(&body)));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Strict parse: the whole text must be a valid log. The CLI's
+    /// ingest path uses this — a torn or corrupted WAL is an input
+    /// error, not something to serve around silently.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`WalError`] encountered.
+    pub fn parse(text: &str) -> Result<Self, WalError> {
+        let (wal, err) = Self::parse_prefix(text);
+        match err {
+            Some(e) => Err(e),
+            None => Ok(wal),
+        }
+    }
+
+    /// Lossy parse: returns the longest valid prefix plus the error
+    /// that stopped parsing (if any). Crash recovery uses this — every
+    /// record before the torn tail is intact by checksum, so replaying
+    /// the prefix is exactly "the tail never happened".
+    pub fn parse_prefix(text: &str) -> (Self, Option<WalError>) {
+        let mut lines = text.lines().enumerate();
+        let header = match lines.next() {
+            Some((_, l)) => l,
+            None => {
+                return (
+                    Self::new(0),
+                    Some(WalError::BadHeader {
+                        reason: "empty log".to_string(),
+                    }),
+                )
+            }
+        };
+        let cols = match Self::parse_header(header) {
+            Ok(c) => c,
+            Err(e) => return (Self::new(0), Some(e)),
+        };
+        let mut wal = Self::new(cols);
+        for (idx, line) in lines {
+            // A trailing newline produces no empty element from
+            // `lines()`, so an empty line mid-log is real corruption.
+            if let Err(e) = wal.parse_record_line(idx + 1, line) {
+                return (wal, Some(e));
+            }
+        }
+        (wal, None)
+    }
+
+    fn parse_header(line: &str) -> Result<usize, WalError> {
+        let bad = |reason: &str| WalError::BadHeader {
+            reason: reason.to_string(),
+        };
+        let (body, sum) = line
+            .rsplit_once('\t')
+            .ok_or_else(|| bad("missing checksum"))?;
+        let found = u64::from_str_radix(sum, 16).map_err(|_| bad("checksum is not 64-bit hex"))?;
+        let expected = line_checksum(body);
+        if found != expected {
+            return Err(bad("header checksum mismatch"));
+        }
+        let mut parts = body.split('\t');
+        if parts.next() != Some("wal.v1") {
+            return Err(bad("expected magic `wal.v1`"));
+        }
+        let cols = parts
+            .next()
+            .and_then(|c| c.parse::<usize>().ok())
+            .ok_or_else(|| bad("missing or non-numeric column count"))?;
+        if parts.next().is_some() {
+            return Err(bad("trailing header fields"));
+        }
+        Ok(cols)
+    }
+
+    fn parse_record_line(&mut self, line_no: usize, line: &str) -> Result<(), WalError> {
+        let malformed = |reason: String| WalError::Malformed {
+            line: line_no,
+            reason,
+        };
+        let (body, sum) = line
+            .rsplit_once('\t')
+            .ok_or_else(|| malformed("missing checksum field".to_string()))?;
+        let found = u64::from_str_radix(sum, 16)
+            .map_err(|_| malformed("checksum is not 64-bit hex".to_string()))?;
+        let expected = line_checksum(body);
+        if found != expected {
+            return Err(WalError::ChecksumMismatch {
+                line: line_no,
+                expected,
+                found,
+            });
+        }
+        let mut parts = body.split('\t');
+        let seq: u64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| malformed("missing or non-numeric seq".to_string()))?;
+        let want = self.records.len() as u64;
+        if seq != want {
+            return Err(WalError::BadSequence {
+                line: line_no,
+                expected: want,
+                found: seq,
+            });
+        }
+        let op = parts
+            .next()
+            .ok_or_else(|| malformed("missing op field".to_string()))?;
+        let payload = parts
+            .next()
+            .ok_or_else(|| malformed("missing payload field".to_string()))?;
+        if parts.next().is_some() {
+            return Err(malformed("trailing record fields".to_string()));
+        }
+        match op {
+            "i" => {
+                let mut cols: Vec<Idx> = Vec::new();
+                let mut vals: Vec<T> = Vec::new();
+                if payload != "-" {
+                    for cell in payload.split(',') {
+                        let (c, bits) = cell
+                            .split_once(':')
+                            .ok_or_else(|| malformed(format!("bad insert cell `{cell}`")))?;
+                        let c: Idx = c
+                            .parse()
+                            .map_err(|_| malformed(format!("bad column `{c}`")))?;
+                        let bits = u64::from_str_radix(bits, 16)
+                            .map_err(|_| malformed(format!("bad value bits `{bits}`")))?;
+                        if (c as usize) >= self.cols {
+                            return Err(malformed(format!(
+                                "column {c} out of range for width {}",
+                                self.cols
+                            )));
+                        }
+                        if let Some(&last) = cols.last() {
+                            if c <= last {
+                                return Err(malformed(
+                                    "insert columns must be strictly ascending".to_string(),
+                                ));
+                            }
+                        }
+                        cols.push(c);
+                        vals.push(T::from_f64(f64::from_bits(bits)));
+                    }
+                }
+                self.records.push(WalRecord {
+                    seq,
+                    op: WalOp::Insert { cols, vals },
+                });
+            }
+            "d" => {
+                let row: u64 = payload
+                    .parse()
+                    .map_err(|_| malformed(format!("bad delete row id `{payload}`")))?;
+                self.records.push(WalRecord {
+                    seq,
+                    op: WalOp::Delete { row },
+                });
+            }
+            other => return Err(malformed(format!("unknown op `{other}`"))),
+        }
+        Ok(())
+    }
+}
+
+/// The generation-stamped manifest: one checksummed line naming the
+/// state a serving process should recover to — which base generation is
+/// current, its content fingerprint, and how far into the log replay
+/// has progressed. Written next to the WAL by the CLI's ingest path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Manifest {
+    /// Compaction generation of the current base segment.
+    pub generation: u64,
+    /// Rows in the current base segment.
+    pub base_rows: usize,
+    /// [`crate::fingerprint::fingerprint_with_generation`] of the base.
+    pub base_fingerprint: u64,
+    /// Records consumed from the log (applied or rejected).
+    pub log_position: u64,
+    /// Dataset width.
+    pub cols: usize,
+}
+
+impl Manifest {
+    /// Renders the manifest as one checksummed `manifest.v1` line.
+    pub fn render(&self) -> String {
+        let body = format!(
+            "manifest.v1\tgeneration={}\tbase_rows={}\tbase_fingerprint={:016x}\tlog_position={}\tcols={}",
+            self.generation, self.base_rows, self.base_fingerprint, self.log_position, self.cols
+        );
+        format!("{}\t{:016x}\n", body, line_checksum(&body))
+    }
+
+    /// Parses a rendered manifest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError::BadHeader`] when the magic, a field, or the
+    /// checksum does not check out.
+    pub fn parse(text: &str) -> Result<Self, WalError> {
+        let bad = |reason: &str| WalError::BadHeader {
+            reason: format!("manifest: {reason}"),
+        };
+        let line = text.lines().next().ok_or_else(|| bad("empty"))?;
+        let (body, sum) = line
+            .rsplit_once('\t')
+            .ok_or_else(|| bad("missing checksum"))?;
+        let found = u64::from_str_radix(sum, 16).map_err(|_| bad("checksum is not 64-bit hex"))?;
+        if found != line_checksum(body) {
+            return Err(bad("checksum mismatch"));
+        }
+        let mut parts = body.split('\t');
+        if parts.next() != Some("manifest.v1") {
+            return Err(bad("expected magic `manifest.v1`"));
+        }
+        let mut field = |name: &str| -> Result<u64, WalError> {
+            let cell = parts.next().ok_or_else(|| bad("missing field"))?;
+            let (k, v) = cell.split_once('=').ok_or_else(|| bad("bad field"))?;
+            if k != name {
+                return Err(bad(&format!("expected field `{name}`, found `{k}`")));
+            }
+            if name == "base_fingerprint" {
+                u64::from_str_radix(v, 16).map_err(|_| bad("bad fingerprint"))
+            } else {
+                v.parse().map_err(|_| bad(&format!("non-numeric `{name}`")))
+            }
+        };
+        Ok(Self {
+            generation: field("generation")?,
+            base_rows: field("base_rows")? as usize,
+            base_fingerprint: field("base_fingerprint")?,
+            log_position: field("log_position")?,
+            cols: field("cols")? as usize,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Wal<f32> {
+        let mut w = Wal::new(6);
+        w.append_insert(&[0, 2, 5], &[1.0, -2.5, 0.125]);
+        w.append_delete(1);
+        w.append_insert(&[], &[]);
+        w.append_insert(&[3], &[f32::MIN_POSITIVE]);
+        w.append_delete(7);
+        w
+    }
+
+    #[test]
+    fn render_parse_round_trips_bit_exactly() {
+        let w = sample();
+        let text = w.render();
+        let back = Wal::<f32>::parse(&text).expect("valid log parses");
+        assert_eq!(back.cols(), 6);
+        assert_eq!(back.records().len(), w.records().len());
+        for (a, b) in w.records().iter().zip(back.records()) {
+            assert_eq!(a.seq, b.seq);
+            match (&a.op, &b.op) {
+                (WalOp::Insert { cols: ca, vals: va }, WalOp::Insert { cols: cb, vals: vb }) => {
+                    assert_eq!(ca, cb);
+                    let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                    assert_eq!(bits(va), bits(vb));
+                }
+                (WalOp::Delete { row: ra }, WalOp::Delete { row: rb }) => assert_eq!(ra, rb),
+                (x, y) => panic!("op kind diverged: {x:?} vs {y:?}"),
+            }
+        }
+        // Rendering the parse is byte-identical to the original text.
+        assert_eq!(text, back.render());
+    }
+
+    #[test]
+    fn corrupted_bytes_fail_closed_with_typed_errors() {
+        let text = sample().render();
+        // Flip one payload byte on the third line: checksum mismatch.
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        lines[2] = lines[2].replacen("\td\t", "\ti\t", 1);
+        let torn = lines.join("\n");
+        let (prefix, err) = Wal::<f32>::parse_prefix(&torn);
+        assert_eq!(prefix.len(), 1, "records before the corruption survive");
+        assert!(
+            matches!(err, Some(WalError::ChecksumMismatch { line: 3, .. })),
+            "{err:?}"
+        );
+        assert!(Wal::<f32>::parse(&torn).is_err());
+
+        // Drop a line: sequence break.
+        let skipped = format!("{}\n{}\n{}", lines[0], lines[1], lines[3]);
+        let (_, err) = Wal::<f32>::parse_prefix(&skipped);
+        assert!(
+            matches!(
+                err,
+                Some(WalError::BadSequence {
+                    expected: 1,
+                    found: 2,
+                    ..
+                })
+            ),
+            "{err:?}"
+        );
+
+        // Garbage header.
+        let (w, err) = Wal::<f32>::parse_prefix("nonsense");
+        assert!(matches!(err, Some(WalError::BadHeader { .. })), "{err:?}");
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn manifest_round_trips_and_rejects_corruption() {
+        let m = Manifest {
+            generation: 3,
+            base_rows: 128,
+            base_fingerprint: 0xdead_beef_cafe_f00d,
+            log_position: 999,
+            cols: 64,
+        };
+        let text = m.render();
+        assert_eq!(Manifest::parse(&text).expect("parses"), m);
+        let corrupt = text.replacen("generation=3", "generation=4", 1);
+        assert!(Manifest::parse(&corrupt).is_err(), "checksum must catch it");
+    }
+}

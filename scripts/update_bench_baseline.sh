@@ -23,9 +23,11 @@ cargo run --release --locked -p bench --bin serve_fleet -- \
     --scale "$SCALE" --json "$TMP/fleet.json"
 cargo run --release --locked -p bench --bin ann_recall -- \
     --scale "$SCALE" --json "$TMP/ann.json"
+cargo run --release --locked -p bench --bin serve_ingest -- \
+    --scale "$SCALE" --json "$TMP/ingest.json"
 cargo run --locked -p xtask --bin compare_bench -- \
     --write-baseline experiments_output/BENCH_baseline.json \
     "$TMP/counters.json" "$TMP/shard.json" "$TMP/serve.json" "$TMP/fleet.json" \
-    "$TMP/ann.json"
+    "$TMP/ann.json" "$TMP/ingest.json"
 
 echo "Refreshed experiments_output/BENCH_baseline.json — review and commit the diff."
